@@ -1,0 +1,1 @@
+bench/experiments.ml: Flexcl_core Flexcl_device Flexcl_dse Flexcl_ir Flexcl_simrtl Flexcl_util Flexcl_workloads Float Hashtbl List Printf Unix

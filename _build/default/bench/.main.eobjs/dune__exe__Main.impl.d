@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Flexcl_core Flexcl_device Flexcl_simrtl Flexcl_workloads Hashtbl Instance List Measure Printf Staged Sys Test Time Toolkit Unix

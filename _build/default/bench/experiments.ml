@@ -1,0 +1,434 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (§4). Each [run_*] function prints the same rows/series the
+   paper reports; EXPERIMENTS.md records paper-vs-measured values. *)
+
+module W = Flexcl_workloads.Workload
+module Rodinia = Flexcl_workloads.Rodinia
+module Polybench = Flexcl_workloads.Polybench
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Sysrun = Flexcl_simrtl.Sysrun
+module Sdaccel = Flexcl_simrtl.Sdaccel_estimate
+module Space = Flexcl_dse.Space
+module Explore = Flexcl_dse.Explore
+module Heuristic = Flexcl_dse.Heuristic
+module Launch = Flexcl_ir.Launch
+module Stats = Flexcl_util.Stats
+module Table = Flexcl_util.Table
+
+let dev = Device.virtex7
+
+(* base analyses are cached per workload *)
+let analysis_cache : (string, Analysis.t) Hashtbl.t = Hashtbl.create 64
+
+let analysis_of (w : W.t) =
+  match Hashtbl.find_opt analysis_cache (W.name w) with
+  | Some a -> a
+  | None ->
+      let a = Analysis.analyze (W.parse w) w.W.launch in
+      Hashtbl.replace analysis_cache (W.name w) a;
+      a
+
+let subsample stride xs = List.filteri (fun i _ -> i mod stride = 0) xs
+
+let space_of (w : W.t) =
+  Space.default ~total_work_items:(Launch.n_work_items w.W.launch)
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-kernel accuracy measurement *)
+
+type kernel_row = {
+  name : string;
+  n_designs : int;          (* feasible design points (the paper's #Designs) *)
+  flexcl_err : float;       (* mean abs % error vs System Run *)
+  sdaccel_err : float;      (* over the points SDAccel survives *)
+  sdaccel_fail_pct : float;
+  t_model : float;          (* seconds for the FULL design space, measured *)
+  t_sdaccel : float;
+  t_sysrun : float;         (* simulator seconds over the sampled points *)
+  sampled : int;
+}
+
+let measure_kernel ?(device = dev) ?(stride = 6) (w : W.t) =
+  let base = analysis_of w in
+  let space = space_of w in
+  let points = Space.feasible_points device base space in
+  let n_designs = List.length points in
+  (* FlexCL model over the FULL space (it is cheap; this is the paper's
+     exploration-time column) *)
+  let _, t_model =
+    time_of (fun () ->
+        List.iter
+          (fun (c : Config.t) ->
+            let a = Explore.analysis_for base c.Config.wg_size in
+            ignore (Model.cycles device a c))
+          points)
+  in
+  let _, t_sdaccel =
+    time_of (fun () ->
+        List.iter
+          (fun (c : Config.t) ->
+            let a = Explore.analysis_for base c.Config.wg_size in
+            ignore (Sdaccel.estimate device a c))
+          points)
+  in
+  (* accuracy over a deterministic subsample of the space *)
+  let sample = subsample stride points in
+  let t0 = Unix.gettimeofday () in
+  let flexcl_errs, sdaccel_errs, sd_fail =
+    List.fold_left
+      (fun (fe, se, sf) (c : Config.t) ->
+        let a = Explore.analysis_for base c.Config.wg_size in
+        let truth = (Sysrun.run device a c).Sysrun.cycles in
+        let m = Model.cycles device a c in
+        let fe = Stats.abs_pct_error ~actual:truth ~predicted:m :: fe in
+        match Sdaccel.estimate device a c with
+        | Some sd -> (fe, Stats.abs_pct_error ~actual:truth ~predicted:sd :: se, sf)
+        | None -> (fe, se, sf + 1))
+      ([], [], 0) sample
+  in
+  let t_sysrun = Unix.gettimeofday () -. t0 in
+  {
+    name = W.name w;
+    n_designs;
+    flexcl_err = Stats.mean flexcl_errs;
+    sdaccel_err = (if sdaccel_errs = [] then nan else Stats.mean sdaccel_errs);
+    sdaccel_fail_pct = 100.0 *. float_of_int sd_fail /. float_of_int (List.length sample);
+    t_model;
+    t_sdaccel;
+    t_sysrun;
+    sampled = List.length sample;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let hours_per_synthesis = 0.75
+(* The paper's System Run column is bitstream synthesis + board runs at
+   roughly 45 minutes per design point; our substitute simulator is
+   measured directly and the projected RTL-flow time is also printed so
+   the >10,000x exploration-speed claim can be checked. *)
+
+let run_table2 ?(stride = 6) () =
+  print_endline "=== Table 2: Rodinia accuracy and exploration time ===";
+  Printf.printf
+    "(errors vs the cycle-level System-Run simulator; %d-point design\n\
+     subsample per kernel; 'RTL proj.' projects %.2f h per design point)\n\n"
+    stride hours_per_synthesis;
+  let t = Table.create
+      ~headers:
+        [ "Benchmark/Kernel"; "#Designs"; "SDAccel err%"; "FlexCL err%";
+          "SDAccel fail%"; "RTL proj. (hrs)"; "SysRun sim (s)"; "FlexCL (s)" ]
+  in
+  let rows = List.map (measure_kernel ~stride) Rodinia.all in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.name;
+          string_of_int r.n_designs;
+          (if Float.is_nan r.sdaccel_err then "-" else Table.fmt_float r.sdaccel_err);
+          Table.fmt_float r.flexcl_err;
+          Table.fmt_float r.sdaccel_fail_pct;
+          Table.fmt_float (float_of_int r.n_designs *. hours_per_synthesis);
+          Table.fmt_float ~decimals:2
+            (r.t_sysrun /. float_of_int r.sampled *. float_of_int r.n_designs);
+          Table.fmt_float ~decimals:2 r.t_model;
+        ])
+    rows;
+  Table.add_separator t;
+  let mean f = Stats.mean (List.map f rows) in
+  Table.add_row t
+    [
+      "AVERAGE";
+      Table.fmt_float ~decimals:0 (mean (fun r -> float_of_int r.n_designs));
+      Table.fmt_float (Stats.mean (List.filter_map (fun r -> if Float.is_nan r.sdaccel_err then None else Some r.sdaccel_err) rows));
+      Table.fmt_float (mean (fun r -> r.flexcl_err));
+      Table.fmt_float (mean (fun r -> r.sdaccel_fail_pct));
+      "";
+      "";
+      "";
+    ];
+  print_string (Table.render t);
+  Printf.printf
+    "\npaper: FlexCL avg 9.5%%, SDAccel 30.4-84.9%% with ~42%% failed runs,\n\
+     System Run 47-182 hrs vs FlexCL seconds per kernel\n\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* PolyBench accuracy (§4.2) *)
+
+let run_polybench ?(stride = 6) () =
+  print_endline "=== PolyBench accuracy (sec. 4.2) ===";
+  let t =
+    Table.create ~headers:[ "Kernel"; "#Designs"; "FlexCL err%"; "SDAccel err%" ]
+  in
+  let rows = List.map (measure_kernel ~stride) Polybench.all in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.name;
+          string_of_int r.n_designs;
+          Table.fmt_float r.flexcl_err;
+          (if Float.is_nan r.sdaccel_err then "-" else Table.fmt_float r.sdaccel_err);
+        ])
+    rows;
+  Table.add_separator t;
+  Table.add_row t
+    [ "AVERAGE"; ""; Table.fmt_float (Stats.mean (List.map (fun r -> r.flexcl_err) rows)) ];
+  print_string (Table.render t);
+  Printf.printf "\npaper: FlexCL average absolute error 8.7%% on PolyBench\n\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: per-design-point scatter for hotspot3D and nn *)
+
+let run_figure4 ?(stride = 4) () =
+  print_endline "=== Figure 4: estimated vs actual per design point ===";
+  let plot kernel_name =
+    let w = List.find (fun w -> W.name w = kernel_name) Rodinia.all in
+    let base = analysis_of w in
+    let points = subsample stride (Space.feasible_points dev base (space_of w)) in
+    Printf.printf "--- %s (%d design points) ---\n" kernel_name (List.length points);
+    Printf.printf "%-6s %12s %12s %8s\n" "id" "actual" "flexcl" "err%";
+    let pairs =
+      List.mapi
+        (fun i (c : Config.t) ->
+          let a = Explore.analysis_for base c.Config.wg_size in
+          let actual = (Sysrun.run dev a c).Sysrun.cycles in
+          let est = Model.cycles dev a c in
+          (i, actual, est))
+        points
+      |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+    in
+    List.iteri
+      (fun rank (_, actual, est) ->
+        Printf.printf "%-6d %12.0f %12.0f %8.1f\n" rank actual est
+          (Stats.abs_pct_error ~actual ~predicted:est))
+      pairs;
+    let corr = Stats.correlation (List.map (fun (_, a, e) -> (a, e)) pairs) in
+    Printf.printf "correlation(actual, flexcl) = %.4f\n\n" corr;
+    corr
+  in
+  let c1 = plot "hotspot3D/hotspot3D" in
+  let c2 = plot "nn/nn" in
+  print_endline
+    "paper: the two series visually coincide across all configuration ids";
+  (c1, c2)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: KU060 (§4.2) *)
+
+let run_robustness ?(stride = 6) () =
+  print_endline "=== Robustness: Kintex UltraScale KU060 ===";
+  let t = Table.create ~headers:[ "Kernel"; "FlexCL err% (KU060)" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let w = List.find (fun w -> W.name w = name) Rodinia.all in
+        let r = measure_kernel ~device:Device.ku060 ~stride w in
+        Table.add_row t [ r.name; Table.fmt_float r.flexcl_err ];
+        r)
+      [ "hotspot/hotspot"; "pathfinder/dynproc" ]
+  in
+  print_string (Table.render t);
+  print_endline "\npaper: HotSpot 9.7%, pathfinder 13.6% on the KU060\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* DSE speed (§4.3 / Table 2 time columns) *)
+
+let run_dse_speed () =
+  print_endline "=== Design-space exploration speed ===";
+  let w = List.find (fun w -> W.name w = "hotspot/hotspot") Rodinia.all in
+  let base = analysis_of w in
+  let space = space_of w in
+  let n = List.length (Space.feasible_points dev base space) in
+  let _, t_flexcl =
+    time_of (fun () -> ignore (Explore.exhaustive dev base space (Explore.model_oracle dev)))
+  in
+  let sim_points = subsample 8 (Space.feasible_points dev base space) in
+  let _, t_sim_sample =
+    time_of (fun () ->
+        List.iter
+          (fun (c : Config.t) ->
+            ignore (Sysrun.run dev (Explore.analysis_for base c.Config.wg_size) c))
+          sim_points)
+  in
+  let t_sim = t_sim_sample /. float_of_int (List.length sim_points) *. float_of_int n in
+  let t_rtl = float_of_int n *. hours_per_synthesis *. 3600.0 in
+  Printf.printf "design points explored         : %d\n" n;
+  Printf.printf "FlexCL exhaustive exploration  : %8.2f s\n" t_flexcl;
+  Printf.printf "cycle-level simulator (extrap.): %8.2f s   (%.0fx slower)\n" t_sim
+    (t_sim /. t_flexcl);
+  Printf.printf "projected RTL synthesis flow   : %8.0f s   (%.0fx slower)\n" t_rtl
+    (t_rtl /. t_flexcl);
+  print_endline "\npaper: >10,000x faster than System Run\n";
+  (t_flexcl, t_sim, t_rtl)
+
+(* ------------------------------------------------------------------ *)
+(* DSE quality (§4.3): optimality of picked configs, gap, speedup *)
+
+type dse_row = {
+  kernel : string;
+  flexcl_gap : float;     (* % above the true (sampled) optimum *)
+  heuristic_gap : float;
+  flexcl_optimal : bool;  (* within 0.5% of the sampled optimum *)
+  heuristic_optimal : bool;
+  speedup_vs_default : float;
+}
+
+let run_dse_quality ?(stride = 5) () =
+  print_endline "=== Design-space exploration quality (PolyBench) ===";
+  let t =
+    Table.create
+      ~headers:
+        [ "Kernel"; "FlexCL gap%"; "Greedy[16] gap%"; "FlexCL opt?"; "Greedy opt?";
+          "Speedup vs base" ]
+  in
+  let truth_cache = Hashtbl.create 64 in
+  let rows =
+    List.map
+      (fun w ->
+        let base = analysis_of w in
+        let space = space_of w in
+        let oracle = Explore.model_oracle dev in
+        let picked = (Explore.best dev base space oracle).Explore.config in
+        let greedy = (Heuristic.search dev base space oracle).Explore.config in
+        let truth (c : Config.t) =
+          match Hashtbl.find_opt truth_cache (W.name w, c) with
+          | Some v -> v
+          | None ->
+              let v =
+                (Sysrun.run dev (Explore.analysis_for base c.Config.wg_size) c)
+                  .Sysrun.cycles
+              in
+              Hashtbl.replace truth_cache (W.name w, c) v;
+              v
+        in
+        let sample =
+          let pts = Space.feasible_points dev base space in
+          let s = subsample stride pts in
+          let s = if List.mem picked s then s else picked :: s in
+          if List.mem greedy s then s else greedy :: s
+        in
+        let flexcl_gap = Explore.quality_vs_optimal ~picked ~truth ~all:sample in
+        let heuristic_gap =
+          Explore.quality_vs_optimal ~picked:greedy ~truth ~all:sample
+        in
+        let speedup = truth Config.default /. truth picked in
+        let row =
+          {
+            kernel = W.name w;
+            flexcl_gap;
+            heuristic_gap;
+            flexcl_optimal = flexcl_gap <= 0.5;
+            heuristic_optimal = heuristic_gap <= 0.5;
+            speedup_vs_default = speedup;
+          }
+        in
+        Table.add_row t
+          [
+            row.kernel;
+            Table.fmt_float row.flexcl_gap;
+            Table.fmt_float row.heuristic_gap;
+            (if row.flexcl_optimal then "yes" else "no");
+            (if row.heuristic_optimal then "yes" else "no");
+            Table.fmt_float row.speedup_vs_default ^ "x";
+          ];
+        row)
+      Polybench.all
+  in
+  Table.add_separator t;
+  let pct p = 100.0 *. float_of_int (List.length (List.filter p rows))
+              /. float_of_int (List.length rows) in
+  Table.add_row t
+    [
+      "SUMMARY";
+      Table.fmt_float (Stats.mean (List.map (fun r -> r.flexcl_gap) rows));
+      Table.fmt_float (Stats.mean (List.map (fun r -> r.heuristic_gap) rows));
+      Table.fmt_float (pct (fun r -> r.flexcl_optimal)) ^ "%";
+      Table.fmt_float (pct (fun r -> r.heuristic_optimal)) ^ "%";
+      Table.fmt_float (Stats.geomean (List.map (fun r -> r.speedup_vs_default) rows))
+      ^ "x geo";
+    ];
+  print_string (Table.render t);
+  print_endline
+    "\npaper: 96% of FlexCL's exhaustive picks optimal vs 12% for the greedy\n\
+     heuristic of [16]; picks within 2.1% of optimal; 273x average speedup\n\
+     over the unoptimized baseline\n";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: contribution of each DESIGN.md §4b refinement *)
+
+let run_ablation ?(stride = 8) () =
+  print_endline "=== Ablation: model refinements (DESIGN.md 4b) ===";
+  let kernels =
+    [ "backprop/layer"; "hotspot/hotspot"; "kmeans/center"; "cfd/memset";
+      "gemm/gemm"; "mvt/mvt" ]
+  in
+  let variants =
+    [
+      ("full model", Model.default_options);
+      ("no cross-WI coalescing",
+       { Model.default_options with Model.cross_wi_coalescing = false });
+      ("no warm classification",
+       { Model.default_options with Model.warm_classification = false });
+      ("no bus roofline",
+       { Model.default_options with Model.bus_roofline = false });
+      ("no multi-CU DRAM replay",
+       { Model.default_options with Model.multi_cu_dram_replay = false });
+    ]
+  in
+  let t =
+    Table.create ~headers:("variant" :: kernels @ [ "mean" ])
+  in
+  let truth_cache = Hashtbl.create 256 in
+  List.iter
+    (fun (label, options) ->
+      let errs =
+        List.map
+          (fun name ->
+            let w =
+              List.find (fun w -> W.name w = name) (Rodinia.all @ Polybench.all)
+            in
+            let base = analysis_of w in
+            let pts =
+              subsample stride (Space.feasible_points dev base (space_of w))
+            in
+            let es =
+              List.map
+                (fun (c : Config.t) ->
+                  let a = Explore.analysis_for base c.Config.wg_size in
+                  let truth =
+                    match Hashtbl.find_opt truth_cache (name, c) with
+                    | Some v -> v
+                    | None ->
+                        let v = (Sysrun.run dev a c).Sysrun.cycles in
+                        Hashtbl.replace truth_cache (name, c) v;
+                        v
+                  in
+                  let m = (Model.estimate ~options dev a c).Model.cycles in
+                  Stats.abs_pct_error ~actual:truth ~predicted:m)
+                pts
+            in
+            Stats.mean es)
+          kernels
+      in
+      Table.add_row t
+        (label
+        :: List.map Table.fmt_float errs
+        @ [ Table.fmt_float (Stats.mean errs) ]))
+    variants;
+  print_string (Table.render t);
+  print_endline
+    "\n(each refinement is justified when removing it raises the error)\n"

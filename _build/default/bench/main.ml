@@ -1,0 +1,102 @@
+(* Benchmark entry point.
+
+   With no argument, every experiment of the paper's evaluation runs and
+   prints its table/figure:
+
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe -- table2    # one experiment
+     dune exec bench/main.exe -- bechamel  # micro-benchmarks
+
+   Experiments: table2, polybench, figure4, robustness, dse-speed,
+   dse-quality, bechamel. *)
+
+module W = Flexcl_workloads.Workload
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Sysrun = Flexcl_simrtl.Sysrun
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure, measuring
+   the cost of the computation that regenerates it. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let dev = Device.virtex7 in
+  let w = List.find (fun w -> W.name w = "hotspot/hotspot") Flexcl_workloads.Rodinia.all in
+  let analysis = Analysis.analyze (W.parse w) w.W.launch in
+  let cfg =
+    { Config.wg_size = 64; n_pe = 2; n_cu = 2; wi_pipeline = true;
+      comm_mode = Config.Pipeline_mode }
+  in
+  let nn = List.find (fun w -> W.name w = "nn/nn") Flexcl_workloads.Rodinia.all in
+  let nn_analysis = Analysis.analyze (W.parse nn) nn.W.launch in
+  Test.make_grouped ~name:"flexcl"
+    [
+      (* Table 2 / PolyBench: one analytical estimate per design point *)
+      Test.make ~name:"table2-model-estimate"
+        (Staged.stage (fun () -> ignore (Model.estimate dev analysis cfg)));
+      (* Figure 4: one simulator evaluation per design point *)
+      Test.make ~name:"figure4-sysrun-point"
+        (Staged.stage (fun () -> ignore (Sysrun.run dev nn_analysis cfg)));
+      (* Robustness: estimate on the second platform *)
+      Test.make ~name:"robustness-ku060-estimate"
+        (Staged.stage (fun () -> ignore (Model.estimate Device.ku060 analysis cfg)));
+      (* DSE columns: frontend + kernel analysis cost *)
+      Test.make ~name:"dse-kernel-analysis"
+        (Staged.stage (fun () -> ignore (Analysis.analyze (W.parse nn) nn.W.launch)));
+      Test.make ~name:"dse-parse-kernel"
+        (Staged.stage (fun () -> ignore (W.parse w)));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "=== Bechamel micro-benchmarks (ns per run) ===";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let run_all () =
+  ignore (Experiments.run_table2 ());
+  ignore (Experiments.run_polybench ());
+  ignore (Experiments.run_figure4 ());
+  ignore (Experiments.run_robustness ());
+  ignore (Experiments.run_dse_speed ());
+  ignore (Experiments.run_dse_quality ());
+  Experiments.run_ablation ();
+  run_bechamel ()
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  (match Array.to_list Sys.argv with
+  | _ :: "table2" :: _ -> ignore (Experiments.run_table2 ())
+  | _ :: "polybench" :: _ -> ignore (Experiments.run_polybench ())
+  | _ :: "figure4" :: _ -> ignore (Experiments.run_figure4 ())
+  | _ :: "robustness" :: _ -> ignore (Experiments.run_robustness ())
+  | _ :: "dse-speed" :: _ -> ignore (Experiments.run_dse_speed ())
+  | _ :: "dse-quality" :: _ -> ignore (Experiments.run_dse_quality ())
+  | _ :: "ablation" :: _ -> Experiments.run_ablation ()
+  | _ :: "bechamel" :: _ -> run_bechamel ()
+  | _ :: unknown :: _ ->
+      Printf.eprintf
+        "unknown experiment %S (expected table2 | polybench | figure4 |\n\
+         robustness | dse-speed | dse-quality | ablation | bechamel)\n"
+        unknown;
+      exit 2
+  | _ -> run_all ());
+  Printf.printf "total bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,318 @@
+(* flexcl — command-line front end.
+
+   Subcommands:
+     flexcl analyze   (--kernel FILE | --workload NAME) [launch/design flags]
+     flexcl simulate  (--kernel FILE | --workload NAME) [launch/design flags]
+     flexcl explore   (--kernel FILE | --workload NAME) [--top N]
+     flexcl workloads [--suite rodinia|polybench]
+
+   For a kernel file, pointer parameters become deterministic random
+   buffers of --buffer-size elements; integer scalars default to the
+   NDRange size and can be pinned with --int-arg name=value. *)
+
+open Cmdliner
+module L = Flexcl_ir.Launch
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Space = Flexcl_dse.Space
+module Explore = Flexcl_dse.Explore
+module Heuristic = Flexcl_dse.Heuristic
+module Sysrun = Flexcl_simrtl.Sysrun
+module W = Flexcl_workloads.Workload
+module Table = Flexcl_util.Table
+open Flexcl_opencl
+
+let all_workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let device_arg =
+  let parse = function
+    | "virtex7" | "v7" -> Ok Device.virtex7
+    | "ku060" -> Ok Device.ku060
+    | s -> Error (`Msg (Printf.sprintf "unknown device %S (virtex7 | ku060)" s))
+  in
+  let print ppf (d : Device.t) = Format.pp_print_string ppf d.Device.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Device.virtex7
+    & info [ "device" ] ~docv:"NAME" ~doc:"Target FPGA: virtex7 or ku060.")
+
+let kernel_file =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "kernel"; "k" ] ~docv:"FILE" ~doc:"OpenCL kernel source file.")
+
+let workload_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload"; "w" ] ~docv:"NAME"
+        ~doc:"Built-in workload, e.g. hotspot/hotspot (see 'flexcl workloads').")
+
+let global_size =
+  Arg.(value & opt int 4096 & info [ "global" ] ~docv:"N" ~doc:"NDRange size.")
+
+let wg_size =
+  Arg.(value & opt int 64 & info [ "wg" ] ~docv:"N" ~doc:"Work-group size.")
+
+let n_pe = Arg.(value & opt int 1 & info [ "pe" ] ~docv:"N" ~doc:"PEs per CU.")
+let n_cu = Arg.(value & opt int 1 & info [ "cu" ] ~docv:"N" ~doc:"Compute units.")
+
+let pipeline =
+  Arg.(value & flag & info [ "pipeline" ] ~doc:"Enable work-item pipelining.")
+
+let comm_mode =
+  let parse = function
+    | "barrier" -> Ok Config.Barrier_mode
+    | "pipeline" -> Ok Config.Pipeline_mode
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf = function
+    | Config.Barrier_mode -> Format.pp_print_string ppf "barrier"
+    | Config.Pipeline_mode -> Format.pp_print_string ppf "pipeline"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.Pipeline_mode
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Communication mode: barrier or pipeline.")
+
+let buffer_size =
+  Arg.(
+    value & opt int 4096
+    & info [ "buffer-size" ] ~docv:"N" ~doc:"Elements per buffer argument.")
+
+let int_args =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "int-arg" ] ~docv:"NAME=V" ~doc:"Pin an integer scalar argument.")
+
+let float_args =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string float) []
+    & info [ "float-arg" ] ~docv:"NAME=V" ~doc:"Pin a float scalar argument.")
+
+(* ------------------------------------------------------------------ *)
+(* Kernel / launch resolution *)
+
+let launch_for_file kernel ~global ~wg ~buffer_size ~ints ~floats =
+  let args =
+    List.mapi
+      (fun i (p : Ast.param) ->
+        let name = p.Ast.p_name in
+        match p.Ast.p_type with
+        | Types.Ptr _ ->
+            (name, L.Buffer { length = buffer_size; init = L.Random_floats (i + 1) })
+        | Types.Scalar s when Types.is_float s ->
+            let v = Option.value (List.assoc_opt name floats) ~default:1.0 in
+            (name, L.Scalar (L.Float v))
+        | _ ->
+            let v =
+              Option.value (List.assoc_opt name ints) ~default:buffer_size
+            in
+            (name, L.Scalar (L.Int (Int64.of_int v))))
+      kernel.Ast.k_params
+  in
+  L.make ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
+
+let resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats =
+  match (file, workload) with
+  | Some _, Some _ -> Error "--kernel and --workload are mutually exclusive"
+  | None, None -> Error "one of --kernel FILE or --workload NAME is required"
+  | Some f, None -> (
+      let src =
+        let ic = open_in f in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Parser.parse_kernel src with
+      | k -> Ok (f, k, launch_for_file k ~global ~wg ~buffer_size ~ints ~floats)
+      | exception Parser.Error (msg, line, col) ->
+          Error (Printf.sprintf "%s:%d:%d: %s" f line col msg)
+      | exception Lexer.Error (msg, line, col) ->
+          Error (Printf.sprintf "%s:%d:%d: %s" f line col msg))
+  | None, Some name -> (
+      match List.find_opt (fun w -> W.name w = name) all_workloads with
+      | Some w -> Ok (name, W.parse w, w.W.launch)
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %S (try 'flexcl workloads')" name))
+
+let with_kernel file workload global wg buffer_size ints floats f =
+  match
+    resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats
+  with
+  | Error msg ->
+      prerr_endline ("flexcl: " ^ msg);
+      1
+  | Ok (name, kernel, launch) -> (
+      match Analysis.analyze kernel launch with
+      | a -> f name a
+      | exception Sema.Error msg ->
+          Printf.eprintf "flexcl: %s: semantic error: %s\n" name msg;
+          1
+      | exception Flexcl_interp.Interp.Runtime_error msg ->
+          Printf.eprintf "flexcl: %s: profiling failed: %s\n" name msg;
+          1)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let print_breakdown dev name cfg (b : Model.breakdown) =
+  Printf.printf "kernel        : %s on %s\n" name dev.Device.name;
+  Printf.printf "design point  : %s\n" (Config.to_string cfg);
+  Printf.printf "II work-item  : %d (RecMII %d, ResMII %d)\n" b.Model.ii_wi
+    b.Model.rec_mii b.Model.res_mii;
+  Printf.printf "depth         : %d cycles\n" b.Model.depth_pe;
+  Printf.printf "L_PE          : %.0f cycles\n" b.Model.l_pe;
+  Printf.printf "L_CU          : %.0f cycles (N_PE eff %d)\n" b.Model.l_cu
+    b.Model.n_pe_eff;
+  Printf.printf "L_comp kernel : %.0f cycles (N_CU eff %d)\n" b.Model.l_comp_kernel
+    b.Model.n_cu_eff;
+  Printf.printf "L_mem / WI    : %.2f cycles\n" b.Model.l_mem_wi;
+  List.iter
+    (fun (p, c) ->
+      if c > 0.004 then
+        Printf.printf "  %-10s %.3f txns/WI\n" (Flexcl_dram.Dram.pattern_name p) c)
+    b.Model.pattern_counts;
+  Printf.printf "DSP footprint : %d per PE\n" b.Model.dsp_footprint;
+  Printf.printf "TOTAL         : %.0f cycles = %.2f us\n" b.Model.cycles
+    (b.Model.seconds *. 1e6);
+  Printf.printf "bottleneck    : %s\n" (Model.bottleneck b)
+
+let analyze_cmd =
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats =
+    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+        let cfg =
+          { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
+            wi_pipeline = pipe; comm_mode = mode }
+        in
+        if not (Model.feasible dev a cfg) then begin
+          Printf.eprintf "flexcl: design point %s exceeds %s resources\n"
+            (Config.to_string cfg) dev.Device.name;
+          1
+        end
+        else begin
+          print_breakdown dev name cfg (Model.estimate dev a cfg);
+          0
+        end)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Estimate a kernel's performance analytically.")
+    Term.(
+      const run $ device_arg $ kernel_file $ workload_name $ global_size
+      $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
+      $ float_args)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats =
+    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+        let cfg =
+          { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
+            wi_pipeline = pipe; comm_mode = mode }
+        in
+        let b = Model.estimate dev a cfg in
+        let s = Sysrun.run dev a cfg in
+        Printf.printf "kernel    : %s on %s (%s)\n" name dev.Device.name
+          (Config.to_string cfg);
+        Printf.printf "model     : %.0f cycles\n" b.Model.cycles;
+        Printf.printf "simulator : %.0f cycles (%d DRAM transactions)\n"
+          s.Sysrun.cycles s.Sysrun.mem_transactions;
+        Printf.printf "error     : %.1f%%\n"
+          (100.0 *. Float.abs (b.Model.cycles -. s.Sysrun.cycles) /. s.Sysrun.cycles);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the cycle-level System-Run simulator and compare to the model.")
+    Term.(
+      const run $ device_arg $ kernel_file $ workload_name $ global_size
+      $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
+      $ float_args)
+
+(* ------------------------------------------------------------------ *)
+(* explore *)
+
+let explore_cmd =
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N best points.")
+  in
+  let run dev file workload global wg buffer_size ints floats top =
+    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+        let space =
+          Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)
+        in
+        let ranked = Explore.exhaustive dev a space (Explore.model_oracle dev) in
+        Printf.printf "%s: %d feasible design points\n\n" name (List.length ranked);
+        let t = Table.create ~headers:[ "rank"; "configuration"; "cycles"; "us" ] in
+        List.iteri
+          (fun i (e : Explore.evaluated) ->
+            if i < top then
+              Table.add_row t
+                [
+                  string_of_int (i + 1);
+                  Config.to_string e.Explore.config;
+                  Printf.sprintf "%.0f" e.Explore.cycles;
+                  Printf.sprintf "%.2f"
+                    (Device.cycles_to_seconds dev e.Explore.cycles *. 1e6);
+                ])
+          ranked;
+        print_string (Table.render t);
+        let greedy = Heuristic.search dev a space (Explore.model_oracle dev) in
+        Printf.printf "\ngreedy heuristic [16] would pick %s (%.0f cycles)\n"
+          (Config.to_string greedy.Explore.config) greedy.Explore.cycles;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Exhaustively explore the optimization design space.")
+    Term.(
+      const run $ device_arg $ kernel_file $ workload_name $ global_size
+      $ wg_size $ buffer_size $ int_args $ float_args $ top)
+
+(* ------------------------------------------------------------------ *)
+(* workloads *)
+
+let workloads_cmd =
+  let suite =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"NAME" ~doc:"Filter: rodinia or polybench.")
+  in
+  let run suite =
+    let t = Table.create ~headers:[ "name"; "suite"; "work-items"; "wg" ] in
+    List.iter
+      (fun w ->
+        if suite = None || suite = Some w.W.suite then
+          Table.add_row t
+            [
+              W.name w;
+              w.W.suite;
+              string_of_int (L.n_work_items w.W.launch);
+              string_of_int (L.wg_size w.W.launch);
+            ])
+      all_workloads;
+    print_string (Table.render t);
+    0
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the built-in Rodinia/PolyBench kernels.")
+    Term.(const run $ suite)
+
+let () =
+  let info =
+    Cmd.info "flexcl" ~version:"1.0.0"
+      ~doc:"Analytical performance model for OpenCL workloads on FPGAs."
+  in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd ]))

@@ -1,0 +1,1 @@
+examples/bottleneck_report.ml: Flexcl_core Flexcl_device Flexcl_ir Flexcl_util Flexcl_workloads List Printf

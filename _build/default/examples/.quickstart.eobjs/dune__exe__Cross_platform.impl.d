@@ -1,0 +1,1 @@
+examples/cross_platform.ml: Flexcl_core Flexcl_device Flexcl_util Flexcl_workloads List Printf

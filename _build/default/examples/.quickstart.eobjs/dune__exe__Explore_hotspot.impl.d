@@ -1,0 +1,1 @@
+examples/explore_hotspot.ml: Flexcl_core Flexcl_device Flexcl_dse Flexcl_ir Flexcl_simrtl Flexcl_util Flexcl_workloads List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flexcl_core Flexcl_device Flexcl_ir Flexcl_simrtl Float Printf

@@ -1,0 +1,54 @@
+(* Cross-platform comparison: the same kernels and design points on the
+   Virtex-7 board and on the Kintex UltraScale KU060.
+
+     dune exec examples/cross_platform.exe
+
+   FlexCL's platform descriptions make "what would this design do on the
+   other board?" a seconds-scale question (the paper's robustness study,
+   plus the heterogeneous-comparison use-case from the introduction). *)
+
+module W = Flexcl_workloads.Workload
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Table = Flexcl_util.Table
+
+let () =
+  let kernels =
+    [ "hotspot/hotspot"; "pathfinder/dynproc"; "srad/srad"; "gemm/gemm" ]
+  in
+  let cfg =
+    { Config.wg_size = 64; n_pe = 2; n_cu = 2; wi_pipeline = true;
+      comm_mode = Config.Pipeline_mode }
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "kernel"; "Virtex-7 (us)"; "KU060 (us)"; "KU060 speedup"; "why" ]
+  in
+  List.iter
+    (fun name ->
+      let w =
+        List.find
+          (fun w -> W.name w = name)
+          (Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all)
+      in
+      let a = Analysis.analyze (W.parse w) w.W.launch in
+      let b7 = Model.estimate Device.virtex7 a cfg in
+      let bk = Model.estimate Device.ku060 a cfg in
+      let why =
+        if bk.Model.depth_pe < b7.Model.depth_pe then "shallower FP pipelines"
+        else if bk.Model.l_mem_wi < b7.Model.l_mem_wi then "faster DRAM column access"
+        else "comparable"
+      in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.2f" (b7.Model.seconds *. 1e6);
+          Printf.sprintf "%.2f" (bk.Model.seconds *. 1e6);
+          Printf.sprintf "%.2fx" (b7.Model.cycles /. bk.Model.cycles);
+          why;
+        ])
+    kernels;
+  print_string (Table.render t)

@@ -1,0 +1,66 @@
+(* Design-space exploration of the Rodinia hotspot stencil.
+
+     dune exec examples/explore_hotspot.exe
+
+   Explores work-group size x pipelining x PE x CU x communication mode
+   with the analytical model (seconds), shows the Pareto head of the
+   space, compares against the greedy one-knob-at-a-time heuristic of
+   the HPCA'16 framework, and validates the winner on the cycle-level
+   simulator. *)
+
+module W = Flexcl_workloads.Workload
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Space = Flexcl_dse.Space
+module Explore = Flexcl_dse.Explore
+module Heuristic = Flexcl_dse.Heuristic
+module Sysrun = Flexcl_simrtl.Sysrun
+module Launch = Flexcl_ir.Launch
+module Table = Flexcl_util.Table
+
+let dev = Device.virtex7
+
+let () =
+  let w =
+    List.find (fun w -> W.name w = "hotspot/hotspot") Flexcl_workloads.Rodinia.all
+  in
+  let analysis = Analysis.analyze (W.parse w) w.W.launch in
+  let space = Space.default ~total_work_items:(Launch.n_work_items w.W.launch) in
+  Printf.printf "exploring %d feasible design points of %s with FlexCL...\n\n"
+    (List.length (Space.feasible_points dev analysis space))
+    (W.name w);
+  let t0 = Unix.gettimeofday () in
+  let ranked = Explore.exhaustive dev analysis space (Explore.model_oracle dev) in
+  let dt = Unix.gettimeofday () -. t0 in
+
+  let t = Table.create ~headers:[ "rank"; "configuration"; "estimated cycles" ] in
+  List.iteri
+    (fun i (e : Explore.evaluated) ->
+      if i < 8 then
+        Table.add_row t
+          [ string_of_int (i + 1); Config.to_string e.Explore.config;
+            Printf.sprintf "%.0f" e.Explore.cycles ])
+    ranked;
+  print_string (Table.render t);
+  Printf.printf "\nexploration took %.2f s (the RTL flow would need days)\n\n" dt;
+
+  let best = List.hd ranked in
+  let greedy = Heuristic.search dev analysis space (Explore.model_oracle dev) in
+  Printf.printf "FlexCL exhaustive pick : %s (%.0f cycles)\n"
+    (Config.to_string best.Explore.config) best.Explore.cycles;
+  Printf.printf "greedy heuristic pick  : %s (%.0f cycles, %.1fx worse)\n"
+    (Config.to_string greedy.Explore.config) greedy.Explore.cycles
+    (greedy.Explore.cycles /. best.Explore.cycles);
+
+  (* check the winner against ground truth and the unoptimized baseline *)
+  let truth c =
+    (Sysrun.run dev (Explore.analysis_for analysis c.Config.wg_size) c)
+      .Sysrun.cycles
+  in
+  let t_best = truth best.Explore.config in
+  let t_default = truth Config.default in
+  Printf.printf "\nsimulator check        : picked design %.0f cycles,\n" t_best;
+  Printf.printf "unoptimized baseline   : %.0f cycles -> %.0fx speedup\n" t_default
+    (t_default /. t_best)

@@ -1,0 +1,72 @@
+(* Quickstart: estimate the performance of an OpenCL kernel on an FPGA.
+
+     dune exec examples/quickstart.exe
+
+   Takes a SAXPY-like kernel from source to a cycle estimate in four
+   steps: describe the launch, analyze the kernel (static + dynamic
+   profiling), pick a design point, and ask the model. *)
+
+module L = Flexcl_ir.Launch
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+
+let kernel_source =
+  {|
+__kernel void saxpy(__global const float* x, __global float* y,
+                    float alpha, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    y[gid] = alpha * x[gid] + y[gid];
+  }
+}
+|}
+
+let () =
+  (* 1. the launch: a 4096-item NDRange in work-groups of 64, with
+        deterministic buffer contents for the profiling run *)
+  let launch =
+    L.make ~global:(L.dim3 4096) ~local:(L.dim3 64)
+      ~args:
+        [
+          ("x", L.Buffer { length = 4096; init = L.Random_floats 1 });
+          ("y", L.Buffer { length = 4096; init = L.Random_floats 2 });
+          ("alpha", L.Scalar (L.Float 2.0));
+          ("n", L.Scalar (L.Int 4096L));
+        ]
+  in
+
+  (* 2. kernel analysis: parse, type-check, lower to the CDFG and profile
+        a couple of work-groups (trip counts + memory trace) *)
+  let analysis = Analysis.of_source kernel_source launch in
+
+  (* 3. a design point: 4 PEs per CU, 2 CUs, work-item pipelining,
+        pipelined global-memory communication *)
+  let config =
+    { Config.wg_size = 64; n_pe = 4; n_cu = 2; wi_pipeline = true;
+      comm_mode = Config.Pipeline_mode }
+  in
+
+  (* 4. the estimate *)
+  let b = Model.estimate Device.virtex7 analysis config in
+  Printf.printf "kernel            : saxpy on %s @ %d MHz\n"
+    Device.virtex7.Device.name Device.virtex7.Device.clock_mhz;
+  Printf.printf "design point      : %s\n" (Config.to_string config);
+  Printf.printf "II (work-item)    : %d cycles  (RecMII %d, ResMII %d)\n"
+    b.Model.ii_wi b.Model.rec_mii b.Model.res_mii;
+  Printf.printf "pipeline depth    : %d cycles\n" b.Model.depth_pe;
+  Printf.printf "memory / work-item: %.2f cycles\n" b.Model.l_mem_wi;
+  Printf.printf "effective PE / CU : %d PEs, %d CUs\n" b.Model.n_pe_eff
+    b.Model.n_cu_eff;
+  Printf.printf "estimated total   : %.0f cycles = %.2f us\n" b.Model.cycles
+    (b.Model.seconds *. 1e6);
+  Printf.printf "bottleneck        : %s\n" (Model.bottleneck b);
+
+  (* the ground-truth simulator agrees within the usual model error *)
+  let s = Flexcl_simrtl.Sysrun.run Device.virtex7 analysis config in
+  Printf.printf "simulator (truth) : %.0f cycles (model error %.1f%%)\n"
+    s.Flexcl_simrtl.Sysrun.cycles
+    (100.0
+    *. Float.abs (b.Model.cycles -. s.Flexcl_simrtl.Sysrun.cycles)
+    /. s.Flexcl_simrtl.Sysrun.cycles)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Ast Cdfg Depend Flexcl_dram Flexcl_interp Flexcl_ir Flexcl_opencl Launch List Lower Parser Printf Sema Types

@@ -1,0 +1,1 @@
+lib/core/model.ml: Analysis Array Ast Cdfg Config Depend Dfg Flexcl_device Flexcl_dram Flexcl_interp Flexcl_ir Flexcl_opencl Flexcl_sched Flexcl_util Float Hashtbl Launch List Opcode Option

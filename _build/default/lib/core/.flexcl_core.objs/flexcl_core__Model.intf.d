@@ -1,0 +1,1 @@
+lib/core/model.mli: Analysis Config Flexcl_device Flexcl_dram Flexcl_ir

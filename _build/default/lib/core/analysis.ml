@@ -1,0 +1,89 @@
+open Flexcl_opencl
+open Flexcl_ir
+module Interp = Flexcl_interp.Interp
+module Dram = Flexcl_dram.Dram
+
+type t = {
+  kernel : Ast.kernel;
+  sema : Sema.info;
+  launch : Launch.t;
+  cdfg : Cdfg.t;
+  profile : Interp.profile;
+  wi_recurrences : Depend.recurrence list;
+  loop_recurrences : (int * Depend.recurrence list) list;
+  layout : Dram.layout;
+}
+
+let buffer_layout (kernel : Ast.kernel) (launch : Launch.t) =
+  let sized =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        match Launch.find_arg launch p.Ast.p_name with
+        | Some (Launch.Buffer { length; _ }) ->
+            let bits =
+              match Types.elem p.Ast.p_type with
+              | Types.Scalar s -> Types.scalar_bits s
+              | _ -> 32
+            in
+            Some (p.Ast.p_name, length * (bits / 8))
+        | Some (Launch.Scalar _) | None -> None)
+      kernel.Ast.k_params
+  in
+  Dram.layout sized
+
+let analyze ?(max_work_groups = 3) (kernel : Ast.kernel) (launch : Launch.t) =
+  let sema = Sema.analyze kernel in
+  let cdfg = Lower.lower kernel sema launch in
+  let profile = Interp.run ~max_work_groups kernel sema launch in
+  {
+    kernel;
+    sema;
+    launch;
+    cdfg;
+    profile;
+    wi_recurrences = Depend.work_item_recurrences cdfg launch;
+    loop_recurrences = Depend.loop_recurrences cdfg launch;
+    layout = buffer_layout kernel launch;
+  }
+
+let of_source ?max_work_groups src launch =
+  analyze ?max_work_groups (Parser.parse_kernel src) launch
+
+let trip t (info : Cdfg.loop_info) =
+  match info.Cdfg.static_trip with
+  | Some n -> float_of_int n
+  | None -> Interp.trip_of t.profile info.Cdfg.loop_id
+
+let divisors n =
+  List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+let with_wg_size t wg_size =
+  let g = t.launch.Launch.global in
+  let candidates =
+    List.concat_map
+      (fun lx ->
+        if wg_size mod lx <> 0 then []
+        else
+          List.filter_map
+            (fun ly ->
+              let rest = wg_size / lx in
+              if rest mod ly <> 0 then None
+              else
+                let lz = rest / ly in
+                if g.Launch.z mod lz = 0 then Some (lx, ly, lz) else None)
+            (divisors (min g.Launch.y (wg_size / lx))))
+      (divisors (min g.Launch.x wg_size))
+  in
+  (* prefer wide-x shapes, matching how the paper's kernels are launched *)
+  match List.sort (fun (a, _, _) (b, _, _) -> compare b a) candidates with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Analysis.with_wg_size: %d does not tile the NDRange"
+           wg_size)
+  | (lx, ly, lz) :: _ ->
+      let launch =
+        Launch.make ~global:g
+          ~local:{ Launch.x = lx; y = ly; z = lz }
+          ~args:t.launch.Launch.args
+      in
+      analyze t.kernel launch

@@ -1,0 +1,36 @@
+open Flexcl_opencl
+open Flexcl_ir
+
+(** Kernel analysis (§3.2): parse → type-check → lower to the simplified
+    CDFG → dynamically profile a few work-groups. The result is shared by
+    the analytical model, the ground-truth simulator and the baseline
+    estimator, and is independent of the PE/CU/pipeline knobs (only the
+    work-group size changes it, through the launch). *)
+
+type t = {
+  kernel : Ast.kernel;
+  sema : Sema.info;
+  launch : Launch.t;
+  cdfg : Cdfg.t;
+  profile : Flexcl_interp.Interp.profile;
+  wi_recurrences : Depend.recurrence list;
+  loop_recurrences : (int * Depend.recurrence list) list;
+  layout : Flexcl_dram.Dram.layout;
+      (** global buffers placed in DRAM in declaration order. *)
+}
+
+val analyze : ?max_work_groups:int -> Ast.kernel -> Launch.t -> t
+(** Raises {!Sema.Error} on ill-typed kernels and
+    {!Flexcl_interp.Interp.Runtime_error} on faulting profiling runs. *)
+
+val of_source : ?max_work_groups:int -> string -> Launch.t -> t
+(** Parse a single-kernel source and analyze it. *)
+
+val trip : t -> Cdfg.loop_info -> float
+(** Trip count of a loop: static when known, otherwise the profiled
+    average; 0 when the loop never executes. *)
+
+val with_wg_size : t -> int -> t
+(** Re-analyze with a different work-group size (keeps total NDRange and
+    arguments). The new size must divide the total 1-D work-item count;
+    multi-dimensional launches redistribute the local size along x. *)

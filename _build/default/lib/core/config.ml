@@ -1,0 +1,19 @@
+type comm_mode = Barrier_mode | Pipeline_mode
+
+type t = {
+  wg_size : int;
+  n_pe : int;
+  n_cu : int;
+  wi_pipeline : bool;
+  comm_mode : comm_mode;
+}
+
+let default =
+  { wg_size = 64; n_pe = 1; n_cu = 1; wi_pipeline = false; comm_mode = Barrier_mode }
+
+let to_string t =
+  Printf.sprintf "wg%d pe%d cu%d %s %s" t.wg_size t.n_pe t.n_cu
+    (if t.wi_pipeline then "pipe" else "nopipe")
+    (match t.comm_mode with Barrier_mode -> "barrier" | Pipeline_mode -> "pipeline")
+
+let compare = Stdlib.compare

@@ -1,0 +1,22 @@
+(** A design point: the OpenCL-to-FPGA optimization knobs FlexCL sweeps
+    (§4.1 — work-group size, work-item pipelining, PE and CU parallelism,
+    and the data-communication mode). *)
+
+type comm_mode = Barrier_mode | Pipeline_mode
+
+type t = {
+  wg_size : int;       (** work-items per work-group ([N_wi^wg]). *)
+  n_pe : int;          (** PE replication per compute unit ([P]). *)
+  n_cu : int;          (** compute-unit replication ([C]). *)
+  wi_pipeline : bool;  (** work-item pipelining inside a PE. *)
+  comm_mode : comm_mode;
+}
+
+val default : t
+(** The unoptimized baseline: 1 PE, 1 CU, no pipelining, barrier mode,
+    work-group size 64. *)
+
+val to_string : t -> string
+(** Compact form, e.g. ["wg64 pe2 cu4 pipe pipeline"]. *)
+
+val compare : t -> t -> int

@@ -1,0 +1,655 @@
+open Flexcl_opencl
+open Flexcl_ir
+module Device = Flexcl_device.Device
+module Dram = Flexcl_dram.Dram
+module Graph = Flexcl_util.Graph
+module Listsched = Flexcl_sched.Listsched
+module Sms = Flexcl_sched.Sms
+module Interp = Flexcl_interp.Interp
+
+(* Ablation switches for the refinements of DESIGN.md §4b; the bench's
+   ablation experiment disables them one at a time. *)
+type options = {
+  cross_wi_coalescing : bool;
+  warm_classification : bool;
+  bus_roofline : bool;
+  multi_cu_dram_replay : bool;
+  vector_width : int;
+}
+
+let default_options =
+  {
+    cross_wi_coalescing = true;
+    warm_classification = true;
+    bus_roofline = true;
+    multi_cu_dram_replay = true;
+    vector_width = 1;
+  }
+
+type breakdown = {
+  ii_wi : int;
+  depth_pe : int;
+  rec_mii : int;
+  res_mii : int;
+  l_pe : float;
+  n_pe_eff : int;
+  l_cu : float;
+  n_cu_eff : int;
+  l_comp_kernel : float;
+  l_mem_wi : float;
+  pattern_counts : (Dram.pattern * float) list;
+  dsp_footprint : int;
+  cycles : float;
+  seconds : float;
+}
+
+let fceil x = Float.ceil x
+
+let iceil_div a b = if b <= 0 then a else (a + b - 1) / b
+
+(* ------------------------------------------------------------------ *)
+(* Pattern-latency tables are device-wide: cache per device name. *)
+
+let latency_tables : (string, (Dram.pattern * float) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let pattern_latencies (dev : Device.t) =
+  match Hashtbl.find_opt latency_tables dev.Device.name with
+  | Some t -> t
+  | None ->
+      let t = Dram.profile_latencies dev.Device.dram in
+      Hashtbl.replace latency_tables dev.Device.name t;
+      t
+
+(* ------------------------------------------------------------------ *)
+(* Computation model *)
+
+type comp_env = {
+  dev : Device.t;
+  analysis : Analysis.t;
+  cons : Listsched.constraints;
+  lat : Opcode.t -> int;
+  dsp : Opcode.t -> int;
+  block_lat_override : (Dfg.t -> int) option;
+      (** the simulator injects realized per-instance latencies here. *)
+}
+
+let block_latency env d =
+  match env.block_lat_override with
+  | Some f -> f d
+  | None ->
+      (Listsched.schedule_block d ~lat:env.lat ~dsp_cost:env.dsp ~cons:env.cons)
+        .Listsched.latency
+
+(* Dependence-ordered latency of a list of sibling regions: siblings with
+   disjoint read/write sets run as parallel circuits (§3.2). *)
+let seq_latency child_lat children =
+  let n = List.length children in
+  if n = 0 then 0.0
+  else begin
+    let arr = Array.of_list children in
+    let lats = Array.map child_lat arr in
+    let reads = Array.map Cdfg.region_reads arr in
+    let writes = Array.map Cdfg.region_writes arr in
+    let intersects a b = List.exists (fun x -> List.mem x b) a in
+    let g = Graph.create n in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let conflict =
+          intersects writes.(i) reads.(j)
+          || intersects writes.(i) writes.(j)
+          || intersects reads.(i) writes.(j)
+        in
+        if conflict then Graph.add_edge g i j
+      done
+    done;
+    (* longest path over float node weights *)
+    let order = match Graph.topo_sort g with Some o -> o | None -> assert false in
+    let dist = Array.copy lats in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun (v, _) ->
+            if dist.(u) +. lats.(v) > dist.(v) then dist.(v) <- dist.(u) +. lats.(v))
+          (Graph.succs g u))
+      order;
+    Array.fold_left Float.max 0.0 dist
+  end
+
+(* RecMII of the recurrences inside a block: block DFG + back edges. *)
+let block_rec_mii env (d : Dfg.t) (recs : Depend.recurrence list) =
+  match recs with
+  | [] -> 0
+  | _ ->
+      let src = Dfg.graph d in
+      let g = Graph.create (Graph.n_nodes src) in
+      for u = 0 to Graph.n_nodes src - 1 do
+        List.iter (fun (v, _) -> Graph.add_edge ~weight:0 g u v) (Graph.succs src u)
+      done;
+      List.iter
+        (fun (r : Depend.recurrence) ->
+          Graph.add_edge ~weight:r.Depend.distance g r.Depend.store r.Depend.load)
+        recs;
+      let cost u = env.lat (Dfg.node d u).Dfg.op in
+      (try Graph.max_cycle_ratio g ~cost with Invalid_argument _ -> 0)
+
+let recurrences_of_block recs d =
+  List.filter (fun (r : Depend.recurrence) -> r.Depend.block == d) recs
+
+(* Loop pipelining: II of the loop body. *)
+let loop_ii env (body : Cdfg.region) loop_recs =
+  let rec_part =
+    Cdfg.fold_blocks
+      (fun acc d -> max acc (block_rec_mii env d (recurrences_of_block loop_recs d)))
+      0 body
+  in
+  let reads =
+    Cdfg.count_ops body
+      (fun op -> op = Opcode.Load Opcode.Local_mem)
+      ~trip:(fun _ -> 1)
+  and writes =
+    Cdfg.count_ops body
+      (fun op -> op = Opcode.Store Opcode.Local_mem)
+      ~trip:(fun _ -> 1)
+  and dsps =
+    Cdfg.fold_blocks
+      (fun acc d ->
+        List.fold_left (fun a (n : Dfg.node) -> a + env.dsp n.Dfg.op) acc (Dfg.nodes d))
+      0 body
+  in
+  let cap total limit = if limit <= 0 then 1 else iceil_div total limit in
+  let res_part =
+    max
+      (cap (int_of_float reads) env.cons.Listsched.read_ports)
+      (max
+         (cap (int_of_float writes) env.cons.Listsched.write_ports)
+         (cap dsps env.cons.Listsched.dsp))
+  in
+  max 1 (max rec_part res_part)
+
+let rec region_latency env (r : Cdfg.region) : float =
+  match r with
+  | Cdfg.Straight d -> float_of_int (block_latency env d)
+  | Cdfg.Seq rs -> seq_latency (region_latency env) rs
+  | Cdfg.Branch { cond; then_; else_ } ->
+      float_of_int (block_latency env cond)
+      +. Float.max (region_latency env then_) (region_latency env else_)
+  | Cdfg.Loop { info; header; body } ->
+      let trip = Analysis.trip env.analysis info in
+      if trip <= 0.0 then 0.0
+      else
+        let header_lat = float_of_int (block_latency env header) in
+        let body_lat = region_latency env body in
+        let iter_lat = header_lat +. body_lat in
+        let loop_recs =
+          Option.value
+            (List.assoc_opt info.Cdfg.loop_id env.analysis.Analysis.loop_recurrences)
+            ~default:[]
+        in
+        if info.Cdfg.attrs.Ast.pipeline then
+          let ii = float_of_int (loop_ii env body loop_recs) in
+          (ii *. (trip -. 1.0)) +. iter_lat
+        else
+          let u =
+            match info.Cdfg.attrs.Ast.unroll with
+            | Some u -> float_of_int (min u (max 1 (int_of_float trip)))
+            | None -> 1.0
+          in
+          if u <= 1.0 then trip *. iter_lat
+          else
+            let eff_trip = fceil (trip /. u) in
+            let carried = loop_recs <> [] in
+            let unrolled_iter =
+              if carried then u *. iter_lat
+              else
+                (* independent copies share ports: extra copies cost their
+                   initiation slot, bounded below by the body's ResMII *)
+                let ii = float_of_int (loop_ii env body []) in
+                iter_lat +. ((u -. 1.0) *. ii)
+            in
+            eff_trip *. unrolled_iter
+
+(* ------------------------------------------------------------------ *)
+(* Work-item II (Eq. 2–4 + SMS refinement) *)
+
+let weighted_counts env =
+  Cdfg.weighted_op_counts
+    ~trip:(fun info -> int_of_float (fceil (Analysis.trip env.analysis info)))
+    env.analysis.Analysis.cdfg.Cdfg.body
+
+let count_of counts pred =
+  List.fold_left (fun acc (op, c) -> if pred op then acc +. c else acc) 0.0 counts
+
+let work_item_res_mii env counts =
+  let reads = count_of counts (fun op -> op = Opcode.Load Opcode.Local_mem) in
+  let writes = count_of counts (fun op -> op = Opcode.Store Opcode.Local_mem) in
+  let dsps =
+    List.fold_left
+      (fun acc (op, c) -> acc +. (c *. float_of_int (env.dsp op)))
+      0.0 counts
+  in
+  let cap total limit =
+    if limit <= 0 || total <= 0.0 then 1
+    else int_of_float (fceil (total /. float_of_int limit))
+  in
+  let mem =
+    max
+      (cap reads env.cons.Listsched.read_ports)
+      (cap writes env.cons.Listsched.write_ports)
+  in
+  (* Eq. 3: ResMII = max(ResMII_mem, ResMII_dsp) *)
+  max mem (cap dsps env.cons.Listsched.dsp)
+
+let work_item_rec_mii env =
+  Cdfg.fold_blocks
+    (fun acc d ->
+      max acc
+        (block_rec_mii env d
+           (recurrences_of_block env.analysis.Analysis.wi_recurrences d)))
+    0 env.analysis.Analysis.cdfg.Cdfg.body
+
+(* SMS refinement at block-macro granularity: every block is a node with
+   its list-scheduled latency and aggregate port/DSP usage; sequential
+   program order provides distance-0 edges. The modulo scheduler then
+   reports the smallest II with a conflict-free reservation table. *)
+let sms_refine env ~mii =
+  let blocks =
+    Cdfg.fold_blocks (fun acc d -> d :: acc) [] env.analysis.Analysis.cdfg.Cdfg.body
+    |> List.rev
+  in
+  match blocks with
+  | [] -> mii
+  | _ ->
+      let n = List.length blocks in
+      let arr = Array.of_list blocks in
+      let lat = Array.map (fun d -> block_latency env d) arr in
+      let usage =
+        Array.map
+          (fun d ->
+            {
+              Sms.reads = Dfg.count d (fun op -> op = Opcode.Load Opcode.Local_mem);
+              writes = Dfg.count d (fun op -> op = Opcode.Store Opcode.Local_mem);
+              dsps =
+                List.fold_left
+                  (fun a (nd : Dfg.node) -> a + env.dsp nd.Dfg.op)
+                  0 (Dfg.nodes d);
+            })
+          arr
+      in
+      let deps = List.init (n - 1) (fun i -> (i, i + 1, 0)) in
+      let limits =
+        {
+          Sms.read_ports = env.cons.Listsched.read_ports;
+          write_ports = env.cons.Listsched.write_ports;
+          dsp_slots = env.cons.Listsched.dsp;
+        }
+      in
+      let problem = { Sms.lat; usage; deps } in
+      (try
+         let r = Sms.schedule problem limits in
+         max mii r.Sms.ii
+       with Invalid_argument _ -> mii)
+
+(* ------------------------------------------------------------------ *)
+(* Memory model (Eq. 9) *)
+
+(* Per-work-item pattern counts after coalescing across the work-item
+   pipeline: each profiled work-group's traces are transposed site-major
+   and merged (§3.4's automatic coalescing of consecutive accesses), then
+   the per-bank pattern classification runs on the merged stream. *)
+let compute_chunk_streams ~options (analysis : Analysis.t) (dev : Device.t) =
+  let traces = analysis.Analysis.profile.Interp.wi_traces in
+  let n = Array.length traces in
+  let wg = max 1 (Launch.wg_size analysis.Analysis.launch) in
+  let streams = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min wg (n - !pos) in
+    let chunk = Array.sub traces !pos len in
+    let txns =
+      if options.cross_wi_coalescing then
+        Dram.coalesce_workgroup dev.Device.dram analysis.Analysis.layout chunk
+      else
+        (* ablation: per-work-item coalescing only *)
+        List.concat_map
+          (Dram.coalesce dev.Device.dram analysis.Analysis.layout)
+          (Array.to_list chunk)
+    in
+    streams := txns :: !streams;
+    pos := !pos + len
+  done;
+  List.rev !streams
+
+(* coalescing the profiled traces is pure per (analysis, device,
+   coalescing mode): cache it, since every estimate needs it *)
+let stream_cache :
+    (string * int * string * bool, Analysis.t * Dram.txn list list) Hashtbl.t =
+  Hashtbl.create 64
+
+let chunk_streams ?(options = default_options) (analysis : Analysis.t)
+    (dev : Device.t) =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.wg_size analysis.Analysis.launch,
+      dev.Device.name,
+      options.cross_wi_coalescing )
+  in
+  match Hashtbl.find_opt stream_cache key with
+  | Some (a, streams) when a == analysis -> streams
+  | _ ->
+      let streams = compute_chunk_streams ~options analysis dev in
+      Hashtbl.replace stream_cache key (analysis, streams);
+      streams
+
+let counts_cache :
+    ( string * int * string * bool * bool,
+      Analysis.t * (Dram.pattern * float) list )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let round_span_cache :
+    (string * int * string * bool * int, Analysis.t * float) Hashtbl.t =
+  Hashtbl.create 64
+
+let compute_mean_pattern_counts ~options (analysis : Analysis.t)
+    (dev : Device.t) =
+  let n = Array.length analysis.Analysis.profile.Interp.wi_traces in
+  if n = 0 then List.map (fun p -> (p, 0.0)) Dram.all_patterns
+  else begin
+    (* the bank state is continuous across the profiled groups, as on
+       the device *)
+    let all_txns = List.concat (chunk_streams ~options analysis dev) in
+    (* warm-up pass: measure the steady state, not the cold banks *)
+    let warmup = if options.warm_classification then all_txns else [] in
+    List.map
+      (fun (p, c) -> (p, float_of_int c /. float_of_int n))
+      (Dram.pattern_counts ~warmup dev.Device.dram all_txns)
+  end
+
+let mean_pattern_counts ?(options = default_options) (analysis : Analysis.t)
+    (dev : Device.t) =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.wg_size analysis.Analysis.launch,
+      dev.Device.name,
+      options.cross_wi_coalescing,
+      options.warm_classification )
+  in
+  match Hashtbl.find_opt counts_cache key with
+  | Some (a, counts) when a == analysis -> counts
+  | _ ->
+      let counts = compute_mean_pattern_counts ~options analysis dev in
+      Hashtbl.replace counts_cache key (analysis, counts);
+      counts
+
+(* Memory span of one round of [k] concurrent work-groups in barrier
+   mode: each profiled stream chains its transactions (one outstanding),
+   the [k] streams contend for banks and the shared bus in the
+   calibrated DRAM timing model (the micro-benchmark-derived state
+   machine of the pattern table). A warm-up round brings the banks to
+   steady state. This is a static computation over the profiled chunk
+   streams — a few hundred transactions. *)
+let compute_round_mem_span ~options (analysis : Analysis.t) (dev : Device.t)
+    ~k ~lanes =
+  let streams = chunk_streams ~options analysis dev in
+  let k = max 1 (min k (List.length streams)) in
+  let lanes = max 1 lanes in
+  let arrs =
+    List.filteri (fun i _ -> i < k) streams |> List.map Array.of_list
+  in
+  let sim = Dram.Sim.create dev.Device.dram in
+  let drain start =
+    let cursors =
+      List.map (fun a -> (a, ref 0, Array.make lanes start)) arrs
+    in
+    let next_time (_, i, ln) = ln.(!i mod lanes) in
+    let last = ref start in
+    let rec go () =
+      let live =
+        List.filter (fun (a, i, _) -> !i < Array.length a) cursors
+      in
+      match live with
+      | [] -> ()
+      | first :: rest ->
+          let (a, i, ln) =
+            List.fold_left
+              (fun best cand ->
+                if next_time cand < next_time best then cand else best)
+              first rest
+          in
+          let lane = !i mod lanes in
+          let fin = Dram.Sim.access sim ~now:ln.(lane) a.(!i) in
+          ln.(lane) <- fin;
+          if fin > !last then last := fin;
+          incr i;
+          go ()
+    in
+    go ();
+    !last
+  in
+  let warm_end = drain 0 in
+  let measured_end = drain warm_end in
+  float_of_int (max 0 (measured_end - warm_end))
+
+let round_mem_span ?(options = default_options) (analysis : Analysis.t)
+    (dev : Device.t) ~k ~lanes =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.wg_size analysis.Analysis.launch,
+      dev.Device.name,
+      options.cross_wi_coalescing,
+      (k * 64) + lanes )
+  in
+  match Hashtbl.find_opt round_span_cache key with
+  | Some (a, span) when a == analysis -> span
+  | _ ->
+      let span = compute_round_mem_span ~options analysis dev ~k ~lanes in
+      Hashtbl.replace round_span_cache key (analysis, span);
+      span
+
+let mem_latency_wi (dev : Device.t) pattern_counts =
+  let table = pattern_latencies dev in
+  List.fold_left
+    (fun acc (p, c) -> acc +. (c *. List.assoc p table))
+    0.0 pattern_counts
+
+(* ------------------------------------------------------------------ *)
+(* DSP / BRAM footprints *)
+
+let dsp_footprint_of env =
+  Cdfg.fold_blocks
+    (fun acc d ->
+      List.fold_left (fun a (n : Dfg.node) -> a + env.dsp n.Dfg.op) acc (Dfg.nodes d))
+    0 env.analysis.Analysis.cdfg.Cdfg.body
+
+let local_bytes (analysis : Analysis.t) =
+  List.fold_left
+    (fun acc (_, ty) ->
+      match ty with
+      | Flexcl_opencl.Types.Array _ -> acc + (Flexcl_opencl.Types.bits ty / 8)
+      | _ -> acc)
+    0 analysis.Analysis.sema.Flexcl_opencl.Sema.local_arrays
+
+(* ------------------------------------------------------------------ *)
+
+let make_env ?block_lat (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
+  let dsp_share =
+    max 8 (dev.Device.dsp_total / max 1 (cfg.Config.n_pe * cfg.Config.n_cu))
+  in
+  {
+    dev;
+    analysis;
+    cons =
+      {
+        Listsched.read_ports = Device.local_read_ports dev;
+        write_ports = Device.local_write_ports dev;
+        dsp = dsp_share;
+      };
+    lat = Device.op_latency dev;
+    dsp = Device.dsp_cost dev;
+    block_lat_override = block_lat;
+  }
+
+let region_latency_with ?block_lat dev analysis cfg region =
+  region_latency (make_env ?block_lat dev analysis cfg) region
+
+let work_item_mii_parts dev analysis cfg =
+  let env = make_env dev analysis cfg in
+  let counts = weighted_counts env in
+  (work_item_rec_mii env, work_item_res_mii env counts)
+
+let estimate ?(options = default_options) (dev : Device.t)
+    (analysis : Analysis.t) (cfg : Config.t) =
+  let analysis =
+    if Launch.wg_size analysis.Analysis.launch = cfg.Config.wg_size then analysis
+    else Analysis.with_wg_size analysis cfg.Config.wg_size
+  in
+  let cfg =
+    if options.vector_width > 1 then
+      { cfg with Config.n_pe = cfg.Config.n_pe * options.vector_width }
+    else cfg
+  in
+  let env = make_env dev analysis cfg in
+  let counts = weighted_counts env in
+  let depth_pe =
+    int_of_float (fceil (region_latency env analysis.Analysis.cdfg.Cdfg.body))
+  in
+  let rec_mii = work_item_rec_mii env in
+  let res_mii = work_item_res_mii env counts in
+  let mii = max 1 (max rec_mii res_mii) in
+  let ii_wi = if cfg.Config.wi_pipeline then sms_refine env ~mii else max 1 depth_pe in
+  let wg = cfg.Config.wg_size in
+  let l_pe = (float_of_int ii_wi *. float_of_int (wg - 1)) +. float_of_int depth_pe in
+  (* Eq. 6: effective PE parallelism under shared ports and DSPs *)
+  let reads = count_of counts (fun op -> op = Opcode.Load Opcode.Local_mem) in
+  let writes = count_of counts (fun op -> op = Opcode.Store Opcode.Local_mem) in
+  let dsp_fp = dsp_footprint_of env in
+  let cap demand supply =
+    if demand <= 0.0 then max_int
+    else max 1 (int_of_float (float_of_int supply *. float_of_int ii_wi /. demand))
+  in
+  let n_pe_eff =
+    min cfg.Config.n_pe
+      (min
+         (cap reads (Device.local_read_ports dev))
+         (min
+            (cap writes (Device.local_write_ports dev))
+            (if dsp_fp = 0 then max_int
+             else
+               max 1
+                 (dev.Device.dsp_total / max 1 cfg.Config.n_cu / max 1 dsp_fp))))
+  in
+  let l_cu =
+    (float_of_int ii_wi *. float_of_int (iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff))
+    +. float_of_int depth_pe
+  in
+  let dl = float_of_int dev.Device.wg_dispatch_overhead in
+  let n_cu_eff =
+    min cfg.Config.n_cu (max 1 (int_of_float (fceil (l_cu /. dl))))
+  in
+  let n_wi_kernel = Launch.n_work_items analysis.Analysis.launch in
+  let n_wg = iceil_div n_wi_kernel wg in
+  (* Eq. 7, with the dispatch-rate floor: when a work-group finishes
+     faster than the scheduler can hand out the next one, ΔL bounds the
+     round time. *)
+  let l_comp_kernel =
+    (Float.max l_cu dl *. fceil (float_of_int n_wg /. float_of_int n_cu_eff))
+    +. (float_of_int cfg.Config.n_cu *. dl)
+  in
+  let pattern_counts = mean_pattern_counts ~options analysis dev in
+  let l_mem_wi = mem_latency_wi dev pattern_counts in
+  let txns_per_wi =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
+  in
+  (* aggregate DRAM bandwidth floor: the shared data bus serves one
+     coalesced transaction per t_bus regardless of how many CUs issue
+     them, so CU replication cannot push a memory stream past it *)
+  let bus_total =
+    txns_per_wi *. float_of_int n_wi_kernel
+    *. float_of_int dev.Device.dram.Dram.t_bus
+  in
+  let rounds = fceil (float_of_int n_wg /. float_of_int n_cu_eff) in
+  let cycles =
+    match cfg.Config.comm_mode with
+    | Config.Barrier_mode ->
+        (* Eq. 10, refined for CU replication: each work-group's memory
+           phase is a latency-chained stream. Streams of the [n_cu_eff]
+           concurrent work-groups overlap through bank parallelism when
+           their bank footprints are disjoint; correlated footprints
+           serialize, but ride each other's open rows (captured by
+           classifying the interleaved stream). Bounded below by the
+           shared-bus floor. *)
+        let mem_total =
+          if n_cu_eff <= 1 || not options.multi_cu_dram_replay then
+            l_mem_wi *. float_of_int n_wi_kernel
+            /. (if options.multi_cu_dram_replay then 1.0
+                else float_of_int n_cu_eff)
+          else round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:1 *. rounds
+        in
+        (if options.bus_roofline then Float.max mem_total bus_total
+         else mem_total)
+        +. l_comp_kernel
+    | Config.Pipeline_mode ->
+        (* Eq. 11–12, with the multi-CU DRAM reality: the round takes as
+           long as the slower of the compute pipeline (Eq. 11's term) and
+           the concurrent memory streams draining through the calibrated
+           DRAM state machine (PE lanes overlap within a work-group, CUs
+           contend across). *)
+        let ii = Float.max l_mem_wi (float_of_int ii_wi) in
+        let eq11_round =
+          Float.max
+            ((ii *. float_of_int (iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff))
+            +. float_of_int depth_pe)
+            dl
+        in
+        let round =
+          if options.multi_cu_dram_replay && n_cu_eff > 1 then
+            Float.max eq11_round
+              (round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:n_pe_eff
+              +. float_of_int depth_pe)
+          else eq11_round
+        in
+        let eq11 = round *. rounds in
+        let bus_bound = bus_total +. (rounds *. (float_of_int depth_pe +. dl)) in
+        if options.bus_roofline then Float.max eq11 bus_bound else eq11
+  in
+  {
+    ii_wi;
+    depth_pe;
+    rec_mii;
+    res_mii;
+    l_pe;
+    n_pe_eff;
+    l_cu;
+    n_cu_eff;
+    l_comp_kernel;
+    l_mem_wi;
+    pattern_counts;
+    dsp_footprint = dsp_fp;
+    cycles;
+    seconds = Device.cycles_to_seconds dev cycles;
+  }
+
+let cycles dev analysis cfg = (estimate dev analysis cfg).cycles
+
+let feasible (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
+  let env = make_env dev analysis cfg in
+  let dsp_fp = dsp_footprint_of env in
+  let bram_bytes = dev.Device.bram_blocks * 36 * 1024 / 8 in
+  cfg.Config.n_cu >= 1
+  && cfg.Config.n_cu <= dev.Device.max_cu
+  && cfg.Config.n_pe >= 1
+  && cfg.Config.n_pe <= cfg.Config.wg_size
+  && dsp_fp * cfg.Config.n_pe * cfg.Config.n_cu <= dev.Device.dsp_total
+  && local_bytes analysis * cfg.Config.n_cu <= bram_bytes
+
+let bottleneck (b : breakdown) =
+  if b.l_mem_wi > float_of_int b.ii_wi && b.l_mem_wi > 2.0 then "global memory"
+  else if b.rec_mii >= b.res_mii && b.rec_mii > 1 then "recurrence"
+  else if b.res_mii > 1 then
+    if b.n_pe_eff = 1 && b.dsp_footprint > 0 then "DSP" else "local-memory ports"
+  else if
+    (* dispatch slower than the work-group itself *)
+    b.l_cu < float_of_int b.ii_wi *. 2.0 || b.l_cu <= 2.0 *. 24.0
+  then "scheduling overhead"
+  else "compute depth"

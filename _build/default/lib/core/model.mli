@@ -1,0 +1,103 @@
+(** The FlexCL analytical performance model (paper §3).
+
+    [estimate] composes, for one design point:
+    {ul
+    {- the PE model — per-block resource-aware list scheduling, work-item
+       initiation interval [II_comp^wi = max(RecMII, ResMII)] refined by
+       modulo scheduling, pipeline depth [D_comp^PE] (Eq. 1–4);}
+    {- the CU model — effective PE parallelism under shared local-memory
+       ports and DSPs (Eq. 5–6);}
+    {- the kernel model — effective CU parallelism under the work-group
+       scheduling overhead (Eq. 7–8);}
+    {- the global-memory model — profiled per-work-item pattern counts ×
+       micro-benchmarked pattern latencies (Eq. 9);}
+    {- barrier- or pipeline-mode integration (Eq. 10–12).}} *)
+
+module Device = Flexcl_device.Device
+module Dram = Flexcl_dram.Dram
+
+(** Ablation switches for the refinements documented in DESIGN.md §4b.
+    All on by default; the bench's ablation experiment turns them off one
+    at a time to quantify each one's contribution to accuracy. *)
+type options = {
+  cross_wi_coalescing : bool;
+      (** coalesce across the work-item pipeline (off: per-work-item
+          runs only). *)
+  warm_classification : bool;
+      (** measure the steady state of the row buffers (off: cold
+          banks). *)
+  bus_roofline : bool;
+      (** floor estimates by the shared-bus bandwidth (off: Eq. 10/11
+          literal). *)
+  multi_cu_dram_replay : bool;
+      (** derive multi-CU barrier memory from the calibrated DRAM state
+          machine (off: divide serialized memory by [N_CU]). *)
+  vector_width : int;
+      (** kernel vectorization via OpenCL vector types, modeled as PE
+          parallelism per the paper's footnote 1: one [intN]-wide PE
+          behaves as [N] scalar PEs. Default 1 (scalar). *)
+}
+
+val default_options : options
+
+type breakdown = {
+  ii_wi : int;          (** [II_comp^wi]. *)
+  depth_pe : int;       (** [D_comp^PE]. *)
+  rec_mii : int;
+  res_mii : int;
+  l_pe : float;         (** Eq. 1. *)
+  n_pe_eff : int;       (** Eq. 6. *)
+  l_cu : float;         (** Eq. 5. *)
+  n_cu_eff : int;       (** Eq. 8. *)
+  l_comp_kernel : float;(** Eq. 7. *)
+  l_mem_wi : float;     (** Eq. 9. *)
+  pattern_counts : (Dram.pattern * float) list;
+      (** mean per-work-item coalesced transactions per Table-1 pattern. *)
+  dsp_footprint : int;  (** spatial DSP cost of one PE. *)
+  cycles : float;       (** Eq. 10 (barrier) or Eq. 11 (pipeline). *)
+  seconds : float;
+}
+
+val estimate :
+  ?options:options -> Device.t -> Analysis.t -> Config.t -> breakdown
+(** Cycle estimate for a design point. The configuration's [wg_size] must
+    match the analysis' launch ([Analysis.with_wg_size] re-analyzes). *)
+
+val cycles : Device.t -> Analysis.t -> Config.t -> float
+(** Shorthand for [(estimate _ _ _).cycles]. *)
+
+val feasible : Device.t -> Analysis.t -> Config.t -> bool
+(** Resource check: DSP footprint × PE × CU within the device budget,
+    local memory × CU within BRAM, CU count within the practical bound,
+    and [n_pe <= wg_size]. *)
+
+val bottleneck : breakdown -> string
+(** Human-readable dominant term ("global memory", "recurrence",
+    "local-memory ports", "DSP", "compute depth", "scheduling overhead")
+    — the code-restructuring hint the paper's introduction promises. *)
+
+(** {2 Hooks for the ground-truth simulator}
+
+    The simulator shares the model's structural composition but injects
+    realized (per-instance) block latencies and recomputes memory timing
+    through the stateful DRAM simulator, so the two diverge exactly where
+    real systems diverge from the analytical average. *)
+
+val region_latency_with :
+  ?block_lat:(Flexcl_ir.Dfg.t -> int) ->
+  Device.t ->
+  Analysis.t ->
+  Config.t ->
+  Flexcl_ir.Cdfg.region ->
+  float
+(** Latency of a region; [block_lat] overrides per-block latencies. *)
+
+val work_item_mii_parts : Device.t -> Analysis.t -> Config.t -> int * int
+(** [(RecMII, ResMII)] of the work-item pipeline (Eq. 2–4). *)
+
+val mean_pattern_counts :
+  ?options:options -> Analysis.t -> Device.t -> (Dram.pattern * float) list
+(** Mean per-work-item coalesced transaction counts per pattern. *)
+
+val pattern_latencies : Device.t -> (Dram.pattern * float) list
+(** Micro-benchmark pattern latency table of a device (cached). *)

@@ -1,0 +1,1 @@
+lib/device/device.ml: Array Flexcl_dram Flexcl_ir Flexcl_util

@@ -1,0 +1,122 @@
+module Opcode = Flexcl_ir.Opcode
+module Dram = Flexcl_dram.Dram
+
+type t = {
+  name : string;
+  clock_mhz : int;
+  dsp_total : int;
+  bram_blocks : int;
+  max_cu : int;
+  local_banks : int;
+  ports_per_bank : int;
+  wg_dispatch_overhead : int;
+  dram : Dram.config;
+}
+
+let virtex7 =
+  {
+    name = "xc7vx690t";
+    clock_mhz = 200;
+    dsp_total = 3600;
+    bram_blocks = 1470;
+    max_cu = 16;
+    local_banks = 2;
+    ports_per_bank = 2;
+    wg_dispatch_overhead = 24;
+    dram = Dram.ddr3_config;
+  }
+
+let ku060 =
+  {
+    name = "xcku060";
+    clock_mhz = 200;
+    dsp_total = 2760;
+    bram_blocks = 1080;
+    max_cu = 12;
+    local_banks = 2;
+    ports_per_bank = 2;
+    wg_dispatch_overhead = 20;
+    dram =
+      {
+        Dram.ddr3_config with
+        (* DDR4 on the NAS-120A: faster column access, slower activate *)
+        Dram.t_cas = 2;
+        t_rcd = 4;
+        t_rp = 3;
+        t_bus = 2;
+      };
+  }
+
+(* Implementation variants per op class. The synthesis tool picks among
+   several hardware realizations (LUT vs DSP, different pipeline depths);
+   the table average is what micro-benchmarks observe. UltraScale DSPs
+   retire float ops slightly faster. *)
+(* Cheap single-cycle-ish ops synthesize the same way every time; the
+   implementation choice only matters for the bigger cores (multipliers,
+   dividers, floating-point units), whose variants differ in pipeline
+   depth. *)
+let variants_virtex7 (op : Opcode.t) =
+  match op with
+  | Opcode.Load Opcode.Global_mem -> [| 3 |] (* interface cost only *)
+  | Opcode.Store Opcode.Global_mem -> [| 2 |]
+  | Opcode.Load Opcode.Local_mem -> [| 2 |]
+  | Opcode.Store Opcode.Local_mem -> [| 1 |]
+  | Opcode.Int_alu -> [| 1 |]
+  | Opcode.Int_mul -> [| 3; 4; 5 |]
+  | Opcode.Int_div -> [| 16; 18; 20 |]
+  | Opcode.Float_add -> [| 6; 7; 8 |]
+  | Opcode.Float_mul -> [| 4; 5; 6 |]
+  | Opcode.Float_div -> [| 14; 16; 18 |]
+  | Opcode.Float_cmp -> [| 2 |]
+  | Opcode.Float_sqrt -> [| 14; 16; 18 |]
+  | Opcode.Float_exp -> [| 18; 20; 22 |]
+  | Opcode.Float_trig -> [| 22; 24; 26 |]
+  | Opcode.Convert -> [| 2 |]
+  | Opcode.Wi_query -> [| 0 |]
+  | Opcode.Const_op -> [| 0 |]
+  | Opcode.Select -> [| 1 |]
+  | Opcode.Barrier_op -> [| 2 |]
+  | Opcode.Live_in -> [| 0 |]
+
+let variants_ku060 (op : Opcode.t) =
+  match op with
+  | Opcode.Float_add -> [| 5; 6; 7 |]
+  | Opcode.Float_mul -> [| 3; 4; 5 |]
+  | Opcode.Float_div -> [| 12; 14; 16 |]
+  | Opcode.Float_sqrt -> [| 12; 14; 16 |]
+  | Opcode.Float_exp -> [| 16; 18; 20 |]
+  | Opcode.Float_trig -> [| 20; 22; 24 |]
+  | Opcode.Int_div -> [| 14; 16; 18 |]
+  | other -> variants_virtex7 other
+
+let op_variants t op =
+  if t.name = "xcku060" then variants_ku060 op else variants_virtex7 op
+
+let op_latency t op =
+  let v = op_variants t op in
+  let sum = Array.fold_left ( + ) 0 v in
+  (* rounded mean *)
+  (sum + (Array.length v / 2)) / Array.length v
+
+let variant_latency t op ~salt =
+  let v = op_variants t op in
+  v.(Flexcl_util.Prng.hash_mix salt 0x5eed mod Array.length v)
+
+let dsp_cost _t (op : Opcode.t) =
+  match op with
+  | Opcode.Int_mul -> 3
+  | Opcode.Float_add -> 2
+  | Opcode.Float_mul -> 3
+  | Opcode.Float_exp -> 7
+  | Opcode.Float_trig -> 8
+  | Opcode.Load _ | Opcode.Store _ | Opcode.Int_alu | Opcode.Int_div
+  | Opcode.Float_div | Opcode.Float_cmp | Opcode.Float_sqrt | Opcode.Convert
+  | Opcode.Wi_query | Opcode.Const_op | Opcode.Select | Opcode.Barrier_op
+  | Opcode.Live_in ->
+      0
+
+let local_read_ports t = t.local_banks * t.ports_per_bank
+
+let local_write_ports t = t.local_banks * t.ports_per_bank
+
+let cycles_to_seconds t cycles = cycles /. (float_of_int t.clock_mhz *. 1e6)

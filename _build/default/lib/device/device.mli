@@ -1,0 +1,51 @@
+(** FPGA platform descriptions.
+
+    Each device carries the micro-benchmark-profiled average latency of
+    every IR operation class (what FlexCL uses), the set of
+    implementation variants the synthesis tool may actually instantiate
+    (what the ground-truth simulator draws from — §4.2 names this
+    variance as FlexCL's main computational error source), the DSP cost
+    per op, the resource budgets that constrain PE/CU replication, and
+    the DRAM configuration of the board. *)
+
+type t = {
+  name : string;
+  clock_mhz : int;
+  dsp_total : int;
+  bram_blocks : int;        (** 36 Kb BRAM blocks. *)
+  max_cu : int;             (** practical upper bound on compute units. *)
+  local_banks : int;        (** banks per [__local] array. *)
+  ports_per_bank : int;     (** BRAM ports usable per bank per cycle. *)
+  wg_dispatch_overhead : int;
+      (** work-group scheduling overhead [ΔL_comp^schedule], cycles. *)
+  dram : Flexcl_dram.Dram.config;
+}
+
+val virtex7 : t
+(** Alpha Data ADM-PCIE-7V3: Xilinx Virtex-7 XC7VX690T + 16 GB DDR3. *)
+
+val ku060 : t
+(** NAS-120A: Xilinx Kintex UltraScale KU060 (robustness platform). *)
+
+val op_latency : t -> Flexcl_ir.Opcode.t -> int
+(** Average latency in cycles (the value micro-benchmark profiling
+    reports); always the rounded mean of {!op_variants}. *)
+
+val op_variants : t -> Flexcl_ir.Opcode.t -> int array
+(** Latencies of the implementation choices the synthesis tool may pick
+    for this op class (non-empty). *)
+
+val variant_latency : t -> Flexcl_ir.Opcode.t -> salt:int -> int
+(** Deterministic per-instance latency: picks one of {!op_variants} by
+    hashing [salt] (kernel/block/node ids). This is what the simulator
+    executes, and why the analytical model's average is a few percent
+    off, as on real hardware. *)
+
+val dsp_cost : t -> Flexcl_ir.Opcode.t -> int
+
+val local_read_ports : t -> int
+(** [Port_read] of Eq. 4: banks × ports per bank. *)
+
+val local_write_ports : t -> int
+
+val cycles_to_seconds : t -> float -> float

@@ -1,0 +1,1 @@
+lib/dram/dram.ml: Array Flexcl_interp Hashtbl List Printf

@@ -1,0 +1,268 @@
+type kind = Read | Write
+
+type pattern = { kind : kind; prev : kind; row_hit : bool }
+
+let all_patterns =
+  [
+    { kind = Read; prev = Read; row_hit = true };
+    { kind = Read; prev = Write; row_hit = true };
+    { kind = Write; prev = Read; row_hit = true };
+    { kind = Write; prev = Write; row_hit = true };
+    { kind = Read; prev = Read; row_hit = false };
+    { kind = Read; prev = Write; row_hit = false };
+    { kind = Write; prev = Read; row_hit = false };
+    { kind = Write; prev = Write; row_hit = false };
+  ]
+
+let pattern_name p =
+  let k = match p.kind with Read -> "R" | Write -> "W" in
+  let pr = match p.prev with Read -> "R" | Write -> "W" in
+  Printf.sprintf "%sA%s.%s" k pr (if p.row_hit then "hit" else "miss")
+
+type config = {
+  n_banks : int;
+  row_bytes : int;
+  interleave_bytes : int;
+  access_unit_bits : int;
+  t_cas : int;
+  t_rcd : int;
+  t_rp : int;
+  t_bus : int;
+  t_wtr : int;
+  t_rtw : int;
+  refresh_interval : int;
+  t_rfc : int;
+}
+
+let ddr3_config =
+  {
+    n_banks = 8;
+    row_bytes = 1024;
+    interleave_bytes = 64;
+    access_unit_bits = 512;
+    t_cas = 3;
+    t_rcd = 3;
+    t_rp = 3;
+    t_bus = 2;
+    t_wtr = 2;
+    t_rtw = 1;
+    refresh_interval = 1560;
+    t_rfc = 32;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+type layout = (string * int) list (* name -> base address *)
+
+let layout buffers =
+  let row_align = 1024 in
+  let rec place addr = function
+    | [] -> []
+    | (name, bytes) :: rest ->
+        let aligned = (addr + row_align - 1) / row_align * row_align in
+        (name, aligned) :: place (aligned + bytes) rest
+  in
+  place 0 buffers
+
+let base l name =
+  match List.assoc_opt name l with
+  | Some b -> b
+  | None -> raise Not_found
+
+let address l name ~elem_bits i = base l name + (i * (elem_bits / 8))
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing *)
+
+type txn = { addr : int; t_kind : kind; bytes : int }
+
+let kind_of_access (a : Flexcl_interp.Interp.access) =
+  match a.Flexcl_interp.Interp.kind with `Read -> Read | `Write -> Write
+
+let coalesce cfg l (accesses : Flexcl_interp.Interp.access list) =
+  let unit_bytes = cfg.access_unit_bits / 8 in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (a : Flexcl_interp.Interp.access) :: rest ->
+        let k = kind_of_access a in
+        let eb = a.Flexcl_interp.Interp.elem_bits / 8 in
+        let addr0 = address l a.Flexcl_interp.Interp.array ~elem_bits:a.elem_bits a.index in
+        (* absorb consecutive same-kind accesses to adjacent elements while
+           the transaction stays within the access unit; accesses repeating
+           the previous element (a broadcast, e.g. every work-item reading
+           the same coefficient) ride along for free *)
+        let rec absorb bytes next_index rest =
+          match rest with
+          | (b : Flexcl_interp.Interp.access) :: more
+            when kind_of_access b = k
+                 && b.Flexcl_interp.Interp.array = a.Flexcl_interp.Interp.array
+                 && b.index = next_index - 1 ->
+              absorb bytes next_index more
+          | (b : Flexcl_interp.Interp.access) :: more
+            when kind_of_access b = k
+                 && b.Flexcl_interp.Interp.array = a.Flexcl_interp.Interp.array
+                 && b.index = next_index
+                 && bytes + eb <= unit_bytes ->
+              absorb (bytes + eb) (next_index + 1) more
+          | _ -> (bytes, rest)
+        in
+        let bytes, rest = absorb eb (a.index + 1) rest in
+        go ({ addr = addr0; t_kind = k; bytes } :: acc) rest
+  in
+  go [] accesses
+
+let coalesce_workgroup cfg l (traces : Flexcl_interp.Interp.access list array) =
+  let n = Array.length traces in
+  if n = 0 then []
+  else begin
+    (* transpose to site-major order: the i-th access of every work-item
+       issues back-to-back in the pipeline. Work-items whose control flow
+       skipped some accesses simply contribute nothing at that site. *)
+    let arrs = Array.map Array.of_list traces in
+    let max_len = Array.fold_left (fun m a -> max m (Array.length a)) 0 arrs in
+    let out = ref [] in
+    for site = max_len - 1 downto 0 do
+      for wi = n - 1 downto 0 do
+        if site < Array.length arrs.(wi) then out := arrs.(wi).(site) :: !out
+      done
+    done;
+    coalesce cfg l !out
+  end
+
+let bank_of cfg addr = addr / cfg.interleave_bytes mod cfg.n_banks
+
+let row_of cfg addr = addr / (cfg.interleave_bytes * cfg.n_banks) / (cfg.row_bytes / cfg.interleave_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern classification *)
+
+type bank_state = { mutable open_row : int; mutable last : kind }
+
+let fresh_banks cfg =
+  Array.init cfg.n_banks (fun _ -> { open_row = -1; last = Read })
+
+let pattern_counts ?(warmup = []) cfg txns =
+  let banks = fresh_banks cfg in
+  let step count t =
+    let b = banks.(bank_of cfg t.addr) in
+    let row = row_of cfg t.addr in
+    let p = { kind = t.t_kind; prev = b.last; row_hit = b.open_row = row } in
+    count p;
+    b.open_row <- row;
+    b.last <- t.t_kind
+  in
+  List.iter (step (fun _ -> ())) warmup;
+  let counts = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace counts p 0) all_patterns;
+  List.iter (step (fun p -> Hashtbl.replace counts p (Hashtbl.find counts p + 1))) txns;
+  List.map (fun p -> (p, Hashtbl.find counts p)) all_patterns
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let turnaround cfg p =
+  match (p.prev, p.kind) with
+  | Write, Read -> cfg.t_wtr
+  | Read, Write -> cfg.t_rtw
+  | Read, Read | Write, Write -> 0
+
+let pattern_latency cfg p =
+  let core =
+    if p.row_hit then cfg.t_cas + cfg.t_bus
+    else cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_bus
+  in
+  core + turnaround cfg p
+
+module Sim = struct
+  type bank = { mutable row : int; mutable busy_until : int; mutable last_kind : kind }
+
+  type t = {
+    cfg : config;
+    banks : bank array;
+    mutable bus_free : int;  (* shared data bus: one transfer at a time *)
+    mutable next_refresh : int;
+    mutable reads : int;
+    mutable writes : int;
+  }
+
+  let create cfg =
+    {
+      cfg;
+      banks = Array.init cfg.n_banks (fun _ -> { row = -1; busy_until = 0; last_kind = Read });
+      bus_free = 0;
+      next_refresh = cfg.refresh_interval;
+      reads = 0;
+      writes = 0;
+    }
+
+  let access t ~now txn =
+    let cfg = t.cfg in
+    let b = t.banks.(bank_of cfg txn.addr) in
+    let row = row_of cfg txn.addr in
+    (* refresh stalls the whole device *)
+    let start = max now b.busy_until in
+    let start =
+      if start >= t.next_refresh then begin
+        let after = t.next_refresh + cfg.t_rfc in
+        t.next_refresh <- t.next_refresh + cfg.refresh_interval;
+        max start after
+      end
+      else start
+    in
+    let p = { kind = txn.t_kind; prev = b.last_kind; row_hit = b.row = row } in
+    let prep =
+      (if p.row_hit then 0 else cfg.t_rp + cfg.t_rcd) + cfg.t_cas + turnaround cfg p
+    in
+    (* row activation overlaps across banks; the data transfer serializes
+       on the shared bus *)
+    let bus_cycles =
+      let unit_bytes = cfg.access_unit_bits / 8 in
+      max 1 ((txn.bytes + unit_bytes - 1) / unit_bytes) * cfg.t_bus
+    in
+    let transfer_start = max (start + prep) t.bus_free in
+    let finish = transfer_start + bus_cycles in
+    t.bus_free <- finish;
+    b.busy_until <- finish;
+    b.row <- row;
+    b.last_kind <- txn.t_kind;
+    (match txn.t_kind with
+    | Read -> t.reads <- t.reads + 1
+    | Write -> t.writes <- t.writes + 1);
+    finish
+
+  let completed_reads t = t.reads
+  let completed_writes t = t.writes
+end
+
+let profile_latencies cfg =
+  (* For each pattern, build a single-bank synthetic stream alternating to
+     exhibit exactly that pattern, run it through the simulator and average
+     per-transaction latency. Mirrors the paper's micro-benchmarks. *)
+  let stride_same_row = cfg.interleave_bytes * cfg.n_banks in
+  let row_span = cfg.row_bytes / cfg.interleave_bytes * stride_same_row in
+  List.map
+    (fun p ->
+      let sim = Sim.create cfg in
+      let n = 64 in
+      let total = ref 0 in
+      let now = ref 0 in
+      for i = 0 to n - 1 do
+        (* set up the 'prev' state with a prologue access, then measure *)
+        let addr_base = 2 * i * row_span in
+        let prologue =
+          { addr = addr_base; t_kind = p.prev; bytes = cfg.access_unit_bits / 8 }
+        in
+        let fin = Sim.access sim ~now:!now prologue in
+        let measured_addr =
+          if p.row_hit then addr_base + stride_same_row else addr_base + row_span
+        in
+        let txn =
+          { addr = measured_addr; t_kind = p.kind; bytes = cfg.access_unit_bits / 8 }
+        in
+        let fin2 = Sim.access sim ~now:fin txn in
+        total := !total + (fin2 - fin);
+        now := fin2
+      done;
+      (p, float_of_int !total /. float_of_int n))
+    all_patterns

@@ -1,0 +1,125 @@
+(** Off-chip global memory (DRAM) model: banked architecture with
+    row-buffers, byte-interleaved data mapping, automatic coalescing of
+    consecutive accesses, and the eight access patterns of the paper's
+    Table 1 (read/write × after-read/after-write × row-buffer hit/miss).
+
+    Two views of the same architecture coexist:
+    {ul
+    {- the {e analytical} view used by FlexCL — pattern counts multiplied
+       by micro-benchmark-profiled average pattern latencies
+       ({!pattern_counts}, {!profile_latencies});}
+    {- the {e stateful} view used by the ground-truth simulator — a
+       cycle-accurate bank state machine with open-row tracking, refresh
+       and queuing ({!Sim}).}} *)
+
+type kind = Read | Write
+
+type pattern = {
+  kind : kind;       (** this access. *)
+  prev : kind;       (** previous access to the same bank. *)
+  row_hit : bool;    (** row-buffer hit or miss. *)
+}
+
+val all_patterns : pattern list
+(** The 8 patterns of Table 1, in the paper's order (hits before misses,
+    RAR/RAW/WAR/WAW within each). *)
+
+val pattern_name : pattern -> string
+(** e.g. ["RAR.hit"], ["WAW.miss"]. Note the paper's mnemonic: [RAW] is a
+    {e read} access after a {e write}. *)
+
+type config = {
+  n_banks : int;
+  row_bytes : int;           (** row-buffer size per bank. *)
+  interleave_bytes : int;    (** interleaving granularity across banks. *)
+  access_unit_bits : int;    (** coalesced transaction width (512 in SDAccel). *)
+  t_cas : int;               (** column access latency (cycles). *)
+  t_rcd : int;               (** row activate latency. *)
+  t_rp : int;                (** precharge latency. *)
+  t_bus : int;               (** data transfer per transaction. *)
+  t_wtr : int;               (** write-to-read turnaround. *)
+  t_rtw : int;               (** read-to-write turnaround. *)
+  refresh_interval : int;    (** cycles between refreshes ({!Sim} only). *)
+  t_rfc : int;               (** refresh duration ({!Sim} only). *)
+}
+
+val ddr3_config : config
+(** The evaluation board's DDR3: 8 banks, 1 KB row buffer, 512-bit
+    access unit, timing in 200 MHz kernel-clock cycles. *)
+
+(** {2 Address layout} *)
+
+type layout
+(** Assignment of row-aligned base addresses to named buffers. *)
+
+val layout : (string * int) list -> layout
+(** [layout [(name, bytes); ...]] places buffers consecutively in
+    declaration order, each aligned up to a row boundary. *)
+
+val base : layout -> string -> int
+(** Base address of a buffer; raises [Not_found] for unknown names. *)
+
+val address : layout -> string -> elem_bits:int -> int -> int
+(** Byte address of element [i] of a buffer. *)
+
+(** {2 Transactions and patterns} *)
+
+type txn = { addr : int; t_kind : kind; bytes : int }
+
+val coalesce : config -> layout -> Flexcl_interp.Interp.access list -> txn list
+(** Merge runs of consecutive same-kind accesses into transactions of at
+    most [access_unit_bits] (the coalescing factor
+    [f = unit_size / elem_bits] of §3.4). Program order is preserved. *)
+
+val coalesce_workgroup :
+  config ->
+  layout ->
+  Flexcl_interp.Interp.access list array ->
+  txn list
+(** Coalescing across the work-item pipeline, the way SDAccel's memory
+    interface sees a work-group: when every work-item performs the same
+    access sequence (uniform control flow), the i-th access site of all
+    work-items issues back-to-back, so the stream is transposed
+    site-major before merging — [a\[gid\]] across 16 int-typed work-items
+    becomes one 512-bit transaction. Non-uniform traces fall back to
+    work-item-major concatenation. *)
+
+val bank_of : config -> int -> int
+val row_of : config -> int -> int
+
+val pattern_counts : ?warmup:txn list -> config -> txn list -> (pattern * int) list
+(** Classify a transaction stream: per-bank open-row and last-kind state,
+    first access to a bank counts as a miss after read. All 8 patterns
+    appear in the result (possibly with count 0), in Table-1 order.
+    [warmup] transactions update the bank state without being counted —
+    FlexCL replays the profiled stream once before measuring so that
+    resident buffers show their steady-state row-hit behaviour. *)
+
+val pattern_latency : config -> pattern -> int
+(** Closed-form service cycles of one isolated transaction of the given
+    pattern (the quantity the micro-benchmarks measure): hits issue one
+    column command, misses precharge + activate + column (§3.4). *)
+
+val profile_latencies : config -> (pattern * float) list
+(** Micro-benchmark profiling: for each pattern, run a synthetic
+    single-bank stream that exhibits it through {!Sim} and average the
+    per-transaction latency. This is the table FlexCL multiplies pattern
+    counts with (Eq. 9); it differs from {!pattern_latency} by the
+    refresh overhead the micro-benchmark stream absorbs. *)
+
+(** {2 Stateful simulation} *)
+
+module Sim : sig
+  type t
+
+  val create : config -> t
+
+  val access : t -> now:int -> txn -> int
+  (** [access t ~now txn] services a transaction that arrives at cycle
+      [now]; returns its completion cycle. Models bank busy time, open-row
+      switches, read/write turnaround and periodic refresh. [now] must not
+      decrease between calls. *)
+
+  val completed_reads : t -> int
+  val completed_writes : t -> int
+end

@@ -1,0 +1,1 @@
+lib/dse/explore.ml: Flexcl_core Flexcl_ir Flexcl_simrtl Float Hashtbl List Space

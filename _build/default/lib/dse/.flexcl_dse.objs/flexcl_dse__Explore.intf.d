@@ -1,0 +1,1 @@
+lib/dse/explore.mli: Flexcl_core Space

@@ -1,0 +1,1 @@
+lib/dse/heuristic.ml: Explore Flexcl_core List Space

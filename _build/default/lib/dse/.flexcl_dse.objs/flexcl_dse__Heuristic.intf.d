@@ -1,0 +1,1 @@
+lib/dse/heuristic.mli: Explore Flexcl_core Space

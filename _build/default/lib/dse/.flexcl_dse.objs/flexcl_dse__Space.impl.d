@@ -1,0 +1,1 @@
+lib/dse/space.ml: Flexcl_core List

@@ -1,0 +1,58 @@
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+module Analysis = Flexcl_core.Analysis
+module Sysrun = Flexcl_simrtl.Sysrun
+module Sdaccel = Flexcl_simrtl.Sdaccel_estimate
+module Launch = Flexcl_ir.Launch
+
+type evaluated = { config : Config.t; cycles : float }
+
+type oracle = Analysis.t -> Config.t -> float
+
+(* Re-analysis per work-group size is the costly part of a sweep: cache
+   it keyed on (kernel name, wg size). *)
+let analysis_cache : (string * int, Analysis.t) Hashtbl.t = Hashtbl.create 64
+
+let analysis_for (base : Analysis.t) wg_size =
+  if Launch.wg_size base.Analysis.launch = wg_size then base
+  else begin
+    let key = (base.Analysis.cdfg.Flexcl_ir.Cdfg.kernel_name, wg_size) in
+    match Hashtbl.find_opt analysis_cache key with
+    | Some a when a.Analysis.kernel == base.Analysis.kernel -> a
+    | Some _ | None ->
+        let a = Analysis.with_wg_size base wg_size in
+        Hashtbl.replace analysis_cache key a;
+        a
+  end
+
+let model_oracle dev : oracle = fun analysis cfg -> Model.cycles dev analysis cfg
+
+let sysrun_oracle ?seed dev : oracle =
+ fun analysis cfg -> (Sysrun.run ?seed dev analysis cfg).Sysrun.cycles
+
+let sdaccel_oracle dev : oracle =
+ fun analysis cfg ->
+  match Sdaccel.estimate dev analysis cfg with
+  | Some c -> c
+  | None -> infinity
+
+let exhaustive dev (base : Analysis.t) space (oracle : oracle) =
+  let points = Space.feasible_points dev base space in
+  List.map
+    (fun (cfg : Config.t) ->
+      let analysis = analysis_for base cfg.Config.wg_size in
+      { config = cfg; cycles = oracle analysis cfg })
+    points
+  |> List.sort (fun a b -> compare (a.cycles, a.config) (b.cycles, b.config))
+
+let best dev base space oracle =
+  match exhaustive dev base space oracle with
+  | [] -> invalid_arg "Explore.best: empty design space"
+  | e :: _ -> e
+
+let quality_vs_optimal ~picked ~truth ~all =
+  match all with
+  | [] -> invalid_arg "Explore.quality_vs_optimal: empty space"
+  | _ ->
+      let opt = List.fold_left (fun acc c -> Float.min acc (truth c)) infinity all in
+      if opt <= 0.0 then 0.0 else 100.0 *. (truth picked -. opt) /. opt

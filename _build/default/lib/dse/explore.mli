@@ -1,0 +1,45 @@
+(** Design-space exploration (§4.3).
+
+    [exhaustive] sweeps every feasible point through a cost oracle;
+    FlexCL's oracle is the analytical model (seconds for hundreds of
+    points), System Run's is the cycle-level simulator (the stand-in for
+    hours-per-point synthesis). Work-group-size re-analysis is cached so
+    a sweep profiles each size once. *)
+
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+module Analysis = Flexcl_core.Analysis
+
+type evaluated = { config : Config.t; cycles : float }
+
+type oracle = Analysis.t -> Config.t -> float
+(** Cost of one design point, given an analysis whose launch already has
+    the point's work-group size. *)
+
+val model_oracle : Model.Device.t -> oracle
+(** FlexCL's analytical estimate. *)
+
+val sysrun_oracle : ?seed:int -> Model.Device.t -> oracle
+(** Ground truth via the cycle-level simulator. *)
+
+val sdaccel_oracle : Model.Device.t -> oracle
+(** Baseline estimator; design points it fails on get [infinity]. *)
+
+val exhaustive :
+  Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated list
+(** Every feasible point, sorted fastest-first. *)
+
+val best : Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated
+(** Head of {!exhaustive}; raises [Invalid_argument] on an empty space. *)
+
+val quality_vs_optimal :
+  picked:Config.t ->
+  truth:(Config.t -> float) ->
+  all:Config.t list ->
+  float
+(** How far the picked point is from the true optimum, in percent:
+    [100 * (truth picked - min truth) / min truth]. *)
+
+val analysis_for : Analysis.t -> int -> Analysis.t
+(** Cached re-analysis at a work-group size (shared by all oracles during
+    a sweep). *)

@@ -1,0 +1,53 @@
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+
+let knob_order = [ "wg_size"; "wi_pipeline"; "n_pe"; "n_cu"; "comm_mode" ]
+
+let search dev (base : Flexcl_core.Analysis.t) (space : Space.t)
+    (oracle : Explore.oracle) =
+  let eval (cfg : Config.t) =
+    if Model.feasible dev base cfg then
+      let analysis = Explore.analysis_for base cfg.Config.wg_size in
+      oracle analysis cfg
+    else infinity
+  in
+  let pick candidates current =
+    List.fold_left
+      (fun (best_cfg, best_cost) cfg ->
+        let c = eval cfg in
+        if c < best_cost then (cfg, c) else (best_cfg, best_cost))
+      (current, eval current) candidates
+  in
+  let start =
+    {
+      Config.wg_size = List.hd space.Space.wg_sizes;
+      n_pe = List.hd space.Space.pe_counts;
+      n_cu = List.hd space.Space.cu_counts;
+      wi_pipeline = List.hd space.Space.pipeline_choices;
+      comm_mode = List.hd space.Space.comm_modes;
+    }
+  in
+  let cfg, _ =
+    pick
+      (List.map (fun w -> { start with Config.wg_size = w }) space.Space.wg_sizes)
+      start
+  in
+  let cfg, _ =
+    pick
+      (List.map
+         (fun p -> { cfg with Config.wi_pipeline = p })
+         space.Space.pipeline_choices)
+      cfg
+  in
+  let cfg, _ =
+    pick (List.map (fun p -> { cfg with Config.n_pe = p }) space.Space.pe_counts) cfg
+  in
+  let cfg, _ =
+    pick (List.map (fun c -> { cfg with Config.n_cu = c }) space.Space.cu_counts) cfg
+  in
+  let cfg, cost =
+    pick
+      (List.map (fun m -> { cfg with Config.comm_mode = m }) space.Space.comm_modes)
+      cfg
+  in
+  { Explore.config = cfg; cycles = cost }

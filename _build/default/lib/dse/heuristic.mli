@@ -1,0 +1,22 @@
+(** The step-by-step greedy optimizer of the HPCA'16 framework [16],
+    reimplemented as the paper's comparison point for §4.3's
+    96%-vs-12% optimal-configuration experiment.
+
+    It tunes one knob at a time in a fixed order (work-group size →
+    pipelining → PE count → CU count → communication mode), committing to
+    the locally best value before moving on — i.e. it assumes the
+    optimizations are independent, which is exactly why it gets stuck in
+    local optima on kernels with coupled knobs (e.g. pipelining only pays
+    off at large work-group sizes). *)
+
+val search :
+  Flexcl_core.Model.Device.t ->
+  Flexcl_core.Analysis.t ->
+  Space.t ->
+  Explore.oracle ->
+  Explore.evaluated
+(** Greedy coordinate descent over the space; each knob is evaluated with
+    the other knobs held at their current values. *)
+
+val knob_order : string list
+(** Documentation of the fixed tuning order. *)

@@ -1,0 +1,54 @@
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+
+type t = {
+  wg_sizes : int list;
+  pe_counts : int list;
+  cu_counts : int list;
+  pipeline_choices : bool list;
+  comm_modes : Config.comm_mode list;
+}
+
+let default ~total_work_items =
+  let wg_sizes =
+    List.filter
+      (fun w -> w <= total_work_items && total_work_items mod w = 0)
+      [ 32; 64; 128; 256 ]
+  in
+  let wg_sizes = if wg_sizes = [] then [ total_work_items ] else wg_sizes in
+  {
+    wg_sizes;
+    pe_counts = [ 1; 2; 4; 8 ];
+    cu_counts = [ 1; 2; 4 ];
+    pipeline_choices = [ false; true ];
+    comm_modes = [ Config.Barrier_mode; Config.Pipeline_mode ];
+  }
+
+let points t =
+  List.concat_map
+    (fun wg ->
+      List.concat_map
+        (fun pe ->
+          List.concat_map
+            (fun cu ->
+              List.concat_map
+                (fun pipe ->
+                  List.map
+                    (fun mode ->
+                      {
+                        Config.wg_size = wg;
+                        n_pe = pe;
+                        n_cu = cu;
+                        wi_pipeline = pipe;
+                        comm_mode = mode;
+                      })
+                    t.comm_modes)
+                t.pipeline_choices)
+            t.cu_counts)
+        t.pe_counts)
+    t.wg_sizes
+
+let size t = List.length (points t)
+
+let feasible_points dev analysis t =
+  List.filter (fun c -> Model.feasible dev analysis c) (points t)

@@ -1,0 +1,28 @@
+(** Design-space definition (§4.1): the cross product of work-group size,
+    work-item pipelining, PE and CU parallelism, and communication mode. *)
+
+module Config = Flexcl_core.Config
+
+type t = {
+  wg_sizes : int list;
+  pe_counts : int list;
+  cu_counts : int list;
+  pipeline_choices : bool list;
+  comm_modes : Config.comm_mode list;
+}
+
+val default : total_work_items:int -> t
+(** The sweep used throughout the evaluation: work-group sizes
+    {32, 64, 128, 256} (clipped to divisors of the NDRange), PE counts
+    {1, 2, 4, 8}, CU counts {1, 2, 4}, pipelining on/off, both
+    communication modes — a few hundred raw points, matching the
+    "#Designs" column of Table 2 after feasibility filtering. *)
+
+val points : t -> Config.t list
+(** All design points, in a deterministic order. *)
+
+val size : t -> int
+
+val feasible_points :
+  Flexcl_core.Model.Device.t -> Flexcl_core.Analysis.t -> t -> Config.t list
+(** Points that pass {!Flexcl_core.Model.feasible}. *)

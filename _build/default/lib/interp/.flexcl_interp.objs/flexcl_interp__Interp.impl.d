@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Builtins Flexcl_ir Flexcl_opencl Flexcl_util Float Hashtbl Int64 Launch List Option Printf Sema Types

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Ast Flexcl_ir Flexcl_opencl Launch Sema

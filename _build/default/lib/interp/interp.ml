@@ -1,0 +1,626 @@
+open Flexcl_opencl
+open Flexcl_ir
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value = I of int64 | F of float
+
+let to_float = function I i -> Int64.to_float i | F f -> f
+let to_int = function I i -> i | F f -> Int64.of_float f
+
+type access = {
+  array : string;
+  index : int;
+  kind : [ `Read | `Write ];
+  elem_bits : int;
+}
+
+type profile = {
+  avg_trips : (int * float) list;
+  max_trips : (int * int) list;
+  wi_traces : access list array;
+  n_work_items_profiled : int;
+  buffers : (string * value array) list;
+}
+
+let trip_of p loop_id =
+  Option.value (List.assoc_opt loop_id p.avg_trips) ~default:0.0
+
+(* ------------------------------------------------------------------ *)
+(* Loop numbering: must match Flexcl_ir.Lower (source pre-order). *)
+
+let number_loops (body : Ast.stmt list) : (Ast.stmt * int) list =
+  let counter = ref 0 in
+  let table = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Ast.For (_, loop_body, _) | Ast.While (_, loop_body, _) ->
+            table := (s, !counter) :: !table;
+            incr counter;
+            walk loop_body
+        | Ast.If (_, t, e) ->
+            walk t;
+            walk e
+        | Ast.Decl _ | Ast.Local_decl _ | Ast.Assign _ | Ast.Barrier
+        | Ast.Return _ | Ast.Break | Ast.Continue | Ast.Expr_stmt _ ->
+            ())
+      stmts
+  in
+  walk body;
+  !table
+
+let loop_id table s =
+  match List.find_opt (fun (s', _) -> s' == s) table with
+  | Some (_, id) -> id
+  | None -> err "internal: unnumbered loop"
+
+(* ------------------------------------------------------------------ *)
+(* Buffers *)
+
+let elem_scalar ty =
+  match Types.elem ty with
+  | Types.Scalar s -> s
+  | t -> err "unsupported buffer element type %s" (Types.to_string t)
+
+let materialize_buffer name ty (init : Launch.buffer_init) length =
+  let s = elem_scalar ty in
+  let is_int = Types.is_integer s in
+  let mk f = Array.init length f in
+  ignore name;
+  match init with
+  | Launch.Zeros -> mk (fun _ -> if is_int then I 0L else F 0.0)
+  | Launch.Ramp ->
+      mk (fun i -> if is_int then I (Int64.of_int i) else F (float_of_int i))
+  | Launch.Const_init c ->
+      mk (fun _ -> if is_int then I (Int64.of_float c) else F c)
+  | Launch.Random_floats seed ->
+      let rng = Flexcl_util.Prng.create seed in
+      mk (fun _ ->
+          let x = Flexcl_util.Prng.float rng 1.0 in
+          if is_int then I (Int64.of_float (x *. 100.0)) else F x)
+  | Launch.Random_ints (seed, bound) ->
+      let rng = Flexcl_util.Prng.create seed in
+      mk (fun _ ->
+          let x = Flexcl_util.Prng.int rng (max 1 bound) in
+          if is_int then I (Int64.of_int x) else F (float_of_int x))
+
+(* ------------------------------------------------------------------ *)
+(* Execution state *)
+
+type binding = Scalar of value | Arr of value array
+
+type wi_state = {
+  env : (string, binding) Hashtbl.t;
+  mutable trace : access list;  (* reversed *)
+  gid : Launch.dim3;
+  lid : Launch.dim3;
+  grp : Launch.dim3;
+}
+
+type exec_ctx = {
+  kernel : Ast.kernel;
+  info : Sema.info;
+  launch : Launch.t;
+  loop_table : (Ast.stmt * int) list;
+  globals : (string, value array) Hashtbl.t;
+  wg_locals : (string, value array) Hashtbl.t;  (* cleared per work-group *)
+  trip_sum : (int, int) Hashtbl.t;    (* loop id -> total iterations *)
+  trip_entries : (int, int) Hashtbl.t;
+  trip_max : (int, int) Hashtbl.t;
+  mutable cur_loop_trip : int;        (* scratch *)
+}
+
+exception Break_exc
+exception Continue_exc
+exception Return_exc
+
+let special_float_constants =
+  [ ("INFINITY", infinity); ("FLT_MAX", 3.402823e38); ("FLT_MIN", 1.175494e-38) ]
+
+let special_int_constants =
+  [
+    ("CLK_LOCAL_MEM_FENCE", 1L);
+    ("CLK_GLOBAL_MEM_FENCE", 2L);
+    ("INT_MAX", 2147483647L);
+    ("INT_MIN", -2147483648L);
+  ]
+
+let pick (d : Launch.dim3) dim =
+  match dim with 0 -> d.Launch.x | 1 -> d.Launch.y | 2 -> d.Launch.z | _ -> 1
+
+let is_float_scalar ty =
+  match ty with Types.Scalar s -> Types.is_float s | _ -> false
+
+let var_type ctx v =
+  match Hashtbl.find_opt ctx.info.Sema.var_types v with
+  | Some t -> t
+  | None -> err "unknown variable %s at runtime" v
+
+let elem_bits_of ctx arr = Types.scalar_bits (elem_scalar (var_type ctx arr))
+
+let lookup_array _ctx wi arr =
+  match Hashtbl.find_opt wi.env arr with
+  | Some (Arr a) -> a
+  | Some (Scalar _) -> err "%s is not an array" arr
+  | None -> err "array %s not bound" arr
+
+let is_global_space ctx arr =
+  match Types.addr_space_of (var_type ctx arr) with
+  | Some (Types.Global | Types.Constant) -> true
+  | Some _ | None -> false
+
+(* Linearized element index for a (possibly multi-dim) access. *)
+let rec inner_sizes ty n =
+  if n = 0 then []
+  else
+    match ty with
+    | Types.Array (inner, _) | Types.Ptr (_, inner) ->
+        let this =
+          match inner with Types.Array (_, d) -> d | _ -> 1
+        in
+        this :: inner_sizes inner (n - 1)
+    | _ -> [ 1 ]
+
+let linear_index ctx arr (idx_values : int list) =
+  match idx_values with
+  | [ i ] -> i
+  | _ ->
+      let ty = var_type ctx arr in
+      let dims = inner_sizes ty (List.length idx_values - 1) in
+      let rec combine acc rest dims =
+        match (rest, dims) with
+        | [], _ -> acc
+        | i :: rest, d :: ds -> combine ((acc * d) + i) rest ds
+        | i :: rest, [] -> combine (acc + i) rest []
+      in
+      (match idx_values with
+      | first :: rest -> combine first rest dims
+      | [] -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation *)
+
+let truthy = function I i -> i <> 0L | F f -> f <> 0.0
+
+let int_binop op a b =
+  match op with
+  | Ast.Add -> Int64.add a b
+  | Ast.Sub -> Int64.sub a b
+  | Ast.Mul -> Int64.mul a b
+  | Ast.Div -> if b = 0L then err "integer division by zero" else Int64.div a b
+  | Ast.Mod -> if b = 0L then err "integer modulo by zero" else Int64.rem a b
+  | Ast.Band -> Int64.logand a b
+  | Ast.Bor -> Int64.logor a b
+  | Ast.Bxor -> Int64.logxor a b
+  | Ast.Shl -> Int64.shift_left a (Int64.to_int b)
+  | Ast.Shr -> Int64.shift_right a (Int64.to_int b)
+  | Ast.Land | Ast.Lor | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      assert false
+
+let float_binop op a b =
+  match op with
+  | Ast.Add -> a +. b
+  | Ast.Sub -> a -. b
+  | Ast.Mul -> a *. b
+  | Ast.Div -> a /. b
+  | _ -> assert false
+
+let rec eval ctx wi (e : Ast.expr) : value =
+  match e with
+  | Ast.Int_lit i -> I i
+  | Ast.Float_lit f -> F f
+  | Ast.Var v -> (
+      match Hashtbl.find_opt wi.env v with
+      | Some (Scalar value) -> value
+      | Some (Arr _) -> err "array %s used as scalar" v
+      | None -> (
+          match List.assoc_opt v special_int_constants with
+          | Some i -> I i
+          | None -> (
+              match List.assoc_opt v special_float_constants with
+              | Some f -> F f
+              | None -> err "variable %s is unbound" v)))
+  | Ast.Cast (ty, a) ->
+      let v = eval ctx wi a in
+      if is_float_scalar ty then F (to_float v) else I (to_int v)
+  | Ast.Unop (Ast.Neg, a) -> (
+      match eval ctx wi a with I i -> I (Int64.neg i) | F f -> F (-.f))
+  | Ast.Unop (Ast.Bnot, a) -> I (Int64.lognot (to_int (eval ctx wi a)))
+  | Ast.Unop (Ast.Lnot, a) -> I (if truthy (eval ctx wi a) then 0L else 1L)
+  | Ast.Ternary (c, a, b) ->
+      if truthy (eval ctx wi c) then eval ctx wi a else eval ctx wi b
+  | Ast.Binop (op, a, b) -> eval_binop ctx wi op a b
+  | Ast.Index (Ast.Var arr, idxs) ->
+      let ivals = List.map (fun i -> Int64.to_int (to_int (eval ctx wi i))) idxs in
+      let buf = lookup_array ctx wi arr in
+      let i = linear_index ctx arr ivals in
+      if i < 0 || i >= Array.length buf then
+        err "out-of-bounds read %s[%d] (length %d)" arr i (Array.length buf);
+      if is_global_space ctx arr then
+        wi.trace <-
+          { array = arr; index = i; kind = `Read; elem_bits = elem_bits_of ctx arr }
+          :: wi.trace;
+      buf.(i)
+  | Ast.Index _ -> err "unsupported indexed expression"
+  | Ast.Call (f, args) -> eval_call ctx wi f args
+
+and eval_binop ctx wi op a b =
+  let bool_ c = I (if c then 1L else 0L) in
+  match op with
+  | Ast.Land -> bool_ (truthy (eval ctx wi a) && truthy (eval ctx wi b))
+  | Ast.Lor -> bool_ (truthy (eval ctx wi a) || truthy (eval ctx wi b))
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      let va = eval ctx wi a and vb = eval ctx wi b in
+      let cmp =
+        match (va, vb) with
+        | I x, I y -> compare x y
+        | _, _ -> compare (to_float va) (to_float vb)
+      in
+      match op with
+      | Ast.Eq -> bool_ (cmp = 0)
+      | Ast.Ne -> bool_ (cmp <> 0)
+      | Ast.Lt -> bool_ (cmp < 0)
+      | Ast.Le -> bool_ (cmp <= 0)
+      | Ast.Gt -> bool_ (cmp > 0)
+      | Ast.Ge -> bool_ (cmp >= 0)
+      | _ -> assert false)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr -> (
+      let va = eval ctx wi a and vb = eval ctx wi b in
+      match (va, vb) with
+      | I x, I y -> I (int_binop op x y)
+      | _, _ -> (
+          match op with
+          | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+              F (float_binop op (to_float va) (to_float vb))
+          | Ast.Mod -> F (Float.rem (to_float va) (to_float vb))
+          | _ -> I (int_binop op (to_int va) (to_int vb))))
+
+and eval_call ctx wi f args =
+  match Builtins.find f with
+  | None -> err "call to unknown function %s" f
+  | Some b -> (
+      let vs = List.map (eval ctx wi) args in
+      match (b, vs) with
+      | Builtins.Wi fn, [ d ] -> (
+          let dim = Int64.to_int (to_int d) in
+          let i v = I (Int64.of_int v) in
+          match fn with
+          | Builtins.Get_global_id -> i (pick wi.gid dim)
+          | Builtins.Get_local_id -> i (pick wi.lid dim)
+          | Builtins.Get_group_id -> i (pick wi.grp dim)
+          | Builtins.Get_global_size -> i (pick ctx.launch.Launch.global dim)
+          | Builtins.Get_local_size -> i (pick ctx.launch.Launch.local dim)
+          | Builtins.Get_num_groups ->
+              i (pick ctx.launch.Launch.global dim / pick ctx.launch.Launch.local dim))
+      | Builtins.Math1 m, [ v ] -> (
+          let x = to_float v in
+          match m with
+          | Builtins.Sqrt -> F (sqrt x)
+          | Builtins.Rsqrt -> F (1.0 /. sqrt x)
+          | Builtins.Exp -> F (exp x)
+          | Builtins.Exp2 -> F (Float.exp2 x)
+          | Builtins.Log -> F (log x)
+          | Builtins.Log2 -> F (Float.log2 x)
+          | Builtins.Sin -> F (sin x)
+          | Builtins.Cos -> F (cos x)
+          | Builtins.Tan -> F (tan x)
+          | Builtins.Atan -> F (atan x)
+          | Builtins.Fabs -> F (Float.abs x)
+          | Builtins.Floor -> F (Float.floor x)
+          | Builtins.Ceil -> F (Float.ceil x)
+          | Builtins.Round -> F (Float.round x))
+      | Builtins.Math2 m, [ va; vb ] -> (
+          match m with
+          | Builtins.Max | Builtins.Min -> (
+              let keep_max = m = Builtins.Max in
+              match (va, vb) with
+              | I x, I y -> I (if (x > y) = keep_max then x else y)
+              | _, _ ->
+                  let x = to_float va and y = to_float vb in
+                  F (if (x > y) = keep_max then x else y))
+          | Builtins.Fmax -> F (Float.max (to_float va) (to_float vb))
+          | Builtins.Fmin -> F (Float.min (to_float va) (to_float vb))
+          | Builtins.Pow -> F (Float.pow (to_float va) (to_float vb))
+          | Builtins.Fmod -> F (Float.rem (to_float va) (to_float vb))
+          | Builtins.Atan2 -> F (Float.atan2 (to_float va) (to_float vb))
+          | Builtins.Hypot -> F (Float.hypot (to_float va) (to_float vb)))
+      | Builtins.Math3 m, [ va; vb; vc ] -> (
+          match m with
+          | Builtins.Mad | Builtins.Fma ->
+              F ((to_float va *. to_float vb) +. to_float vc)
+          | Builtins.Clamp ->
+              F (Float.min (Float.max (to_float va) (to_float vb)) (to_float vc))
+          | Builtins.Mix ->
+              let a = to_float va and b = to_float vb and c = to_float vc in
+              F (a +. ((b -. a) *. c)))
+      | Builtins.Abs, [ v ] -> I (Int64.abs (to_int v))
+      | (Builtins.Wi _ | Builtins.Math1 _ | Builtins.Math2 _ | Builtins.Math3 _
+        | Builtins.Abs), _ ->
+          err "%s: wrong number of arguments" f)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution *)
+
+let default_value ty = if is_float_scalar ty then F 0.0 else I 0L
+
+let private_array_length ty =
+  let rec total = function
+    | Types.Array (inner, n) -> n * total inner
+    | _ -> 1
+  in
+  total ty
+
+let rec exec_stmt ctx wi (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Decl (ty, v, init) -> (
+      match ty with
+      | Types.Array _ ->
+          let len = private_array_length ty in
+          let elem = elem_scalar ty in
+          let zero = if Types.is_integer elem then I 0L else F 0.0 in
+          Hashtbl.replace wi.env v (Arr (Array.make len zero))
+      | _ ->
+          let value =
+            match init with
+            | Some e ->
+                let raw = eval ctx wi e in
+                if is_float_scalar ty then F (to_float raw) else I (to_int raw)
+            | None -> default_value ty
+          in
+          Hashtbl.replace wi.env v (Scalar value))
+  | Ast.Local_decl (ty, v) ->
+      let buf =
+        match Hashtbl.find_opt ctx.wg_locals v with
+        | Some b -> b
+        | None ->
+            let len = private_array_length ty in
+            let elem = elem_scalar ty in
+            let zero = if Types.is_integer elem then I 0L else F 0.0 in
+            let b = Array.make len zero in
+            Hashtbl.replace ctx.wg_locals v b;
+            b
+      in
+      Hashtbl.replace wi.env v (Arr buf)
+  | Ast.Assign (Ast.Lvar v, e) ->
+      let raw = eval ctx wi e in
+      let ty = var_type ctx v in
+      let value = if is_float_scalar ty then F (to_float raw) else I (to_int raw) in
+      Hashtbl.replace wi.env v (Scalar value)
+  | Ast.Assign (Ast.Lindex (arr, idxs), e) ->
+      let raw = eval ctx wi e in
+      let ivals = List.map (fun i -> Int64.to_int (to_int (eval ctx wi i))) idxs in
+      let buf = lookup_array ctx wi arr in
+      let i = linear_index ctx arr ivals in
+      if i < 0 || i >= Array.length buf then
+        err "out-of-bounds write %s[%d] (length %d)" arr i (Array.length buf);
+      let elem = elem_scalar (var_type ctx arr) in
+      buf.(i) <- (if Types.is_integer elem then I (to_int raw) else F (to_float raw));
+      if is_global_space ctx arr then
+        wi.trace <-
+          { array = arr; index = i; kind = `Write; elem_bits = elem_bits_of ctx arr }
+          :: wi.trace
+  | Ast.If (c, t, e) ->
+      if truthy (eval ctx wi c) then exec_stmts ctx wi t else exec_stmts ctx wi e
+  | Ast.For (hdr, body, _) -> exec_loop ctx wi s hdr body
+  | Ast.While (c, body, _) -> exec_while ctx wi s c body
+  | Ast.Barrier -> () (* phase handling is done at the work-group level *)
+  | Ast.Return _ -> raise Return_exc
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.Expr_stmt e -> ignore (eval ctx wi e)
+
+and exec_stmts ctx wi stmts = List.iter (exec_stmt ctx wi) stmts
+
+and note_trip ctx id iters =
+  Hashtbl.replace ctx.trip_sum id
+    (iters + Option.value (Hashtbl.find_opt ctx.trip_sum id) ~default:0);
+  Hashtbl.replace ctx.trip_entries id
+    (1 + Option.value (Hashtbl.find_opt ctx.trip_entries id) ~default:0);
+  let m = Option.value (Hashtbl.find_opt ctx.trip_max id) ~default:0 in
+  if iters > m then Hashtbl.replace ctx.trip_max id iters
+
+and exec_loop ctx wi s hdr body =
+  let id = loop_id ctx.loop_table s in
+  Option.iter (exec_stmt ctx wi) hdr.Ast.init;
+  let iters = ref 0 in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       let cond_ok =
+         match hdr.Ast.cond with
+         | Some c -> truthy (eval ctx wi c)
+         | None -> true
+       in
+       if not cond_ok then continue_ := false
+       else begin
+         incr iters;
+         if !iters > 10_000_000 then err "loop iteration budget exceeded";
+         (try exec_stmts ctx wi body with Continue_exc -> ());
+         Option.iter (exec_stmt ctx wi) hdr.Ast.step
+       end
+     done
+   with Break_exc -> ());
+  note_trip ctx id !iters
+
+and exec_while ctx wi s c body =
+  let id = loop_id ctx.loop_table s in
+  let iters = ref 0 in
+  (try
+     while truthy (eval ctx wi c) do
+       incr iters;
+       if !iters > 10_000_000 then err "loop iteration budget exceeded";
+       try exec_stmts ctx wi body with Continue_exc -> ()
+     done
+   with Break_exc -> ());
+  note_trip ctx id !iters
+
+(* ------------------------------------------------------------------ *)
+(* Work-group / NDRange driver *)
+
+let barriers_are_top_level (body : Ast.stmt list) =
+  let nested = ref false in
+  let rec check_nested stmts =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s with
+        | Ast.Barrier -> nested := true
+        | Ast.If (_, t, e) ->
+            check_nested t;
+            check_nested e
+        | Ast.For (_, b, _) | Ast.While (_, b, _) -> check_nested b
+        | _ -> ())
+      stmts
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Barrier -> ()
+      | Ast.If (_, t, e) ->
+          check_nested t;
+          check_nested e
+      | Ast.For (_, b, _) | Ast.While (_, b, _) -> check_nested b
+      | _ -> ())
+    body;
+  not !nested
+
+let split_at_barriers (body : Ast.stmt list) : Ast.stmt list list =
+  let phases = ref [] and current = ref [] in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Barrier ->
+          phases := List.rev !current :: !phases;
+          current := []
+      | other -> current := other :: !current)
+    body;
+  phases := List.rev !current :: !phases;
+  List.rev !phases
+
+let bind_args ctx wi =
+  List.iter
+    (fun (p : Ast.param) ->
+      let name = p.Ast.p_name in
+      match Launch.find_arg ctx.launch name with
+      | Some (Launch.Scalar (Launch.Int i)) -> Hashtbl.replace wi.env name (Scalar (I i))
+      | Some (Launch.Scalar (Launch.Float f)) ->
+          Hashtbl.replace wi.env name (Scalar (F f))
+      | Some (Launch.Buffer _) -> (
+          match Hashtbl.find_opt ctx.globals name with
+          | Some buf -> Hashtbl.replace wi.env name (Arr buf)
+          | None -> err "buffer %s not materialized" name)
+      | None -> (
+          (* __local params are allocated per work-group *)
+          match Types.addr_space_of p.Ast.p_type with
+          | Some Types.Local -> ()
+          | _ -> err "missing argument %s" name))
+    ctx.kernel.Ast.k_params
+
+let run_gen ~max_work_groups (k : Ast.kernel) (info : Sema.info) (launch : Launch.t)
+    =
+  let globals = Hashtbl.create 8 in
+  List.iter
+    (fun (name, arg) ->
+      match arg with
+      | Launch.Buffer { length; init } ->
+          let p = List.find_opt (fun (p : Ast.param) -> p.Ast.p_name = name) k.Ast.k_params in
+          let ty =
+            match p with
+            | Some p -> p.Ast.p_type
+            | None -> err "argument %s does not match any parameter" name
+          in
+          Hashtbl.replace globals name (materialize_buffer name ty init length)
+      | Launch.Scalar _ -> ())
+    launch.Launch.args;
+  let ctx =
+    {
+      kernel = k;
+      info;
+      launch;
+      loop_table = number_loops k.Ast.k_body;
+      globals;
+      wg_locals = Hashtbl.create 8;
+      trip_sum = Hashtbl.create 16;
+      trip_entries = Hashtbl.create 16;
+      trip_max = Hashtbl.create 16;
+      cur_loop_trip = 0;
+    }
+  in
+  let wgs = Launch.work_groups launch in
+  (* sample work-groups across the NDRange: the first two (adjacent, so
+     concurrent-CU interactions are observable) plus evenly spaced ones,
+     so kernels whose work density varies with position profile
+     representatively *)
+  let n_wgs = List.length wgs in
+  let selected =
+    if max_work_groups >= n_wgs then wgs
+    else
+      let k = max_work_groups in
+      let wanted =
+        (if k >= 2 then [ 0; 1 ] else [ 0 ])
+        @ List.init (max 0 (k - 2)) (fun i ->
+              2 + ((i + 1) * (n_wgs - 3) / max 1 (k - 2)))
+        |> List.sort_uniq compare
+      in
+      List.filteri (fun i _ -> List.mem i wanted) wgs
+  in
+  let lids = Launch.local_ids launch in
+  let traces = ref [] in
+  let top_level_barriers = barriers_are_top_level k.Ast.k_body in
+  let phases =
+    if top_level_barriers then split_at_barriers k.Ast.k_body else [ k.Ast.k_body ]
+  in
+  List.iter
+    (fun grp ->
+      Hashtbl.reset ctx.wg_locals;
+      (* one persistent state per work-item of this group *)
+      let states =
+        List.map
+          (fun lid ->
+            let gid =
+              {
+                Launch.x = (grp.Launch.x * launch.Launch.local.Launch.x) + lid.Launch.x;
+                y = (grp.Launch.y * launch.Launch.local.Launch.y) + lid.Launch.y;
+                z = (grp.Launch.z * launch.Launch.local.Launch.z) + lid.Launch.z;
+              }
+            in
+            let wi = { env = Hashtbl.create 32; trace = []; gid; lid; grp } in
+            bind_args ctx wi;
+            wi)
+          lids
+      in
+      List.iter
+        (fun phase ->
+          List.iter
+            (fun wi -> try exec_stmts ctx wi phase with Return_exc -> ())
+            states)
+        phases;
+      List.iter (fun wi -> traces := List.rev wi.trace :: !traces) states)
+    selected;
+  let avg_trips =
+    Hashtbl.fold
+      (fun id total acc ->
+        let entries = Option.value (Hashtbl.find_opt ctx.trip_entries id) ~default:1 in
+        (id, float_of_int total /. float_of_int (max 1 entries)) :: acc)
+      ctx.trip_sum []
+    |> List.sort compare
+  in
+  let max_trips =
+    Hashtbl.fold (fun id m acc -> (id, m) :: acc) ctx.trip_max [] |> List.sort compare
+  in
+  {
+    avg_trips;
+    max_trips;
+    wi_traces = Array.of_list (List.rev !traces);
+    n_work_items_profiled = List.length selected * Launch.wg_size launch;
+    buffers = Hashtbl.fold (fun name buf acc -> (name, buf) :: acc) globals [];
+  }
+
+let run ?(max_work_groups = 2) k info launch = run_gen ~max_work_groups k info launch
+
+let run_all k info launch =
+  run_gen ~max_work_groups:(Launch.n_work_groups launch) k info launch

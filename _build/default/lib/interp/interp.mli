@@ -1,0 +1,58 @@
+open Flexcl_opencl
+open Flexcl_ir
+
+(** Reference interpreter and dynamic profiler for the OpenCL subset.
+
+    Plays the role of the paper's CPU/GPU profiling run (§3.2): a few
+    work-groups of the kernel are executed to collect loop trip counts
+    and the global-memory access trace; it also produces functional
+    results used to validate the workload kernels.
+
+    Work-group barrier semantics: when every [barrier()] sits at the top
+    level of the kernel body, the body is split at barriers and each
+    phase runs for all work-items of the group before the next phase
+    starts, so producer/consumer communication through [__local] memory
+    is exact. Kernels with barriers nested in control flow are executed
+    one work-item at a time (trip counts and traces remain usable; local
+    data exchange between work-items is then approximate). *)
+
+exception Runtime_error of string
+
+type value = I of int64 | F of float
+
+val to_float : value -> float
+val to_int : value -> int64
+
+type access = {
+  array : string;
+  index : int;   (** element index within the buffer. *)
+  kind : [ `Read | `Write ];
+  elem_bits : int;  (** element width, for coalescing and bank mapping. *)
+}
+
+type profile = {
+  avg_trips : (int * float) list;
+      (** loop id -> mean iterations per loop entry. *)
+  max_trips : (int * int) list;
+  wi_traces : access list array;
+      (** global-memory accesses per profiled work-item, program order. *)
+  n_work_items_profiled : int;
+  buffers : (string * value array) list;
+      (** final buffer contents (global arguments only). *)
+}
+
+val trip_of : profile -> int -> float
+(** Average trip count of a loop id; 0. when the loop never ran. *)
+
+val run :
+  ?max_work_groups:int ->
+  Ast.kernel ->
+  Sema.info ->
+  Launch.t ->
+  profile
+(** Execute up to [max_work_groups] (default 2) work-groups. Buffers are
+    materialized from the launch description (deterministically seeded);
+    indices out of bounds raise {!Runtime_error}. *)
+
+val run_all : Ast.kernel -> Sema.info -> Launch.t -> profile
+(** Execute every work-group (functional validation of small launches). *)

@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Ast Dfg Flexcl_opencl Float Format List Map Opcode Printf

@@ -1,0 +1,1 @@
+lib/ir/cdfg.mli: Ast Dfg Flexcl_opencl Format Opcode

@@ -1,0 +1,1 @@
+lib/ir/depend.ml: Ast Builtins Cdfg Dfg Flexcl_opencl Int64 Launch List Lower Opcode Option

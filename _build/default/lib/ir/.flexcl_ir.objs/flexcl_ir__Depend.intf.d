@@ -1,0 +1,1 @@
+lib/ir/depend.mli: Ast Cdfg Dfg Flexcl_opencl Launch

@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Ast Flexcl_opencl Flexcl_util Hashtbl List Opcode Option

@@ -1,0 +1,1 @@
+lib/ir/dfg.mli: Ast Flexcl_opencl Flexcl_util Opcode

@@ -1,0 +1,1 @@
+lib/ir/launch.ml: List Printf

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ast Builtins Cdfg Dfg Flexcl_opencl Hashtbl Int64 Launch List Opcode Option Sema Types

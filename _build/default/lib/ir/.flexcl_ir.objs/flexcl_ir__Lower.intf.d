@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Ast Builtins Cdfg Flexcl_opencl Launch Sema

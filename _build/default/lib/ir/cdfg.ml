@@ -1,0 +1,100 @@
+open Flexcl_opencl
+
+type loop_info = {
+  loop_id : int;
+  attrs : Ast.loop_attrs;
+  static_trip : int option;
+  var : string option;
+}
+
+type region =
+  | Straight of Dfg.t
+  | Seq of region list
+  | Branch of { cond : Dfg.t; then_ : region; else_ : region }
+  | Loop of { info : loop_info; header : Dfg.t; body : region }
+
+type t = {
+  kernel_name : string;
+  body : region;
+  n_loops : int;
+  uses_barrier : bool;
+}
+
+let rec fold_blocks f acc = function
+  | Straight d -> f acc d
+  | Seq rs -> List.fold_left (fold_blocks f) acc rs
+  | Branch { cond; then_; else_ } ->
+      let acc = f acc cond in
+      let acc = fold_blocks f acc then_ in
+      fold_blocks f acc else_
+  | Loop { header; body; _ } ->
+      let acc = f acc header in
+      fold_blocks f acc body
+
+let rec fold_loops f acc = function
+  | Straight _ -> acc
+  | Seq rs -> List.fold_left (fold_loops f) acc rs
+  | Branch { then_; else_; _ } -> fold_loops f (fold_loops f acc then_) else_
+  | Loop { info; body; _ } -> fold_loops f (f acc info) body
+
+let region_reads r =
+  fold_blocks (fun acc d -> List.rev_append (Dfg.reads d) acc) [] r
+  |> List.sort_uniq compare
+
+let region_writes r =
+  fold_blocks (fun acc d -> List.rev_append (Dfg.writes d) acc) [] r
+  |> List.sort_uniq compare
+
+module Op_map = Map.Make (struct
+  type t = Opcode.t
+
+  let compare = compare
+end)
+
+let merge_max = Op_map.union (fun _ a b -> Some (Float.max a b))
+
+let merge_add = Op_map.union (fun _ a b -> Some (a +. b))
+
+let scale k m = Op_map.map (fun v -> v *. k) m
+
+let counts_of_block d =
+  List.fold_left
+    (fun m (op, c) -> Op_map.add op (float_of_int c) m)
+    Op_map.empty (Dfg.op_histogram d)
+
+let rec dyn_counts ~trip = function
+  | Straight d -> counts_of_block d
+  | Seq rs ->
+      List.fold_left (fun m r -> merge_add m (dyn_counts ~trip r)) Op_map.empty rs
+  | Branch { cond; then_; else_ } ->
+      merge_add (counts_of_block cond)
+        (merge_max (dyn_counts ~trip then_) (dyn_counts ~trip else_))
+  | Loop { info; header; body } ->
+      let n = float_of_int (max 1 (trip info)) in
+      scale n (merge_add (counts_of_block header) (dyn_counts ~trip body))
+
+let weighted_op_counts ~trip r = Op_map.bindings (dyn_counts ~trip r)
+
+let count_ops r pred ~trip =
+  List.fold_left
+    (fun acc (op, c) -> if pred op then acc +. c else acc)
+    0.0
+    (weighted_op_counts ~trip r)
+
+let rec pp_region ppf = function
+  | Straight d -> Format.fprintf ppf "block(%d ops)" (Dfg.n_nodes d)
+  | Seq rs ->
+      Format.fprintf ppf "@[<v 2>seq {@ %a@]@ }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+           pp_region)
+        rs
+  | Branch { cond; then_; else_ } ->
+      Format.fprintf ppf "@[<v 2>if(%d ops) {@ %a@ } else {@ %a@]@ }"
+        (Dfg.n_nodes cond) pp_region then_ pp_region else_
+  | Loop { info; header; body } ->
+      Format.fprintf ppf "@[<v 2>loop#%d%s(hdr %d ops) {@ %a@]@ }" info.loop_id
+        (match info.static_trip with
+        | Some n -> Printf.sprintf " trip=%d" n
+        | None -> "")
+        (Dfg.n_nodes header) pp_region body

@@ -1,0 +1,62 @@
+open Flexcl_opencl
+
+(** Control-data-flow graph of a kernel, after the paper's simplification:
+    straight-line statements are merged into one basic block ({!Dfg.t}),
+    and control constructs become structured regions.
+
+    Loop numbering contract: loops are numbered in source pre-order — the
+    order in which [For]/[While] statements are encountered walking the
+    statement list, descending into if-branches and loop bodies. The
+    interpreter ({!Flexcl_interp}) uses the same numbering, so profiled
+    trip counts line up with {!loop_info.loop_id}. *)
+
+type loop_info = {
+  loop_id : int;
+  attrs : Ast.loop_attrs;
+  static_trip : int option;
+      (** Trip count when derivable from constants, scalar kernel
+          arguments and NDRange queries; [None] means dynamic profiling
+          must supply it. *)
+  var : string option;
+      (** Induction variable of a canonical [for] loop, for loop-carried
+          dependence analysis. *)
+}
+
+type region =
+  | Straight of Dfg.t
+  | Seq of region list
+      (** Children execute as a dependency-ordered partial order: blocks
+          with no data dependence run in parallel circuits. *)
+  | Branch of { cond : Dfg.t; then_ : region; else_ : region }
+  | Loop of { info : loop_info; header : Dfg.t; body : region }
+
+type t = {
+  kernel_name : string;
+  body : region;
+  n_loops : int;
+  uses_barrier : bool;
+}
+
+val fold_blocks : ('a -> Dfg.t -> 'a) -> 'a -> region -> 'a
+(** Every block (straight, cond, header) in pre-order. *)
+
+val fold_loops : ('a -> loop_info -> 'a) -> 'a -> region -> 'a
+
+val region_reads : region -> string list
+(** Union of variable reads over the region (sorted, unique). *)
+
+val region_writes : region -> string list
+
+val weighted_op_counts :
+  trip:(loop_info -> int) -> region -> (Opcode.t * float) list
+(** Per-work-item dynamic operation counts: each block's ops multiplied by
+    the product of enclosing loop trip counts (from [trip], which should
+    consult static info or profiles); branch sides contribute the
+    element-wise {e maximum} of the two sides (the circuit exists for
+    both, one executes). Loop [unroll] does not change dynamic counts. *)
+
+val count_ops : region -> (Opcode.t -> bool) -> trip:(loop_info -> int) -> float
+(** Total dynamic count of matching ops per work-item. *)
+
+val pp_region : Format.formatter -> region -> unit
+(** Debug printer showing the region structure and block sizes. *)

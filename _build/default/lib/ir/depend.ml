@@ -1,0 +1,206 @@
+open Flexcl_opencl
+
+type recurrence = {
+  block : Dfg.t;
+  load : int;
+  store : int;
+  array : string;
+  distance : int;
+}
+
+(* Evaluation with a distinguished "carried" variable set to [t]. Free
+   variables resolve through [subst], then kernel scalar args, then a
+   fixed sample value (the analysis only needs affinity in the carried
+   variable, so sampling the others at a constant is sound for affine
+   indexes and at worst conservative for non-affine ones). *)
+let sample_value = 3L
+
+let eval_at launch ~subst ~carried ~t expr =
+  let ( let* ) = Option.bind in
+  let rec go (e : Ast.expr) : int64 option =
+    match e with
+    | Ast.Int_lit i -> Some i
+    | Ast.Float_lit _ -> None
+    | Ast.Var v -> (
+        match carried with
+        | `Loop_var lv when lv = v -> Some t
+        | `Loop_var _ | `Work_item -> (
+            match subst v with
+            | Some value -> Some value
+            | None -> (
+                match List.assoc_opt v (Launch.scalar_env launch) with
+                | Some value -> Some value
+                | None -> Some sample_value)))
+    | Ast.Cast (_, a) -> go a
+    | Ast.Unop (Ast.Neg, a) ->
+        let* v = go a in
+        Some (Int64.neg v)
+    | Ast.Unop (Ast.Bnot, a) ->
+        let* v = go a in
+        Some (Int64.lognot v)
+    | Ast.Unop (Ast.Lnot, a) ->
+        let* v = go a in
+        Some (if v = 0L then 1L else 0L)
+    | Ast.Ternary (c, a, b) ->
+        let* v = go c in
+        if v <> 0L then go a else go b
+    | Ast.Call (f, args) -> (
+        match (Builtins.find f, args) with
+        | Some (Builtins.Wi fn), [ d ] -> (
+            let* dim = go d in
+            let dim = Int64.to_int dim in
+            match fn with
+            | Builtins.Get_global_id | Builtins.Get_local_id ->
+                if dim = 0 then
+                  match carried with
+                  | `Work_item -> Some t
+                  | `Loop_var _ -> Some sample_value
+                else Some 0L
+            | Builtins.Get_group_id -> Some 0L
+            | Builtins.Get_global_size | Builtins.Get_local_size
+            | Builtins.Get_num_groups ->
+                Option.map Int64.of_int (Lower.wi_size_value launch fn dim))
+        | _, _ -> None)
+    | Ast.Index _ -> None (* data-dependent index: not affine *)
+    | Ast.Binop (op, a, b) -> (
+        let* x = go a in
+        let* y = go b in
+        let bool_ c = Some (if c then 1L else 0L) in
+        match op with
+        | Ast.Add -> Some (Int64.add x y)
+        | Ast.Sub -> Some (Int64.sub x y)
+        | Ast.Mul -> Some (Int64.mul x y)
+        | Ast.Div -> if y = 0L then None else Some (Int64.div x y)
+        | Ast.Mod -> if y = 0L then None else Some (Int64.rem x y)
+        | Ast.Band -> Some (Int64.logand x y)
+        | Ast.Bor -> Some (Int64.logor x y)
+        | Ast.Bxor -> Some (Int64.logxor x y)
+        | Ast.Shl -> Some (Int64.shift_left x (Int64.to_int y))
+        | Ast.Shr -> Some (Int64.shift_right x (Int64.to_int y))
+        | Ast.Land -> bool_ (x <> 0L && y <> 0L)
+        | Ast.Lor -> bool_ (x <> 0L || y <> 0L)
+        | Ast.Eq -> bool_ (x = y)
+        | Ast.Ne -> bool_ (x <> y)
+        | Ast.Lt -> bool_ (x < y)
+        | Ast.Le -> bool_ (x <= y)
+        | Ast.Gt -> bool_ (x > y)
+        | Ast.Ge -> bool_ (x >= y))
+  in
+  go expr
+
+let affine_probe launch ~subst ~carried expr =
+  let probe t = eval_at launch ~subst ~carried ~t expr in
+  match (probe 10L, probe 11L, probe 12L) with
+  | Some v0, Some v1, Some v2 ->
+      let d1 = Int64.sub v1 v0 and d2 = Int64.sub v2 v1 in
+      if d1 = d2 then
+        (* base = value at t=0 *)
+        let base = Int64.sub v0 (Int64.mul 10L d1) in
+        Some (base, d1)
+      else None
+  | _, _, _ -> None
+
+(* Candidate (store -> later load) distances between two affine accesses
+   with the same stride. *)
+let distance_of ~store_affine:(s0, s1) ~load_affine:(l0, l1) =
+  if s1 <> l1 then None
+  else if s1 = 0L then
+    (* same fixed location touched by every instance: accumulator *)
+    if s0 = l0 then Some 1 else None
+  else
+    let delta = Int64.sub s0 l0 in
+    (* instance g writes s0 + c g; instance g + d reads it when
+       l0 + c (g + d) = s0 + c g, i.e. d = (s0 - l0) / c *)
+    if Int64.rem delta s1 = 0L then
+      let d = Int64.div delta s1 in
+      if d >= 1L && d <= 1024L then Some (Int64.to_int d) else None
+    else None
+
+let block_recurrences launch ~subst ~carried (d : Dfg.t) =
+  let mem = Dfg.mem_nodes d in
+  let stores =
+    List.filter (fun (n : Dfg.node) -> match n.Dfg.op with Opcode.Store _ -> true | _ -> false) mem
+  in
+  let loads =
+    List.filter (fun (n : Dfg.node) -> match n.Dfg.op with Opcode.Load _ -> true | _ -> false) mem
+  in
+  let recs = ref [] in
+  List.iter
+    (fun (s : Dfg.node) ->
+      match (s.Dfg.array, s.Dfg.index) with
+      | Some arr, Some si -> (
+          match affine_probe launch ~subst ~carried si with
+          | None -> ()
+          | Some store_affine ->
+              List.iter
+                (fun (l : Dfg.node) ->
+                  if l.Dfg.array = Some arr then
+                    match l.Dfg.index with
+                    | None -> ()
+                    | Some li -> (
+                        match affine_probe launch ~subst ~carried li with
+                        | None -> ()
+                        | Some load_affine -> (
+                            match distance_of ~store_affine ~load_affine with
+                            | Some distance ->
+                                recs :=
+                                  {
+                                    block = d;
+                                    load = l.Dfg.id;
+                                    store = s.Dfg.id;
+                                    array = arr;
+                                    distance;
+                                  }
+                                  :: !recs
+                            | None -> ())))
+                loads)
+      | _, _ -> ())
+    stores;
+  !recs
+
+let scalar_recurrences (d : Dfg.t) =
+  List.filter_map
+    (fun (v, live) ->
+      match List.assoc_opt v (Dfg.scalar_defs d) with
+      | Some def when def <> live ->
+          Some { block = d; load = live; store = def; array = "<" ^ v ^ ">"; distance = 1 }
+      | Some _ | None -> None)
+    (Dfg.live_ins d)
+
+let work_item_recurrences (cdfg : Cdfg.t) launch =
+  Cdfg.fold_blocks
+    (fun acc d ->
+      block_recurrences launch ~subst:(fun _ -> None) ~carried:`Work_item d @ acc)
+    [] cdfg.Cdfg.body
+
+let loop_recurrences (cdfg : Cdfg.t) launch =
+  let results = ref [] in
+  let rec walk (r : Cdfg.region) =
+    match r with
+    | Cdfg.Straight _ -> ()
+    | Cdfg.Seq rs -> List.iter walk rs
+    | Cdfg.Branch { then_; else_; _ } ->
+        walk then_;
+        walk else_
+    | Cdfg.Loop { info; body; _ } ->
+        (match info.Cdfg.var with
+        | Some lv ->
+            let recs =
+              Cdfg.fold_blocks
+                (fun acc d ->
+                  block_recurrences launch ~subst:(fun _ -> None)
+                    ~carried:(`Loop_var lv) d
+                  @ scalar_recurrences d @ acc)
+                [] body
+            in
+            results := (info.Cdfg.loop_id, recs) :: !results
+        | None ->
+            (* while-loops: scalar accumulators only *)
+            let recs =
+              Cdfg.fold_blocks (fun acc d -> scalar_recurrences d @ acc) [] body
+            in
+            results := (info.Cdfg.loop_id, recs) :: !results);
+        walk body
+  in
+  walk cdfg.Cdfg.body;
+  List.rev !results

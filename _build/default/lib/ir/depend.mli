@@ -1,0 +1,47 @@
+open Flexcl_opencl
+
+(** Static dependence analysis for recurrence-constrained MII.
+
+    Detects true (read-after-write) recurrences carried between successive
+    work-items in the pipeline ([work_item_recurrences]) and between
+    successive iterations of a loop ([loop_recurrences]), using affine
+    analysis of memory index expressions: an index is probed at three
+    values of the carried variable (work-item id or induction variable);
+    if the results are affine, store/load pairs on the same array are
+    solved for their dependence distance, as in the static method of
+    iterative modulo scheduling. Non-affine (data-dependent) indexes are
+    conservatively ignored — the paper handles their cost through the
+    profiled memory model instead. *)
+
+type recurrence = {
+  block : Dfg.t;    (** the basic block containing the cycle. *)
+  load : int;       (** node id of the load. *)
+  store : int;      (** node id of the store. *)
+  array : string;
+  distance : int;   (** dependence distance, >= 1. *)
+}
+
+val work_item_recurrences : Cdfg.t -> Launch.t -> recurrence list
+(** Recurrences carried across work-items (distance measured in
+    work-items): a store at affine index [s0 + c*gid] read back by a
+    later work-item, or an accumulator location touched by every
+    work-item (distance 1). *)
+
+val loop_recurrences : Cdfg.t -> Launch.t -> (int * recurrence list) list
+(** Per-loop ([loop_id]) recurrences carried by the loop induction
+    variable, used when a loop body is pipelined. Scalar accumulation
+    across iterations ([sum += ...]) is also reported, as a distance-1
+    recurrence on the pseudo-array ["<scalar>"] with load/store on the
+    accumulating operation chain when it is detectable. *)
+
+val affine_probe :
+  Launch.t ->
+  subst:(string -> int64 option) ->
+  carried:[ `Work_item | `Loop_var of string ] ->
+  Ast.expr ->
+  (int64 * int64) option
+(** [affine_probe launch ~subst ~carried e] evaluates [e] at three values
+    of the carried variable and returns [(base, stride)] when affine.
+    [subst] resolves free scalar variables (loop indices of {e other}
+    loops, kernel arguments are resolved from the launch automatically).
+    Exposed for tests. *)

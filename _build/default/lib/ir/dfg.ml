@@ -1,0 +1,113 @@
+open Flexcl_opencl
+
+module Graph = Flexcl_util.Graph
+
+type node = {
+  id : int;
+  op : Opcode.t;
+  array : string option;
+  index : Ast.expr option;
+}
+
+type t = {
+  nodes : node array;
+  graph : Graph.t;
+  reads : string list;
+  writes : string list;
+  live_ins : (string * int) list;
+  scalar_defs : (string * int) list;
+}
+
+let n_nodes t = Array.length t.nodes
+
+let node t i = t.nodes.(i)
+
+let nodes t = Array.to_list t.nodes
+
+let graph t = t.graph
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let count t pred =
+  Array.fold_left (fun acc n -> if pred n.op then acc + 1 else acc) 0 t.nodes
+
+let op_histogram t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      let c = Option.value (Hashtbl.find_opt tbl n.op) ~default:0 in
+      Hashtbl.replace tbl n.op (c + 1))
+    t.nodes;
+  Hashtbl.fold (fun op c acc -> (op, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mem_nodes t =
+  Array.to_list t.nodes |> List.filter (fun n -> Opcode.is_mem n.op)
+
+let is_empty t = Array.length t.nodes = 0
+
+let live_ins t = t.live_ins
+
+let scalar_defs t = t.scalar_defs
+
+type builder = {
+  mutable rev_nodes : node list;
+  mutable next : int;
+  mutable deps : (int * int) list;
+  mutable b_reads : string list;
+  mutable b_writes : string list;
+  mutable b_live_ins : (string * int) list;
+  mutable b_scalar_defs : (string * int) list;
+}
+
+let builder () =
+  {
+    rev_nodes = [];
+    next = 0;
+    deps = [];
+    b_reads = [];
+    b_writes = [];
+    b_live_ins = [];
+    b_scalar_defs = [];
+  }
+
+let add_node b ?array ?index op =
+  let id = b.next in
+  b.next <- id + 1;
+  b.rev_nodes <- { id; op; array; index } :: b.rev_nodes;
+  id
+
+let add_dep b producer consumer = b.deps <- (producer, consumer) :: b.deps
+
+let note_read b v = b.b_reads <- v :: b.b_reads
+
+let note_write b v = b.b_writes <- v :: b.b_writes
+
+let live_in b v =
+  match List.assoc_opt v b.b_live_ins with
+  | Some id -> id
+  | None ->
+      let id = add_node b Opcode.Live_in in
+      b.b_live_ins <- (v, id) :: b.b_live_ins;
+      id
+
+let note_scalar_def b v id =
+  b.b_scalar_defs <- (v, id) :: List.remove_assoc v b.b_scalar_defs
+
+let freeze b =
+  let nodes = Array.of_list (List.rev b.rev_nodes) in
+  let g = Graph.create (Array.length nodes) in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) b.deps;
+  let uniq xs = List.sort_uniq compare xs in
+  {
+    nodes;
+    graph = g;
+    reads = uniq b.b_reads;
+    writes = uniq b.b_writes;
+    live_ins = b.b_live_ins;
+    scalar_defs = b.b_scalar_defs;
+  }
+
+let empty = freeze (builder ())

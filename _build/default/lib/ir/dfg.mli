@@ -1,0 +1,66 @@
+open Flexcl_opencl
+
+(** Data-flow graph of one simplified basic block.
+
+    Nodes are IR operations; edges are data dependencies. Memory nodes
+    carry the accessed array name and the source-level index expression
+    (used by the dependence analysis and by the memory model). The block
+    also records which variables the covered statements read and write,
+    so block-level parallelism can be derived without op-level cross-block
+    edges. *)
+
+type node = {
+  id : int;
+  op : Opcode.t;
+  array : string option;  (** for [Load]/[Store] nodes. *)
+  index : Ast.expr option;  (** linearized index expression of the access. *)
+}
+
+type t
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+val graph : t -> Flexcl_util.Graph.t
+(** Dependence DAG over node ids (edge [u -> v] when [v] consumes [u]). *)
+
+val reads : t -> string list
+(** Variables/arrays read by the block's statements (sorted, unique). *)
+
+val writes : t -> string list
+
+val count : t -> (Opcode.t -> bool) -> int
+(** Number of nodes whose opcode satisfies the predicate. *)
+
+val op_histogram : t -> (Opcode.t * int) list
+
+val mem_nodes : t -> node list
+(** All [Load]/[Store] nodes in id order. *)
+
+val is_empty : t -> bool
+
+val live_ins : t -> (string * int) list
+(** Scalar variables read before any in-block definition, with their
+    {!Opcode.Live_in} node. *)
+
+val scalar_defs : t -> (string * int) list
+(** Final producer node of each scalar variable the block assigns. *)
+
+(** {2 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+val add_node : builder -> ?array:string -> ?index:Ast.expr -> Opcode.t -> int
+val add_dep : builder -> int -> int -> unit
+(** [add_dep b producer consumer]. *)
+
+val live_in : builder -> string -> int
+(** Get or create the [Live_in] node for a scalar variable. *)
+
+val note_scalar_def : builder -> string -> int -> unit
+val note_read : builder -> string -> unit
+val note_write : builder -> string -> unit
+val freeze : builder -> t
+
+val empty : t

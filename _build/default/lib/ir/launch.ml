@@ -1,0 +1,67 @@
+type dim3 = { x : int; y : int; z : int }
+
+let dim3 ?(y = 1) ?(z = 1) x = { x; y; z }
+
+let volume d = d.x * d.y * d.z
+
+type scalar_value = Int of int64 | Float of float
+
+type buffer_init =
+  | Zeros
+  | Ramp
+  | Const_init of float
+  | Random_floats of int
+  | Random_ints of int * int
+
+type arg =
+  | Scalar of scalar_value
+  | Buffer of { length : int; init : buffer_init }
+
+type t = { global : dim3; local : dim3; args : (string * arg) list }
+
+let make ~global ~local ~args =
+  let check g l name =
+    if l <= 0 then invalid_arg (Printf.sprintf "Launch.make: local.%s <= 0" name);
+    if g <= 0 then invalid_arg (Printf.sprintf "Launch.make: global.%s <= 0" name);
+    if g mod l <> 0 then
+      invalid_arg
+        (Printf.sprintf "Launch.make: local.%s=%d does not divide global.%s=%d"
+           name l name g)
+  in
+  check global.x local.x "x";
+  check global.y local.y "y";
+  check global.z local.z "z";
+  { global; local; args }
+
+let n_work_items t = volume t.global
+
+let wg_size t = volume t.local
+
+let n_work_groups t = n_work_items t / wg_size t
+
+let find_arg t name = List.assoc_opt name t.args
+
+let scalar_env t =
+  List.filter_map
+    (fun (name, arg) ->
+      match arg with
+      | Scalar (Int v) -> Some (name, v)
+      | Scalar (Float _) | Buffer _ -> None)
+    t.args
+
+let cartesian nx ny nz =
+  let out = ref [] in
+  for z = nz - 1 downto 0 do
+    for y = ny - 1 downto 0 do
+      for x = nx - 1 downto 0 do
+        out := { x; y; z } :: !out
+      done
+    done
+  done;
+  !out
+
+let work_groups t =
+  cartesian (t.global.x / t.local.x) (t.global.y / t.local.y)
+    (t.global.z / t.local.z)
+
+let local_ids t = cartesian t.local.x t.local.y t.local.z

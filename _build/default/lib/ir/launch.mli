@@ -1,0 +1,52 @@
+(** Kernel launch configuration: NDRange geometry and argument values.
+
+    FlexCL needs concrete argument values for its dynamic profiling step
+    (trip counts, memory traces), exactly like the paper's CPU/GPU
+    profiling run. Buffers are described by a length and a deterministic
+    initialization recipe so the whole pipeline stays reproducible. *)
+
+type dim3 = { x : int; y : int; z : int }
+
+val dim3 : ?y:int -> ?z:int -> int -> dim3
+(** [dim3 x] is [{x; y = 1; z = 1}] unless overridden. *)
+
+val volume : dim3 -> int
+
+type scalar_value = Int of int64 | Float of float
+
+type buffer_init =
+  | Zeros
+  | Ramp  (** element [i] gets value [i] (as the element type). *)
+  | Const_init of float
+  | Random_floats of int  (** seed; uniform in [\[0, 1)]. *)
+  | Random_ints of int * int  (** seed, exclusive bound. *)
+
+type arg =
+  | Scalar of scalar_value
+  | Buffer of { length : int; init : buffer_init }
+
+type t = {
+  global : dim3;  (** total work-items per dimension (NDRange). *)
+  local : dim3;   (** work-items per work-group per dimension. *)
+  args : (string * arg) list;  (** by parameter name. *)
+}
+
+val make :
+  global:dim3 -> local:dim3 -> args:(string * arg) list -> t
+(** Validates that each local dimension divides the global one and is
+    positive; raises [Invalid_argument] otherwise. *)
+
+val n_work_items : t -> int
+val wg_size : t -> int
+val n_work_groups : t -> int
+
+val find_arg : t -> string -> arg option
+
+val scalar_env : t -> (string * int64) list
+(** Integer-valued scalar arguments, for static trip-count evaluation. *)
+
+val work_groups : t -> dim3 list
+(** All work-group ids in dispatch (row-major) order. *)
+
+val local_ids : t -> dim3 list
+(** All local ids within one work-group, row-major. *)

@@ -1,0 +1,428 @@
+open Flexcl_opencl
+
+(* ------------------------------------------------------------------ *)
+(* Static expression evaluation against a launch configuration *)
+
+let wi_size_value (launch : Launch.t) (fn : Builtins.wi_fn) dim =
+  let pick (d : Launch.dim3) = match dim with 0 -> d.Launch.x | 1 -> d.y | 2 -> d.z | _ -> 1 in
+  match fn with
+  | Builtins.Get_global_size -> Some (pick launch.Launch.global)
+  | Builtins.Get_local_size -> Some (pick launch.Launch.local)
+  | Builtins.Get_num_groups ->
+      Some (pick launch.Launch.global / pick launch.Launch.local)
+  | Builtins.Get_global_id | Builtins.Get_local_id | Builtins.Get_group_id ->
+      None
+
+let eval_static launch ~env expr =
+  let ( let* ) = Option.bind in
+  let rec go (e : Ast.expr) : int64 option =
+    match e with
+    | Ast.Int_lit i -> Some i
+    | Ast.Float_lit _ -> None
+    | Ast.Var v -> (
+        match List.assoc_opt v env with
+        | Some value -> Some value
+        | None -> List.assoc_opt v (Launch.scalar_env launch))
+    | Ast.Cast (_, a) -> go a
+    | Ast.Unop (Ast.Neg, a) ->
+        let* v = go a in
+        Some (Int64.neg v)
+    | Ast.Unop (Ast.Bnot, a) ->
+        let* v = go a in
+        Some (Int64.lognot v)
+    | Ast.Unop (Ast.Lnot, a) ->
+        let* v = go a in
+        Some (if v = 0L then 1L else 0L)
+    | Ast.Ternary (c, a, b) ->
+        let* v = go c in
+        if v <> 0L then go a else go b
+    | Ast.Call (f, [ d ]) -> (
+        match (Builtins.find f, go d) with
+        | Some (Builtins.Wi fn), Some dim ->
+            Option.map Int64.of_int (wi_size_value launch fn (Int64.to_int dim))
+        | _, _ -> None)
+    | Ast.Call _ | Ast.Index _ -> None
+    | Ast.Binop (op, a, b) -> (
+        let* x = go a in
+        let* y = go b in
+        let bool_ c = Some (if c then 1L else 0L) in
+        match op with
+        | Ast.Add -> Some (Int64.add x y)
+        | Ast.Sub -> Some (Int64.sub x y)
+        | Ast.Mul -> Some (Int64.mul x y)
+        | Ast.Div -> if y = 0L then None else Some (Int64.div x y)
+        | Ast.Mod -> if y = 0L then None else Some (Int64.rem x y)
+        | Ast.Band -> Some (Int64.logand x y)
+        | Ast.Bor -> Some (Int64.logor x y)
+        | Ast.Bxor -> Some (Int64.logxor x y)
+        | Ast.Shl -> Some (Int64.shift_left x (Int64.to_int y))
+        | Ast.Shr -> Some (Int64.shift_right x (Int64.to_int y))
+        | Ast.Land -> bool_ (x <> 0L && y <> 0L)
+        | Ast.Lor -> bool_ (x <> 0L || y <> 0L)
+        | Ast.Eq -> bool_ (x = y)
+        | Ast.Ne -> bool_ (x <> y)
+        | Ast.Lt -> bool_ (x < y)
+        | Ast.Le -> bool_ (x <= y)
+        | Ast.Gt -> bool_ (x > y)
+        | Ast.Ge -> bool_ (x >= y))
+  in
+  go expr
+
+let static_trip launch (hdr : Ast.for_header) =
+  let ( let* ) = Option.bind in
+  let* init = hdr.Ast.init in
+  let* var, init_expr =
+    match init with
+    | Ast.Decl (_, v, Some e) | Ast.Assign (Ast.Lvar v, e) -> Some (v, e)
+    | _ -> None
+  in
+  let* cond = hdr.Ast.cond in
+  let* op, bound_expr =
+    match cond with
+    | Ast.Binop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Ne) as op), Ast.Var v, b)
+      when v = var ->
+        Some (op, b)
+    | Ast.Binop (op, b, Ast.Var v) when v = var -> (
+        (* mirror: b > i  means  i < b *)
+        match op with
+        | Ast.Lt -> Some (Ast.Gt, b)
+        | Ast.Le -> Some (Ast.Ge, b)
+        | Ast.Gt -> Some (Ast.Lt, b)
+        | Ast.Ge -> Some (Ast.Le, b)
+        | Ast.Ne -> Some (Ast.Ne, b)
+        | _ -> None)
+    | _ -> None
+  in
+  let* step = hdr.Ast.step in
+  let* stride =
+    match step with
+    | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Add, Ast.Var v', e)) when v = var && v' = var
+      ->
+        eval_static launch ~env:[] e
+    | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Add, e, Ast.Var v')) when v = var && v' = var
+      ->
+        eval_static launch ~env:[] e
+    | Ast.Assign (Ast.Lvar v, Ast.Binop (Ast.Sub, Ast.Var v', e)) when v = var && v' = var
+      ->
+        Option.map Int64.neg (eval_static launch ~env:[] e)
+    | _ -> None
+  in
+  let* i0 = eval_static launch ~env:[] init_expr in
+  let* b = eval_static launch ~env:[] bound_expr in
+  if stride = 0L then None
+  else
+    let ceil_div num den =
+      (* ceiling for positive den and any num *)
+      if num <= 0L then 0L
+      else Int64.div (Int64.add num (Int64.sub den 1L)) den
+    in
+    let trip =
+      match op with
+      | Ast.Lt when stride > 0L -> Some (ceil_div (Int64.sub b i0) stride)
+      | Ast.Le when stride > 0L -> Some (ceil_div (Int64.add (Int64.sub b i0) 1L) stride)
+      | Ast.Gt when stride < 0L -> Some (ceil_div (Int64.sub i0 b) (Int64.neg stride))
+      | Ast.Ge when stride < 0L ->
+          Some (ceil_div (Int64.add (Int64.sub i0 b) 1L) (Int64.neg stride))
+      | Ast.Ne ->
+          let diff = Int64.sub b i0 in
+          if Int64.rem diff stride = 0L && Int64.div diff stride >= 0L then
+            Some (Int64.div diff stride)
+          else None
+      | _ -> None
+    in
+    Option.map Int64.to_int trip
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering *)
+
+type block_state = {
+  b : Dfg.builder;
+  env : (string, int) Hashtbl.t;  (* scalar var -> producer node *)
+  memord : (string, int option * int list) Hashtbl.t;
+      (* array -> (last store, loads since) *)
+}
+
+let fresh_block () =
+  { b = Dfg.builder (); env = Hashtbl.create 16; memord = Hashtbl.create 8 }
+
+type ctx = {
+  info : Sema.info;
+  launch : Launch.t;
+  counter : int ref;
+  defs : (string, Ast.expr option) Hashtbl.t;
+      (* single-assignment scalar definitions, kernel-wide; [None] marks
+         variables assigned more than once (loop counters, accumulators),
+         which stay symbolic so the dependence analysis can treat them as
+         carried variables. Used to inline index expressions. *)
+}
+
+let expr_size e = Ast.fold_expr (fun n _ -> n + 1) 0 e
+
+let rec subst_defs ctx (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var v -> (
+      match Hashtbl.find_opt ctx.defs v with
+      | Some (Some d) -> d
+      | Some None | None -> e)
+  | Ast.Int_lit _ | Ast.Float_lit _ -> e
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, subst_defs ctx a, subst_defs ctx b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, subst_defs ctx a)
+  | Ast.Cast (t, a) -> Ast.Cast (t, subst_defs ctx a)
+  | Ast.Ternary (c, a, b) ->
+      Ast.Ternary (subst_defs ctx c, subst_defs ctx a, subst_defs ctx b)
+  | Ast.Call (f, args) -> Ast.Call (f, List.map (subst_defs ctx) args)
+  | Ast.Index (b, idxs) ->
+      Ast.Index (subst_defs ctx b, List.map (subst_defs ctx) idxs)
+
+let record_def ctx v e =
+  if Hashtbl.mem ctx.defs v then Hashtbl.replace ctx.defs v None
+  else
+    let inlined = subst_defs ctx e in
+    if expr_size inlined <= 200 then Hashtbl.replace ctx.defs v (Some inlined)
+    else Hashtbl.replace ctx.defs v None
+
+let is_float_type = function
+  | Types.Scalar s -> Types.is_float s
+  | Types.Vector (s, _) -> Types.is_float s
+  | Types.Void | Types.Ptr _ | Types.Array _ -> false
+
+let type_of ctx e = Sema.type_of ctx.info e
+
+let mem_space_of ctx arr =
+  match Hashtbl.find_opt ctx.info.Sema.var_types arr with
+  | Some t -> (
+      match Types.addr_space_of t with
+      | Some (Types.Global | Types.Constant) -> Opcode.Global_mem
+      | Some Types.Local | Some Types.Private | None -> Opcode.Local_mem)
+  | None -> Opcode.Local_mem
+
+(* Linearize a multi-dimensional index using the declared array dims. *)
+let linearize ctx arr idxs =
+  match idxs with
+  | [ i ] -> i
+  | _ ->
+      let rec inner_dims t n =
+        if n = 0 then []
+        else
+          match t with
+          | Types.Array (inner, _) | Types.Ptr (_, inner) -> (
+              match inner with
+              | Types.Array (_, d) -> d :: inner_dims inner (n - 1)
+              | _ -> 1 :: inner_dims inner (n - 1))
+          | _ -> 1 :: []
+      in
+      let ty =
+        Option.value
+          (Hashtbl.find_opt ctx.info.Sema.var_types arr)
+          ~default:Types.Void
+      in
+      let dims = inner_dims ty (List.length idxs - 1) in
+      let rec combine acc = function
+        | [], _ -> acc
+        | i :: rest, d :: ds ->
+            combine
+              (Ast.Binop
+                 (Ast.Add, Ast.Binop (Ast.Mul, acc, Ast.Int_lit (Int64.of_int d)), i))
+              (rest, ds)
+        | i :: rest, [] -> combine (Ast.Binop (Ast.Add, acc, i)) (rest, [])
+      in
+      (match idxs with
+      | first :: rest -> combine first (rest, dims)
+      | [] -> Ast.Int_lit 0L)
+
+let mem_state st arr =
+  Option.value (Hashtbl.find_opt st.memord arr) ~default:(None, [])
+
+let dep_opt st ~from ~to_ =
+  match from with Some p -> Dfg.add_dep st.b p to_ | None -> ()
+
+let rec lower_expr ctx st (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> None
+  | Ast.Var v -> (
+      Dfg.note_read st.b v;
+      match Hashtbl.find_opt st.env v with
+      | Some p -> Some p
+      | None ->
+          (* Scalar live into the block: materialize a zero-cost input
+             node so accumulator recurrences close into cycles. *)
+          if Hashtbl.mem ctx.info.Sema.var_types v then
+            Some (Dfg.live_in st.b v)
+          else None)
+  | Ast.Cast (_, a) ->
+      let pa = lower_expr ctx st a in
+      let id = Dfg.add_node st.b Opcode.Convert in
+      dep_opt st ~from:pa ~to_:id;
+      Some id
+  | Ast.Unop (op, a) ->
+      let fl = is_float_type (type_of ctx a) in
+      let pa = lower_expr ctx st a in
+      let opc =
+        match op with
+        | Ast.Neg -> if fl then Opcode.Float_add else Opcode.Int_alu
+        | Ast.Bnot | Ast.Lnot -> Opcode.Int_alu
+      in
+      let id = Dfg.add_node st.b opc in
+      dep_opt st ~from:pa ~to_:id;
+      Some id
+  | Ast.Binop (op, a, b) ->
+      let fl = is_float_type (type_of ctx a) || is_float_type (type_of ctx b) in
+      let pa = lower_expr ctx st a in
+      let pb = lower_expr ctx st b in
+      let id = Dfg.add_node st.b (Opcode.of_binop op ~float:fl) in
+      dep_opt st ~from:pa ~to_:id;
+      dep_opt st ~from:pb ~to_:id;
+      Some id
+  | Ast.Ternary (c, a, b) ->
+      let pc = lower_expr ctx st c in
+      let pa = lower_expr ctx st a in
+      let pb = lower_expr ctx st b in
+      let id = Dfg.add_node st.b Opcode.Select in
+      dep_opt st ~from:pc ~to_:id;
+      dep_opt st ~from:pa ~to_:id;
+      dep_opt st ~from:pb ~to_:id;
+      Some id
+  | Ast.Call (f, args) -> (
+      match Builtins.find f with
+      | Some bi ->
+          let producers = List.map (lower_expr ctx st) args in
+          let id = Dfg.add_node st.b (Opcode.of_builtin bi) in
+          List.iter (fun p -> dep_opt st ~from:p ~to_:id) producers;
+          Some id
+      | None -> None (* sema guarantees this does not happen *))
+  | Ast.Index (Ast.Var arr, idxs) ->
+      Dfg.note_read st.b arr;
+      let idx_producers = List.map (lower_expr ctx st) idxs in
+      let index = subst_defs ctx (linearize ctx arr idxs) in
+      let space = mem_space_of ctx arr in
+      let id = Dfg.add_node st.b ~array:arr ~index (Opcode.Load space) in
+      List.iter (fun p -> dep_opt st ~from:p ~to_:id) idx_producers;
+      let last_store, loads = mem_state st arr in
+      dep_opt st ~from:last_store ~to_:id;
+      Hashtbl.replace st.memord arr (last_store, id :: loads);
+      Some id
+  | Ast.Index (_, _) -> None (* non-variable bases are rejected by sema *)
+
+let lower_store ctx st arr idxs value =
+  Dfg.note_write st.b arr;
+  let value_p = lower_expr ctx st value in
+  let idx_producers = List.map (lower_expr ctx st) idxs in
+  let index = subst_defs ctx (linearize ctx arr idxs) in
+  let space = mem_space_of ctx arr in
+  let id = Dfg.add_node st.b ~array:arr ~index (Opcode.Store space) in
+  dep_opt st ~from:value_p ~to_:id;
+  List.iter (fun p -> dep_opt st ~from:p ~to_:id) idx_producers;
+  let last_store, loads = mem_state st arr in
+  dep_opt st ~from:last_store ~to_:id;
+  List.iter (fun l -> Dfg.add_dep st.b l id) loads;
+  Hashtbl.replace st.memord arr (Some id, [])
+
+let lower_simple ctx st (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (_, v, init) -> (
+      Dfg.note_write st.b v;
+      match init with
+      | Some e -> (
+          record_def ctx v e;
+          match lower_expr ctx st e with
+          | Some p ->
+              Hashtbl.replace st.env v p;
+              Dfg.note_scalar_def st.b v p
+          | None -> Hashtbl.remove st.env v)
+      | None -> ())
+  | Ast.Local_decl _ -> ()
+  | Ast.Assign (Ast.Lvar v, e) -> (
+      Dfg.note_write st.b v;
+      record_def ctx v e;
+      match lower_expr ctx st e with
+      | Some p ->
+          Hashtbl.replace st.env v p;
+          Dfg.note_scalar_def st.b v p
+      | None -> Hashtbl.remove st.env v)
+  | Ast.Assign (Ast.Lindex (arr, idxs), e) -> lower_store ctx st arr idxs e
+  | Ast.Expr_stmt e -> ignore (lower_expr ctx st e)
+  | Ast.Return (Some e) -> ignore (lower_expr ctx st e)
+  | Ast.Return None | Ast.Break | Ast.Continue -> ()
+  | Ast.If _ | Ast.For _ | Ast.While _ | Ast.Barrier ->
+      invalid_arg "Lower.lower_simple: control statement"
+
+let is_simple = function
+  | Ast.Decl _ | Ast.Local_decl _ | Ast.Assign _ | Ast.Expr_stmt _
+  | Ast.Return _ | Ast.Break | Ast.Continue ->
+      true
+  | Ast.If _ | Ast.For _ | Ast.While _ | Ast.Barrier -> false
+
+let rec lower_stmts ctx (stmts : Ast.stmt list) : Cdfg.region list =
+  let regions = ref [] in
+  let current = ref (fresh_block ()) in
+  let flush () =
+    let d = Dfg.freeze !current.b in
+    if not (Dfg.is_empty d) then regions := Cdfg.Straight d :: !regions;
+    current := fresh_block ()
+  in
+  let emit r = regions := r :: !regions in
+  List.iter
+    (fun s ->
+      if is_simple s then lower_simple ctx !current s
+      else
+        match s with
+        | Ast.Barrier ->
+            flush ();
+            let st = fresh_block () in
+            ignore (Dfg.add_node st.b Opcode.Barrier_op);
+            emit (Cdfg.Straight (Dfg.freeze st.b))
+        | Ast.If (c, then_s, else_s) ->
+            flush ();
+            let cst = fresh_block () in
+            ignore (lower_expr ctx cst c);
+            let cond = Dfg.freeze cst.b in
+            let then_ = Cdfg.Seq (lower_stmts ctx then_s) in
+            let else_ = Cdfg.Seq (lower_stmts ctx else_s) in
+            emit (Cdfg.Branch { cond; then_; else_ })
+        | Ast.For (hdr, body, attrs) ->
+            Option.iter (lower_simple ctx !current) hdr.Ast.init;
+            flush ();
+            let loop_id = !(ctx.counter) in
+            incr ctx.counter;
+            let hst = fresh_block () in
+            Option.iter (fun c -> ignore (lower_expr ctx hst c)) hdr.Ast.cond;
+            Option.iter (lower_simple ctx hst) hdr.Ast.step;
+            let header = Dfg.freeze hst.b in
+            let var =
+              match hdr.Ast.init with
+              | Some (Ast.Decl (_, v, _)) | Some (Ast.Assign (Ast.Lvar v, _)) ->
+                  Some v
+              | Some _ | None -> None
+            in
+            let info =
+              { Cdfg.loop_id; attrs; static_trip = static_trip ctx.launch hdr; var }
+            in
+            let body_region = Cdfg.Seq (lower_stmts ctx body) in
+            emit (Cdfg.Loop { info; header; body = body_region })
+        | Ast.While (c, body, attrs) ->
+            flush ();
+            let loop_id = !(ctx.counter) in
+            incr ctx.counter;
+            let hst = fresh_block () in
+            ignore (lower_expr ctx hst c);
+            let header = Dfg.freeze hst.b in
+            let info = { Cdfg.loop_id; attrs; static_trip = None; var = None } in
+            let body_region = Cdfg.Seq (lower_stmts ctx body) in
+            emit (Cdfg.Loop { info; header; body = body_region })
+        | Ast.Decl _ | Ast.Local_decl _ | Ast.Assign _ | Ast.Expr_stmt _
+        | Ast.Return _ | Ast.Break | Ast.Continue ->
+            (* covered by [is_simple] *)
+            assert false)
+    stmts;
+  flush ();
+  List.rev !regions
+
+let lower (k : Ast.kernel) (info : Sema.info) (launch : Launch.t) : Cdfg.t =
+  let ctx = { info; launch; counter = ref 0; defs = Hashtbl.create 32 } in
+  let body = Cdfg.Seq (lower_stmts ctx k.Ast.k_body) in
+  {
+    Cdfg.kernel_name = k.Ast.k_name;
+    body;
+    n_loops = !(ctx.counter);
+    uses_barrier = info.Sema.uses_barrier;
+  }

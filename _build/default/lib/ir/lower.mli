@@ -1,0 +1,28 @@
+open Flexcl_opencl
+
+(** Lowering from the typed AST to the simplified CDFG.
+
+    Mirrors FlexCL's kernel-analysis step: statements are merged into
+    basic blocks, control flow becomes structured regions, memory
+    accesses keep their source index expressions, and loop trip counts
+    are resolved statically where the bounds reduce to constants, scalar
+    kernel arguments or NDRange queries. *)
+
+val lower : Ast.kernel -> Sema.info -> Launch.t -> Cdfg.t
+
+val eval_static :
+  Launch.t -> env:(string * int64) list -> Ast.expr -> int64 option
+(** Fold an expression to an integer using kernel scalar arguments plus
+    [env], resolving [get_global_size]/[get_local_size]/[get_num_groups]
+    calls against the launch geometry. Work-item ids are not static and
+    yield [None]. Exposed for the dependence analysis and tests. *)
+
+val wi_size_value : Launch.t -> Builtins.wi_fn -> int -> int option
+(** Value of a size-query builtin ([get_global_size] etc.) at a dimension
+    under the launch geometry; [None] for the id queries, which vary per
+    work-item. *)
+
+val static_trip :
+  Launch.t -> Ast.for_header -> int option
+(** Trip count of a canonical [for] loop ([i = a; i < b; i += c] and the
+    [<=], [>], [>=], [!=] variants), when all three parts are static. *)

@@ -1,0 +1,114 @@
+open Flexcl_opencl
+
+type mem_space = Global_mem | Local_mem
+
+type t =
+  | Load of mem_space
+  | Store of mem_space
+  | Int_alu
+  | Int_mul
+  | Int_div
+  | Float_add
+  | Float_mul
+  | Float_div
+  | Float_cmp
+  | Float_sqrt
+  | Float_exp
+  | Float_trig
+  | Convert
+  | Wi_query
+  | Const_op
+  | Select
+  | Barrier_op
+  | Live_in
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Load Global_mem -> "load.global"
+  | Load Local_mem -> "load.local"
+  | Store Global_mem -> "store.global"
+  | Store Local_mem -> "store.local"
+  | Int_alu -> "int.alu"
+  | Int_mul -> "int.mul"
+  | Int_div -> "int.div"
+  | Float_add -> "float.add"
+  | Float_mul -> "float.mul"
+  | Float_div -> "float.div"
+  | Float_cmp -> "float.cmp"
+  | Float_sqrt -> "float.sqrt"
+  | Float_exp -> "float.exp"
+  | Float_trig -> "float.trig"
+  | Convert -> "convert"
+  | Wi_query -> "wi.query"
+  | Const_op -> "const"
+  | Select -> "select"
+  | Barrier_op -> "barrier"
+  | Live_in -> "live_in"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all =
+  [
+    Load Global_mem;
+    Load Local_mem;
+    Store Global_mem;
+    Store Local_mem;
+    Int_alu;
+    Int_mul;
+    Int_div;
+    Float_add;
+    Float_mul;
+    Float_div;
+    Float_cmp;
+    Float_sqrt;
+    Float_exp;
+    Float_trig;
+    Convert;
+    Wi_query;
+    Const_op;
+    Select;
+    Barrier_op;
+    Live_in;
+  ]
+
+let is_mem = function Load _ | Store _ -> true | _ -> false
+
+let is_local_access = function
+  | Load Local_mem | Store Local_mem -> true
+  | _ -> false
+
+let is_global_access = function
+  | Load Global_mem | Store Global_mem -> true
+  | _ -> false
+
+let of_binop (op : Ast.binop) ~float =
+  match op with
+  | Ast.Add | Ast.Sub -> if float then Float_add else Int_alu
+  | Ast.Mul -> if float then Float_mul else Int_mul
+  | Ast.Div | Ast.Mod -> if float then Float_div else Int_div
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor ->
+      Int_alu
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if float then Float_cmp else Int_alu
+
+let of_builtin (b : Builtins.t) =
+  match b with
+  | Builtins.Wi _ -> Wi_query
+  | Builtins.Math1 (Builtins.Sqrt | Builtins.Rsqrt) -> Float_sqrt
+  | Builtins.Math1 (Builtins.Exp | Builtins.Exp2 | Builtins.Log | Builtins.Log2) ->
+      Float_exp
+  | Builtins.Math1
+      ( Builtins.Sin | Builtins.Cos | Builtins.Tan | Builtins.Atan ) ->
+      Float_trig
+  | Builtins.Math1 (Builtins.Fabs | Builtins.Floor | Builtins.Ceil | Builtins.Round)
+    ->
+      Float_add
+  | Builtins.Math2 (Builtins.Pow | Builtins.Atan2 | Builtins.Hypot) -> Float_exp
+  | Builtins.Math2 (Builtins.Fmod) -> Float_div
+  | Builtins.Math2 (Builtins.Fmax | Builtins.Fmin | Builtins.Max | Builtins.Min)
+    ->
+      Select
+  | Builtins.Math3 (Builtins.Mad | Builtins.Fma) -> Float_mul
+  | Builtins.Math3 (Builtins.Clamp | Builtins.Mix) -> Select
+  | Builtins.Abs -> Int_alu

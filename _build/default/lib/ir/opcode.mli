@@ -1,0 +1,49 @@
+open Flexcl_opencl
+
+(** IR operation classes.
+
+    Each AST operation lowers to one of these classes; on FPGAs each class
+    corresponds to an IP core whose latency is taken from the device's
+    micro-benchmark-profiled table ({!Flexcl_device}). *)
+
+type mem_space = Global_mem | Local_mem
+
+type t =
+  | Load of mem_space
+  | Store of mem_space
+  | Int_alu    (** add/sub/compare/bitwise/shift on integers *)
+  | Int_mul
+  | Int_div    (** division and modulo *)
+  | Float_add  (** add/sub *)
+  | Float_mul
+  | Float_div
+  | Float_cmp
+  | Float_sqrt
+  | Float_exp  (** exp/log family *)
+  | Float_trig (** sin/cos/tan/atan *)
+  | Convert    (** type casts *)
+  | Wi_query   (** get_global_id and friends: wired counters *)
+  | Const_op   (** literal materialization *)
+  | Select     (** ternary / mux *)
+  | Barrier_op (** work-group barrier *)
+  | Live_in    (** block input wire (zero latency, zero resources) *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every opcode (for exhaustive latency tables and tests). *)
+
+val is_mem : t -> bool
+
+val is_local_access : t -> bool
+
+val is_global_access : t -> bool
+
+val of_binop : Ast.binop -> float:bool -> t
+(** Opcode class for a binary operator at integer or float type. *)
+
+val of_builtin : Builtins.t -> t

@@ -1,0 +1,1 @@
+lib/opencl/ast.ml: Format List Option Types

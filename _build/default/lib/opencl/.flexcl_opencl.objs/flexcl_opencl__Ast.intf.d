@@ -1,0 +1,1 @@
+lib/opencl/ast.mli: Format Types

@@ -1,0 +1,1 @@
+lib/opencl/builtins.ml: List Printf Result Types

@@ -1,0 +1,1 @@
+lib/opencl/builtins.mli: Types

@@ -1,0 +1,1 @@
+lib/opencl/lexer.ml: Buffer Int64 List Option Printf String Token

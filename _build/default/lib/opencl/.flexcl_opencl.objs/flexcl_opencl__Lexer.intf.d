@@ -1,0 +1,1 @@
+lib/opencl/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/opencl/parser.ml: Ast Int64 Lexer List Option Printf Token Types

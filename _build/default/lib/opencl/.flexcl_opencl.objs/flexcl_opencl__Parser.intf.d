@@ -1,0 +1,1 @@
+lib/opencl/parser.mli: Ast

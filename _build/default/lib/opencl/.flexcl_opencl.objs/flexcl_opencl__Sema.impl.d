@@ -1,0 +1,1 @@
+lib/opencl/sema.ml: Ast Builtins Hashtbl Int64 List Option Printf Types

@@ -1,0 +1,1 @@
+lib/opencl/sema.mli: Ast Hashtbl Types

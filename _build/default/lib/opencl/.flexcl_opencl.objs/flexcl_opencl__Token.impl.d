@@ -1,0 +1,1 @@
+lib/opencl/token.ml: Int64 String

@@ -1,0 +1,1 @@
+lib/opencl/types.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/opencl/types.mli: Format

@@ -1,0 +1,155 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr list
+  | Cast of Types.t * expr
+  | Ternary of expr * expr * expr
+
+type lvalue = Lvar of string | Lindex of string * expr list
+
+type loop_attrs = { unroll : int option; pipeline : bool }
+
+let default_loop_attrs = { unroll = None; pipeline = false }
+
+type stmt =
+  | Decl of Types.t * string * expr option
+  | Local_decl of Types.t * string
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of for_header * stmt list * loop_attrs
+  | While of expr * stmt list * loop_attrs
+  | Barrier
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr_stmt of expr
+
+and for_header = { init : stmt option; cond : expr option; step : stmt option }
+
+type param = { p_type : Types.t; p_name : string; p_const : bool }
+
+type kernel_attrs = {
+  reqd_work_group_size : (int * int * int) option;
+  work_item_pipeline : bool;
+}
+
+let default_kernel_attrs = { reqd_work_group_size = None; work_item_pipeline = false }
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_attrs : kernel_attrs;
+  k_body : stmt list;
+}
+
+type program = kernel list
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> acc
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) | Cast (_, a) -> fold_expr f acc a
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+  | Index (base, idxs) ->
+      List.fold_left (fold_expr f) (fold_expr f acc base) idxs
+  | Ternary (c, a, b) -> fold_expr f (fold_expr f (fold_expr f acc c) a) b
+
+let exprs_of_stmt = function
+  | Decl (_, _, Some e) -> [ e ]
+  | Decl (_, _, None) | Local_decl _ | Barrier | Break | Continue -> []
+  | Assign (Lvar _, e) -> [ e ]
+  | Assign (Lindex (_, idxs), e) -> e :: idxs
+  | If (c, _, _) -> [ c ]
+  | For ({ cond; _ }, _, _) -> Option.to_list cond
+  | While (c, _, _) -> [ c ]
+  | Return e -> Option.to_list e
+  | Expr_stmt e -> [ e ]
+
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | If (_, t, e) ->
+          iter_stmts f t;
+          iter_stmts f e
+      | For ({ init; step; _ }, body, _) ->
+          Option.iter f init;
+          Option.iter f step;
+          iter_stmts f body
+      | While (_, body, _) -> iter_stmts f body
+      | Decl _ | Local_decl _ | Assign _ | Barrier | Return _ | Break
+      | Continue | Expr_stmt _ ->
+          ())
+    stmts
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Land -> "&&"
+  | Lor -> "||"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let unop_str = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+let rec pp_expr ppf = function
+  | Int_lit i -> Format.fprintf ppf "%Ld" i
+  | Float_lit f -> Format.fprintf ppf "%g" f
+  | Var v -> Format.pp_print_string ppf v
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Unop (op, a) -> Format.fprintf ppf "%s%a" (unop_str op) pp_expr a
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+  | Index (base, idxs) ->
+      pp_expr ppf base;
+      List.iter (fun i -> Format.fprintf ppf "[%a]" pp_expr i) idxs
+  | Cast (t, e) -> Format.fprintf ppf "(%s)%a" (Types.to_string t) pp_expr e
+  | Ternary (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

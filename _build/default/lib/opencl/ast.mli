@@ -1,0 +1,102 @@
+(** Abstract syntax of the OpenCL-C subset. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band  (** bitwise and *)
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Land  (** logical and *)
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr list
+      (** [Index (base, [i])] is [base[i]]; multi-dim arrays nest. *)
+  | Cast of Types.t * expr
+  | Ternary of expr * expr * expr
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list  (** [a[i]] or [a[i][j]]. *)
+
+(** Per-loop optimization attributes ([#pragma unroll N] /
+    [#pragma pipeline] preceding the loop). *)
+type loop_attrs = { unroll : int option; pipeline : bool }
+
+val default_loop_attrs : loop_attrs
+
+type stmt =
+  | Decl of Types.t * string * expr option
+  | Local_decl of Types.t * string
+      (** [__local] declaration inside a kernel body. *)
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of for_header * stmt list * loop_attrs
+  | While of expr * stmt list * loop_attrs
+  | Barrier  (** [barrier(CLK_..._MEM_FENCE)]. *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr_stmt of expr  (** call evaluated for effect. *)
+
+and for_header = {
+  init : stmt option;  (** [Decl] or [Assign]. *)
+  cond : expr option;
+  step : stmt option;  (** [Assign]. *)
+}
+
+type param = {
+  p_type : Types.t;
+  p_name : string;
+  p_const : bool;  (** [const]-qualified. *)
+}
+
+(** Kernel-level attributes: [__attribute__((...))] and kernel-scope
+    pragmas. *)
+type kernel_attrs = {
+  reqd_work_group_size : (int * int * int) option;
+  work_item_pipeline : bool;  (** [#pragma work_item_pipeline]. *)
+}
+
+val default_kernel_attrs : kernel_attrs
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_attrs : kernel_attrs;
+  k_body : stmt list;
+}
+
+type program = kernel list
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression and its subexpressions. *)
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** Pre-order traversal of statements, descending into bodies. *)
+
+val exprs_of_stmt : stmt -> expr list
+(** Immediate expressions of one statement (not descending into nested
+    statement bodies, but including loop-header expressions). *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val expr_to_string : expr -> string

@@ -1,0 +1,132 @@
+type wi_fn =
+  | Get_global_id
+  | Get_local_id
+  | Get_group_id
+  | Get_global_size
+  | Get_local_size
+  | Get_num_groups
+
+type math1 =
+  | Sqrt
+  | Rsqrt
+  | Exp
+  | Exp2
+  | Log
+  | Log2
+  | Sin
+  | Cos
+  | Tan
+  | Atan
+  | Fabs
+  | Floor
+  | Ceil
+  | Round
+
+type math2 = Pow | Fmax | Fmin | Fmod | Atan2 | Hypot | Max | Min
+
+type math3 = Mad | Fma | Clamp | Mix
+
+type t =
+  | Wi of wi_fn
+  | Math1 of math1
+  | Math2 of math2
+  | Math3 of math3
+  | Abs
+
+let all =
+  [
+    ("get_global_id", Wi Get_global_id);
+    ("get_local_id", Wi Get_local_id);
+    ("get_group_id", Wi Get_group_id);
+    ("get_global_size", Wi Get_global_size);
+    ("get_local_size", Wi Get_local_size);
+    ("get_num_groups", Wi Get_num_groups);
+    ("sqrt", Math1 Sqrt);
+    ("native_sqrt", Math1 Sqrt);
+    ("rsqrt", Math1 Rsqrt);
+    ("exp", Math1 Exp);
+    ("native_exp", Math1 Exp);
+    ("exp2", Math1 Exp2);
+    ("log", Math1 Log);
+    ("native_log", Math1 Log);
+    ("log2", Math1 Log2);
+    ("sin", Math1 Sin);
+    ("native_sin", Math1 Sin);
+    ("cos", Math1 Cos);
+    ("native_cos", Math1 Cos);
+    ("tan", Math1 Tan);
+    ("atan", Math1 Atan);
+    ("fabs", Math1 Fabs);
+    ("floor", Math1 Floor);
+    ("ceil", Math1 Ceil);
+    ("round", Math1 Round);
+    ("pow", Math2 Pow);
+    ("fmax", Math2 Fmax);
+    ("fmin", Math2 Fmin);
+    ("fmod", Math2 Fmod);
+    ("atan2", Math2 Atan2);
+    ("hypot", Math2 Hypot);
+    ("max", Math2 Max);
+    ("min", Math2 Min);
+    ("mad", Math3 Mad);
+    ("fma", Math3 Fma);
+    ("clamp", Math3 Clamp);
+    ("mix", Math3 Mix);
+    ("abs", Abs);
+  ]
+
+let find n = List.assoc_opt n all
+
+let name t =
+  (* first (canonical) name in the table *)
+  match List.find_opt (fun (_, b) -> b = t) all with
+  | Some (n, _) -> n
+  | None -> assert false
+
+let arity = function
+  | Wi _ | Math1 _ | Abs -> 1
+  | Math2 _ -> 2
+  | Math3 _ -> 3
+
+let scalar_of = function
+  | Types.Scalar s -> Some s
+  | Types.Void | Types.Vector _ | Types.Ptr _ | Types.Array _ -> None
+
+let result_type t args =
+  let expect_arity () =
+    if List.length args <> arity t then
+      Error
+        (Printf.sprintf "%s expects %d argument(s), got %d" (name t) (arity t)
+           (List.length args))
+    else Ok ()
+  in
+  Result.bind (expect_arity ()) @@ fun () ->
+  match (t, args) with
+  | Wi _, [ a ] -> (
+      match scalar_of a with
+      | Some s when Types.is_integer s -> Ok (Types.Scalar Types.Int)
+      | Some _ | None -> Error (name t ^ ": dimension must be an integer"))
+  | Math1 _, [ a ] -> (
+      match scalar_of a with
+      | Some s when Types.is_float s -> Ok a
+      | Some s when Types.is_integer s -> Ok (Types.Scalar Types.Float)
+      | Some _ | None -> Error (name t ^ ": argument must be scalar"))
+  | Math2 (Max | Min), [ a; b ] -> (
+      match (scalar_of a, scalar_of b) with
+      | Some x, Some y -> Ok (Types.Scalar (Types.arith_result x y))
+      | (None | Some _), _ -> Error (name t ^ ": arguments must be scalar"))
+  | Math2 _, [ a; b ] -> (
+      match (scalar_of a, scalar_of b) with
+      | Some _, Some _ -> Ok (Types.Scalar Types.Float)
+      | (None | Some _), _ -> Error (name t ^ ": arguments must be scalar"))
+  | Math3 _, [ a; b; c ] -> (
+      match (scalar_of a, scalar_of b, scalar_of c) with
+      | Some x, Some y, Some z ->
+          Ok (Types.Scalar (Types.arith_result (Types.arith_result x y) z))
+      | (None | Some _), _, _ -> Error (name t ^ ": arguments must be scalar"))
+  | Abs, [ a ] -> (
+      match scalar_of a with
+      | Some s when Types.is_integer s -> Ok a
+      | Some _ | None -> Error "abs: argument must be an integer scalar")
+  | (Wi _ | Math1 _ | Math2 _ | Math3 _ | Abs), _ ->
+      Error (name t ^ ": arity mismatch")

@@ -1,0 +1,52 @@
+(** OpenCL builtin functions known to the frontend, interpreter and
+    latency model. *)
+
+(** Work-item indexing functions (argument is the dimension 0..2). *)
+type wi_fn =
+  | Get_global_id
+  | Get_local_id
+  | Get_group_id
+  | Get_global_size
+  | Get_local_size
+  | Get_num_groups
+
+type math1 =
+  | Sqrt
+  | Rsqrt
+  | Exp
+  | Exp2
+  | Log
+  | Log2
+  | Sin
+  | Cos
+  | Tan
+  | Atan
+  | Fabs
+  | Floor
+  | Ceil
+  | Round
+
+type math2 = Pow | Fmax | Fmin | Fmod | Atan2 | Hypot | Max | Min
+
+type math3 = Mad | Fma | Clamp | Mix
+
+type t =
+  | Wi of wi_fn
+  | Math1 of math1
+  | Math2 of math2
+  | Math3 of math3
+  | Abs  (** integer absolute value *)
+
+val find : string -> t option
+(** Look up a builtin by its OpenCL name. *)
+
+val name : t -> string
+
+val arity : t -> int
+
+val result_type : t -> Types.t list -> (Types.t, string) result
+(** Result type given argument types, or an error message on an arity or
+    type mismatch. *)
+
+val all : (string * t) list
+(** The full table (for tests and documentation). *)

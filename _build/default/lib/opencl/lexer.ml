@@ -1,0 +1,335 @@
+exception Error of string * int * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let keywords =
+  [
+    ("__kernel", Token.Kw_kernel);
+    ("kernel", Token.Kw_kernel);
+    ("__global", Token.Kw_global);
+    ("global", Token.Kw_global);
+    ("__local", Token.Kw_local);
+    ("local", Token.Kw_local);
+    ("__constant", Token.Kw_constant);
+    ("constant", Token.Kw_constant);
+    ("__private", Token.Kw_private);
+    ("const", Token.Kw_const);
+    ("restrict", Token.Kw_const);
+    (* restrict is accepted and ignored *)
+    ("if", Token.Kw_if);
+    ("else", Token.Kw_else);
+    ("for", Token.Kw_for);
+    ("while", Token.Kw_while);
+    ("do", Token.Kw_do);
+    ("return", Token.Kw_return);
+    ("break", Token.Kw_break);
+    ("continue", Token.Kw_continue);
+    ("__attribute__", Token.Kw_attribute);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_char c = is_ident_start c || is_digit c
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line, st.col))
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec loop () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            loop ()
+        | None, _ -> error st "unterminated block comment"
+      in
+      loop ();
+      skip_trivia st
+  | Some _ | None -> ()
+
+let read_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start_line = st.line and start_col = st.col in
+  let intpart =
+    if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+      advance st;
+      advance st;
+      let digits = read_while st is_hex_digit in
+      if digits = "" then error st "malformed hex literal";
+      ("0x" ^ digits, true)
+    end
+    else (read_while st is_digit, false)
+  in
+  match intpart with
+  | hex, true ->
+      { Token.tok = Token.Int_lit (Int64.of_string hex); line = start_line; col = start_col }
+  | digits, false ->
+      let is_float_continuation =
+        match peek st with
+        | Some '.' -> true
+        | Some ('e' | 'E') -> true
+        | Some ('f' | 'F') -> true
+        | Some _ | None -> false
+      in
+      if not is_float_continuation then
+        { Token.tok = Token.Int_lit (Int64.of_string digits); line = start_line; col = start_col }
+      else begin
+        let buf = Buffer.create 16 in
+        Buffer.add_string buf digits;
+        (match peek st with
+        | Some '.' ->
+            advance st;
+            Buffer.add_char buf '.';
+            Buffer.add_string buf (read_while st is_digit)
+        | Some _ | None -> ());
+        (match peek st with
+        | Some ('e' | 'E') ->
+            advance st;
+            Buffer.add_char buf 'e';
+            (match peek st with
+            | Some (('+' | '-') as sign) ->
+                advance st;
+                Buffer.add_char buf sign
+            | Some _ | None -> ());
+            let exp = read_while st is_digit in
+            if exp = "" then error st "malformed float exponent";
+            Buffer.add_string buf exp
+        | Some _ | None -> ());
+        (match peek st with
+        | Some ('f' | 'F') -> advance st
+        | Some _ | None -> ());
+        let text = Buffer.contents buf in
+        let text = if text.[String.length text - 1] = '.' then text ^ "0" else text in
+        { Token.tok = Token.Float_lit (float_of_string text); line = start_line; col = start_col }
+      end
+
+let lex_pragma st =
+  (* '#' already seen; expect "pragma" then words until end of line. *)
+  let start_line = st.line and start_col = st.col in
+  advance st;
+  let word = read_while st is_ident_char in
+  if word <> "pragma" then error st ("unsupported directive #" ^ word);
+  let words = ref [] in
+  let rec loop () =
+    (* skip spaces/tabs but stop at newline *)
+    (match peek st with
+    | Some (' ' | '\t' | '\r') ->
+        advance st;
+        loop ()
+    | Some '\n' | None -> ()
+    | Some c when is_ident_char c ->
+        words := read_while st is_ident_char :: !words;
+        loop ()
+    | Some _ ->
+        (* punctuation inside pragma (e.g. parentheses) kept as words *)
+        let c = String.make 1 (Option.get (peek st)) in
+        advance st;
+        words := c :: !words;
+        loop ())
+  in
+  loop ();
+  { Token.tok = Token.Pragma (List.rev !words); line = start_line; col = start_col }
+
+let operator_token st =
+  let two a b tok_two tok_one =
+    if peek2 st = Some b then begin
+      advance st;
+      advance st;
+      tok_two
+    end
+    else begin
+      advance st;
+      ignore a;
+      tok_one
+    end
+  in
+  let three_or_two first second_assign tok_assign tok_two tok_one =
+    (* e.g. '<': "<<=" / "<<" / "<=" / "<" *)
+    match peek2 st with
+    | Some c when c = first ->
+        advance st;
+        advance st;
+        if peek st = Some '=' then begin
+          advance st;
+          tok_assign
+        end
+        else tok_two
+    | Some '=' ->
+        advance st;
+        advance st;
+        second_assign
+    | Some _ | None ->
+        advance st;
+        tok_one
+  in
+  match peek st with
+  | Some '+' -> (
+      match peek2 st with
+      | Some '+' ->
+          advance st;
+          advance st;
+          Token.Plus_plus
+      | Some '=' ->
+          advance st;
+          advance st;
+          Token.Plus_assign
+      | Some _ | None ->
+          advance st;
+          Token.Plus)
+  | Some '-' -> (
+      match peek2 st with
+      | Some '-' ->
+          advance st;
+          advance st;
+          Token.Minus_minus
+      | Some '=' ->
+          advance st;
+          advance st;
+          Token.Minus_assign
+      | Some _ | None ->
+          advance st;
+          Token.Minus)
+  | Some '*' -> two '*' '=' Token.Star_assign Token.Star
+  | Some '/' -> two '/' '=' Token.Slash_assign Token.Slash
+  | Some '%' -> two '%' '=' Token.Percent_assign Token.Percent
+  | Some '^' -> two '^' '=' Token.Caret_assign Token.Caret
+  | Some '&' -> (
+      match peek2 st with
+      | Some '&' ->
+          advance st;
+          advance st;
+          Token.Amp_amp
+      | Some '=' ->
+          advance st;
+          advance st;
+          Token.Amp_assign
+      | Some _ | None ->
+          advance st;
+          Token.Amp)
+  | Some '|' -> (
+      match peek2 st with
+      | Some '|' ->
+          advance st;
+          advance st;
+          Token.Pipe_pipe
+      | Some '=' ->
+          advance st;
+          advance st;
+          Token.Pipe_assign
+      | Some _ | None ->
+          advance st;
+          Token.Pipe)
+  | Some '<' -> three_or_two '<' Token.Le Token.Shl_assign Token.Shl Token.Lt
+  | Some '>' -> three_or_two '>' Token.Ge Token.Shr_assign Token.Shr Token.Gt
+  | Some '=' -> two '=' '=' Token.Eq_eq Token.Assign
+  | Some '!' -> two '!' '=' Token.Bang_eq Token.Bang
+  | Some '~' ->
+      advance st;
+      Token.Tilde
+  | Some '(' ->
+      advance st;
+      Token.Lparen
+  | Some ')' ->
+      advance st;
+      Token.Rparen
+  | Some '{' ->
+      advance st;
+      Token.Lbrace
+  | Some '}' ->
+      advance st;
+      Token.Rbrace
+  | Some '[' ->
+      advance st;
+      Token.Lbracket
+  | Some ']' ->
+      advance st;
+      Token.Rbracket
+  | Some ',' ->
+      advance st;
+      Token.Comma
+  | Some ';' ->
+      advance st;
+      Token.Semicolon
+  | Some '?' ->
+      advance st;
+      Token.Question
+  | Some ':' ->
+      advance st;
+      Token.Colon
+  | Some '.' ->
+      advance st;
+      Token.Dot
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  | None -> Token.Eof
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let rec loop () =
+    skip_trivia st;
+    match peek st with
+    | None -> toks := { Token.tok = Token.Eof; line = st.line; col = st.col } :: !toks
+    | Some '#' -> (
+        toks := lex_pragma st :: !toks;
+        loop ())
+    | Some c when is_digit c
+                  || (c = '.' && match peek2 st with Some d -> is_digit d | None -> false) ->
+        toks := lex_number st :: !toks;
+        loop ()
+    | Some c when is_ident_start c ->
+        let line = st.line and col = st.col in
+        let word = read_while st is_ident_char in
+        let tok =
+          match List.assoc_opt word keywords with
+          | Some kw -> kw
+          | None -> Token.Ident word
+        in
+        toks := { Token.tok; line; col } :: !toks;
+        loop ()
+    | Some _ ->
+        let line = st.line and col = st.col in
+        let tok = operator_token st in
+        toks := { Token.tok; line; col } :: !toks;
+        loop ()
+  in
+  loop ();
+  List.rev !toks

@@ -1,0 +1,13 @@
+(** Hand-written lexer for the OpenCL-C subset.
+
+    Handles line (`//`) and block comments, decimal / hex integer literals,
+    float literals (with optional exponent and `f` suffix), identifiers,
+    keywords, multi-character operators and `#pragma` lines (returned as a
+    single {!Token.Pragma} token carrying the words after "pragma"). *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] on an unexpected character or malformed
+    literal. Lines and columns are 1-based. *)
+
+val tokenize : string -> Token.located list
+(** Full token stream for a source string, ending with {!Token.Eof}. *)

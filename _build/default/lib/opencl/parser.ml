@@ -1,0 +1,566 @@
+exception Error of string * int * int
+
+type state = { mutable toks : Token.located list }
+
+let here st =
+  match st.toks with
+  | { Token.line; col; _ } :: _ -> (line, col)
+  | [] -> (0, 0)
+
+let fail st msg =
+  let line, col = here st in
+  raise (Error (msg, line, col))
+
+let peek st =
+  match st.toks with { Token.tok; _ } :: _ -> tok | [] -> Token.Eof
+
+let peek2 st =
+  match st.toks with _ :: { Token.tok; _ } :: _ -> tok | _ -> Token.Eof
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let eat_ident st =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let addr_space_of_token = function
+  | Token.Kw_global -> Some Types.Global
+  | Token.Kw_local -> Some Types.Local
+  | Token.Kw_constant -> Some Types.Constant
+  | Token.Kw_private -> Some Types.Private
+  | _ -> None
+
+let is_type_start st =
+  match peek st with
+  | Token.Kw_global | Token.Kw_local | Token.Kw_constant | Token.Kw_private
+  | Token.Kw_const ->
+      true
+  | Token.Ident name -> Types.of_name name <> None
+  | _ -> false
+
+(* [base_type] parses [const]? type-name; address space handled by callers
+   because its meaning differs for params vs. local decls. *)
+let base_type st =
+  let rec skip_const () =
+    if peek st = Token.Kw_const then begin
+      advance st;
+      skip_const ()
+    end
+  in
+  skip_const ();
+  let name = eat_ident st in
+  skip_const ();
+  match Types.of_name name with
+  | Some t -> t
+  | None -> fail st (Printf.sprintf "unknown type name %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing *)
+
+let rec parse_ternary st =
+  let cond = parse_binary st 0 in
+  if peek st = Token.Question then begin
+    advance st;
+    let a = parse_ternary st in
+    eat st Token.Colon;
+    let b = parse_ternary st in
+    Ast.Ternary (cond, a, b)
+  end
+  else cond
+
+and binop_of_token = function
+  | Token.Pipe_pipe -> Some (0, Ast.Lor)
+  | Token.Amp_amp -> Some (1, Ast.Land)
+  | Token.Pipe -> Some (2, Ast.Bor)
+  | Token.Caret -> Some (3, Ast.Bxor)
+  | Token.Amp -> Some (4, Ast.Band)
+  | Token.Eq_eq -> Some (5, Ast.Eq)
+  | Token.Bang_eq -> Some (5, Ast.Ne)
+  | Token.Lt -> Some (6, Ast.Lt)
+  | Token.Le -> Some (6, Ast.Le)
+  | Token.Gt -> Some (6, Ast.Gt)
+  | Token.Ge -> Some (6, Ast.Ge)
+  | Token.Shl -> Some (7, Ast.Shl)
+  | Token.Shr -> Some (7, Ast.Shr)
+  | Token.Plus -> Some (8, Ast.Add)
+  | Token.Minus -> Some (8, Ast.Sub)
+  | Token.Star -> Some (9, Ast.Mul)
+  | Token.Slash -> Some (9, Ast.Div)
+  | Token.Percent -> Some (9, Ast.Mod)
+  | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (prec, op) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop (Ast.Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.Plus ->
+      advance st;
+      parse_unary st
+  | Token.Tilde ->
+      advance st;
+      Ast.Unop (Ast.Bnot, parse_unary st)
+  | Token.Bang ->
+      advance st;
+      Ast.Unop (Ast.Lnot, parse_unary st)
+  | Token.Lparen when is_cast st -> parse_cast st
+  | _ -> parse_postfix st
+
+and is_cast st =
+  (* '(' followed by a type name / address-space keyword and then ')' *)
+  match peek2 st with
+  | Token.Kw_global | Token.Kw_local | Token.Kw_constant | Token.Kw_private ->
+      true
+  | Token.Ident name -> (
+      match Types.of_name name with
+      | None -> false
+      | Some _ -> (
+          (* distinguish "(int)x" from "(x)" where x is a variable named
+             like a type: look one token further for ')' or '*' *)
+          match st.toks with
+          | _ :: _ :: { Token.tok = Token.Rparen | Token.Star; _ } :: _ -> true
+          | _ -> false))
+  | _ -> false
+
+and parse_cast st =
+  eat st Token.Lparen;
+  let space =
+    match addr_space_of_token (peek st) with
+    | Some sp ->
+        advance st;
+        Some sp
+    | None -> None
+  in
+  let base = base_type st in
+  let t =
+    if peek st = Token.Star then begin
+      advance st;
+      Types.Ptr (Option.value space ~default:Types.Private, base)
+    end
+    else base
+  in
+  eat st Token.Rparen;
+  Ast.Cast (t, parse_unary st)
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match peek st with
+    | Token.Lbracket ->
+        let idxs = ref [] in
+        while peek st = Token.Lbracket do
+          advance st;
+          idxs := parse_ternary st :: !idxs;
+          eat st Token.Rbracket
+        done;
+        loop (Ast.Index (e, List.rev !idxs))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit i ->
+      advance st;
+      Ast.Int_lit i
+  | Token.Float_lit f ->
+      advance st;
+      Ast.Float_lit f
+  | Token.Lparen ->
+      advance st;
+      let e = parse_ternary st in
+      eat st Token.Rparen;
+      e
+  | Token.Ident name ->
+      advance st;
+      if peek st = Token.Lparen then begin
+        advance st;
+        let args = ref [] in
+        if peek st <> Token.Rparen then begin
+          args := [ parse_ternary st ];
+          while peek st = Token.Comma do
+            advance st;
+            args := parse_ternary st :: !args
+          done
+        end;
+        eat st Token.Rparen;
+        Ast.Call (name, List.rev !args)
+      end
+      else Ast.Var name
+  | t -> fail st (Printf.sprintf "unexpected token %s in expression" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let lvalue_of_expr st = function
+  | Ast.Var v -> Ast.Lvar v
+  | Ast.Index (Ast.Var v, idxs) -> Ast.Lindex (v, idxs)
+  | e -> fail st (Printf.sprintf "%s is not assignable" (Ast.expr_to_string e))
+
+let expr_of_lvalue = function
+  | Ast.Lvar v -> Ast.Var v
+  | Ast.Lindex (v, idxs) -> Ast.Index (Ast.Var v, idxs)
+
+let compound_op = function
+  | Token.Plus_assign -> Some Ast.Add
+  | Token.Minus_assign -> Some Ast.Sub
+  | Token.Star_assign -> Some Ast.Mul
+  | Token.Slash_assign -> Some Ast.Div
+  | Token.Percent_assign -> Some Ast.Mod
+  | Token.Amp_assign -> Some Ast.Band
+  | Token.Pipe_assign -> Some Ast.Bor
+  | Token.Caret_assign -> Some Ast.Bxor
+  | Token.Shl_assign -> Some Ast.Shl
+  | Token.Shr_assign -> Some Ast.Shr
+  | _ -> None
+
+(* Parse assignment-or-expression without the trailing semicolon (shared
+   by expression statements and for-headers). *)
+let rec parse_simple_stmt st =
+  match peek st with
+  | Token.Plus_plus | Token.Minus_minus ->
+      (* prefix increment: ++x *)
+      let op = if peek st = Token.Plus_plus then Ast.Add else Ast.Sub in
+      advance st;
+      let e = parse_postfix st in
+      let lv = lvalue_of_expr st e in
+      Ast.Assign (lv, Ast.Binop (op, expr_of_lvalue lv, Ast.Int_lit 1L))
+  | _ -> (
+      let e = parse_ternary st in
+      match peek st with
+      | Token.Assign ->
+          advance st;
+          let lv = lvalue_of_expr st e in
+          Ast.Assign (lv, parse_ternary st)
+      | Token.Plus_plus | Token.Minus_minus ->
+          let op = if peek st = Token.Plus_plus then Ast.Add else Ast.Sub in
+          advance st;
+          let lv = lvalue_of_expr st e in
+          Ast.Assign (lv, Ast.Binop (op, expr_of_lvalue lv, Ast.Int_lit 1L))
+      | tok -> (
+          match compound_op tok with
+          | Some op ->
+              advance st;
+              let lv = lvalue_of_expr st e in
+              Ast.Assign (lv, Ast.Binop (op, expr_of_lvalue lv, parse_ternary st))
+          | None -> Ast.Expr_stmt e))
+
+and parse_decls st ~local =
+  (* type already detected; [local] when __local qualifier was present *)
+  let base = base_type st in
+  let rec declarator acc =
+    let base =
+      if peek st = Token.Star then begin
+        advance st;
+        Types.Ptr ((if local then Types.Local else Types.Private), base)
+      end
+      else base
+    in
+    let name = eat_ident st in
+    (* array dims *)
+    let dims = ref [] in
+    while peek st = Token.Lbracket do
+      advance st;
+      (match peek st with
+      | Token.Int_lit n ->
+          advance st;
+          dims := Int64.to_int n :: !dims
+      | t -> fail st ("array dimension must be an integer literal, found " ^ Token.to_string t));
+      eat st Token.Rbracket
+    done;
+    let ty = List.fold_left (fun t n -> Types.Array (t, n)) base !dims in
+    let stmt =
+      if local then begin
+        if peek st = Token.Assign then
+          fail st "__local variables cannot have initializers";
+        Ast.Local_decl (ty, name)
+      end
+      else begin
+        let init =
+          if peek st = Token.Assign then begin
+            advance st;
+            Some (parse_ternary st)
+          end
+          else None
+        in
+        Ast.Decl (ty, name, init)
+      end
+    in
+    let acc = stmt :: acc in
+    if peek st = Token.Comma then begin
+      advance st;
+      declarator acc
+    end
+    else acc
+  in
+  let decls = declarator [] in
+  eat st Token.Semicolon;
+  List.rev decls
+
+and parse_stmt st ~pending_attrs =
+  match peek st with
+  | Token.Pragma words ->
+      advance st;
+      let attrs = attrs_of_pragma pending_attrs words in
+      parse_stmt st ~pending_attrs:attrs
+  | Token.Lbrace ->
+      (* flatten anonymous blocks into the surrounding statement list *)
+      parse_block st
+  | Token.Kw_local ->
+      advance st;
+      parse_decls st ~local:true
+  | Token.Kw_if ->
+      advance st;
+      eat st Token.Lparen;
+      let cond = parse_ternary st in
+      eat st Token.Rparen;
+      let then_body = parse_stmt_or_block st in
+      let else_body =
+        if peek st = Token.Kw_else then begin
+          advance st;
+          parse_stmt_or_block st
+        end
+        else []
+      in
+      [ Ast.If (cond, then_body, else_body) ]
+  | Token.Kw_for ->
+      advance st;
+      eat st Token.Lparen;
+      let init =
+        if peek st = Token.Semicolon then None
+        else if is_type_start st then begin
+          (* single declarator only in for-init *)
+          let base = base_type st in
+          let name = eat_ident st in
+          eat st Token.Assign;
+          let e = parse_ternary st in
+          Some (Ast.Decl (base, name, Some e))
+        end
+        else Some (parse_simple_stmt st)
+      in
+      (match init with
+      | Some (Ast.Decl _) -> eat st Token.Semicolon
+      | Some _ -> eat st Token.Semicolon
+      | None -> eat st Token.Semicolon);
+      let cond = if peek st = Token.Semicolon then None else Some (parse_ternary st) in
+      eat st Token.Semicolon;
+      let step = if peek st = Token.Rparen then None else Some (parse_simple_stmt st) in
+      eat st Token.Rparen;
+      let body = parse_stmt_or_block st in
+      [ Ast.For ({ Ast.init; cond; step }, body, pending_attrs) ]
+  | Token.Kw_while ->
+      advance st;
+      eat st Token.Lparen;
+      let cond = parse_ternary st in
+      eat st Token.Rparen;
+      let body = parse_stmt_or_block st in
+      [ Ast.While (cond, body, pending_attrs) ]
+  | Token.Kw_return ->
+      advance st;
+      let e = if peek st = Token.Semicolon then None else Some (parse_ternary st) in
+      eat st Token.Semicolon;
+      [ Ast.Return e ]
+  | Token.Kw_break ->
+      advance st;
+      eat st Token.Semicolon;
+      [ Ast.Break ]
+  | Token.Kw_continue ->
+      advance st;
+      eat st Token.Semicolon;
+      [ Ast.Continue ]
+  | _ when is_type_start st && is_decl_lookahead st -> parse_decls st ~local:false
+  | _ ->
+      let s = parse_simple_stmt st in
+      eat st Token.Semicolon;
+      let s =
+        match s with
+        | Ast.Expr_stmt (Ast.Call (("barrier" | "mem_fence"), _)) -> Ast.Barrier
+        | other -> other
+      in
+      [ s ]
+
+and is_decl_lookahead st =
+  (* Disambiguate "int x = ..." from an expression starting with an
+     identifier that happens to be a type name is impossible in our
+     subset (type names are reserved), so a type-start token beginning a
+     statement is always a declaration. Exception: a lone const. *)
+  match peek st with
+  | Token.Ident name -> Types.of_name name <> None
+  | Token.Kw_const -> true
+  | _ -> false
+
+and parse_stmt_or_block st =
+  if peek st = Token.Lbrace then parse_block st
+  else parse_stmt st ~pending_attrs:Ast.default_loop_attrs
+
+and parse_block st =
+  eat st Token.Lbrace;
+  let stmts = ref [] in
+  while peek st <> Token.Rbrace do
+    if peek st = Token.Eof then fail st "unexpected end of input in block";
+    stmts := List.rev_append (parse_stmt st ~pending_attrs:Ast.default_loop_attrs) !stmts
+  done;
+  eat st Token.Rbrace;
+  List.rev !stmts
+
+and attrs_of_pragma attrs words =
+  match words with
+  | [ "unroll" ] -> { attrs with Ast.unroll = Some max_int (* full unroll *) }
+  | [ "unroll"; n ] -> (
+      match int_of_string_opt n with
+      | Some k when k >= 1 -> { attrs with Ast.unroll = Some k }
+      | Some _ | None -> attrs)
+  | [ "pipeline" ] | [ "work_item_pipeline" ] -> { attrs with Ast.pipeline = true }
+  | _ -> attrs (* unknown pragmas ignored *)
+
+(* ------------------------------------------------------------------ *)
+(* Kernels *)
+
+let parse_attribute st attrs =
+  (* __attribute__((name(args...))) *)
+  eat st Token.Kw_attribute;
+  eat st Token.Lparen;
+  eat st Token.Lparen;
+  let name = eat_ident st in
+  let ints = ref [] in
+  if peek st = Token.Lparen then begin
+    advance st;
+    let rec loop () =
+      (match peek st with
+      | Token.Int_lit n ->
+          advance st;
+          ints := Int64.to_int n :: !ints
+      | Token.Ident _ ->
+          advance st (* non-integer attr arg: ignored *)
+      | t -> fail st ("unexpected attribute argument " ^ Token.to_string t));
+      if peek st = Token.Comma then begin
+        advance st;
+        loop ()
+      end
+    in
+    if peek st <> Token.Rparen then loop ();
+    eat st Token.Rparen
+  end;
+  eat st Token.Rparen;
+  eat st Token.Rparen;
+  match (name, List.rev !ints) with
+  | "reqd_work_group_size", [ x; y; z ] ->
+      { attrs with Ast.reqd_work_group_size = Some (x, y, z) }
+  | "work_item_pipeline", _ -> { attrs with Ast.work_item_pipeline = true }
+  | _ -> attrs
+
+let parse_param st =
+  let space =
+    match addr_space_of_token (peek st) with
+    | Some sp ->
+        advance st;
+        sp
+    | None -> Types.Private
+  in
+  let is_const = peek st = Token.Kw_const in
+  let base = base_type st in
+  let ty =
+    if peek st = Token.Star then begin
+      advance st;
+      Types.Ptr (space, base)
+    end
+    else base
+  in
+  let name = eat_ident st in
+  { Ast.p_type = ty; p_name = name; p_const = is_const || space = Types.Constant }
+
+let parse_kernel_def st ~attrs =
+  eat st Token.Kw_kernel;
+  let attrs = ref attrs in
+  while peek st = Token.Kw_attribute do
+    attrs := parse_attribute st !attrs
+  done;
+  let ret = eat_ident st in
+  if ret <> "void" then fail st "kernels must return void";
+  while peek st = Token.Kw_attribute do
+    attrs := parse_attribute st !attrs
+  done;
+  let name = eat_ident st in
+  eat st Token.Lparen;
+  let params = ref [] in
+  if peek st <> Token.Rparen then begin
+    params := [ parse_param st ];
+    while peek st = Token.Comma do
+      advance st;
+      params := parse_param st :: !params
+    done
+  end;
+  eat st Token.Rparen;
+  while peek st = Token.Kw_attribute do
+    attrs := parse_attribute st !attrs
+  done;
+  let body = parse_block st in
+  { Ast.k_name = name; k_params = List.rev !params; k_attrs = !attrs; k_body = body }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let kernels = ref [] in
+  let pending = ref Ast.default_kernel_attrs in
+  let rec loop () =
+    match peek st with
+    | Token.Eof -> ()
+    | Token.Pragma words ->
+        advance st;
+        (match words with
+        | [ "work_item_pipeline" ] ->
+            pending := { !pending with Ast.work_item_pipeline = true }
+        | _ -> ());
+        loop ()
+    | Token.Kw_kernel ->
+        let k = parse_kernel_def st ~attrs:!pending in
+        pending := Ast.default_kernel_attrs;
+        kernels := k :: !kernels;
+        loop ()
+    | t -> fail st (Printf.sprintf "expected __kernel, found %s" (Token.to_string t))
+  in
+  loop ();
+  List.rev !kernels
+
+let parse_kernel src =
+  match parse_program src with
+  | [ k ] -> k
+  | ks ->
+      raise
+        (Error
+           (Printf.sprintf "expected exactly one kernel, found %d" (List.length ks), 1, 1))
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_ternary st in
+  (match peek st with
+  | Token.Eof -> ()
+  | t -> fail st (Printf.sprintf "trailing token %s after expression" (Token.to_string t)));
+  e

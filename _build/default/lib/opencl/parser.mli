@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the OpenCL-C subset.
+
+    Grammar summary:
+    {v
+    program   := kernel*
+    kernel    := pragma* "__kernel" attribute? "void" IDENT "(" params ")"
+                 block
+    attribute := "__attribute__" "((" IDENT ( "(" INT ("," INT)* ")" )? "))"
+    stmt      := decl | local-decl | assignment | if | for | while
+               | "barrier" "(" ... ")" ";" | return | break | continue
+               | call ";" | block
+    v}
+
+    Pragmas recognized: [#pragma unroll N] and [#pragma pipeline] (attach
+    to the following loop), [#pragma work_item_pipeline] (attaches to the
+    enclosing/following kernel). Unknown pragmas are ignored. *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)]; positions are 1-based. *)
+
+val parse_program : string -> Ast.program
+(** Parse source text into kernels. Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Convenience: parse a source containing exactly one kernel. Raises
+    {!Error} if there are zero or several kernels. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

@@ -1,0 +1,243 @@
+exception Error of string
+
+type info = {
+  var_types : (string, Types.t) Hashtbl.t;
+  global_arrays : (string * Types.t) list;
+  local_arrays : (string * Types.t) list;
+  uses_barrier : bool;
+  n_loops : int;
+  max_loop_depth : int;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let special_constants =
+  [
+    ("CLK_LOCAL_MEM_FENCE", Types.Scalar Types.Int);
+    ("CLK_GLOBAL_MEM_FENCE", Types.Scalar Types.Int);
+    ("INFINITY", Types.Scalar Types.Float);
+    ("FLT_MAX", Types.Scalar Types.Float);
+    ("FLT_MIN", Types.Scalar Types.Float);
+    ("INT_MAX", Types.Scalar Types.Int);
+    ("INT_MIN", Types.Scalar Types.Int);
+  ]
+
+let lookup_var info name =
+  match Hashtbl.find_opt info.var_types name with
+  | Some t -> t
+  | None -> (
+      match List.assoc_opt name special_constants with
+      | Some t -> t
+      | None -> err "unknown variable %s" name)
+
+let scalar_of name = function
+  | Types.Scalar s -> s
+  | t -> err "%s: expected a scalar, got %s" name (Types.to_string t)
+
+let rec type_of info (e : Ast.expr) : Types.t =
+  match e with
+  | Ast.Int_lit _ -> Types.Scalar Types.Int
+  | Ast.Float_lit _ -> Types.Scalar Types.Float
+  | Ast.Var v -> lookup_var info v
+  | Ast.Cast (t, inner) ->
+      ignore (type_of info inner);
+      t
+  | Ast.Unop (Ast.Lnot, a) ->
+      ignore (scalar_of "!" (type_of info a));
+      Types.Scalar Types.Int
+  | Ast.Unop (Ast.Bnot, a) ->
+      let s = scalar_of "~" (type_of info a) in
+      if Types.is_float s then err "~ applied to float";
+      Types.Scalar s
+  | Ast.Unop (Ast.Neg, a) -> Types.Scalar (scalar_of "unary -" (type_of info a))
+  | Ast.Binop (op, a, b) -> type_of_binop info op a b
+  | Ast.Ternary (c, a, b) ->
+      ignore (scalar_of "?:" (type_of info c));
+      let ta = scalar_of "?:" (type_of info a) in
+      let tb = scalar_of "?:" (type_of info b) in
+      Types.Scalar (Types.arith_result ta tb)
+  | Ast.Index (base, idxs) ->
+      let tb = type_of info base in
+      List.iter
+        (fun i ->
+          let ti = type_of info i in
+          match ti with
+          | Types.Scalar s when Types.is_integer s -> ()
+          | t -> err "array index must be an integer, got %s" (Types.to_string t))
+        idxs;
+      let rec strip t n =
+        if n = 0 then t
+        else
+          match t with
+          | Types.Ptr (_, inner) -> strip inner (n - 1)
+          | Types.Array (inner, _) -> strip inner (n - 1)
+          | t ->
+              err "too many subscripts: %s indexed %d more time(s)"
+                (Types.to_string t) n
+      in
+      strip tb (List.length idxs)
+  | Ast.Call (f, args) -> type_of_call info f args
+
+and type_of_binop info op a b =
+  let ta = type_of info a and tb = type_of info b in
+  match op with
+  | Ast.Land | Ast.Lor | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      ignore (scalar_of "comparison" ta);
+      ignore (scalar_of "comparison" tb);
+      Types.Scalar Types.Int
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      let sa = scalar_of "bitwise op" ta and sb = scalar_of "bitwise op" tb in
+      if Types.is_float sa || Types.is_float sb then err "bitwise op on float";
+      Types.Scalar (Types.arith_result sa sb)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      let sa = scalar_of "arithmetic" ta and sb = scalar_of "arithmetic" tb in
+      if op = Ast.Mod && (Types.is_float sa || Types.is_float sb) then
+        err "%% on float (use fmod)";
+      Types.Scalar (Types.arith_result sa sb)
+
+and type_of_call info f args =
+  match Builtins.find f with
+  | Some b -> (
+      let arg_types = List.map (type_of info) args in
+      match Builtins.result_type b arg_types with
+      | Ok t -> t
+      | Error msg -> err "%s" msg)
+  | None -> err "unknown function %s" f
+
+let check_assignable info lv =
+  match lv with
+  | Ast.Lvar v -> ignore (lookup_var info v)
+  | Ast.Lindex (v, idxs) ->
+      ignore (type_of info (Ast.Index (Ast.Var v, idxs)))
+
+let declare info name ty =
+  match Hashtbl.find_opt info.var_types name with
+  | Some existing when not (Types.equal existing ty) ->
+      err "variable %s redeclared with type %s (was %s)" name
+        (Types.to_string ty) (Types.to_string existing)
+  | Some _ | None -> Hashtbl.replace info.var_types name ty
+
+let analyze (k : Ast.kernel) : info =
+  let info =
+    {
+      var_types = Hashtbl.create 32;
+      global_arrays = [];
+      local_arrays = [];
+      uses_barrier = false;
+      n_loops = 0;
+      max_loop_depth = 0;
+    }
+  in
+  let globals = ref [] and locals = ref [] in
+  let const_params = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ast.param) ->
+      if Hashtbl.mem info.var_types p.Ast.p_name then
+        err "duplicate parameter %s" p.Ast.p_name;
+      Hashtbl.replace info.var_types p.Ast.p_name p.Ast.p_type;
+      if p.Ast.p_const then Hashtbl.replace const_params p.Ast.p_name ();
+      match Types.addr_space_of p.Ast.p_type with
+      | Some (Types.Global | Types.Constant) ->
+          globals := (p.Ast.p_name, p.Ast.p_type) :: !globals
+      | Some Types.Local -> locals := (p.Ast.p_name, p.Ast.p_type) :: !locals
+      | Some Types.Private | None -> ())
+    k.Ast.k_params;
+  let uses_barrier = ref false in
+  let n_loops = ref 0 in
+  let max_depth = ref 0 in
+  let rec check_stmts depth stmts = List.iter (check_stmt depth) stmts
+  and check_stmt depth (s : Ast.stmt) =
+    match s with
+    | Ast.Decl (ty, name, init) ->
+        declare info name ty;
+        Option.iter (fun e -> ignore (type_of info e)) init
+    | Ast.Local_decl (ty, name) ->
+        declare info name ty;
+        locals := (name, ty) :: !locals
+    | Ast.Assign (lv, e) ->
+        (match lv with
+        | Ast.Lvar v | Ast.Lindex (v, _) ->
+            if Hashtbl.mem const_params v then
+              err "assignment to const parameter %s" v);
+        check_assignable info lv;
+        ignore (type_of info e)
+    | Ast.If (c, t, e) ->
+        ignore (scalar_of "if condition" (type_of info c));
+        check_stmts depth t;
+        check_stmts depth e
+    | Ast.For ({ Ast.init; cond; step }, body, _attrs) ->
+        incr n_loops;
+        if depth + 1 > !max_depth then max_depth := depth + 1;
+        Option.iter (check_stmt depth) init;
+        Option.iter (fun c -> ignore (scalar_of "for condition" (type_of info c))) cond;
+        Option.iter (check_stmt depth) step;
+        check_stmts (depth + 1) body
+    | Ast.While (c, body, _attrs) ->
+        incr n_loops;
+        if depth + 1 > !max_depth then max_depth := depth + 1;
+        ignore (scalar_of "while condition" (type_of info c));
+        check_stmts (depth + 1) body
+    | Ast.Barrier -> uses_barrier := true
+    | Ast.Return e -> Option.iter (fun e -> ignore (type_of info e)) e
+    | Ast.Break | Ast.Continue -> ()
+    | Ast.Expr_stmt e -> ignore (type_of info e)
+  in
+  check_stmts 0 k.Ast.k_body;
+  {
+    info with
+    global_arrays = List.rev !globals;
+    local_arrays = List.rev !locals;
+    uses_barrier = !uses_barrier;
+    n_loops = !n_loops;
+    max_loop_depth = !max_depth;
+  }
+
+let rec is_const_expr = function
+  | Ast.Int_lit _ | Ast.Float_lit _ -> true
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> is_const_expr a
+  | Ast.Binop (_, a, b) -> is_const_expr a && is_const_expr b
+  | Ast.Ternary (c, a, b) -> is_const_expr c && is_const_expr a && is_const_expr b
+  | Ast.Var _ | Ast.Call _ | Ast.Index _ -> false
+
+let rec const_eval (e : Ast.expr) : int64 option =
+  let open Ast in
+  let ( let* ) = Option.bind in
+  match e with
+  | Int_lit i -> Some i
+  | Float_lit _ | Var _ | Call _ | Index _ -> None
+  | Cast (_, a) -> const_eval a
+  | Unop (Neg, a) ->
+      let* v = const_eval a in
+      Some (Int64.neg v)
+  | Unop (Bnot, a) ->
+      let* v = const_eval a in
+      Some (Int64.lognot v)
+  | Unop (Lnot, a) ->
+      let* v = const_eval a in
+      Some (if v = 0L then 1L else 0L)
+  | Ternary (c, a, b) ->
+      let* v = const_eval c in
+      if v <> 0L then const_eval a else const_eval b
+  | Binop (op, a, b) -> (
+      let* x = const_eval a in
+      let* y = const_eval b in
+      let bool_ c = Some (if c then 1L else 0L) in
+      match op with
+      | Add -> Some (Int64.add x y)
+      | Sub -> Some (Int64.sub x y)
+      | Mul -> Some (Int64.mul x y)
+      | Div -> if y = 0L then None else Some (Int64.div x y)
+      | Mod -> if y = 0L then None else Some (Int64.rem x y)
+      | Band -> Some (Int64.logand x y)
+      | Bor -> Some (Int64.logor x y)
+      | Bxor -> Some (Int64.logxor x y)
+      | Shl -> Some (Int64.shift_left x (Int64.to_int y))
+      | Shr -> Some (Int64.shift_right x (Int64.to_int y))
+      | Land -> bool_ (x <> 0L && y <> 0L)
+      | Lor -> bool_ (x <> 0L || y <> 0L)
+      | Eq -> bool_ (x = y)
+      | Ne -> bool_ (x <> y)
+      | Lt -> bool_ (x < y)
+      | Le -> bool_ (x <= y)
+      | Gt -> bool_ (x > y)
+      | Ge -> bool_ (x >= y))

@@ -1,0 +1,37 @@
+(** Semantic analysis for parsed kernels: name resolution, type checking
+    and collection of the facts later passes need (variable types, array
+    address spaces, barrier usage). *)
+
+exception Error of string
+
+type info = {
+  var_types : (string, Types.t) Hashtbl.t;
+      (** every parameter and declared variable, including loop indices. *)
+  global_arrays : (string * Types.t) list;
+      (** [__global]/[__constant] pointer parameters, in declaration order. *)
+  local_arrays : (string * Types.t) list;
+      (** [__local] arrays (declared in the body or passed as params). *)
+  uses_barrier : bool;
+  n_loops : int;  (** loops in the body, counting nesting levels once each. *)
+  max_loop_depth : int;
+}
+
+val analyze : Ast.kernel -> info
+(** Type-check the kernel and collect {!info}. Raises {!Error} with a
+    human-readable message on the first semantic fault (unknown variable,
+    unknown function, arity mismatch, indexing a scalar, assigning to a
+    [const] parameter, void-valued expression use, barrier inside a
+    divergent branch is accepted but flagged in no way). *)
+
+val type_of : info -> Ast.expr -> Types.t
+(** Type of an expression under the kernel's environment. Raises {!Error}
+    on ill-typed expressions. Pointer indexing yields the element type;
+    comparisons and logical operators yield [int] (as in C). *)
+
+val is_const_expr : Ast.expr -> bool
+(** True when the expression contains only literals (so static analyses
+    can fold it). *)
+
+val const_eval : Ast.expr -> int64 option
+(** Fold an integer constant expression, [None] when not constant or not
+    integral. *)

@@ -1,0 +1,139 @@
+(** Lexical tokens of the OpenCL-C subset. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  (* keywords *)
+  | Kw_kernel
+  | Kw_global
+  | Kw_local
+  | Kw_constant
+  | Kw_private
+  | Kw_const
+  | Kw_if
+  | Kw_else
+  | Kw_for
+  | Kw_while
+  | Kw_do
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_attribute
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Question
+  | Colon
+  (* operators *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Pipe_pipe
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  | Plus_plus
+  | Minus_minus
+  | Dot
+  (* directives *)
+  | Pragma of string list  (** [#pragma w1 w2 ...], words after "pragma". *)
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> Int64.to_string i
+  | Float_lit f -> string_of_float f
+  | Kw_kernel -> "__kernel"
+  | Kw_global -> "__global"
+  | Kw_local -> "__local"
+  | Kw_constant -> "__constant"
+  | Kw_private -> "__private"
+  | Kw_const -> "const"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_for -> "for"
+  | Kw_while -> "while"
+  | Kw_do -> "do"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_attribute -> "__attribute__"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Question -> "?"
+  | Colon -> ":"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Amp_assign -> "&="
+  | Pipe_assign -> "|="
+  | Caret_assign -> "^="
+  | Shl_assign -> "<<="
+  | Shr_assign -> ">>="
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Dot -> "."
+  | Pragma ws -> "#pragma " ^ String.concat " " ws
+  | Eof -> "<eof>"
+
+type located = { tok : t; line : int; col : int }

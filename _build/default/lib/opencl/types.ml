@@ -1,0 +1,144 @@
+type addr_space = Global | Local | Constant | Private
+
+type scalar =
+  | Bool
+  | Char
+  | Uchar
+  | Short
+  | Ushort
+  | Int
+  | Uint
+  | Long
+  | Ulong
+  | Float
+  | Double
+
+type t =
+  | Void
+  | Scalar of scalar
+  | Vector of scalar * int
+  | Ptr of addr_space * t
+  | Array of t * int
+
+let scalar_bits = function
+  | Bool | Char | Uchar -> 8
+  | Short | Ushort -> 16
+  | Int | Uint | Float -> 32
+  | Long | Ulong | Double -> 64
+
+let rec bits = function
+  | Void -> invalid_arg "Types.bits: void has no width"
+  | Scalar s -> scalar_bits s
+  | Vector (s, w) -> scalar_bits s * w
+  | Ptr _ -> 64
+  | Array (t, n) -> bits t * n
+
+let is_integer = function
+  | Bool | Char | Uchar | Short | Ushort | Int | Uint | Long | Ulong -> true
+  | Float | Double -> false
+
+let is_float s = not (is_integer s)
+
+let is_signed = function
+  | Char | Short | Int | Long -> true
+  | Bool | Uchar | Ushort | Uint | Ulong | Float | Double -> false
+
+let elem = function
+  | Ptr (_, t) -> t
+  | Array (t, _) -> t
+  | Vector (s, _) -> Scalar s
+  | (Void | Scalar _) as t -> t
+
+let rec addr_space_of = function
+  | Ptr (sp, _) -> Some sp
+  | Array (t, _) -> addr_space_of t
+  | Void | Scalar _ | Vector _ -> None
+
+let scalar_name = function
+  | Bool -> "bool"
+  | Char -> "char"
+  | Uchar -> "uchar"
+  | Short -> "short"
+  | Ushort -> "ushort"
+  | Int -> "int"
+  | Uint -> "uint"
+  | Long -> "long"
+  | Ulong -> "ulong"
+  | Float -> "float"
+  | Double -> "double"
+
+let legal_vector_widths = [ 2; 3; 4; 8; 16 ]
+
+let vector_name s w =
+  if List.mem w legal_vector_widths then
+    Some (scalar_name s ^ string_of_int w)
+  else None
+
+let scalars =
+  [ Bool; Char; Uchar; Short; Ushort; Int; Uint; Long; Ulong; Float; Double ]
+
+let of_name name =
+  let scalar_of n = List.find_opt (fun s -> scalar_name s = n) scalars in
+  match scalar_of name with
+  | Some s -> Some (Scalar s)
+  | None ->
+      if name = "void" then Some Void
+      else
+        (* try vector suffix *)
+        let try_width w =
+          let suffix = string_of_int w in
+          if String.length name > String.length suffix
+             && String.sub name
+                  (String.length name - String.length suffix)
+                  (String.length suffix)
+                = suffix
+          then
+            let base =
+              String.sub name 0 (String.length name - String.length suffix)
+            in
+            Option.map (fun s -> Vector (s, w)) (scalar_of base)
+          else None
+        in
+        List.find_map try_width (List.rev legal_vector_widths)
+
+let space_prefix = function
+  | Global -> "__global "
+  | Local -> "__local "
+  | Constant -> "__constant "
+  | Private -> ""
+
+let rec to_string = function
+  | Void -> "void"
+  | Scalar s -> scalar_name s
+  | Vector (s, w) -> scalar_name s ^ string_of_int w
+  | Ptr (sp, t) -> space_prefix sp ^ to_string t ^ "*"
+  | Array (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void -> true
+  | Scalar x, Scalar y -> x = y
+  | Vector (x, w), Vector (y, v) -> x = y && w = v
+  | Ptr (s, x), Ptr (r, y) -> s = r && equal x y
+  | Array (x, n), Array (y, m) -> n = m && equal x y
+  | (Void | Scalar _ | Vector _ | Ptr _ | Array _), _ -> false
+
+let rank = function
+  | Bool -> 0
+  | Char | Uchar -> 1
+  | Short | Ushort -> 2
+  | Int | Uint -> 3
+  | Long | Ulong -> 4
+  | Float -> 5
+  | Double -> 6
+
+let arith_result a b =
+  if is_float a && is_float b then if rank a >= rank b then a else b
+  else if is_float a then a
+  else if is_float b then b
+  else if rank a > rank b then a
+  else if rank b > rank a then b
+  else if is_signed a then b (* unsigned wins at equal rank *)
+  else a

@@ -1,0 +1,61 @@
+(** Types of the OpenCL-C subset understood by FlexCL. *)
+
+type addr_space =
+  | Global   (** [__global]: off-chip DRAM, modeled by {!Flexcl_dram}. *)
+  | Local    (** [__local]: on-chip BRAM shared within a compute unit. *)
+  | Constant (** [__constant]: read-only global memory. *)
+  | Private  (** registers / per-work-item storage. *)
+
+type scalar =
+  | Bool
+  | Char
+  | Uchar
+  | Short
+  | Ushort
+  | Int
+  | Uint
+  | Long
+  | Ulong
+  | Float
+  | Double
+
+type t =
+  | Void
+  | Scalar of scalar
+  | Vector of scalar * int  (** e.g. [float4] = [Vector (Float, 4)]. *)
+  | Ptr of addr_space * t   (** pointer, e.g. [__global float*]. *)
+  | Array of t * int        (** fixed-size array, e.g. [__local float buf[256]]. *)
+
+val scalar_bits : scalar -> int
+(** Storage width in bits (bool counts as 8). *)
+
+val bits : t -> int
+(** Total storage width; arrays multiply out, pointers are 64. Raises
+    [Invalid_argument] on [Void]. *)
+
+val is_integer : scalar -> bool
+val is_float : scalar -> bool
+val is_signed : scalar -> bool
+
+val elem : t -> t
+(** Element type of a pointer, array or vector; identity on scalars. *)
+
+val addr_space_of : t -> addr_space option
+(** Address space if [t] is a pointer (or array-of) into one. *)
+
+val vector_name : scalar -> int -> string option
+(** [vector_name s w] is e.g. [Some "float4"]; [None] if [w] is not a
+    legal OpenCL vector width (2, 3, 4, 8, 16). *)
+
+val of_name : string -> t option
+(** Parse a (possibly vector) type name: ["int"], ["float4"], ... *)
+
+val scalar_name : scalar -> string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val arith_result : scalar -> scalar -> scalar
+(** Usual arithmetic conversions: the wider/floatier type wins. *)

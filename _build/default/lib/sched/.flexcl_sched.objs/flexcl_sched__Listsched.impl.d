@@ -1,0 +1,1 @@
+lib/sched/listsched.ml: Array Flexcl_ir Flexcl_util Fun List

@@ -1,0 +1,1 @@
+lib/sched/listsched.mli: Flexcl_ir

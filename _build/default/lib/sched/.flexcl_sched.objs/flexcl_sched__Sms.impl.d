@@ -1,0 +1,1 @@
+lib/sched/sms.ml: Array Flexcl_util Fun List Option

@@ -1,0 +1,118 @@
+module Graph = Flexcl_util.Graph
+module Dfg = Flexcl_ir.Dfg
+module Opcode = Flexcl_ir.Opcode
+
+type constraints = { read_ports : int; write_ports : int; dsp : int }
+
+let unconstrained = { read_ports = max_int; write_ports = max_int; dsp = max_int }
+
+type schedule = { start : int array; finish : int array; latency : int }
+
+(* Priority: longest latency-weighted path from the node to any sink. *)
+let heights_with d ~node_lat =
+  let g = Dfg.graph d in
+  let n = Graph.n_nodes g in
+  match Graph.topo_sort g with
+  | None -> invalid_arg "Listsched: block dependence graph is cyclic"
+  | Some order ->
+      let h = Array.make n 0 in
+      List.iter
+        (fun u ->
+          let lu = node_lat (Dfg.node d u) in
+          let best =
+            List.fold_left
+              (fun acc (v, _) -> max acc h.(v))
+              0 (Graph.succs g u)
+          in
+          h.(u) <- lu + best)
+        (List.rev order);
+      h
+
+let usage_of op ~dsp_cost =
+  let is_local_read = match op with Opcode.Load Opcode.Local_mem -> true | _ -> false in
+  let is_local_write = match op with Opcode.Store Opcode.Local_mem -> true | _ -> false in
+  ((if is_local_read then 1 else 0), (if is_local_write then 1 else 0), dsp_cost op)
+
+let schedule_block_with d ~node_lat ~dsp_cost ~cons =
+  let g = Dfg.graph d in
+  let n = Graph.n_nodes g in
+  if n = 0 then { start = [||]; finish = [||]; latency = 0 }
+  else begin
+    (* validate single-op feasibility *)
+    Array.iter
+      (fun (node : Dfg.node) ->
+        let r, w, k = usage_of node.Dfg.op ~dsp_cost in
+        if r > cons.read_ports || w > cons.write_ports || k > cons.dsp then
+          invalid_arg "Listsched: op exceeds resource constraints")
+      (Array.of_list (Dfg.nodes d));
+    let h = heights_with d ~node_lat in
+    let start = Array.make n (-1) in
+    let finish = Array.make n (-1) in
+    let n_preds = Array.make n 0 in
+    for u = 0 to n - 1 do
+      n_preds.(u) <- List.length (Graph.preds g u)
+    done;
+    (* earliest start from scheduled predecessors *)
+    let est = Array.make n 0 in
+    let unscheduled = ref n in
+    let cycle = ref 0 in
+    (* per-cycle resource usage, grown on demand *)
+    let used_r = ref 0 and used_w = ref 0 and used_d = ref 0 in
+    while !unscheduled > 0 do
+      used_r := 0;
+      used_w := 0;
+      used_d := 0;
+      (* Zero-latency ops are combinational: they chain within the cycle,
+         so keep sweeping until no more ops become ready this cycle. *)
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let ready =
+          List.init n Fun.id
+          |> List.filter (fun u ->
+                 start.(u) < 0 && n_preds.(u) = 0 && est.(u) <= !cycle)
+          |> List.sort (fun a b -> compare (h.(b), a) (h.(a), b))
+        in
+        List.iter
+          (fun u ->
+            let r, w, k = usage_of (Dfg.node d u).Dfg.op ~dsp_cost in
+            let fits =
+              (cons.read_ports = max_int || !used_r + r <= cons.read_ports)
+              && (cons.write_ports = max_int || !used_w + w <= cons.write_ports)
+              && (cons.dsp = max_int || !used_d + k <= cons.dsp)
+            in
+            if fits then begin
+              used_r := !used_r + r;
+              used_w := !used_w + w;
+              used_d := !used_d + k;
+              start.(u) <- !cycle;
+              let l = node_lat (Dfg.node d u) in
+              finish.(u) <- !cycle + l;
+              decr unscheduled;
+              progress := true;
+              List.iter
+                (fun (v, _) ->
+                  n_preds.(v) <- n_preds.(v) - 1;
+                  if finish.(u) > est.(v) then est.(v) <- finish.(u))
+                (Graph.succs g u)
+            end)
+          ready
+      done;
+      incr cycle;
+      if !cycle > 1_000_000 then invalid_arg "Listsched: schedule does not converge"
+    done;
+    let latency = Array.fold_left max 0 finish in
+    { start; finish; latency }
+  end
+
+let schedule_block d ~lat ~dsp_cost ~cons =
+  schedule_block_with d ~node_lat:(fun (n : Dfg.node) -> lat n.Dfg.op) ~dsp_cost ~cons
+
+let critical_path d ~lat =
+  let g = Dfg.graph d in
+  if Graph.n_nodes g = 0 then 0
+  else
+    let dist =
+      Graph.longest_paths g ~source_weight:(fun u -> lat (Dfg.node d u).Dfg.op)
+    in
+    Array.fold_left max 0 dist

@@ -1,0 +1,45 @@
+(** Resource-aware priority-ordered list scheduling (ASAP), used by the
+    processing-element model to estimate the execution latency of each
+    simplified basic block (paper §3.3.1).
+
+    Ops issue in priority order (longest path to a sink first); every
+    functional unit is fully pipelined, so an op occupies its resources
+    only in its issue cycle. *)
+
+type constraints = {
+  read_ports : int;   (** local-memory read ports usable per cycle. *)
+  write_ports : int;  (** local-memory write ports usable per cycle. *)
+  dsp : int;          (** DSP slices usable per cycle. *)
+}
+
+val unconstrained : constraints
+(** Effectively infinite resources (pure dependence-limited schedule). *)
+
+type schedule = {
+  start : int array;   (** issue cycle per node. *)
+  finish : int array;  (** completion cycle per node ([start + latency]). *)
+  latency : int;       (** block latency: max finish (0 for empty blocks). *)
+}
+
+val schedule_block :
+  Flexcl_ir.Dfg.t ->
+  lat:(Flexcl_ir.Opcode.t -> int) ->
+  dsp_cost:(Flexcl_ir.Opcode.t -> int) ->
+  cons:constraints ->
+  schedule
+(** Raises [Invalid_argument] if the block's dependence graph is cyclic
+    (blocks are DAGs by construction) or if a single op needs more of a
+    resource than the constraint provides. *)
+
+val schedule_block_with :
+  Flexcl_ir.Dfg.t ->
+  node_lat:(Flexcl_ir.Dfg.node -> int) ->
+  dsp_cost:(Flexcl_ir.Opcode.t -> int) ->
+  cons:constraints ->
+  schedule
+(** Like {!schedule_block} with per-node latencies — the ground-truth
+    simulator passes each node's realized implementation-variant
+    latency. *)
+
+val critical_path : Flexcl_ir.Dfg.t -> lat:(Flexcl_ir.Opcode.t -> int) -> int
+(** Dependence-only lower bound on the block latency. *)

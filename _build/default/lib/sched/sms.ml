@@ -1,0 +1,154 @@
+module Graph = Flexcl_util.Graph
+
+type usage = { reads : int; writes : int; dsps : int }
+
+let no_usage = { reads = 0; writes = 0; dsps = 0 }
+
+type limits = { read_ports : int; write_ports : int; dsp_slots : int }
+
+let unlimited = { read_ports = max_int; write_ports = max_int; dsp_slots = max_int }
+
+type problem = {
+  lat : int array;
+  usage : usage array;
+  deps : (int * int * int) list;
+}
+
+let n_nodes p = Array.length p.lat
+
+let ceil_div a b = if b <= 0 then 1 else (a + b - 1) / b
+
+let res_mii p limits =
+  let total f = Array.fold_left (fun acc u -> acc + f u) 0 p.usage in
+  let of_limit total limit = if limit = max_int || total = 0 then 1 else ceil_div total limit in
+  let r = of_limit (total (fun u -> u.reads)) limits.read_ports in
+  let w = of_limit (total (fun u -> u.writes)) limits.write_ports in
+  let d = of_limit (total (fun u -> u.dsps)) limits.dsp_slots in
+  max 1 (max r (max w d))
+
+let full_graph p =
+  let g = Graph.create (n_nodes p) in
+  List.iter (fun (u, v, dist) -> Graph.add_edge ~weight:dist g u v) p.deps;
+  g
+
+let rec_mii p =
+  if n_nodes p = 0 then 1
+  else
+    let g = full_graph p in
+    max 1 (Graph.max_cycle_ratio g ~cost:(fun u -> p.lat.(u)))
+
+let mii p limits = max (rec_mii p) (res_mii p limits)
+
+type result = { ii : int; depth : int; start : int array }
+
+(* Longest latency-weighted path to a sink over distance-0 edges. *)
+let heights p =
+  let n = n_nodes p in
+  let g = Graph.create n in
+  List.iter (fun (u, v, dist) -> if dist = 0 then Graph.add_edge g u v) p.deps;
+  match Graph.topo_sort g with
+  | None -> invalid_arg "Sms: zero-distance dependence cycle"
+  | Some order ->
+      let h = Array.make n 0 in
+      List.iter
+        (fun u ->
+          let best =
+            List.fold_left (fun acc (v, _) -> max acc h.(v)) 0 (Graph.succs g u)
+          in
+          h.(u) <- p.lat.(u) + best)
+        (List.rev order);
+      h
+
+let recurrence_members p =
+  let g = full_graph p in
+  let members = Array.make (max 1 (n_nodes p)) false in
+  List.iter
+    (fun comp ->
+      match comp with
+      | [ u ] -> if Graph.has_self_loop g u then members.(u) <- true
+      | _ -> List.iter (fun u -> members.(u) <- true) comp)
+    (Graph.sccs g);
+  members
+
+let try_ii p limits ~priority ii =
+  let n = n_nodes p in
+  let start = Array.make n (-1) in
+  let mrt_r = Array.make ii 0 and mrt_w = Array.make ii 0 and mrt_d = Array.make ii 0 in
+  let fits t u =
+    let s = t mod ii in
+    let usg = p.usage.(u) in
+    (limits.read_ports = max_int || mrt_r.(s) + usg.reads <= limits.read_ports)
+    && (limits.write_ports = max_int || mrt_w.(s) + usg.writes <= limits.write_ports)
+    && (limits.dsp_slots = max_int || mrt_d.(s) + usg.dsps <= limits.dsp_slots)
+  in
+  let reserve t u =
+    let s = t mod ii in
+    let usg = p.usage.(u) in
+    mrt_r.(s) <- mrt_r.(s) + usg.reads;
+    mrt_w.(s) <- mrt_w.(s) + usg.writes;
+    mrt_d.(s) <- mrt_d.(s) + usg.dsps
+  in
+  let ok = ref true in
+  List.iter
+    (fun u ->
+      if !ok then begin
+        (* window from already-scheduled neighbours *)
+        let est = ref 0 and lst = ref max_int in
+        List.iter
+          (fun (a, b, dist) ->
+            if b = u && start.(a) >= 0 then
+              est := max !est (start.(a) + p.lat.(a) - (ii * dist));
+            if a = u && start.(b) >= 0 then
+              lst := min !lst (start.(b) - p.lat.(u) + (ii * dist)))
+          p.deps;
+        let est = max 0 !est in
+        let ub = min !lst (est + ii - 1) in
+        let rec find t = if t > ub then None else if fits t u then Some t else find (t + 1) in
+        match find est with
+        | Some t ->
+            start.(u) <- t;
+            reserve t u
+        | None -> ok := false
+      end)
+    priority;
+  if not !ok then None
+  else begin
+    (* final verification of every dependence *)
+    let valid =
+      List.for_all
+        (fun (a, b, dist) -> start.(b) >= start.(a) + p.lat.(a) - (ii * dist))
+        p.deps
+    in
+    if not valid then None
+    else
+      let depth =
+        Array.to_list (Array.init n (fun u -> start.(u) + p.lat.(u)))
+        |> List.fold_left max 0
+      in
+      Some { ii; depth; start }
+  end
+
+let schedule ?max_ii p limits =
+  let n = n_nodes p in
+  if n = 0 then { ii = 1; depth = 0; start = [||] }
+  else begin
+    let m = mii p limits in
+    let max_ii = Option.value max_ii ~default:(m + 256) in
+    let h = heights p in
+    let members = recurrence_members p in
+    let priority =
+      List.init n Fun.id
+      |> List.sort (fun a b ->
+             compare
+               ((if members.(b) then 1 else 0), h.(b), a)
+               ((if members.(a) then 1 else 0), h.(a), b))
+    in
+    let rec attempt ii =
+      if ii > max_ii then invalid_arg "Sms.schedule: no feasible II found"
+      else
+        match try_ii p limits ~priority ii with
+        | Some r -> r
+        | None -> attempt (ii + 1)
+    in
+    attempt m
+  end

@@ -1,0 +1,56 @@
+(** Modulo scheduling in the style of Swing Modulo Scheduling, used to
+    derive the work-item initiation interval [II_comp^wi] and the
+    pipeline depth [D_comp^PE] (paper §3.3.1), and the II of pipelined
+    inner loops.
+
+    The scheduler is generic over "nodes" so it can run at op granularity
+    (loop bodies) or at basic-block macro-node granularity (the work-item
+    pipeline): a problem is an array of latencies, an array of per-issue
+    resource usages, and dependence edges with iteration distances.
+    Distance-0 edges must form a DAG; recurrences enter through edges
+    with distance >= 1. *)
+
+type usage = { reads : int; writes : int; dsps : int }
+(** Resources occupied in the node's issue cycle (fully pipelined
+    units). *)
+
+val no_usage : usage
+
+type limits = { read_ports : int; write_ports : int; dsp_slots : int }
+
+val unlimited : limits
+
+type problem = {
+  lat : int array;
+  usage : usage array;
+  deps : (int * int * int) list;
+      (** [(producer, consumer, distance)]; distance in initiations. *)
+}
+
+val res_mii : problem -> limits -> int
+(** Resource-constrained MII (Eq. 3–4): for each resource,
+    [ceil (total usage / available per cycle)]; at least 1. *)
+
+val rec_mii : problem -> int
+(** Recurrence-constrained MII: max over dependence cycles of
+    [ceil (cycle latency / cycle distance)] (Eq. 2's RecMII). 1 when there
+    is no recurrence. Raises [Invalid_argument] on a zero-distance
+    cycle. *)
+
+val mii : problem -> limits -> int
+(** [max (rec_mii p) (res_mii p limits)] (Eq. 2). *)
+
+type result = {
+  ii : int;           (** achieved initiation interval, >= MII. *)
+  depth : int;        (** schedule length: one initiation's makespan. *)
+  start : int array;  (** issue cycle of each node. *)
+}
+
+val schedule : ?max_ii:int -> problem -> limits -> result
+(** Modulo-schedule the problem: starting at MII, try increasing II until
+    a schedule satisfies all dependence and modulo-resource constraints.
+    Nodes are placed highest-priority first (priority = criticality:
+    membership in the tightest recurrence, then height). Raises
+    [Invalid_argument] when no schedule is found up to [max_ii]
+    (default [mii + 256]) — which cannot happen for well-formed problems
+    whose single-node usages fit the limits. *)

@@ -1,0 +1,1 @@
+lib/simrtl/sdaccel_estimate.ml: Cdfg Depend Dfg Flexcl_core Flexcl_device Flexcl_dram Flexcl_ir Flexcl_opencl Flexcl_sched Flexcl_util Float Hashtbl Launch List Opcode

@@ -1,0 +1,1 @@
+lib/simrtl/sdaccel_estimate.mli: Flexcl_core

@@ -1,0 +1,1 @@
+lib/simrtl/sysrun.ml: Array Cdfg Dfg Flexcl_core Flexcl_device Flexcl_dram Flexcl_interp Flexcl_ir Flexcl_sched Flexcl_util Float Hashtbl Launch List Queue

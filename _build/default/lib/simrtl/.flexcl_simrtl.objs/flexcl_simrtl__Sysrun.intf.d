@@ -1,0 +1,1 @@
+lib/simrtl/sysrun.mli: Flexcl_core

@@ -1,0 +1,29 @@
+(** Baseline estimator standing in for SDAccel's HLS cycle report
+    (the paper's weak comparison point, §4.2, 30–85% average error).
+
+    It is a genuinely simplified analytical estimator reproducing the
+    three error sources the paper names:
+    {ol
+    {- {b memory underestimation} — every global access is assumed to be
+       a row-buffer hit served at the raw column latency, with no
+       coalescing analysis, no pattern distinction and no inter-access
+       state;}
+    {- {b conservative control estimation} — both sides of every branch
+       are summed (as if predicated sequentially) instead of overlapped;}
+    {- {b no multi-CU scheduling overhead} — compute units are assumed
+       perfectly parallel and dispatch is free.}}
+
+    Like the real tool, it fails to produce an estimate for a sizeable
+    fraction of design points (unsupported parallelism/memory shapes). *)
+
+val estimate :
+  Flexcl_core.Model.Device.t ->
+  Flexcl_core.Analysis.t ->
+  Flexcl_core.Config.t ->
+  float option
+(** [None] models an SDAccel failure: high PE replication, multi-CU
+    designs touching [__local] memory, or kernels with data-dependent
+    global indexing — the shapes §4.2 reports the tool giving up on. *)
+
+val supported : Flexcl_core.Analysis.t -> Flexcl_core.Config.t -> bool
+(** Whether the tool would return an estimate for this design point. *)

@@ -1,0 +1,34 @@
+(** "System Run" substitute: a cycle-level simulator of the synthesized
+    design, standing in for bitstream generation + on-board measurement
+    (see DESIGN.md, substitution table).
+
+    It executes the same design point the model estimates, but with the
+    physical effects the paper attributes estimation error to:
+    {ul
+    {- every op instance gets one of the synthesis tool's implementation
+       variants (deterministic per kernel/block/node), not the table
+       average;}
+    {- every global-memory transaction goes through the stateful banked
+       DRAM simulator shared by all concurrent compute units — open-row
+       state, turnaround, refresh and queuing included;}
+    {- work-group dispatch has per-dispatch jitter around
+       [ΔL_comp^schedule].}} *)
+
+type result = {
+  cycles : float;
+  seconds : float;
+  mem_transactions : int;  (** DRAM transactions actually simulated. *)
+  detail_rounds : int;     (** dispatch rounds simulated in full detail. *)
+}
+
+val run :
+  ?seed:int ->
+  ?max_detail_rounds:int ->
+  Flexcl_core.Model.Device.t ->
+  Flexcl_core.Analysis.t ->
+  Flexcl_core.Config.t ->
+  result
+(** Simulate the design point. [max_detail_rounds] (default 8) bounds how
+    many dispatch rounds are simulated transaction-by-transaction; later
+    rounds reuse the measured steady-state round time (the DRAM reaches a
+    steady state quickly, so this changes results by well under 1%%). *)

@@ -1,0 +1,1 @@
+lib/util/graph.ml: Array List Queue Stack

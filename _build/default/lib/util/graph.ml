@@ -1,0 +1,158 @@
+type t = {
+  n : int;
+  succ : (int * int) list array;
+  pred : (int * int) list array;
+  mutable n_edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; succ = Array.make n []; pred = Array.make n []; n_edges = 0 }
+
+let n_nodes g = g.n
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph: node out of range"
+
+let add_edge ?(weight = 0) g u v =
+  check g u;
+  check g v;
+  g.succ.(u) <- (v, weight) :: g.succ.(u);
+  g.pred.(v) <- (u, weight) :: g.pred.(v);
+  g.n_edges <- g.n_edges + 1
+
+let succs g u =
+  check g u;
+  g.succ.(u)
+
+let preds g u =
+  check g u;
+  g.pred.(u)
+
+let topo_sort g =
+  let indeg = Array.make g.n 0 in
+  for u = 0 to g.n - 1 do
+    List.iter (fun (v, _) -> indeg.(v) <- indeg.(v) + 1) g.succ.(u)
+  done;
+  let queue = Queue.create () in
+  for u = 0 to g.n - 1 do
+    if indeg.(u) = 0 then Queue.add u queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr seen;
+    order := u :: !order;
+    List.iter
+      (fun (v, _) ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      g.succ.(u)
+  done;
+  if !seen = g.n then Some (List.rev !order) else None
+
+let is_dag g = topo_sort g <> None
+
+let longest_paths g ~source_weight =
+  match topo_sort g with
+  | None -> invalid_arg "Graph.longest_paths: graph is cyclic"
+  | Some order ->
+      let dist = Array.init g.n source_weight in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun (v, _) ->
+              let candidate = dist.(u) + source_weight v in
+              if candidate > dist.(v) then dist.(v) <- candidate)
+            g.succ.(u))
+        order;
+      dist
+
+let sccs g =
+  (* Tarjan, iterative to avoid stack overflow on deep graphs. *)
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = Stack.create () in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let comp = ref [] in
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        on_stack.(w) <- false;
+        comp := w :: !comp;
+        if w = v then continue := false
+      done;
+      components := !comp :: !components
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  !components
+
+let has_self_loop g u = List.exists (fun (v, _) -> v = u) (succs g u)
+
+let max_cycle_ratio g ~cost =
+  (* RecMII: smallest integer II such that no cycle C has
+     sum(cost) > II * sum(dist).  Feasibility of a candidate II is checked
+     by looking for a positive-weight cycle under edge weight
+     cost(u) - II * dist(u,v) with Bellman-Ford. *)
+  let any_cycle =
+    List.exists (fun comp -> List.length comp > 1) (sccs g)
+    || Array.exists (fun u -> u) (Array.init g.n (has_self_loop g))
+  in
+  if not any_cycle then 0
+  else begin
+    let total_cost =
+      Array.to_list (Array.init g.n cost) |> List.fold_left ( + ) 0
+    in
+    let has_positive_cycle ii =
+      (* Bellman-Ford longest paths; relax up to n rounds. *)
+      let dist = Array.make g.n 0 in
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds <= g.n do
+        changed := false;
+        incr rounds;
+        for u = 0 to g.n - 1 do
+          List.iter
+            (fun (v, d) ->
+              let w = cost u - (ii * d) in
+              if dist.(u) + w > dist.(v) then begin
+                dist.(v) <- dist.(u) + w;
+                changed := true
+              end)
+            g.succ.(u)
+        done
+      done;
+      !changed
+    in
+    if has_positive_cycle total_cost then
+      invalid_arg "Graph.max_cycle_ratio: zero-distance recurrence cycle";
+    let lo = ref 0 and hi = ref total_cost in
+    (* Invariant: II = hi is feasible, II = lo - 1 .. unknown; find the
+       smallest feasible II in (lo, hi]. *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if has_positive_cycle mid then lo := mid + 1 else hi := mid
+    done;
+    !hi
+  end

@@ -1,0 +1,47 @@
+(** Directed-graph helpers shared by the CDFG, scheduler and dependence
+    analyses. Nodes are dense integers [0 .. n-1]. *)
+
+type t
+(** Adjacency-list digraph; edges may carry an integer weight (latency or
+    dependence distance, depending on the client). *)
+
+val create : int -> t
+(** [create n] makes a graph with [n] nodes and no edges. *)
+
+val n_nodes : t -> int
+
+val add_edge : ?weight:int -> t -> int -> int -> unit
+(** [add_edge g u v] adds [u -> v] (parallel edges allowed, default
+    weight 0). Raises [Invalid_argument] on out-of-range nodes. *)
+
+val succs : t -> int -> (int * int) list
+(** Successor list with weights. *)
+
+val preds : t -> int -> (int * int) list
+
+val topo_sort : t -> int list option
+(** Topological order, or [None] if the graph is cyclic. *)
+
+val is_dag : t -> bool
+
+val longest_paths : t -> source_weight:(int -> int) -> int array
+(** For a DAG: [longest_paths g ~source_weight] gives, per node, the
+    largest sum of node weights along any path ending at that node
+    (inclusive). Raises [Invalid_argument] on cyclic graphs. *)
+
+val sccs : t -> int list list
+(** Strongly connected components (Tarjan), in reverse topological order
+    of the condensation. Singleton components without self-loops are
+    included. *)
+
+val has_self_loop : t -> int -> bool
+
+val max_cycle_ratio :
+  t -> cost:(int -> int) -> int
+(** [max_cycle_ratio g ~cost] computes [max over cycles C of
+    ceil(sum of cost(node) for nodes in C / sum of edge weights in C)]
+    where edge weights are dependence distances (must be >= 0 on every
+    edge participating in a cycle, with at least one positive weight per
+    cycle — otherwise the recurrence is unschedulable and the function
+    raises [Invalid_argument]). Returns 0 for acyclic graphs. This is the
+    RecMII computation of modulo scheduling. *)

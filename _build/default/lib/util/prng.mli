@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic choice in FlexCL (work-group sampling, simulator
+    implementation-variant selection, dispatch jitter) flows from a [t]
+    seeded explicitly, so whole-repo runs are reproducible bit-for-bit. The
+    generator is splitmix64, which is small, fast and has no ambient
+    state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Two
+    generators with the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each kernel / design point its own stream so evaluation
+    order does not affect results. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val hash_mix : int -> int -> int
+(** [hash_mix a b] deterministically mixes two ints into a well-spread
+    non-negative int; used to give op instances stable per-instance
+    "implementation variants" without carrying generator state around. *)

@@ -1,0 +1,64 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let sum_logs =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+            else acc +. log x)
+          0.0 xs
+      in
+      exp (sum_logs /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | [ x ] -> x
+  | s ->
+      let arr = Array.of_list s in
+      let n = Array.length arr in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let median xs = percentile 50.0 xs
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let abs_pct_error ~actual ~predicted =
+  if actual = 0.0 then invalid_arg "Stats.abs_pct_error: actual is zero";
+  100.0 *. Float.abs (predicted -. actual) /. Float.abs actual
+
+let mean_abs_pct_error pairs =
+  mean (List.map (fun (actual, predicted) -> abs_pct_error ~actual ~predicted) pairs)
+
+let correlation pairs =
+  match pairs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      let mx = mean xs and my = mean ys in
+      let cov =
+        mean (List.map (fun (x, y) -> (x -. mx) *. (y -. my)) pairs)
+      in
+      let sx = stddev xs and sy = stddev ys in
+      if sx = 0.0 || sy = 0.0 then 0.0 else cov /. (sx *. sy)

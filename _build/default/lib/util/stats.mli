@@ -1,0 +1,28 @@
+(** Small statistics toolkit used by the model-accuracy experiments. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val abs_pct_error : actual:float -> predicted:float -> float
+(** [abs_pct_error ~actual ~predicted] is [100 * |pred - actual| / actual].
+    Raises [Invalid_argument] if [actual] is 0. *)
+
+val mean_abs_pct_error : (float * float) list -> float
+(** Mean of {!abs_pct_error} over [(actual, predicted)] pairs. *)
+
+val correlation : (float * float) list -> float
+(** Pearson correlation coefficient; 0. when either variance is 0. *)

@@ -1,0 +1,62 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers and k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: more cells than headers";
+  let padded = cells @ List.init (n - k) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let fmt_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let render ?align t =
+  let ncols = List.length t.headers in
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: alignment length mismatch"
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let rows = List.rev t.rows in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad a w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match a with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line ch junction =
+    Buffer.add_string buf junction;
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_string buf junction)
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i c ->
+        let a = List.nth align i in
+        Buffer.add_string buf (" " ^ pad a widths.(i) c ^ " |"))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line '-' "+";
+  emit t.headers;
+  line '=' "+";
+  List.iter (function Cells c -> emit c | Separator -> line '-' "+") rows;
+  line '-' "+";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** ASCII table rendering for experiment reports.
+
+    The bench harness prints the same rows the paper's tables report; this
+    module keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table whose width adapts to its widest cell per column. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : ?align:align list -> t -> string
+(** Render with box-drawing; default alignment is [Left] for the first
+    column and [Right] for the rest. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float formatting shared by all reports (default 1 decimal). *)

@@ -1,0 +1,1 @@
+lib/workloads/rodinia.ml: Flexcl_ir Int64 Printf Workload

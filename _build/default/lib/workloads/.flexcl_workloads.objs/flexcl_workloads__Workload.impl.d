@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Flexcl_ir Flexcl_opencl

@@ -1,0 +1,413 @@
+(* PolyBench kernels in the FlexCL OpenCL subset. PolyBench kernels have
+   simpler, fully-affine structures than Rodinia (§4.2), which is why the
+   paper reports a slightly lower average error on them. Matrices are
+   32x32 (N = 32) so one work-item computes one output element. *)
+
+module L = Flexcl_ir.Launch
+
+let n = 32
+let nn = n * n
+
+(* 1-D kernels give each row its own work-item: 256 rows. *)
+let m = 256
+let mm = m * m
+
+let fbuf length seed = L.Buffer { length; init = L.Random_floats seed }
+let zbuf length = L.Buffer { length; init = L.Zeros }
+let int_ v = L.Scalar (L.Int (Int64.of_int v))
+let float_ x = L.Scalar (L.Float x)
+
+let launch1d args = L.make ~global:(L.dim3 m) ~local:(L.dim3 64) ~args
+
+let launch2d args =
+  L.make ~global:(L.dim3 ~y:n n) ~local:(L.dim3 ~y:2 32) ~args
+
+let mk benchmark source launch =
+  { Workload.suite = "polybench"; benchmark; kernel = benchmark; source; launch }
+
+let gemm =
+  mk "gemm"
+    {|
+__kernel void gemm(__global const float* a, __global const float* b,
+                   __global float* c, int nk, float alpha, float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < nk; k++) {
+    acc += a[i * nk + k] * b[k * nk + j];
+  }
+  c[i * nk + j] = beta * c[i * nk + j] + alpha * acc;
+}
+|}
+    (launch2d
+       [
+         ("a", fbuf nn 501);
+         ("b", fbuf nn 502);
+         ("c", fbuf nn 503);
+         ("nk", int_ n);
+         ("alpha", float_ 1.5);
+         ("beta", float_ 1.2);
+       ])
+
+let mm2 =
+  mk "2mm"
+    {|
+__kernel void mm2(__global const float* a, __global const float* b,
+                  __global const float* tmp_in, __global float* d_out,
+                  int nk, float alpha) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < nk; k++) {
+    acc += alpha * a[i * nk + k] * b[k * nk + j];
+  }
+  float acc2 = 0.0f;
+  for (int k = 0; k < nk; k++) {
+    acc2 += tmp_in[i * nk + k] * b[k * nk + j];
+  }
+  d_out[i * nk + j] = acc + acc2;
+}
+|}
+    (launch2d
+       [
+         ("a", fbuf nn 511);
+         ("b", fbuf nn 512);
+         ("tmp_in", fbuf nn 513);
+         ("d_out", zbuf nn);
+         ("nk", int_ n);
+         ("alpha", float_ 1.5);
+       ])
+
+let mm3 =
+  mk "3mm"
+    {|
+__kernel void mm3(__global const float* e, __global const float* f,
+                  __global float* g, int nk) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < nk; k++) {
+    acc += e[i * nk + k] * f[k * nk + j];
+  }
+  g[i * nk + j] = acc;
+}
+|}
+    (launch2d
+       [ ("e", fbuf nn 521); ("f", fbuf nn 522); ("g", zbuf nn); ("nk", int_ n) ])
+
+let atax =
+  mk "atax"
+    {|
+__kernel void atax(__global const float* a, __global const float* tmp,
+                   __global float* y, int nrows, int ncols) {
+  int j = get_global_id(0);
+  if (j < ncols) {
+    float acc = 0.0f;
+    for (int i = 0; i < nrows; i++) {
+      acc += a[i * ncols + j] * tmp[i];
+    }
+    y[j] = acc;
+  }
+}
+|}
+    (launch1d
+       [
+         ("a", fbuf mm 531);
+         ("tmp", fbuf m 532);
+         ("y", zbuf m);
+         ("nrows", int_ m);
+         ("ncols", int_ m);
+       ])
+
+let bicg =
+  mk "bicg"
+    {|
+__kernel void bicg(__global const float* a, __global const float* p,
+                   __global const float* r, __global float* q,
+                   __global float* s, int nrows, int ncols) {
+  int i = get_global_id(0);
+  if (i < nrows) {
+    float accq = 0.0f;
+    float accs = 0.0f;
+    for (int j = 0; j < ncols; j++) {
+      accq += a[i * ncols + j] * p[j];
+      accs += a[j * ncols + i] * r[j];
+    }
+    q[i] = accq;
+    s[i] = accs;
+  }
+}
+|}
+    (launch1d
+       [
+         ("a", fbuf mm 541);
+         ("p", fbuf m 542);
+         ("r", fbuf m 543);
+         ("q", zbuf m);
+         ("s", zbuf m);
+         ("nrows", int_ m);
+         ("ncols", int_ m);
+       ])
+
+let mvt =
+  mk "mvt"
+    {|
+__kernel void mvt(__global float* x1, __global float* x2,
+                  __global const float* y1, __global const float* y2,
+                  __global const float* a, int nsize) {
+  int i = get_global_id(0);
+  if (i < nsize) {
+    float acc1 = 0.0f;
+    float acc2 = 0.0f;
+    for (int j = 0; j < nsize; j++) {
+      acc1 += a[i * nsize + j] * y1[j];
+      acc2 += a[j * nsize + i] * y2[j];
+    }
+    x1[i] = x1[i] + acc1;
+    x2[i] = x2[i] + acc2;
+  }
+}
+|}
+    (launch1d
+       [
+         ("x1", fbuf m 551);
+         ("x2", fbuf m 552);
+         ("y1", fbuf m 553);
+         ("y2", fbuf m 554);
+         ("a", fbuf mm 555);
+         ("nsize", int_ m);
+       ])
+
+let gesummv =
+  mk "gesummv"
+    {|
+__kernel void gesummv(__global const float* a, __global const float* b,
+                      __global const float* x, __global float* y,
+                      int nsize, float alpha, float beta) {
+  int i = get_global_id(0);
+  if (i < nsize) {
+    float acc_a = 0.0f;
+    float acc_b = 0.0f;
+    for (int j = 0; j < nsize; j++) {
+      acc_a += a[i * nsize + j] * x[j];
+      acc_b += b[i * nsize + j] * x[j];
+    }
+    y[i] = alpha * acc_a + beta * acc_b;
+  }
+}
+|}
+    (launch1d
+       [
+         ("a", fbuf mm 561);
+         ("b", fbuf mm 562);
+         ("x", fbuf m 563);
+         ("y", zbuf m);
+         ("nsize", int_ m);
+         ("alpha", float_ 1.5);
+         ("beta", float_ 1.2);
+       ])
+
+let syrk =
+  mk "syrk"
+    {|
+__kernel void syrk(__global const float* a, __global float* c,
+                   int nsize, float alpha, float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < nsize; k++) {
+    acc += a[i * nsize + k] * a[j * nsize + k];
+  }
+  c[i * nsize + j] = beta * c[i * nsize + j] + alpha * acc;
+}
+|}
+    (launch2d
+       [
+         ("a", fbuf nn 571);
+         ("c", fbuf nn 572);
+         ("nsize", int_ n);
+         ("alpha", float_ 1.5);
+         ("beta", float_ 1.2);
+       ])
+
+let syr2k =
+  mk "syr2k"
+    {|
+__kernel void syr2k(__global const float* a, __global const float* b,
+                    __global float* c, int nsize, float alpha, float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < nsize; k++) {
+    acc += a[i * nsize + k] * b[j * nsize + k]
+         + b[i * nsize + k] * a[j * nsize + k];
+  }
+  c[i * nsize + j] = beta * c[i * nsize + j] + alpha * acc;
+}
+|}
+    (launch2d
+       [
+         ("a", fbuf nn 581);
+         ("b", fbuf nn 582);
+         ("c", fbuf nn 583);
+         ("nsize", int_ n);
+         ("alpha", float_ 1.5);
+         ("beta", float_ 1.2);
+       ])
+
+let gramschmidt =
+  mk "gramschmidt"
+    {|
+__kernel void gramschmidt(__global const float* a, __global float* q,
+                          int nsize, int col) {
+  int i = get_global_id(0);
+  if (i < nsize) {
+    float norm = 0.0f;
+    for (int k = 0; k < nsize; k++) {
+      float v = a[k * nsize + col];
+      norm += v * v;
+    }
+    float r = sqrt(norm) + 0.001f;
+    q[i * nsize + col] = a[i * nsize + col] / r;
+  }
+}
+|}
+    (launch1d
+       [
+         ("a", fbuf mm 591);
+         ("q", zbuf mm);
+         ("nsize", int_ m);
+         ("col", int_ 3);
+       ])
+
+let covariance =
+  mk "covariance"
+    {|
+__kernel void covariance(__global const float* data, __global const float* mean,
+                         __global float* cov, int npoints, int ndims) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < npoints; k++) {
+    acc += (data[k * ndims + i] - mean[i]) * (data[k * ndims + j] - mean[j]);
+  }
+  cov[i * ndims + j] = acc / ((float)npoints - 1.0f);
+}
+|}
+    (launch2d
+       [
+         ("data", fbuf nn 601);
+         ("mean", fbuf n 602);
+         ("cov", zbuf nn);
+         ("npoints", int_ n);
+         ("ndims", int_ n);
+       ])
+
+let correlation =
+  mk "correlation"
+    {|
+__kernel void correlation(__global const float* data, __global const float* mean,
+                          __global const float* stddev, __global float* corr,
+                          int npoints, int ndims) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < npoints; k++) {
+    acc += (data[k * ndims + i] - mean[i]) * (data[k * ndims + j] - mean[j]);
+  }
+  corr[i * ndims + j] = acc / ((float)npoints * stddev[i] * stddev[j] + 0.001f);
+}
+|}
+    (launch2d
+       [
+         ("data", fbuf nn 611);
+         ("mean", fbuf n 612);
+         ("stddev", fbuf n 613);
+         ("corr", zbuf nn);
+         ("npoints", int_ n);
+         ("ndims", int_ n);
+       ])
+
+let doitgen =
+  mk "doitgen"
+    {|
+__kernel void doitgen(__global const float* a, __global const float* c4,
+                      __global float* sum, int np, int nq) {
+  int r = get_global_id(1);
+  int q = get_global_id(0);
+  for (int p = 0; p < np; p++) {
+    float acc = 0.0f;
+    for (int s = 0; s < np; s++) {
+      acc += a[(r * nq + q) * np + s] * c4[s * np + p];
+    }
+    sum[(r * nq + q) * np + p] = acc;
+  }
+}
+|}
+    (launch2d
+       [
+         ("a", fbuf (nn * n) 621);
+         ("c4", fbuf nn 622);
+         ("sum", zbuf (nn * n));
+         ("np", int_ n);
+         ("nq", int_ n);
+       ])
+
+let fdtd2d =
+  mk "fdtd2d"
+    {|
+__kernel void fdtd2d(__global float* ey, __global float* ex,
+                     __global const float* hz, int nx, int ny) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  int idx = i * ny + j;
+  if (i > 0) {
+    ey[idx] = ey[idx] - 0.5f * (hz[idx] - hz[idx - ny]);
+  }
+  if (j > 0) {
+    ex[idx] = ex[idx] - 0.5f * (hz[idx] - hz[idx - 1]);
+  }
+}
+|}
+    (launch2d
+       [
+         ("ey", fbuf nn 631);
+         ("ex", fbuf nn 632);
+         ("hz", fbuf nn 633);
+         ("nx", int_ n);
+         ("ny", int_ n);
+       ])
+
+let jacobi2d =
+  mk "jacobi2d"
+    {|
+__kernel void jacobi2d(__global const float* a, __global float* b, int nsize) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  if (i > 0 && i < nsize - 1 && j > 0 && j < nsize - 1) {
+    int idx = i * nsize + j;
+    b[idx] = 0.2f * (a[idx] + a[idx - 1] + a[idx + 1]
+                     + a[idx - nsize] + a[idx + nsize]);
+  }
+}
+|}
+    (launch2d [ ("a", fbuf nn 641); ("b", zbuf nn); ("nsize", int_ n) ])
+
+let all : Workload.t list =
+  [
+    gemm;
+    mm2;
+    mm3;
+    atax;
+    bicg;
+    mvt;
+    gesummv;
+    syrk;
+    syr2k;
+    gramschmidt;
+    covariance;
+    correlation;
+    doitgen;
+    fdtd2d;
+    jacobi2d;
+  ]

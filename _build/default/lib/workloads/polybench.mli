@@ -1,0 +1,5 @@
+(** Fifteen PolyBench kernels in the FlexCL OpenCL subset: gemm, 2mm,
+    3mm, atax, bicg, mvt, gesummv, syrk, syr2k, gramschmidt, covariance,
+    correlation, doitgen, fdtd2d, jacobi2d. *)
+
+val all : Workload.t list

@@ -1,0 +1,1320 @@
+(* The 45 Rodinia kernels of Table 2, rewritten in the FlexCL OpenCL
+   subset. Each kernel keeps the original's loop structure, memory access
+   pattern, local-memory usage and barriers, with problem sizes scaled so
+   that dynamic profiling stays fast. *)
+
+module L = Flexcl_ir.Launch
+
+let fbuf length seed = L.Buffer { length; init = L.Random_floats seed }
+let ibuf length seed bound = L.Buffer { length; init = L.Random_ints (seed, bound) }
+let zbuf length = L.Buffer { length; init = L.Zeros }
+let rampf length = L.Buffer { length; init = L.Ramp }
+let int_ n = L.Scalar (L.Int (Int64.of_int n))
+let float_ x = L.Scalar (L.Float x)
+
+let launch1d ?(wg = 64) n args = L.make ~global:(L.dim3 n) ~local:(L.dim3 wg) ~args
+
+let launch2d ?(wg = (32, 2)) (gx, gy) args =
+  L.make ~global:(L.dim3 ~y:gy gx) ~local:(L.dim3 ~y:(snd wg) (fst wg)) ~args
+
+let mk benchmark kernel source launch =
+  { Workload.suite = "rodinia"; benchmark; kernel; source; launch }
+
+(* ------------------------------------------------------------------ *)
+(* backprop *)
+
+let backprop_layer =
+  mk "backprop" "layer"
+    {|
+__kernel void layer(__global const float* input, __global const float* weights,
+                    __global float* hidden, int in_size) {
+  int gid = get_global_id(0);
+  float sum = 0.0f;
+  for (int i = 0; i < in_size; i++) {
+    sum += input[i] * weights[i * 1024 + gid];
+  }
+  hidden[gid] = 1.0f / (1.0f + exp(-sum));
+}
+|}
+    (launch1d 1024
+       [
+         ("input", fbuf 16 11);
+         ("weights", fbuf (16 * 1024) 12);
+         ("hidden", zbuf 1024);
+         ("in_size", int_ 16);
+       ])
+
+let backprop_adjust =
+  mk "backprop" "adjust"
+    {|
+__kernel void adjust(__global float* w, __global const float* delta,
+                     __global const float* ly, __global float* oldw,
+                     float eta, float momentum, int hid) {
+  int gid = get_global_id(0);
+  for (int j = 0; j < hid; j++) {
+    int idx = gid * hid + j;
+    float dw = eta * delta[j] * ly[gid] + momentum * oldw[idx];
+    w[idx] = w[idx] + dw;
+    oldw[idx] = dw;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("w", fbuf (1024 * 16) 21);
+         ("delta", fbuf 16 22);
+         ("ly", fbuf 1024 23);
+         ("oldw", zbuf (1024 * 16));
+         ("eta", float_ 0.3);
+         ("momentum", float_ 0.3);
+         ("hid", int_ 16);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* bfs *)
+
+let bfs_1 =
+  mk "bfs" "bfs_1"
+    {|
+__kernel void bfs_1(__global const int* node_start, __global const int* node_len,
+                    __global const int* edges, __global int* mask,
+                    __global int* updating, __global const int* visited,
+                    __global int* cost, int n) {
+  int tid = get_global_id(0);
+  if (tid < n) {
+    if (mask[tid] == 1) {
+      mask[tid] = 0;
+      int start = node_start[tid];
+      int len = node_len[tid];
+      for (int i = start; i < start + len; i++) {
+        int id = edges[i];
+        if (visited[id] == 0) {
+          cost[id] = cost[tid] + 1;
+          updating[id] = 1;
+        }
+      }
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("node_start", ibuf 1024 31 4088);
+         ("node_len", ibuf 1024 32 8);
+         ("edges", ibuf 4096 33 1024);
+         ("mask", ibuf 1024 34 2);
+         ("updating", zbuf 1024);
+         ("visited", ibuf 1024 35 2);
+         ("cost", zbuf 1024);
+         ("n", int_ 1024);
+       ])
+
+let bfs_2 =
+  mk "bfs" "bfs_2"
+    {|
+__kernel void bfs_2(__global int* mask, __global int* updating,
+                    __global int* visited, __global int* over, int n) {
+  int tid = get_global_id(0);
+  if (tid < n) {
+    if (updating[tid] == 1) {
+      mask[tid] = 1;
+      visited[tid] = 1;
+      over[0] = 1;
+      updating[tid] = 0;
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("mask", zbuf 1024);
+         ("updating", ibuf 1024 41 2);
+         ("visited", zbuf 1024);
+         ("over", zbuf 1);
+         ("n", int_ 1024);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* b+tree *)
+
+let btree_findk =
+  mk "b+tree" "findK"
+    {|
+__kernel void findK(__global const int* node_keys, __global const int* node_ptrs,
+                    __global const int* keys, __global int* ans,
+                    int height, int order) {
+  int gid = get_global_id(0);
+  int key = keys[gid];
+  int node = 0;
+  for (int lvl = 0; lvl < height; lvl++) {
+    int child = 0;
+    for (int i = 0; i < order; i++) {
+      if (node_keys[node * order + i] <= key) {
+        child = i;
+      }
+    }
+    node = node_ptrs[node * order + child];
+  }
+  ans[gid] = node;
+}
+|}
+    (launch1d 1024
+       [
+         ("node_keys", ibuf (256 * 8) 51 1000);
+         ("node_ptrs", ibuf (256 * 8) 52 256);
+         ("keys", ibuf 1024 53 1000);
+         ("ans", zbuf 1024);
+         ("height", int_ 4);
+         ("order", int_ 8);
+       ])
+
+let btree_rangek =
+  mk "b+tree" "rangeK"
+    {|
+__kernel void rangeK(__global const int* node_keys, __global const int* node_ptrs,
+                     __global const int* starts, __global const int* ends,
+                     __global int* recstart, __global int* reclen,
+                     int height, int order) {
+  int gid = get_global_id(0);
+  int lo = starts[gid];
+  int hi = ends[gid];
+  int node_lo = 0;
+  int node_hi = 0;
+  for (int lvl = 0; lvl < height; lvl++) {
+    int child_lo = 0;
+    int child_hi = 0;
+    for (int i = 0; i < order; i++) {
+      if (node_keys[node_lo * order + i] <= lo) { child_lo = i; }
+      if (node_keys[node_hi * order + i] <= hi) { child_hi = i; }
+    }
+    node_lo = node_ptrs[node_lo * order + child_lo];
+    node_hi = node_ptrs[node_hi * order + child_hi];
+  }
+  recstart[gid] = node_lo;
+  reclen[gid] = node_hi - node_lo;
+}
+|}
+    (launch1d 1024
+       [
+         ("node_keys", ibuf (256 * 8) 61 1000);
+         ("node_ptrs", ibuf (256 * 8) 62 256);
+         ("starts", ibuf 1024 63 500);
+         ("ends", ibuf 1024 64 1000);
+         ("recstart", zbuf 1024);
+         ("reclen", zbuf 1024);
+         ("height", int_ 4);
+         ("order", int_ 8);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* cfd *)
+
+let cfd_memset =
+  mk "cfd" "memset"
+    {|
+__kernel void memset(__global float* buf, float value, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    buf[gid] = value;
+  }
+}
+|}
+    (launch1d 1024 [ ("buf", zbuf 1024); ("value", float_ 0.0); ("n", int_ 1024) ])
+
+let cfd_initialize =
+  mk "cfd" "initialize"
+    {|
+__kernel void initialize(__global float* density, __global float* momentum_x,
+                         __global float* momentum_y, __global float* energy,
+                         __global const float* ff, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    density[gid] = ff[0];
+    momentum_x[gid] = ff[1];
+    momentum_y[gid] = ff[2];
+    energy[gid] = ff[3];
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("density", zbuf 1024);
+         ("momentum_x", zbuf 1024);
+         ("momentum_y", zbuf 1024);
+         ("energy", zbuf 1024);
+         ("ff", fbuf 4 71);
+         ("n", int_ 1024);
+       ])
+
+let cfd_compute =
+  mk "cfd" "compute"
+    {|
+__kernel void compute(__global const int* neighbors, __global const float* density,
+                      __global const float* momx, __global const float* momy,
+                      __global float* fluxes, int nelr) {
+  int i = get_global_id(0);
+  float flux_d = 0.0f;
+  float flux_x = 0.0f;
+  float flux_y = 0.0f;
+  for (int j = 0; j < 4; j++) {
+    int nb = neighbors[i * 4 + j];
+    float d = density[nb] + 1.0f;
+    float mx = momx[nb];
+    float my = momy[nb];
+    float speed = sqrt(mx * mx + my * my) / d;
+    flux_d += d * speed;
+    flux_x += mx * speed;
+    flux_y += my * speed;
+  }
+  fluxes[i * 3] = flux_d;
+  fluxes[i * 3 + 1] = flux_x;
+  fluxes[i * 3 + 2] = flux_y;
+}
+|}
+    (launch1d 1024
+       [
+         ("neighbors", ibuf 4096 81 1024);
+         ("density", fbuf 1024 82);
+         ("momx", fbuf 1024 83);
+         ("momy", fbuf 1024 84);
+         ("fluxes", zbuf 3072);
+         ("nelr", int_ 1024);
+       ])
+
+let cfd_time_step =
+  mk "cfd" "time_step"
+    {|
+__kernel void time_step(__global float* vars, __global const float* old_vars,
+                        __global const float* fluxes, float factor, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    vars[i] = old_vars[i] + factor * fluxes[i];
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("vars", zbuf 1024);
+         ("old_vars", fbuf 1024 91);
+         ("fluxes", fbuf 1024 92);
+         ("factor", float_ 0.2);
+         ("n", int_ 1024);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* dwt2d *)
+
+let dwt2d_compute =
+  mk "dwt2d" "compute"
+    {|
+__kernel void compute(__global const float* src, __global float* dst,
+                      int width, int height) {
+  int gid = get_global_id(0);
+  int x = gid % width;
+  int y = gid / width;
+  float c = src[gid];
+  float left = c;
+  float right = c;
+  if (x > 0) { left = src[gid - 1]; }
+  if (x < width - 1) { right = src[gid + 1]; }
+  dst[gid] = c - 0.5f * (left + right);
+}
+|}
+    (launch1d 1024
+       [
+         ("src", fbuf 1024 101);
+         ("dst", zbuf 1024);
+         ("width", int_ 32);
+         ("height", int_ 32);
+       ])
+
+let dwt2d_components =
+  mk "dwt2d" "components"
+    {|
+__kernel void components(__global const int* r, __global const int* g,
+                         __global const int* b, __global float* out, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    float fr = (float)r[gid];
+    float fg = (float)g[gid];
+    float fb = (float)b[gid];
+    out[gid] = 0.299f * fr + 0.587f * fg + 0.114f * fb - 128.0f;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("r", ibuf 1024 111 256);
+         ("g", ibuf 1024 112 256);
+         ("b", ibuf 1024 113 256);
+         ("out", zbuf 1024);
+         ("n", int_ 1024);
+       ])
+
+let dwt2d_component =
+  mk "dwt2d" "component"
+    {|
+__kernel void component(__global const int* src, __global float* dst, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    dst[gid] = (float)src[gid] - 128.0f;
+  }
+}
+|}
+    (launch1d 1024
+       [ ("src", ibuf 1024 121 256); ("dst", zbuf 1024); ("n", int_ 1024) ])
+
+let dwt2d_fdwt =
+  mk "dwt2d" "fdwt"
+    {|
+__kernel void fdwt(__global const float* in, __global float* out, int n) {
+  __local float tile[258];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  int ls = get_local_size(0);
+  tile[lid] = in[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float v = tile[lid];
+  if (lid > 0 && lid < ls - 1) {
+    v = tile[lid] - 0.5f * (tile[lid - 1] + tile[lid + 1]);
+  }
+  out[gid] = v;
+}
+|}
+    (launch1d 1024 [ ("in", fbuf 1024 131); ("out", zbuf 1024); ("n", int_ 1024) ])
+
+(* ------------------------------------------------------------------ *)
+(* gaussian *)
+
+let gaussian_fan1 =
+  mk "gaussian" "fan1"
+    {|
+__kernel void fan1(__global const float* a, __global float* m, int size, int t) {
+  int gid = get_global_id(0);
+  if (gid < size - 1 - t) {
+    m[(gid + t + 1) * size + t] = a[(gid + t + 1) * size + t] / (a[t * size + t] + 1.0f);
+  }
+}
+|}
+    (launch1d 512
+       [
+         ("a", fbuf (512 * 512) 141);
+         ("m", zbuf (512 * 512));
+         ("size", int_ 512);
+         ("t", int_ 1);
+       ])
+
+let gaussian_fan2 =
+  mk "gaussian" "fan2"
+    {|
+__kernel void fan2(__global float* a, __global float* b, __global const float* m,
+                   int size, int t) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  if (gx < size - 1 - t && gy < size - t) {
+    a[(gx + 1 + t) * size + (gy + t)] -= m[(gx + 1 + t) * size + t] * a[t * size + (gy + t)];
+    if (gy == 0) {
+      b[gx + 1 + t] -= m[(gx + 1 + t) * size + t] * b[t];
+    }
+  }
+}
+|}
+    (launch2d (32, 32)
+       [
+         ("a", fbuf (32 * 32) 151);
+         ("b", fbuf 32 152);
+         ("m", fbuf (32 * 32) 153);
+         ("size", int_ 31);
+         ("t", int_ 1);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* hotspot / hotspot3D *)
+
+let hotspot =
+  mk "hotspot" "hotspot"
+    {|
+__kernel void hotspot(__global const float* power, __global const float* tin,
+                      __global float* tout, int cols, int rows,
+                      float rx, float ry, float rz, float step) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  __local float tile[1024];
+  int lid = get_local_id(1) * get_local_size(0) + get_local_id(0);
+  int idx = gy * cols + gx;
+  tile[lid] = tin[idx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float c = tile[lid];
+  float n = c;
+  float s = c;
+  float e = c;
+  float w = c;
+  if (gy > 0) { n = tin[idx - cols]; }
+  if (gy < rows - 1) { s = tin[idx + cols]; }
+  if (gx > 0) { w = tin[idx - 1]; }
+  if (gx < cols - 1) { e = tin[idx + 1]; }
+  float delta = step * (power[idx] + (n + s - 2.0f * c) * ry
+                        + (e + w - 2.0f * c) * rx + (80.0f - c) * rz);
+  tout[idx] = c + delta;
+}
+|}
+    (launch2d (32, 32)
+       [
+         ("power", fbuf 1024 161);
+         ("tin", fbuf 1024 162);
+         ("tout", zbuf 1024);
+         ("cols", int_ 32);
+         ("rows", int_ 32);
+         ("rx", float_ 0.1);
+         ("ry", float_ 0.1);
+         ("rz", float_ 0.05);
+         ("step", float_ 0.5);
+       ])
+
+let hotspot3d =
+  mk "hotspot3D" "hotspot3D"
+    {|
+__kernel void hotspot3D(__global const float* power, __global const float* tin,
+                        __global float* tout, int nx, int ny, int nz,
+                        float cc, float cn, float ct) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  int area = nx * ny;
+  for (int z = 0; z < nz; z++) {
+    int idx = z * area + gy * nx + gx;
+    float c = tin[idx];
+    float n = c;
+    float s = c;
+    float e = c;
+    float w = c;
+    float t = c;
+    float b = c;
+    if (gy > 0) { n = tin[idx - nx]; }
+    if (gy < ny - 1) { s = tin[idx + nx]; }
+    if (gx > 0) { w = tin[idx - 1]; }
+    if (gx < nx - 1) { e = tin[idx + 1]; }
+    if (z > 0) { b = tin[idx - area]; }
+    if (z < nz - 1) { t = tin[idx + area]; }
+    tout[idx] = cc * c + cn * (n + s + e + w) + ct * (t + b) + power[idx];
+  }
+}
+|}
+    (launch2d (32, 32)
+       [
+         ("power", fbuf (8 * 1024) 171);
+         ("tin", fbuf (8 * 1024) 172);
+         ("tout", zbuf (8 * 1024));
+         ("nx", int_ 32);
+         ("ny", int_ 32);
+         ("nz", int_ 8);
+         ("cc", float_ 0.4);
+         ("cn", float_ 0.1);
+         ("ct", float_ 0.1);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* hybridsort *)
+
+let hybridsort_count =
+  mk "hybridsort" "count"
+    {|
+__kernel void count(__global const float* input, __global int* histo,
+                    int listsize, int divisions) {
+  int gid = get_global_id(0);
+  if (gid < listsize) {
+    int bucket = (int)(input[gid] * (float)divisions);
+    if (bucket >= divisions) {
+      bucket = divisions - 1;
+    }
+    histo[bucket] += 1;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("input", fbuf 1024 181);
+         ("histo", zbuf 64);
+         ("listsize", int_ 1024);
+         ("divisions", int_ 64);
+       ])
+
+let hybridsort_prefix =
+  mk "hybridsort" "prefix"
+    {|
+__kernel void prefix(__global int* histo, int divisions) {
+  __local int temp[256];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  temp[lid] = histo[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int sum = 0;
+  for (int i = 0; i < 256; i++) {
+    if (i < lid) {
+      sum += temp[i];
+    }
+  }
+  histo[gid] = sum;
+}
+|}
+    (launch1d 1024 [ ("histo", ibuf 1024 191 16); ("divisions", int_ 1024) ])
+
+let hybridsort_sort =
+  mk "hybridsort" "sort"
+    {|
+__kernel void sort(__global const float* input, __global const int* offsets,
+                   __global int* counters, __global float* output,
+                   int listsize, int divisions) {
+  int gid = get_global_id(0);
+  if (gid < listsize) {
+    float v = input[gid];
+    int bucket = (int)(v * (float)divisions);
+    if (bucket >= divisions) {
+      bucket = divisions - 1;
+    }
+    int pos = offsets[bucket] + counters[bucket];
+    counters[bucket] += 1;
+    if (pos < listsize) {
+      output[pos] = v;
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("input", fbuf 1024 201);
+         ("offsets", ibuf 64 202 960);
+         ("counters", zbuf 64);
+         ("output", zbuf 1024);
+         ("listsize", int_ 1024);
+         ("divisions", int_ 64);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* kmeans *)
+
+let kmeans_center =
+  mk "kmeans" "center"
+    {|
+__kernel void center(__global const float* features, __global const float* clusters,
+                     __global int* membership, int npoints, int nclusters,
+                     int nfeatures) {
+  int gid = get_global_id(0);
+  if (gid < npoints) {
+    int index = 0;
+    float min_dist = FLT_MAX;
+    for (int i = 0; i < nclusters; i++) {
+      float dist = 0.0f;
+      for (int l = 0; l < nfeatures; l++) {
+        float diff = features[l * npoints + gid] - clusters[i * nfeatures + l];
+        dist += diff * diff;
+      }
+      if (dist < min_dist) {
+        min_dist = dist;
+        index = i;
+      }
+    }
+    membership[gid] = index;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("features", fbuf (8 * 1024) 211);
+         ("clusters", fbuf (5 * 8) 212);
+         ("membership", zbuf 1024);
+         ("npoints", int_ 1024);
+         ("nclusters", int_ 5);
+         ("nfeatures", int_ 8);
+       ])
+
+let kmeans_swap =
+  mk "kmeans" "swap"
+    {|
+__kernel void swap(__global const float* feature, __global float* feature_swap,
+                   int npoints, int nfeatures) {
+  int gid = get_global_id(0);
+  if (gid < npoints) {
+    for (int i = 0; i < nfeatures; i++) {
+      feature_swap[i * npoints + gid] = feature[gid * nfeatures + i];
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("feature", fbuf (1024 * 8) 221);
+         ("feature_swap", zbuf (1024 * 8));
+         ("npoints", int_ 1024);
+         ("nfeatures", int_ 8);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* lavaMD *)
+
+let lavamd =
+  mk "lavaMD" "lavaMD"
+    {|
+__kernel void lavaMD(__global const float* rv, __global const int* nn,
+                     __global float* fv, int par_per_box, int nboxes) {
+  int gid = get_global_id(0);
+  int box = gid / par_per_box;
+  float px = rv[gid * 2];
+  float py = rv[gid * 2 + 1];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  for (int j = 0; j < 4; j++) {
+    int nbox = nn[box * 4 + j];
+    for (int k = 0; k < par_per_box; k++) {
+      int other = nbox * par_per_box + k;
+      float dx = px - rv[other * 2];
+      float dy = py - rv[other * 2 + 1];
+      float r2 = dx * dx + dy * dy + 1.0f;
+      float u2 = 1.0f / r2;
+      float vij = exp(-r2);
+      fx += dx * u2 * vij;
+      fy += dy * u2 * vij;
+    }
+  }
+  fv[gid * 2] = fx;
+  fv[gid * 2 + 1] = fy;
+}
+|}
+    (launch1d 1024
+       [
+         ("rv", fbuf 2048 231);
+         ("nn", ibuf 256 232 64);
+         ("fv", zbuf 2048);
+         ("par_per_box", int_ 16);
+         ("nboxes", int_ 64);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* leukocyte *)
+
+let leukocyte_gicov =
+  mk "leukocyte" "gicov"
+    {|
+__kernel void gicov(__global const float* grad_x, __global const float* grad_y,
+                    __global float* gicov_out, int width, int height) {
+  int gid = get_global_id(0);
+  int x = gid % width;
+  int y = gid / width;
+  float max_gicov = 0.0f;
+  for (int d = 0; d < 8; d++) {
+    float sum = 0.0f;
+    float m2 = 0.0f;
+    for (int k = 0; k < 4; k++) {
+      int px = x + k;
+      int py = y + d % 4;
+      float g = 0.0f;
+      if (px < width && py < height) {
+        g = grad_x[py * width + px] + grad_y[py * width + px];
+      }
+      sum += g;
+      m2 += g * g;
+    }
+    float mean = sum / 4.0f;
+    float var = m2 / 4.0f - mean * mean;
+    float gi = mean * mean / (var + 0.001f);
+    if (gi > max_gicov) {
+      max_gicov = gi;
+    }
+  }
+  gicov_out[gid] = max_gicov;
+}
+|}
+    (launch1d 1024
+       [
+         ("grad_x", fbuf 1024 241);
+         ("grad_y", fbuf 1024 242);
+         ("gicov_out", zbuf 1024);
+         ("width", int_ 32);
+         ("height", int_ 32);
+       ])
+
+let leukocyte_dilate =
+  mk "leukocyte" "dilate"
+    {|
+__kernel void dilate(__global const float* img, __global float* dilated,
+                     int width, int height) {
+  int gid = get_global_id(0);
+  int x = gid % width;
+  int y = gid / width;
+  float m = 0.0f;
+  for (int dy = 0; dy < 5; dy++) {
+    for (int dx = 0; dx < 5; dx++) {
+      int px = x + dx - 2;
+      int py = y + dy - 2;
+      if (px >= 0 && px < width && py >= 0 && py < height) {
+        float v = img[py * width + px];
+        if (v > m) {
+          m = v;
+        }
+      }
+    }
+  }
+  dilated[gid] = m;
+}
+|}
+    (launch1d 1024
+       [
+         ("img", fbuf 1024 251);
+         ("dilated", zbuf 1024);
+         ("width", int_ 32);
+         ("height", int_ 32);
+       ])
+
+let leukocyte_imgvf =
+  mk "leukocyte" "imgvf"
+    {|
+__kernel void imgvf(__global const float* vf_in, __global float* vf_out,
+                    int width, int height) {
+  int gid = get_global_id(0);
+  int x = gid % width;
+  int y = gid / width;
+  float c = vf_in[gid];
+  float n = c;
+  float s = c;
+  float e = c;
+  float w = c;
+  if (y > 0) { n = vf_in[gid - width]; }
+  if (y < height - 1) { s = vf_in[gid + width]; }
+  if (x > 0) { w = vf_in[gid - 1]; }
+  if (x < width - 1) { e = vf_in[gid + 1]; }
+  float u = 0.25f * (n + s + e + w) - c;
+  vf_out[gid] = c + 0.2f * u / (1.0f + exp(-10.0f * u));
+}
+|}
+    (launch1d 1024
+       [
+         ("vf_in", fbuf 1024 261);
+         ("vf_out", zbuf 1024);
+         ("width", int_ 32);
+         ("height", int_ 32);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* lud *)
+
+let lud_diagonal =
+  mk "lud" "diagonal"
+    {|
+__kernel void diagonal(__global float* m, int matrix_dim, int offset) {
+  __local float shadow[256];
+  int lid = get_local_id(0);
+  for (int i = 0; i < 16; i++) {
+    if (lid < 16) {
+      shadow[i * 16 + lid] = m[(offset + i) * matrix_dim + offset + lid];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = 0; i < 15; i++) {
+    if (lid > i && lid < 16) {
+      shadow[lid * 16 + i] = shadow[lid * 16 + i] / (shadow[i * 16 + i] + 1.0f);
+      for (int j = i + 1; j < 16; j++) {
+        shadow[lid * 16 + j] -= shadow[lid * 16 + i] * shadow[i * 16 + j];
+      }
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = 0; i < 16; i++) {
+    if (lid < 16) {
+      m[(offset + i) * matrix_dim + offset + lid] = shadow[i * 16 + lid];
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [ ("m", fbuf (64 * 64) 271); ("matrix_dim", int_ 64); ("offset", int_ 8) ])
+
+let lud_perimeter =
+  mk "lud" "perimeter"
+    {|
+__kernel void perimeter(__global float* m, int matrix_dim, int offset) {
+  __local float dia[256];
+  __local float row[256];
+  int lid = get_local_id(0);
+  for (int i = 0; i < 16; i++) {
+    if (lid < 16) {
+      dia[i * 16 + lid] = m[(offset + i) * matrix_dim + offset + lid];
+      row[i * 16 + lid] = m[(offset + i) * matrix_dim + offset + 16 + lid];
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (lid < 16) {
+    for (int i = 1; i < 16; i++) {
+      float sum = 0.0f;
+      for (int j = 0; j < i; j++) {
+        sum += dia[i * 16 + j] * row[j * 16 + lid];
+      }
+      row[i * 16 + lid] -= sum;
+    }
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = 0; i < 16; i++) {
+    if (lid < 16) {
+      m[(offset + i) * matrix_dim + offset + 16 + lid] = row[i * 16 + lid];
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [ ("m", fbuf (64 * 64) 281); ("matrix_dim", int_ 64); ("offset", int_ 8) ])
+
+(* ------------------------------------------------------------------ *)
+(* nn *)
+
+let nn_nn =
+  mk "nn" "nn"
+    {|
+__kernel void nn(__global const float* locations, __global float* distances,
+                 int num_records, float lat, float lng) {
+  int gid = get_global_id(0);
+  if (gid < num_records) {
+    float dx = lat - locations[gid * 2];
+    float dy = lng - locations[gid * 2 + 1];
+    distances[gid] = sqrt(dx * dx + dy * dy);
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("locations", fbuf 2048 291);
+         ("distances", zbuf 1024);
+         ("num_records", int_ 1024);
+         ("lat", float_ 0.5);
+         ("lng", float_ 0.5);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* nw *)
+
+let nw_source direction =
+  Printf.sprintf
+    {|
+__kernel void %s(__global const int* ref, __global int* items,
+                 int cols, int penalty, int diag) {
+  int tid = get_global_id(0);
+  int x = tid %s 1;
+  int y = diag - tid;
+  if (x >= 1 && x < cols && y >= 1 && y < cols) {
+    int idx = y * cols + x;
+    int a = items[idx - cols - 1] + ref[idx];
+    int b = items[idx - 1] - penalty;
+    int c = items[idx - cols] - penalty;
+    int m = a;
+    if (b > m) { m = b; }
+    if (c > m) { m = c; }
+    items[idx] = m;
+  }
+}
+|}
+    direction
+    (if direction = "nw1" then "+" else "-")
+
+(* the NDRange covers one anti-diagonal wave, as in the original host code *)
+let nw1 =
+  mk "nw" "nw1" (nw_source "nw1")
+    (launch1d ~wg:32 128
+       [
+         ("ref", ibuf (256 * 256) 301 10);
+         ("items", ibuf (256 * 256) 302 100);
+         ("cols", int_ 256);
+         ("penalty", int_ 10);
+         ("diag", int_ 128);
+       ])
+
+let nw2 =
+  mk "nw" "nw2" (nw_source "nw2")
+    (launch1d ~wg:32 128
+       [
+         ("ref", ibuf (256 * 256) 311 10);
+         ("items", ibuf (256 * 256) 312 100);
+         ("cols", int_ 256);
+         ("penalty", int_ 10);
+         ("diag", int_ 200);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* particlefilter *)
+
+let particlefilter_find_index =
+  mk "particlefilter" "find_index"
+    {|
+__kernel void find_index(__global const float* cdf, __global const float* u,
+                         __global float* xj, __global const float* array_x,
+                         int nparticles) {
+  int i = get_global_id(0);
+  if (i < nparticles) {
+    int index = 63;
+    for (int x = 0; x < 64; x++) {
+      if (cdf[x] >= u[i] && x < index) {
+        index = x;
+      }
+    }
+    xj[i] = array_x[index];
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("cdf", rampf 64);
+         ("u", fbuf 1024 321);
+         ("xj", zbuf 1024);
+         ("array_x", fbuf 64 322);
+         ("nparticles", int_ 1024);
+       ])
+
+let particlefilter_normalize =
+  mk "particlefilter" "normalize"
+    {|
+__kernel void normalize(__global float* weights, __global const float* sum_w, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    weights[i] = weights[i] / (sum_w[0] + 1.0f);
+  }
+}
+|}
+    (launch1d 1024
+       [ ("weights", fbuf 1024 331); ("sum_w", fbuf 1 332); ("n", int_ 1024) ])
+
+let particlefilter_sum =
+  mk "particlefilter" "sum"
+    {|
+__kernel void sum(__global const float* weights, __global float* partial, int n) {
+  __local float sdata[256];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  sdata[lid] = weights[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (lid == 0) {
+    float s = 0.0f;
+    int ls = get_local_size(0);
+    for (int i = 0; i < ls; i++) {
+      s += sdata[i];
+    }
+    partial[get_group_id(0)] = s;
+  }
+}
+|}
+    (launch1d 1024
+       [ ("weights", fbuf 1024 341); ("partial", zbuf 32); ("n", int_ 1024) ])
+
+let particlefilter_likelihood =
+  mk "particlefilter" "likelihood"
+    {|
+__kernel void likelihood(__global const float* array_x, __global const float* array_y,
+                         __global float* lk_out, __global const int* objxy, int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    float lk = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float ind = array_x[i] * 10.0f + (float)objxy[j] + array_y[i];
+      lk += (ind * ind - 100.0f) / 50.0f;
+    }
+    lk_out[i] = exp(lk / 8.0f);
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("array_x", fbuf 1024 351);
+         ("array_y", fbuf 1024 352);
+         ("lk_out", zbuf 1024);
+         ("objxy", ibuf 8 353 10);
+         ("n", int_ 1024);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* pathfinder *)
+
+let pathfinder_dynproc =
+  mk "pathfinder" "dynproc"
+    {|
+__kernel void dynproc(__global const int* wall, __global const int* src,
+                      __global int* dst, int cols, int iteration) {
+  int tid = get_global_id(0);
+  if (tid < cols) {
+    int m = src[tid];
+    if (tid > 0) {
+      int l = src[tid - 1];
+      if (l < m) { m = l; }
+    }
+    if (tid < cols - 1) {
+      int r = src[tid + 1];
+      if (r < m) { m = r; }
+    }
+    dst[tid] = m + wall[iteration * cols + tid];
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("wall", ibuf (8 * 1024) 361 10);
+         ("src", ibuf 1024 362 100);
+         ("dst", zbuf 1024);
+         ("cols", int_ 1024);
+         ("iteration", int_ 3);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* srad *)
+
+let srad_extract =
+  mk "srad" "extract"
+    {|
+__kernel void extract(__global float* image, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    image[gid] = exp(image[gid] / 255.0f);
+  }
+}
+|}
+    (launch1d 1024 [ ("image", fbuf 1024 371); ("n", int_ 1024) ])
+
+let srad_prepare =
+  mk "srad" "prepare"
+    {|
+__kernel void prepare(__global const float* image, __global float* sums,
+                      __global float* sums2, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    float v = image[gid];
+    sums[gid] = v;
+    sums2[gid] = v * v;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("image", fbuf 1024 381);
+         ("sums", zbuf 1024);
+         ("sums2", zbuf 1024);
+         ("n", int_ 1024);
+       ])
+
+let srad_reduce =
+  mk "srad" "reduce"
+    {|
+__kernel void reduce(__global const float* sums, __global const float* sums2,
+                     __global float* partial, __global float* partial2, int n) {
+  __local float psum[256];
+  __local float psum2[256];
+  int lid = get_local_id(0);
+  int gid = get_global_id(0);
+  psum[lid] = sums[gid];
+  psum2[lid] = sums2[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (lid == 0) {
+    float s = 0.0f;
+    float s2 = 0.0f;
+    int ls = get_local_size(0);
+    for (int i = 0; i < ls; i++) {
+      s += psum[i];
+      s2 += psum2[i];
+    }
+    partial[get_group_id(0)] = s;
+    partial2[get_group_id(0)] = s2;
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("sums", fbuf 1024 391);
+         ("sums2", fbuf 1024 392);
+         ("partial", zbuf 32);
+         ("partial2", zbuf 32);
+         ("n", int_ 1024);
+       ])
+
+let srad_srad =
+  mk "srad" "srad"
+    {|
+__kernel void srad(__global const float* image, __global float* dn_out,
+                   __global float* ds_out, __global float* dw_out,
+                   __global float* de_out, __global float* c_out,
+                   int rows, int cols, float q0sqr) {
+  int gid = get_global_id(0);
+  int y = gid / cols;
+  int x = gid % cols;
+  float jc = image[gid] + 0.01f;
+  float n = jc;
+  float s = jc;
+  float w = jc;
+  float e = jc;
+  if (y > 0) { n = image[gid - cols]; }
+  if (y < rows - 1) { s = image[gid + cols]; }
+  if (x > 0) { w = image[gid - 1]; }
+  if (x < cols - 1) { e = image[gid + 1]; }
+  float dn = n - jc;
+  float ds = s - jc;
+  float dw = w - jc;
+  float de = e - jc;
+  float g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+  float l = (dn + ds + dw + de) / jc;
+  float num = 0.5f * g2 - 0.0625f * l * l;
+  float den = 1.0f + 0.25f * l;
+  float qsqr = num / (den * den + 0.001f);
+  den = (qsqr - q0sqr) / (q0sqr + 1.0f);
+  float cval = 1.0f / (1.0f + den);
+  if (cval < 0.0f) { cval = 0.0f; }
+  if (cval > 1.0f) { cval = 1.0f; }
+  dn_out[gid] = dn;
+  ds_out[gid] = ds;
+  dw_out[gid] = dw;
+  de_out[gid] = de;
+  c_out[gid] = cval;
+}
+|}
+    (launch1d 1024
+       [
+         ("image", fbuf 1024 401);
+         ("dn_out", zbuf 1024);
+         ("ds_out", zbuf 1024);
+         ("dw_out", zbuf 1024);
+         ("de_out", zbuf 1024);
+         ("c_out", zbuf 1024);
+         ("rows", int_ 32);
+         ("cols", int_ 32);
+         ("q0sqr", float_ 0.05);
+       ])
+
+let srad_srad2 =
+  mk "srad" "srad2"
+    {|
+__kernel void srad2(__global float* image, __global const float* dn_in,
+                    __global const float* ds_in, __global const float* dw_in,
+                    __global const float* de_in, __global const float* c_in,
+                    int rows, int cols, float lambda) {
+  int gid = get_global_id(0);
+  int y = gid / cols;
+  int x = gid % cols;
+  float cn = c_in[gid];
+  float cs = cn;
+  float cw = cn;
+  float ce = cn;
+  if (y < rows - 1) { cs = c_in[gid + cols]; }
+  if (x < cols - 1) { ce = c_in[gid + 1]; }
+  float d = cn * dn_in[gid] + cs * ds_in[gid] + cw * dw_in[gid] + ce * de_in[gid];
+  image[gid] = image[gid] + 0.25f * lambda * d;
+}
+|}
+    (launch1d 1024
+       [
+         ("image", fbuf 1024 411);
+         ("dn_in", fbuf 1024 412);
+         ("ds_in", fbuf 1024 413);
+         ("dw_in", fbuf 1024 414);
+         ("de_in", fbuf 1024 415);
+         ("c_in", fbuf 1024 416);
+         ("rows", int_ 32);
+         ("cols", int_ 32);
+         ("lambda", float_ 0.5);
+       ])
+
+let srad_compress =
+  mk "srad" "compress"
+    {|
+__kernel void compress(__global float* image, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    image[gid] = log(image[gid] + 1.0f) * 255.0f;
+  }
+}
+|}
+    (launch1d 1024 [ ("image", fbuf 1024 421); ("n", int_ 1024) ])
+
+(* ------------------------------------------------------------------ *)
+(* streamcluster *)
+
+let streamcluster_memset =
+  mk "streamcluster" "memset"
+    {|
+__kernel void memset(__global int* buf, int value, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) {
+    buf[gid] = value;
+  }
+}
+|}
+    (launch1d 1024 [ ("buf", zbuf 1024); ("value", int_ 0); ("n", int_ 1024) ])
+
+let streamcluster_pgain =
+  mk "streamcluster" "pgain"
+    {|
+__kernel void pgain(__global const float* points, __global const float* center,
+                    __global float* cost, __global int* assign,
+                    int npoints, int dim) {
+  int gid = get_global_id(0);
+  if (gid < npoints) {
+    float c = 0.0f;
+    for (int d = 0; d < dim; d++) {
+      float diff = points[gid * dim + d] - center[d];
+      c += diff * diff;
+    }
+    float old = cost[gid];
+    if (c < old) {
+      cost[gid] = c;
+      assign[gid] = 1;
+    }
+  }
+}
+|}
+    (launch1d 1024
+       [
+         ("points", fbuf (1024 * 8) 431);
+         ("center", fbuf 8 432);
+         ("cost", fbuf 1024 433);
+         ("assign", zbuf 1024);
+         ("npoints", int_ 1024);
+         ("dim", int_ 8);
+       ])
+
+let all : Workload.t list =
+  [
+    backprop_layer;
+    backprop_adjust;
+    bfs_1;
+    bfs_2;
+    btree_findk;
+    btree_rangek;
+    cfd_memset;
+    cfd_initialize;
+    cfd_compute;
+    cfd_time_step;
+    dwt2d_compute;
+    dwt2d_components;
+    dwt2d_component;
+    dwt2d_fdwt;
+    gaussian_fan1;
+    gaussian_fan2;
+    hotspot;
+    hotspot3d;
+    hybridsort_count;
+    hybridsort_prefix;
+    hybridsort_sort;
+    kmeans_center;
+    kmeans_swap;
+    lavamd;
+    leukocyte_gicov;
+    leukocyte_dilate;
+    leukocyte_imgvf;
+    lud_diagonal;
+    lud_perimeter;
+    nn_nn;
+    nw1;
+    nw2;
+    particlefilter_find_index;
+    particlefilter_normalize;
+    particlefilter_sum;
+    particlefilter_likelihood;
+    pathfinder_dynproc;
+    srad_extract;
+    srad_prepare;
+    srad_reduce;
+    srad_srad;
+    srad_srad2;
+    srad_compress;
+    streamcluster_memset;
+    streamcluster_pgain;
+  ]

@@ -1,0 +1,12 @@
+(** The 45 Rodinia kernels of the paper's Table 2 (19 benchmarks), in the
+    FlexCL OpenCL subset with their evaluation launches. *)
+
+val all : Workload.t list
+(** In Table 2 order: backprop (layer, adjust), bfs (bfs_1, bfs_2),
+    b+tree (findK, rangeK), cfd (memset, initialize, compute, time_step),
+    dwt2d (compute, components, component, fdwt), gaussian (fan1, fan2),
+    hotspot, hotspot3D, hybridsort (count, prefix, sort), kmeans (center,
+    swap), lavaMD, leukocyte (gicov, dilate, imgvf), lud (diagonal,
+    perimeter), nn, nw (nw1, nw2), particlefilter (find_index, normalize,
+    sum, likelihood), pathfinder (dynproc), srad (extract, prepare,
+    reduce, srad, srad2, compress), streamcluster (memset, pgain). *)

@@ -1,0 +1,11 @@
+type t = {
+  suite : string;
+  benchmark : string;
+  kernel : string;
+  source : string;
+  launch : Flexcl_ir.Launch.t;
+}
+
+let name t = t.benchmark ^ "/" ^ t.kernel
+
+let parse t = Flexcl_opencl.Parser.parse_kernel t.source

@@ -1,0 +1,21 @@
+(** A benchmark kernel: OpenCL source plus its evaluation launch.
+
+    The Rodinia and PolyBench kernels of the paper's evaluation are
+    rewritten in the FlexCL OpenCL subset — structurally faithful (same
+    loop nests, array access patterns, [__local] usage, barriers) but
+    sized so that profiling a few work-groups stays fast. *)
+
+type t = {
+  suite : string;      (** ["rodinia"] or ["polybench"]. *)
+  benchmark : string;  (** e.g. ["backprop"]. *)
+  kernel : string;     (** e.g. ["layer"]. *)
+  source : string;     (** single-kernel OpenCL source. *)
+  launch : Flexcl_ir.Launch.t;
+}
+
+val name : t -> string
+(** ["benchmark/kernel"]. *)
+
+val parse : t -> Flexcl_opencl.Ast.kernel
+(** Parse the source (raises on malformed workload definitions — covered
+    by tests). *)

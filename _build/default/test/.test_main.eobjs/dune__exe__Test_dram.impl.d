@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Array Flexcl_dram Flexcl_interp Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Flexcl_interp Flexcl_ir Flexcl_opencl Fun Int64 Launch List Parser Printf QCheck QCheck_alcotest Sema

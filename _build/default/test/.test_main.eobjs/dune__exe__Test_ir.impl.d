@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builtins Cdfg Depend Dfg Flexcl_core Flexcl_device Flexcl_interp Flexcl_ir Flexcl_opencl Format Launch List Lower Opcode Option Parser Printf QCheck QCheck_alcotest Sema

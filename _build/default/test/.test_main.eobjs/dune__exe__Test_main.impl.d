@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_dram Test_interp Test_ir Test_model Test_opencl Test_sched Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Flexcl_core Flexcl_device Flexcl_dse Flexcl_ir Flexcl_simrtl Flexcl_util Float Lazy List Option Printf Thelpers

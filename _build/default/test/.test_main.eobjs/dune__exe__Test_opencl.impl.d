@@ -1,0 +1,1 @@
+test/test_opencl.ml: Alcotest Ast Builtins Flexcl_opencl Gen Lexer List Parser Printf QCheck QCheck_alcotest Sema String Token Types

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Dfg Flexcl_ir Flexcl_sched Flexcl_util Gen List Opcode QCheck QCheck_alcotest

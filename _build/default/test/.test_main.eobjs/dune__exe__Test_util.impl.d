@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Flexcl_util Fun Gen List QCheck QCheck_alcotest Thelpers

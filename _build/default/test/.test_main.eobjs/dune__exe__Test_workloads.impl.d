@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Ast Flexcl_core Flexcl_device Flexcl_interp Flexcl_ir Flexcl_opencl Flexcl_simrtl Flexcl_util Flexcl_workloads Float Int64 List Sema

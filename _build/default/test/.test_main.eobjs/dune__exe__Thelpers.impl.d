@@ -1,0 +1,1 @@
+test/thelpers.ml: Flexcl_core Flexcl_device Flexcl_ir String

@@ -1,0 +1,288 @@
+(* DRAM model tests: layout, coalescing, pattern classification, timing
+   and the stateful simulator. *)
+
+module Dram = Flexcl_dram.Dram
+module Interp = Flexcl_interp.Interp
+
+let check = Alcotest.check
+let cfg = Dram.ddr3_config
+
+let acc ?(kind = `Read) ?(bits = 32) array index =
+  { Interp.array; index; kind; elem_bits = bits }
+
+let layout2 = Dram.layout [ ("a", 4096); ("b", 4096) ]
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let test_layout_alignment () =
+  let l = Dram.layout [ ("a", 100); ("b", 100) ] in
+  check Alcotest.int "a at 0" 0 (Dram.base l "a");
+  check Alcotest.int "b row-aligned" 1024 (Dram.base l "b")
+
+let test_layout_unknown () =
+  Alcotest.check_raises "unknown buffer" Not_found (fun () ->
+      ignore (Dram.base layout2 "zzz"))
+
+let test_address () =
+  check Alcotest.int "elem 3 of b" (4096 + 12)
+    (Dram.address layout2 "b" ~elem_bits:32 3)
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing *)
+
+let test_coalesce_merges_consecutive () =
+  (* 32 consecutive int reads, 512-bit unit: 16 elems per txn -> 2 txns *)
+  let accesses = List.init 32 (fun i -> acc "a" i) in
+  let txns = Dram.coalesce cfg layout2 accesses in
+  check Alcotest.int "two transactions" 2 (List.length txns);
+  List.iter
+    (fun (t : Dram.txn) -> check Alcotest.int "full unit" 64 t.Dram.bytes)
+    txns
+
+let test_coalesce_factor_formula () =
+  (* paper's example: f = 512/32 = 16; 1024 reads -> 64 transactions *)
+  let accesses = List.init 1024 (fun i -> acc "a" i) in
+  (* larger buffer for this test *)
+  let l = Dram.layout [ ("a", 4096) ] in
+  check Alcotest.int "64 txns" 64 (List.length (Dram.coalesce cfg l accesses))
+
+let test_coalesce_breaks_on_kind () =
+  let accesses = [ acc "a" 0; acc "a" 1; acc ~kind:`Write "a" 2; acc "a" 3 ] in
+  check Alcotest.int "three txns" 3 (List.length (Dram.coalesce cfg layout2 accesses))
+
+let test_coalesce_breaks_on_gap () =
+  let accesses = [ acc "a" 0; acc "a" 2 ] in
+  check Alcotest.int "two txns" 2 (List.length (Dram.coalesce cfg layout2 accesses))
+
+let test_coalesce_breaks_on_array () =
+  let accesses = [ acc "a" 0; acc "b" 1 ] in
+  check Alcotest.int "two txns" 2 (List.length (Dram.coalesce cfg layout2 accesses))
+
+let test_coalesce_workgroup_transposes () =
+  (* 16 work-items each read a[gid]: one site, consecutive -> 1 txn *)
+  let traces = Array.init 16 (fun wi -> [ acc "a" wi ]) in
+  check Alcotest.int "one transaction" 1
+    (List.length (Dram.coalesce_workgroup cfg layout2 traces))
+
+let test_coalesce_workgroup_ragged () =
+  (* work-item 0 skips its access: still close to one transaction *)
+  let traces = Array.init 16 (fun wi -> if wi = 0 then [] else [ acc "a" wi ]) in
+  check Alcotest.int "one transaction" 1
+    (List.length (Dram.coalesce_workgroup cfg layout2 traces))
+
+let test_coalesce_workgroup_two_sites () =
+  (* each WI reads a[gid] then b[gid]: 2 sites -> 2 txns *)
+  let traces = Array.init 16 (fun wi -> [ acc "a" wi; acc "b" wi ]) in
+  check Alcotest.int "two transactions" 2
+    (List.length (Dram.coalesce_workgroup cfg layout2 traces))
+
+(* ------------------------------------------------------------------ *)
+(* Banks, rows, patterns *)
+
+let test_bank_mapping () =
+  check Alcotest.int "addr 0 -> bank 0" 0 (Dram.bank_of cfg 0);
+  check Alcotest.int "addr 64 -> bank 1" 1 (Dram.bank_of cfg 64);
+  check Alcotest.int "wraps" 0 (Dram.bank_of cfg (64 * 8))
+
+let test_row_mapping () =
+  check Alcotest.int "row 0" 0 (Dram.row_of cfg 0);
+  (* one row per bank spans row_bytes * n_banks of address space *)
+  check Alcotest.int "next row" 1 (Dram.row_of cfg (1024 * 8))
+
+let test_all_patterns_present () =
+  check Alcotest.int "8 patterns" 8 (List.length Dram.all_patterns);
+  check Alcotest.string "first name" "RAR.hit"
+    (Dram.pattern_name (List.hd Dram.all_patterns))
+
+let txn addr kind = { Dram.addr; t_kind = kind; bytes = 64 }
+
+let test_pattern_classification () =
+  (* same bank (stride 512 = 8 txns apart), same row: hit; row switch: miss *)
+  let stream =
+    [
+      txn 0 Dram.Read (* cold: miss after (initial) read *);
+      txn 0 Dram.Read (* same row: RAR hit *);
+      txn (1024 * 8) Dram.Read (* row switch in bank 0: RAR miss *);
+      txn (1024 * 8) Dram.Write (* WAR hit *);
+      txn (1024 * 8) Dram.Read (* RAW hit *);
+    ]
+  in
+  let counts = Dram.pattern_counts cfg stream in
+  let get k p h =
+    List.assoc { Dram.kind = k; prev = p; row_hit = h } counts
+  in
+  check Alcotest.int "RAR misses" 2 (get Dram.Read Dram.Read false);
+  check Alcotest.int "RAR hits" 1 (get Dram.Read Dram.Read true);
+  check Alcotest.int "WAR hits" 1 (get Dram.Write Dram.Read true);
+  check Alcotest.int "RAW hits" 1 (get Dram.Read Dram.Write true)
+
+let test_pattern_counts_conserve () =
+  let stream = List.init 100 (fun i -> txn (i * 64) (if i mod 3 = 0 then Dram.Write else Dram.Read)) in
+  let total =
+    List.fold_left (fun a (_, c) -> a + c) 0 (Dram.pattern_counts cfg stream)
+  in
+  check Alcotest.int "every txn classified" 100 total
+
+let test_warmup_shifts_to_hits () =
+  let stream = List.init 8 (fun i -> txn (i * 64) Dram.Read) in
+  let cold = Dram.pattern_counts cfg stream in
+  let warm = Dram.pattern_counts ~warmup:stream cfg stream in
+  let misses counts =
+    List.fold_left
+      (fun a ((p : Dram.pattern), c) -> if p.Dram.row_hit then a else a + c)
+      0 counts
+  in
+  check Alcotest.int "cold all miss" 8 (misses cold);
+  check Alcotest.int "warm all hit" 0 (misses warm)
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let test_pattern_latency_ordering () =
+  List.iter
+    (fun (p : Dram.pattern) ->
+      let hit = Dram.pattern_latency cfg { p with Dram.row_hit = true } in
+      let miss = Dram.pattern_latency cfg { p with Dram.row_hit = false } in
+      check Alcotest.bool "miss costs more" true (miss > hit))
+    Dram.all_patterns
+
+let test_pattern_latency_turnaround () =
+  let rar = Dram.pattern_latency cfg { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = true } in
+  let raw = Dram.pattern_latency cfg { Dram.kind = Dram.Read; prev = Dram.Write; row_hit = true } in
+  check Alcotest.bool "write-to-read turnaround" true (raw > rar)
+
+let test_profile_latencies_structure () =
+  let table = Dram.profile_latencies cfg in
+  check Alcotest.int "8 entries" 8 (List.length table);
+  List.iter
+    (fun ((p : Dram.pattern), avg) ->
+      (* micro-benchmark averages stay near the closed form (refresh adds
+         a little) *)
+      let closed = float_of_int (Dram.pattern_latency cfg p) in
+      check Alcotest.bool
+        (Printf.sprintf "%s near closed form" (Dram.pattern_name p))
+        true
+        (avg >= closed -. 0.5 && avg <= closed +. 4.0))
+    table
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_chained_latency () =
+  let sim = Dram.Sim.create cfg in
+  let t1 = Dram.Sim.access sim ~now:0 (txn 0 Dram.Read) in
+  (* cold miss: rp + rcd + cas + bus = 11 *)
+  check Alcotest.int "cold access" 11 t1;
+  let t2 = Dram.Sim.access sim ~now:t1 (txn 64 Dram.Read) in
+  (* different bank, but ~cold too; bus already free *)
+  check Alcotest.bool "completes" true (t2 > t1)
+
+let test_sim_row_hit_faster () =
+  let sim = Dram.Sim.create cfg in
+  let t1 = Dram.Sim.access sim ~now:0 (txn 0 Dram.Read) in
+  let t2 = Dram.Sim.access sim ~now:t1 (txn 0 Dram.Read) in
+  check Alcotest.bool "hit faster than miss" true (t2 - t1 < t1)
+
+let test_sim_bus_throughput () =
+  (* pipelined hits across banks: steady state ~ t_bus per txn *)
+  let sim = Dram.Sim.create cfg in
+  (* warm all banks *)
+  let now = ref 0 in
+  for i = 0 to 7 do
+    now := Dram.Sim.access sim ~now:!now (txn (i * 64) Dram.Read)
+  done;
+  let start = !now in
+  (* issue 64 warm transactions back-to-back (all at the same 'now') *)
+  let finish = ref start in
+  for i = 0 to 63 do
+    let f = Dram.Sim.access sim ~now:start (txn (i * 64) Dram.Read) in
+    if f > !finish then finish := f
+  done;
+  let span = !finish - start in
+  check Alcotest.bool "bus limited" true
+    (span >= 64 * cfg.Dram.t_bus && span <= (64 * cfg.Dram.t_bus) + 40)
+
+let test_sim_counts () =
+  let sim = Dram.Sim.create cfg in
+  ignore (Dram.Sim.access sim ~now:0 (txn 0 Dram.Read));
+  ignore (Dram.Sim.access sim ~now:0 (txn 64 Dram.Write));
+  check Alcotest.int "reads" 1 (Dram.Sim.completed_reads sim);
+  check Alcotest.int "writes" 1 (Dram.Sim.completed_writes sim)
+
+let test_sim_refresh_stalls () =
+  let sim = Dram.Sim.create cfg in
+  (* an access arriving exactly at the refresh deadline waits t_rfc *)
+  let fin = Dram.Sim.access sim ~now:cfg.Dram.refresh_interval (txn 0 Dram.Read) in
+  check Alcotest.bool "delayed by refresh" true
+    (fin >= cfg.Dram.refresh_interval + cfg.Dram.t_rfc)
+
+(* qcheck: completion never precedes arrival; bus is exclusive *)
+let prop_sim_monotone =
+  QCheck.Test.make ~name:"sim completion never precedes issue" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 40) (pair (int_range 0 10000) bool))
+    (fun raw ->
+      let sim = Dram.Sim.create cfg in
+      let now = ref 0 in
+      List.for_all
+        (fun (addr, is_write) ->
+          let kind = if is_write then Dram.Write else Dram.Read in
+          let fin = Dram.Sim.access sim ~now:!now (txn (addr * 64) kind) in
+          let ok = fin >= !now + cfg.Dram.t_bus in
+          now := fin;
+          ok)
+        raw)
+
+let prop_coalesce_conserves_bytes =
+  QCheck.Test.make
+    ~name:"coalescing conserves bytes of the deduplicated stream" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 60) (int_range 0 500))
+    (fun idxs ->
+      (* consecutive repeats of the same element are broadcasts and ride
+         along for free; all other accesses carry their bytes *)
+      let rec dedupe = function
+        | a :: b :: rest when a = b -> dedupe (a :: rest)
+        | a :: rest -> a :: dedupe rest
+        | [] -> []
+      in
+      let accesses = List.map (fun i -> acc "a" i) idxs in
+      let l = Dram.layout [ ("a", 4096) ] in
+      let txns = Dram.coalesce cfg l accesses in
+      List.fold_left (fun a (t : Dram.txn) -> a + t.Dram.bytes) 0 txns
+      = 4 * List.length (dedupe idxs))
+
+let suite =
+  [
+    Alcotest.test_case "dram: layout alignment" `Quick test_layout_alignment;
+    Alcotest.test_case "dram: layout unknown" `Quick test_layout_unknown;
+    Alcotest.test_case "dram: addresses" `Quick test_address;
+    Alcotest.test_case "dram: coalesce merges" `Quick test_coalesce_merges_consecutive;
+    Alcotest.test_case "dram: coalescing factor (paper example)" `Quick
+      test_coalesce_factor_formula;
+    Alcotest.test_case "dram: coalesce kind break" `Quick test_coalesce_breaks_on_kind;
+    Alcotest.test_case "dram: coalesce gap break" `Quick test_coalesce_breaks_on_gap;
+    Alcotest.test_case "dram: coalesce array break" `Quick test_coalesce_breaks_on_array;
+    Alcotest.test_case "dram: workgroup transpose" `Quick
+      test_coalesce_workgroup_transposes;
+    Alcotest.test_case "dram: workgroup ragged traces" `Quick
+      test_coalesce_workgroup_ragged;
+    Alcotest.test_case "dram: workgroup two sites" `Quick
+      test_coalesce_workgroup_two_sites;
+    Alcotest.test_case "dram: bank mapping" `Quick test_bank_mapping;
+    Alcotest.test_case "dram: row mapping" `Quick test_row_mapping;
+    Alcotest.test_case "dram: table 1 patterns" `Quick test_all_patterns_present;
+    Alcotest.test_case "dram: classification" `Quick test_pattern_classification;
+    Alcotest.test_case "dram: counts conserve" `Quick test_pattern_counts_conserve;
+    Alcotest.test_case "dram: warmup steady state" `Quick test_warmup_shifts_to_hits;
+    Alcotest.test_case "dram: miss > hit latency" `Quick test_pattern_latency_ordering;
+    Alcotest.test_case "dram: turnaround latency" `Quick test_pattern_latency_turnaround;
+    Alcotest.test_case "dram: micro-benchmark table" `Quick
+      test_profile_latencies_structure;
+    Alcotest.test_case "sim: chained latency" `Quick test_sim_chained_latency;
+    Alcotest.test_case "sim: row hits faster" `Quick test_sim_row_hit_faster;
+    Alcotest.test_case "sim: bus throughput" `Quick test_sim_bus_throughput;
+    Alcotest.test_case "sim: access counters" `Quick test_sim_counts;
+    Alcotest.test_case "sim: refresh stalls" `Quick test_sim_refresh_stalls;
+    QCheck_alcotest.to_alcotest prop_sim_monotone;
+    QCheck_alcotest.to_alcotest prop_coalesce_conserves_bytes;
+  ]

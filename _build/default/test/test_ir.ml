@@ -1,0 +1,617 @@
+(* IR tests: launch configs, lowering, CDFG structure, trip counts and
+   dependence analysis. *)
+
+open Flexcl_opencl
+open Flexcl_ir
+
+let check = Alcotest.check
+
+let launch ?(global = 256) ?(wg = 64) ?(args = []) () =
+  Launch.make ~global:(Launch.dim3 global) ~local:(Launch.dim3 wg)
+    ~args:(args @ [ ("n", Launch.Scalar (Launch.Int 256L)) ])
+
+let lower_src ?launch:(l = launch ()) src =
+  let k = Parser.parse_kernel src in
+  let info = Sema.analyze k in
+  (Lower.lower k info l, info)
+
+(* ------------------------------------------------------------------ *)
+(* Launch *)
+
+let test_launch_validation () =
+  Alcotest.check_raises "wg must divide"
+    (Invalid_argument "Launch.make: local.x=48 does not divide global.x=256")
+    (fun () ->
+      ignore (Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 48) ~args:[]))
+
+let test_launch_counts () =
+  let l =
+    Launch.make ~global:(Launch.dim3 ~y:8 64) ~local:(Launch.dim3 ~y:2 16) ~args:[]
+  in
+  check Alcotest.int "work items" 512 (Launch.n_work_items l);
+  check Alcotest.int "wg size" 32 (Launch.wg_size l);
+  check Alcotest.int "work groups" 16 (Launch.n_work_groups l);
+  check Alcotest.int "wg list" 16 (List.length (Launch.work_groups l));
+  check Alcotest.int "lid list" 32 (List.length (Launch.local_ids l))
+
+let test_launch_scalar_env () =
+  let l = launch () in
+  check Alcotest.bool "n visible" true (List.assoc_opt "n" (Launch.scalar_env l) = Some 256L)
+
+(* ------------------------------------------------------------------ *)
+(* Static evaluation / trip counts *)
+
+let test_eval_static () =
+  let l = launch () in
+  let ev e = Lower.eval_static l ~env:[] (Parser.parse_expr e) in
+  check Alcotest.bool "const" true (ev "3 * 4" = Some 12L);
+  check Alcotest.bool "scalar arg" true (ev "n / 2" = Some 128L);
+  check Alcotest.bool "local size" true (ev "get_local_size(0)" = Some 64L);
+  check Alcotest.bool "global size" true (ev "get_global_size(0)" = Some 256L);
+  check Alcotest.bool "num groups" true (ev "get_num_groups(0)" = Some 4L);
+  check Alcotest.bool "gid is dynamic" true (ev "get_global_id(0)" = None)
+
+let trips_of src =
+  let cdfg, _ = lower_src src in
+  Cdfg.fold_loops (fun acc info -> info.Cdfg.static_trip :: acc) [] cdfg.Cdfg.body
+  |> List.rev
+
+let test_static_trip_simple () =
+  check Alcotest.bool "0..16" true
+    (trips_of "__kernel void f(int n) { for (int i = 0; i < 16; i++) { int x = i; } }"
+    = [ Some 16 ])
+
+let test_static_trip_le () =
+  check Alcotest.bool "<= bound" true
+    (trips_of "__kernel void f(int n) { for (int i = 0; i <= 16; i++) { int x = i; } }"
+    = [ Some 17 ])
+
+let test_static_trip_stride () =
+  check Alcotest.bool "stride 3" true
+    (trips_of "__kernel void f(int n) { for (int i = 0; i < 16; i += 3) { int x = i; } }"
+    = [ Some 6 ])
+
+let test_static_trip_down () =
+  check Alcotest.bool "countdown" true
+    (trips_of "__kernel void f(int n) { for (int i = 10; i > 0; i -= 2) { int x = i; } }"
+    = [ Some 5 ])
+
+let test_static_trip_scalar_arg () =
+  check Alcotest.bool "bound from arg" true
+    (trips_of "__kernel void f(int n) { for (int i = 0; i < n; i++) { int x = i; } }"
+    = [ Some 256 ])
+
+let test_static_trip_wi_size () =
+  check Alcotest.bool "bound from get_local_size" true
+    (trips_of
+       "__kernel void f(int n) { for (int i = 0; i < get_local_size(0); i++) { int x = i; } }"
+    = [ Some 64 ])
+
+let test_static_trip_dynamic () =
+  check Alcotest.bool "gid-dependent start is dynamic" true
+    (trips_of
+       "__kernel void f(int n) { for (int i = get_global_id(0); i < n; i++) { int x = i; } }"
+    = [ None ])
+
+let test_while_has_no_static_trip () =
+  check Alcotest.bool "while" true
+    (trips_of "__kernel void f(int n) { while (n > 0) { n = n - 1; } }" = [ None ])
+
+(* ------------------------------------------------------------------ *)
+(* Lowering / CDFG structure *)
+
+let blocks_of region = Cdfg.fold_blocks (fun acc d -> d :: acc) [] region
+
+let test_lower_straight_merge () =
+  (* consecutive simple statements form one block *)
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          int g = get_global_id(0);
+          float x = a[g];
+          float y = x * 2.0f;
+          a[g] = y;
+        }|}
+  in
+  match cdfg.Cdfg.body with
+  | Cdfg.Seq [ Cdfg.Straight _ ] -> ()
+  | r -> Alcotest.failf "expected one straight block, got %s"
+           (Format.asprintf "%a" Cdfg.pp_region r)
+
+let test_lower_loop_structure () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          float s = 0.0f;
+          for (int i = 0; i < 8; i++) { s += a[i]; }
+          a[0] = s;
+        }|}
+  in
+  check Alcotest.int "one loop" 1 cdfg.Cdfg.n_loops;
+  (* the preamble block may be empty (constant-only) and elided *)
+  match cdfg.Cdfg.body with
+  | Cdfg.Seq [ Cdfg.Loop { info; _ }; Cdfg.Straight _ ]
+  | Cdfg.Seq [ Cdfg.Straight _; Cdfg.Loop { info; _ }; Cdfg.Straight _ ] ->
+      check Alcotest.bool "loop var" true (info.Cdfg.var = Some "i");
+      check Alcotest.bool "trip" true (info.Cdfg.static_trip = Some 8)
+  | r -> Alcotest.failf "unexpected region %s" (Format.asprintf "%a" Cdfg.pp_region r)
+
+let test_lower_branch_structure () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global int* a, int n) {
+          int g = get_global_id(0);
+          if (g < n) { a[g] = 1; } else { a[g] = 2; }
+        }|}
+  in
+  let has_branch =
+    let rec walk = function
+      | Cdfg.Branch _ -> true
+      | Cdfg.Seq rs -> List.exists walk rs
+      | Cdfg.Loop { body; _ } -> walk body
+      | Cdfg.Straight _ -> false
+    in
+    walk cdfg.Cdfg.body
+  in
+  check Alcotest.bool "branch region" true has_branch
+
+let test_lower_loop_numbering_matches_interp () =
+  (* nested and branched loops must be numbered identically by Lower and
+     the interpreter (pre-order) *)
+  let src =
+    {|__kernel void f(__global float* a, int n) {
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 3; j++) { a[i * 3 + j] = 0.0f; }
+        }
+        if (n > 0) {
+          for (int k = 0; k < 4; k++) { a[k] = 1.0f; }
+        }
+      }|}
+  in
+  let l =
+    Launch.make ~global:(Launch.dim3 8) ~local:(Launch.dim3 8)
+      ~args:
+        [
+          ("a", Launch.Buffer { length = 64; init = Launch.Zeros });
+          ("n", Launch.Scalar (Launch.Int 8L));
+        ]
+  in
+  let cdfg, info = lower_src ~launch:l src in
+  let static =
+    Cdfg.fold_loops (fun acc i -> (i.Cdfg.loop_id, i.Cdfg.static_trip) :: acc) []
+      cdfg.Cdfg.body
+    |> List.rev
+  in
+  check Alcotest.bool "static ids 0,1,2" true
+    (static = [ (0, Some 2); (1, Some 3); (2, Some 4) ]);
+  let k = Parser.parse_kernel src in
+  let profile = Flexcl_interp.Interp.run k info l in
+  let trips = profile.Flexcl_interp.Interp.avg_trips in
+  check (Alcotest.float 1e-9) "loop 0 trip" 2.0 (List.assoc 0 trips);
+  check (Alcotest.float 1e-9) "loop 1 trip" 3.0 (List.assoc 1 trips);
+  check (Alcotest.float 1e-9) "loop 2 trip" 4.0 (List.assoc 2 trips)
+
+let test_lower_mem_nodes_annotated () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          int g = get_global_id(0);
+          a[g + 1] = a[g] * 2.0f;
+        }|}
+  in
+  let mems =
+    List.concat_map Dfg.mem_nodes (blocks_of cdfg.Cdfg.body)
+  in
+  check Alcotest.int "two accesses" 2 (List.length mems);
+  List.iter
+    (fun (node : Dfg.node) ->
+      check Alcotest.bool "array name" true (node.Dfg.array = Some "a");
+      check Alcotest.bool "index kept" true (node.Dfg.index <> None))
+    mems
+
+let test_lower_local_vs_global_space () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          __local float tile[64];
+          int lid = get_local_id(0);
+          tile[lid] = a[lid];
+        }|}
+  in
+  let mems = List.concat_map Dfg.mem_nodes (blocks_of cdfg.Cdfg.body) in
+  let kinds = List.map (fun (n : Dfg.node) -> n.Dfg.op) mems |> List.sort compare in
+  check Alcotest.bool "one global load one local store" true
+    (kinds = List.sort compare [ Opcode.Load Opcode.Global_mem; Opcode.Store Opcode.Local_mem ])
+
+let test_weighted_op_counts () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          float s = 0.0f;
+          for (int i = 0; i < 10; i++) { s += a[i]; }
+          a[0] = s;
+        }|}
+  in
+  let trip (info : Cdfg.loop_info) = Option.value info.Cdfg.static_trip ~default:1 in
+  let loads =
+    Cdfg.count_ops cdfg.Cdfg.body
+      (fun op -> op = Opcode.Load Opcode.Global_mem)
+      ~trip
+  in
+  check (Alcotest.float 1e-9) "10 loads per work-item" 10.0 loads
+
+let test_branch_counts_take_max () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          int g = get_global_id(0);
+          if (g < n) {
+            a[g] = a[g] + 1.0f;
+          } else {
+            a[g] = a[g] * a[g + 1] + 2.0f;
+          }
+        }|}
+  in
+  let loads =
+    Cdfg.count_ops cdfg.Cdfg.body
+      (fun op -> op = Opcode.Load Opcode.Global_mem)
+      ~trip:(fun _ -> 1)
+  in
+  (* else side has 2 loads, then side 1: max = 2 *)
+  check (Alcotest.float 1e-9) "max of sides" 2.0 loads
+
+let test_region_reads_writes () =
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, __global float* b, int n) {
+          int g = get_global_id(0);
+          b[g] = a[g];
+        }|}
+  in
+  let reads = Cdfg.region_reads cdfg.Cdfg.body in
+  let writes = Cdfg.region_writes cdfg.Cdfg.body in
+  check Alcotest.bool "reads a" true (List.mem "a" reads);
+  check Alcotest.bool "writes b" true (List.mem "b" writes);
+  check Alcotest.bool "does not write a" true (not (List.mem "a" writes))
+
+let test_live_in_and_scalar_defs () =
+  (* accumulator: s read before (re)definition in loop body block *)
+  let cdfg, _ =
+    lower_src
+      {|__kernel void f(__global float* a, int n) {
+          float s = 0.0f;
+          for (int i = 0; i < 8; i++) { s = s + a[i]; }
+          a[0] = s;
+        }|}
+  in
+  let loop_blocks =
+    let rec find = function
+      | Cdfg.Loop { body; _ } -> blocks_of body
+      | Cdfg.Seq rs -> List.concat_map find rs
+      | Cdfg.Branch { then_; else_; _ } -> find then_ @ find else_
+      | Cdfg.Straight _ -> []
+    in
+    find cdfg.Cdfg.body
+  in
+  let has_live_in =
+    List.exists (fun d -> List.mem_assoc "s" (Dfg.live_ins d)) loop_blocks
+  in
+  let has_def =
+    List.exists (fun d -> List.mem_assoc "s" (Dfg.scalar_defs d)) loop_blocks
+  in
+  check Alcotest.bool "live-in for s" true has_live_in;
+  check Alcotest.bool "def for s" true has_def
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis *)
+
+let analyze_src ?launch:(l = launch ()) src =
+  let k = Parser.parse_kernel src in
+  let info = Sema.analyze k in
+  let cdfg = Lower.lower k info l in
+  (cdfg, l)
+
+let test_affine_probe () =
+  let l = launch () in
+  let probe e =
+    Depend.affine_probe l ~subst:(fun _ -> None) ~carried:`Work_item
+      (Parser.parse_expr e)
+  in
+  check Alcotest.bool "gid" true (probe "get_global_id(0)" = Some (0L, 1L));
+  check Alcotest.bool "2*gid+3" true (probe "2 * get_global_id(0) + 3" = Some (3L, 2L));
+  check Alcotest.bool "constant" true (probe "7" = Some (7L, 0L));
+  check Alcotest.bool "quadratic is rejected" true
+    (probe "get_global_id(0) * get_global_id(0)" = None)
+
+let test_wi_recurrence_accumulator () =
+  (* every work-item reads and writes out[0]: distance-1 recurrence *)
+  let cdfg, l =
+    analyze_src
+      ~launch:
+        (Launch.make ~global:(Launch.dim3 64) ~local:(Launch.dim3 64)
+           ~args:[ ("out", Launch.Buffer { length = 4; init = Launch.Zeros }) ])
+      {|__kernel void f(__global float* out) {
+          out[0] = out[0] + 1.0f;
+        }|}
+  in
+  match Depend.work_item_recurrences cdfg l with
+  | [ r ] ->
+      check Alcotest.int "distance 1" 1 r.Depend.distance;
+      check Alcotest.string "array" "out" r.Depend.array
+  | rs -> Alcotest.failf "expected one recurrence, got %d" (List.length rs)
+
+let test_wi_recurrence_distance () =
+  (* work-item g writes a[g], g+2 reads it: distance 2 *)
+  let cdfg, l =
+    analyze_src
+      ~launch:
+        (Launch.make ~global:(Launch.dim3 64) ~local:(Launch.dim3 64)
+           ~args:[ ("a", Launch.Buffer { length = 128; init = Launch.Zeros }) ])
+      {|__kernel void f(__global float* a) {
+          int g = get_global_id(0);
+          a[g + 2] = a[g] + 1.0f;
+        }|}
+  in
+  match Depend.work_item_recurrences cdfg l with
+  | [ r ] -> check Alcotest.int "distance 2" 2 r.Depend.distance
+  | rs -> Alcotest.failf "expected one recurrence, got %d" (List.length rs)
+
+let test_wi_no_recurrence_disjoint () =
+  (* forward-only: g reads a[g+1], writes a[g]: writer never read later *)
+  let cdfg, l =
+    analyze_src
+      ~launch:
+        (Launch.make ~global:(Launch.dim3 64) ~local:(Launch.dim3 64)
+           ~args:[ ("a", Launch.Buffer { length = 128; init = Launch.Zeros }) ])
+      {|__kernel void f(__global float* a) {
+          int g = get_global_id(0);
+          a[g] = a[g + 1] + 1.0f;
+        }|}
+  in
+  check Alcotest.int "no recurrence" 0
+    (List.length (Depend.work_item_recurrences cdfg l))
+
+let test_loop_recurrence_scalar_accumulator () =
+  let cdfg, l =
+    analyze_src
+      {|__kernel void f(__global float* a, int n) {
+          float s = 0.0f;
+          for (int i = 0; i < 8; i++) { s = s + 1.0f; }
+          a[0] = s;
+        }|}
+  in
+  let recs = Depend.loop_recurrences cdfg l in
+  match recs with
+  | [ (0, rs) ] ->
+      check Alcotest.bool "scalar recurrence on s" true
+        (List.exists (fun r -> r.Depend.array = "<s>") rs)
+  | _ -> Alcotest.fail "expected loop 0 entry"
+
+let test_loop_recurrence_array () =
+  (* iteration i reads a[i-1] written by iteration i-1: distance 1 *)
+  let cdfg, l =
+    analyze_src
+      ~launch:
+        (Launch.make ~global:(Launch.dim3 8) ~local:(Launch.dim3 8)
+           ~args:[ ("a", Launch.Buffer { length = 64; init = Launch.Zeros }) ])
+      {|__kernel void f(__global float* a) {
+          for (int i = 1; i < 32; i++) {
+            a[i] = a[i - 1] + 1.0f;
+          }
+        }|}
+  in
+  match Depend.loop_recurrences cdfg l with
+  | [ (0, rs) ] ->
+      check Alcotest.bool "array recurrence distance 1" true
+        (List.exists (fun r -> r.Depend.array = "a" && r.Depend.distance = 1) rs)
+  | _ -> Alcotest.fail "expected loop 0 recurrences"
+
+let test_data_dependent_index_ignored () =
+  (* gather through an index array: not affine, conservatively no rec *)
+  let cdfg, l =
+    analyze_src
+      ~launch:
+        (Launch.make ~global:(Launch.dim3 8) ~local:(Launch.dim3 8)
+           ~args:
+             [
+               ("a", Launch.Buffer { length = 64; init = Launch.Zeros });
+               ("idx", Launch.Buffer { length = 64; init = Launch.Ramp });
+             ])
+      {|__kernel void f(__global float* a, __global const int* idx) {
+          int g = get_global_id(0);
+          a[idx[g]] = a[g] + 1.0f;
+        }|}
+  in
+  check Alcotest.int "gather has no static recurrence" 0
+    (List.length (Depend.work_item_recurrences cdfg l))
+
+(* ------------------------------------------------------------------ *)
+(* Opcode classification *)
+
+let test_opcode_of_binop () =
+  check Alcotest.bool "float add" true
+    (Opcode.of_binop Ast.Add ~float:true = Opcode.Float_add);
+  check Alcotest.bool "int mul" true (Opcode.of_binop Ast.Mul ~float:false = Opcode.Int_mul);
+  check Alcotest.bool "float compare" true
+    (Opcode.of_binop Ast.Lt ~float:true = Opcode.Float_cmp);
+  check Alcotest.bool "logic is int" true
+    (Opcode.of_binop Ast.Land ~float:true = Opcode.Int_alu)
+
+let test_opcode_of_builtin () =
+  check Alcotest.bool "sqrt" true
+    (Opcode.of_builtin (Builtins.Math1 Builtins.Sqrt) = Opcode.Float_sqrt);
+  check Alcotest.bool "mad maps to fmul" true
+    (Opcode.of_builtin (Builtins.Math3 Builtins.Mad) = Opcode.Float_mul);
+  check Alcotest.bool "wi query" true
+    (Opcode.of_builtin (Builtins.Wi Builtins.Get_local_id) = Opcode.Wi_query)
+
+let test_opcode_predicates () =
+  check Alcotest.bool "local access" true
+    (Opcode.is_local_access (Opcode.Load Opcode.Local_mem));
+  check Alcotest.bool "global access" true
+    (Opcode.is_global_access (Opcode.Store Opcode.Global_mem));
+  check Alcotest.bool "alu is not mem" false (Opcode.is_mem Opcode.Int_alu)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: trip-count formula against brute force *)
+
+let prop_static_trip_matches_bruteforce =
+  QCheck.Test.make ~name:"static trip count equals brute-force iteration" ~count:300
+    QCheck.(triple (int_range (-20) 20) (int_range (-20) 40) (int_range 1 7))
+    (fun (i0, bound, stride) ->
+      let src =
+        Printf.sprintf
+          "__kernel void f(int n) { for (int i = %d; i < %d; i += %d) { int x = i; } }"
+          i0 bound stride
+      in
+      let expected =
+        let count = ref 0 and i = ref i0 in
+        while !i < bound do
+          incr count;
+          i := !i + stride
+        done;
+        !count
+      in
+      trips_of src = [ Some expected ])
+
+let suite =
+  [
+    Alcotest.test_case "launch: validation" `Quick test_launch_validation;
+    Alcotest.test_case "launch: geometry counts" `Quick test_launch_counts;
+    Alcotest.test_case "launch: scalar env" `Quick test_launch_scalar_env;
+    Alcotest.test_case "lower: eval_static" `Quick test_eval_static;
+    Alcotest.test_case "lower: trip <" `Quick test_static_trip_simple;
+    Alcotest.test_case "lower: trip <=" `Quick test_static_trip_le;
+    Alcotest.test_case "lower: trip stride" `Quick test_static_trip_stride;
+    Alcotest.test_case "lower: trip countdown" `Quick test_static_trip_down;
+    Alcotest.test_case "lower: trip from scalar arg" `Quick test_static_trip_scalar_arg;
+    Alcotest.test_case "lower: trip from local size" `Quick test_static_trip_wi_size;
+    Alcotest.test_case "lower: dynamic trip" `Quick test_static_trip_dynamic;
+    Alcotest.test_case "lower: while trip" `Quick test_while_has_no_static_trip;
+    Alcotest.test_case "lower: straight-line merge" `Quick test_lower_straight_merge;
+    Alcotest.test_case "lower: loop structure" `Quick test_lower_loop_structure;
+    Alcotest.test_case "lower: branch structure" `Quick test_lower_branch_structure;
+    Alcotest.test_case "lower: loop numbering matches interpreter" `Quick
+      test_lower_loop_numbering_matches_interp;
+    Alcotest.test_case "lower: memory annotations" `Quick test_lower_mem_nodes_annotated;
+    Alcotest.test_case "lower: address spaces" `Quick test_lower_local_vs_global_space;
+    Alcotest.test_case "cdfg: weighted op counts" `Quick test_weighted_op_counts;
+    Alcotest.test_case "cdfg: branch max counts" `Quick test_branch_counts_take_max;
+    Alcotest.test_case "cdfg: region reads/writes" `Quick test_region_reads_writes;
+    Alcotest.test_case "dfg: live-ins and scalar defs" `Quick test_live_in_and_scalar_defs;
+    Alcotest.test_case "depend: affine probe" `Quick test_affine_probe;
+    Alcotest.test_case "depend: accumulator recurrence" `Quick
+      test_wi_recurrence_accumulator;
+    Alcotest.test_case "depend: distance-2 recurrence" `Quick test_wi_recurrence_distance;
+    Alcotest.test_case "depend: no recurrence forward" `Quick
+      test_wi_no_recurrence_disjoint;
+    Alcotest.test_case "depend: scalar loop accumulator" `Quick
+      test_loop_recurrence_scalar_accumulator;
+    Alcotest.test_case "depend: array loop recurrence" `Quick test_loop_recurrence_array;
+    Alcotest.test_case "depend: data-dependent ignored" `Quick
+      test_data_dependent_index_ignored;
+    Alcotest.test_case "opcode: binop mapping" `Quick test_opcode_of_binop;
+    Alcotest.test_case "opcode: builtin mapping" `Quick test_opcode_of_builtin;
+    Alcotest.test_case "opcode: predicates" `Quick test_opcode_predicates;
+    QCheck_alcotest.to_alcotest prop_static_trip_matches_bruteforce;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimization pragmas end-to-end (appended suite) *)
+
+module Model_t = Flexcl_core.Model
+module Config_t = Flexcl_core.Config
+module Analysis_t = Flexcl_core.Analysis
+
+let dev = Flexcl_device.Device.virtex7
+
+let pragma_launch =
+  Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 64)
+    ~args:
+      [
+        ("a", Launch.Buffer { length = 4096; init = Launch.Random_floats 5 });
+        ("out", Launch.Buffer { length = 256; init = Launch.Zeros });
+      ]
+
+let body_with pragma =
+  Printf.sprintf
+    {|__kernel void k(__global const float* a, __global float* out) {
+        int g = get_global_id(0);
+        float s = 0.0f;
+        %s
+        for (int i = 0; i < 16; i++) {
+          s += a[g * 16 + i] * 2.0f;
+        }
+        out[g] = s;
+      }|}
+    pragma
+
+let plain_cfg =
+  { Config_t.wg_size = 64; n_pe = 1; n_cu = 1; wi_pipeline = false;
+    comm_mode = Config_t.Pipeline_mode }
+
+let test_pragma_pipeline_reduces_depth () =
+  let base = Analysis_t.of_source (body_with "") pragma_launch in
+  let piped = Analysis_t.of_source (body_with "#pragma pipeline") pragma_launch in
+  let d_base = (Model_t.estimate dev base plain_cfg).Model_t.depth_pe in
+  let d_piped = (Model_t.estimate dev piped plain_cfg).Model_t.depth_pe in
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "pipelined loop is shorter (%d < %d)" d_piped d_base)
+    true (d_piped < d_base)
+
+let indep_body_with pragma =
+  (* no loop-carried dependence: iterations are independent stores *)
+  Printf.sprintf
+    {|__kernel void k(__global const float* a, __global float* out) {
+        int g = get_global_id(0);
+        %s
+        for (int i = 0; i < 16; i++) {
+          out[(g * 16 + i) %% 256] = a[g * 16 + i] * 2.0f;
+        }
+      }|}
+    pragma
+
+let test_pragma_unroll_reduces_depth () =
+  let base = Analysis_t.of_source (indep_body_with "") pragma_launch in
+  let unrolled =
+    Analysis_t.of_source (indep_body_with "#pragma unroll 4") pragma_launch
+  in
+  let d_base = (Model_t.estimate dev base plain_cfg).Model_t.depth_pe in
+  let d_unrolled = (Model_t.estimate dev unrolled plain_cfg).Model_t.depth_pe in
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "unrolled loop is shorter (%d < %d)" d_unrolled d_base)
+    true (d_unrolled < d_base)
+
+let test_pragma_unroll_with_recurrence_serializes () =
+  (* an accumulator chain cannot be sped up by unrolling alone: copies
+     are chained by the carried dependence *)
+  let src pragma =
+    Printf.sprintf
+      {|__kernel void k(__global const float* a, __global float* out) {
+          float s = 0.0f;
+          %s
+          for (int i = 1; i < 32; i++) {
+            s = s * 0.5f + a[i];
+          }
+          out[get_global_id(0)] = s;
+        }|}
+      pragma
+  in
+  let base = Analysis_t.of_source (src "") pragma_launch in
+  let unrolled = Analysis_t.of_source (src "#pragma unroll 4") pragma_launch in
+  let d_base = (Model_t.estimate dev base plain_cfg).Model_t.depth_pe in
+  let d_unrolled = (Model_t.estimate dev unrolled plain_cfg).Model_t.depth_pe in
+  Alcotest.check Alcotest.bool "carried chain is not 4x faster" true
+    (float_of_int d_unrolled > 0.6 *. float_of_int d_base)
+
+let pragma_suite =
+  [
+    Alcotest.test_case "pragma: pipeline reduces depth" `Quick
+      test_pragma_pipeline_reduces_depth;
+    Alcotest.test_case "pragma: unroll reduces depth" `Quick
+      test_pragma_unroll_reduces_depth;
+    Alcotest.test_case "pragma: unroll vs recurrence" `Quick
+      test_pragma_unroll_with_recurrence_serializes;
+  ]
+
+let suite = suite @ pragma_suite

@@ -1,0 +1,489 @@
+(* Frontend tests: lexer, parser, types, builtins, semantic analysis. *)
+
+open Flexcl_opencl
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let test_type_names () =
+  check Alcotest.bool "int" true (Types.of_name "int" = Some (Types.Scalar Types.Int));
+  check Alcotest.bool "float4" true
+    (Types.of_name "float4" = Some (Types.Vector (Types.Float, 4)));
+  check Alcotest.bool "float16" true
+    (Types.of_name "float16" = Some (Types.Vector (Types.Float, 16)));
+  check Alcotest.bool "unknown" true (Types.of_name "floatx" = None);
+  check Alcotest.bool "void" true (Types.of_name "void" = Some Types.Void)
+
+let test_type_bits () =
+  check Alcotest.int "int" 32 (Types.bits (Types.Scalar Types.Int));
+  check Alcotest.int "float4" 128 (Types.bits (Types.Vector (Types.Float, 4)));
+  check Alcotest.int "array" (32 * 10)
+    (Types.bits (Types.Array (Types.Scalar Types.Float, 10)));
+  check Alcotest.int "ptr" 64 (Types.bits (Types.Ptr (Types.Global, Types.Scalar Types.Char)))
+
+let test_arith_result () =
+  check Alcotest.bool "int+float" true
+    (Types.arith_result Types.Int Types.Float = Types.Float);
+  check Alcotest.bool "char+int" true (Types.arith_result Types.Char Types.Int = Types.Int);
+  check Alcotest.bool "int+uint" true (Types.arith_result Types.Int Types.Uint = Types.Uint)
+
+let test_addr_space () =
+  let t = Types.Ptr (Types.Global, Types.Scalar Types.Float) in
+  check Alcotest.bool "global ptr" true (Types.addr_space_of t = Some Types.Global);
+  check Alcotest.bool "scalar none" true
+    (Types.addr_space_of (Types.Scalar Types.Int) = None)
+
+let test_elem () =
+  check Alcotest.bool "ptr elem" true
+    (Types.elem (Types.Ptr (Types.Local, Types.Scalar Types.Int)) = Types.Scalar Types.Int);
+  check Alcotest.bool "2d array elem" true
+    (Types.elem (Types.Array (Types.Array (Types.Scalar Types.Float, 4), 4))
+    = Types.Array (Types.Scalar Types.Float, 4))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let toks src = List.map (fun l -> l.Token.tok) (Lexer.tokenize src)
+
+let test_lex_operators () =
+  check Alcotest.bool "shift vs compare" true
+    (toks "a << b <= c <<= d"
+    = [ Token.Ident "a"; Token.Shl; Token.Ident "b"; Token.Le; Token.Ident "c";
+        Token.Shl_assign; Token.Ident "d"; Token.Eof ])
+
+let test_lex_numbers () =
+  check Alcotest.bool "int" true (toks "42" = [ Token.Int_lit 42L; Token.Eof ]);
+  check Alcotest.bool "hex" true (toks "0xff" = [ Token.Int_lit 255L; Token.Eof ]);
+  (match toks "3.5f" with
+  | [ Token.Float_lit f; Token.Eof ] -> check (Alcotest.float 1e-9) "float" 3.5 f
+  | _ -> Alcotest.fail "expected float");
+  match toks "1e3" with
+  | [ Token.Float_lit f; Token.Eof ] -> check (Alcotest.float 1e-9) "exponent" 1000.0 f
+  | _ -> Alcotest.fail "expected float with exponent"
+
+let test_lex_comments () =
+  check Alcotest.bool "line comment" true (toks "a // comment\n b" = toks "a b");
+  check Alcotest.bool "block comment" true (toks "a /* x */ b" = toks "a b")
+
+let test_lex_unterminated_comment () =
+  match Lexer.tokenize "a /* never ends" with
+  | exception Lexer.Error (_, _, _) -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_lex_pragma () =
+  match toks "#pragma unroll 4\nx" with
+  | [ Token.Pragma [ "unroll"; "4" ]; Token.Ident "x"; Token.Eof ] -> ()
+  | _ -> Alcotest.fail "pragma not lexed"
+
+let test_lex_keywords () =
+  check Alcotest.bool "kernel kw" true (toks "__kernel" = [ Token.Kw_kernel; Token.Eof ]);
+  check Alcotest.bool "both spellings" true (toks "kernel" = [ Token.Kw_kernel; Token.Eof ]);
+  check Alcotest.bool "positions" true
+    (match Lexer.tokenize "\n  x" with
+    | [ { Token.line = 2; col = 3; _ }; _ ] -> true
+    | _ -> false)
+
+let test_lex_bad_char () =
+  match Lexer.tokenize "a $ b" with
+  | exception Lexer.Error (_, 1, _) -> ()
+  | _ -> Alcotest.fail "expected error on '$'"
+
+(* ------------------------------------------------------------------ *)
+(* Parser: expressions *)
+
+let test_parse_precedence () =
+  check Alcotest.string "mul binds tighter" "(a + (b * c))"
+    (Ast.expr_to_string (Parser.parse_expr "a + b * c"));
+  check Alcotest.string "shift vs add" "((a + b) << c)"
+    (Ast.expr_to_string (Parser.parse_expr "a + b << c"));
+  check Alcotest.string "comparison chain" "((a < b) == (c > d))"
+    (Ast.expr_to_string (Parser.parse_expr "a < b == c > d"));
+  check Alcotest.string "logic" "(a || (b && c))"
+    (Ast.expr_to_string (Parser.parse_expr "a || b && c"))
+
+let test_parse_unary () =
+  check Alcotest.string "neg" "(-a * b)" (Ast.expr_to_string (Parser.parse_expr "-a * b"));
+  check Alcotest.string "not" "(!a && b)" (Ast.expr_to_string (Parser.parse_expr "!a && b"))
+
+let test_parse_ternary () =
+  check Alcotest.string "ternary" "(a ? b : (c ? d : e))"
+    (Ast.expr_to_string (Parser.parse_expr "a ? b : c ? d : e"))
+
+let test_parse_cast () =
+  match Parser.parse_expr "(float)x" with
+  | Ast.Cast (Types.Scalar Types.Float, Ast.Var "x") -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.expr_to_string e)
+
+let test_parse_paren_not_cast () =
+  (* (x) + y where x is a plain variable must stay an addition *)
+  match Parser.parse_expr "(x) + y" with
+  | Ast.Binop (Ast.Add, Ast.Var "x", Ast.Var "y") -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.expr_to_string e)
+
+let test_parse_call_and_index () =
+  match Parser.parse_expr "a[get_global_id(0) + 1]" with
+  | Ast.Index (Ast.Var "a", [ Ast.Binop (Ast.Add, Ast.Call ("get_global_id", _), _) ]) ->
+      ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.expr_to_string e)
+
+let test_parse_multidim_index () =
+  match Parser.parse_expr "t[i][j]" with
+  | Ast.Index (Ast.Var "t", [ Ast.Var "i"; Ast.Var "j" ]) -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ast.expr_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: kernels *)
+
+let parse1 src = Parser.parse_kernel src
+
+let test_parse_minimal_kernel () =
+  let k = parse1 "__kernel void f(__global float* a) { a[0] = 1.0f; }" in
+  check Alcotest.string "name" "f" k.Ast.k_name;
+  check Alcotest.int "params" 1 (List.length k.Ast.k_params)
+
+let test_parse_param_spaces () =
+  let k =
+    parse1
+      "__kernel void f(__global float* a, __local int* b, __constant float* c, int n) {}"
+  in
+  let spaces =
+    List.map (fun p -> Types.addr_space_of p.Ast.p_type) k.Ast.k_params
+  in
+  check Alcotest.bool "spaces" true
+    (spaces = [ Some Types.Global; Some Types.Local; Some Types.Constant; None ])
+
+let test_parse_const_param () =
+  let k = parse1 "__kernel void f(__global const float* a) {}" in
+  match k.Ast.k_params with
+  | [ p ] -> check Alcotest.bool "const" true p.Ast.p_const
+  | _ -> Alcotest.fail "one param"
+
+let test_parse_reqd_wg_size () =
+  let k =
+    parse1
+      "__kernel __attribute__((reqd_work_group_size(16, 8, 1))) void f(int n) {}"
+  in
+  check Alcotest.bool "attribute" true
+    (k.Ast.k_attrs.Ast.reqd_work_group_size = Some (16, 8, 1))
+
+let test_parse_wi_pipeline_pragma () =
+  let k = parse1 "#pragma work_item_pipeline\n__kernel void f(int n) {}" in
+  check Alcotest.bool "pipeline attr" true k.Ast.k_attrs.Ast.work_item_pipeline
+
+let test_parse_loop_pragmas () =
+  let k =
+    parse1
+      {|__kernel void f(__global float* a) {
+          #pragma unroll 4
+          for (int i = 0; i < 16; i++) { a[i] = 0.0f; }
+          #pragma pipeline
+          for (int j = 0; j < 16; j++) { a[j] = 1.0f; }
+        }|}
+  in
+  let loops = ref [] in
+  Ast.iter_stmts
+    (fun s -> match s with Ast.For (_, _, at) -> loops := at :: !loops | _ -> ())
+    k.Ast.k_body;
+  match List.rev !loops with
+  | [ a1; a2 ] ->
+      check Alcotest.bool "unroll 4" true (a1.Ast.unroll = Some 4);
+      check Alcotest.bool "pipeline" true a2.Ast.pipeline
+  | _ -> Alcotest.fail "two loops expected"
+
+let test_parse_barrier_statement () =
+  let k =
+    parse1
+      {|__kernel void f(__global float* a) {
+          barrier(CLK_LOCAL_MEM_FENCE);
+        }|}
+  in
+  check Alcotest.bool "barrier stmt" true
+    (match k.Ast.k_body with [ Ast.Barrier ] -> true | _ -> false)
+
+let test_parse_local_decl () =
+  let k =
+    parse1 {|__kernel void f(int n) { __local float tile[16][17]; }|}
+  in
+  match k.Ast.k_body with
+  | [ Ast.Local_decl (Types.Array (Types.Array (Types.Scalar Types.Float, 17), 16), "tile") ] ->
+      ()
+  | _ -> Alcotest.fail "local array decl shape"
+
+let test_parse_compound_assign () =
+  let k = parse1 {|__kernel void f(__global int* a) { a[0] += 2; }|} in
+  match k.Ast.k_body with
+  | [ Ast.Assign (Ast.Lindex ("a", _), Ast.Binop (Ast.Add, Ast.Index _, Ast.Int_lit 2L)) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "compound assignment desugaring"
+
+let test_parse_increment_forms () =
+  let k =
+    parse1
+      {|__kernel void f(int n) {
+          int i = 0;
+          i++;
+          ++i;
+          i--;
+        }|}
+  in
+  let assigns =
+    List.filter (function Ast.Assign _ -> true | _ -> false) k.Ast.k_body
+  in
+  check Alcotest.int "three increments" 3 (List.length assigns)
+
+let test_parse_if_else () =
+  let k =
+    parse1
+      {|__kernel void f(__global int* a, int n) {
+          int g = get_global_id(0);
+          if (g < n) { a[g] = 1; } else { a[g] = 2; }
+        }|}
+  in
+  check Alcotest.bool "if stmt present" true
+    (List.exists (function Ast.If _ -> true | _ -> false) k.Ast.k_body)
+
+let test_parse_while () =
+  let k =
+    parse1
+      {|__kernel void f(int n) {
+          int i = 0;
+          while (i < n) { i = i + 1; }
+        }|}
+  in
+  check Alcotest.bool "while present" true
+    (List.exists (function Ast.While _ -> true | _ -> false) k.Ast.k_body)
+
+let test_parse_multi_declarator () =
+  let k = parse1 {|__kernel void f(int n) { int i = 0, j = 1; }|} in
+  let decls = List.filter (function Ast.Decl _ -> true | _ -> false) k.Ast.k_body in
+  check Alcotest.int "two decls" 2 (List.length decls)
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse_program src with
+    | exception Parser.Error (_, _, _) -> ()
+    | exception Lexer.Error (_, _, _) -> ()
+    | _ -> Alcotest.failf "expected syntax error for %S" src
+  in
+  expect_error "__kernel void f( { }";
+  expect_error "__kernel int f(int n) {}";
+  expect_error "__kernel void f(int n) { if }";
+  expect_error "void f() {}";
+  expect_error "__kernel void f(int n) { int x = ; }"
+
+let test_parse_program_multiple () =
+  let ks =
+    Parser.parse_program
+      "__kernel void f(int n) {} __kernel void g(int n) {}"
+  in
+  check Alcotest.int "two kernels" 2 (List.length ks)
+
+let test_parse_kernel_rejects_many () =
+  match Parser.parse_kernel "__kernel void f(int n) {} __kernel void g(int n) {}" with
+  | exception Parser.Error (_, _, _) -> ()
+  | _ -> Alcotest.fail "expected error for two kernels"
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+let test_builtin_lookup () =
+  check Alcotest.bool "sqrt" true (Builtins.find "sqrt" = Some (Builtins.Math1 Builtins.Sqrt));
+  check Alcotest.bool "native alias" true
+    (Builtins.find "native_sqrt" = Some (Builtins.Math1 Builtins.Sqrt));
+  check Alcotest.bool "unknown" true (Builtins.find "frobnicate" = None)
+
+let test_builtin_result_types () =
+  let f = Types.Scalar Types.Float and i = Types.Scalar Types.Int in
+  check Alcotest.bool "wi returns int" true
+    (Builtins.result_type (Builtins.Wi Builtins.Get_global_id) [ i ] = Ok i);
+  check Alcotest.bool "sqrt float" true
+    (Builtins.result_type (Builtins.Math1 Builtins.Sqrt) [ f ] = Ok f);
+  check Alcotest.bool "max promotes" true
+    (Builtins.result_type (Builtins.Math2 Builtins.Max) [ i; f ] = Ok f);
+  check Alcotest.bool "arity error" true
+    (match Builtins.result_type (Builtins.Math2 Builtins.Pow) [ f ] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Sema *)
+
+let analyze src = Sema.analyze (parse1 src)
+
+let test_sema_collects_arrays () =
+  let info =
+    analyze
+      {|__kernel void f(__global float* a, __local float* l, int n) {
+          __local int scratch[64];
+          a[0] = 0.0f;
+        }|}
+  in
+  check Alcotest.int "globals" 1 (List.length info.Sema.global_arrays);
+  check Alcotest.int "locals" 2 (List.length info.Sema.local_arrays)
+
+let test_sema_barrier_flag () =
+  let info =
+    analyze {|__kernel void f(int n) { barrier(CLK_LOCAL_MEM_FENCE); }|}
+  in
+  check Alcotest.bool "uses barrier" true info.Sema.uses_barrier
+
+let test_sema_loop_stats () =
+  let info =
+    analyze
+      {|__kernel void f(int n) {
+          for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { int x = i + j; }
+          }
+          while (n > 0) { n = n - 1; }
+        }|}
+  in
+  check Alcotest.int "loops" 3 info.Sema.n_loops;
+  check Alcotest.int "depth" 2 info.Sema.max_loop_depth
+
+let expect_sema_error src =
+  match analyze src with
+  | exception Sema.Error _ -> ()
+  | _ -> Alcotest.failf "expected sema error for %S" src
+
+let test_sema_unknown_var () =
+  expect_sema_error {|__kernel void f(int n) { int x = y; }|}
+
+let test_sema_unknown_function () =
+  expect_sema_error {|__kernel void f(int n) { int x = mystery(n); }|}
+
+let test_sema_too_many_subscripts () =
+  expect_sema_error {|__kernel void f(__global float* a) { float x = a[0][1]; }|}
+
+let test_sema_const_assignment () =
+  expect_sema_error
+    {|__kernel void f(__global const float* a) { a[0] = 1.0f; }|}
+
+let test_sema_bitwise_float () =
+  expect_sema_error {|__kernel void f(float x) { float y = x & 1.0f; }|}
+
+let test_sema_mod_float () =
+  expect_sema_error {|__kernel void f(float x) { float y = x % 2.0f; }|}
+
+let test_sema_arity () =
+  expect_sema_error {|__kernel void f(float x) { float y = pow(x); }|}
+
+let test_sema_redeclare_conflicting () =
+  expect_sema_error {|__kernel void f(int n) { int i = 0; float i = 1.0f; }|}
+
+let test_sema_type_of () =
+  let k =
+    parse1
+      {|__kernel void f(__global float* a, int n) {
+          float x = a[n] + 1.0f;
+        }|}
+  in
+  let info = Sema.analyze k in
+  check Alcotest.bool "load elem type" true
+    (Sema.type_of info (Parser.parse_expr "a[0]") = Types.Scalar Types.Float);
+  check Alcotest.bool "compare yields int" true
+    (Sema.type_of info (Parser.parse_expr "n < 3") = Types.Scalar Types.Int)
+
+let test_const_eval () =
+  check Alcotest.bool "fold" true (Sema.const_eval (Parser.parse_expr "2 * 3 + 4") = Some 10L);
+  check Alcotest.bool "shift" true (Sema.const_eval (Parser.parse_expr "1 << 4") = Some 16L);
+  check Alcotest.bool "div by zero" true (Sema.const_eval (Parser.parse_expr "1 / 0") = None);
+  check Alcotest.bool "non-const" true (Sema.const_eval (Parser.parse_expr "x + 1") = None);
+  check Alcotest.bool "ternary" true (Sema.const_eval (Parser.parse_expr "1 ? 7 : 9") = Some 7L)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: lexer totality on printable strings, parser on generated exprs *)
+
+let gen_expr =
+  (* random arithmetic expression over a, b and literals *)
+  let open QCheck.Gen in
+  let rec expr n =
+    if n <= 0 then oneof [ return "a"; return "b"; map string_of_int (int_range 0 99) ]
+    else
+      oneof
+        [
+          (let* l = expr (n / 2) in
+           let* r = expr (n / 2) in
+           let* op = oneofl [ "+"; "-"; "*"; "/"; "&&"; "<"; "|" ] in
+           return (Printf.sprintf "(%s %s %s)" l op r));
+          expr 0;
+        ]
+  in
+  expr 4
+
+let prop_parser_roundtrip_structure =
+  QCheck.Test.make ~name:"generated expressions parse and reprint stably" ~count:300
+    (QCheck.make gen_expr)
+    (fun src ->
+      let e = Parser.parse_expr src in
+      let printed = Ast.expr_to_string e in
+      (* reparsing the printed form yields the same tree *)
+      Parser.parse_expr printed = e)
+
+let prop_lexer_never_loops =
+  QCheck.Test.make ~name:"lexer terminates on identifier soup" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 30) (QCheck.make Gen.(oneofl [ "x"; "42"; "+"; "("; ")"; "<"; "<<" ])))
+    (fun words ->
+      let src = String.concat " " words in
+      match Lexer.tokenize src with
+      | toks -> List.length toks >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "types: names" `Quick test_type_names;
+    Alcotest.test_case "types: bit widths" `Quick test_type_bits;
+    Alcotest.test_case "types: arithmetic conversions" `Quick test_arith_result;
+    Alcotest.test_case "types: address spaces" `Quick test_addr_space;
+    Alcotest.test_case "types: element types" `Quick test_elem;
+    Alcotest.test_case "lexer: operators" `Quick test_lex_operators;
+    Alcotest.test_case "lexer: numbers" `Quick test_lex_numbers;
+    Alcotest.test_case "lexer: comments" `Quick test_lex_comments;
+    Alcotest.test_case "lexer: unterminated comment" `Quick test_lex_unterminated_comment;
+    Alcotest.test_case "lexer: pragma" `Quick test_lex_pragma;
+    Alcotest.test_case "lexer: keywords and positions" `Quick test_lex_keywords;
+    Alcotest.test_case "lexer: bad character" `Quick test_lex_bad_char;
+    Alcotest.test_case "parser: precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser: unary" `Quick test_parse_unary;
+    Alcotest.test_case "parser: ternary" `Quick test_parse_ternary;
+    Alcotest.test_case "parser: cast" `Quick test_parse_cast;
+    Alcotest.test_case "parser: paren is not cast" `Quick test_parse_paren_not_cast;
+    Alcotest.test_case "parser: call and index" `Quick test_parse_call_and_index;
+    Alcotest.test_case "parser: multi-dim index" `Quick test_parse_multidim_index;
+    Alcotest.test_case "parser: minimal kernel" `Quick test_parse_minimal_kernel;
+    Alcotest.test_case "parser: parameter spaces" `Quick test_parse_param_spaces;
+    Alcotest.test_case "parser: const parameter" `Quick test_parse_const_param;
+    Alcotest.test_case "parser: reqd_work_group_size" `Quick test_parse_reqd_wg_size;
+    Alcotest.test_case "parser: work_item_pipeline pragma" `Quick
+      test_parse_wi_pipeline_pragma;
+    Alcotest.test_case "parser: loop pragmas" `Quick test_parse_loop_pragmas;
+    Alcotest.test_case "parser: barrier statement" `Quick test_parse_barrier_statement;
+    Alcotest.test_case "parser: local array decl" `Quick test_parse_local_decl;
+    Alcotest.test_case "parser: compound assignment" `Quick test_parse_compound_assign;
+    Alcotest.test_case "parser: increment forms" `Quick test_parse_increment_forms;
+    Alcotest.test_case "parser: if/else" `Quick test_parse_if_else;
+    Alcotest.test_case "parser: while" `Quick test_parse_while;
+    Alcotest.test_case "parser: multiple declarators" `Quick test_parse_multi_declarator;
+    Alcotest.test_case "parser: syntax errors" `Quick test_parse_errors;
+    Alcotest.test_case "parser: multiple kernels" `Quick test_parse_program_multiple;
+    Alcotest.test_case "parser: parse_kernel arity" `Quick test_parse_kernel_rejects_many;
+    Alcotest.test_case "builtins: lookup" `Quick test_builtin_lookup;
+    Alcotest.test_case "builtins: result types" `Quick test_builtin_result_types;
+    Alcotest.test_case "sema: array collection" `Quick test_sema_collects_arrays;
+    Alcotest.test_case "sema: barrier flag" `Quick test_sema_barrier_flag;
+    Alcotest.test_case "sema: loop statistics" `Quick test_sema_loop_stats;
+    Alcotest.test_case "sema: unknown variable" `Quick test_sema_unknown_var;
+    Alcotest.test_case "sema: unknown function" `Quick test_sema_unknown_function;
+    Alcotest.test_case "sema: over-subscripting" `Quick test_sema_too_many_subscripts;
+    Alcotest.test_case "sema: const assignment" `Quick test_sema_const_assignment;
+    Alcotest.test_case "sema: bitwise float" `Quick test_sema_bitwise_float;
+    Alcotest.test_case "sema: float modulo" `Quick test_sema_mod_float;
+    Alcotest.test_case "sema: builtin arity" `Quick test_sema_arity;
+    Alcotest.test_case "sema: conflicting redeclaration" `Quick
+      test_sema_redeclare_conflicting;
+    Alcotest.test_case "sema: type_of" `Quick test_sema_type_of;
+    Alcotest.test_case "sema: const_eval" `Quick test_const_eval;
+    QCheck_alcotest.to_alcotest prop_parser_roundtrip_structure;
+    QCheck_alcotest.to_alcotest prop_lexer_never_loops;
+  ]

@@ -1,0 +1,270 @@
+(* Scheduler tests: list scheduling and modulo scheduling (MII/SMS). *)
+
+open Flexcl_ir
+module Listsched = Flexcl_sched.Listsched
+module Sms = Flexcl_sched.Sms
+
+let check = Alcotest.check
+
+(* latency table used by the hand-built tests *)
+let lat (op : Opcode.t) =
+  match op with
+  | Opcode.Float_add -> 7
+  | Opcode.Float_mul -> 5
+  | Opcode.Load Opcode.Local_mem -> 2
+  | Opcode.Store Opcode.Local_mem -> 1
+  | Opcode.Int_alu -> 1
+  | Opcode.Live_in | Opcode.Const_op | Opcode.Wi_query -> 0
+  | _ -> 3
+
+let dsp (op : Opcode.t) =
+  match op with Opcode.Float_mul -> 3 | Opcode.Float_add -> 2 | _ -> 0
+
+(* chain: load -> mul -> add -> store *)
+let chain_block () =
+  let b = Dfg.builder () in
+  let ld = Dfg.add_node b ~array:"t" (Opcode.Load Opcode.Local_mem) in
+  let mul = Dfg.add_node b Opcode.Float_mul in
+  let add = Dfg.add_node b Opcode.Float_add in
+  let st = Dfg.add_node b ~array:"t" (Opcode.Store Opcode.Local_mem) in
+  Dfg.add_dep b ld mul;
+  Dfg.add_dep b mul add;
+  Dfg.add_dep b add st;
+  Dfg.freeze b
+
+let test_list_chain_latency () =
+  let s =
+    Listsched.schedule_block (chain_block ()) ~lat ~dsp_cost:dsp
+      ~cons:Listsched.unconstrained
+  in
+  (* 2 + 5 + 7 + 1 = 15 *)
+  check Alcotest.int "chain" 15 s.Listsched.latency
+
+let test_list_empty_block () =
+  let s =
+    Listsched.schedule_block Dfg.empty ~lat ~dsp_cost:dsp
+      ~cons:Listsched.unconstrained
+  in
+  check Alcotest.int "empty" 0 s.Listsched.latency
+
+let test_list_parallel_ops () =
+  (* two independent adds: same latency as one when unconstrained *)
+  let b = Dfg.builder () in
+  ignore (Dfg.add_node b Opcode.Float_add);
+  ignore (Dfg.add_node b Opcode.Float_add);
+  let s =
+    Listsched.schedule_block (Dfg.freeze b) ~lat ~dsp_cost:dsp
+      ~cons:Listsched.unconstrained
+  in
+  check Alcotest.int "parallel adds" 7 s.Listsched.latency
+
+let test_list_port_serialization () =
+  (* 4 independent local loads with 2 read ports: 2 issue cycles *)
+  let b = Dfg.builder () in
+  for _ = 1 to 4 do
+    ignore (Dfg.add_node b ~array:"t" (Opcode.Load Opcode.Local_mem))
+  done;
+  let cons = { Listsched.read_ports = 2; write_ports = 2; dsp = max_int } in
+  let s = Listsched.schedule_block (Dfg.freeze b) ~lat ~dsp_cost:dsp ~cons in
+  (* second pair issues at cycle 1, finishes at 3 *)
+  check Alcotest.int "port limited" 3 s.Listsched.latency
+
+let test_list_dsp_serialization () =
+  (* 3 independent fmuls, 3 DSP slots each, only 3 DSPs per cycle *)
+  let b = Dfg.builder () in
+  for _ = 1 to 3 do
+    ignore (Dfg.add_node b Opcode.Float_mul)
+  done;
+  let cons = { Listsched.read_ports = max_int; write_ports = max_int; dsp = 3 } in
+  let s = Listsched.schedule_block (Dfg.freeze b) ~lat ~dsp_cost:dsp ~cons in
+  (* one mul per cycle: issues at 0,1,2, finishes at 5,6,7 *)
+  check Alcotest.int "dsp limited" 7 s.Listsched.latency
+
+let test_list_respects_deps () =
+  let d = chain_block () in
+  let s = Listsched.schedule_block d ~lat ~dsp_cost:dsp ~cons:Listsched.unconstrained in
+  Flexcl_util.Graph.succs (Dfg.graph d) 0
+  |> List.iter (fun (v, _) ->
+         check Alcotest.bool "consumer after producer" true
+           (s.Listsched.start.(v) >= s.Listsched.finish.(0)))
+
+let test_list_impossible_constraint () =
+  let b = Dfg.builder () in
+  ignore (Dfg.add_node b Opcode.Float_mul);
+  let cons = { Listsched.read_ports = 1; write_ports = 1; dsp = 1 } in
+  Alcotest.check_raises "op exceeds dsp"
+    (Invalid_argument "Listsched: op exceeds resource constraints") (fun () ->
+      ignore (Listsched.schedule_block (Dfg.freeze b) ~lat ~dsp_cost:dsp ~cons))
+
+let test_critical_path () =
+  check Alcotest.int "matches unconstrained schedule" 15
+    (Listsched.critical_path (chain_block ()) ~lat)
+
+let test_zero_latency_chains () =
+  (* live_in -> alu: live-in is combinational *)
+  let b = Dfg.builder () in
+  let li = Dfg.live_in b "x" in
+  let alu = Dfg.add_node b Opcode.Int_alu in
+  Dfg.add_dep b li alu;
+  let s =
+    Listsched.schedule_block (Dfg.freeze b) ~lat ~dsp_cost:dsp
+      ~cons:Listsched.unconstrained
+  in
+  check Alcotest.int "no extra cycle" 1 s.Listsched.latency
+
+(* ------------------------------------------------------------------ *)
+(* Sms *)
+
+let simple_problem ?(deps = []) lats usages =
+  { Sms.lat = Array.of_list lats; usage = Array.of_list usages; deps }
+
+let u ?(r = 0) ?(w = 0) ?(d = 0) () = { Sms.reads = r; writes = w; dsps = d }
+
+let test_res_mii () =
+  let p =
+    simple_problem [ 1; 1; 1; 1 ]
+      [ u ~r:1 (); u ~r:1 (); u ~r:1 (); u ~w:1 () ]
+  in
+  let limits = { Sms.read_ports = 2; write_ports = 1; dsp_slots = max_int } in
+  (* 3 reads / 2 ports -> 2; 1 write / 1 port -> 1 *)
+  check Alcotest.int "res mii" 2 (Sms.res_mii p limits)
+
+let test_res_mii_dsp () =
+  let p = simple_problem [ 1; 1 ] [ u ~d:3 (); u ~d:3 () ] in
+  let limits = { Sms.read_ports = max_int; write_ports = max_int; dsp_slots = 4 } in
+  check Alcotest.int "dsp mii" 2 (Sms.res_mii p limits)
+
+let test_rec_mii () =
+  (* cycle of two nodes, latencies 7 and 3, distance 1 -> 10 *)
+  let p = simple_problem ~deps:[ (0, 1, 0); (1, 0, 1) ] [ 7; 3 ] [ u (); u () ] in
+  check Alcotest.int "rec mii" 10 (Sms.rec_mii p)
+
+let test_rec_mii_distance_2 () =
+  let p = simple_problem ~deps:[ (0, 1, 0); (1, 0, 2) ] [ 7; 3 ] [ u (); u () ] in
+  check Alcotest.int "rec mii /2" 5 (Sms.rec_mii p)
+
+let test_rec_mii_acyclic () =
+  let p = simple_problem ~deps:[ (0, 1, 0) ] [ 7; 3 ] [ u (); u () ] in
+  check Alcotest.int "no recurrence" 1 (Sms.rec_mii p)
+
+let test_mii_combines () =
+  let p =
+    simple_problem ~deps:[ (0, 1, 0); (1, 0, 1) ] [ 2; 1 ] [ u ~r:1 (); u ~r:1 () ]
+  in
+  let limits = { Sms.read_ports = 1; write_ports = 1; dsp_slots = max_int } in
+  (* RecMII = 3, ResMII = 2 -> 3 *)
+  check Alcotest.int "max of both" 3 (Sms.mii p limits)
+
+let test_schedule_achieves_mii () =
+  let p =
+    simple_problem
+      ~deps:[ (0, 1, 0); (1, 2, 0) ]
+      [ 2; 2; 2 ]
+      [ u ~r:1 (); u (); u ~w:1 () ]
+  in
+  let limits = { Sms.read_ports = 1; write_ports = 1; dsp_slots = max_int } in
+  let r = Sms.schedule p limits in
+  check Alcotest.int "ii = mii" (Sms.mii p limits) r.Sms.ii;
+  check Alcotest.int "depth is makespan" 6 r.Sms.depth
+
+let test_schedule_respects_deps () =
+  let p =
+    simple_problem ~deps:[ (0, 1, 0); (1, 2, 0); (2, 0, 1) ] [ 3; 3; 3 ]
+      [ u (); u (); u () ]
+  in
+  let r = Sms.schedule p Sms.unlimited in
+  check Alcotest.bool "deps hold" true
+    (List.for_all
+       (fun (a, b, dist) ->
+         r.Sms.start.(b) >= r.Sms.start.(a) + p.Sms.lat.(a) - (r.Sms.ii * dist))
+       p.Sms.deps)
+
+let test_schedule_modulo_resources () =
+  (* 4 loads, 2 ports, no deps: II 2, and no modulo slot may host > 2 *)
+  let p =
+    simple_problem [ 2; 2; 2; 2 ] [ u ~r:1 (); u ~r:1 (); u ~r:1 (); u ~r:1 () ]
+  in
+  let limits = { Sms.read_ports = 2; write_ports = 2; dsp_slots = max_int } in
+  let r = Sms.schedule p limits in
+  check Alcotest.int "ii 2" 2 r.Sms.ii;
+  let slot_counts = Array.make r.Sms.ii 0 in
+  Array.iter
+    (fun s -> slot_counts.(s mod r.Sms.ii) <- slot_counts.(s mod r.Sms.ii) + 1)
+    r.Sms.start;
+  Array.iter (fun c -> check Alcotest.bool "slot within ports" true (c <= 2)) slot_counts
+
+let test_schedule_empty () =
+  let r = Sms.schedule (simple_problem [] []) Sms.unlimited in
+  check Alcotest.int "empty ii" 1 r.Sms.ii;
+  check Alcotest.int "empty depth" 0 r.Sms.depth
+
+let test_schedule_figure3 () =
+  (* The paper's Figure 3: inter work-item dependency yielding II = 2
+     with pipeline depth 6. Modeled as: load(2) -> add(3) -> store(1)
+     with a distance-2 recurrence store -> load. *)
+  let p =
+    simple_problem
+      ~deps:[ (0, 1, 0); (1, 2, 0); (2, 0, 2) ]
+      [ 2; 3; 1 ]
+      [ u ~r:1 (); u (); u ~w:1 () ]
+  in
+  let r = Sms.schedule p Sms.unlimited in
+  check Alcotest.int "II = ceil(6/2) = 3" 3 r.Sms.ii;
+  check Alcotest.int "depth 6" 6 r.Sms.depth
+
+(* qcheck: for random DAG problems the schedule always verifies *)
+let prop_sms_valid =
+  QCheck.Test.make ~name:"modulo schedule satisfies every constraint" ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 0 12) (triple small_nat small_nat (int_range 0 2))))
+    (fun (n, rawdeps) ->
+      let lats = Array.init n (fun i -> 1 + (i mod 5)) in
+      let usages =
+        Array.init n (fun i -> { Sms.reads = i mod 2; writes = 0; dsps = 0 })
+      in
+      let deps =
+        List.filter_map
+          (fun (a, b, d) ->
+            let a = a mod n and b = b mod n in
+            if a < b then Some (a, b, 0)
+            else if b < a && d > 0 then Some (a, b, d) (* back edge with distance *)
+            else None)
+          rawdeps
+      in
+      let p = { Sms.lat = lats; usage = usages; deps } in
+      let limits = { Sms.read_ports = 1; write_ports = 1; dsp_slots = max_int } in
+      match Sms.schedule p limits with
+      | r ->
+          r.Sms.ii >= Sms.mii p limits
+          && List.for_all
+               (fun (a, b, dist) ->
+                 r.Sms.start.(b) >= r.Sms.start.(a) + p.Sms.lat.(a) - (r.Sms.ii * dist))
+               deps
+      | exception Invalid_argument _ -> true (* zero-distance cycle in input *))
+
+let suite =
+  [
+    Alcotest.test_case "list: chain latency" `Quick test_list_chain_latency;
+    Alcotest.test_case "list: empty block" `Quick test_list_empty_block;
+    Alcotest.test_case "list: parallel ops" `Quick test_list_parallel_ops;
+    Alcotest.test_case "list: port serialization" `Quick test_list_port_serialization;
+    Alcotest.test_case "list: dsp serialization" `Quick test_list_dsp_serialization;
+    Alcotest.test_case "list: dependence order" `Quick test_list_respects_deps;
+    Alcotest.test_case "list: impossible constraint" `Quick test_list_impossible_constraint;
+    Alcotest.test_case "list: critical path" `Quick test_critical_path;
+    Alcotest.test_case "list: zero-latency chaining" `Quick test_zero_latency_chains;
+    Alcotest.test_case "sms: resource mii (ports)" `Quick test_res_mii;
+    Alcotest.test_case "sms: resource mii (dsp)" `Quick test_res_mii_dsp;
+    Alcotest.test_case "sms: recurrence mii" `Quick test_rec_mii;
+    Alcotest.test_case "sms: recurrence distance 2" `Quick test_rec_mii_distance_2;
+    Alcotest.test_case "sms: acyclic rec mii" `Quick test_rec_mii_acyclic;
+    Alcotest.test_case "sms: mii combines" `Quick test_mii_combines;
+    Alcotest.test_case "sms: achieves mii" `Quick test_schedule_achieves_mii;
+    Alcotest.test_case "sms: respects dependences" `Quick test_schedule_respects_deps;
+    Alcotest.test_case "sms: modulo reservation table" `Quick
+      test_schedule_modulo_resources;
+    Alcotest.test_case "sms: empty problem" `Quick test_schedule_empty;
+    Alcotest.test_case "sms: figure 3 example" `Quick test_schedule_figure3;
+    QCheck_alcotest.to_alcotest prop_sms_valid;
+  ]

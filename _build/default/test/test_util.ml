@@ -1,0 +1,333 @@
+(* Unit and property tests for Flexcl_util: PRNG, statistics, tables and
+   the graph algorithms the schedulers build on. *)
+
+module Prng = Flexcl_util.Prng
+module Stats = Flexcl_util.Stats
+module Table = Flexcl_util.Table
+module Graph = Flexcl_util.Graph
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check Alcotest.bool "different seeds diverge"
+    true
+    (List.exists
+       (fun _ -> Prng.next_int64 a <> Prng.next_int64 b)
+       (List.init 4 Fun.id))
+
+let test_prng_int_range () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let r = Prng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_float_range () =
+  let r = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create 11 in
+  let child = Prng.split parent in
+  let a = Prng.next_int64 parent and b = Prng.next_int64 child in
+  check Alcotest.bool "split streams differ" true (a <> b)
+
+let test_prng_copy_preserves () =
+  let a = Prng.create 13 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_gaussian_moments () =
+  let r = Prng.create 17 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Prng.gaussian r ~mu:5.0 ~sigma:2.0) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  check (Alcotest.float 0.1) "mean" 5.0 mean;
+  check (Alcotest.float 0.1) "sigma" 2.0 sd
+
+let test_prng_shuffle_permutes () =
+  let r = Prng.create 19 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_hash_mix_nonnegative () =
+  for a = -5 to 5 do
+    for b = -5 to 5 do
+      if Prng.hash_mix a b < 0 then Alcotest.fail "negative hash"
+    done
+  done
+
+let test_hash_mix_stable () =
+  check Alcotest.int "deterministic" (Prng.hash_mix 42 7) (Prng.hash_mix 42 7)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Stats.mean [])
+
+let test_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ])
+
+let test_stddev () =
+  check (Alcotest.float 1e-9) "constant list" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0 ]);
+  check (Alcotest.float 1e-6) "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_median_even_odd () =
+  check (Alcotest.float 1e-9) "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_percentile_bounds () =
+  let xs = [ 10.0; 20.0; 30.0 ] in
+  check (Alcotest.float 1e-9) "p0" 10.0 (Stats.percentile 0.0 xs);
+  check (Alcotest.float 1e-9) "p100" 30.0 (Stats.percentile 100.0 xs);
+  check (Alcotest.float 1e-9) "p50" 20.0 (Stats.percentile 50.0 xs)
+
+let test_abs_pct_error () =
+  check (Alcotest.float 1e-9) "10% high" 10.0
+    (Stats.abs_pct_error ~actual:100.0 ~predicted:110.0);
+  check (Alcotest.float 1e-9) "10% low" 10.0
+    (Stats.abs_pct_error ~actual:100.0 ~predicted:90.0)
+
+let test_correlation_perfect () =
+  let pairs = List.init 10 (fun i -> (float_of_int i, float_of_int (2 * i))) in
+  check (Alcotest.float 1e-6) "r=1" 1.0 (Stats.correlation pairs)
+
+let test_correlation_anticorrelated () =
+  let pairs = List.init 10 (fun i -> (float_of_int i, float_of_int (-i))) in
+  check (Alcotest.float 1e-6) "r=-1" (-1.0) (Stats.correlation pairs)
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  check (Alcotest.float 1e-9) "lo" (-1.0) lo;
+  check (Alcotest.float 1e-9) "hi" 7.0 hi
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy" ];
+  let s = Table.render t in
+  check Alcotest.bool "contains header" true
+    (Thelpers.contains s "name" && Thelpers.contains s "value");
+  check Alcotest.bool "pads short rows" true (Thelpers.contains s "yy")
+
+and test_table_too_many_cells () =
+  let t = Table.create ~headers:[ "one" ] in
+  Alcotest.check_raises "overflow row"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "a"; "b" ])
+
+let test_fmt_float () =
+  check Alcotest.string "one decimal" "3.1" (Table.fmt_float 3.14159);
+  check Alcotest.string "three decimals" "3.142" (Table.fmt_float ~decimals:3 3.14159)
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 1 3;
+  Graph.add_edge g 2 3;
+  g
+
+let test_topo_sort_dag () =
+  match Graph.topo_sort (diamond ()) with
+  | None -> Alcotest.fail "diamond is a DAG"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i u -> pos.(u) <- i) order;
+      check Alcotest.bool "0 before 3" true (pos.(0) < pos.(3));
+      check Alcotest.bool "1 before 3" true (pos.(1) < pos.(3))
+
+let test_topo_sort_cycle () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  check Alcotest.bool "cycle detected" true (Graph.topo_sort g = None)
+
+let test_longest_paths () =
+  let g = diamond () in
+  let d = Graph.longest_paths g ~source_weight:(fun u -> if u = 1 then 5 else 1) in
+  (* path 0 -> 1 -> 3 has weight 1 + 5 + 1 = 7 *)
+  check Alcotest.int "sink distance" 7 d.(3)
+
+let test_longest_paths_cyclic_rejected () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Alcotest.check_raises "cyclic"
+    (Invalid_argument "Graph.longest_paths: graph is cyclic") (fun () ->
+      ignore (Graph.longest_paths g ~source_weight:(fun _ -> 1)))
+
+let test_sccs () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 2 3;
+  let comps = Graph.sccs g |> List.map (List.sort compare) in
+  check Alcotest.bool "0-1 component" true (List.mem [ 0; 1 ] comps);
+  check Alcotest.bool "singletons" true (List.mem [ 2 ] comps && List.mem [ 3 ] comps)
+
+let test_self_loop () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 0;
+  check Alcotest.bool "self" true (Graph.has_self_loop g 0);
+  check Alcotest.bool "no self" false (Graph.has_self_loop g 1)
+
+let test_max_cycle_ratio_acyclic () =
+  check Alcotest.int "acyclic -> 0" 0
+    (Graph.max_cycle_ratio (diamond ()) ~cost:(fun _ -> 3))
+
+let test_max_cycle_ratio_simple () =
+  (* cycle 0 -> 1 -> 0 with total cost 10 and total distance 2: MII 5 *)
+  let g = Graph.create 2 in
+  Graph.add_edge ~weight:1 g 0 1;
+  Graph.add_edge ~weight:1 g 1 0;
+  check Alcotest.int "cycle ratio" 5 (Graph.max_cycle_ratio g ~cost:(fun _ -> 5))
+
+let test_max_cycle_ratio_self_loop () =
+  (* self-loop cost 7 distance 2: ceil(7/2) = 4 *)
+  let g = Graph.create 1 in
+  Graph.add_edge ~weight:2 g 0 0;
+  check Alcotest.int "self loop" 4 (Graph.max_cycle_ratio g ~cost:(fun _ -> 7))
+
+let test_max_cycle_ratio_zero_distance () =
+  let g = Graph.create 2 in
+  Graph.add_edge ~weight:0 g 0 1;
+  Graph.add_edge ~weight:0 g 1 0;
+  Alcotest.check_raises "unschedulable"
+    (Invalid_argument "Graph.max_cycle_ratio: zero-distance recurrence cycle")
+    (fun () -> ignore (Graph.max_cycle_ratio g ~cost:(fun _ -> 1)))
+
+let test_max_cycle_ratio_picks_max () =
+  (* two cycles: (0,1) ratio 10/2 = 5, (2) self ratio 3/1 = 3 -> 5 *)
+  let g = Graph.create 3 in
+  Graph.add_edge ~weight:1 g 0 1;
+  Graph.add_edge ~weight:1 g 1 0;
+  Graph.add_edge ~weight:1 g 2 2;
+  check Alcotest.int "max of cycles" 5
+    (Graph.max_cycle_ratio g ~cost:(fun u -> if u = 2 then 3 else 5))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"prng int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Prng.create seed in
+      let v = Prng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 100.0))
+    (fun xs ->
+      Stats.percentile 25.0 xs <= Stats.percentile 75.0 xs)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topological order respects random DAG edges" ~count:200
+    QCheck.(pair (int_range 2 15) (list_of_size Gen.(int_range 0 30) (pair small_nat small_nat)))
+    (fun (n, raw) ->
+      let g = Graph.create n in
+      (* orient all edges from lower to higher id: always a DAG *)
+      List.iter
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          if a < b then Graph.add_edge g a b
+          else if b < a then Graph.add_edge g b a)
+        raw;
+      match Graph.topo_sort g with
+      | None -> false
+      | Some order ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i u -> pos.(u) <- i) order;
+          List.for_all
+            (fun u ->
+              List.for_all (fun (v, _) -> pos.(u) < pos.(v)) (Graph.succs g u))
+            (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "prng: deterministic streams" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng: seeds differ" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng: int range" `Quick test_prng_int_range;
+    Alcotest.test_case "prng: int rejects <= 0" `Quick test_prng_int_rejects_nonpositive;
+    Alcotest.test_case "prng: float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng: split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng: copy preserves state" `Quick test_prng_copy_preserves;
+    Alcotest.test_case "prng: gaussian moments" `Quick test_prng_gaussian_moments;
+    Alcotest.test_case "prng: shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng: hash_mix nonnegative" `Quick test_hash_mix_nonnegative;
+    Alcotest.test_case "prng: hash_mix stable" `Quick test_hash_mix_stable;
+    Alcotest.test_case "stats: mean" `Quick test_mean;
+    Alcotest.test_case "stats: geomean" `Quick test_geomean;
+    Alcotest.test_case "stats: stddev" `Quick test_stddev;
+    Alcotest.test_case "stats: median" `Quick test_median_even_odd;
+    Alcotest.test_case "stats: percentile bounds" `Quick test_percentile_bounds;
+    Alcotest.test_case "stats: abs pct error" `Quick test_abs_pct_error;
+    Alcotest.test_case "stats: perfect correlation" `Quick test_correlation_perfect;
+    Alcotest.test_case "stats: anticorrelation" `Quick test_correlation_anticorrelated;
+    Alcotest.test_case "stats: min max" `Quick test_min_max;
+    Alcotest.test_case "table: render" `Quick test_table_render;
+    Alcotest.test_case "table: too many cells" `Quick test_table_too_many_cells;
+    Alcotest.test_case "table: float formatting" `Quick test_fmt_float;
+    Alcotest.test_case "graph: topo sort DAG" `Quick test_topo_sort_dag;
+    Alcotest.test_case "graph: topo sort cycle" `Quick test_topo_sort_cycle;
+    Alcotest.test_case "graph: longest paths" `Quick test_longest_paths;
+    Alcotest.test_case "graph: longest paths rejects cycles" `Quick
+      test_longest_paths_cyclic_rejected;
+    Alcotest.test_case "graph: sccs" `Quick test_sccs;
+    Alcotest.test_case "graph: self loops" `Quick test_self_loop;
+    Alcotest.test_case "graph: cycle ratio acyclic" `Quick test_max_cycle_ratio_acyclic;
+    Alcotest.test_case "graph: cycle ratio simple" `Quick test_max_cycle_ratio_simple;
+    Alcotest.test_case "graph: cycle ratio self loop" `Quick
+      test_max_cycle_ratio_self_loop;
+    Alcotest.test_case "graph: cycle ratio zero distance" `Quick
+      test_max_cycle_ratio_zero_distance;
+    Alcotest.test_case "graph: cycle ratio max" `Quick test_max_cycle_ratio_picks_max;
+    QCheck_alcotest.to_alcotest prop_prng_int_in_range;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+    QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+  ]

@@ -1,0 +1,43 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else
+    let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+    at 0
+
+let virtex7 = Flexcl_device.Device.virtex7
+let ku060 = Flexcl_device.Device.ku060
+
+(* A moderate kernel exercising loops, local memory, barrier and floats. *)
+let sample_kernel_src =
+  {|
+__kernel void sample(__global const float* a, __global const float* b,
+                     __global float* c, int n) {
+  __local float tile[256];
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  tile[lid] = a[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float sum = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    sum += tile[lid] * b[gid] + (float)k;
+  }
+  c[gid] = sum;
+}
+|}
+
+let sample_launch =
+  let module L = Flexcl_ir.Launch in
+  L.make ~global:(L.dim3 1024) ~local:(L.dim3 64)
+    ~args:
+      [
+        ("a", L.Buffer { length = 1024; init = L.Random_floats 1 });
+        ("b", L.Buffer { length = 1024; init = L.Random_floats 2 });
+        ("c", L.Buffer { length = 1024; init = L.Zeros });
+        ("n", L.Scalar (L.Int 1024L));
+      ]
+
+let sample_analysis () =
+  Flexcl_core.Analysis.of_source sample_kernel_src sample_launch
