@@ -1,0 +1,31 @@
+.PHONY: all build test check smoke bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full verification: build everything, run the test suite (which includes
+# the fault-injection harness in test/test_robustness.ml), then smoke-test
+# the CLI's diagnostic path on a deliberately broken kernel (must exit 1,
+# not crash).
+check: build test smoke
+
+smoke:
+	@tmp=$$(mktemp --suffix=.cl); \
+	printf '__kernel void f(__global float* a) {\n  int x = ;\n  a[0] = 1.0f\n}\n' > $$tmp; \
+	dune exec --no-build bin/flexcl_cli.exe -- analyze --kernel $$tmp; \
+	status=$$?; rm -f $$tmp; \
+	if [ $$status -ne 1 ]; then \
+	  echo "smoke: expected exit 1 on broken kernel, got $$status"; exit 1; \
+	fi; \
+	echo "smoke: broken-kernel diagnostics OK (exit 1)"
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

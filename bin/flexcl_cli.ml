@@ -22,7 +22,31 @@ module Heuristic = Flexcl_dse.Heuristic
 module Sysrun = Flexcl_simrtl.Sysrun
 module W = Flexcl_workloads.Workload
 module Table = Flexcl_util.Table
+module Diag = Flexcl_util.Diag
 open Flexcl_opencl
+
+(* Exit codes (documented in README "Error handling"): 0 success,
+   1 input error (bad kernel/launch/design point), 2 usage error,
+   3 internal error. *)
+let exit_input_error = 1
+let exit_usage_error = 2
+let exit_internal_error = 3
+
+let print_diags ?source diags =
+  prerr_endline (Diag.render_all ?source diags)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+(* Last line of defense: a subcommand must never escape with an
+   exception — report it as an internal diagnostic and exit 3. *)
+let guarded f =
+  try f () with
+  | exn ->
+      print_diags [ Analysis.diag_of_exn exn ];
+      exit_internal_error
 
 let all_workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all
 
@@ -44,7 +68,9 @@ let device_arg =
 let kernel_file =
   Arg.(
     value
-    & opt (some non_dir_file) None
+    (* a plain string, not [non_dir_file]: unreadable files are reported
+       through the E-IO diagnostic path with exit code 1 *)
+    & opt (some string) None
     & info [ "kernel"; "k" ] ~docv:"FILE" ~doc:"OpenCL kernel source file.")
 
 let workload_name =
@@ -119,49 +145,69 @@ let launch_for_file kernel ~global ~wg ~buffer_size ~ints ~floats =
             (name, L.Scalar (L.Int (Int64.of_int v))))
       kernel.Ast.k_params
   in
-  L.make ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
+  L.make_result ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
 
+(* [resolve] outcomes: [`Usage] is caller misuse (exit 2), [`Input]
+   carries diagnostics (and the source text for caret context, when
+   available; exit 1). *)
 let resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats =
   match (file, workload) with
-  | Some _, Some _ -> Error "--kernel and --workload are mutually exclusive"
-  | None, None -> Error "one of --kernel FILE or --workload NAME is required"
+  | Some _, Some _ -> `Usage "--kernel and --workload are mutually exclusive"
+  | None, None -> `Usage "one of --kernel FILE or --workload NAME is required"
   | Some f, None -> (
-      let src =
-        let ic = open_in f in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
-      in
-      match Parser.parse_kernel src with
-      | k -> Ok (f, k, launch_for_file k ~global ~wg ~buffer_size ~ints ~floats)
-      | exception Parser.Error (msg, line, col) ->
-          Error (Printf.sprintf "%s:%d:%d: %s" f line col msg)
-      | exception Lexer.Error (msg, line, col) ->
-          Error (Printf.sprintf "%s:%d:%d: %s" f line col msg))
+      match In_channel.with_open_bin f In_channel.input_all with
+      | exception Sys_error msg ->
+          (* OCaml's [Sys_error] sometimes omits the path (e.g. "Is a
+             directory" when reading a directory): tag it back on *)
+          let d = Diag.make Diag.Io_error msg in
+          let d = if contains msg f then d else Diag.with_file f d in
+          `Input ([ d ], None)
+      | src -> (
+          match Parser.parse_program_partial src with
+          | _, (_ :: _ as diags) ->
+              `Input (List.map (Diag.with_file f) diags, Some src)
+          | [ k ], [] -> (
+              match launch_for_file k ~global ~wg ~buffer_size ~ints ~floats with
+              | Ok launch -> `Ok (f, src, k, launch)
+              | Error problems ->
+                  `Input
+                    ( List.map
+                        (fun p -> Diag.error Diag.Launch_invalid "%s" p)
+                        problems,
+                      None ))
+          | ks, [] ->
+              `Input
+                ( [
+                    Diag.error ~file:f Diag.Parse_error
+                      "expected exactly one kernel, found %d" (List.length ks);
+                  ],
+                  Some src )))
   | None, Some name -> (
       match List.find_opt (fun w -> W.name w = name) all_workloads with
-      | Some w -> Ok (name, W.parse w, w.W.launch)
+      | Some w -> `Ok (name, w.W.source, W.parse w, w.W.launch)
       | None ->
-          Error
-            (Printf.sprintf "unknown workload %S (try 'flexcl workloads')" name))
+          `Input
+            ( [
+                Diag.error Diag.Io_error
+                  "unknown workload %S (try 'flexcl workloads')" name;
+              ],
+              None ))
 
 let with_kernel file workload global wg buffer_size ints floats f =
-  match
-    resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats
-  with
-  | Error msg ->
-      prerr_endline ("flexcl: " ^ msg);
-      1
-  | Ok (name, kernel, launch) -> (
-      match Analysis.analyze kernel launch with
-      | a -> f name a
-      | exception Sema.Error msg ->
-          Printf.eprintf "flexcl: %s: semantic error: %s\n" name msg;
-          1
-      | exception Flexcl_interp.Interp.Runtime_error msg ->
-          Printf.eprintf "flexcl: %s: profiling failed: %s\n" name msg;
-          1)
+  guarded (fun () ->
+      match resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats with
+      | `Usage msg ->
+          prerr_endline ("flexcl: " ^ msg);
+          exit_usage_error
+      | `Input (diags, source) ->
+          print_diags ?source diags;
+          exit_input_error
+      | `Ok (name, source, kernel, launch) -> (
+          match Analysis.analyze_result kernel launch with
+          | Error diags ->
+              print_diags ~source (List.map (Diag.with_file name) diags);
+              exit_input_error
+          | Ok a -> f name a))
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
@@ -196,14 +242,22 @@ let analyze_cmd =
             wi_pipeline = pipe; comm_mode = mode }
         in
         if not (Model.feasible dev a cfg) then begin
-          Printf.eprintf "flexcl: design point %s exceeds %s resources\n"
-            (Config.to_string cfg) dev.Device.name;
-          1
+          print_diags
+            [
+              Diag.error Diag.Config_invalid
+                "design point %s exceeds %s resources" (Config.to_string cfg)
+                dev.Device.name;
+            ];
+          exit_input_error
         end
-        else begin
-          print_breakdown dev name cfg (Model.estimate dev a cfg);
-          0
-        end)
+        else
+          match Model.estimate_result dev a cfg with
+          | Error d ->
+              print_diags [ d ];
+              exit_input_error
+          | Ok b ->
+              print_breakdown dev name cfg b;
+              0)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Estimate a kernel's performance analytically.")
@@ -222,16 +276,25 @@ let simulate_cmd =
           { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
             wi_pipeline = pipe; comm_mode = mode }
         in
-        let b = Model.estimate dev a cfg in
-        let s = Sysrun.run dev a cfg in
-        Printf.printf "kernel    : %s on %s (%s)\n" name dev.Device.name
-          (Config.to_string cfg);
-        Printf.printf "model     : %.0f cycles\n" b.Model.cycles;
-        Printf.printf "simulator : %.0f cycles (%d DRAM transactions)\n"
-          s.Sysrun.cycles s.Sysrun.mem_transactions;
-        Printf.printf "error     : %.1f%%\n"
-          (100.0 *. Float.abs (b.Model.cycles -. s.Sysrun.cycles) /. s.Sysrun.cycles);
-        0)
+        match Model.estimate_result dev a cfg with
+        | Error d ->
+            print_diags [ d ];
+            exit_input_error
+        | Ok b ->
+            let s = Sysrun.run dev a cfg in
+            Printf.printf "kernel    : %s on %s (%s)\n" name dev.Device.name
+              (Config.to_string cfg);
+            Printf.printf "model     : %.0f cycles\n" b.Model.cycles;
+            Printf.printf "simulator : %.0f cycles (%d DRAM transactions)\n"
+              s.Sysrun.cycles s.Sysrun.mem_transactions;
+            if s.Sysrun.cycles = 0.0 then
+              Printf.printf "error     : n/a (simulator reported 0 cycles)\n"
+            else
+              Printf.printf "error     : %.1f%%\n"
+                (100.0
+                *. Float.abs (b.Model.cycles -. s.Sysrun.cycles)
+                /. s.Sysrun.cycles);
+            0)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -254,25 +317,38 @@ let explore_cmd =
           Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)
         in
         let ranked = Explore.exhaustive dev a space (Explore.model_oracle dev) in
-        Printf.printf "%s: %d feasible design points\n\n" name (List.length ranked);
-        let t = Table.create ~headers:[ "rank"; "configuration"; "cycles"; "us" ] in
-        List.iteri
-          (fun i (e : Explore.evaluated) ->
-            if i < top then
-              Table.add_row t
-                [
-                  string_of_int (i + 1);
-                  Config.to_string e.Explore.config;
-                  Printf.sprintf "%.0f" e.Explore.cycles;
-                  Printf.sprintf "%.2f"
-                    (Device.cycles_to_seconds dev e.Explore.cycles *. 1e6);
-                ])
-          ranked;
-        print_string (Table.render t);
-        let greedy = Heuristic.search dev a space (Explore.model_oracle dev) in
-        Printf.printf "\ngreedy heuristic [16] would pick %s (%.0f cycles)\n"
-          (Config.to_string greedy.Explore.config) greedy.Explore.cycles;
-        0)
+        if ranked = [] then begin
+          print_diags [ Explore.empty_space_diag ];
+          exit_input_error
+        end
+        else begin
+          Printf.printf "%s: %d feasible design points\n\n" name
+            (List.length ranked);
+          let t =
+            Table.create ~headers:[ "rank"; "configuration"; "cycles"; "us" ]
+          in
+          List.iteri
+            (fun i (e : Explore.evaluated) ->
+              if i < top then
+                Table.add_row t
+                  [
+                    string_of_int (i + 1);
+                    Config.to_string e.Explore.config;
+                    Printf.sprintf "%.0f" e.Explore.cycles;
+                    Printf.sprintf "%.2f"
+                      (Device.cycles_to_seconds dev e.Explore.cycles *. 1e6);
+                  ])
+            ranked;
+          print_string (Table.render t);
+          (match Heuristic.search_result dev a space (Explore.model_oracle dev) with
+          | Ok greedy ->
+              Printf.printf "\ngreedy heuristic [16] would pick %s (%.0f cycles)\n"
+                (Config.to_string greedy.Explore.config) greedy.Explore.cycles
+          | Error d ->
+              Printf.printf "\ngreedy heuristic [16] found no feasible point (%s)\n"
+                (Diag.code_name d.Diag.code));
+          0
+        end)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Exhaustively explore the optimization design space.")
@@ -315,4 +391,9 @@ let () =
     Cmd.info "flexcl" ~version:"1.0.0"
       ~doc:"Analytical performance model for OpenCL workloads on FPGAs."
   in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd ]))
+  let code =
+    Cmd.eval' (Cmd.group info [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd ])
+  in
+  (* cmdliner signals its own parse errors (unknown flag, bad value)
+     with 124: fold them into the documented usage-error code *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage_error else code)

@@ -2,6 +2,7 @@ open Flexcl_opencl
 open Flexcl_ir
 module Interp = Flexcl_interp.Interp
 module Dram = Flexcl_dram.Dram
+module Diag = Flexcl_util.Diag
 
 type t = {
   kernel : Ast.kernel;
@@ -31,10 +32,11 @@ let buffer_layout (kernel : Ast.kernel) (launch : Launch.t) =
   in
   Dram.layout sized
 
-let analyze ?(max_work_groups = 3) (kernel : Ast.kernel) (launch : Launch.t) =
+let analyze ?(max_work_groups = 3) ?max_steps (kernel : Ast.kernel)
+    (launch : Launch.t) =
   let sema = Sema.analyze kernel in
   let cdfg = Lower.lower kernel sema launch in
-  let profile = Interp.run ~max_work_groups kernel sema launch in
+  let profile = Interp.run ~max_work_groups ?max_steps kernel sema launch in
   {
     kernel;
     sema;
@@ -46,8 +48,70 @@ let analyze ?(max_work_groups = 3) (kernel : Ast.kernel) (launch : Launch.t) =
     layout = buffer_layout kernel launch;
   }
 
-let of_source ?max_work_groups src launch =
-  analyze ?max_work_groups (Parser.parse_kernel src) launch
+let of_source ?max_work_groups ?max_steps src launch =
+  analyze ?max_work_groups ?max_steps (Parser.parse_kernel src) launch
+
+(* ------------------------------------------------------------------ *)
+(* Total pipeline: every deep-layer exception becomes a diagnostic. *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* [Invalid_argument]/[Failure] payloads follow the "Module.fn: reason"
+   convention throughout the code base; the prefix names the stage. *)
+let classify_message msg =
+  if starts_with "Launch." msg || starts_with "Analysis." msg then
+    Diag.Launch_invalid
+  else if starts_with "Lower." msg then Diag.Lower_error
+  else if
+    starts_with "Sms" msg || starts_with "Listsched" msg
+    || starts_with "Graph." msg
+  then Diag.Sched_error
+  else if starts_with "Explore." msg then Diag.Empty_design_space
+  else if starts_with "Types." msg then Diag.Sema_error
+  else Diag.Internal_error
+
+let diag_of_exn = function
+  | Lexer.Error (msg, line, col) ->
+      Diag.error ~span:{ Diag.line; col } Diag.Lex_error "%s" msg
+  | Parser.Error (msg, line, col) ->
+      Diag.error ~span:{ Diag.line; col } Diag.Parse_error "%s" msg
+  | Sema.Error msg -> Diag.error Diag.Sema_error "%s" msg
+  | Interp.Runtime_error msg -> Diag.error Diag.Profile_error "profiling failed: %s" msg
+  | Interp.Profile_budget_exceeded budget ->
+      Diag.error Diag.Profile_budget_exceeded
+        "profiling exceeded its %d-step budget (non-terminating kernel?)" budget
+  | Invalid_argument msg | Failure msg ->
+      Diag.error (classify_message msg) "%s" msg
+  | Division_by_zero -> Diag.error Diag.Internal_error "division by zero"
+  | Stack_overflow ->
+      Diag.error Diag.Internal_error "stack overflow (input too deeply nested?)"
+  | Not_found -> Diag.error Diag.Internal_error "internal lookup failed"
+  | Assert_failure (file, line, col) ->
+      Diag.error Diag.Internal_error "assertion failed at %s:%d:%d" file line col
+  | exn -> Diag.error Diag.Internal_error "%s" (Printexc.to_string exn)
+
+let analyze_result ?max_work_groups ?max_steps kernel launch =
+  match Launch.validate launch with
+  | _ :: _ as problems ->
+      Error (List.map (fun p -> Diag.error Diag.Launch_invalid "%s" p) problems)
+  | [] -> (
+      match analyze ?max_work_groups ?max_steps kernel launch with
+      | t -> Ok t
+      | exception (Out_of_memory as e) -> raise e
+      | exception exn -> Error [ diag_of_exn exn ])
+
+let of_source_result ?max_work_groups ?max_steps ?file src launch =
+  let tag diags =
+    match file with
+    | Some f -> List.map (Diag.with_file f) diags
+    | None -> diags
+  in
+  match Parser.parse_kernel_result src with
+  | Error diags -> Error (tag diags)
+  | Ok kernel ->
+      Result.map_error tag (analyze_result ?max_work_groups ?max_steps kernel launch)
 
 let trip t (info : Cdfg.loop_info) =
   match info.Cdfg.static_trip with

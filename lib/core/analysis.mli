@@ -19,12 +19,45 @@ type t = {
       (** global buffers placed in DRAM in declaration order. *)
 }
 
-val analyze : ?max_work_groups:int -> Ast.kernel -> Launch.t -> t
-(** Raises {!Sema.Error} on ill-typed kernels and
-    {!Flexcl_interp.Interp.Runtime_error} on faulting profiling runs. *)
+val analyze : ?max_work_groups:int -> ?max_steps:int -> Ast.kernel -> Launch.t -> t
+(** Raises {!Sema.Error} on ill-typed kernels,
+    {!Flexcl_interp.Interp.Runtime_error} on faulting profiling runs and
+    {!Flexcl_interp.Interp.Profile_budget_exceeded} when profiling
+    exhausts its [max_steps] fuel (default
+    {!Flexcl_interp.Interp.default_max_steps}). *)
 
-val of_source : ?max_work_groups:int -> string -> Launch.t -> t
+val of_source : ?max_work_groups:int -> ?max_steps:int -> string -> Launch.t -> t
 (** Parse a single-kernel source and analyze it. *)
+
+val analyze_result :
+  ?max_work_groups:int ->
+  ?max_steps:int ->
+  Ast.kernel ->
+  Launch.t ->
+  (t, Flexcl_util.Diag.t list) result
+(** Total pipeline entry point: validates the launch, then runs
+    {!analyze} with every stage exception (sema, lowering, profiling,
+    fuel exhaustion, internal invariants) converted to a structured
+    diagnostic. Never raises (except [Out_of_memory], which is not
+    maskable meaningfully). *)
+
+val of_source_result :
+  ?max_work_groups:int ->
+  ?max_steps:int ->
+  ?file:string ->
+  string ->
+  Launch.t ->
+  (t, Flexcl_util.Diag.t list) result
+(** {!analyze_result} from source text. Parsing uses error recovery, so
+    a syntactically broken kernel reports {e all} its syntax errors
+    (each with line/column), not just the first. [file] tags the
+    diagnostics for rendering. *)
+
+val diag_of_exn : exn -> Flexcl_util.Diag.t
+(** The exception-to-diagnostic mapping used by the [_result] API:
+    frontend errors keep their source spans, [Invalid_argument]/
+    [Failure] payloads are classified by their ["Module.fn:"] prefix,
+    anything unrecognized becomes [Internal_error]. *)
 
 val trip : t -> Cdfg.loop_info -> float
 (** Trip count of a loop: static when known, otherwise the profiled

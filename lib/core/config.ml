@@ -11,6 +11,16 @@ type t = {
 let default =
   { wg_size = 64; n_pe = 1; n_cu = 1; wi_pipeline = false; comm_mode = Barrier_mode }
 
+let validate t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if t.wg_size <= 0 then add "wg_size = %d is not positive" t.wg_size;
+  if t.n_pe <= 0 then add "n_pe = %d is not positive" t.n_pe;
+  if t.n_cu <= 0 then add "n_cu = %d is not positive" t.n_cu;
+  if t.n_pe > 0 && t.wg_size > 0 && t.n_pe > t.wg_size then
+    add "n_pe = %d exceeds wg_size = %d" t.n_pe t.wg_size;
+  List.rev !problems
+
 let to_string t =
   Printf.sprintf "wg%d pe%d cu%d %s %s" t.wg_size t.n_pe t.n_cu
     (if t.wi_pipeline then "pipe" else "nopipe")

@@ -16,6 +16,10 @@ val default : t
 (** The unoptimized baseline: 1 PE, 1 CU, no pipelining, barrier mode,
     work-group size 64. *)
 
+val validate : t -> string list
+(** Invariant violations (non-positive knobs, [n_pe > wg_size]); [[]]
+    means the design point is well-formed. *)
+
 val to_string : t -> string
 (** Compact form, e.g. ["wg64 pe2 cu4 pipe pipeline"]. *)
 

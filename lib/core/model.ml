@@ -632,6 +632,31 @@ let estimate ?(options = default_options) (dev : Device.t)
 
 let cycles dev analysis cfg = (estimate dev analysis cfg).cycles
 
+let estimate_result ?options (dev : Device.t) (analysis : Analysis.t)
+    (cfg : Config.t) =
+  let module Diag = Flexcl_util.Diag in
+  match Device.validate dev with
+  | p :: _ -> Error (Diag.error Diag.Device_invalid "device %s: %s" dev.Device.name p)
+  | [] -> (
+      match Config.validate cfg with
+      | p :: _ ->
+          Error
+            (Diag.error Diag.Config_invalid "design point %s: %s"
+               (Config.to_string cfg) p)
+      | [] ->
+          if cfg.Config.wg_size <> Launch.wg_size analysis.Analysis.launch then
+            Error
+              (Diag.error Diag.Config_invalid
+                 "wg_size %d does not match the analysis launch (%d); re-analyze \
+                  with Analysis.with_wg_size"
+                 cfg.Config.wg_size
+                 (Launch.wg_size analysis.Analysis.launch))
+          else (
+            match estimate ?options dev analysis cfg with
+            | b -> Ok b
+            | exception (Out_of_memory as e) -> raise e
+            | exception exn -> Error (Analysis.diag_of_exn exn)))
+
 let feasible (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
   let env = make_env dev analysis cfg in
   let dsp_fp = dsp_footprint_of env in

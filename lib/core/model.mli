@@ -66,6 +66,17 @@ val estimate :
 val cycles : Device.t -> Analysis.t -> Config.t -> float
 (** Shorthand for [(estimate _ _ _).cycles]. *)
 
+val estimate_result :
+  ?options:options ->
+  Device.t ->
+  Analysis.t ->
+  Config.t ->
+  (breakdown, Flexcl_util.Diag.t) result
+(** Total variant of {!estimate}: validates the device and design point
+    (including the [wg_size]-matches-launch precondition) and converts
+    any scheduler/model exception into a structured diagnostic instead
+    of raising. *)
+
 val feasible : Device.t -> Analysis.t -> Config.t -> bool
 (** Resource check: DSP footprint × PE × CU within the device budget,
     local memory × CU within BRAM, CU count within the practical bound,

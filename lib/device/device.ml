@@ -115,6 +115,20 @@ let dsp_cost _t (op : Opcode.t) =
   | Opcode.Live_in ->
       0
 
+let validate t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if t.clock_mhz <= 0 then add "clock_mhz = %d is not positive" t.clock_mhz;
+  if t.dsp_total < 0 then add "dsp_total = %d is negative" t.dsp_total;
+  if t.bram_blocks < 0 then add "bram_blocks = %d is negative" t.bram_blocks;
+  if t.max_cu <= 0 then add "max_cu = %d is not positive" t.max_cu;
+  if t.local_banks <= 0 then add "local_banks = %d is not positive" t.local_banks;
+  if t.ports_per_bank <= 0 then
+    add "ports_per_bank = %d is not positive" t.ports_per_bank;
+  if t.wg_dispatch_overhead < 0 then
+    add "wg_dispatch_overhead = %d is negative" t.wg_dispatch_overhead;
+  List.rev !problems
+
 let local_read_ports t = t.local_banks * t.ports_per_bank
 
 let local_write_ports t = t.local_banks * t.ports_per_bank

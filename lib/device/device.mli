@@ -43,6 +43,10 @@ val variant_latency : t -> Flexcl_ir.Opcode.t -> salt:int -> int
 
 val dsp_cost : t -> Flexcl_ir.Opcode.t -> int
 
+val validate : t -> string list
+(** Invariant violations of a (possibly hand-assembled) device record;
+    [[]] means consistent. *)
+
 val local_read_ports : t -> int
 (** [Port_read] of Eq. 4: banks × ports per bank. *)
 

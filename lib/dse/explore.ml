@@ -50,6 +50,17 @@ let best dev base space oracle =
   | [] -> invalid_arg "Explore.best: empty design space"
   | e :: _ -> e
 
+let empty_space_diag =
+  Flexcl_util.Diag.error Flexcl_util.Diag.Empty_design_space
+    "no feasible design point: every configuration exceeds the device resources"
+
+let best_result dev base space oracle =
+  match exhaustive dev base space oracle with
+  | [] -> Error empty_space_diag
+  | e :: _ -> Ok e
+  | exception (Out_of_memory as e) -> raise e
+  | exception exn -> Error (Analysis.diag_of_exn exn)
+
 let quality_vs_optimal ~picked ~truth ~all =
   match all with
   | [] -> invalid_arg "Explore.quality_vs_optimal: empty space"

@@ -32,6 +32,12 @@ val exhaustive :
 val best : Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated
 (** Head of {!exhaustive}; raises [Invalid_argument] on an empty space. *)
 
+val best_result :
+  Model.Device.t -> Analysis.t -> Space.t -> oracle ->
+  (evaluated, Flexcl_util.Diag.t) result
+(** Total variant of {!best}: an empty feasible space (or any sweep
+    exception) becomes a structured diagnostic instead of raising. *)
+
 val quality_vs_optimal :
   picked:Config.t ->
   truth:(Config.t -> float) ->
@@ -43,3 +49,6 @@ val quality_vs_optimal :
 val analysis_for : Analysis.t -> int -> Analysis.t
 (** Cached re-analysis at a work-group size (shared by all oracles during
     a sweep). *)
+
+val empty_space_diag : Flexcl_util.Diag.t
+(** The diagnostic reported when no design point is feasible. *)

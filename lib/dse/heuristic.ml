@@ -51,3 +51,21 @@ let search dev (base : Flexcl_core.Analysis.t) (space : Space.t)
       cfg
   in
   { Explore.config = cfg; cycles = cost }
+
+let search_result dev base space oracle =
+  let module Diag = Flexcl_util.Diag in
+  if
+    space.Space.wg_sizes = [] || space.Space.pe_counts = []
+    || space.Space.cu_counts = []
+    || space.Space.pipeline_choices = []
+    || space.Space.comm_modes = []
+  then
+    Error
+      (Diag.error Diag.Empty_design_space
+         "heuristic search requires a non-empty candidate list for every knob")
+  else
+    match search dev base space oracle with
+    | e when e.Explore.cycles = infinity -> Error Explore.empty_space_diag
+    | e -> Ok e
+    | exception (Out_of_memory as exn) -> raise exn
+    | exception exn -> Error (Flexcl_core.Analysis.diag_of_exn exn)

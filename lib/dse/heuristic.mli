@@ -18,5 +18,15 @@ val search :
 (** Greedy coordinate descent over the space; each knob is evaluated with
     the other knobs held at their current values. *)
 
+val search_result :
+  Flexcl_core.Model.Device.t ->
+  Flexcl_core.Analysis.t ->
+  Space.t ->
+  Explore.oracle ->
+  (Explore.evaluated, Flexcl_util.Diag.t) result
+(** Total variant of {!search}: an empty candidate list for any knob, a
+    space with no feasible point (every candidate evaluates to
+    [infinity]) or a sweep exception becomes a structured diagnostic. *)
+
 val knob_order : string list
 (** Documentation of the fixed tuning order. *)

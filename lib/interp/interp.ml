@@ -2,8 +2,11 @@ open Flexcl_opencl
 open Flexcl_ir
 
 exception Runtime_error of string
+exception Profile_budget_exceeded of int
 
 let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let default_max_steps = 10_000_000
 
 type value = I of int64 | F of float
 
@@ -112,7 +115,15 @@ type exec_ctx = {
   trip_entries : (int, int) Hashtbl.t;
   trip_max : (int, int) Hashtbl.t;
   mutable cur_loop_trip : int;        (* scratch *)
+  max_steps : int;                    (* fuel budget for the whole profile *)
+  mutable fuel : int;                 (* steps remaining *)
 }
+
+(* One unit of fuel per executed statement and per loop iteration, so
+   non-terminating kernels (even with empty loop bodies) are cut off. *)
+let spend ctx =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel < 0 then raise (Profile_budget_exceeded ctx.max_steps)
 
 exception Break_exc
 exception Continue_exc
@@ -356,6 +367,7 @@ let private_array_length ty =
   total ty
 
 let rec exec_stmt ctx wi (s : Ast.stmt) : unit =
+  spend ctx;
   match s with
   | Ast.Decl (ty, v, init) -> (
       match ty with
@@ -439,7 +451,7 @@ and exec_loop ctx wi s hdr body =
        if not cond_ok then continue_ := false
        else begin
          incr iters;
-         if !iters > 10_000_000 then err "loop iteration budget exceeded";
+         spend ctx;
          (try exec_stmts ctx wi body with Continue_exc -> ());
          Option.iter (exec_stmt ctx wi) hdr.Ast.step
        end
@@ -453,7 +465,7 @@ and exec_while ctx wi s c body =
   (try
      while truthy (eval ctx wi c) do
        incr iters;
-       if !iters > 10_000_000 then err "loop iteration budget exceeded";
+       spend ctx;
        try exec_stmts ctx wi body with Continue_exc -> ()
      done
    with Break_exc -> ());
@@ -520,8 +532,8 @@ let bind_args ctx wi =
           | _ -> err "missing argument %s" name))
     ctx.kernel.Ast.k_params
 
-let run_gen ~max_work_groups (k : Ast.kernel) (info : Sema.info) (launch : Launch.t)
-    =
+let run_gen ~max_work_groups ~max_steps (k : Ast.kernel) (info : Sema.info)
+    (launch : Launch.t) =
   let globals = Hashtbl.create 8 in
   List.iter
     (fun (name, arg) ->
@@ -548,6 +560,8 @@ let run_gen ~max_work_groups (k : Ast.kernel) (info : Sema.info) (launch : Launc
       trip_entries = Hashtbl.create 16;
       trip_max = Hashtbl.create 16;
       cur_loop_trip = 0;
+      max_steps;
+      fuel = max_steps;
     }
   in
   let wgs = Launch.work_groups launch in
@@ -620,7 +634,8 @@ let run_gen ~max_work_groups (k : Ast.kernel) (info : Sema.info) (launch : Launc
     buffers = Hashtbl.fold (fun name buf acc -> (name, buf) :: acc) globals [];
   }
 
-let run ?(max_work_groups = 2) k info launch = run_gen ~max_work_groups k info launch
+let run ?(max_work_groups = 2) ?(max_steps = default_max_steps) k info launch =
+  run_gen ~max_work_groups ~max_steps k info launch
 
-let run_all k info launch =
-  run_gen ~max_work_groups:(Launch.n_work_groups launch) k info launch
+let run_all ?(max_steps = default_max_steps) k info launch =
+  run_gen ~max_work_groups:(Launch.n_work_groups launch) ~max_steps k info launch

@@ -18,6 +18,17 @@ open Flexcl_ir
 
 exception Runtime_error of string
 
+exception Profile_budget_exceeded of int
+(** Raised when a profiling run exhausts its step budget (the argument):
+    the kernel is almost certainly non-terminating under the given
+    launch. One step is one executed statement or loop iteration. *)
+
+val default_max_steps : int
+(** Fuel given to a profiling run unless overridden: 10 million steps,
+    enough for every bundled workload with two orders of magnitude of
+    slack, small enough to cut an infinite loop off in well under a
+    second. *)
+
 type value = I of int64 | F of float
 
 val to_float : value -> float
@@ -46,13 +57,16 @@ val trip_of : profile -> int -> float
 
 val run :
   ?max_work_groups:int ->
+  ?max_steps:int ->
   Ast.kernel ->
   Sema.info ->
   Launch.t ->
   profile
 (** Execute up to [max_work_groups] (default 2) work-groups. Buffers are
     materialized from the launch description (deterministically seeded);
-    indices out of bounds raise {!Runtime_error}. *)
+    indices out of bounds raise {!Runtime_error}. The whole run is
+    bounded by [max_steps] fuel (default {!default_max_steps}); crossing
+    it raises {!Profile_budget_exceeded}. *)
 
-val run_all : Ast.kernel -> Sema.info -> Launch.t -> profile
+val run_all : ?max_steps:int -> Ast.kernel -> Sema.info -> Launch.t -> profile
 (** Execute every work-group (functional validation of small launches). *)

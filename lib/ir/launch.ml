@@ -19,19 +19,59 @@ type arg =
 
 type t = { global : dim3; local : dim3; args : (string * arg) list }
 
-let make ~global ~local ~args =
+(* Generous sanity bounds: far above anything the paper's sweeps use,
+   low enough that a corrupted launch cannot drive the profiler into
+   multi-gigabyte allocations or overflow index arithmetic. *)
+let max_work_items = 1 lsl 30
+let max_buffer_length = 1 lsl 28
+
+let validate_parts ~global ~local ~args =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let check g l name =
-    if l <= 0 then invalid_arg (Printf.sprintf "Launch.make: local.%s <= 0" name);
-    if g <= 0 then invalid_arg (Printf.sprintf "Launch.make: global.%s <= 0" name);
-    if g mod l <> 0 then
-      invalid_arg
-        (Printf.sprintf "Launch.make: local.%s=%d does not divide global.%s=%d"
-           name l name g)
+    if l <= 0 then add "local.%s = %d is not positive" name l;
+    if g <= 0 then add "global.%s = %d is not positive" name g;
+    if l > 0 && g > 0 && g mod l <> 0 then
+      add "local.%s = %d does not divide global.%s = %d" name l name g
   in
   check global.x local.x "x";
   check global.y local.y "y";
   check global.z local.z "z";
-  { global; local; args }
+  if global.x > 0 && global.y > 0 && global.z > 0 then begin
+    (* overflow-safe volume check *)
+    let v = float_of_int global.x *. float_of_int global.y *. float_of_int global.z in
+    if v > float_of_int max_work_items then
+      add "NDRange volume %.0f exceeds the supported maximum %d" v max_work_items
+  end;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, arg) ->
+      if Hashtbl.mem seen name then add "argument %s bound twice" name;
+      Hashtbl.replace seen name ();
+      match arg with
+      | Buffer { length; _ } ->
+          if length < 0 then add "buffer %s has negative length %d" name length
+          else if length > max_buffer_length then
+            add "buffer %s length %d exceeds the supported maximum %d" name length
+              max_buffer_length
+      | Scalar (Float f) ->
+          if Float.is_nan f then add "scalar %s is NaN" name
+      | Scalar (Int _) -> ())
+    args;
+  List.rev !problems
+
+let validate t = validate_parts ~global:t.global ~local:t.local ~args:t.args
+
+let make_result ~global ~local ~args =
+  match validate_parts ~global ~local ~args with
+  | [] -> Ok { global; local; args }
+  | problems -> Error problems
+
+let make ~global ~local ~args =
+  match make_result ~global ~local ~args with
+  | Ok t -> t
+  | Error (p :: _) -> invalid_arg ("Launch.make: " ^ p)
+  | Error [] -> assert false
 
 let n_work_items t = volume t.global
 

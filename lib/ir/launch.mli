@@ -36,6 +36,18 @@ val make :
 (** Validates that each local dimension divides the global one and is
     positive; raises [Invalid_argument] otherwise. *)
 
+val make_result :
+  global:dim3 -> local:dim3 -> args:(string * arg) list ->
+  (t, string list) result
+(** Total variant of {!make}: [Error problems] lists every violated
+    invariant (non-positive or non-dividing dimensions, NDRange volume
+    or buffer length beyond the supported bounds, duplicate or NaN
+    arguments) instead of raising. *)
+
+val validate : t -> string list
+(** All invariant violations of an already-built value (a record
+    assembled by hand can bypass {!make}); [[]] means well-formed. *)
+
 val n_work_items : t -> int
 val wg_size : t -> int
 val n_work_groups : t -> int

@@ -301,35 +301,54 @@ let operator_token st =
   | Some c -> error st (Printf.sprintf "unexpected character %C" c)
   | None -> Token.Eof
 
+(* One token (the Eof token at end of input). Raises {!Error}. *)
+let scan st =
+  skip_trivia st;
+  match peek st with
+  | None -> { Token.tok = Token.Eof; line = st.line; col = st.col }
+  | Some '#' -> lex_pragma st
+  | Some c when is_digit c
+                || (c = '.' && match peek2 st with Some d -> is_digit d | None -> false) ->
+      lex_number st
+  | Some c when is_ident_start c ->
+      let line = st.line and col = st.col in
+      let word = read_while st is_ident_char in
+      let tok =
+        match List.assoc_opt word keywords with
+        | Some kw -> kw
+        | None -> Token.Ident word
+      in
+      { Token.tok; line; col }
+  | Some _ ->
+      let line = st.line and col = st.col in
+      let tok = operator_token st in
+      { Token.tok; line; col }
+
 let tokenize src =
   let st = { src; pos = 0; line = 1; col = 1 } in
   let toks = ref [] in
   let rec loop () =
-    skip_trivia st;
-    match peek st with
-    | None -> toks := { Token.tok = Token.Eof; line = st.line; col = st.col } :: !toks
-    | Some '#' -> (
-        toks := lex_pragma st :: !toks;
-        loop ())
-    | Some c when is_digit c
-                  || (c = '.' && match peek2 st with Some d -> is_digit d | None -> false) ->
-        toks := lex_number st :: !toks;
-        loop ()
-    | Some c when is_ident_start c ->
-        let line = st.line and col = st.col in
-        let word = read_while st is_ident_char in
-        let tok =
-          match List.assoc_opt word keywords with
-          | Some kw -> kw
-          | None -> Token.Ident word
-        in
-        toks := { Token.tok; line; col } :: !toks;
-        loop ()
-    | Some _ ->
-        let line = st.line and col = st.col in
-        let tok = operator_token st in
-        toks := { Token.tok; line; col } :: !toks;
-        loop ()
+    let t = scan st in
+    toks := t :: !toks;
+    if t.Token.tok <> Token.Eof then loop ()
   in
   loop ();
   List.rev !toks
+
+let tokenize_partial src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] and diags = ref [] in
+  let rec loop () =
+    match scan st with
+    | t ->
+        toks := t :: !toks;
+        if t.Token.tok <> Token.Eof then loop ()
+    | exception Error (msg, line, col) ->
+        let module D = Flexcl_util.Diag in
+        diags := D.error ~span:{ D.line; col } D.Lex_error "%s" msg :: !diags;
+        (* skip the offending character and keep lexing *)
+        if peek st <> None then advance st;
+        loop ()
+  in
+  loop ();
+  (List.rev !toks, List.rev !diags)

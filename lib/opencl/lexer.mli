@@ -11,3 +11,11 @@ exception Error of string * int * int
 
 val tokenize : string -> Token.located list
 (** Full token stream for a source string, ending with {!Token.Eof}. *)
+
+val tokenize_partial :
+  string -> Token.located list * Flexcl_util.Diag.t list
+(** Error-recovering variant: never raises. Offending characters are
+    skipped (unterminated comments swallow the rest of the input) and
+    each fault is reported as a {!Flexcl_util.Diag.t} with
+    {!Flexcl_util.Diag.Lex_error}; the token list always ends with
+    {!Token.Eof} and is usable even when diagnostics are present. *)

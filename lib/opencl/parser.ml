@@ -1,6 +1,14 @@
 exception Error of string * int * int
 
-type state = { mutable toks : Token.located list }
+module Diag = Flexcl_util.Diag
+
+type state = {
+  mutable toks : Token.located list;
+  mutable errors : Diag.t list;  (* reversed; only filled when [recover] *)
+  recover : bool;
+}
+
+let fresh ?(recover = false) toks = { toks; errors = []; recover }
 
 let here st =
   match st.toks with
@@ -35,6 +43,40 @@ let eat_ident st =
       advance st;
       name
   | t -> fail st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Error recovery *)
+
+(* Diagnostics recorded at catch points. Past the cap the parse aborts
+   (the input is hopeless, e.g. heavily mutated). *)
+let max_recovered_errors = 64
+
+let record st msg line col =
+  st.errors <-
+    Diag.error ~span:{ Diag.line; col } Diag.Parse_error "%s" msg :: st.errors;
+  if List.length st.errors > max_recovered_errors then
+    raise (Error ("too many syntax errors, giving up", line, col))
+
+(* Skip to the next statement boundary: a ';' (consumed) or a '}'
+   closing the current block (left for the caller), stepping over
+   balanced nested braces opened after the error point. *)
+let synchronize st =
+  let rec loop depth =
+    match peek st with
+    | Token.Eof -> ()
+    | Token.Semicolon when depth = 0 -> advance st
+    | Token.Rbrace when depth = 0 -> ()
+    | Token.Rbrace ->
+        advance st;
+        loop (depth - 1)
+    | Token.Lbrace ->
+        advance st;
+        loop (depth + 1)
+    | _ ->
+        advance st;
+        loop depth
+  in
+  loop 0
 
 (* ------------------------------------------------------------------ *)
 (* Types *)
@@ -424,11 +466,23 @@ and parse_stmt_or_block st =
 and parse_block st =
   eat st Token.Lbrace;
   let stmts = ref [] in
-  while peek st <> Token.Rbrace do
-    if peek st = Token.Eof then fail st "unexpected end of input in block";
-    stmts := List.rev_append (parse_stmt st ~pending_attrs:Ast.default_loop_attrs) !stmts
-  done;
-  eat st Token.Rbrace;
+  let rec loop () =
+    match peek st with
+    | Token.Rbrace -> advance st
+    | Token.Eof ->
+        if st.recover then
+          let line, col = here st in
+          record st "unexpected end of input in block" line col
+        else fail st "unexpected end of input in block"
+    | _ ->
+        (match parse_stmt st ~pending_attrs:Ast.default_loop_attrs with
+        | ss -> stmts := List.rev_append ss !stmts
+        | exception Error (msg, line, col) when st.recover ->
+            record st msg line col;
+            synchronize st);
+        loop ()
+  in
+  loop ();
   List.rev !stmts
 
 and attrs_of_pragma attrs words =
@@ -525,10 +579,16 @@ let parse_kernel_def st ~attrs =
   let body = parse_block st in
   { Ast.k_name = name; k_params = List.rev !params; k_attrs = !attrs; k_body = body }
 
-let parse_program src =
-  let st = { toks = Lexer.tokenize src } in
+let parse_program_toks st =
   let kernels = ref [] in
   let pending = ref Ast.default_kernel_attrs in
+  let rec skip_to_kernel () =
+    match peek st with
+    | Token.Eof | Token.Kw_kernel -> ()
+    | _ ->
+        advance st;
+        skip_to_kernel ()
+  in
   let rec loop () =
     match peek st with
     | Token.Eof -> ()
@@ -540,14 +600,45 @@ let parse_program src =
         | _ -> ());
         loop ()
     | Token.Kw_kernel ->
-        let k = parse_kernel_def st ~attrs:!pending in
-        pending := Ast.default_kernel_attrs;
-        kernels := k :: !kernels;
+        (match parse_kernel_def st ~attrs:!pending with
+        | k ->
+            pending := Ast.default_kernel_attrs;
+            kernels := k :: !kernels
+        | exception Error (msg, line, col) when st.recover ->
+            (* parse_kernel_def consumed at least __kernel, so skipping
+               to the next kernel keyword always makes progress *)
+            record st msg line col;
+            skip_to_kernel ());
         loop ()
-    | t -> fail st (Printf.sprintf "expected __kernel, found %s" (Token.to_string t))
+    | t ->
+        if st.recover then begin
+          let line, col = here st in
+          record st
+            (Printf.sprintf "expected __kernel, found %s" (Token.to_string t))
+            line col;
+          advance st;
+          skip_to_kernel ();
+          loop ()
+        end
+        else
+          fail st (Printf.sprintf "expected __kernel, found %s" (Token.to_string t))
   in
   loop ();
   List.rev !kernels
+
+let parse_program src = parse_program_toks (fresh (Lexer.tokenize src))
+
+let parse_program_partial src =
+  let toks, lex_diags = Lexer.tokenize_partial src in
+  let st = fresh ~recover:true toks in
+  let kernels =
+    try parse_program_toks st
+    with Error (msg, line, col) ->
+      st.errors <-
+        Diag.error ~span:{ Diag.line; col } Diag.Parse_error "%s" msg :: st.errors;
+      []
+  in
+  (kernels, Diag.sort (lex_diags @ List.rev st.errors))
 
 let parse_kernel src =
   match parse_program src with
@@ -557,8 +648,19 @@ let parse_kernel src =
         (Error
            (Printf.sprintf "expected exactly one kernel, found %d" (List.length ks), 1, 1))
 
+let parse_kernel_result src =
+  match parse_program_partial src with
+  | _, (_ :: _ as diags) -> Stdlib.Error diags
+  | [ k ], [] -> Stdlib.Ok k
+  | ks, [] ->
+      Stdlib.Error
+        [
+          Diag.error ~span:{ Diag.line = 1; col = 1 } Diag.Parse_error
+            "expected exactly one kernel, found %d" (List.length ks);
+        ]
+
 let parse_expr src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = fresh (Lexer.tokenize src) in
   let e = parse_ternary st in
   (match peek st with
   | Token.Eof -> ()

@@ -21,9 +21,26 @@ exception Error of string * int * int
 val parse_program : string -> Ast.program
 (** Parse source text into kernels. Raises {!Error} or {!Lexer.Error}. *)
 
+val parse_program_partial :
+  string -> Ast.program * Flexcl_util.Diag.t list
+(** Error-recovering parse: never raises. On a syntax error the parser
+    records a diagnostic and synchronizes at the next [;] or [}] (and,
+    for kernel-header errors, at the next [__kernel]), so one pass
+    reports {e all} syntax errors of a file, not just the first.
+    Lexical faults are recovered too (see {!Lexer.tokenize_partial}).
+    Kernels that parsed cleanly are returned alongside the diagnostics,
+    sorted by position; an empty diagnostic list means the parse was
+    exact. *)
+
 val parse_kernel : string -> Ast.kernel
 (** Convenience: parse a source containing exactly one kernel. Raises
     {!Error} if there are zero or several kernels. *)
+
+val parse_kernel_result :
+  string -> (Ast.kernel, Flexcl_util.Diag.t list) result
+(** Total variant of {!parse_kernel} built on {!parse_program_partial}:
+    [Ok k] iff the source parsed without any diagnostic and contains
+    exactly one kernel. *)
 
 val parse_expr : string -> Ast.expr
 (** Parse a standalone expression (used by tests). *)

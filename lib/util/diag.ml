@@ -1,0 +1,139 @@
+type severity = Error | Warning | Note
+
+type code =
+  | Io_error
+  | Usage_error
+  | Lex_error
+  | Parse_error
+  | Sema_error
+  | Launch_invalid
+  | Config_invalid
+  | Device_invalid
+  | Lower_error
+  | Sched_error
+  | Profile_error
+  | Profile_budget_exceeded
+  | Model_error
+  | Empty_design_space
+  | Internal_error
+
+type span = { line : int; col : int }
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  span : span option;
+  file : string option;
+}
+
+let code_name = function
+  | Io_error -> "E-IO"
+  | Usage_error -> "E-USAGE"
+  | Lex_error -> "E-LEX"
+  | Parse_error -> "E-PARSE"
+  | Sema_error -> "E-SEMA"
+  | Launch_invalid -> "E-LAUNCH"
+  | Config_invalid -> "E-CONFIG"
+  | Device_invalid -> "E-DEVICE"
+  | Lower_error -> "E-LOWER"
+  | Sched_error -> "E-SCHED"
+  | Profile_error -> "E-PROFILE"
+  | Profile_budget_exceeded -> "E-FUEL"
+  | Model_error -> "E-MODEL"
+  | Empty_design_space -> "E-SPACE"
+  | Internal_error -> "E-INTERNAL"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let make ?(severity = Error) ?file ?span code message =
+  { code; severity; message; span; file }
+
+let error ?file ?span code fmt =
+  Printf.ksprintf (fun message -> make ?file ?span code message) fmt
+
+let with_file file t =
+  match t.file with Some _ -> t | None -> { t with file = Some file }
+
+let is_error t = t.severity = Error
+
+let sort diags =
+  let key t =
+    ( Option.value t.file ~default:"",
+      (match t.span with Some s -> (0, s.line, s.col) | None -> (1, 0, 0)) )
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) diags
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let header t =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (severity_name t.severity);
+  Buffer.add_char b '[';
+  Buffer.add_string b (code_name t.code);
+  Buffer.add_char b ']';
+  Buffer.add_char b ' ';
+  (match t.file with
+  | Some f ->
+      Buffer.add_string b f;
+      Buffer.add_char b ':'
+  | None -> ());
+  (match t.span with
+  | Some { line; col } -> Buffer.add_string b (Printf.sprintf "%d:%d: " line col)
+  | None -> if t.file <> None then Buffer.add_char b ' ');
+  Buffer.add_string b t.message;
+  Buffer.contents b
+
+let nth_line source n =
+  (* 1-based; None when the source has fewer lines *)
+  if n < 1 then None
+  else
+    let len = String.length source in
+    let rec start_of k pos =
+      if k = 1 then Some pos
+      else
+        match String.index_from_opt source pos '\n' with
+        | Some i when i + 1 <= len -> start_of (k - 1) (i + 1)
+        | _ -> None
+    in
+    match start_of n 0 with
+    | None -> None
+    | Some s when s >= len -> if n = 1 && len = 0 then Some "" else None
+    | Some s ->
+        let e =
+          match String.index_from_opt source s '\n' with
+          | Some i -> i
+          | None -> len
+        in
+        Some (String.sub source s (e - s))
+
+let caret_context source { line; col } =
+  match nth_line source line with
+  | None -> None
+  | Some text ->
+      let gutter = string_of_int line in
+      let pad = String.make (String.length gutter) ' ' in
+      (* clamp the caret into the rendered line (col is 1-based; an
+         error "at end of line" may point one past the last char) *)
+      let caret_col = max 1 (min col (String.length text + 1)) in
+      Some
+        (Printf.sprintf "  %s | %s\n  %s | %s^" gutter text pad
+           (String.make (caret_col - 1) ' '))
+
+let render ?source t =
+  let head = header t in
+  match (source, t.span) with
+  | Some src, Some span -> (
+      match caret_context src span with
+      | Some ctx -> head ^ "\n" ^ ctx
+      | None -> head)
+  | _ -> head
+
+let render_all ?source diags =
+  String.concat "\n" (List.map (render ?source) (sort diags))
+
+let pp ppf t = Format.pp_print_string ppf (header t)

@@ -1,0 +1,84 @@
+(** Structured diagnostics for the whole analysis pipeline.
+
+    Every stage — lexer, parser, sema, lowering, scheduling, dynamic
+    profiling, the analytical model and design-space exploration — maps
+    its failures onto one diagnostic type, so batch sweeps over thousands
+    of kernels and design points report structured errors instead of
+    escaping exceptions. A diagnostic carries a stable mnemonic code
+    (machine-matchable), a severity, a human message and an optional
+    source span; the renderer prints compiler-style caret context when
+    the offending source text is available. *)
+
+type severity = Error | Warning | Note
+
+(** Stable error codes, one per failure class. [code_name] gives the
+    mnemonic printed inside brackets (e.g. ["E-PARSE"]); match on the
+    constructor, not the string. *)
+type code =
+  | Io_error                 (** file could not be read. *)
+  | Usage_error              (** bad command-line / API usage. *)
+  | Lex_error                (** malformed token. *)
+  | Parse_error              (** syntax error. *)
+  | Sema_error               (** type / semantic error. *)
+  | Launch_invalid           (** degenerate NDRange or argument list. *)
+  | Config_invalid           (** degenerate design point. *)
+  | Device_invalid           (** inconsistent device description. *)
+  | Lower_error              (** CDFG lowering failure. *)
+  | Sched_error              (** list/modulo scheduling failure. *)
+  | Profile_error            (** dynamic profiling fault (OOB, div0, ...). *)
+  | Profile_budget_exceeded  (** interpreter fuel exhausted (likely hang). *)
+  | Model_error              (** analytical model failure. *)
+  | Empty_design_space       (** no feasible design point. *)
+  | Internal_error           (** invariant violation — a bug, not an input. *)
+
+type span = { line : int; col : int }
+(** 1-based source position. *)
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  span : span option;
+  file : string option;
+}
+
+val code_name : code -> string
+(** Mnemonic, e.g. [code_name Parse_error = "E-PARSE"]. *)
+
+val severity_name : severity -> string
+
+val make : ?severity:severity -> ?file:string -> ?span:span -> code -> string -> t
+(** [make code msg] builds an [Error]-severity diagnostic. *)
+
+val error :
+  ?file:string ->
+  ?span:span ->
+  code ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [error code fmt ...] — printf-style {!make}. *)
+
+val with_file : string -> t -> t
+(** Attach a file name (kept if already present). *)
+
+val is_error : t -> bool
+
+val sort : t list -> t list
+(** Stable order: by file, then line, then column (span-less last). *)
+
+val render : ?source:string -> t -> string
+(** One diagnostic, compiler style:
+    {v
+    error[E-PARSE] kernel.cl:3:11: expected ; but found }
+      3 |   int x = a[0]
+        |           ^
+    v}
+    The caret context lines appear only when [source] is given and the
+    diagnostic has a span that falls inside it. No trailing newline. *)
+
+val render_all : ?source:string -> t list -> string
+(** All diagnostics in {!sort} order, one per line (caret context
+    indented below each), separated by newlines. No trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
+(** [render] without source context, for [%a]. *)

@@ -20,7 +20,7 @@ let lower_src ?launch:(l = launch ()) src =
 
 let test_launch_validation () =
   Alcotest.check_raises "wg must divide"
-    (Invalid_argument "Launch.make: local.x=48 does not divide global.x=256")
+    (Invalid_argument "Launch.make: local.x = 48 does not divide global.x = 256")
     (fun () ->
       ignore (Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 48) ~args:[]))
 

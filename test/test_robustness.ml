@@ -1,0 +1,297 @@
+(* Robustness tests: golden diagnostics (exact code / message / position
+   / caret rendering), interpreter fuel exhaustion, and a fault-injection
+   harness that feeds hundreds of mutated benchmark kernels and random
+   launches/configs through the total [_result] API, asserting that every
+   trial comes back [Ok] or [Error] — never an escaping exception. *)
+
+open Flexcl_opencl
+module Diag = Flexcl_util.Diag
+module Prng = Flexcl_util.Prng
+module Launch = Flexcl_ir.Launch
+module Interp = Flexcl_interp.Interp
+module Analysis = Flexcl_core.Analysis
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+module Device = Flexcl_device.Device
+module W = Flexcl_workloads.Workload
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Golden diagnostics *)
+
+(* No leading newline: line 1 is the kernel header. *)
+let broken_src =
+  "__kernel void f(__global float* a, int n) {\n\
+  \  int x = ;\n\
+  \  a[0] = 1.0f\n\
+  \  int y = 3;\n\
+   }\n"
+
+let test_lexer_diag () =
+  let _toks, diags = Lexer.tokenize_partial "int x = 1 @ 2;" in
+  match diags with
+  | [ d ] ->
+      check Alcotest.bool "code" true (d.Diag.code = Diag.Lex_error);
+      check Alcotest.string "message" "unexpected character '@'" d.Diag.message;
+      check Alcotest.bool "span" true
+        (d.Diag.span = Some { Diag.line = 1; col = 11 })
+  | ds -> Alcotest.failf "expected one lexer diagnostic, got %d" (List.length ds)
+
+let test_parser_recovery_diags () =
+  let _prog, diags = Parser.parse_program_partial broken_src in
+  check Alcotest.bool "recovers past the first error" true (List.length diags >= 2);
+  match diags with
+  | d1 :: d2 :: _ ->
+      check Alcotest.string "first message" "unexpected token ; in expression"
+        d1.Diag.message;
+      check Alcotest.bool "first span" true
+        (d1.Diag.span = Some { Diag.line = 2; col = 11 });
+      check Alcotest.string "second message" "expected ; but found int"
+        d2.Diag.message;
+      check Alcotest.bool "second span" true
+        (d2.Diag.span = Some { Diag.line = 4; col = 3 })
+  | _ -> Alcotest.fail "expected at least two parser diagnostics"
+
+let test_caret_rendering () =
+  let d =
+    Diag.make ~file:"k.cl"
+      ~span:{ Diag.line = 2; col = 11 }
+      Diag.Parse_error "unexpected token ; in expression"
+  in
+  let expected =
+    "error[E-PARSE] k.cl:2:11: unexpected token ; in expression\n\
+    \  2 |   int x = ;\n\
+    \    |           ^"
+  in
+  check Alcotest.string "render with caret" expected
+    (Diag.render ~source:broken_src d);
+  (* without source text, only the header line *)
+  check Alcotest.string "render without source"
+    "error[E-PARSE] k.cl:2:11: unexpected token ; in expression"
+    (Diag.render d)
+
+let test_sema_diag () =
+  let src = "__kernel void f(__global float* a) { a[0] = zz; }" in
+  let launch =
+    Launch.make ~global:(Launch.dim3 16) ~local:(Launch.dim3 16)
+      ~args:[ ("a", Launch.Buffer { length = 16; init = Launch.Zeros }) ]
+  in
+  match Analysis.of_source_result src launch with
+  | Error [ d ] ->
+      check Alcotest.bool "code" true (d.Diag.code = Diag.Sema_error);
+      check Alcotest.string "message" "unknown variable zz" d.Diag.message
+  | Error ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+  | Ok _ -> Alcotest.fail "expected a sema error"
+
+let test_launch_diag () =
+  match
+    Launch.make_result
+      ~global:(Launch.dim3 10)
+      ~local:(Launch.dim3 3)
+      ~args:[ ("n", Launch.Scalar (Launch.Float Float.nan)) ]
+  with
+  | Ok _ -> Alcotest.fail "expected launch validation to fail"
+  | Error problems ->
+      let has s = List.exists (fun p -> Thelpers.contains p s) problems in
+      check Alcotest.bool "reports non-dividing local" true
+        (has "local.x = 3 does not divide global.x = 10");
+      check Alcotest.bool "reports NaN scalar" true (has "scalar n is NaN")
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter fuel *)
+
+let spin_src = "__kernel void spin(int n) { while (1) { n = n + 1; } }"
+
+let spin_launch =
+  Launch.make ~global:(Launch.dim3 16) ~local:(Launch.dim3 16)
+    ~args:[ ("n", Launch.Scalar (Launch.Int 0L)) ]
+
+let test_fuel_limit_raises () =
+  let k = Parser.parse_kernel spin_src in
+  let info = Sema.analyze k in
+  match Interp.run ~max_steps:10_000 k info spin_launch with
+  | exception Interp.Profile_budget_exceeded budget ->
+      check Alcotest.int "reported budget" 10_000 budget
+  | _ -> Alcotest.fail "expected Profile_budget_exceeded"
+
+let test_fuel_limit_diag () =
+  match Analysis.of_source_result ~max_steps:10_000 spin_src spin_launch with
+  | Error [ d ] ->
+      check Alcotest.bool "code" true (d.Diag.code = Diag.Profile_budget_exceeded);
+      check Alcotest.string "mnemonic" "E-FUEL" (Diag.code_name d.Diag.code);
+      check Alcotest.bool "names the budget" true
+        (Thelpers.contains d.Diag.message "10000-step budget")
+  | Error ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+  | Ok _ -> Alcotest.fail "expected the fuel limit to trip"
+
+let test_fuel_empty_body_loop () =
+  (* an empty loop body executes zero statements per iteration; fuel is
+     also charged per iteration, so this still terminates *)
+  let src = "__kernel void spin(int n) { while (1) { } }" in
+  match Analysis.of_source_result ~max_steps:10_000 src spin_launch with
+  | Error [ d ] ->
+      check Alcotest.bool "code" true (d.Diag.code = Diag.Profile_budget_exceeded)
+  | Error ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+  | Ok _ -> Alcotest.fail "expected the fuel limit to trip"
+
+let test_terminating_kernel_unaffected () =
+  (* the default budget must not interfere with ordinary kernels *)
+  match Analysis.of_source_result Thelpers.sample_kernel_src Thelpers.sample_launch with
+  | Ok _ -> ()
+  | Error ds ->
+      Alcotest.failf "sample kernel failed: %s" (Diag.render_all ds)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+(* Mutations keep the source printable and never lengthen digit runs, so
+   a mutant cannot declare a pathologically large array. *)
+let flip_chars = [| ';'; '}'; '{'; '('; ')'; '@'; '#'; '0'; 'x'; ' '; '*' |]
+
+let mutate rng src =
+  let n = String.length src in
+  if n < 4 then src
+  else
+    match Prng.int rng 3 with
+    | 0 ->
+        (* truncate mid-token / mid-block *)
+        String.sub src 0 (1 + Prng.int rng (n - 1))
+    | 1 ->
+        (* flip a few characters *)
+        let b = Bytes.of_string src in
+        for _ = 1 to 1 + Prng.int rng 4 do
+          Bytes.set b (Prng.int rng n) (Prng.choose rng flip_chars)
+        done;
+        Bytes.to_string b
+    | _ ->
+        (* delete a short span (token / operator / brace removal) *)
+        let start = Prng.int rng n in
+        let len = min (1 + Prng.int rng 12) (n - start) in
+        String.sub src 0 start ^ String.sub src (start + len) (n - start - len)
+
+type outcome = Returned_ok | Returned_error | Escaped of string
+
+let run_source_trial src launch =
+  match Analysis.of_source_result ~max_work_groups:1 ~max_steps:50_000 src launch with
+  | Ok _ -> Returned_ok
+  | Error [] -> Escaped "Error with empty diagnostic list"
+  | Error _ -> Returned_error
+  | exception exn -> Escaped (Printexc.to_string exn)
+
+let kernel_trials = 400
+let launch_trials = 150
+let config_trials = 100
+
+let test_inject_mutated_kernels () =
+  let workloads =
+    Array.of_list (Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all)
+  in
+  check Alcotest.bool "benchmark corpus present" true (Array.length workloads > 0);
+  let rng = Prng.create 0xF1EC5 in
+  let ok = ref 0 and err = ref 0 in
+  let escaped = ref [] in
+  for i = 0 to kernel_trials - 1 do
+    let w = workloads.(i mod Array.length workloads) in
+    let src = mutate rng w.W.source in
+    match run_source_trial src w.W.launch with
+    | Returned_ok -> incr ok
+    | Returned_error -> incr err
+    | Escaped msg ->
+        escaped := Printf.sprintf "%s (trial %d): %s" (W.name w) i msg :: !escaped
+  done;
+  (match !escaped with
+  | [] -> ()
+  | e :: _ ->
+      Alcotest.failf "%d escaped exception(s); first: %s" (List.length !escaped) e);
+  check Alcotest.int "every trial classified" kernel_trials (!ok + !err);
+  (* the mutation set must actually exercise the error paths *)
+  check Alcotest.bool "some mutants rejected" true (!err > 0)
+
+let test_inject_random_launches () =
+  let rng = Prng.create 42 in
+  let dim () =
+    match Prng.int rng 6 with
+    | 0 -> 0
+    | 1 -> -(1 + Prng.int rng 8)
+    | _ -> 1 lsl Prng.int rng 12
+  in
+  for i = 1 to launch_trials do
+    let global = { Launch.x = dim (); y = dim (); z = 1 } in
+    let local = { Launch.x = dim (); y = dim (); z = 1 } in
+    let args =
+      List.init (Prng.int rng 4) (fun j ->
+          let name = if Prng.bool rng then "a" else Printf.sprintf "a%d" j in
+          let arg =
+            match Prng.int rng 3 with
+            | 0 -> Launch.Scalar (Launch.Int (Int64.of_int (Prng.int rng 100)))
+            | 1 -> Launch.Scalar (Launch.Float (if Prng.bool rng then Float.nan else 1.5))
+            | _ -> Launch.Buffer { length = dim (); init = Launch.Zeros }
+          in
+          (name, arg))
+    in
+    match Launch.make_result ~global ~local ~args with
+    | Ok t -> check Alcotest.bool "validate agrees with make_result" true (Launch.validate t = [])
+    | Error problems ->
+        check Alcotest.bool "problems listed" true (problems <> [])
+    | exception exn ->
+        Alcotest.failf "make_result escaped on trial %d: %s" i (Printexc.to_string exn)
+  done
+
+let test_inject_random_configs () =
+  let rng = Prng.create 7 in
+  let analysis = Thelpers.sample_analysis () in
+  for i = 1 to config_trials do
+    let knob good =
+      match Prng.int rng 4 with
+      | 0 -> 0
+      | 1 -> -(1 + Prng.int rng 4)
+      | _ -> good
+    in
+    let cfg =
+      {
+        Config.wg_size = knob (if Prng.bool rng then 64 else 32);
+        n_pe = knob (1 lsl Prng.int rng 8);
+        n_cu = knob (1 + Prng.int rng 8);
+        wi_pipeline = Prng.bool rng;
+        comm_mode = (if Prng.bool rng then Config.Barrier_mode else Config.Pipeline_mode);
+      }
+    in
+    let dev =
+      let d = Thelpers.virtex7 in
+      match Prng.int rng 5 with
+      | 0 -> { d with Device.clock_mhz = 0 }
+      | 1 -> { d with Device.local_banks = -2 }
+      | _ -> d
+    in
+    match Model.estimate_result dev analysis cfg with
+    | Ok _ | Error _ -> ()
+    | exception exn ->
+        Alcotest.failf "estimate_result escaped on trial %d: %s" i
+          (Printexc.to_string exn)
+  done
+
+let test_trial_budget () =
+  (* the acceptance floor for the whole harness *)
+  check Alcotest.bool "at least 500 fault-injection trials" true
+    (kernel_trials + launch_trials + config_trials >= 500)
+
+let suite =
+  [
+    Alcotest.test_case "diag: lexer golden" `Quick test_lexer_diag;
+    Alcotest.test_case "diag: parser recovery golden" `Quick test_parser_recovery_diags;
+    Alcotest.test_case "diag: caret rendering" `Quick test_caret_rendering;
+    Alcotest.test_case "diag: sema golden" `Quick test_sema_diag;
+    Alcotest.test_case "diag: launch validation golden" `Quick test_launch_diag;
+    Alcotest.test_case "fuel: while(1) raises" `Quick test_fuel_limit_raises;
+    Alcotest.test_case "fuel: while(1) diagnostic" `Quick test_fuel_limit_diag;
+    Alcotest.test_case "fuel: empty-body loop" `Quick test_fuel_empty_body_loop;
+    Alcotest.test_case "fuel: terminating kernel unaffected" `Quick
+      test_terminating_kernel_unaffected;
+    Alcotest.test_case "inject: mutated benchmark kernels" `Quick
+      test_inject_mutated_kernels;
+    Alcotest.test_case "inject: random launches" `Quick test_inject_random_launches;
+    Alcotest.test_case "inject: random configs and devices" `Quick
+      test_inject_random_configs;
+    Alcotest.test_case "inject: trial budget" `Quick test_trial_budget;
+  ]
