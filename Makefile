@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench clean
+.PHONY: all build test check smoke bench bench-dse clean
 
 all: build
 
@@ -26,6 +26,11 @@ smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Parallel sweep engine: sequential-vs-parallel timings, pruning counts
+# and the pruned-best == exact-best cross-check.
+bench-dse:
+	dune exec bench/main.exe -- dse-parallel
 
 clean:
 	dune clean

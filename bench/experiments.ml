@@ -275,6 +275,84 @@ let run_dse_speed () =
   (t_flexcl, t_sim, t_rtl)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep engine: sequential-vs-parallel speedup and pruning *)
+
+let run_dse_parallel ?(domains = 4) () =
+  let module Parsweep = Flexcl_dse.Parsweep in
+  Printf.printf "=== Parallel DSE engine (hotspot3D, %d worker domains) ===\n"
+    domains;
+  Printf.printf "host offers %d recommended domain(s)\n\n"
+    (Domain.recommended_domain_count ());
+  let w = List.find (fun w -> W.name w = "hotspot3D/hotspot3D") Rodinia.all in
+  let base = analysis_of w in
+  let space = space_of w in
+  let oracle = Explore.model_oracle dev in
+  (* warm the per-wg analysis memo and the model's trace caches so the
+     timed runs compare sweep cost, not first-touch analysis cost *)
+  let warm = Parsweep.sweep ~num_domains:0 dev base space oracle in
+  let seq, t_seq =
+    time_of (fun () -> Parsweep.sweep ~num_domains:0 dev base space oracle)
+  in
+  let par, t_par =
+    time_of (fun () -> Parsweep.sweep ~num_domains:domains dev base space oracle)
+  in
+  let identical = seq = par && warm = seq in
+  Printf.printf "design points ranked           : %d\n" (List.length seq);
+  Printf.printf "sequential sweep (0 domains)   : %8.4f s\n" t_seq;
+  Printf.printf "parallel sweep  (%d domains)    : %8.4f s  (%.2fx)\n" domains
+    t_par
+    (t_seq /. t_par);
+  Printf.printf "identical ranked results       : %s\n"
+    (if identical then "yes (bit-for-bit)" else "NO - ENGINE BUG");
+  (* best-mode: bound-based pruning skips full model evaluations *)
+  let best_seq, t_best_seq =
+    time_of (fun () -> Parsweep.best ~num_domains:0 dev base space oracle)
+  in
+  let best_pruned_seq, t_best_pruned_seq =
+    time_of (fun () ->
+        Parsweep.best ~num_domains:0
+          ~bound:(Model.lower_bound dev)
+          dev base space oracle)
+  in
+  let best_pruned, t_best_pruned =
+    time_of (fun () ->
+        Parsweep.best ~num_domains:domains
+          ~bound:(Model.lower_bound dev)
+          dev base space oracle)
+  in
+  let picked = function
+    | Some (e : Parsweep.evaluated), _ ->
+        Printf.sprintf "%s (%.0f cycles)" (Config.to_string e.Parsweep.config)
+          e.Parsweep.cycles
+    | None, _ -> "none"
+  in
+  let stats (_, (s : Parsweep.progress)) = s in
+  Printf.printf "\nbest (no pruning, 0 domains)   : %8.4f s  -> %s\n" t_best_seq
+    (picked best_seq);
+  Printf.printf "best (pruned, 0 domains)       : %8.4f s  -> %s  (%.2fx)\n"
+    t_best_pruned_seq (picked best_pruned_seq)
+    (t_best_seq /. t_best_pruned_seq);
+  Printf.printf "best (pruned, %d domains)       : %8.4f s  -> %s\n" domains
+    t_best_pruned (picked best_pruned);
+  Printf.printf "pruned points                  : %d of %d (%.0f%% skipped)\n"
+    (stats best_pruned).Parsweep.pruned
+    (stats best_pruned).Parsweep.total
+    (100.0
+    *. float_of_int (stats best_pruned).Parsweep.pruned
+    /. float_of_int (max 1 (stats best_pruned).Parsweep.total));
+  Printf.printf "best-mode speedup              : %.2fx\n"
+    (t_best_seq /. t_best_pruned);
+  let same_best =
+    match (best_seq, best_pruned_seq, best_pruned) with
+    | (Some a, _), (Some b, _), (Some c, _) -> a = b && b = c
+    | (None, _), (None, _), (None, _) -> true
+    | _ -> false
+  in
+  Printf.printf "pruned best equals exact best  : %s\n\n"
+    (if same_best then "yes" else "NO - PRUNER BUG");
+  (t_seq, t_par, t_best_seq, t_best_pruned, identical && same_best)
+
+(* ------------------------------------------------------------------ *)
 (* DSE quality (§4.3): optimality of picked configs, gap, speedup *)
 
 type dse_row = {

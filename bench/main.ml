@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- bechamel  # micro-benchmarks
 
    Experiments: table2, polybench, figure4, robustness, dse-speed,
-   dse-quality, bechamel. *)
+   dse-quality, dse-parallel, bechamel. *)
 
 module W = Flexcl_workloads.Workload
 module Analysis = Flexcl_core.Analysis
@@ -78,6 +78,7 @@ let run_all () =
   ignore (Experiments.run_robustness ());
   ignore (Experiments.run_dse_speed ());
   ignore (Experiments.run_dse_quality ());
+  ignore (Experiments.run_dse_parallel ());
   Experiments.run_ablation ();
   run_bechamel ()
 
@@ -90,12 +91,14 @@ let () =
   | _ :: "robustness" :: _ -> ignore (Experiments.run_robustness ())
   | _ :: "dse-speed" :: _ -> ignore (Experiments.run_dse_speed ())
   | _ :: "dse-quality" :: _ -> ignore (Experiments.run_dse_quality ())
+  | _ :: "dse-parallel" :: _ -> ignore (Experiments.run_dse_parallel ())
   | _ :: "ablation" :: _ -> Experiments.run_ablation ()
   | _ :: "bechamel" :: _ -> run_bechamel ()
   | _ :: unknown :: _ ->
       Printf.eprintf
         "unknown experiment %S (expected table2 | polybench | figure4 |\n\
-         robustness | dse-speed | dse-quality | ablation | bechamel)\n"
+         robustness | dse-speed | dse-quality | dse-parallel | ablation |\n\
+         bechamel)\n"
         unknown;
       exit 2
   | _ -> run_all ());

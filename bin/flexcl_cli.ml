@@ -311,12 +311,29 @@ let explore_cmd =
   let top =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N best points.")
   in
-  let run dev file workload global wg buffer_size ints floats top =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel sweep engine (0 = sequential; \
+             default: cores - 1). Results are identical at any N.")
+  in
+  let run dev file workload global wg buffer_size ints floats top jobs =
+    match jobs with
+    | Some n when n < 0 ->
+        prerr_endline "flexcl: --jobs must be >= 0";
+        exit_usage_error
+    | _ ->
     with_kernel file workload global wg buffer_size ints floats (fun name a ->
         let space =
           Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)
         in
-        let ranked = Explore.exhaustive dev a space (Explore.model_oracle dev) in
+        let ranked =
+          Explore.exhaustive ?num_domains:jobs dev a space
+            (Explore.model_oracle dev)
+        in
         if ranked = [] then begin
           print_diags [ Explore.empty_space_diag ];
           exit_input_error
@@ -340,7 +357,10 @@ let explore_cmd =
                   ])
             ranked;
           print_string (Table.render t);
-          (match Heuristic.search_result dev a space (Explore.model_oracle dev) with
+          (match
+             Heuristic.search_result ?num_domains:jobs dev a space
+               (Explore.model_oracle dev)
+           with
           | Ok greedy ->
               Printf.printf "\ngreedy heuristic [16] would pick %s (%.0f cycles)\n"
                 (Config.to_string greedy.Explore.config) greedy.Explore.cycles
@@ -354,7 +374,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Exhaustively explore the optimization design space.")
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
-      $ wg_size $ buffer_size $ int_args $ float_args $ top)
+      $ wg_size $ buffer_size $ int_args $ float_args $ top $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* workloads *)

@@ -3,6 +3,7 @@ open Flexcl_ir
 module Device = Flexcl_device.Device
 module Dram = Flexcl_dram.Dram
 module Graph = Flexcl_util.Graph
+module Memo = Flexcl_util.Memo
 module Listsched = Flexcl_sched.Listsched
 module Sms = Flexcl_sched.Sms
 module Interp = Flexcl_interp.Interp
@@ -48,18 +49,16 @@ let fceil x = Float.ceil x
 let iceil_div a b = if b <= 0 then a else (a + b - 1) / b
 
 (* ------------------------------------------------------------------ *)
-(* Pattern-latency tables are device-wide: cache per device name. *)
+(* Pattern-latency tables are device-wide: cache per device name. All of
+   the model's caches are [Memo] tables (not plain [Hashtbl]s) because the
+   DSE engine evaluates design points from several domains at once. *)
 
-let latency_tables : (string, (Dram.pattern * float) list) Hashtbl.t =
-  Hashtbl.create 4
+let latency_tables : (string, (Dram.pattern * float) list) Memo.t =
+  Memo.create ~size:4 ()
 
 let pattern_latencies (dev : Device.t) =
-  match Hashtbl.find_opt latency_tables dev.Device.name with
-  | Some t -> t
-  | None ->
-      let t = Dram.profile_latencies dev.Device.dram in
-      Hashtbl.replace latency_tables dev.Device.name t;
-      t
+  Memo.find_or_add latency_tables dev.Device.name (fun () ->
+      Dram.profile_latencies dev.Device.dram)
 
 (* ------------------------------------------------------------------ *)
 (* Computation model *)
@@ -321,10 +320,13 @@ let compute_chunk_streams ~options (analysis : Analysis.t) (dev : Device.t) =
   List.rev !streams
 
 (* coalescing the profiled traces is pure per (analysis, device,
-   coalescing mode): cache it, since every estimate needs it *)
+   coalescing mode): cache it, since every estimate needs it. The cached
+   pair carries the analysis the value was derived from; the identity
+   check invalidates entries left by a different (equal-key) analysis
+   object, e.g. a re-analysis of the same kernel. *)
 let stream_cache :
-    (string * int * string * bool, Analysis.t * Dram.txn list list) Hashtbl.t =
-  Hashtbl.create 64
+    (string * int * string * bool, Analysis.t * Dram.txn list list) Memo.t =
+  Memo.create ()
 
 let chunk_streams ?(options = default_options) (analysis : Analysis.t)
     (dev : Device.t) =
@@ -334,22 +336,20 @@ let chunk_streams ?(options = default_options) (analysis : Analysis.t)
       dev.Device.name,
       options.cross_wi_coalescing )
   in
-  match Hashtbl.find_opt stream_cache key with
-  | Some (a, streams) when a == analysis -> streams
-  | _ ->
-      let streams = compute_chunk_streams ~options analysis dev in
-      Hashtbl.replace stream_cache key (analysis, streams);
-      streams
+  snd
+    (Memo.find_or_add stream_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () -> (analysis, compute_chunk_streams ~options analysis dev)))
 
 let counts_cache :
     ( string * int * string * bool * bool,
       Analysis.t * (Dram.pattern * float) list )
-    Hashtbl.t =
-  Hashtbl.create 64
+    Memo.t =
+  Memo.create ()
 
 let round_span_cache :
-    (string * int * string * bool * int, Analysis.t * float) Hashtbl.t =
-  Hashtbl.create 64
+    (string * int * string * bool * int, Analysis.t * float) Memo.t =
+  Memo.create ()
 
 let compute_mean_pattern_counts ~options (analysis : Analysis.t)
     (dev : Device.t) =
@@ -375,12 +375,10 @@ let mean_pattern_counts ?(options = default_options) (analysis : Analysis.t)
       options.cross_wi_coalescing,
       options.warm_classification )
   in
-  match Hashtbl.find_opt counts_cache key with
-  | Some (a, counts) when a == analysis -> counts
-  | _ ->
-      let counts = compute_mean_pattern_counts ~options analysis dev in
-      Hashtbl.replace counts_cache key (analysis, counts);
-      counts
+  snd
+    (Memo.find_or_add counts_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () -> (analysis, compute_mean_pattern_counts ~options analysis dev)))
 
 (* Memory span of one round of [k] concurrent work-groups in barrier
    mode: each profiled stream chains its transactions (one outstanding),
@@ -440,12 +438,10 @@ let round_mem_span ?(options = default_options) (analysis : Analysis.t)
       options.cross_wi_coalescing,
       (k * 64) + lanes )
   in
-  match Hashtbl.find_opt round_span_cache key with
-  | Some (a, span) when a == analysis -> span
-  | _ ->
-      let span = compute_round_mem_span ~options analysis dev ~k ~lanes in
-      Hashtbl.replace round_span_cache key (analysis, span);
-      span
+  snd
+    (Memo.find_or_add round_span_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () -> (analysis, compute_round_mem_span ~options analysis dev ~k ~lanes)))
 
 let mem_latency_wi (dev : Device.t) pattern_counts =
   let table = pattern_latencies dev in
@@ -667,6 +663,107 @@ let feasible (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
   && cfg.Config.n_pe <= cfg.Config.wg_size
   && dsp_fp * cfg.Config.n_pe * cfg.Config.n_cu <= dev.Device.dsp_total
   && local_bytes analysis * cfg.Config.n_cu <= bram_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Cheap cycles lower bound for bound-based pruning (DSE engine).
+
+   [lower_bound dev a cfg <= (estimate dev a cfg).cycles] holds (up to
+   float rounding) for the default options. The bound combines
+
+   - the dependence-only critical path of the kernel body (no list
+     scheduling, no modulo scheduling) as a stand-in for D_comp^PE,
+   - the shared-bus roofline  txns/WI x N_wi x t_bus  (the L_mem^wi-based
+     floor of Eq. 10/11),
+   - the dispatch-rate floor  dL x ceil(N_wg / N_CU),
+
+   all of which underestimate the corresponding terms of [estimate]:
+   critical path <= scheduled latency, N_PE^eff <= N_PE, and
+   N_CU^eff <= N_CU make every factor a lower bound. *)
+
+(* Structural critical path of a region: like [region_latency] but with
+   each block at its dependence-only lower bound, pipelined loops at
+   II = 1, and unrolled iterations at their single-copy cost. Fractional
+   profiled trip counts below 1 make Eq. 1's pipelined-loop term shrink
+   below one iteration, so those loops are bounded by 0. *)
+let rec region_crit_path ~lat ~trip (r : Cdfg.region) : float =
+  let block d = float_of_int (Listsched.critical_path d ~lat) in
+  match r with
+  | Cdfg.Straight d -> block d
+  | Cdfg.Seq rs -> seq_latency (region_crit_path ~lat ~trip) rs
+  | Cdfg.Branch { cond; then_; else_ } ->
+      block cond
+      +. Float.max
+           (region_crit_path ~lat ~trip then_)
+           (region_crit_path ~lat ~trip else_)
+  | Cdfg.Loop { info; header; body } ->
+      let n = trip info in
+      if n <= 0.0 then 0.0
+      else
+        let iter = block header +. region_crit_path ~lat ~trip body in
+        if info.Cdfg.attrs.Ast.pipeline then
+          if n >= 1.0 then (n -. 1.0) +. iter else 0.0
+        else
+          let u =
+            match info.Cdfg.attrs.Ast.unroll with
+            | Some u -> float_of_int (min u (max 1 (int_of_float n)))
+            | None -> 1.0
+          in
+          if u <= 1.0 then n *. iter else fceil (n /. u) *. iter
+
+let crit_path_cache : (string * int * string, Analysis.t * float) Memo.t =
+  Memo.create ()
+
+let kernel_crit_path (dev : Device.t) (analysis : Analysis.t) =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.wg_size analysis.Analysis.launch,
+      dev.Device.name )
+  in
+  snd
+    (Memo.find_or_add crit_path_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () ->
+         let lat = Device.op_latency dev in
+         let trip = Analysis.trip analysis in
+         (analysis, region_crit_path ~lat ~trip analysis.Analysis.cdfg.Cdfg.body)))
+
+let lower_bound (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
+  let analysis =
+    if Launch.wg_size analysis.Analysis.launch = cfg.Config.wg_size then analysis
+    else Analysis.with_wg_size analysis cfg.Config.wg_size
+  in
+  let depth_lb = kernel_crit_path dev analysis in
+  let pattern_counts = mean_pattern_counts analysis dev in
+  let l_mem_wi = mem_latency_wi dev pattern_counts in
+  let txns_per_wi =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
+  in
+  let n_wi = Launch.n_work_items analysis.Analysis.launch in
+  let wg = cfg.Config.wg_size in
+  let n_wg = iceil_div n_wi wg in
+  let dl = float_of_int dev.Device.wg_dispatch_overhead in
+  let rounds_lb = fceil (float_of_int n_wg /. float_of_int cfg.Config.n_cu) in
+  let bus_total =
+    txns_per_wi *. float_of_int n_wi *. float_of_int dev.Device.dram.Dram.t_bus
+  in
+  match cfg.Config.comm_mode with
+  | Config.Barrier_mode ->
+      (* Eq. 10 >= bus floor + dispatch-floored compute tail *)
+      bus_total
+      +. (Float.max depth_lb dl *. rounds_lb)
+      +. (float_of_int cfg.Config.n_cu *. dl)
+  | Config.Pipeline_mode ->
+      (* Eq. 11/12 >= max(per-round pipeline floor, bus floor) *)
+      let q_lb =
+        float_of_int (iceil_div (max 0 (wg - cfg.Config.n_pe)) (max 1 cfg.Config.n_pe))
+      in
+      let ii_lb =
+        Float.max l_mem_wi
+          (if cfg.Config.wi_pipeline then 1.0 else Float.max 1.0 depth_lb)
+      in
+      let eq11_lb = Float.max ((ii_lb *. q_lb) +. depth_lb) dl *. rounds_lb in
+      let bus_lb = bus_total +. (rounds_lb *. (depth_lb +. dl)) in
+      Float.max eq11_lb bus_lb
 
 let bottleneck (b : breakdown) =
   if b.l_mem_wi > float_of_int b.ii_wi && b.l_mem_wi > 2.0 then "global memory"

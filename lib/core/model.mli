@@ -82,6 +82,17 @@ val feasible : Device.t -> Analysis.t -> Config.t -> bool
     local memory × CU within BRAM, CU count within the practical bound,
     and [n_pe <= wg_size]. *)
 
+val lower_bound : Device.t -> Analysis.t -> Config.t -> float
+(** Cheap cycles lower bound for a design point, used by the DSE engine's
+    bound-based pruning: [lower_bound dev a cfg <= cycles dev a cfg] (up
+    to float rounding) under {!default_options}. Built from the
+    dependence-only critical path of the kernel body (no list/modulo
+    scheduling), the shared-bus memory floor [txns/WI ⋅ N_wi ⋅ t_bus],
+    and the work-group dispatch floor — each a provable underestimate of
+    the corresponding {!estimate} term. The bound is {e not} valid for
+    other oracles (the simulator, the SDAccel baseline) or non-default
+    ablation options. *)
+
 val bottleneck : breakdown -> string
 (** Human-readable dominant term ("global memory", "recurrence",
     "local-memory ports", "DSP", "compute depth", "scheduling overhead")

@@ -3,27 +3,14 @@ module Model = Flexcl_core.Model
 module Analysis = Flexcl_core.Analysis
 module Sysrun = Flexcl_simrtl.Sysrun
 module Sdaccel = Flexcl_simrtl.Sdaccel_estimate
-module Launch = Flexcl_ir.Launch
 
-type evaluated = { config : Config.t; cycles : float }
+type evaluated = Parsweep.evaluated = { config : Config.t; cycles : float }
 
-type oracle = Analysis.t -> Config.t -> float
+type oracle = Parsweep.oracle
 
-(* Re-analysis per work-group size is the costly part of a sweep: cache
-   it keyed on (kernel name, wg size). *)
-let analysis_cache : (string * int, Analysis.t) Hashtbl.t = Hashtbl.create 64
-
-let analysis_for (base : Analysis.t) wg_size =
-  if Launch.wg_size base.Analysis.launch = wg_size then base
-  else begin
-    let key = (base.Analysis.cdfg.Flexcl_ir.Cdfg.kernel_name, wg_size) in
-    match Hashtbl.find_opt analysis_cache key with
-    | Some a when a.Analysis.kernel == base.Analysis.kernel -> a
-    | Some _ | None ->
-        let a = Analysis.with_wg_size base wg_size in
-        Hashtbl.replace analysis_cache key a;
-        a
-  end
+(* Re-analysis per work-group size is the costly part of a sweep: the
+   engine caches it in a thread-safe memo keyed on (kernel, wg size). *)
+let analysis_for = Parsweep.analysis_for
 
 let model_oracle dev : oracle = fun analysis cfg -> Model.cycles dev analysis cfg
 
@@ -36,28 +23,26 @@ let sdaccel_oracle dev : oracle =
   | Some c -> c
   | None -> infinity
 
-let exhaustive dev (base : Analysis.t) space (oracle : oracle) =
-  let points = Space.feasible_points dev base space in
-  List.map
-    (fun (cfg : Config.t) ->
-      let analysis = analysis_for base cfg.Config.wg_size in
-      { config = cfg; cycles = oracle analysis cfg })
-    points
-  |> List.sort (fun a b -> compare (a.cycles, a.config) (b.cycles, b.config))
-
-let best dev base space oracle =
-  match exhaustive dev base space oracle with
-  | [] -> invalid_arg "Explore.best: empty design space"
-  | e :: _ -> e
+let exhaustive ?num_domains dev (base : Analysis.t) space (oracle : oracle) =
+  Parsweep.sweep ?num_domains dev base space oracle
 
 let empty_space_diag =
   Flexcl_util.Diag.error Flexcl_util.Diag.Empty_design_space
     "no feasible design point: every configuration exceeds the device resources"
 
-let best_result dev base space oracle =
-  match exhaustive dev base space oracle with
-  | [] -> Error empty_space_diag
-  | e :: _ -> Ok e
+let all_failed_diag =
+  Flexcl_util.Diag.error Flexcl_util.Diag.Empty_design_space
+    "every feasible design point failed its cost oracle (non-finite cost)"
+
+let best ?num_domains dev base space oracle =
+  match Parsweep.best ?num_domains dev base space oracle with
+  | Some e, _ -> e
+  | None, _ -> invalid_arg "Explore.best: no rankable design point"
+
+let best_result ?num_domains dev base space oracle =
+  match Parsweep.best ?num_domains dev base space oracle with
+  | Some e, _ -> Ok e
+  | None, st -> Error (if st.Parsweep.total > 0 then all_failed_diag else empty_space_diag)
   | exception (Out_of_memory as e) -> raise e
   | exception exn -> Error (Analysis.diag_of_exn exn)
 

@@ -3,16 +3,18 @@
     [exhaustive] sweeps every feasible point through a cost oracle;
     FlexCL's oracle is the analytical model (seconds for hundreds of
     points), System Run's is the cycle-level simulator (the stand-in for
-    hours-per-point synthesis). Work-group-size re-analysis is cached so
-    a sweep profiles each size once. *)
+    hours-per-point synthesis). Sweeps run through the parallel memoized
+    engine ({!Parsweep}): points are chunked by work-group size over a
+    domain pool, and re-analysis per size is cached. Results are
+    bit-for-bit independent of [num_domains]. *)
 
 module Config = Flexcl_core.Config
 module Model = Flexcl_core.Model
 module Analysis = Flexcl_core.Analysis
 
-type evaluated = { config : Config.t; cycles : float }
+type evaluated = Parsweep.evaluated = { config : Config.t; cycles : float }
 
-type oracle = Analysis.t -> Config.t -> float
+type oracle = Parsweep.oracle
 (** Cost of one design point, given an analysis whose launch already has
     the point's work-group size. *)
 
@@ -23,20 +25,29 @@ val sysrun_oracle : ?seed:int -> Model.Device.t -> oracle
 (** Ground truth via the cycle-level simulator. *)
 
 val sdaccel_oracle : Model.Device.t -> oracle
-(** Baseline estimator; design points it fails on get [infinity]. *)
+(** Baseline estimator; design points it fails on get [infinity] (which
+    the sweep then filters out, so failures never rank). *)
 
 val exhaustive :
+  ?num_domains:int ->
   Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated list
-(** Every feasible point, sorted fastest-first. *)
+(** Every feasible point with a finite cost, sorted fastest-first.
+    [num_domains] (default [Domain.recommended_domain_count () - 1])
+    sizes the worker pool; [0] runs sequentially. *)
 
-val best : Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated
-(** Head of {!exhaustive}; raises [Invalid_argument] on an empty space. *)
+val best :
+  ?num_domains:int ->
+  Model.Device.t -> Analysis.t -> Space.t -> oracle -> evaluated
+(** Minimum of {!exhaustive}; raises [Invalid_argument] when no point is
+    rankable (empty feasible space, or every oracle call failed). *)
 
 val best_result :
+  ?num_domains:int ->
   Model.Device.t -> Analysis.t -> Space.t -> oracle ->
   (evaluated, Flexcl_util.Diag.t) result
-(** Total variant of {!best}: an empty feasible space (or any sweep
-    exception) becomes a structured diagnostic instead of raising. *)
+(** Total variant of {!best}: an empty feasible space, an all-failures
+    sweep (see {!all_failed_diag}) or any sweep exception becomes a
+    structured diagnostic instead of raising. *)
 
 val quality_vs_optimal :
   picked:Config.t ->
@@ -48,7 +59,11 @@ val quality_vs_optimal :
 
 val analysis_for : Analysis.t -> int -> Analysis.t
 (** Cached re-analysis at a work-group size (shared by all oracles during
-    a sweep). *)
+    a sweep); alias of {!Parsweep.analysis_for}. *)
 
 val empty_space_diag : Flexcl_util.Diag.t
 (** The diagnostic reported when no design point is feasible. *)
+
+val all_failed_diag : Flexcl_util.Diag.t
+(** The diagnostic reported when feasible points exist but every oracle
+    evaluation returned a non-finite cost. *)

@@ -3,20 +3,37 @@ module Model = Flexcl_core.Model
 
 let knob_order = [ "wg_size"; "wi_pipeline"; "n_pe"; "n_cu"; "comm_mode" ]
 
-let search dev (base : Flexcl_core.Analysis.t) (space : Space.t)
+let search ?num_domains dev (base : Flexcl_core.Analysis.t) (space : Space.t)
     (oracle : Explore.oracle) =
-  let eval (cfg : Config.t) =
-    if Model.feasible dev base cfg then
-      let analysis = Explore.analysis_for base cfg.Config.wg_size in
-      oracle analysis cfg
-    else infinity
+  (* Each knob's candidate list is evaluated as one batch through the
+     sweep engine (shared analysis memo, optional domain parallelism).
+     Feasibility is judged against the base analysis, as the sequential
+     version did, and infeasible points cost infinity so they never
+     outrank feasible ones. *)
+  let costs cfgs =
+    let tagged = List.map (fun c -> (c, Model.feasible dev base c)) cfgs in
+    let feas = List.filter_map (fun (c, ok) -> if ok then Some c else None) tagged in
+    let evals = Parsweep.eval_batch ?num_domains base feas oracle in
+    let rec merge tagged evals =
+      match (tagged, evals) with
+      | [], [] -> []
+      | (_, false) :: t, es -> infinity :: merge t es
+      | (_, true) :: t, (e : Parsweep.evaluated) :: es ->
+          e.Parsweep.cycles :: merge t es
+      | _ -> assert false
+    in
+    merge tagged evals
   in
+  (* strict <, fold order and current-first evaluation all match the
+     original greedy loop, so picks are identical *)
   let pick candidates current =
-    List.fold_left
-      (fun (best_cfg, best_cost) cfg ->
-        let c = eval cfg in
-        if c < best_cost then (cfg, c) else (best_cfg, best_cost))
-      (current, eval current) candidates
+    match costs (current :: candidates) with
+    | current_cost :: candidate_costs ->
+        List.fold_left2
+          (fun (best_cfg, best_cost) cfg c ->
+            if c < best_cost then (cfg, c) else (best_cfg, best_cost))
+          (current, current_cost) candidates candidate_costs
+    | [] -> assert false
   in
   let start =
     {
@@ -52,7 +69,7 @@ let search dev (base : Flexcl_core.Analysis.t) (space : Space.t)
   in
   { Explore.config = cfg; cycles = cost }
 
-let search_result dev base space oracle =
+let search_result ?num_domains dev base space oracle =
   let module Diag = Flexcl_util.Diag in
   if
     space.Space.wg_sizes = [] || space.Space.pe_counts = []
@@ -64,7 +81,7 @@ let search_result dev base space oracle =
       (Diag.error Diag.Empty_design_space
          "heuristic search requires a non-empty candidate list for every knob")
   else
-    match search dev base space oracle with
+    match search ?num_domains dev base space oracle with
     | e when e.Explore.cycles = infinity -> Error Explore.empty_space_diag
     | e -> Ok e
     | exception (Out_of_memory as exn) -> raise exn

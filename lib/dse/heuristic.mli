@@ -10,15 +10,20 @@
     off at large work-group sizes). *)
 
 val search :
+  ?num_domains:int ->
   Flexcl_core.Model.Device.t ->
   Flexcl_core.Analysis.t ->
   Space.t ->
   Explore.oracle ->
   Explore.evaluated
 (** Greedy coordinate descent over the space; each knob is evaluated with
-    the other knobs held at their current values. *)
+    the other knobs held at their current values. Each knob's candidate
+    list is evaluated as one batch through the {!Parsweep} engine
+    ([num_domains] as in {!Explore.exhaustive}); picks are identical at
+    any domain count. *)
 
 val search_result :
+  ?num_domains:int ->
   Flexcl_core.Model.Device.t ->
   Flexcl_core.Analysis.t ->
   Space.t ->

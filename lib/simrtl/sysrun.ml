@@ -73,25 +73,36 @@ let deep_profile_cache : (string * int, Analysis.t) Hashtbl.t = Hashtbl.create 6
 let deep_cache_order : (string * int) Queue.t = Queue.create ()
 let deep_cache_limit = 6
 
+(* The sweep engine may drive the simulator oracle from several domains:
+   the cache and its eviction queue are guarded by one lock. Re-profiling
+   runs inside the lock — concurrent misses on different kernels
+   serialize, which is acceptable for the deep-profile path (it is the
+   expensive, rarely-parallel oracle). *)
+let deep_cache_mutex = Mutex.create ()
+
 let deep_analysis (analysis : Analysis.t) =
   let key =
     ( analysis.Analysis.cdfg.Cdfg.kernel_name,
       Launch.wg_size analysis.Analysis.launch )
   in
-  match Hashtbl.find_opt deep_profile_cache key with
-  | Some a when a.Analysis.kernel == analysis.Analysis.kernel -> a
-  | Some _ | None ->
-      let a =
-        Analysis.analyze
-          ~max_work_groups:(Launch.n_work_groups analysis.Analysis.launch)
-          analysis.Analysis.kernel analysis.Analysis.launch
-      in
-      Hashtbl.replace deep_profile_cache key a;
-      Queue.add key deep_cache_order;
-      while Queue.length deep_cache_order > deep_cache_limit do
-        Hashtbl.remove deep_profile_cache (Queue.pop deep_cache_order)
-      done;
-      a
+  Mutex.lock deep_cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock deep_cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt deep_profile_cache key with
+      | Some a when a.Analysis.kernel == analysis.Analysis.kernel -> a
+      | Some _ | None ->
+          let a =
+            Analysis.analyze
+              ~max_work_groups:(Launch.n_work_groups analysis.Analysis.launch)
+              analysis.Analysis.kernel analysis.Analysis.launch
+          in
+          Hashtbl.replace deep_profile_cache key a;
+          Queue.add key deep_cache_order;
+          while Queue.length deep_cache_order > deep_cache_limit do
+            Hashtbl.remove deep_profile_cache (Queue.pop deep_cache_order)
+          done;
+          a)
 
 let run ?(seed = 42) ?(max_detail_rounds = 4) (dev : Device.t)
     (analysis : Analysis.t) (cfg : Config.t) =

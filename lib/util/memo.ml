@@ -1,0 +1,71 @@
+type 'v entry = Computing | Done of 'v
+
+type ('k, 'v) t = {
+  tbl : ('k, 'v entry) Hashtbl.t;
+  mutex : Mutex.t;
+  landed : Condition.t;  (* signalled when a computation completes or aborts *)
+}
+
+let create ?(size = 64) () =
+  { tbl = Hashtbl.create size; mutex = Mutex.create (); landed = Condition.create () }
+
+let find_or_add ?(valid = fun _ -> true) t k f =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done v) when valid v ->
+        Mutex.unlock t.mutex;
+        v
+    | Some Computing ->
+        Condition.wait t.landed t.mutex;
+        loop ()
+    | Some (Done _) (* stale *) | None -> (
+        Hashtbl.replace t.tbl k Computing;
+        Mutex.unlock t.mutex;
+        match f () with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.tbl k (Done v);
+            Condition.broadcast t.landed;
+            Mutex.unlock t.mutex;
+            v
+        | exception exn ->
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.tbl k;
+            Condition.broadcast t.landed;
+            Mutex.unlock t.mutex;
+            raise exn)
+  in
+  loop ()
+
+let find_opt t k =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done v) -> Some v
+    | Some Computing | None -> None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let set t k v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.tbl k (Done v);
+  Condition.broadcast t.landed;
+  Mutex.unlock t.mutex
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.tbl;
+  Condition.broadcast t.landed;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ e acc -> match e with Done _ -> acc + 1 | Computing -> acc)
+      t.tbl 0
+  in
+  Mutex.unlock t.mutex;
+  n

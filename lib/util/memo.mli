@@ -1,0 +1,41 @@
+(** Thread-safe memoization table.
+
+    A [Memo.t] is a mutex-protected hash table whose [find_or_add] is safe
+    to call from several domains at once: the first caller of a missing key
+    computes the value (outside the lock), every concurrent caller of the
+    same key blocks on a condition variable until the value lands, and
+    distinct keys compute in parallel. The computation must be pure — if
+    two domains race past each other (see [valid]) both may run it, and
+    either result may be kept.
+
+    This is the cache primitive behind the design-space exploration
+    engine's per-work-group-size analyses ({!Flexcl_dse.Parsweep}) and the
+    analytical model's trace/pattern caches ({!Flexcl_core.Model}). *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [create ()] makes an empty table. [size] is the initial bucket hint. *)
+
+val find_or_add : ?valid:('v -> bool) -> ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k f] returns the cached value for [k], computing it
+    with [f] on a miss. While [f] runs, other callers of [k] wait rather
+    than duplicating the work; if [f] raises, the key is released and the
+    exception propagates to the computing caller (waiters retry).
+
+    [valid] (default [fun _ -> true]) guards cache hits: a stored value
+    for which [valid v = false] is treated as a miss and recomputed —
+    used for entries that carry a physical-identity witness (e.g. "this
+    cached analysis belongs to the same kernel object"). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Non-blocking lookup; [None] for absent or still-computing keys. *)
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Unconditionally store a value (replacing any previous binding). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every completed binding (in-flight computations still land). *)
+
+val length : ('k, 'v) t -> int
+(** Number of completed bindings. *)

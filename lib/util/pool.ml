@@ -1,0 +1,133 @@
+type t = {
+  n : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_num_domains () = max 0 (Domain.recommended_domain_count () - 1)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          Some task
+      | None ->
+          if not t.live then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.work t.mutex;
+            next ()
+          end
+    in
+    match next () with
+    | Some task ->
+        task ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | None -> default_num_domains ()
+    | Some n when n >= 0 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Pool.create: num_domains %d < 0" n)
+  in
+  let t =
+    {
+      n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      domains = [];
+    }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let num_domains t = t.n
+
+(* Tasks never raise: [run] wraps each thunk so failures are recorded in
+   the batch state instead of killing a worker. *)
+let run t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    let failure = ref None (* (index, exn, backtrace) of the earliest failure *) in
+    let task i () =
+      (match thunks.(i) () with
+      | v -> results.(i) <- Some v
+      | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock batch_mutex;
+          (match !failure with
+          | Some (j, _, _) when j < i -> ()
+          | _ -> failure := Some (i, exn, bt));
+          Mutex.unlock batch_mutex);
+      Mutex.lock batch_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock batch_mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* the submitter steals work too: with zero workers this loop runs the
+       whole batch sequentially, in submission order *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let task = Queue.take_opt t.queue in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some task ->
+          task ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    match !failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.to_list
+          (Array.map
+             (function
+               | Some v -> v
+               | None -> assert false (* every non-failing task stored a result *))
+             results)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.live <- false;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,39 @@
+(** Work-stealing domain pool.
+
+    A pool owns [num_domains] worker domains that pull tasks from a shared
+    queue (self-scheduling: whichever worker is free steals the next
+    task). {!run} additionally makes the {e submitting} domain participate
+    — it drains tasks alongside the workers instead of blocking — so a
+    pool with [num_domains = 0] degrades to a plain sequential loop on the
+    caller's domain, with no spawning and tasks executed in submission
+    order. That sequential fallback is what the differential tests pin the
+    parallel engine against.
+
+    Tasks must not themselves call {!run} on the same pool (no nesting),
+    and anything they share must be domain-safe. *)
+
+type t
+
+val default_num_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the submitter counts as one
+    executor), never negative. *)
+
+val create : ?num_domains:int -> unit -> t
+(** Spawn the workers. [num_domains] defaults to
+    {!default_num_domains}[ ()]; [0] spawns nothing. Raises
+    [Invalid_argument] if negative. *)
+
+val num_domains : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t thunks] executes every thunk (workers + the calling domain) and
+    returns their results in submission order. If any thunk raises, the
+    batch still runs to completion, then the exception of the
+    lowest-indexed failing thunk is re-raised with its backtrace. *)
+
+val shutdown : t -> unit
+(** Stop accepting work and join the workers. Idempotent. Pending tasks
+    from an in-flight {!run} are completed by the submitter. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exception). *)
