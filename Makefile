@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke bench bench-dse clean
+.PHONY: all build test check smoke serve-smoke bench bench-dse bench-serve clean
 
 all: build
 
@@ -11,8 +11,8 @@ test:
 # Full verification: build everything, run the test suite (which includes
 # the fault-injection harness in test/test_robustness.ml), then smoke-test
 # the CLI's diagnostic path on a deliberately broken kernel (must exit 1,
-# not crash).
-check: build test smoke
+# not crash) and the serve loop on a batch with one malformed request.
+check: build test smoke serve-smoke
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -24,6 +24,29 @@ smoke:
 	fi; \
 	echo "smoke: broken-kernel diagnostics OK (exit 1)"
 
+# Pipe a 4-request NDJSON batch (one line deliberately malformed) through
+# `flexcl serve`: the server must answer every line in order — 3 ok, 1
+# structured error — and exit 0 at EOF rather than crash or wedge.
+serve-smoke:
+	@out=$$(printf '%s\n' \
+	  '{"id":1,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true}' \
+	  'this line is not json' \
+	  '{"id":3,"kind":"parse","source":"__kernel void f(__global float* a, int n) { a[0] = 1.0f; }"}' \
+	  '{"id":4,"kind":"stats"}' \
+	  | dune exec --no-build bin/flexcl_cli.exe -- serve 2>/dev/null); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "serve-smoke: expected exit 0, got $$status"; exit 1; \
+	fi; \
+	total=$$(printf '%s\n' "$$out" | wc -l); \
+	errors=$$(printf '%s\n' "$$out" | grep -c '"ok":false'); \
+	oks=$$(printf '%s\n' "$$out" | grep -c '"ok":true'); \
+	if [ $$total -ne 4 ] || [ $$errors -ne 1 ] || [ $$oks -ne 3 ]; then \
+	  echo "serve-smoke: expected 3 ok + 1 error responses, got $$oks ok + $$errors error ($$total lines)"; \
+	  printf '%s\n' "$$out"; exit 1; \
+	fi; \
+	echo "serve-smoke: 3 ok + 1 structured error, exit 0 OK"
+
 bench:
 	dune exec bench/main.exe
 
@@ -31,6 +54,11 @@ bench:
 # and the pruned-best == exact-best cross-check.
 bench-dse:
 	dune exec bench/main.exe -- dse-parallel
+
+# Serve cache payoff: cold vs cached predict latency, throughput and
+# tail percentiles, written to BENCH_serve.json.
+bench-serve:
+	dune exec bench/main.exe -- serve-load
 
 clean:
 	dune clean

@@ -510,3 +510,112 @@ let run_ablation ?(stride = 8) () =
   print_string (Table.render t);
   print_endline
     "\n(each refinement is justified when removing it raises the error)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Serve load: the request-level cache against cold analysis cost *)
+
+let run_serve_load ?(requests = 100) ?(out_file = "BENCH_serve.json") () =
+  let module Client = Flexcl_server.Client in
+  let module Json = Flexcl_util.Json in
+  Printf.printf "=== Serve load generator (%d predict requests) ===\n" requests;
+  let line id =
+    Printf.sprintf
+      {|{"id":%d,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true}|}
+      id
+  in
+  let client = Client.create ~num_domains:0 () in
+  (* request 1 is cold: parse + profile + model. *)
+  let cold_resp, t_cold = time_of (fun () -> Client.request_line client (line 1)) in
+  (* requests 2..N replay the same kernel/design point: the serving
+     pattern the cache exists for. *)
+  let warm_lat = ref [] in
+  let warm_resp = ref cold_resp in
+  let (), t_warm_total =
+    time_of (fun () ->
+        for id = 2 to requests do
+          let r, dt = time_of (fun () -> Client.request_line client (line id)) in
+          warm_resp := r;
+          warm_lat := (dt *. 1e6) :: !warm_lat
+        done)
+  in
+  let warm_lat = List.rev !warm_lat in
+  let result_of resp =
+    match Json.of_string resp with
+    | Ok v -> Option.map Json.to_string (Json.member "result" v)
+    | Error _ -> None
+  in
+  let identical =
+    match (result_of cold_resp, result_of !warm_resp) with
+    | Some a, Some b -> a = b
+    | _ -> false
+  in
+  (* the one-shot CLI path computes the same estimate directly; cached
+     responses must agree byte-for-byte on the rendered cycle count *)
+  let w = List.find (fun w -> W.name w = "hotspot/hotspot") Rodinia.all in
+  let cfg =
+    { Config.wg_size = Launch.wg_size w.W.launch; n_pe = 2; n_cu = 2;
+      wi_pipeline = true; comm_mode = Config.Pipeline_mode }
+  in
+  let direct = Model.estimate dev (analysis_of w) cfg in
+  let direct_cycles = Json.to_string (Json.Num direct.Model.cycles) in
+  let served_cycles =
+    match Json.of_string !warm_resp with
+    | Ok v ->
+        Option.bind (Json.member "result" v) (Json.member "cycles")
+        |> Option.map Json.to_string
+    | Error _ -> None
+  in
+  let matches_cli = served_cycles = Some direct_cycles in
+  let hit_rate =
+    match Json.member "cache" (Client.stats client) with
+    | Some cache -> (
+        match
+          Option.bind (Json.member "predict" cache) (Json.member "hit_rate")
+        with
+        | Some (Json.Num r) -> r
+        | _ -> 0.0)
+    | None -> 0.0
+  in
+  let mean_warm_us = Stats.mean warm_lat in
+  let p50 = Stats.percentile 50.0 warm_lat in
+  let p95 = Stats.percentile 95.0 warm_lat in
+  let p99 = Stats.percentile 99.0 warm_lat in
+  let cold_us = t_cold *. 1e6 in
+  let speedup = cold_us /. Float.max mean_warm_us 1e-9 in
+  let throughput =
+    float_of_int (requests - 1) /. Float.max t_warm_total 1e-9
+  in
+  Printf.printf "cold first request     : %10.0f us\n" cold_us;
+  Printf.printf "cached mean / p50      : %10.1f / %.1f us\n" mean_warm_us p50;
+  Printf.printf "cached p95 / p99       : %10.1f / %.1f us\n" p95 p99;
+  Printf.printf "cached throughput      : %10.0f req/s\n" throughput;
+  Printf.printf "cold/cached speedup    : %10.1fx %s\n" speedup
+    (if speedup >= 10.0 then "(>= 10x)" else "(BELOW 10x TARGET)");
+  Printf.printf "predict cache hit rate : %10.1f%% %s\n" (hit_rate *. 100.0)
+    (if hit_rate >= 0.99 then "(>= 99%)" else "(BELOW 99% TARGET)");
+  Printf.printf "cold == cached result  : %s\n"
+    (if identical then "yes (byte-identical)" else "NO - CACHE BUG");
+  Printf.printf "serve == one-shot CLI  : %s\n"
+    (if matches_cli then "yes (byte-identical cycles)" else "NO - DIVERGENCE");
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.Str "serve-load");
+        ("requests", Json.int requests);
+        ("cold_us", Json.Num cold_us);
+        ("cached_mean_us", Json.Num mean_warm_us);
+        ("cached_p50_us", Json.Num p50);
+        ("cached_p95_us", Json.Num p95);
+        ("cached_p99_us", Json.Num p99);
+        ("cached_throughput_rps", Json.Num throughput);
+        ("speedup_cold_over_cached", Json.Num speedup);
+        ("predict_cache_hit_rate", Json.Num hit_rate);
+        ("cold_equals_cached", Json.Bool identical);
+        ("serve_equals_cli", Json.Bool matches_cli);
+      ]
+  in
+  Out_channel.with_open_text out_file (fun oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n\n" out_file;
+  (speedup, hit_rate)

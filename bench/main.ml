@@ -5,10 +5,9 @@
 
      dune exec bench/main.exe              # all experiments
      dune exec bench/main.exe -- table2    # one experiment
-     dune exec bench/main.exe -- bechamel  # micro-benchmarks
+     dune exec bench/main.exe -- list      # name + one-line description
 
-   Experiments: table2, polybench, figure4, robustness, dse-speed,
-   dse-quality, dse-parallel, bechamel. *)
+   An unknown experiment name lists what is available and exits 2. *)
 
 module W = Flexcl_workloads.Workload
 module Analysis = Flexcl_core.Analysis
@@ -70,36 +69,53 @@ let run_bechamel () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Experiment registry: one row per experiment, so the dispatch, the
+   all-experiments run and the listing printed on a typo cannot drift
+   apart. *)
 
-let run_all () =
-  ignore (Experiments.run_table2 ());
-  ignore (Experiments.run_polybench ());
-  ignore (Experiments.run_figure4 ());
-  ignore (Experiments.run_robustness ());
-  ignore (Experiments.run_dse_speed ());
-  ignore (Experiments.run_dse_quality ());
-  ignore (Experiments.run_dse_parallel ());
-  Experiments.run_ablation ();
-  run_bechamel ()
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table2", "Rodinia accuracy & exploration cost (paper Table 2)",
+     fun () -> ignore (Experiments.run_table2 ()));
+    ("polybench", "PolyBench accuracy (paper Table 3)",
+     fun () -> ignore (Experiments.run_polybench ()));
+    ("figure4", "model-vs-simulator cycle scatter (paper Figure 4)",
+     fun () -> ignore (Experiments.run_figure4 ()));
+    ("robustness", "second-platform (KU060) accuracy",
+     fun () -> ignore (Experiments.run_robustness ()));
+    ("dse-speed", "exploration wall-clock per oracle",
+     fun () -> ignore (Experiments.run_dse_speed ()));
+    ("dse-quality", "picked-vs-optimal design-point quality",
+     fun () -> ignore (Experiments.run_dse_quality ()));
+    ("dse-parallel", "parallel sweep engine speedup & pruning",
+     fun () -> ignore (Experiments.run_dse_parallel ()));
+    ("ablation", "model refinements ablated one at a time",
+     fun () -> Experiments.run_ablation ());
+    ("serve-load", "flexcl serve cold-vs-cached latency (BENCH_serve.json)",
+     fun () -> ignore (Experiments.run_serve_load ()));
+    ("bechamel", "micro-benchmarks (ns per run)", run_bechamel);
+  ]
+
+let list_experiments oc =
+  List.iter
+    (fun (name, doc, _) -> Printf.fprintf oc "  %-14s %s\n" name doc)
+    experiments
+
+let run_all () = List.iter (fun (_, _, run) -> run ()) experiments
 
 let () =
   let t0 = Unix.gettimeofday () in
   (match Array.to_list Sys.argv with
-  | _ :: "table2" :: _ -> ignore (Experiments.run_table2 ())
-  | _ :: "polybench" :: _ -> ignore (Experiments.run_polybench ())
-  | _ :: "figure4" :: _ -> ignore (Experiments.run_figure4 ())
-  | _ :: "robustness" :: _ -> ignore (Experiments.run_robustness ())
-  | _ :: "dse-speed" :: _ -> ignore (Experiments.run_dse_speed ())
-  | _ :: "dse-quality" :: _ -> ignore (Experiments.run_dse_quality ())
-  | _ :: "dse-parallel" :: _ -> ignore (Experiments.run_dse_parallel ())
-  | _ :: "ablation" :: _ -> Experiments.run_ablation ()
-  | _ :: "bechamel" :: _ -> run_bechamel ()
-  | _ :: unknown :: _ ->
-      Printf.eprintf
-        "unknown experiment %S (expected table2 | polybench | figure4 |\n\
-         robustness | dse-speed | dse-quality | dse-parallel | ablation |\n\
-         bechamel)\n"
-        unknown;
-      exit 2
+  | _ :: "list" :: _ -> list_experiments stdout
+  | _ :: name :: _ -> (
+      match
+        List.find_opt (fun (name', _, _) -> name' = name) experiments
+      with
+      | Some (_, _, run) -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available experiments:\n"
+            name;
+          list_experiments stderr;
+          exit 2)
   | _ -> run_all ());
   Printf.printf "total bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -5,6 +5,7 @@
      flexcl simulate  (--kernel FILE | --workload NAME) [launch/design flags]
      flexcl explore   (--kernel FILE | --workload NAME) [--top N]
      flexcl workloads [--suite rodinia|polybench]
+     flexcl serve     [--jobs N] [--cache N] [--socket PATH]
 
    For a kernel file, pointer parameters become deterministic random
    buffers of --buffer-size elements; integer scalars default to the
@@ -23,6 +24,8 @@ module Sysrun = Flexcl_simrtl.Sysrun
 module W = Flexcl_workloads.Workload
 module Table = Flexcl_util.Table
 module Diag = Flexcl_util.Diag
+module Json = Flexcl_util.Json
+module Server = Flexcl_server.Server
 open Flexcl_opencl
 
 (* Exit codes (documented in README "Error handling"): 0 success,
@@ -127,25 +130,10 @@ let float_args =
 (* ------------------------------------------------------------------ *)
 (* Kernel / launch resolution *)
 
+(* one launch-synthesis rule for the whole system: the serve subsystem
+   owns it so `flexcl serve` and the one-shot CLI agree byte-for-byte *)
 let launch_for_file kernel ~global ~wg ~buffer_size ~ints ~floats =
-  let args =
-    List.mapi
-      (fun i (p : Ast.param) ->
-        let name = p.Ast.p_name in
-        match p.Ast.p_type with
-        | Types.Ptr _ ->
-            (name, L.Buffer { length = buffer_size; init = L.Random_floats (i + 1) })
-        | Types.Scalar s when Types.is_float s ->
-            let v = Option.value (List.assoc_opt name floats) ~default:1.0 in
-            (name, L.Scalar (L.Float v))
-        | _ ->
-            let v =
-              Option.value (List.assoc_opt name ints) ~default:buffer_size
-            in
-            (name, L.Scalar (L.Int (Int64.of_int v))))
-      kernel.Ast.k_params
-  in
-  L.make_result ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
+  Server.launch_for_kernel kernel ~global ~wg ~buffer_size ~ints ~floats
 
 (* [resolve] outcomes: [`Usage] is caller misuse (exit 2), [`Input]
    carries diagnostics (and the source text for caret context, when
@@ -377,6 +365,67 @@ let explore_cmd =
       $ wg_size $ buffer_size $ int_args $ float_args $ top $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains handling requests concurrently (0 = handle on \
+             the serving domain; default: cores - 1).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt int Server.default_cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Capacity of each artifact cache (parse/analysis/predict).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix-domain socket at $(docv) instead of \
+             stdin/stdout (connections are served one at a time).")
+  in
+  let run jobs cache socket =
+    match jobs with
+    | Some n when n < 0 ->
+        prerr_endline "flexcl: --jobs must be >= 0";
+        exit_usage_error
+    | _ when cache < 1 ->
+        prerr_endline "flexcl: --cache must be >= 1";
+        exit_usage_error
+    | _ ->
+        guarded (fun () ->
+            let server =
+              Server.create ?num_domains:jobs ~cache_capacity:cache ()
+            in
+            match socket with
+            | Some path ->
+                Server.serve_unix_socket server path;
+                0
+            | None ->
+                Server.serve_fd server Unix.stdin stdout;
+                (* final metrics dump, stderr so it never interleaves
+                   with the NDJSON response stream *)
+                prerr_endline (Json.to_string (Server.stats_json server));
+                0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived analysis service (newline-delimited JSON \
+          requests on stdin, one response per line on stdout; see the \
+          README for the protocol).")
+    Term.(const run $ jobs $ cache $ socket)
+
+(* ------------------------------------------------------------------ *)
 (* workloads *)
 
 let workloads_cmd =
@@ -412,7 +461,9 @@ let () =
       ~doc:"Analytical performance model for OpenCL workloads on FPGAs."
   in
   let code =
-    Cmd.eval' (Cmd.group info [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd ])
+    Cmd.eval'
+      (Cmd.group info
+         [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd; serve_cmd ])
   in
   (* cmdliner signals its own parse errors (unknown flag, bad value)
      with 124: fold them into the documented usage-error code *)

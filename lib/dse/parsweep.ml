@@ -14,19 +14,23 @@ type progress = { total : int; evaluated : int; pruned : int; failed : int }
 
 (* ------------------------------------------------------------------ *)
 (* Shared re-analysis memo: the costly part of a sweep is re-profiling
-   per work-group size. One thread-safe table serves every sweep; the
-   identity witnesses invalidate entries left by a different kernel or
-   launch that happens to share the key. *)
+   per work-group size. One thread-safe table serves every sweep, keyed
+   by the same stable content hash the serve cache uses —
+   [Launch.fingerprint] covers the NDRange and the full argument recipe
+   (but not the local size, which is the dimension being re-swept), so
+   two launches agreeing on content share entries even when built
+   separately. The identity witnesses still invalidate entries left by
+   a different kernel that happens to collide on name and hash. *)
 
-let analysis_memo : (string * int * int, Analysis.t) Memo.t = Memo.create ()
+let analysis_memo : (string, Analysis.t) Memo.t = Memo.create ()
 
 let analysis_for (base : Analysis.t) wg_size =
   if Launch.wg_size base.Analysis.launch = wg_size then base
   else
     let key =
-      ( base.Analysis.cdfg.Cdfg.kernel_name,
-        Launch.n_work_items base.Analysis.launch,
-        wg_size )
+      Printf.sprintf "%s#%s#wg%d" base.Analysis.cdfg.Cdfg.kernel_name
+        (Launch.fingerprint base.Analysis.launch)
+        wg_size
     in
     Memo.find_or_add analysis_memo key
       ~valid:(fun a ->

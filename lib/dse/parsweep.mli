@@ -40,8 +40,10 @@ type progress = {
 
 val analysis_for : Analysis.t -> int -> Analysis.t
 (** Memoized re-analysis at a work-group size, keyed on
-    [(kernel, NDRange, wg_size)] in a thread-safe {!Flexcl_util.Memo}
-    shared by every sweep (and every domain of a sweep). *)
+    [(kernel name, Launch.fingerprint, wg_size)] — the same stable
+    content hash the serve cache uses — in a thread-safe
+    {!Flexcl_util.Memo} shared by every sweep (and every domain of a
+    sweep). *)
 
 val sweep :
   ?num_domains:int ->

@@ -105,3 +105,33 @@ let work_groups t =
     (t.global.z / t.local.z)
 
 let local_ids t = cartesian t.local.x t.local.y t.local.z
+
+(* ------------------------------------------------------------------ *)
+(* Content fingerprint *)
+
+module Hash = Flexcl_util.Hash
+
+let hash_dim3 h d = Hash.add_int (Hash.add_int (Hash.add_int h d.x) d.y) d.z
+
+let hash_arg h (name, arg) =
+  let h = Hash.add_string h name in
+  match arg with
+  | Scalar (Int v) ->
+      Hash.add_int (Hash.add_char h 'i') (Int64.to_int v)
+  | Scalar (Float v) ->
+      Hash.add_int (Hash.add_char h 'f') (Int64.to_int (Int64.bits_of_float v))
+  | Buffer { length; init } ->
+      let h = Hash.add_int (Hash.add_char h 'b') length in
+      (match init with
+      | Zeros -> Hash.add_char h 'z'
+      | Ramp -> Hash.add_char h 'r'
+      | Const_init v ->
+          Hash.add_int (Hash.add_char h 'c')
+            (Int64.to_int (Int64.bits_of_float v))
+      | Random_floats seed -> Hash.add_int (Hash.add_char h 'F') seed
+      | Random_ints (seed, bound) ->
+          Hash.add_int (Hash.add_int (Hash.add_char h 'I') seed) bound)
+
+let fingerprint t =
+  let h = hash_dim3 Hash.init t.global in
+  Hash.to_hex (List.fold_left hash_arg h t.args)

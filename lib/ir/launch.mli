@@ -62,3 +62,12 @@ val work_groups : t -> dim3 list
 
 val local_ids : t -> dim3 list
 (** All local ids within one work-group, row-major. *)
+
+val fingerprint : t -> string
+(** Stable content hash (hex, via {!Flexcl_util.Hash}) of the NDRange
+    and the full argument recipe — everything that determines analysis
+    results {e except} the local size, which is deliberately excluded so
+    the DSE engine can key its per-work-group-size re-analysis memo on
+    [(fingerprint, wg_size)]. Callers for whom the local size matters
+    (e.g. the serve cache) pair the fingerprint with the design point's
+    [wg_size]. *)

@@ -1,0 +1,41 @@
+(** Bounded, domain-safe LRU cache.
+
+    The serve subsystem's artifact stores (parse → analysis → predict)
+    are instances of this one structure: a capacity-bounded map with
+    least-recently-used eviction, a mutex around every operation (server
+    requests run concurrently on a {!Flexcl_util.Pool}), and hit / miss /
+    eviction counters for the [stats] endpoint.
+
+    Lookups never block on in-flight computations (unlike
+    {!Flexcl_util.Memo}): a concurrent miss on the same key may compute
+    the value twice, which is harmless for pure analyses and keeps slow
+    requests from serializing fast ones behind the cache lock. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Bumps the entry's recency; counts a hit or a miss. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or refresh; evicts the least-recently-used entries beyond
+    capacity. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
+(** [(was_hit, value)]. The producer runs {e outside} the lock; under a
+    racing miss the last writer wins (both callers see their own fresh
+    value). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : ('k, 'v) t -> stats
+val clear : ('k, 'v) t -> unit
+(** Drops entries; keeps the counters. *)

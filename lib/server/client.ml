@@ -1,0 +1,11 @@
+module Json = Flexcl_util.Json
+
+type t = { server : Server.t }
+
+let create ?num_domains ?cache_capacity () =
+  { server = Server.create ?num_domains ?cache_capacity () }
+
+let server t = t.server
+let request t v = Server.handle_value t.server v
+let request_line t line = Server.handle_line t.server line
+let stats t = Server.stats_json t.server

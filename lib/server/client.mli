@@ -1,0 +1,28 @@
+(** In-process serve client.
+
+    Runs the same dispatch code as the NDJSON loop, without a process
+    boundary — what the protocol tests, the fuzz harness and the
+    [serve-load] bench drive. Responses are byte-identical to what
+    [flexcl serve] writes for the same request, because both go through
+    {!Server.handle_line}. *)
+
+module Json = Flexcl_util.Json
+
+type t
+
+val create : ?num_domains:int -> ?cache_capacity:int -> unit -> t
+(** A fresh server (own caches and metrics). Requests through the
+    client run on the calling domain; [num_domains] only shapes the
+    default batch bound if the underlying server is later used with
+    {!Server.serve_fd}. *)
+
+val server : t -> Server.t
+
+val request : t -> Json.t -> Json.t
+(** One request, decoded form. *)
+
+val request_line : t -> string -> string
+(** One request, wire form (no trailing newline on either side). *)
+
+val stats : t -> Json.t
+(** Shorthand for a [stats] request's result object. *)

@@ -1,0 +1,110 @@
+module Json = Flexcl_util.Json
+module Diag = Flexcl_util.Diag
+
+type request = { id : Json.t; kind : string; body : Json.t }
+
+let usage fmt = Diag.error Diag.Usage_error fmt
+
+let request_of_value v =
+  match v with
+  | Json.Obj _ -> (
+      let id = Option.value (Json.member "id" v) ~default:Json.Null in
+      match Json.member "kind" v with
+      | Some (Json.Str kind) -> Ok { id; kind; body = v }
+      | Some _ -> Error (usage "request field \"kind\" must be a string")
+      | None -> Error (usage "request is missing the \"kind\" field"))
+  | _ -> Error (usage "request must be a JSON object")
+
+let diag_to_json (d : Diag.t) =
+  let base =
+    [
+      ("code", Json.Str (Diag.code_name d.Diag.code));
+      ("severity", Json.Str (Diag.severity_name d.Diag.severity));
+      ("message", Json.Str d.Diag.message);
+    ]
+  in
+  let file =
+    match d.Diag.file with Some f -> [ ("file", Json.Str f) ] | None -> []
+  in
+  let span =
+    match d.Diag.span with
+    | Some { Diag.line; col } ->
+        [ ("line", Json.int line); ("col", Json.int col) ]
+    | None -> []
+  in
+  Json.Obj (base @ file @ span)
+
+let ok_response ~id ~kind ?cached result =
+  let cached =
+    match cached with Some c -> [ ("cached", Json.Bool c) ] | None -> []
+  in
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool true); ("kind", Json.Str kind) ]
+    @ cached
+    @ [ ("result", result) ])
+
+let error_response ~id ~kind diags =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("kind", kind);
+      ("errors", Json.Arr (List.map diag_to_json diags));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Field extraction *)
+
+let field_int body name ~default =
+  match Json.member name body with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (usage "field %S must be an integer" name))
+
+let field_bool body name ~default =
+  match Json.member name body with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (usage "field %S must be a boolean" name))
+
+let field_str body name =
+  match Json.member name body with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok (Some s)
+      | None -> Error (usage "field %S must be a string" name))
+
+let field_num body name =
+  match Json.member name body with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (usage "field %S must be a number" name))
+
+let field_assoc to_elt what body name =
+  match Json.member name body with
+  | None -> Ok []
+  | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, v) :: rest -> (
+            match to_elt v with
+            | Some x -> go ((k, x) :: acc) rest
+            | None ->
+                Error
+                  (usage "field %S: entry %S must be %s" name k what))
+      in
+      go [] fields
+  | Some _ -> Error (usage "field %S must be an object" name)
+
+let field_int_assoc body name =
+  field_assoc Json.to_int "an integer" body name
+
+let field_float_assoc body name =
+  field_assoc Json.to_float "a number" body name

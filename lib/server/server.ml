@@ -1,0 +1,647 @@
+module Json = Flexcl_util.Json
+module Diag = Flexcl_util.Diag
+module Hash = Flexcl_util.Hash
+module Metrics = Flexcl_util.Metrics
+module Pool = Flexcl_util.Pool
+module P = Protocol
+module L = Flexcl_ir.Launch
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Device = Flexcl_device.Device
+module Space = Flexcl_dse.Space
+module Explore = Flexcl_dse.Explore
+module Heuristic = Flexcl_dse.Heuristic
+module W = Flexcl_workloads.Workload
+open Flexcl_opencl
+
+let default_cache_capacity = 256
+
+(* The interpreter profiles tens of millions of steps per second on
+   commodity cores; 20k steps/ms is a deliberate underestimate so a
+   deadline translated into fuel expires early rather than late. *)
+let steps_per_ms = 20_000
+
+type t = {
+  num_domains : int;
+  metrics : Metrics.t;
+  parse_cache : (string, (Ast.kernel, Diag.t list) result) Cache.t;
+  analysis_cache : (string, Analysis.t) Cache.t;
+  predict_cache : (string, Json.t) Cache.t;
+  (* single-flight registry: keys with a computation in progress.
+     Duplicate requests racing on one key would otherwise all miss the
+     cache and burn a core each on identical work — the exact pattern
+     (one hot kernel, many clients) the server exists to amortize. *)
+  sf_mutex : Mutex.t;
+  sf_cond : Condition.t;
+  sf_inflight : (string, unit) Hashtbl.t;
+}
+
+let create ?num_domains ?(cache_capacity = default_cache_capacity) () =
+  let num_domains =
+    match num_domains with
+    | None -> Pool.default_num_domains ()
+    | Some n ->
+        if n < 0 then invalid_arg "Server.create: num_domains must be >= 0";
+        n
+  in
+  if cache_capacity < 1 then
+    invalid_arg "Server.create: cache_capacity must be >= 1";
+  {
+    num_domains;
+    metrics = Metrics.create ();
+    parse_cache = Cache.create ~capacity:cache_capacity ();
+    analysis_cache = Cache.create ~capacity:cache_capacity ();
+    predict_cache = Cache.create ~capacity:cache_capacity ();
+    sf_mutex = Mutex.create ();
+    sf_cond = Condition.create ();
+    sf_inflight = Hashtbl.create 16;
+  }
+
+let num_domains t = t.num_domains
+
+(* Run [f] as the sole flight for [key]: racing callers block until the
+   owner lands, then take their own turn (and find the cache warm).
+   Keys are namespaced per artifact, and a flight for "predict#k" may
+   open a nested flight for "analysis#k'" — the acquisition order is
+   always predict-then-analysis, so the registry cannot cycle. *)
+let with_single_flight t key f =
+  Mutex.lock t.sf_mutex;
+  while Hashtbl.mem t.sf_inflight key do
+    Condition.wait t.sf_cond t.sf_mutex
+  done;
+  Hashtbl.replace t.sf_inflight key ();
+  Mutex.unlock t.sf_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock t.sf_mutex;
+      Hashtbl.remove t.sf_inflight key;
+      Condition.broadcast t.sf_cond;
+      Mutex.unlock t.sf_mutex)
+
+(* ------------------------------------------------------------------ *)
+(* Result plumbing: handlers accumulate [Diag.t list] errors. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error ds -> Error ds
+let one r = Result.map_error (fun d -> [ d ]) r
+let usage1 fmt = Printf.ksprintf (fun s -> [ P.usage "%s" s ]) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Launch synthesis (shared with bin/flexcl_cli.ml) *)
+
+let launch_for_kernel (kernel : Ast.kernel) ~global ~wg ~buffer_size ~ints
+    ~floats =
+  let args =
+    List.mapi
+      (fun i (p : Ast.param) ->
+        let name = p.Ast.p_name in
+        match p.Ast.p_type with
+        | Types.Ptr _ ->
+            ( name,
+              L.Buffer { length = buffer_size; init = L.Random_floats (i + 1) }
+            )
+        | Types.Scalar s when Types.is_float s ->
+            let v = Option.value (List.assoc_opt name floats) ~default:1.0 in
+            (name, L.Scalar (L.Float v))
+        | _ ->
+            let v =
+              Option.value (List.assoc_opt name ints) ~default:buffer_size
+            in
+            (name, L.Scalar (L.Int (Int64.of_int v))))
+      kernel.Ast.k_params
+  in
+  L.make_result ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
+
+(* ------------------------------------------------------------------ *)
+(* Request-field interpretation *)
+
+let all_workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all
+
+let device_of body =
+  let* name = one (P.field_str body "device") in
+  match name with
+  | None | Some "virtex7" | Some "v7" -> Ok Device.virtex7
+  | Some "ku060" -> Ok Device.ku060
+  | Some other ->
+      Error (usage1 "unknown device %S (virtex7 | ku060)" other)
+
+let fuel_of body =
+  let* steps = one (P.field_int body "max_steps" ~default:0) in
+  let* deadline = one (P.field_num body "deadline_ms") in
+  if steps < 0 then Error (usage1 "field \"max_steps\" must be positive")
+  else if steps > 0 then Ok (Some steps)
+  else
+    match deadline with
+    | None -> Ok None
+    | Some ms when ms > 0.0 && Float.is_finite ms ->
+        Ok (Some (max 1000 (int_of_float (ms *. float_of_int steps_per_ms))))
+    | Some _ -> Error (usage1 "field \"deadline_ms\" must be positive")
+
+let config_of body ~wg =
+  let* pe = one (P.field_int body "pe" ~default:1) in
+  let* cu = one (P.field_int body "cu" ~default:1) in
+  let* pipe = one (P.field_bool body "pipeline" ~default:false) in
+  let* mode = one (P.field_str body "mode") in
+  let* comm_mode =
+    match mode with
+    | None | Some "pipeline" -> Ok Config.Pipeline_mode
+    | Some "barrier" -> Ok Config.Barrier_mode
+    | Some other ->
+        Error (usage1 "unknown mode %S (barrier | pipeline)" other)
+  in
+  let cfg =
+    { Config.wg_size = wg; n_pe = pe; n_cu = cu; wi_pipeline = pipe;
+      comm_mode }
+  in
+  match Config.validate cfg with
+  | [] -> Ok cfg
+  | problems ->
+      Error (List.map (fun p -> Diag.error Diag.Config_invalid "%s" p) problems)
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed artifacts *)
+
+let parse_cached t ~src ~src_hash =
+  let _hit, r =
+    Cache.find_or_add t.parse_cache src_hash (fun () ->
+        Parser.parse_kernel_result src)
+  in
+  r
+
+type resolved = {
+  name : string;
+  src_hash : string;
+  kernel : Ast.kernel;
+  launch : L.t;
+}
+
+(* Fields that shape the synthesized launch of an inline kernel; a
+   workload brings its own launch, so combining them is a user error,
+   not something to ignore silently. *)
+let launch_fields =
+  [ "global"; "wg"; "buffer_size"; "int_args"; "float_args" ]
+
+let resolve t body =
+  let* source = one (P.field_str body "source") in
+  let* workload = one (P.field_str body "workload") in
+  match (source, workload) with
+  | Some _, Some _ ->
+      Error (usage1 "\"source\" and \"workload\" are mutually exclusive")
+  | None, None ->
+      Error (usage1 "one of \"source\" or \"workload\" is required")
+  | Some src, None ->
+      let src_hash = Hash.to_hex (Hash.string src) in
+      let* kernel = parse_cached t ~src ~src_hash in
+      let* global = one (P.field_int body "global" ~default:4096) in
+      let* wg = one (P.field_int body "wg" ~default:64) in
+      let* buffer_size = one (P.field_int body "buffer_size" ~default:4096) in
+      let* ints = one (P.field_int_assoc body "int_args") in
+      let* floats = one (P.field_float_assoc body "float_args") in
+      let* launch =
+        match launch_for_kernel kernel ~global ~wg ~buffer_size ~ints ~floats
+        with
+        | Ok l -> Ok l
+        | Error problems ->
+            Error
+              (List.map
+                 (fun p -> Diag.error Diag.Launch_invalid "%s" p)
+                 problems)
+      in
+      Ok { name = kernel.Ast.k_name; src_hash; kernel; launch }
+  | None, Some name -> (
+      match List.find_opt (fun f -> Json.member f body <> None) launch_fields
+      with
+      | Some f ->
+          Error
+            (usage1 "field %S does not apply to a workload request" f)
+      | None -> (
+          match List.find_opt (fun w -> W.name w = name) all_workloads with
+          | None ->
+              Error
+                (usage1 "unknown workload %S (see the workloads list)" name)
+          | Some w ->
+              let src_hash = Hash.to_hex (Hash.string w.W.source) in
+              let* kernel = parse_cached t ~src:w.W.source ~src_hash in
+              Ok { name; src_hash; kernel; launch = w.W.launch }))
+
+let analysis_cached t r ~max_steps =
+  let key =
+    Printf.sprintf "%s#%s#wg%d" r.src_hash (L.fingerprint r.launch)
+      (L.wg_size r.launch)
+  in
+  with_single_flight t ("analysis#" ^ key) (fun () ->
+      match Cache.find t.analysis_cache key with
+      | Some a -> Ok a
+      | None -> (
+          match Analysis.analyze_result ?max_steps r.kernel r.launch with
+          | Ok a ->
+              Cache.add t.analysis_cache key a;
+              Ok a
+          | Error ds -> Error ds))
+
+(* ------------------------------------------------------------------ *)
+(* Handlers: each returns [(cached option, result object)] or diags. *)
+
+let us dev cycles = Device.cycles_to_seconds dev cycles *. 1e6
+
+let handle_parse t body =
+  let* source = one (P.field_str body "source") in
+  let* workload = one (P.field_str body "workload") in
+  let* src =
+    match (source, workload) with
+    | Some _, Some _ ->
+        Error (usage1 "\"source\" and \"workload\" are mutually exclusive")
+    | None, None ->
+        Error (usage1 "one of \"source\" or \"workload\" is required")
+    | Some src, None -> Ok src
+    | None, Some name -> (
+        match List.find_opt (fun w -> W.name w = name) all_workloads with
+        | Some w -> Ok w.W.source
+        | None ->
+            Error (usage1 "unknown workload %S (see the workloads list)" name))
+  in
+  let src_hash = Hash.to_hex (Hash.string src) in
+  let* kernel = parse_cached t ~src ~src_hash in
+  let params =
+    List.map
+      (fun (p : Ast.param) ->
+        Json.Obj
+          [
+            ("name", Json.Str p.Ast.p_name);
+            ("type", Json.Str (Types.to_string p.Ast.p_type));
+          ])
+      kernel.Ast.k_params
+  in
+  Ok
+    ( None,
+      Json.Obj
+        [
+          ("kernel", Json.Str kernel.Ast.k_name);
+          ("params", Json.Arr params);
+          ("source_hash", Json.Str src_hash);
+        ] )
+
+let breakdown_json dev name cfg (b : Model.breakdown) =
+  Json.Obj
+    [
+      ("kernel", Json.Str name);
+      ("device", Json.Str dev.Device.name);
+      ("config", Json.Str (Config.to_string cfg));
+      ("ii_wi", Json.int b.Model.ii_wi);
+      ("rec_mii", Json.int b.Model.rec_mii);
+      ("res_mii", Json.int b.Model.res_mii);
+      ("depth_pe", Json.int b.Model.depth_pe);
+      ("l_pe", Json.Num b.Model.l_pe);
+      ("n_pe_eff", Json.int b.Model.n_pe_eff);
+      ("l_cu", Json.Num b.Model.l_cu);
+      ("n_cu_eff", Json.int b.Model.n_cu_eff);
+      ("l_comp_kernel", Json.Num b.Model.l_comp_kernel);
+      ("l_mem_wi", Json.Num b.Model.l_mem_wi);
+      ( "pattern_counts",
+        Json.Obj
+          (List.map
+             (fun (p, c) -> (Flexcl_dram.Dram.pattern_name p, Json.Num c))
+             b.Model.pattern_counts) );
+      ("dsp_footprint", Json.int b.Model.dsp_footprint);
+      ("cycles", Json.Num b.Model.cycles);
+      ("us", Json.Num (b.Model.seconds *. 1e6));
+      ("bottleneck", Json.Str (Model.bottleneck b));
+    ]
+
+let estimate_for t body ~resolved:r =
+  let* fuel = fuel_of body in
+  let* dev = device_of body in
+  let* cfg = config_of body ~wg:(L.wg_size r.launch) in
+  let* a = analysis_cached t r ~max_steps:fuel in
+  if not (Model.feasible dev a cfg) then
+    Error
+      [
+        Diag.error Diag.Config_invalid "design point %s exceeds %s resources"
+          (Config.to_string cfg) dev.Device.name;
+      ]
+  else
+    match Model.estimate_result dev a cfg with
+    | Ok b -> Ok (dev, cfg, b)
+    | Error d -> Error [ d ]
+
+let handle_analyze t body =
+  let* r = resolve t body in
+  let* dev, cfg, b = estimate_for t body ~resolved:r in
+  Ok (None, breakdown_json dev r.name cfg b)
+
+let predict_key ~resolved:r ~dev ~cfg =
+  Printf.sprintf "%s#%s#%s#%s" r.src_hash (L.fingerprint r.launch)
+    dev.Device.name (Config.to_string cfg)
+
+let handle_predict t body =
+  let* r = resolve t body in
+  let* dev = device_of body in
+  let* cfg = config_of body ~wg:(L.wg_size r.launch) in
+  let key = predict_key ~resolved:r ~dev ~cfg in
+  with_single_flight t ("predict#" ^ key) (fun () ->
+      match Cache.find t.predict_cache key with
+      | Some result -> Ok (Some true, result)
+      | None ->
+          let* _, _, b = estimate_for t body ~resolved:r in
+          let result =
+            Json.Obj
+              [
+                ("kernel", Json.Str r.name);
+                ("device", Json.Str dev.Device.name);
+                ("config", Json.Str (Config.to_string cfg));
+                ("cycles", Json.Num b.Model.cycles);
+                ("us", Json.Num (b.Model.seconds *. 1e6));
+                ("bottleneck", Json.Str (Model.bottleneck b));
+              ]
+          in
+          Cache.add t.predict_cache key result;
+          Ok (Some false, result))
+
+let handle_explore t body =
+  let* fuel = fuel_of body in
+  let* dev = device_of body in
+  let* top = one (P.field_int body "top" ~default:10) in
+  let* r = resolve t body in
+  let* a = analysis_cached t r ~max_steps:fuel in
+  let space =
+    Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)
+  in
+  (* requests already run concurrently on the pool; the sweep itself
+     stays sequential so pools never nest *)
+  let ranked =
+    Explore.exhaustive ~num_domains:0 dev a space (Explore.model_oracle dev)
+  in
+  if ranked = [] then Error [ Explore.empty_space_diag ]
+  else
+    let point (e : Explore.evaluated) =
+      Json.Obj
+        [
+          ("config", Json.Str (Config.to_string e.Explore.config));
+          ("cycles", Json.Num e.Explore.cycles);
+          ("us", Json.Num (us dev e.Explore.cycles));
+        ]
+    in
+    let points =
+      List.filteri (fun i _ -> i < top) ranked |> List.map point
+    in
+    let greedy =
+      match
+        Heuristic.search_result ~num_domains:0 dev a space
+          (Explore.model_oracle dev)
+      with
+      | Ok e -> point e
+      | Error _ -> Json.Null
+    in
+    Ok
+      ( None,
+        Json.Obj
+          [
+            ("kernel", Json.Str r.name);
+            ("device", Json.Str dev.Device.name);
+            ("feasible", Json.int (List.length ranked));
+            ("points", Json.Arr points);
+            ("greedy", greedy);
+          ] )
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let cache_stats_json c =
+  let s = Cache.stats c in
+  let total = s.Cache.hits + s.Cache.misses in
+  Json.Obj
+    [
+      ("hits", Json.int s.Cache.hits);
+      ("misses", Json.int s.Cache.misses);
+      ("evictions", Json.int s.Cache.evictions);
+      ("size", Json.int s.Cache.size);
+      ("capacity", Json.int s.Cache.capacity);
+      ( "hit_rate",
+        Json.Num
+          (if total = 0 then 0.0
+           else float_of_int s.Cache.hits /. float_of_int total) );
+    ]
+
+let stats_json t =
+  let counters =
+    List.map (fun (k, v) -> (k, Json.int v)) (Metrics.counters t.metrics)
+  in
+  let summaries =
+    List.map
+      (fun (k, (s : Metrics.summary)) ->
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.int s.Metrics.count);
+              ("mean", Json.Num s.Metrics.mean);
+              ("max", Json.Num s.Metrics.max);
+              ("p50", Json.Num s.Metrics.p50);
+              ("p95", Json.Num s.Metrics.p95);
+              ("p99", Json.Num s.Metrics.p99);
+            ] ))
+      (Metrics.summaries t.metrics)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("latency_us", Json.Obj summaries);
+      ( "cache",
+        Json.Obj
+          [
+            ("parse", cache_stats_json t.parse_cache);
+            ("analysis", cache_stats_json t.analysis_cache);
+            ("predict", cache_stats_json t.predict_cache);
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let known_kinds = [ "parse"; "analyze"; "predict"; "explore"; "stats" ]
+
+let dispatch t (req : P.request) =
+  match req.P.kind with
+  | "parse" -> handle_parse t req.P.body
+  | "analyze" -> handle_analyze t req.P.body
+  | "predict" -> handle_predict t req.P.body
+  | "explore" -> handle_explore t req.P.body
+  | "stats" -> Ok (None, stats_json t)
+  | other ->
+      Error
+        (usage1 "unknown request kind %S (parse | analyze | predict | explore \
+                 | stats)"
+           other)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let handle_value t v =
+  let t0 = now_us () in
+  match P.request_of_value v with
+  | Error d ->
+      Metrics.incr t.metrics "requests.malformed";
+      let id =
+        Option.value (Json.member "id" v) ~default:Json.Null
+      in
+      let kind = Option.value (Json.member "kind" v) ~default:Json.Null in
+      P.error_response ~id ~kind [ d ]
+  | Ok req ->
+      let outcome =
+        (* the last line of defense: a handler bug must surface as an
+           E-INTERNAL response, never as a dead server *)
+        try dispatch t req
+        with exn -> Error [ Analysis.diag_of_exn exn ]
+      in
+      let metric_kind =
+        if List.mem req.P.kind known_kinds then req.P.kind else "unknown"
+      in
+      let resp =
+        match outcome with
+        | Ok (cached, result) ->
+            Metrics.incr t.metrics
+              (Printf.sprintf "requests.%s.ok" metric_kind);
+            P.ok_response ~id:req.P.id ~kind:req.P.kind ?cached result
+        | Error diags ->
+            Metrics.incr t.metrics
+              (Printf.sprintf "requests.%s.error" metric_kind);
+            P.error_response ~id:req.P.id ~kind:(Json.Str req.P.kind) diags
+      in
+      Metrics.observe t.metrics metric_kind (now_us () -. t0);
+      resp
+
+let handle_line t line =
+  match Json.of_string line with
+  | Ok v -> Json.to_string (handle_value t v)
+  | Error msg ->
+      Metrics.incr t.metrics "requests.malformed";
+      Json.to_string
+        (P.error_response ~id:Json.Null ~kind:Json.Null
+           [ P.usage "malformed JSON: %s" msg ])
+
+(* ------------------------------------------------------------------ *)
+(* The NDJSON loop *)
+
+module Reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable buf : string;
+    mutable pos : int;
+    mutable eof : bool;
+  }
+
+  let chunk = 65536
+
+  let create fd = { fd; buf = ""; pos = 0; eof = false }
+
+  let rec read_retry fd b =
+    try Unix.read fd b 0 chunk
+    with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b
+
+  (* blocking; false once the fd is exhausted *)
+  let refill t =
+    let b = Bytes.create chunk in
+    let n = read_retry t.fd b in
+    if n = 0 then begin
+      t.eof <- true;
+      false
+    end
+    else begin
+      let keep = String.sub t.buf t.pos (String.length t.buf - t.pos) in
+      t.buf <- keep ^ Bytes.sub_string b 0 n;
+      t.pos <- 0;
+      true
+    end
+
+  let take_buffered_line t =
+    match String.index_from_opt t.buf t.pos '\n' with
+    | Some i ->
+        let line = String.sub t.buf t.pos (i - t.pos) in
+        t.pos <- i + 1;
+        Some line
+    | None -> None
+
+  let rec read_line t =
+    match take_buffered_line t with
+    | Some l -> Some l
+    | None ->
+        if t.eof then
+          (* a final line without the trailing newline still counts *)
+          if t.pos < String.length t.buf then begin
+            let rest =
+              String.sub t.buf t.pos (String.length t.buf - t.pos)
+            in
+            t.pos <- String.length t.buf;
+            Some rest
+          end
+          else None
+        else begin
+          ignore (refill t);
+          read_line t
+        end
+
+  (* a line only if one is already available without blocking *)
+  let rec poll_line t =
+    match take_buffered_line t with
+    | Some l -> Some l
+    | None ->
+        if t.eof then None
+        else
+          let readable, _, _ = Unix.select [ t.fd ] [] [] 0.0 in
+          if readable = [] then None
+          else if refill t then poll_line t
+          else None
+end
+
+let blank line = String.trim line = ""
+
+let serve_fd t ?max_batch fd out =
+  let max_batch =
+    match max_batch with
+    | Some n -> max 1 n
+    | None -> max 1 (4 * (t.num_domains + 1))
+  in
+  Pool.with_pool ~num_domains:t.num_domains (fun pool ->
+      let rdr = Reader.create fd in
+      let rec loop () =
+        match Reader.read_line rdr with
+        | None -> ()
+        | Some first when blank first -> loop ()
+        | Some first ->
+            let rec gather acc n =
+              if n >= max_batch then List.rev acc
+              else
+                match Reader.poll_line rdr with
+                | Some l when blank l -> gather acc n
+                | Some l -> gather (l :: acc) (n + 1)
+                | None -> List.rev acc
+            in
+            let lines = gather [ first ] 1 in
+            let responses =
+              match lines with
+              | [ line ] -> [ handle_line t line ]
+              | lines ->
+                  Pool.run pool
+                    (List.map (fun line () -> handle_line t line) lines)
+            in
+            List.iter
+              (fun r ->
+                output_string out r;
+                output_char out '\n')
+              responses;
+            flush out;
+            loop ()
+      in
+      loop ())
+
+let serve_unix_socket t path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  let rec accept_loop () =
+    let client, _ = Unix.accept sock in
+    let out = Unix.out_channel_of_descr client in
+    (try serve_fd t client out with _ -> ());
+    (* closing the channel closes the shared socket fd *)
+    (try close_out out with _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,74 @@
+(** The [flexcl serve] engine: a long-lived analysis service.
+
+    One server value owns the content-addressed artifact caches
+    (parse, analysis, predict — all {!Cache} LRUs keyed by
+    {!Flexcl_util.Hash} content hashes), the {!Flexcl_util.Metrics}
+    registry, and a domain-count budget. {!serve_fd} runs the NDJSON
+    loop: it blocks for one request line, greedily drains every further
+    line already buffered (up to a batch bound), evaluates the batch
+    concurrently on a {!Flexcl_util.Pool}, and writes the responses in
+    request order — so a client that streams a DSE batch gets
+    multi-core evaluation, while an interactive client gets one-in
+    one-out latency. Handlers never let an exception escape: every
+    failure (malformed JSON, bad fields, broken kernels, fuel
+    exhaustion, internal bugs) becomes an error response carrying
+    structured {!Flexcl_util.Diag.t} values.
+
+    Within one request, analysis and exploration run sequentially
+    ([num_domains = 0] is passed to the DSE engine): concurrency lives
+    at the request level, which keeps the pool from nesting. *)
+
+module Json = Flexcl_util.Json
+
+type t
+
+val default_cache_capacity : int
+(** 256 entries per artifact cache. *)
+
+val steps_per_ms : int
+(** Conservative interpreter throughput used to map a request's
+    ["deadline_ms"] onto a profiling fuel budget
+    ([max_steps = deadline_ms × steps_per_ms], floored at 1000). *)
+
+val create : ?num_domains:int -> ?cache_capacity:int -> unit -> t
+(** [num_domains] sizes the request pool ([0] = handle requests on the
+    serving domain; default {!Flexcl_util.Pool.default_num_domains}).
+    Raises [Invalid_argument] on negative arguments. *)
+
+val num_domains : t -> int
+
+val handle_value : t -> Json.t -> Json.t
+(** Decode-dispatch-respond for one already-parsed request. Total. *)
+
+val handle_line : t -> string -> string
+(** One NDJSON request line to one response line (no trailing newline).
+    Total: malformed JSON gets an [E-USAGE] error response. *)
+
+val stats_json : t -> Json.t
+(** The [stats] result object: request counters, per-kind latency
+    summaries (µs), per-cache hit/miss/eviction counts and hit rates. *)
+
+val serve_fd : t -> ?max_batch:int -> Unix.file_descr -> out_channel -> unit
+(** Serve until EOF on [fd]. Blank lines are skipped. [max_batch]
+    bounds how many buffered requests are drained into one concurrent
+    batch (default [4 × (num_domains + 1)]). Responses are flushed
+    after every batch. *)
+
+val serve_unix_socket : t -> string -> unit
+(** Bind a Unix-domain socket at the path (replacing any stale socket
+    file) and serve accepted connections one at a time, each to EOF.
+    Never returns normally. *)
+
+val launch_for_kernel :
+  Flexcl_opencl.Ast.kernel ->
+  global:int ->
+  wg:int ->
+  buffer_size:int ->
+  ints:(string * int) list ->
+  floats:(string * float) list ->
+  (Flexcl_ir.Launch.t, string list) result
+(** The launch-synthesis rule shared with the one-shot CLI: pointer
+    parameters become deterministic random buffers of [buffer_size]
+    elements (seeded by parameter position), float scalars default to
+    1.0, integer scalars default to [buffer_size]; [ints]/[floats] pin
+    named scalars. *)

@@ -1,0 +1,322 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that round-trips: try %.15g, %.16g, %.17g in
+   order. Integral values below 2^53 are exact in float, so %.0f is
+   already a round-trip (and is what keeps cycle counts readable). *)
+let number_string f =
+  if Float.is_integer f && Float.abs f < 9.007199254740992e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+      if Float.is_finite f then Buffer.add_string buf (number_string f)
+      else Buffer.add_string buf "null"
+  | Str s -> escape_string buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Bad of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, found %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          advance ();
+          Buffer.contents buf
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> advance (); Buffer.add_char buf '"'
+           | '\\' -> advance (); Buffer.add_char buf '\\'
+           | '/' -> advance (); Buffer.add_char buf '/'
+           | 'n' -> advance (); Buffer.add_char buf '\n'
+           | 't' -> advance (); Buffer.add_char buf '\t'
+           | 'r' -> advance (); Buffer.add_char buf '\r'
+           | 'b' -> advance (); Buffer.add_char buf '\b'
+           | 'f' -> advance (); Buffer.add_char buf '\012'
+           | 'u' ->
+               advance ();
+               let cp = hex4 () in
+               if cp >= 0xD800 && cp <= 0xDBFF then begin
+                 (* high surrogate: the pair is mandatory *)
+                 if !pos + 2 > n || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u'
+                 then fail "lone high surrogate";
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 if lo < 0xDC00 || lo > 0xDFFF then fail "bad low surrogate";
+                 add_utf8 buf
+                   (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+               end
+               else if cp >= 0xDC00 && cp <= 0xDFFF then
+                 fail "lone low surrogate"
+               else add_utf8 buf cp
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          loop ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' ->
+        advance ();
+        (* leading zeros are forbidden *)
+        (match peek () with
+        | Some '0' .. '9' -> fail "leading zero"
+        | _ -> ())
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected digit");
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value depth =
+    if depth > 512 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value (depth + 1) in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing input after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "byte %d: %s" at msg)
+  | exception Stack_overflow -> Error "nesting too deep"
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f
+    when Float.is_integer f
+         && f >= Int.to_float min_int
+         && f <= Int.to_float max_int ->
+      Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr xs -> Some xs | _ -> None
+let int i = Num (float_of_int i)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Num a, Num b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | Str a, Str b -> String.equal a b
+  | Arr a, Arr b -> List.compare_lengths a b = 0 && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.compare_lengths a b = 0
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+           a b
+  | _ -> false

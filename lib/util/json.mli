@@ -1,0 +1,52 @@
+(** Zero-dependency strict JSON codec.
+
+    The serve subsystem speaks newline-delimited JSON; the repo depends
+    only on cmdliner, so the codec lives here rather than pulling in
+    yojson. The printer is {e deterministic}: objects keep field order,
+    strings escape exactly the mandatory set, and numbers print in the
+    shortest form that round-trips through [float_of_string] — so a
+    response is byte-identical across runs, cache states and domain
+    counts, which the protocol golden tests and the serve cache rely
+    on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — safe as one NDJSON
+    record). Integral numbers with magnitude below 2{^53} print without
+    a fractional part; other finite numbers print with the fewest
+    digits that round-trip. Non-finite numbers print as [null] (JSON
+    has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of exactly one JSON value (surrounding whitespace
+    allowed, nothing else). Rejects trailing input, unterminated
+    strings/collections, bad escapes, lone surrogates, leading zeros
+    and the other deviations the JSON grammar forbids. Never raises.
+    The error string names the byte offset. *)
+
+(** {2 Accessors} — total helpers for picking requests apart. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on anything else or a missing field. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] with an integral value within [int] range. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val int : int -> t
+(** [Num] of an [int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Num] compares by bit pattern so [nan = nan]
+    (used by the codec round-trip tests). *)

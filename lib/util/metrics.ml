@@ -1,0 +1,99 @@
+let n_buckets = 64
+
+type histogram = {
+  buckets : int array;  (* buckets.(i): samples in [2^i, 2^(i+1)) *)
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr t ?(by = 1) key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters key with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.counters key (ref by))
+
+let bucket_of v =
+  if not (Float.is_finite v) || v < 1.0 then 0
+  else min (n_buckets - 1) (int_of_float (Float.log2 v))
+
+let observe t key v =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histograms key with
+        | Some h -> h
+        | None ->
+            let h =
+              { buckets = Array.make n_buckets 0; count = 0; sum = 0.0;
+                max = neg_infinity }
+            in
+            Hashtbl.replace t.histograms key h;
+            h
+      in
+      h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+      h.count <- h.count + 1;
+      if Float.is_finite v then begin
+        h.sum <- h.sum +. v;
+        if v > h.max then h.max <- v
+      end)
+
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Upper bound of the bucket holding the q-th sample (rank-based, so a
+   single-sample histogram reports the same value for every quantile). *)
+let quantile (h : histogram) q =
+  let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+  let rec scan i seen =
+    if i >= n_buckets then h.max
+    else
+      let seen = seen + h.buckets.(i) in
+      if seen >= rank then Float.min h.max (Float.pow 2.0 (float_of_int (i + 1)))
+      else scan (i + 1) seen
+  in
+  scan 0 0
+
+let summarize (h : histogram) =
+  {
+    count = h.count;
+    mean = (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+    max = (if h.count = 0 then 0.0 else h.max);
+    p50 = (if h.count = 0 then 0.0 else quantile h 0.50);
+    p95 = (if h.count = 0 then 0.0 else quantile h 0.95);
+    p99 = (if h.count = 0 then 0.0 else quantile h 0.99);
+  }
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = locked t (fun () -> sorted_bindings t.counters ( ! ))
+let summaries t = locked t (fun () -> sorted_bindings t.histograms summarize)
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.histograms)

@@ -1,0 +1,41 @@
+(** Service metrics: named counters and latency histograms.
+
+    Built for the serve subsystem (request counts by kind and outcome,
+    cache hits/misses, per-kind latency), but generic: a registry maps
+    string keys to monotone counters and to log-bucketed histograms.
+    Every operation is mutex-protected and safe to call from any domain
+    of a {!Pool}; reads take a consistent snapshot.
+
+    Histograms bucket samples by powers of two (bucket [i] holds
+    samples in [[2^i, 2^(i+1))], in whatever unit the caller observes —
+    the server uses microseconds), so memory stays constant for
+    arbitrarily long runs and quantiles are exact to within a factor of
+    two, which is plenty for p50/p95/p99 service reporting. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use). [by] defaults to 1. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into the named histogram. Negative and non-finite
+    samples count into the lowest bucket. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  max : float;      (** largest sample seen (exact, not bucketed). *)
+  p50 : float;
+  p95 : float;
+  p99 : float;      (** bucket upper bounds — conservative quantiles. *)
+}
+
+val counters : t -> (string * int) list
+(** All counters, sorted by key. *)
+
+val summaries : t -> (string * summary) list
+(** All histograms, sorted by key. *)
+
+val reset : t -> unit

@@ -1,0 +1,496 @@
+(* Serve subsystem tests: JSON codec goldens and a round-trip property,
+   content-hash and launch-fingerprint stability, LRU cache and metrics
+   unit tests, protocol goldens (one NDJSON request line → the exact
+   response line) for every request kind, a malformed-request fuzz pass
+   in the style of test_robustness, the ≥99% cache hit-rate acceptance
+   criterion, and request-order preservation for concurrent batches
+   served over a real file descriptor. *)
+
+module Json = Flexcl_util.Json
+module Hash = Flexcl_util.Hash
+module Metrics = Flexcl_util.Metrics
+module Prng = Flexcl_util.Prng
+module Launch = Flexcl_ir.Launch
+module Cache = Flexcl_server.Cache
+module Server = Flexcl_server.Server
+module Client = Flexcl_server.Client
+
+let check = Alcotest.check
+
+(* descend through nested objects, failing loudly on a missing field *)
+let jpath v path =
+  List.fold_left
+    (fun v k ->
+      match Json.member k v with
+      | Some v -> v
+      | None -> Alcotest.failf "missing field %S in %s" k (Json.to_string v))
+    v path
+
+let jint v path =
+  match Json.to_int (jpath v path) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %s is not an int" (String.concat "." path)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec goldens *)
+
+let test_json_print () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.int 1);
+        ("b", Json.Arr [ Json.Null; Json.Bool true; Json.Str "x\n\"y" ]);
+        ("c", Json.Num 12.72);
+      ]
+  in
+  check Alcotest.string "composite"
+    {|{"a":1,"b":[null,true,"x\n\"y"],"c":12.72}|} (Json.to_string v);
+  check Alcotest.string "integral without fraction" "2544"
+    (Json.to_string (Json.Num 2544.0));
+  check Alcotest.string "shortest round-trip" "0.1"
+    (Json.to_string (Json.Num 0.1));
+  check Alcotest.string "huge integral uses %g" "1e+300"
+    (Json.to_string (Json.Num 1e300));
+  check Alcotest.string "nan prints null" "null"
+    (Json.to_string (Json.Num Float.nan));
+  check Alcotest.string "infinity prints null" "null"
+    (Json.to_string (Json.Num Float.infinity));
+  check Alcotest.string "control chars escaped" {|"\f"|}
+    (Json.to_string (Json.Str "\012"));
+  check Alcotest.string "low control chars use \\u" {|"\u0001"|}
+    (Json.to_string (Json.Str "\001"))
+
+let test_json_parse () =
+  (match Json.of_string {| { "k" : [ 1 , 2.5e1 , "A😀" ] } |} with
+  | Ok v ->
+      check Alcotest.bool "structure" true
+        (Json.equal v
+           (Json.Obj
+              [
+                ( "k",
+                  Json.Arr
+                    [
+                      Json.int 1; Json.Num 25.0; Json.Str "A\xf0\x9f\x98\x80";
+                    ] );
+              ]))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  let rejects what s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok v -> Alcotest.failf "%s accepted as %s" what (Json.to_string v)
+  in
+  rejects "leading zero" "01";
+  rejects "trailing input" "1 2";
+  rejects "bad escape" {|"\q"|};
+  rejects "trailing array comma" "[1,]";
+  rejects "trailing object comma" {|{"a":1,}|};
+  rejects "truncated literal" "nul";
+  rejects "lone high surrogate" {|"\ud800"|};
+  rejects "raw control character" "\"\001\"";
+  rejects "bare minus" "-";
+  rejects "unterminated object" {|{"a":1|};
+  rejects "empty input" "";
+  (* the exact message the malformed-request golden below relies on *)
+  check Alcotest.string "error names the byte offset"
+    "byte 0: invalid literal (expected true)"
+    (match Json.of_string "this is not json" with
+    | Error e -> e
+    | Ok _ -> "accepted")
+
+let gen_json =
+  let open QCheck.Gen in
+  let gen_str =
+    string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 10)
+  in
+  let gen_num =
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        (* non-finite floats print as null and cannot round-trip *)
+        map (fun f -> if Float.is_finite f then f else 0.0) float;
+      ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) gen_num;
+        map (fun s -> Json.Str s) gen_str;
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then scalar
+      else
+        frequency
+          [
+            (2, scalar);
+            ( 1,
+              map
+                (fun l -> Json.Arr l)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 1,
+              map
+                (fun l -> Json.Obj l)
+                (list_size (int_range 0 4) (pair gen_str (self (depth - 1))))
+            );
+          ])
+    3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips every finite tree" ~count:500
+    (QCheck.make gen_json) (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Content hashing *)
+
+let test_hash_separators () =
+  (* add_string must be injective over the split point *)
+  check Alcotest.bool "ab|c differs from a|bc" true
+    (Hash.(add_string (add_string init "ab") "c")
+    <> Hash.(add_string (add_string init "a") "bc"));
+  check Alcotest.bool "distinct strings hash apart" true
+    (Hash.string "wg64" <> Hash.string "wg65");
+  check Alcotest.int "hex width" 16
+    (String.length (Hash.to_hex (Hash.string "x")))
+
+let test_launch_fingerprint () =
+  let args = [ ("a", Launch.Buffer { length = 64; init = Launch.Zeros }) ] in
+  let l1 =
+    Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 16) ~args
+  in
+  let l2 =
+    Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 64) ~args
+  in
+  let l3 =
+    Launch.make ~global:(Launch.dim3 512) ~local:(Launch.dim3 16) ~args
+  in
+  let l4 =
+    Launch.make ~global:(Launch.dim3 256) ~local:(Launch.dim3 16)
+      ~args:[ ("a", Launch.Buffer { length = 64; init = Launch.Random_floats 1 }) ]
+  in
+  check Alcotest.bool "local size excluded (DSE memo pairs it with wg)" true
+    (Launch.fingerprint l1 = Launch.fingerprint l2);
+  check Alcotest.bool "global size included" true
+    (Launch.fingerprint l1 <> Launch.fingerprint l3);
+  check Alcotest.bool "buffer init recipe included" true
+    (Launch.fingerprint l1 <> Launch.fingerprint l4)
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache and metrics *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check Alcotest.bool "a present" true (Cache.find c "a" = Some 1);
+  (* the find above made "b" the LRU entry, so a third insert drops it *)
+  Cache.add c "c" 3;
+  check Alcotest.bool "b evicted" true (Cache.find c "b" = None);
+  check Alcotest.bool "a survives" true (Cache.find c "a" = Some 1);
+  let st = Cache.stats c in
+  check Alcotest.int "evictions" 1 st.Cache.evictions;
+  check Alcotest.int "size" 2 st.Cache.size;
+  check Alcotest.int "capacity" 2 st.Cache.capacity;
+  check Alcotest.int "hits" 2 st.Cache.hits;
+  check Alcotest.int "misses" 1 st.Cache.misses;
+  let hit, v = Cache.find_or_add c "a" (fun () -> 99) in
+  check Alcotest.bool "find_or_add hit" true hit;
+  check Alcotest.int "cached value wins" 1 v;
+  let hit, v = Cache.find_or_add c "d" (fun () -> 4) in
+  check Alcotest.bool "find_or_add miss" false hit;
+  check Alcotest.int "produced value" 4 v;
+  Cache.clear c;
+  check Alcotest.int "clear drops entries" 0 (Cache.stats c).Cache.size
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m ~by:3 "a";
+  Metrics.incr m "b";
+  check
+    Alcotest.(list (pair string int))
+    "counters sorted"
+    [ ("a", 4); ("b", 1) ]
+    (Metrics.counters m);
+  Metrics.observe m "lat" 100.0;
+  Metrics.observe m "lat" 1000.0;
+  (match Metrics.summaries m with
+  | [ ("lat", s) ] ->
+      check Alcotest.int "count" 2 s.Metrics.count;
+      check (Alcotest.float 1e-9) "mean" 550.0 s.Metrics.mean;
+      check (Alcotest.float 1e-9) "max exact" 1000.0 s.Metrics.max;
+      check Alcotest.bool "quantiles ordered" true
+        (s.Metrics.p50 <= s.Metrics.p95 && s.Metrics.p95 <= s.Metrics.p99);
+      check Alcotest.bool "p50 within a factor of two" true
+        (s.Metrics.p50 >= 100.0 && s.Metrics.p50 <= 200.0);
+      check Alcotest.bool "p99 capped by the exact max" true
+        (s.Metrics.p99 <= 1000.0)
+  | l -> Alcotest.failf "expected one histogram, got %d" (List.length l));
+  Metrics.reset m;
+  check Alcotest.int "reset" 0 (List.length (Metrics.counters m))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol goldens: request line → exact response line. The list runs
+   in order on one client, so the second predict exercises the warm
+   path ("cached":true) with an otherwise byte-identical result. *)
+
+let predict_req =
+  {|{"id":1,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true}|}
+
+let protocol_goldens : (string * string * string) list =
+  [
+    ( "predict cold",
+      predict_req,
+      {|{"id":1,"ok":true,"kind":"predict","cached":false,"result":{"kernel":"hotspot/hotspot","device":"xc7vx690t","config":"wg64 pe2 cu2 pipe pipeline","cycles":2544,"us":12.72,"bottleneck":"global memory"}}|}
+    );
+    ( "predict warm",
+      predict_req,
+      {|{"id":1,"ok":true,"kind":"predict","cached":true,"result":{"kernel":"hotspot/hotspot","device":"xc7vx690t","config":"wg64 pe2 cu2 pipe pipeline","cycles":2544,"us":12.72,"bottleneck":"global memory"}}|}
+    );
+    ( "parse",
+      {|{"id":3,"kind":"parse","source":"__kernel void f(__global float* a, int n) { a[0] = 1.0f; }"}|},
+      {|{"id":3,"ok":true,"kind":"parse","result":{"kernel":"f","params":[{"name":"a","type":"__global float*"},{"name":"n","type":"int"}],"source_hash":"9992a2be6c24186d"}}|}
+    );
+    ( "analyze",
+      {|{"id":4,"kind":"analyze","workload":"hotspot/hotspot"}|},
+      {|{"id":4,"ok":true,"kind":"analyze","result":{"kernel":"hotspot/hotspot","device":"xc7vx690t","config":"wg64 pe1 cu1 nopipe pipeline","ii_wi":71,"rec_mii":0,"res_mii":1,"depth_pe":71,"l_pe":4544,"n_pe_eff":1,"l_cu":4544,"n_cu_eff":1,"l_comp_kernel":72728,"l_mem_wi":4.225016276041667,"pattern_counts":{"RAR.hit":0.3541666666666667,"RAW.hit":0,"WAR.hit":0,"WAW.hit":0.03125,"RAR.miss":0,"RAW.miss":0.08854166666666667,"WAR.miss":0.08854166666666667,"WAW.miss":0},"dsp_footprint":42,"cycles":72704,"us":363.52,"bottleneck":"compute depth"}}|}
+    );
+    ( "explore",
+      {|{"id":5,"kind":"explore","workload":"nn/nn","device":"v7","top":3}|},
+      {|{"id":5,"ok":true,"kind":"explore","result":{"kernel":"nn/nn","device":"xc7vx690t","feasible":192,"points":[{"config":"wg256 pe4 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg256 pe8 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg128 pe4 cu1 pipe pipeline","cycles":4784,"us":23.92}],"greedy":{"config":"wg256 pe8 cu4 pipe pipeline","cycles":7789,"us":38.945}}}|}
+    );
+    ( "unknown kind",
+      {|{"id":6,"kind":"frobnicate"}|},
+      {|{"id":6,"ok":false,"kind":"frobnicate","errors":[{"code":"E-USAGE","severity":"error","message":"unknown request kind \"frobnicate\" (parse | analyze | predict | explore | stats)"}]}|}
+    );
+    ( "missing source",
+      {|{"id":7,"kind":"predict"}|},
+      {|{"id":7,"ok":false,"kind":"predict","errors":[{"code":"E-USAGE","severity":"error","message":"one of \"source\" or \"workload\" is required"}]}|}
+    );
+    ( "launch field on a workload request",
+      {|{"id":8,"kind":"predict","workload":"hotspot/hotspot","global":128}|},
+      {|{"id":8,"ok":false,"kind":"predict","errors":[{"code":"E-USAGE","severity":"error","message":"field \"global\" does not apply to a workload request"}]}|}
+    );
+    ( "unknown workload",
+      {|{"id":9,"kind":"predict","workload":"nosuch/x"}|},
+      {|{"id":9,"ok":false,"kind":"predict","errors":[{"code":"E-USAGE","severity":"error","message":"unknown workload \"nosuch/x\" (see the workloads list)"}]}|}
+    );
+    ( "deadline maps to fuel",
+      {|{"id":10,"kind":"predict","source":"__kernel void spin(int n) { while (1) { n = n + 1; } }","deadline_ms":1}|},
+      {|{"id":10,"ok":false,"kind":"predict","errors":[{"code":"E-FUEL","severity":"error","message":"profiling exceeded its 20000-step budget (non-terminating kernel?)"}]}|}
+    );
+    ( "broken kernel carries the parse span",
+      {|{"id":11,"kind":"predict","source":"__kernel void f(__global float* a, int n) { a[0] = ; }"}|},
+      {|{"id":11,"ok":false,"kind":"predict","errors":[{"code":"E-PARSE","severity":"error","message":"unexpected token ; in expression","line":1,"col":52}]}|}
+    );
+    ( "malformed JSON",
+      "this is not json",
+      {|{"id":null,"ok":false,"kind":null,"errors":[{"code":"E-USAGE","severity":"error","message":"malformed JSON: byte 0: invalid literal (expected true)"}]}|}
+    );
+  ]
+
+let test_protocol_goldens () =
+  let c = Client.create ~num_domains:0 () in
+  List.iter
+    (fun (what, req, want) ->
+      check Alcotest.string what want (Client.request_line c req))
+    protocol_goldens
+
+let test_explore_deterministic () =
+  let c = Client.create ~num_domains:0 () in
+  let req = {|{"id":1,"kind":"explore","workload":"nn/nn","top":5}|} in
+  let first = Client.request_line c req in
+  check Alcotest.string "repeat explore is byte-identical" first
+    (Client.request_line c req)
+
+let test_stats_shape () =
+  let c = Client.create ~num_domains:0 () in
+  ignore (Client.request_line c predict_req);
+  ignore (Client.request_line c predict_req);
+  ignore (Client.request_line c {|{"id":1,"kind":"frobnicate"}|});
+  let s = Client.stats c in
+  check Alcotest.int "predict ok counter" 2
+    (jint s [ "counters"; "requests.predict.ok" ]);
+  check Alcotest.int "unknown kind counted as error" 1
+    (jint s [ "counters"; "requests.unknown.error" ]);
+  check Alcotest.int "latency histogram count" 2
+    (jint s [ "latency_us"; "predict"; "count" ]);
+  check Alcotest.int "predict cache hit" 1 (jint s [ "cache"; "predict"; "hits" ]);
+  check Alcotest.int "predict cache miss" 1
+    (jint s [ "cache"; "predict"; "misses" ]);
+  check Alcotest.int "analysis cached across predicts" 1
+    (jint s [ "cache"; "analysis"; "misses" ])
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: garbage bytes and mutated request lines must always come back
+   as one well-formed error-or-ok response — never an exception. *)
+
+let json_flip_chars = [| '{'; '}'; '['; ']'; '"'; ':'; ','; '\\'; '0'; 'e'; ' ' |]
+
+let mutate rng src =
+  let n = String.length src in
+  if n < 4 then src
+  else
+    match Prng.int rng 3 with
+    | 0 -> String.sub src 0 (1 + Prng.int rng (n - 1))
+    | 1 ->
+        let b = Bytes.of_string src in
+        for _ = 1 to 1 + Prng.int rng 4 do
+          Bytes.set b (Prng.int rng n) (Prng.choose rng json_flip_chars)
+        done;
+        Bytes.to_string b
+    | _ ->
+        let start = Prng.int rng n in
+        let len = min (1 + Prng.int rng 12) (n - start) in
+        String.sub src 0 start ^ String.sub src (start + len) (n - start - len)
+
+let fuzz_trials = 400
+
+let test_fuzz_requests () =
+  let c = Client.create ~num_domains:0 () in
+  let rng = Prng.create 0x5E21E in
+  let garbage () =
+    String.init (Prng.int rng 40) (fun _ ->
+        match Char.chr (1 + Prng.int rng 255) with
+        | '\n' -> ' ' (* the record separator cannot appear in a line *)
+        | ch -> ch)
+  in
+  let base =
+    Array.of_list (List.map (fun (_, req, _) -> req) protocol_goldens)
+  in
+  let ok = ref 0 and err = ref 0 in
+  let escaped = ref [] in
+  for i = 0 to fuzz_trials - 1 do
+    let line =
+      if i mod 3 = 0 then garbage ()
+      else mutate rng base.(i mod Array.length base)
+    in
+    match Client.request_line c line with
+    | resp -> (
+        match Json.of_string resp with
+        | Error e ->
+            escaped :=
+              Printf.sprintf "trial %d: response not JSON (%s)" i e :: !escaped
+        | Ok v -> (
+            match Option.bind (Json.member "ok" v) Json.to_bool with
+            | Some true -> incr ok
+            | Some false -> incr err
+            | None ->
+                escaped :=
+                  Printf.sprintf "trial %d: response lacks \"ok\"" i :: !escaped
+            ))
+    | exception exn ->
+        escaped :=
+          Printf.sprintf "trial %d: escaped %s" i (Printexc.to_string exn)
+          :: !escaped
+  done;
+  (match !escaped with
+  | [] -> ()
+  | e :: _ ->
+      Alcotest.failf "%d bad trial(s); first: %s" (List.length !escaped) e);
+  check Alcotest.int "every trial answered" fuzz_trials (!ok + !err);
+  check Alcotest.bool "error paths exercised" true (!err > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: 100 repeated predicts, ≥ 99% served from cache. *)
+
+let test_cache_hit_rate () =
+  let c = Client.create ~num_domains:0 () in
+  let cached = ref 0 in
+  for _ = 1 to 100 do
+    let r =
+      match Json.of_string (Client.request_line c predict_req) with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "bad response: %s" e
+    in
+    match Option.bind (Json.member "cached" r) Json.to_bool with
+    | Some true -> incr cached
+    | Some false -> ()
+    | None -> Alcotest.fail "predict response lacks \"cached\""
+  done;
+  check Alcotest.int "99 of 100 responses from cache" 99 !cached;
+  let s = Client.stats c in
+  check Alcotest.int "stats hits" 99 (jint s [ "cache"; "predict"; "hits" ]);
+  check Alcotest.int "stats misses" 1 (jint s [ "cache"; "predict"; "misses" ]);
+  match Json.to_float (jpath s [ "cache"; "predict"; "hit_rate" ]) with
+  | Some rate -> check Alcotest.bool "hit rate >= 99%" true (rate >= 0.99)
+  | None -> Alcotest.fail "hit_rate missing"
+
+(* ------------------------------------------------------------------ *)
+(* serve_fd: a concurrent batch over a real pipe answers in request
+   order, byte-identical to a sequential client, with blank lines
+   skipped and the malformed line answered in place. *)
+
+let batch_requests =
+  [
+    predict_req;
+    {|{"id":2,"kind":"parse","source":"__kernel void f(__global float* a, int n) { a[0] = 1.0f; }"}|};
+    "definitely not json";
+    {|{"id":4,"kind":"predict","workload":"nn/nn"}|};
+    {|{"id":5,"kind":"analyze","workload":"hotspot/hotspot"}|};
+    {|{"id":6,"kind":"frobnicate"}|};
+    {|{"id":7,"kind":"predict","workload":"hotspot/hotspot","pe":4}|};
+  ]
+
+let test_serve_fd_batch () =
+  let seq = Client.create ~num_domains:0 () in
+  let expected = List.map (Client.request_line seq) batch_requests in
+  let r, w = Unix.pipe () in
+  let wc = Unix.out_channel_of_descr w in
+  List.iter (fun l -> output_string wc (l ^ "\n")) batch_requests;
+  output_string wc "\n";
+  (* trailing blank line: skipped *)
+  close_out wc;
+  let tmp = Filename.temp_file "flexcl_serve" ".ndjson" in
+  let out = open_out tmp in
+  let srv = Server.create ~num_domains:2 () in
+  Server.serve_fd srv r out;
+  close_out out;
+  Unix.close r;
+  let ic = open_in tmp in
+  let got = ref [] in
+  (try
+     while true do
+       got := input_line ic :: !got
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  let got = List.rev !got in
+  check Alcotest.int "one response per request" (List.length batch_requests)
+    (List.length got);
+  List.iteri
+    (fun i (want, have) ->
+      check Alcotest.string (Printf.sprintf "response %d in order" i) want have)
+    (List.combine expected got)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "json: print goldens" `Quick test_json_print;
+    Alcotest.test_case "json: parse goldens and rejections" `Quick
+      test_json_parse;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    Alcotest.test_case "hash: separators and width" `Quick test_hash_separators;
+    Alcotest.test_case "hash: launch fingerprint" `Quick
+      test_launch_fingerprint;
+    Alcotest.test_case "cache: LRU eviction and counters" `Quick test_cache_lru;
+    Alcotest.test_case "metrics: counters and histograms" `Quick test_metrics;
+    Alcotest.test_case "protocol: goldens for every kind" `Quick
+      test_protocol_goldens;
+    Alcotest.test_case "protocol: explore is deterministic" `Quick
+      test_explore_deterministic;
+    Alcotest.test_case "protocol: stats shape" `Quick test_stats_shape;
+    Alcotest.test_case "fuzz: mutated and garbage requests" `Quick
+      test_fuzz_requests;
+    Alcotest.test_case "cache: 100 predicts hit >= 99%" `Quick
+      test_cache_hit_rate;
+    Alcotest.test_case "serve_fd: concurrent batch keeps order" `Quick
+      test_serve_fd_batch;
+  ]
