@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke bench bench-dse bench-serve clean
+.PHONY: all build test check smoke serve-smoke trace-smoke bench bench-dse bench-serve bench-trace clean
 
 all: build
 
@@ -11,8 +11,9 @@ test:
 # Full verification: build everything, run the test suite (which includes
 # the fault-injection harness in test/test_robustness.ml), then smoke-test
 # the CLI's diagnostic path on a deliberately broken kernel (must exit 1,
-# not crash) and the serve loop on a batch with one malformed request.
-check: build test smoke serve-smoke
+# not crash), the serve loop on a batch with one malformed request, and
+# the cycle-attribution trace on two bundled kernels in both modes.
+check: build test smoke serve-smoke trace-smoke
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -47,6 +48,36 @@ serve-smoke:
 	fi; \
 	echo "serve-smoke: 3 ok + 1 structured error, exit 0 OK"
 
+# `flexcl explain` self-validates its trace before printing (conservation
+# check, root-vs-estimate agreement, JSON round-trip) and exits 3 on any
+# violation, so the smoke only has to run it and look at the surface:
+# a JSON trace with the kernel at the root and Table-1 memory leaves, and
+# a text tree in barrier mode on a second kernel.
+trace-smoke:
+	@out=$$(dune exec --no-build bin/flexcl_cli.exe -- explain \
+	  -w hotspot/hotspot --pe 2 --cu 2 --pipeline --json); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "trace-smoke: explain --json exited $$status"; exit 1; \
+	fi; \
+	case "$$out" in \
+	  *'"trace"'*'hotspot'*'"eq":"Eq.'*) ;; \
+	  *) echo "trace-smoke: JSON trace lacks the expected structure"; \
+	     printf '%s\n' "$$out"; exit 1 ;; \
+	esac; \
+	out=$$(dune exec --no-build bin/flexcl_cli.exe -- explain \
+	  -w backprop/layer --mode barrier); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "trace-smoke: explain (barrier) exited $$status"; exit 1; \
+	fi; \
+	case "$$out" in \
+	  *'barrier mode'*'Eq.10'*'Table-1'*) ;; \
+	  *) echo "trace-smoke: text trace lacks the barrier-mode root"; \
+	     printf '%s\n' "$$out"; exit 1 ;; \
+	esac; \
+	echo "trace-smoke: conservation-validated traces on 2 kernels OK"
+
 bench:
 	dune exec bench/main.exe
 
@@ -59,6 +90,11 @@ bench-dse:
 # tail percentiles, written to BENCH_serve.json.
 bench-serve:
 	dune exec bench/main.exe -- serve-load
+
+# Explain-vs-estimate cost on a warm cache (< 10% target), written to
+# BENCH_trace.json.
+bench-trace:
+	dune exec bench/main.exe -- trace-overhead
 
 clean:
 	dune clean

@@ -514,6 +514,124 @@ let run_ablation ?(stride = 8) () =
 (* ------------------------------------------------------------------ *)
 (* Serve load: the request-level cache against cold analysis cost *)
 
+(* ------------------------------------------------------------------ *)
+(* Trace overhead: [Model.explain] must stay a cheap add-on over
+   [Model.estimate] (< 10% on a warm cache) or nobody turns it on. The
+   first explain of a design point pays the extra region traversal that
+   builds the tree (reported as "cold build"); after that the trace is
+   memoized per design point, so the steady-state loops measure the
+   serving pattern the cache exists for. *)
+
+let run_trace_overhead ?(iters = 300) ?(out_file = "BENCH_trace.json") () =
+  let module Trace = Flexcl_util.Trace in
+  let module Json = Flexcl_util.Json in
+  Printf.printf "=== Trace overhead: explain vs estimate (%d iters) ===\n"
+    iters;
+  let points =
+    List.concat_map
+      (fun (w : W.t) ->
+        let wg = Launch.wg_size w.W.launch in
+        List.map
+          (fun mode ->
+            ( w,
+              { Config.wg_size = wg; n_pe = 2; n_cu = 2; wi_pipeline = true;
+                comm_mode = mode } ))
+          [ Config.Barrier_mode; Config.Pipeline_mode ])
+      Rodinia.all
+  in
+  let rows =
+    List.map
+      (fun ((w : W.t), cfg) ->
+        let a = analysis_of w in
+        (* warm every memo table both paths share before timing; the
+           first explain builds (and caches) the trace — its cost is the
+           one-time surcharge a traced request pays *)
+        let b = Model.estimate dev a cfg in
+        let (_, tr), t_cold = time_of (fun () -> Model.explain dev a cfg) in
+        (match Trace.check tr with
+        | Ok () -> ()
+        | Error e ->
+            failwith
+              (Printf.sprintf "conservation violated on %s: %s" (W.name w) e));
+        if Float.abs (tr.Trace.cycles -. b.Model.cycles) > 1e-9 *. b.Model.cycles
+        then
+          failwith
+            (Printf.sprintf "trace root diverges from estimate on %s"
+               (W.name w));
+        let (), t_est =
+          time_of (fun () ->
+              for _ = 1 to iters do
+                ignore (Model.estimate dev a cfg)
+              done)
+        in
+        let (), t_exp =
+          time_of (fun () ->
+              for _ = 1 to iters do
+                ignore (Model.explain dev a cfg)
+              done)
+        in
+        let est_us = t_est /. float_of_int iters *. 1e6 in
+        let exp_us = t_exp /. float_of_int iters *. 1e6 in
+        let overhead = (exp_us -. est_us) /. Float.max est_us 1e-9 in
+        let mode =
+          match cfg.Config.comm_mode with
+          | Config.Barrier_mode -> "barrier"
+          | Config.Pipeline_mode -> "pipeline"
+        in
+        (W.name w, mode, t_cold *. 1e6, est_us, exp_us, overhead))
+      points
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "workload"; "mode"; "cold build us"; "estimate us"; "explain us";
+          "overhead" ]
+  in
+  List.iter
+    (fun (name, mode, cold_us, est_us, exp_us, ov) ->
+      Table.add_row t
+        [ name; mode; Printf.sprintf "%.1f" cold_us;
+          Printf.sprintf "%.1f" est_us; Printf.sprintf "%.1f" exp_us;
+          Printf.sprintf "%+.1f%%" (ov *. 100.0) ])
+    rows;
+  print_string (Table.render t);
+  (* aggregate over total time, not mean-of-ratios: tiny kernels with
+     sub-microsecond estimates would otherwise dominate the verdict *)
+  let tot_est = List.fold_left (fun a (_, _, _, e, _, _) -> a +. e) 0.0 rows in
+  let tot_exp = List.fold_left (fun a (_, _, _, _, x, _) -> a +. x) 0.0 rows in
+  let overall = (tot_exp -. tot_est) /. Float.max tot_est 1e-9 in
+  Printf.printf "overall overhead       : %+.1f%% %s\n" (overall *. 100.0)
+    (if overall < 0.10 then "(< 10% target)" else "(ABOVE 10% TARGET)");
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.Str "trace-overhead");
+        ("iters", Json.int iters);
+        ("overall_overhead", Json.Num overall);
+        ("target", Json.Num 0.10);
+        ("within_target", Json.Bool (overall < 0.10));
+        ( "points",
+          Json.Arr
+            (List.map
+               (fun (name, mode, cold_us, est_us, exp_us, ov) ->
+                 Json.Obj
+                   [
+                     ("workload", Json.Str name);
+                     ("mode", Json.Str mode);
+                     ("cold_build_us", Json.Num cold_us);
+                     ("estimate_us", Json.Num est_us);
+                     ("explain_us", Json.Num exp_us);
+                     ("overhead", Json.Num ov);
+                   ])
+               rows) );
+      ]
+  in
+  Out_channel.with_open_text out_file (fun oc ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n\n" out_file;
+  overall
+
 let run_serve_load ?(requests = 100) ?(out_file = "BENCH_serve.json") () =
   let module Client = Flexcl_server.Client in
   let module Json = Flexcl_util.Json in

@@ -93,6 +93,8 @@ let experiments : (string * string * (unit -> unit)) list =
      fun () -> Experiments.run_ablation ());
     ("serve-load", "flexcl serve cold-vs-cached latency (BENCH_serve.json)",
      fun () -> ignore (Experiments.run_serve_load ()));
+    ("trace-overhead", "explain-vs-estimate cost on a warm cache (BENCH_trace.json)",
+     fun () -> ignore (Experiments.run_trace_overhead ()));
     ("bechamel", "micro-benchmarks (ns per run)", run_bechamel);
   ]
 

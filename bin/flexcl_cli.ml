@@ -222,8 +222,44 @@ let print_breakdown dev name cfg (b : Model.breakdown) =
     (b.Model.seconds *. 1e6);
   Printf.printf "bottleneck    : %s\n" (Model.bottleneck b)
 
+module Trace = Flexcl_util.Trace
+
+(* A trace is only printed after it passes its own conservation check and
+   a byte-level JSON round-trip; a violation is a model bug, not an input
+   problem, so it exits 3. *)
+let validated_trace (b : Model.breakdown) (tr : Trace.t) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        print_diags [ Diag.error Diag.Internal_error "%s" msg ];
+        Error exit_internal_error)
+      fmt
+  in
+  match Trace.check tr with
+  | Error e -> fail "trace conservation violated: %s" e
+  | Ok () ->
+      if
+        Float.abs (tr.Trace.cycles -. b.Model.cycles)
+        > 1e-9 *. Float.max 1.0 (Float.abs b.Model.cycles)
+      then
+        fail "trace root %.17g disagrees with the prediction %.17g"
+          tr.Trace.cycles b.Model.cycles
+      else
+        let s = Json.to_string (Trace.to_json tr) in
+        match Result.bind (Json.of_string s) (fun j -> Trace.of_json j) with
+        | Error e -> fail "trace does not survive a JSON round-trip: %s" e
+        | Ok tr' when tr' <> tr -> fail "trace JSON round-trip is lossy"
+        | Ok _ -> Ok s
+
 let analyze_cmd =
-  let run dev file workload global wg pe cu pipe mode buffer_size ints floats =
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Also print the cycle-attribution trace (see 'flexcl explain').")
+  in
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats
+      trace =
     with_kernel file workload global wg buffer_size ints floats (fun name a ->
         let cfg =
           { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
@@ -245,14 +281,90 @@ let analyze_cmd =
               exit_input_error
           | Ok b ->
               print_breakdown dev name cfg b;
-              0)
+              if not trace then 0
+              else
+                let _, tr = Model.explain dev a cfg in
+                (match validated_trace b tr with
+                | Error code -> code
+                | Ok _ ->
+                    print_newline ();
+                    print_endline (Trace.render tr);
+                    0))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Estimate a kernel's performance analytically.")
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
       $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
-      $ float_args)
+      $ float_args $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the trace as JSON instead of a tree.")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Truncate the printed tree below depth $(docv) (text mode only).")
+  in
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats
+      json max_depth =
+    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+        let cfg =
+          { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
+            wi_pipeline = pipe; comm_mode = mode }
+        in
+        (* same validation path as analyze, so the two agree on inputs *)
+        match Model.estimate_result dev a cfg with
+        | Error d ->
+            print_diags [ d ];
+            exit_input_error
+        | Ok b -> (
+            let _, tr = Model.explain dev a cfg in
+            match validated_trace b tr with
+            | Error code -> code
+            | Ok trace_json ->
+                if json then (
+                  print_endline
+                    (Json.to_string
+                       (Json.Obj
+                          [
+                            ("kernel", Json.Str name);
+                            ("device", Json.Str dev.Device.name);
+                            ("config", Json.Str (Config.to_string cfg));
+                            ("cycles", Json.Num b.Model.cycles);
+                            ( "trace",
+                              match Json.of_string trace_json with
+                              | Ok j -> j
+                              | Error _ -> assert false );
+                          ]));
+                  0)
+                else begin
+                  Printf.printf "kernel       : %s on %s\n" name dev.Device.name;
+                  Printf.printf "design point : %s\n" (Config.to_string cfg);
+                  Printf.printf "prediction   : %.0f cycles = %.2f us\n\n"
+                    b.Model.cycles (b.Model.seconds *. 1e6);
+                  print_endline (Trace.render ?max_depth tr);
+                  0
+                end))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every predicted cycle to a model term: a conservation-\
+          checked tree from the kernel total down to per-block schedules \
+          and per-pattern DRAM costs.")
+    Term.(
+      const run $ device_arg $ kernel_file $ workload_name $ global_size
+      $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
+      $ float_args $ json_flag $ max_depth)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -463,7 +575,10 @@ let () =
   let code =
     Cmd.eval'
       (Cmd.group info
-         [ analyze_cmd; simulate_cmd; explore_cmd; workloads_cmd; serve_cmd ])
+         [
+           analyze_cmd; explain_cmd; simulate_cmd; explore_cmd; workloads_cmd;
+           serve_cmd;
+         ])
   in
   (* cmdliner signals its own parse errors (unknown flag, bad value)
      with 124: fold them into the documented usage-error code *)

@@ -70,6 +70,8 @@ let classify_message msg =
   then Diag.Sched_error
   else if starts_with "Explore." msg then Diag.Empty_design_space
   else if starts_with "Types." msg then Diag.Sema_error
+  else if starts_with "Dram." msg || starts_with "Model." msg then
+    Diag.Model_error
   else Diag.Internal_error
 
 let diag_of_exn = function

@@ -7,6 +7,7 @@ module Memo = Flexcl_util.Memo
 module Listsched = Flexcl_sched.Listsched
 module Sms = Flexcl_sched.Sms
 module Interp = Flexcl_interp.Interp
+module Trace = Flexcl_util.Trace
 
 (* Ablation switches for the refinements of DESIGN.md §4b; the bench's
    ablation experiment disables them one at a time. *)
@@ -71,47 +72,71 @@ type comp_env = {
   dsp : Opcode.t -> int;
   block_lat_override : (Dfg.t -> int) option;
       (** the simulator injects realized per-instance latencies here. *)
+  mutable summaries : (Dfg.t * Listsched.summary) list;
+      (** per-env schedule memo (physical keys): each block is list- and
+          modulo-scheduled from several places per estimate (region
+          latency, SMS macro nodes, the trace builder); one env never
+          crosses domains, so a plain field suffices. *)
 }
+
+let block_summary env d =
+  match List.find_opt (fun (d', _) -> d' == d) env.summaries with
+  | Some (_, s) -> s
+  | None ->
+      let s =
+        Listsched.summarize d ~lat:env.lat ~dsp_cost:env.dsp ~cons:env.cons
+      in
+      env.summaries <- (d, s) :: env.summaries;
+      s
 
 let block_latency env d =
   match env.block_lat_override with
   | Some f -> f d
-  | None ->
-      (Listsched.schedule_block d ~lat:env.lat ~dsp_cost:env.dsp ~cons:env.cons)
-        .Listsched.latency
+  | None -> (block_summary env d).Listsched.latency
 
-(* Dependence-ordered latency of a list of sibling regions: siblings with
-   disjoint read/write sets run as parallel circuits (§3.2). *)
+(* Conflict DAG of a list of sibling regions: siblings with disjoint
+   read/write sets run as parallel circuits (§3.2); conflicting siblings
+   order by program position. Shared by the latency computation and the
+   trace builder so both walk the same critical path. *)
+let seq_conflict_graph arr =
+  let n = Array.length arr in
+  let reads = Array.map Cdfg.region_reads arr in
+  let writes = Array.map Cdfg.region_writes arr in
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let conflict =
+        intersects writes.(i) reads.(j)
+        || intersects writes.(i) writes.(j)
+        || intersects reads.(i) writes.(j)
+      in
+      if conflict then Graph.add_edge g i j
+    done
+  done;
+  g
+
+(* longest path over float node weights; [dist.(v)] includes [lats.(v)] *)
+let seq_dist g lats =
+  let order = match Graph.topo_sort g with Some o -> o | None -> assert false in
+  let dist = Array.copy lats in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (v, _) ->
+          if dist.(u) +. lats.(v) > dist.(v) then dist.(v) <- dist.(u) +. lats.(v))
+        (Graph.succs g u))
+    order;
+  dist
+
+(* Dependence-ordered latency of a list of sibling regions. *)
 let seq_latency child_lat children =
   let n = List.length children in
   if n = 0 then 0.0
   else begin
     let arr = Array.of_list children in
     let lats = Array.map child_lat arr in
-    let reads = Array.map Cdfg.region_reads arr in
-    let writes = Array.map Cdfg.region_writes arr in
-    let intersects a b = List.exists (fun x -> List.mem x b) a in
-    let g = Graph.create n in
-    for i = 0 to n - 1 do
-      for j = i + 1 to n - 1 do
-        let conflict =
-          intersects writes.(i) reads.(j)
-          || intersects writes.(i) writes.(j)
-          || intersects reads.(i) writes.(j)
-        in
-        if conflict then Graph.add_edge g i j
-      done
-    done;
-    (* longest path over float node weights *)
-    let order = match Graph.topo_sort g with Some o -> o | None -> assert false in
-    let dist = Array.copy lats in
-    List.iter
-      (fun u ->
-        List.iter
-          (fun (v, _) ->
-            if dist.(u) +. lats.(v) > dist.(v) then dist.(v) <- dist.(u) +. lats.(v))
-          (Graph.succs g u))
-      order;
+    let dist = seq_dist (seq_conflict_graph arr) lats in
     Array.fold_left Float.max 0.0 dist
   end
 
@@ -207,6 +232,171 @@ let rec region_latency env (r : Cdfg.region) : float =
                 iter_lat +. ((u -. 1.0) *. ii)
             in
             eff_trip *. unrolled_iter
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-attribution trace of the computation model (DESIGN.md §10).
+
+   [region_trace] mirrors [region_latency] case by case: additions happen
+   in the same order, each [max] keeps only the winning alternative (the
+   loser appears as a 0-cycle leaf annotated with the cycles it would
+   have contributed), and the Seq case re-walks the same conflict-DAG
+   critical path that [seq_latency] scored — so the trace root's cycles
+   recompose the very float the estimate produced. Blocks are numbered
+   [b0, b1, ...] in pre-order over the region tree. *)
+
+let block_leaf env ~ctr d =
+  let i = !ctr in
+  incr ctr;
+  let name = Printf.sprintf "block b%d" i in
+  match env.block_lat_override with
+  | Some f -> Trace.leaf ~eq:"Eq.1" name (float_of_int (f d))
+  | None ->
+      let s = block_summary env d in
+      Trace.leaf ~eq:"Eq.1" name
+        (float_of_int s.Listsched.latency)
+        ~notes:
+          [
+            ("ops", float_of_int s.Listsched.n_ops);
+            ("crit_path", float_of_int s.Listsched.crit_path);
+            ("resource_delay", float_of_int s.Listsched.res_delay);
+          ]
+
+let rec region_trace env ~ctr (r : Cdfg.region) : Trace.t =
+  match r with
+  | Cdfg.Straight d -> block_leaf env ~ctr d
+  | Cdfg.Seq [] -> Trace.leaf "empty sequence" 0.0
+  | Cdfg.Seq rs ->
+      let arr = Array.of_list rs in
+      let subs = Array.make (Array.length arr) (Trace.leaf "" 0.0) in
+      Array.iteri (fun i r -> subs.(i) <- region_trace env ~ctr r) arr;
+      let lats = Array.map (fun (t : Trace.t) -> t.Trace.cycles) subs in
+      let g = seq_conflict_graph arr in
+      let dist = seq_dist g lats in
+      let best = Array.fold_left Float.max 0.0 dist in
+      (* reconstruct the critical circuit by exact-float backtracking:
+         [dist.(v)] was assigned the very sum [dist.(u) +. lats.(v)], so
+         equality identifies the predecessor that set it (or, when none
+         matches, the path starts at [v] with [dist.(v) = lats.(v)]).
+         Summing the on-path sibling latencies left to right then replays
+         the identical chain of additions. *)
+      let v_end =
+        let rec go i = if dist.(i) = best then i else go (i + 1) in
+        go 0
+      in
+      let rec back v acc =
+        let acc = v :: acc in
+        match
+          List.find_opt
+            (fun (u, _) -> dist.(u) +. lats.(v) = dist.(v))
+            (Graph.preds g v)
+        with
+        | Some (u, _) -> back u acc
+        | None -> acc
+      in
+      let on_path = back v_end [] in
+      let off =
+        List.filter_map
+          (fun v ->
+            if List.mem v on_path then None
+            else
+              Some
+                (Trace.leaf
+                   (Printf.sprintf "%s (overlapped)" subs.(v).Trace.name)
+                   0.0
+                   ~notes:[ ("parallel_circuit_cycles", lats.(v)) ]))
+          (List.init (Array.length arr) Fun.id)
+      in
+      Trace.node "seq (parallel circuits)"
+        (List.map (fun v -> subs.(v)) on_path @ off)
+  | Cdfg.Branch { cond; then_; else_ } ->
+      let cond_t = block_leaf env ~ctr cond in
+      let then_t = region_trace env ~ctr then_ in
+      let else_t = region_trace env ~ctr else_ in
+      let then_wins = then_t.Trace.cycles >= else_t.Trace.cycles in
+      let win, lose, lose_name =
+        if then_wins then (then_t, else_t, "else") else (else_t, then_t, "then")
+      in
+      let win =
+        {
+          win with
+          Trace.name =
+            win.Trace.name ^ (if then_wins then " (then arm)" else " (else arm)");
+        }
+      in
+      Trace.node "branch"
+        [
+          cond_t;
+          win;
+          Trace.leaf (lose_name ^ " arm (shorter)") 0.0
+            ~notes:[ ("alternative_cycles", lose.Trace.cycles) ];
+        ]
+  | Cdfg.Loop { info; header; body } ->
+      let trip = Analysis.trip env.analysis info in
+      let header_t = block_leaf env ~ctr header in
+      let body_t = region_trace env ~ctr body in
+      let lname fmt = Printf.sprintf fmt info.Cdfg.loop_id in
+      if trip <= 0.0 then
+        Trace.leaf (lname "loop L%d (zero trip)") 0.0 ~notes:[ ("trip", trip) ]
+      else
+        let iter = Trace.node (lname "loop L%d iteration") [ header_t; body_t ] in
+        let loop_recs =
+          Option.value
+            (List.assoc_opt info.Cdfg.loop_id env.analysis.Analysis.loop_recurrences)
+            ~default:[]
+        in
+        if info.Cdfg.attrs.Ast.pipeline then
+          let ii = float_of_int (loop_ii env body loop_recs) in
+          Trace.node
+            (lname "loop L%d (pipelined)")
+            [
+              Trace.leaf "pipeline ramp (II × (trip − 1))"
+                (ii *. (trip -. 1.0))
+                ~notes:[ ("ii", ii); ("trip", trip) ];
+              iter;
+            ]
+        else
+          let u =
+            match info.Cdfg.attrs.Ast.unroll with
+            | Some u -> float_of_int (min u (max 1 (int_of_float trip)))
+            | None -> 1.0
+          in
+          if u <= 1.0 then
+            let t = Trace.scale trip iter in
+            {
+              t with
+              Trace.name = lname "loop L%d (sequential)";
+              notes = [ ("trip", trip) ];
+            }
+          else
+            let eff_trip = fceil (trip /. u) in
+            let carried = loop_recs <> [] in
+            let loop_notes =
+              [ ("trip", trip); ("eff_trip", eff_trip); ("unroll", u) ]
+            in
+            if carried then
+              let unrolled = Trace.scale u iter in
+              let unrolled =
+                {
+                  unrolled with
+                  Trace.name = "unrolled copies (carried, serialized)";
+                  notes = [ ("unroll", u) ];
+                }
+              in
+              let t = Trace.scale eff_trip unrolled in
+              { t with Trace.name = lname "loop L%d (unrolled)"; notes = loop_notes }
+            else
+              let ii = float_of_int (loop_ii env body []) in
+              let group =
+                Trace.node "unrolled iteration group"
+                  [
+                    iter;
+                    Trace.leaf "extra unrolled copies (initiation slots)"
+                      ((u -. 1.0) *. ii)
+                      ~notes:[ ("unroll", u); ("ii", ii) ];
+                  ]
+              in
+              let t = Trace.scale eff_trip group in
+              { t with Trace.name = lname "loop L%d (unrolled)"; notes = loop_notes }
 
 (* ------------------------------------------------------------------ *)
 (* Work-item II (Eq. 2–4 + SMS refinement) *)
@@ -484,6 +674,7 @@ let make_env ?block_lat (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t
     lat = Device.op_latency dev;
     dsp = Device.dsp_cost dev;
     block_lat_override = block_lat;
+    summaries = [];
   }
 
 let region_latency_with ?block_lat dev analysis cfg region =
@@ -494,8 +685,12 @@ let work_item_mii_parts dev analysis cfg =
   let counts = weighted_counts env in
   (work_item_rec_mii env, work_item_res_mii env counts)
 
-let estimate ?(options = default_options) (dev : Device.t)
-    (analysis : Analysis.t) (cfg : Config.t) =
+(* The single evaluation path behind [estimate] and [explain]: the
+   breakdown is always computed; the attribution trace only on demand.
+   Every trace node recomposes the exact float of the quantity it names
+   (see the [region_trace] comment for how [max]/Seq keep that exact). *)
+let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
+    (cfg : Config.t) =
   let analysis =
     if Launch.wg_size analysis.Analysis.launch = cfg.Config.wg_size then analysis
     else Analysis.with_wg_size analysis cfg.Config.wg_size
@@ -535,9 +730,9 @@ let estimate ?(options = default_options) (dev : Device.t)
                max 1
                  (dev.Device.dsp_total / max 1 cfg.Config.n_cu / max 1 dsp_fp))))
   in
+  let q_pe = iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff in
   let l_cu =
-    (float_of_int ii_wi *. float_of_int (iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff))
-    +. float_of_int depth_pe
+    (float_of_int ii_wi *. float_of_int q_pe) +. float_of_int depth_pe
   in
   let dl = float_of_int dev.Device.wg_dispatch_overhead in
   let n_cu_eff =
@@ -545,27 +740,65 @@ let estimate ?(options = default_options) (dev : Device.t)
   in
   let n_wi_kernel = Launch.n_work_items analysis.Analysis.launch in
   let n_wg = iceil_div n_wi_kernel wg in
+  let rounds = fceil (float_of_int n_wg /. float_of_int n_cu_eff) in
   (* Eq. 7, with the dispatch-rate floor: when a work-group finishes
      faster than the scheduler can hand out the next one, ΔL bounds the
      round time. *)
   let l_comp_kernel =
-    (Float.max l_cu dl *. fceil (float_of_int n_wg /. float_of_int n_cu_eff))
-    +. (float_of_int cfg.Config.n_cu *. dl)
+    (Float.max l_cu dl *. rounds) +. (float_of_int cfg.Config.n_cu *. dl)
   in
   let pattern_counts = mean_pattern_counts ~options analysis dev in
   let l_mem_wi = mem_latency_wi dev pattern_counts in
   let txns_per_wi =
     List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
   in
+  let n_wi_f = float_of_int n_wi_kernel in
+  let t_bus_f = float_of_int dev.Device.dram.Dram.t_bus in
   (* aggregate DRAM bandwidth floor: the shared data bus serves one
      coalesced transaction per t_bus regardless of how many CUs issue
      them, so CU replication cannot push a memory stream past it *)
-  let bus_total =
-    txns_per_wi *. float_of_int n_wi_kernel
-    *. float_of_int dev.Device.dram.Dram.t_bus
+  let bus_total = txns_per_wi *. n_wi_f *. t_bus_f in
+  let depth_f = float_of_int depth_pe in
+  let kname = analysis.Analysis.cdfg.Cdfg.kernel_name in
+  (* trace scaffolding, only evaluated when a trace is wanted *)
+  let mem_notes () =
+    let accesses_per_wi =
+      let traces = analysis.Analysis.profile.Interp.wi_traces in
+      let n = Array.length traces in
+      if n = 0 then 0.0
+      else
+        float_of_int (Array.fold_left (fun a t -> a + List.length t) 0 traces)
+        /. float_of_int n
+    in
+    if txns_per_wi > 0.0 then
+      [
+        ("txns_per_wi", txns_per_wi);
+        ("coalescing_factor", accesses_per_wi /. txns_per_wi);
+      ]
+    else []
   in
-  let rounds = fceil (float_of_int n_wg /. float_of_int n_cu_eff) in
-  let cycles =
+  let pattern_leaves f =
+    let table = pattern_latencies dev in
+    List.filter_map
+      (fun (p, c) ->
+        if c = 0.0 then None
+        else
+          let l = List.assoc p table in
+          Some
+            (Trace.leaf ~eq:"Table-1" (Dram.pattern_name p) (f c l)
+               ~notes:[ ("count_per_wi", c); ("avg_latency", l) ]))
+      pattern_counts
+  in
+  let depth_trace () =
+    let ctr = ref 0 in
+    let body_t = region_trace env ~ctr analysis.Analysis.cdfg.Cdfg.body in
+    (* ceil of Eq. 1's region latency; the fraction rounded up appears
+       explicitly so the subtree still recomposes the integer depth *)
+    let gap = depth_f -. body_t.Trace.cycles in
+    Trace.node_at ~eq:"Eq.1" "PE depth (D_comp^PE)" depth_f
+      [ body_t; Trace.leaf "schedule ceiling" gap ]
+  in
+  let cycles, trace =
     match cfg.Config.comm_mode with
     | Config.Barrier_mode ->
         (* Eq. 10, refined for CU replication: each work-group's memory
@@ -575,16 +808,95 @@ let estimate ?(options = default_options) (dev : Device.t)
            serialize, but ride each other's open rows (captured by
            classifying the interleaved stream). Bounded below by the
            shared-bus floor. *)
-        let mem_total =
-          if n_cu_eff <= 1 || not options.multi_cu_dram_replay then
-            l_mem_wi *. float_of_int n_wi_kernel
-            /. (if options.multi_cu_dram_replay then 1.0
-                else float_of_int n_cu_eff)
-          else round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:1 *. rounds
+        let span_opt =
+          if n_cu_eff > 1 && options.multi_cu_dram_replay then
+            Some (round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:1)
+          else None
         in
-        (if options.bus_roofline then Float.max mem_total bus_total
-         else mem_total)
-        +. l_comp_kernel
+        let mem_total =
+          match span_opt with
+          | Some span -> span *. rounds
+          | None ->
+              l_mem_wi *. n_wi_f
+              /. (if options.multi_cu_dram_replay then 1.0
+                  else float_of_int n_cu_eff)
+        in
+        let mem_used =
+          if options.bus_roofline then Float.max mem_total bus_total
+          else mem_total
+        in
+        let cycles = mem_used +. l_comp_kernel in
+        let trace =
+          if not want_trace then None
+          else
+            let mem_node =
+              if options.bus_roofline && bus_total > mem_total then
+                Trace.node_at ~eq:"Eq.9" "memory (DRAM bus roofline)" bus_total
+                  (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
+                  ~notes:
+                    (("latency_model_cycles", mem_total)
+                    :: ("t_bus", t_bus_f)
+                    :: mem_notes ())
+              else
+                match span_opt with
+                | Some span ->
+                    Trace.leaf ~eq:"Eq.9" "memory (multi-CU DRAM replay)"
+                      mem_total
+                      ~notes:
+                        (("round_span", span) :: ("rounds", rounds)
+                        :: mem_notes ())
+                | None ->
+                    Trace.node_at ~eq:"Eq.9" "memory (counts × latencies)"
+                      mem_total
+                      (pattern_leaves (fun c l ->
+                           c *. l *. n_wi_f
+                           /.
+                           if options.multi_cu_dram_replay then 1.0
+                           else float_of_int n_cu_eff))
+                      ~notes:(mem_notes ())
+            in
+            let wg_node =
+              if l_cu >= dl then
+                Trace.node ~eq:"Eq.5-6" "work-group"
+                  [
+                    Trace.leaf "PE fill (II^wi × ⌈(wg−N_PE^eff)/N_PE^eff⌉)"
+                      (float_of_int ii_wi *. float_of_int q_pe)
+                      ~notes:
+                        [
+                          ("ii_wi", float_of_int ii_wi);
+                          ("queue", float_of_int q_pe);
+                          ("n_pe_eff", float_of_int n_pe_eff);
+                        ];
+                    depth_trace ();
+                  ]
+              else
+                Trace.leaf "dispatch-rate floor (ΔL)" dl
+                  ~notes:[ ("work_group_cycles", l_cu) ]
+            in
+            let rounds_node =
+              let t = Trace.scale rounds wg_node in
+              {
+                t with
+                Trace.name = "work-group rounds";
+                notes = ("rounds", rounds) :: t.Trace.notes;
+              }
+            in
+            let comp_node =
+              Trace.node ~eq:"Eq.7" "compute"
+                [
+                  rounds_node;
+                  Trace.leaf "CU dispatch overhead (N_CU × ΔL)"
+                    (float_of_int cfg.Config.n_cu *. dl)
+                    ~notes:
+                      [ ("n_cu", float_of_int cfg.Config.n_cu); ("dl", dl) ];
+                ]
+            in
+            Some
+              (Trace.node ~eq:"Eq.10"
+                 (Printf.sprintf "kernel %s (barrier mode)" kname)
+                 [ mem_node; comp_node ])
+        in
+        (cycles, trace)
     | Config.Pipeline_mode ->
         (* Eq. 11–12, with the multi-CU DRAM reality: the round takes as
            long as the slower of the compute pipeline (Eq. 11's term) and
@@ -592,39 +904,145 @@ let estimate ?(options = default_options) (dev : Device.t)
            DRAM state machine (PE lanes overlap within a work-group, CUs
            contend across). *)
         let ii = Float.max l_mem_wi (float_of_int ii_wi) in
-        let eq11_round =
-          Float.max
-            ((ii *. float_of_int (iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff))
-            +. float_of_int depth_pe)
-            dl
+        let fill = ii *. float_of_int q_pe in
+        let eq11_round = Float.max (fill +. depth_f) dl in
+        let span_opt =
+          if options.multi_cu_dram_replay && n_cu_eff > 1 then
+            Some (round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:n_pe_eff)
+          else None
         in
         let round =
-          if options.multi_cu_dram_replay && n_cu_eff > 1 then
-            Float.max eq11_round
-              (round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:n_pe_eff
-              +. float_of_int depth_pe)
-          else eq11_round
+          match span_opt with
+          | Some span -> Float.max eq11_round (span +. depth_f)
+          | None -> eq11_round
         in
         let eq11 = round *. rounds in
-        let bus_bound = bus_total +. (rounds *. (float_of_int depth_pe +. dl)) in
-        if options.bus_roofline then Float.max eq11 bus_bound else eq11
+        let bus_bound = bus_total +. (rounds *. (depth_f +. dl)) in
+        let cycles =
+          if options.bus_roofline then Float.max eq11 bus_bound else eq11
+        in
+        let trace =
+          if not want_trace then None
+          else
+            let round_node =
+              match span_opt with
+              | Some span when span +. depth_f > eq11_round ->
+                  Trace.node ~eq:"Eq.11" "round (multi-CU DRAM replay)"
+                    [
+                      Trace.leaf "concurrent memory streams span" span
+                        ~notes:
+                          (("n_cu_eff", float_of_int n_cu_eff) :: mem_notes ());
+                      depth_trace ();
+                    ]
+              | _ ->
+                  if fill +. depth_f >= dl then
+                    let fill_node =
+                      if l_mem_wi > float_of_int ii_wi then
+                        Trace.node_at ~eq:"Eq.11"
+                          "memory-bound fill (L_mem^wi × q)" fill
+                          (pattern_leaves (fun c l ->
+                               c *. l *. float_of_int q_pe))
+                          ~notes:
+                            (("l_mem_wi", l_mem_wi)
+                            :: ("ii_wi", float_of_int ii_wi)
+                            :: ("queue", float_of_int q_pe)
+                            :: mem_notes ())
+                      else
+                        Trace.leaf ~eq:"Eq.11" "compute-bound fill (II^wi × q)"
+                          fill
+                          ~notes:
+                            [
+                              ("ii_wi", float_of_int ii_wi);
+                              ("l_mem_wi", l_mem_wi);
+                              ("queue", float_of_int q_pe);
+                            ]
+                    in
+                    Trace.node ~eq:"Eq.11" "round" [ fill_node; depth_trace () ]
+                  else
+                    Trace.leaf "dispatch-rate floor (ΔL)" dl
+                      ~notes:[ ("round_cycles", fill +. depth_f) ]
+            in
+            if options.bus_roofline && bus_bound > eq11 then
+              Some
+                (Trace.node ~eq:"Eq.12"
+                   (Printf.sprintf "kernel %s (pipeline mode, bus roofline)"
+                      kname)
+                   [
+                     Trace.node_at ~eq:"Eq.9" "DRAM bus transfers" bus_total
+                       (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
+                       ~notes:(("pipeline_cycles", eq11) :: mem_notes ());
+                     Trace.leaf "per-round drain + dispatch (rounds × (D + ΔL))"
+                       (rounds *. (depth_f +. dl))
+                       ~notes:
+                         [ ("rounds", rounds); ("depth_pe", depth_f); ("dl", dl) ];
+                   ])
+            else
+              let rounds_node =
+                let t = Trace.scale rounds round_node in
+                {
+                  t with
+                  Trace.name = "rounds";
+                  notes = ("rounds", rounds) :: t.Trace.notes;
+                }
+              in
+              Some
+                (Trace.node ~eq:"Eq.11-12"
+                   (Printf.sprintf "kernel %s (pipeline mode)" kname)
+                   [ rounds_node ]
+                   ~notes:
+                     (if options.bus_roofline then
+                        [ ("bus_roofline_cycles", bus_bound) ]
+                      else []))
+        in
+        (cycles, trace)
   in
-  {
-    ii_wi;
-    depth_pe;
-    rec_mii;
-    res_mii;
-    l_pe;
-    n_pe_eff;
-    l_cu;
-    n_cu_eff;
-    l_comp_kernel;
-    l_mem_wi;
-    pattern_counts;
-    dsp_footprint = dsp_fp;
-    cycles;
-    seconds = Device.cycles_to_seconds dev cycles;
-  }
+  ( {
+      ii_wi;
+      depth_pe;
+      rec_mii;
+      res_mii;
+      l_pe;
+      n_pe_eff;
+      l_cu;
+      n_cu_eff;
+      l_comp_kernel;
+      l_mem_wi;
+      pattern_counts;
+      dsp_footprint = dsp_fp;
+      cycles;
+      seconds = Device.cycles_to_seconds dev cycles;
+    },
+    trace )
+
+let estimate ?(options = default_options) dev analysis cfg =
+  fst (compute ~options ~want_trace:false dev analysis cfg)
+
+(* The trace is pure per (kernel, device, design point, options), like
+   the pattern-count tables above: memoize the built tree so a warm
+   [explain] costs a hash lookup, not a region traversal — the serve
+   layer and repeated CLI runs replay the same design points. The
+   identity witness invalidates entries left by a different (equal-key)
+   analysis object. *)
+let trace_cache :
+    ( string * string * Config.t * options,
+      Analysis.t * (breakdown * Trace.t) )
+    Memo.t =
+  Memo.create ()
+
+let explain ?(options = default_options) dev analysis cfg =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      dev.Device.name,
+      cfg,
+      options )
+  in
+  snd
+    (Memo.find_or_add trace_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () ->
+         match compute ~options ~want_trace:true dev analysis cfg with
+         | b, Some t -> (analysis, (b, t))
+         | _, None -> assert false))
 
 let cycles dev analysis cfg = (estimate dev analysis cfg).cycles
 

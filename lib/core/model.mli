@@ -66,6 +66,25 @@ val estimate :
 val cycles : Device.t -> Analysis.t -> Config.t -> float
 (** Shorthand for [(estimate _ _ _).cycles]. *)
 
+val explain :
+  ?options:options ->
+  Device.t ->
+  Analysis.t ->
+  Config.t ->
+  breakdown * Flexcl_util.Trace.t
+(** Like {!estimate}, plus a cycle-attribution trace (DESIGN.md §10): a
+    tree whose root carries exactly [breakdown.cycles] and whose every
+    level decomposes its parent — kernel into memory and compute terms,
+    compute into work-group rounds and dispatch overhead, the PE depth
+    into per-basic-block schedule contributions, memory into per-Table-1
+    pattern [count × latency] products. Conservation holds at every
+    node: the children of a node sum to its cycles within [Trace.check]'s
+    tolerance ([max] alternatives keep the winning branch; losers appear
+    as 0-cycle leaves annotated with the cycles they would have cost).
+    The trace shares all of {!estimate}'s memo tables and is itself
+    memoized per (kernel, device, design point, options): the first call
+    pays one extra region traversal, repeat calls cost a hash lookup. *)
+
 val estimate_result :
   ?options:options ->
   Device.t ->

@@ -68,7 +68,15 @@ let layout buffers =
 let base l name =
   match List.assoc_opt name l with
   | Some b -> b
-  | None -> raise Not_found
+  | None ->
+      (* a bare [Not_found] escaping here is useless in a batch sweep;
+         name the missing buffer and what the layout actually holds so
+         the total [_result] API reports a meaningful diagnostic *)
+      invalid_arg
+        (Printf.sprintf "Dram.base: unknown buffer %S (layout has: %s)" name
+           (match l with
+           | [] -> "no buffers"
+           | _ -> String.concat ", " (List.map fst l)))
 
 let address l name ~elem_bits i = base l name + (i * (elem_bits / 8))
 

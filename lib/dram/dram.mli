@@ -57,7 +57,9 @@ val layout : (string * int) list -> layout
     declaration order, each aligned up to a row boundary. *)
 
 val base : layout -> string -> int
-(** Base address of a buffer; raises [Not_found] for unknown names. *)
+(** Base address of a buffer; raises [Invalid_argument] naming the
+    unknown buffer and the buffers the layout does hold (classified as a
+    model-stage diagnostic by the total [_result] API). *)
 
 val address : layout -> string -> elem_bits:int -> int -> int
 (** Byte address of element [i] of a buffer. *)

@@ -116,3 +116,33 @@ let critical_path d ~lat =
       Graph.longest_paths g ~source_weight:(fun u -> lat (Dfg.node d u).Dfg.op)
     in
     Array.fold_left max 0 dist
+
+type summary = {
+  n_ops : int;
+  latency : int;
+  crit_path : int;
+  res_delay : int;
+  local_reads : int;
+  local_writes : int;
+  dsps : int;
+}
+
+let summarize d ~lat ~dsp_cost ~cons =
+  let sched = schedule_block d ~lat ~dsp_cost ~cons in
+  let cp = critical_path d ~lat in
+  let reads, writes, dsps =
+    List.fold_left
+      (fun (r, w, k) (n : Dfg.node) ->
+        let r', w', k' = usage_of n.Dfg.op ~dsp_cost in
+        (r + r', w + w', k + k'))
+      (0, 0, 0) (Dfg.nodes d)
+  in
+  {
+    n_ops = List.length (Dfg.nodes d);
+    latency = sched.latency;
+    crit_path = cp;
+    res_delay = max 0 (sched.latency - cp);
+    local_reads = reads;
+    local_writes = writes;
+    dsps;
+  }

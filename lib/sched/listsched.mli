@@ -43,3 +43,26 @@ val schedule_block_with :
 
 val critical_path : Flexcl_ir.Dfg.t -> lat:(Flexcl_ir.Opcode.t -> int) -> int
 (** Dependence-only lower bound on the block latency. *)
+
+(** Per-block schedule summary, the quantities the prediction trace
+    reports for each basic block: how long the scheduled block takes,
+    how much of that is forced by dependences alone ([crit_path]) and
+    how much the resource constraints added on top ([res_delay]). *)
+type summary = {
+  n_ops : int;        (** operations in the block. *)
+  latency : int;      (** resource-aware scheduled latency. *)
+  crit_path : int;    (** dependence-only lower bound. *)
+  res_delay : int;    (** [latency - crit_path] (0 when dependence-bound). *)
+  local_reads : int;  (** local-memory read ops in the block. *)
+  local_writes : int; (** local-memory write ops. *)
+  dsps : int;         (** DSP slices the block's ops consume. *)
+}
+
+val summarize :
+  Flexcl_ir.Dfg.t ->
+  lat:(Flexcl_ir.Opcode.t -> int) ->
+  dsp_cost:(Flexcl_ir.Opcode.t -> int) ->
+  cons:constraints ->
+  summary
+(** {!schedule_block} + {!critical_path} + aggregate resource usage in
+    one call (raises like {!schedule_block}). *)

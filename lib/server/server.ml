@@ -307,7 +307,7 @@ let breakdown_json dev name cfg (b : Model.breakdown) =
       ("bottleneck", Json.Str (Model.bottleneck b));
     ]
 
-let estimate_for t body ~resolved:r =
+let estimate_for ?(want_trace = false) t body ~resolved:r =
   let* fuel = fuel_of body in
   let* dev = device_of body in
   let* cfg = config_of body ~wg:(L.wg_size r.launch) in
@@ -320,12 +320,20 @@ let estimate_for t body ~resolved:r =
       ]
   else
     match Model.estimate_result dev a cfg with
-    | Ok b -> Ok (dev, cfg, b)
     | Error d -> Error [ d ]
+    | Ok b ->
+        if not want_trace then Ok (dev, cfg, b, None)
+        else (
+          (* same validated inputs as the estimate, so explain cannot
+             fail on anything the estimate did not *)
+          match Model.explain dev a cfg with
+          | _, tr -> Ok (dev, cfg, b, Some tr)
+          | exception (Out_of_memory as e) -> raise e
+          | exception exn -> Error [ Analysis.diag_of_exn exn ])
 
 let handle_analyze t body =
   let* r = resolve t body in
-  let* dev, cfg, b = estimate_for t body ~resolved:r in
+  let* dev, cfg, b, _ = estimate_for t body ~resolved:r in
   Ok (None, breakdown_json dev r.name cfg b)
 
 let predict_key ~resolved:r ~dev ~cfg =
@@ -336,22 +344,32 @@ let handle_predict t body =
   let* r = resolve t body in
   let* dev = device_of body in
   let* cfg = config_of body ~wg:(L.wg_size r.launch) in
-  let key = predict_key ~resolved:r ~dev ~cfg in
+  let* want_trace = one (P.field_bool body "trace" ~default:false) in
+  if want_trace then Metrics.incr t.metrics "predict.trace";
+  (* traced and untraced predictions are distinct cached artifacts: a
+     plain predict must never pay for (or return) a trace *)
+  let key =
+    predict_key ~resolved:r ~dev ~cfg ^ if want_trace then "#trace" else ""
+  in
   with_single_flight t ("predict#" ^ key) (fun () ->
       match Cache.find t.predict_cache key with
       | Some result -> Ok (Some true, result)
       | None ->
-          let* _, _, b = estimate_for t body ~resolved:r in
+          let* _, _, b, tr = estimate_for ~want_trace t body ~resolved:r in
           let result =
             Json.Obj
-              [
-                ("kernel", Json.Str r.name);
-                ("device", Json.Str dev.Device.name);
-                ("config", Json.Str (Config.to_string cfg));
-                ("cycles", Json.Num b.Model.cycles);
-                ("us", Json.Num (b.Model.seconds *. 1e6));
-                ("bottleneck", Json.Str (Model.bottleneck b));
-              ]
+              ([
+                 ("kernel", Json.Str r.name);
+                 ("device", Json.Str dev.Device.name);
+                 ("config", Json.Str (Config.to_string cfg));
+                 ("cycles", Json.Num b.Model.cycles);
+                 ("us", Json.Num (b.Model.seconds *. 1e6));
+                 ("bottleneck", Json.Str (Model.bottleneck b));
+               ]
+              @
+              match tr with
+              | Some tr -> [ ("trace", Flexcl_util.Trace.to_json tr) ]
+              | None -> [])
           in
           Cache.add t.predict_cache key result;
           Ok (Some false, result))

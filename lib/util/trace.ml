@@ -1,0 +1,173 @@
+type t = {
+  name : string;
+  eq : string;
+  cycles : float;
+  notes : (string * float) list;
+  children : t list;
+}
+
+let leaf ?(eq = "") ?(notes = []) name cycles =
+  { name; eq; cycles; notes; children = [] }
+
+let sum_cycles children =
+  List.fold_left (fun acc c -> acc +. c.cycles) 0.0 children
+
+let node ?(eq = "") ?(notes = []) name children =
+  { name; eq; cycles = sum_cycles children; notes; children }
+
+let node_at ?(eq = "") ?(notes = []) name cycles children =
+  { name; eq; cycles; notes; children }
+
+let rec scale f t =
+  { t with cycles = f *. t.cycles; children = List.map (scale f) t.children }
+
+let rec total t =
+  match t.children with
+  | [] -> t.cycles
+  | cs -> List.fold_left (fun acc c -> acc +. total c) 0.0 cs
+
+let check ?(rel_eps = 1e-6) t =
+  let rec go t =
+    match t.children with
+    | [] -> Ok ()
+    | cs ->
+        let s = sum_cycles cs in
+        if Float.abs (t.cycles -. s) > rel_eps *. Float.max (Float.abs t.cycles) 1.0
+        then
+          Error
+            (Printf.sprintf
+               "trace node %S: cycles %.17g but children sum to %.17g" t.name
+               t.cycles s)
+        else
+          List.fold_left
+            (fun acc c -> match acc with Ok () -> go c | e -> e)
+            (Ok ()) cs
+  in
+  go t
+
+let rec find t name =
+  if t.name = name then Some t
+  else
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> find c name)
+      None t.children
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render ?(max_depth = max_int) t =
+  let buf = Buffer.create 256 in
+  let fmt_cycles c =
+    if Float.is_integer c && Float.abs c < 1e15 then
+      Printf.sprintf "%.0f" c
+    else Printf.sprintf "%.2f" c
+  in
+  let fmt_notes = function
+    | [] -> ""
+    | notes ->
+        "  ("
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) notes)
+        ^ ")"
+  in
+  let rec go depth prefix is_last t =
+    if depth = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "%12s  %s%s%s" (fmt_cycles t.cycles) t.name
+           (if t.eq = "" then "" else " [" ^ t.eq ^ "]")
+           (fmt_notes t.notes))
+    else begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%12s  %s%s %s%s%s" (fmt_cycles t.cycles) prefix
+           (if is_last then "└─" else "├─")
+           t.name
+           (if t.eq = "" then "" else " [" ^ t.eq ^ "]")
+           (fmt_notes t.notes))
+    end;
+    if depth < max_depth then begin
+      let n = List.length t.children in
+      List.iteri
+        (fun i c ->
+          let last = i = n - 1 in
+          let child_prefix =
+            if depth = 0 then "" else prefix ^ (if is_last then "   " else "│  ")
+          in
+          go (depth + 1) child_prefix last c)
+        t.children
+    end
+  in
+  go 0 "" true t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let rec to_json t =
+  let base = [ ("name", Json.Str t.name) ] in
+  let eq = if t.eq = "" then [] else [ ("eq", Json.Str t.eq) ] in
+  let cycles = [ ("cycles", Json.Num t.cycles) ] in
+  let notes =
+    match t.notes with
+    | [] -> []
+    | ns -> [ ("notes", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) ns)) ]
+  in
+  let children =
+    match t.children with
+    | [] -> []
+    | cs -> [ ("children", Json.Arr (List.map to_json cs)) ]
+  in
+  Json.Obj (base @ eq @ cycles @ notes @ children)
+
+let rec of_json v =
+  let ( let* ) r f = Result.bind r f in
+  match v with
+  | Json.Obj _ -> (
+      let* name =
+        match Option.bind (Json.member "name" v) Json.to_str with
+        | Some s -> Ok s
+        | None -> Error "trace node: missing string field \"name\""
+      in
+      let eq =
+        Option.value (Option.bind (Json.member "eq" v) Json.to_str) ~default:""
+      in
+      let* cycles =
+        match Option.bind (Json.member "cycles" v) Json.to_float with
+        | Some c -> Ok c
+        | None ->
+            Error (Printf.sprintf "trace node %S: missing number \"cycles\"" name)
+      in
+      let* notes =
+        match Json.member "notes" v with
+        | None -> Ok []
+        | Some (Json.Obj fields) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (k, Json.Num n) :: rest -> go ((k, n) :: acc) rest
+              | (k, _) :: _ ->
+                  Error
+                    (Printf.sprintf "trace node %S: note %S is not a number"
+                       name k)
+            in
+            go [] fields
+        | Some _ ->
+            Error (Printf.sprintf "trace node %S: \"notes\" must be an object" name)
+      in
+      let* children =
+        match Json.member "children" v with
+        | None -> Ok []
+        | Some (Json.Arr cs) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | c :: rest -> (
+                  match of_json c with
+                  | Ok t -> go (t :: acc) rest
+                  | Error e -> Error e)
+            in
+            go [] cs
+        | Some _ ->
+            Error
+              (Printf.sprintf "trace node %S: \"children\" must be an array" name)
+      in
+      Ok { name; eq; cycles; notes; children })
+  | _ -> Error "trace node: expected a JSON object"

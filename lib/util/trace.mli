@@ -1,0 +1,74 @@
+(** Structured prediction traces: hierarchical cycle attribution.
+
+    A trace is a tree of named nodes, each carrying the number of cycles
+    it contributes to its parent, an equation tag tying it back to the
+    paper (["Eq.1"], ["Eq.10"], ["Table-1:RAR.hit"], ...), and optional
+    numeric notes (informational values — a losing roofline bound, a
+    trip count, a coalescing factor — that do {e not} participate in the
+    cycle accounting).
+
+    The defining invariant is {e conservation}: an internal node's
+    [cycles] equals the sum of its children's [cycles] (within float
+    rounding), so leaf contributions recompose the root total exactly.
+    Alternatives that lose a [max] (e.g. a bus roofline that did not
+    bind) appear as zero-cycle leaves or as notes, never as unaccounted
+    contributions. {!check} verifies the invariant on every node;
+    {!total} sums the leaves. *)
+
+type t = {
+  name : string;  (** what this contribution is, human-readable. *)
+  eq : string;    (** equation tag (["Eq.7"], ["Table-1:WAW.miss"]); [""] = none. *)
+  cycles : float; (** contribution to the parent, in kernel-clock cycles. *)
+  notes : (string * float) list;
+      (** informational annotations, excluded from conservation. *)
+  children : t list;
+      (** additive decomposition of [cycles]; [[]] for leaves. *)
+}
+
+val leaf : ?eq:string -> ?notes:(string * float) list -> string -> float -> t
+(** [leaf name cycles] — a terminal contribution. *)
+
+val node : ?eq:string -> ?notes:(string * float) list -> string -> t list -> t
+(** [node name children] — an internal node whose [cycles] is the exact
+    left-to-right sum of its children's. *)
+
+val node_at :
+  ?eq:string -> ?notes:(string * float) list -> string -> float -> t list -> t
+(** [node_at name cycles children] — an internal node with an explicitly
+    supplied total (the model's own value for the term); {!check}
+    verifies it against the children sum. *)
+
+val scale : float -> t -> t
+(** [scale f t] multiplies every node's [cycles] by [f] (notes are kept
+    as-is). Used to lift a per-iteration or per-round decomposition to
+    the loop or kernel total. *)
+
+val total : t -> float
+(** Sum of all leaf contributions (pre-order, left to right). *)
+
+val check : ?rel_eps:float -> t -> (unit, string) result
+(** Conservation: for every internal node, [|cycles - sum children| <=
+    rel_eps * max(|cycles|, 1)] ([rel_eps] defaults to [1e-6]). The
+    error string names the first offending node and both values. *)
+
+val find : t -> string -> t option
+(** First node (pre-order) with the given [name]. *)
+
+val render : ?max_depth:int -> t -> string
+(** Indented tree, one node per line:
+    {v
+    cycles 123456.0  kernel gemm [Eq.10]
+      ├─ 98304.0  global memory [Eq.9]
+      ...
+    v}
+    Notes print in parentheses after the name. No trailing newline. *)
+
+val to_json : t -> Json.t
+(** Deterministic object form:
+    [{"name":..., "eq":..., "cycles":..., "notes":{...}, "children":[...]}].
+    [eq], [notes] and [children] are omitted when empty, so the printed
+    bytes are a pure function of the trace. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; the round trip is exact (field order and
+    number formatting are both deterministic). *)

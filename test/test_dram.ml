@@ -21,8 +21,14 @@ let test_layout_alignment () =
   check Alcotest.int "b row-aligned" 1024 (Dram.base l "b")
 
 let test_layout_unknown () =
-  Alcotest.check_raises "unknown buffer" Not_found (fun () ->
-      ignore (Dram.base layout2 "zzz"))
+  (* regression: used to escape as a bare Not_found, which the total
+     Result API could not turn into a useful diagnostic *)
+  Alcotest.check_raises "unknown buffer names itself and the layout"
+    (Invalid_argument "Dram.base: unknown buffer \"zzz\" (layout has: a, b)")
+    (fun () -> ignore (Dram.base layout2 "zzz"));
+  Alcotest.check_raises "empty layout says so"
+    (Invalid_argument "Dram.base: unknown buffer \"a\" (layout has: no buffers)")
+    (fun () -> ignore (Dram.base (Dram.layout []) "a"))
 
 let test_address () =
   check Alcotest.int "elem 3 of b" (4096 + 12)
@@ -76,6 +82,42 @@ let test_coalesce_workgroup_two_sites () =
   let traces = Array.init 16 (fun wi -> [ acc "a" wi; acc "b" wi ]) in
   check Alcotest.int "two transactions" 2
     (List.length (Dram.coalesce_workgroup cfg layout2 traces))
+
+let test_coalesce_full_width_elements () =
+  (* elem_bits = access_unit_bits: the coalescing factor degenerates to
+     1 — every access is its own full-unit transaction, even when the
+     indices are consecutive *)
+  let accesses = List.init 8 (fun i -> acc ~bits:512 "a" i) in
+  let txns = Dram.coalesce cfg layout2 accesses in
+  check Alcotest.int "one txn per access" 8 (List.length txns);
+  List.iter
+    (fun (t : Dram.txn) -> check Alcotest.int "full unit" 64 t.Dram.bytes)
+    txns
+
+let test_coalesce_never_merges_nonconsecutive () =
+  (* descending indices are not a consecutive run — no merge, even
+     though both elements share one 512-bit access unit *)
+  let txns = Dram.coalesce cfg layout2 [ acc "a" 1; acc "a" 0 ] in
+  check Alcotest.int "descending pair stays split" 2 (List.length txns);
+  (* two ascending runs separated by a gap never merge either, even when
+     the union would fit in a single unit *)
+  let txns2 =
+    Dram.coalesce cfg layout2 [ acc "a" 0; acc "a" 1; acc "a" 4; acc "a" 5 ]
+  in
+  check Alcotest.int "two runs stay two txns" 2 (List.length txns2)
+
+let test_coalesce_preserves_program_order () =
+  (* transactions come out in the order the accesses were issued, not
+     sorted by address — pattern classification depends on it *)
+  let txns =
+    Dram.coalesce cfg layout2 [ acc "b" 0; acc "a" 0; acc ~kind:`Write "b" 16 ]
+  in
+  check Alcotest.int "three txns" 3 (List.length txns);
+  check
+    (Alcotest.list Alcotest.int)
+    "addresses in program order"
+    [ 4096; 0; 4096 + 64 ]
+    (List.map (fun (t : Dram.txn) -> t.Dram.addr) txns)
 
 (* ------------------------------------------------------------------ *)
 (* Banks, rows, patterns *)
@@ -151,6 +193,51 @@ let test_pattern_latency_turnaround () =
   let rar = Dram.pattern_latency cfg { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = true } in
   let raw = Dram.pattern_latency cfg { Dram.kind = Dram.Read; prev = Dram.Write; row_hit = true } in
   check Alcotest.bool "write-to-read turnaround" true (raw > rar)
+
+let test_pattern_latency_goldens () =
+  (* Table-1 closed forms pinned exactly for the shipped DDR3 timing
+     (t_cas=3 t_rcd=3 t_rp=3 t_bus=2 t_wtr=2 t_rtw=1):
+       hit  = t_cas + t_bus            (+ turnaround)
+       miss = t_rp + t_rcd + t_cas + t_bus (+ turnaround)
+     with turnaround t_wtr on W→R and t_rtw on R→W. These are the
+     latencies the trace layer's "Table-1" leaves multiply against. *)
+  let goldens =
+    [
+      ("RAR.hit", 5); ("RAW.hit", 7); ("WAR.hit", 6); ("WAW.hit", 5);
+      ("RAR.miss", 11); ("RAW.miss", 13); ("WAR.miss", 12); ("WAW.miss", 11);
+    ]
+  in
+  check Alcotest.int "one golden per pattern" (List.length Dram.all_patterns)
+    (List.length goldens);
+  List.iter
+    (fun (p : Dram.pattern) ->
+      let name = Dram.pattern_name p in
+      check Alcotest.int name (List.assoc name goldens)
+        (Dram.pattern_latency cfg p))
+    Dram.all_patterns
+
+let test_profile_latencies_refresh_bound () =
+  (* The micro-benchmark simulates real refresh, so each average sits at
+     or above the closed form, and the excess is bounded by the refresh
+     duty cycle: at most one t_rfc stall per refresh_interval of
+     simulated time (pairs of prologue+measured transactions, each pair
+     at most 2×13 + t_rfc cycles), plus one boundary refresh amortized
+     over the 64 measured transactions. *)
+  let t_rfc = float_of_int cfg.Dram.t_rfc in
+  let pair_worst = (2.0 *. 13.0) +. t_rfc in
+  let slack =
+    (pair_worst *. t_rfc /. float_of_int cfg.Dram.refresh_interval)
+    +. (t_rfc /. 64.0)
+  in
+  List.iter
+    (fun ((p : Dram.pattern), avg) ->
+      let closed = float_of_int (Dram.pattern_latency cfg p) in
+      let name = Dram.pattern_name p in
+      check Alcotest.bool (name ^ " not below closed form") true
+        (avg >= closed);
+      check Alcotest.bool (name ^ " within refresh overhead") true
+        (avg <= closed +. slack))
+    (Dram.profile_latencies cfg)
 
 let test_profile_latencies_structure () =
   let table = Dram.profile_latencies cfg in
@@ -268,6 +355,12 @@ let suite =
       test_coalesce_workgroup_ragged;
     Alcotest.test_case "dram: workgroup two sites" `Quick
       test_coalesce_workgroup_two_sites;
+    Alcotest.test_case "dram: full-width elements coalesce to factor 1" `Quick
+      test_coalesce_full_width_elements;
+    Alcotest.test_case "dram: non-consecutive runs never merge" `Quick
+      test_coalesce_never_merges_nonconsecutive;
+    Alcotest.test_case "dram: coalescing preserves program order" `Quick
+      test_coalesce_preserves_program_order;
     Alcotest.test_case "dram: bank mapping" `Quick test_bank_mapping;
     Alcotest.test_case "dram: row mapping" `Quick test_row_mapping;
     Alcotest.test_case "dram: table 1 patterns" `Quick test_all_patterns_present;
@@ -276,6 +369,10 @@ let suite =
     Alcotest.test_case "dram: warmup steady state" `Quick test_warmup_shifts_to_hits;
     Alcotest.test_case "dram: miss > hit latency" `Quick test_pattern_latency_ordering;
     Alcotest.test_case "dram: turnaround latency" `Quick test_pattern_latency_turnaround;
+    Alcotest.test_case "dram: Table-1 closed-form goldens" `Quick
+      test_pattern_latency_goldens;
+    Alcotest.test_case "dram: micro-benchmark refresh bound" `Quick
+      test_profile_latencies_refresh_bound;
     Alcotest.test_case "dram: micro-benchmark table" `Quick
       test_profile_latencies_structure;
     Alcotest.test_case "sim: chained latency" `Quick test_sim_chained_latency;

@@ -327,6 +327,96 @@ let test_stats_shape () =
     (jint s [ "cache"; "analysis"; "misses" ])
 
 (* ------------------------------------------------------------------ *)
+(* Trace over the wire: "trace":true on a predict returns the cycle
+   attribution as a "trace" member of the result. The trace must parse
+   back through Trace.of_json, satisfy conservation, carry the golden
+   cycle total at its root, and come back byte-identical from the cache
+   (traced and untraced predictions are distinct cache entries, so a
+   plain predict never pays for or returns a trace). *)
+
+module Trace = Flexcl_util.Trace
+
+let traced_predict_req =
+  {|{"id":20,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true,"trace":true}|}
+
+let test_predict_trace () =
+  let c = Client.create ~num_domains:0 () in
+  let ask req =
+    match Json.of_string (Client.request_line c req) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "response not JSON: %s" e
+  in
+  let cold = ask traced_predict_req in
+  check Alcotest.bool "cold miss" false
+    (Option.get (Json.to_bool (jpath cold [ "cached" ])));
+  let trace_json = jpath cold [ "result"; "trace" ] in
+  let tr =
+    match Trace.of_json trace_json with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  (match Trace.check tr with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "conservation violated over the wire: %s" e);
+  (* root total = the golden predict cycles for this design point *)
+  check (Alcotest.float 1e-9) "root cycles match the predict golden" 2544.0
+    tr.Trace.cycles;
+  (* warm: served from cache, trace byte-identical to the cold miss *)
+  let warm = ask traced_predict_req in
+  check Alcotest.bool "warm hit" true
+    (Option.get (Json.to_bool (jpath warm [ "cached" ])));
+  check Alcotest.string "trace byte-identical on a cache hit"
+    (Json.to_string trace_json)
+    (Json.to_string (jpath warm [ "result"; "trace" ]));
+  (* a plain predict of the same point carries no trace and is its own
+     (cold) cache entry — the traced result never leaks into it *)
+  let plain =
+    ask
+      {|{"id":21,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true}|}
+  in
+  check Alcotest.bool "plain predict has no trace member" true
+    (Json.member "trace" (jpath plain [ "result" ]) = None);
+  check Alcotest.bool "plain predict misses the traced entry" false
+    (Option.get (Json.to_bool (jpath plain [ "cached" ])));
+  (* "trace":false is the default spelled out — same entry as plain *)
+  let explicit_false =
+    ask
+      {|{"id":22,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true,"trace":false}|}
+  in
+  check Alcotest.bool "trace:false shares the untraced entry" true
+    (Option.get (Json.to_bool (jpath explicit_false [ "cached" ])));
+  (* the metrics layer counts traced predictions separately *)
+  let s = Client.stats c in
+  check Alcotest.int "predict.trace counter" 2
+    (jint s [ "counters"; "predict.trace" ])
+
+let test_predict_trace_source_kernel () =
+  (* trace on an inline-source predict (exercises analyze-then-trace on
+     a kernel that is not in the workload library) *)
+  let c = Client.create ~num_domains:0 () in
+  let req =
+    {|{"id":23,"kind":"predict","source":"__kernel void axpy(__global float* x, __global float* y, float a, int n) { int i = get_global_id(0); if (i < n) y[i] = a * x[i] + y[i]; }","global":256,"local":64,"trace":true}|}
+  in
+  match Json.of_string (Client.request_line c req) with
+  | Error e -> Alcotest.failf "response not JSON: %s" e
+  | Ok v -> (
+      check Alcotest.bool "ok" true
+        (Option.get (Json.to_bool (jpath v [ "ok" ])));
+      let cycles =
+        match Json.to_float (jpath v [ "result"; "cycles" ]) with
+        | Some f -> f
+        | None -> Alcotest.fail "cycles missing"
+      in
+      match Trace.of_json (jpath v [ "result"; "trace" ]) with
+      | Error e -> Alcotest.failf "trace does not parse: %s" e
+      | Ok tr ->
+          (match Trace.check tr with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "conservation violated: %s" e);
+          check (Alcotest.float 1e-9) "trace root = reported cycles" cycles
+            tr.Trace.cycles)
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz: garbage bytes and mutated request lines must always come back
    as one well-formed error-or-ok response — never an exception. *)
 
@@ -361,7 +451,9 @@ let test_fuzz_requests () =
         | ch -> ch)
   in
   let base =
-    Array.of_list (List.map (fun (_, req, _) -> req) protocol_goldens)
+    Array.of_list
+      (List.map (fun (_, req, _) -> req) protocol_goldens
+      @ [ traced_predict_req ])
   in
   let ok = ref 0 and err = ref 0 in
   let escaped = ref [] in
@@ -487,6 +579,10 @@ let suite =
     Alcotest.test_case "protocol: explore is deterministic" `Quick
       test_explore_deterministic;
     Alcotest.test_case "protocol: stats shape" `Quick test_stats_shape;
+    Alcotest.test_case "protocol: predict trace round-trip and cache"
+      `Quick test_predict_trace;
+    Alcotest.test_case "protocol: trace on an inline-source predict" `Quick
+      test_predict_trace_source_kernel;
     Alcotest.test_case "fuzz: mutated and garbage requests" `Quick
       test_fuzz_requests;
     Alcotest.test_case "cache: 100 predicts hit >= 99%" `Quick
