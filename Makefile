@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke bench bench-dse bench-serve bench-trace clean
+.PHONY: all build test check smoke serve-smoke trace-smoke bench bench-dse bench-dse-spec bench-serve bench-trace promote clean
 
 all: build
 
@@ -85,6 +85,17 @@ bench:
 # and the pruned-best == exact-best cross-check.
 bench-dse:
 	dune exec bench/main.exe -- dse-parallel
+
+# Staged model specialization: warm per-point cost of the closed-form
+# specialized eval vs the full estimate (>= 5x target), rankings
+# cross-checked bit-for-bit, written to BENCH_dse_specialize.json.
+bench-dse-spec:
+	dune exec bench/main.exe -- dse-specialize
+
+# Regenerate test/goldens/cycles.golden from the current model — run
+# deliberately when the model legitimately moves, then review the diff.
+promote:
+	dune exec test/promote.exe
 
 # Serve cache payoff: cold vs cached predict latency, throughput and
 # tail percentiles, written to BENCH_serve.json.

@@ -89,6 +89,9 @@ let experiments : (string * string * (unit -> unit)) list =
      fun () -> ignore (Experiments.run_dse_quality ()));
     ("dse-parallel", "parallel sweep engine speedup & pruning",
      fun () -> ignore (Experiments.run_dse_parallel ()));
+    ("dse-specialize",
+     "staged model vs full estimate per point (BENCH_dse_specialize.json)",
+     fun () -> ignore (Experiments.run_dse_specialize ()));
     ("ablation", "model refinements ablated one at a time",
      fun () -> Experiments.run_ablation ());
     ("serve-load", "flexcl serve cold-vs-cached latency (BENCH_serve.json)",

@@ -432,7 +432,7 @@ let explore_cmd =
         in
         let ranked =
           Explore.exhaustive ?num_domains:jobs dev a space
-            (Explore.model_oracle dev)
+            (Explore.specialized_model_oracle dev)
         in
         if ranked = [] then begin
           print_diags [ Explore.empty_space_diag ];
@@ -459,7 +459,7 @@ let explore_cmd =
           print_string (Table.render t);
           (match
              Heuristic.search_result ?num_domains:jobs dev a space
-               (Explore.model_oracle dev)
+               (Explore.specialized_model_oracle dev)
            with
           | Ok greedy ->
               Printf.printf "\ngreedy heuristic [16] would pick %s (%.0f cycles)\n"

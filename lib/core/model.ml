@@ -658,10 +658,14 @@ let local_bytes (analysis : Analysis.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let make_env ?block_lat (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
-  let dsp_share =
-    max 8 (dev.Device.dsp_total / max 1 (cfg.Config.n_pe * cfg.Config.n_cu))
-  in
+(* The only PE/CU-knob dependence of the whole scheduling layer: the DSP
+   share one PE may occupy. Every other schedule input is fixed by
+   (device, analysis), which is what makes [specialize] below possible. *)
+let dsp_share_of (dev : Device.t) (cfg : Config.t) =
+  max 8 (dev.Device.dsp_total / max 1 (cfg.Config.n_pe * cfg.Config.n_cu))
+
+let env_with_share ?block_lat (dev : Device.t) (analysis : Analysis.t)
+    ~dsp_share =
   {
     dev;
     analysis;
@@ -676,6 +680,9 @@ let make_env ?block_lat (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t
     block_lat_override = block_lat;
     summaries = [];
   }
+
+let make_env ?block_lat (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
+  env_with_share ?block_lat dev analysis ~dsp_share:(dsp_share_of dev cfg)
 
 let region_latency_with ?block_lat dev analysis cfg region =
   region_latency (make_env ?block_lat dev analysis cfg) region
@@ -1182,6 +1189,270 @@ let lower_bound (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
       let eq11_lb = Float.max ((ii_lb *. q_lb) +. depth_lb) dl *. rounds_lb in
       let bus_lb = bus_total +. (rounds_lb *. (depth_lb +. dl)) in
       Float.max eq11_lb bus_lb
+
+(* ------------------------------------------------------------------ *)
+(* Staged partial evaluation for DSE sweeps (DESIGN.md §11).
+
+   A sweep re-evaluates one (device, analysis) pair at thousands of
+   design points, but most of [compute]'s work does not depend on the
+   knobs being swept:
+
+   - stage 0 (per specialize call): Table-1 pattern counts and the Eq. 9
+     per-work-item memory latency, the shared-bus roofline total, the
+     work-item recurrence MII, local-memory port demands, the DSP
+     footprint of one PE, and the dependence-only critical path the
+     lower bound uses — all fixed by (device, analysis, options);
+   - stage 1 (per distinct DSP share): the per-block list schedules,
+     D_comp^PE, ResMII and the SMS-refined pipelined II. The PE/CU knobs
+     reach the scheduler only through [dsp_share_of], which collapses the
+     whole knob grid onto a handful of distinct shares, each staged once
+     in a domain-safe [Memo].
+
+   [specialized_estimate] then finishes Eq. 5–12 with ~50 float
+   operations per point, transcribed verbatim from [compute] (same
+   expressions, same association order), so its breakdown is bitwise
+   equal to [estimate]'s on every field — the property
+   [test/test_specialize.ml] proves exhaustively. Keep the two tails in
+   sync: any arithmetic change to [compute] must be mirrored here (the
+   differential suite fails loudly if not).
+
+   A design point whose [wg_size] differs from the specialized launch
+   falls back to the full [estimate] (which re-analyzes), preserving
+   bitwise equality by construction. *)
+
+type stage_pe = {
+  st_depth_pe : int;       (* D_comp^PE at this DSP share *)
+  st_res_mii : int;        (* Eq. 3 *)
+  st_ii_pipelined : int;   (* SMS-refined II_comp^wi (Eq. 2–4) *)
+}
+
+type specialized = {
+  sp_dev : Device.t;
+  sp_analysis : Analysis.t;
+  sp_options : options;
+  sp_wg : int;                     (* the specialized launch's wg size *)
+  sp_rec_mii : int;
+  sp_reads : float;                (* local-memory port demands per WI *)
+  sp_writes : float;
+  sp_dsp_fp : int;
+  sp_n_wi : int;
+  sp_pattern_counts : (Dram.pattern * float) list;
+  sp_l_mem_wi : float;
+  sp_bus_total : float;            (* txns/WI ⋅ N_wi ⋅ t_bus *)
+  (* lower-bound invariants (always default options, like [lower_bound]) *)
+  sp_crit_path : float;
+  sp_lb_l_mem_wi : float;
+  sp_lb_bus_total : float;
+  sp_stages : (int, stage_pe) Memo.t;
+}
+
+let specialize ?(options = default_options) (dev : Device.t)
+    (analysis : Analysis.t) =
+  let env0 = env_with_share dev analysis ~dsp_share:8 in
+  let counts = weighted_counts env0 in
+  let pattern_counts = mean_pattern_counts ~options analysis dev in
+  let l_mem_wi = mem_latency_wi dev pattern_counts in
+  let txns_per_wi =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
+  in
+  let n_wi = Launch.n_work_items analysis.Analysis.launch in
+  let n_wi_f = float_of_int n_wi in
+  let t_bus_f = float_of_int dev.Device.dram.Dram.t_bus in
+  let lb_pattern_counts = mean_pattern_counts analysis dev in
+  let lb_txns_per_wi =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 lb_pattern_counts
+  in
+  {
+    sp_dev = dev;
+    sp_analysis = analysis;
+    sp_options = options;
+    sp_wg = Launch.wg_size analysis.Analysis.launch;
+    sp_rec_mii = work_item_rec_mii env0;
+    sp_reads = count_of counts (fun op -> op = Opcode.Load Opcode.Local_mem);
+    sp_writes = count_of counts (fun op -> op = Opcode.Store Opcode.Local_mem);
+    sp_dsp_fp = dsp_footprint_of env0;
+    sp_n_wi = n_wi;
+    sp_pattern_counts = pattern_counts;
+    sp_l_mem_wi = l_mem_wi;
+    sp_bus_total = txns_per_wi *. n_wi_f *. t_bus_f;
+    sp_crit_path = kernel_crit_path dev analysis;
+    sp_lb_l_mem_wi = mem_latency_wi dev lb_pattern_counts;
+    sp_lb_bus_total =
+      lb_txns_per_wi *. float_of_int n_wi
+      *. float_of_int dev.Device.dram.Dram.t_bus;
+    sp_stages = Memo.create ~size:8 ();
+  }
+
+let stage_for (sp : specialized) share =
+  Memo.find_or_add sp.sp_stages share (fun () ->
+      let env = env_with_share sp.sp_dev sp.sp_analysis ~dsp_share:share in
+      let counts = weighted_counts env in
+      let depth_pe =
+        int_of_float
+          (fceil (region_latency env sp.sp_analysis.Analysis.cdfg.Cdfg.body))
+      in
+      let res_mii = work_item_res_mii env counts in
+      let mii = max 1 (max sp.sp_rec_mii res_mii) in
+      { st_depth_pe = depth_pe; st_res_mii = res_mii;
+        st_ii_pipelined = sms_refine env ~mii })
+
+let specialized_options (sp : specialized) = sp.sp_options
+let specialized_analysis (sp : specialized) = sp.sp_analysis
+
+let specialized_estimate (sp : specialized) (cfg : Config.t) =
+  if cfg.Config.wg_size <> sp.sp_wg then
+    (* wrong work-group size for this specialization: take the direct
+       path, which re-analyzes — bitwise equality holds by construction *)
+    estimate ~options:sp.sp_options sp.sp_dev sp.sp_analysis cfg
+  else begin
+    let options = sp.sp_options in
+    let dev = sp.sp_dev in
+    let analysis = sp.sp_analysis in
+    let cfg =
+      if options.vector_width > 1 then
+        { cfg with Config.n_pe = cfg.Config.n_pe * options.vector_width }
+      else cfg
+    in
+    let st = stage_for sp (dsp_share_of dev cfg) in
+    let depth_pe = st.st_depth_pe in
+    let rec_mii = sp.sp_rec_mii in
+    let res_mii = st.st_res_mii in
+    let ii_wi =
+      if cfg.Config.wi_pipeline then st.st_ii_pipelined else max 1 depth_pe
+    in
+    let wg = cfg.Config.wg_size in
+    let l_pe =
+      (float_of_int ii_wi *. float_of_int (wg - 1)) +. float_of_int depth_pe
+    in
+    let reads = sp.sp_reads in
+    let writes = sp.sp_writes in
+    let dsp_fp = sp.sp_dsp_fp in
+    let cap demand supply =
+      if demand <= 0.0 then max_int
+      else max 1 (int_of_float (float_of_int supply *. float_of_int ii_wi /. demand))
+    in
+    let n_pe_eff =
+      min cfg.Config.n_pe
+        (min
+           (cap reads (Device.local_read_ports dev))
+           (min
+              (cap writes (Device.local_write_ports dev))
+              (if dsp_fp = 0 then max_int
+               else
+                 max 1
+                   (dev.Device.dsp_total / max 1 cfg.Config.n_cu / max 1 dsp_fp))))
+    in
+    let q_pe = iceil_div (max 0 (wg - n_pe_eff)) n_pe_eff in
+    let l_cu =
+      (float_of_int ii_wi *. float_of_int q_pe) +. float_of_int depth_pe
+    in
+    let dl = float_of_int dev.Device.wg_dispatch_overhead in
+    let n_cu_eff =
+      min cfg.Config.n_cu (max 1 (int_of_float (fceil (l_cu /. dl))))
+    in
+    let n_wg = iceil_div sp.sp_n_wi wg in
+    let rounds = fceil (float_of_int n_wg /. float_of_int n_cu_eff) in
+    let l_comp_kernel =
+      (Float.max l_cu dl *. rounds) +. (float_of_int cfg.Config.n_cu *. dl)
+    in
+    let pattern_counts = sp.sp_pattern_counts in
+    let l_mem_wi = sp.sp_l_mem_wi in
+    let n_wi_f = float_of_int sp.sp_n_wi in
+    let bus_total = sp.sp_bus_total in
+    let depth_f = float_of_int depth_pe in
+    let cycles =
+      match cfg.Config.comm_mode with
+      | Config.Barrier_mode ->
+          let span_opt =
+            if n_cu_eff > 1 && options.multi_cu_dram_replay then
+              Some (round_mem_span ~options analysis dev ~k:n_cu_eff ~lanes:1)
+            else None
+          in
+          let mem_total =
+            match span_opt with
+            | Some span -> span *. rounds
+            | None ->
+                l_mem_wi *. n_wi_f
+                /. (if options.multi_cu_dram_replay then 1.0
+                    else float_of_int n_cu_eff)
+          in
+          let mem_used =
+            if options.bus_roofline then Float.max mem_total bus_total
+            else mem_total
+          in
+          mem_used +. l_comp_kernel
+      | Config.Pipeline_mode ->
+          let ii = Float.max l_mem_wi (float_of_int ii_wi) in
+          let fill = ii *. float_of_int q_pe in
+          let eq11_round = Float.max (fill +. depth_f) dl in
+          let span_opt =
+            if options.multi_cu_dram_replay && n_cu_eff > 1 then
+              Some
+                (round_mem_span ~options analysis dev ~k:n_cu_eff
+                   ~lanes:n_pe_eff)
+            else None
+          in
+          let round =
+            match span_opt with
+            | Some span -> Float.max eq11_round (span +. depth_f)
+            | None -> eq11_round
+          in
+          let eq11 = round *. rounds in
+          let bus_bound = bus_total +. (rounds *. (depth_f +. dl)) in
+          if options.bus_roofline then Float.max eq11 bus_bound else eq11
+    in
+    {
+      ii_wi;
+      depth_pe;
+      rec_mii;
+      res_mii;
+      l_pe;
+      n_pe_eff;
+      l_cu;
+      n_cu_eff;
+      l_comp_kernel;
+      l_mem_wi;
+      pattern_counts;
+      dsp_footprint = dsp_fp;
+      cycles;
+      seconds = Device.cycles_to_seconds dev cycles;
+    }
+  end
+
+let specialized_cycles sp cfg = (specialized_estimate sp cfg).cycles
+
+let specialized_lower_bound (sp : specialized) (cfg : Config.t) =
+  if cfg.Config.wg_size <> sp.sp_wg then
+    lower_bound sp.sp_dev sp.sp_analysis cfg
+  else begin
+    let dev = sp.sp_dev in
+    let depth_lb = sp.sp_crit_path in
+    let l_mem_wi = sp.sp_lb_l_mem_wi in
+    let wg = cfg.Config.wg_size in
+    let n_wg = iceil_div sp.sp_n_wi wg in
+    let dl = float_of_int dev.Device.wg_dispatch_overhead in
+    let rounds_lb =
+      fceil (float_of_int n_wg /. float_of_int cfg.Config.n_cu)
+    in
+    let bus_total = sp.sp_lb_bus_total in
+    match cfg.Config.comm_mode with
+    | Config.Barrier_mode ->
+        bus_total
+        +. (Float.max depth_lb dl *. rounds_lb)
+        +. (float_of_int cfg.Config.n_cu *. dl)
+    | Config.Pipeline_mode ->
+        let q_lb =
+          float_of_int
+            (iceil_div (max 0 (wg - cfg.Config.n_pe)) (max 1 cfg.Config.n_pe))
+        in
+        let ii_lb =
+          Float.max l_mem_wi
+            (if cfg.Config.wi_pipeline then 1.0 else Float.max 1.0 depth_lb)
+        in
+        let eq11_lb = Float.max ((ii_lb *. q_lb) +. depth_lb) dl *. rounds_lb in
+        let bus_lb = bus_total +. (rounds_lb *. (depth_lb +. dl)) in
+        Float.max eq11_lb bus_lb
+  end
 
 let bottleneck (b : breakdown) =
   if b.l_mem_wi > float_of_int b.ii_wi && b.l_mem_wi > 2.0 then "global memory"

@@ -112,6 +112,52 @@ val lower_bound : Device.t -> Analysis.t -> Config.t -> float
     other oracles (the simulator, the SDAccel baseline) or non-default
     ablation options. *)
 
+(** {2 Staged specialization for DSE sweeps (DESIGN.md §11)}
+
+    A sweep evaluates one [(device, analysis)] pair at thousands of
+    design points. {!specialize} performs the config-invariant work once
+    — per-block list schedules, the SMS-refined [II_comp^wi] and
+    [D_comp^PE] (staged per distinct DSP share, the scheduler's only
+    PE/CU-knob dependence), Table-1 pattern counts and the Eq. 9
+    per-work-item latency, bus-roofline totals, DSP/port footprints, and
+    the lower bound's critical path — so each subsequent point costs only
+    the closed-form Eq. 5–12 tail (~50 float operations). *)
+
+type specialized
+(** A model staged on [(device, analysis, options)]; evaluate with
+    {!specialized_estimate}. Values are cheap to hold and domain-safe:
+    the per-DSP-share schedule stage lives in a [Flexcl_util.Memo]. *)
+
+val specialize : ?options:options -> Device.t -> Analysis.t -> specialized
+(** Stage every config-invariant model term for this analysis. The
+    staging is exact, not approximate: for every configuration [cfg]
+    with [cfg.wg_size = Launch.wg_size analysis.launch],
+    [specialized_estimate (specialize ?options dev a) cfg] is bitwise
+    equal — every [breakdown] field, compared at the bit level — to
+    [estimate ?options dev a cfg], under any [options]. A point with a
+    different [wg_size] falls back to the full {!estimate} (which
+    re-analyzes), so equality holds over the whole design space. The
+    differential suite in [test/test_specialize.ml] enforces this. *)
+
+val specialized_estimate : specialized -> Config.t -> breakdown
+(** Evaluate one design point on the staged model. *)
+
+val specialized_cycles : specialized -> Config.t -> float
+(** Shorthand for [(specialized_estimate _ _).cycles]. *)
+
+val specialized_lower_bound : specialized -> Config.t -> float
+(** {!lower_bound} on the staged invariants (critical path, default-
+    options pattern counts and bus floor are staged; the per-point tail
+    is transcribed from {!lower_bound}): bitwise equal to
+    [lower_bound dev a cfg] for matching [wg_size], with the same
+    fallback otherwise. *)
+
+val specialized_options : specialized -> options
+(** The options the model was staged with. *)
+
+val specialized_analysis : specialized -> Analysis.t
+(** The analysis the model was staged on. *)
+
 val bottleneck : breakdown -> string
 (** Human-readable dominant term ("global memory", "recurrence",
     "local-memory ports", "DSP", "compute depth", "scheduling overhead")

@@ -19,7 +19,30 @@ type oracle = Parsweep.oracle
     the point's work-group size. *)
 
 val model_oracle : Model.Device.t -> oracle
-(** FlexCL's analytical estimate. *)
+(** FlexCL's analytical estimate, one full {!Model.estimate} per point.
+    Kept as the unspecialized reference: the differential suite and the
+    [dse-specialize] bench compare {!specialized_model_oracle} against
+    it. *)
+
+val specialized_model_oracle : Model.Device.t -> oracle
+(** The analytical estimate through {!Model.specialize} (DESIGN.md §11):
+    the first point of each [(kernel, launch fingerprint, device,
+    wg size)] stages every config-invariant model term in a process-wide
+    {!Flexcl_util.Memo}; subsequent points cost only the closed-form
+    Eq. 5–12 tail. Returns bitwise-identical cycles to {!model_oracle}
+    on every point, so sweeps, rankings and pruning behave identically —
+    just faster. Partially applying the oracle to an analysis resolves
+    the specialization once; {!Parsweep} does this per chunk. *)
+
+val specialized_bound : Model.Device.t -> oracle
+(** {!Model.lower_bound} on the same staged invariants (for
+    [Parsweep.best ?bound] pruning alongside
+    {!specialized_model_oracle}); bitwise equal to the unspecialized
+    bound. *)
+
+val specialized_for : Model.Device.t -> Analysis.t -> Model.specialized
+(** The memoized specialization behind the oracle (exposed for benches
+    and tests). *)
 
 val sysrun_oracle : ?seed:int -> Model.Device.t -> oracle
 (** Ground truth via the cycle-level simulator. *)

@@ -99,9 +99,13 @@ let sweep_stats ?num_domains ?progress dev (base : Analysis.t) space oracle =
     chunks ?num_domains ~wg_of:(fun (c : Config.t) -> c.Config.wg_size) points
     |> List.map (fun (wg, cfgs) () ->
            let analysis = analysis_for base wg in
+           (* partially apply once per chunk: a staged oracle (e.g.
+              [Explore.specialized_model_oracle]) resolves its
+              specialization here, not per point *)
+           let eval = oracle analysis in
            List.filter_map
              (fun cfg ->
-               let c = oracle analysis cfg in
+               let c = eval cfg in
                if Float.is_finite c then begin
                  bump (fun s -> { s with evaluated = s.evaluated + 1 });
                  Some { config = cfg; cycles = c }
@@ -140,13 +144,17 @@ let best ?num_domains ?progress ?bound dev (base : Analysis.t) space oracle =
     chunks ?num_domains ~wg_of:(fun (c : Config.t) -> c.Config.wg_size) points
     |> List.map (fun (wg, cfgs) () ->
            let analysis = analysis_for base wg in
+           let eval = oracle analysis in
+           let lb_eval =
+             match bound with None -> None | Some lb -> Some (lb analysis)
+           in
            List.iter
              (fun cfg ->
                let skip =
-                 match bound with
+                 match lb_eval with
                  | None -> false
                  | Some lb -> (
-                     let b = lb analysis cfg in
+                     let b = lb cfg in
                      Mutex.lock mutex;
                      let s =
                        match !incumbent with
@@ -158,7 +166,7 @@ let best ?num_domains ?progress ?bound dev (base : Analysis.t) space oracle =
                      s)
                in
                if not skip then begin
-                 let c = oracle analysis cfg in
+                 let c = eval cfg in
                  Mutex.lock mutex;
                  if Float.is_finite c then begin
                    let e = { config = cfg; cycles = c } in
@@ -188,9 +196,10 @@ let eval_batch ?num_domains (base : Analysis.t) cfgs oracle =
         indexed
       |> List.map (fun (wg, sub) () ->
              let analysis = analysis_for base wg in
+             let eval = oracle analysis in
              List.iter
                (fun (i, cfg) ->
-                 out.(i) <- Some { config = cfg; cycles = oracle analysis cfg })
+                 out.(i) <- Some { config = cfg; cycles = eval cfg })
                sub)
     in
     (match Pool.with_pool ?num_domains (fun pool -> Pool.run pool tasks) with

@@ -29,7 +29,11 @@ type evaluated = { config : Config.t; cycles : float }
 
 type oracle = Analysis.t -> Config.t -> float
 (** Cost of one design point, given an analysis whose launch already has
-    the point's work-group size. Must be pure and domain-safe. *)
+    the point's work-group size. Must be pure and domain-safe. The
+    engine partially applies an oracle to its analysis once per chunk,
+    so per-analysis setup work (e.g. the staged-specialization lookup in
+    {!Explore.specialized_model_oracle}) is paid per chunk, not per
+    point. *)
 
 type progress = {
   total : int;      (** feasible points in the sweep. *)

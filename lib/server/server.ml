@@ -386,7 +386,8 @@ let handle_explore t body =
   (* requests already run concurrently on the pool; the sweep itself
      stays sequential so pools never nest *)
   let ranked =
-    Explore.exhaustive ~num_domains:0 dev a space (Explore.model_oracle dev)
+    Explore.exhaustive ~num_domains:0 dev a space
+      (Explore.specialized_model_oracle dev)
   in
   if ranked = [] then Error [ Explore.empty_space_diag ]
   else
@@ -404,7 +405,7 @@ let handle_explore t body =
     let greedy =
       match
         Heuristic.search_result ~num_domains:0 dev a space
-          (Explore.model_oracle dev)
+          (Explore.specialized_model_oracle dev)
       with
       | Ok e -> point e
       | Error _ -> Json.Null

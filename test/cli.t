@@ -1,0 +1,68 @@
+FlexCL CLI surface lockdown: the documented exit codes (0 success,
+1 input error, 2 usage error, 3 internal error) and the output shape of
+the explain/trace surfaces. Numbers printed here are model outputs and
+deterministic; if the model legitimately moves, refresh with
+`dune runtest --auto-promote` and review the diff alongside
+test/goldens/cycles.golden.
+
+Exit 0 — clean runs:
+
+  $ flexcl workloads > /dev/null
+
+  $ flexcl analyze -w hotspot/hotspot --pe 2 --cu 2 --pipeline | grep -E 'TOTAL|bottleneck'
+  TOTAL         : 2544 cycles = 12.72 us
+  bottleneck    : global memory
+
+Exit 1 — input errors carry a structured diagnostic:
+
+  $ flexcl analyze --kernel /nonexistent.cl
+  error[E-IO] /nonexistent.cl: No such file or directory
+  [1]
+
+  $ printf '__kernel void f(__global float* a) { int x = ; }\n' > broken.cl
+  $ flexcl analyze --kernel broken.cl 2>&1 | tail -1
+      |                                              ^
+
+  $ flexcl analyze --kernel broken.cl > /dev/null 2>&1
+  [1]
+
+Exit 2 — usage errors:
+
+  $ flexcl bogus-subcommand > /dev/null 2> /dev/null
+  [2]
+
+  $ flexcl analyze --bogus-flag > /dev/null 2> /dev/null
+  [2]
+
+Exit 3 — internal errors:
+
+  $ flexcl serve --socket /nonexistent/dir/sock < /dev/null
+  error[E-INTERNAL] Unix.Unix_error(Unix.ENOENT, "bind", "")
+  [3]
+
+explain --json emits a JSON object with the kernel, the design point,
+the predicted cycles and a conservation-checked trace whose nodes carry
+paper equation labels:
+
+  $ flexcl explain -w hotspot/hotspot --pe 2 --cu 2 --pipeline --json > explain.json
+  $ grep -o '"kernel":"[^"]*"' explain.json
+  "kernel":"hotspot/hotspot"
+  $ grep -o '"config":"[^"]*"' explain.json
+  "config":"wg64 pe2 cu2 pipe pipeline"
+  $ grep -o '"trace":{"name":"[^"]*"' explain.json
+  "trace":{"name":"kernel hotspot (pipeline mode)"
+  $ grep -o '"eq":"Eq.[^"]*"' explain.json | sort -u | head -3
+  "eq":"Eq.1"
+  "eq":"Eq.11"
+  "eq":"Eq.11-12"
+
+analyze --trace appends the attribution tree to the breakdown, with the
+barrier-mode root on Eq.10 and Table-1 pattern leaves:
+
+  $ flexcl analyze -w backprop/layer --mode barrier --trace > trace.txt
+  $ grep -c 'Eq.10' trace.txt
+  1
+  $ grep -c 'Table-1' trace.txt
+  5
+  $ grep -E 'TOTAL' trace.txt
+  TOTAL         : 408395 cycles = 2041.97 us

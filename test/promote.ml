@@ -1,0 +1,26 @@
+(* Regenerate test/goldens/cycles.golden from the current model.
+
+   Run deliberately, by hand, when the model legitimately moves:
+
+     make promote        (dune exec test/promote.exe)
+
+   then review the diff — every changed line is a workload whose best
+   default-space design point or its cycle count moved, which is exactly
+   what the golden table exists to make loud. *)
+
+let () =
+  let out =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> Filename.concat (Filename.concat "test" "goldens") "cycles.golden"
+  in
+  let rows = Gen.golden_cycles_rows () in
+  let oc = open_out out in
+  output_string oc
+    "# Best default-space design point per bundled workload on Virtex-7\n";
+  output_string oc
+    "# (default options). Format: workload | config | cycles (%.17g).\n";
+  output_string oc "# Regenerate deliberately with `make promote`.\n";
+  List.iter (fun row -> output_string oc (Gen.golden_line row ^ "\n")) rows;
+  close_out oc;
+  Printf.printf "promote: wrote %d rows to %s\n" (List.length rows) out

@@ -30,20 +30,12 @@ module Diag = Flexcl_util.Diag
 
 let check = Alcotest.check
 let dev = Device.virtex7
-let all_workloads = Rodinia.all @ Polybench.all
 
-let analysis_cache : (string, Analysis.t) Hashtbl.t = Hashtbl.create 64
-
-let analysis_of (w : W.t) =
-  match Hashtbl.find_opt analysis_cache (W.name w) with
-  | Some a -> a
-  | None ->
-      let a = Analysis.analyze (W.parse w) w.W.launch in
-      Hashtbl.replace analysis_cache (W.name w) a;
-      a
-
-let space_of (w : W.t) =
-  Space.default ~total_work_items:(Launch.n_work_items w.W.launch)
+(* workload corpus, analysis cache and design space come from the shared
+   test/gen.ml generators *)
+let all_workloads = Gen.all_workloads
+let analysis_of = Gen.analysis_of
+let space_of = Gen.space_of
 
 let show_point (e : Parsweep.evaluated) =
   Printf.sprintf "%s @ %.17g" (Config.to_string e.Parsweep.config)
@@ -133,10 +125,7 @@ let test_sweep_matches_explore () =
 (* ------------------------------------------------------------------ *)
 (* Properties, driven by the repo's seeded Prng. *)
 
-let sample_feasible rng device base space n =
-  let points = Array.of_list (Space.feasible_points device base space) in
-  if Array.length points = 0 then []
-  else List.init n (fun _ -> Prng.choose rng points)
+let sample_feasible = Gen.sample_feasible
 
 let test_lower_bound_sound () =
   (* lower_bound <= estimate over ~1k random feasible points, across all

@@ -167,15 +167,8 @@ let test_explain_has_schedule_detail () =
    Every [ablate_every]-th sample additionally re-runs under each
    single-switch ablation of [Model.options]. *)
 
-let ablations =
-  let d = Model.default_options in
-  [
-    ("no_cross_wi_coalescing", { d with Model.cross_wi_coalescing = false });
-    ("no_warm_classification", { d with Model.warm_classification = false });
-    ("no_bus_roofline", { d with Model.bus_roofline = false });
-    ("no_multi_cu_dram_replay", { d with Model.multi_cu_dram_replay = false });
-    ("vector_width_4", { d with Model.vector_width = 4 });
-  ]
+(* the single-switch ablations live in the shared test/gen.ml *)
+let ablations = Gen.ablations
 
 let check_one ~label ~options analysis cfg =
   let b, tr = Model.explain ~options device analysis cfg in
@@ -245,7 +238,7 @@ let conservation_on_workload ~samples ~ablate_every (w : Workload.t) =
       done
 
 let test_conservation_all_workloads () =
-  let workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all in
+  let workloads = Gen.all_workloads in
   Alcotest.(check bool) "bundled workloads present" true (List.length workloads > 10);
   List.iter (conservation_on_workload ~samples:24 ~ablate_every:8) workloads
 
@@ -255,9 +248,7 @@ let test_conservation_all_workloads () =
 let test_conservation_deep () =
   let deep = [ "backprop/layer"; "gemm/gemm" ] in
   let workloads =
-    List.filter
-      (fun w -> List.mem (Workload.name w) deep)
-      (Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all)
+    List.filter (fun w -> List.mem (Workload.name w) deep) Gen.all_workloads
   in
   Alcotest.(check bool) "deep targets found" true (List.length workloads > 0);
   List.iter (conservation_on_workload ~samples:200 ~ablate_every:10) workloads
