@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke bench bench-dse bench-dse-spec bench-serve bench-trace promote clean
+.PHONY: all build test check smoke serve-smoke trace-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace promote clean
 
 all: build
 
@@ -11,9 +11,10 @@ test:
 # Full verification: build everything, run the test suite (which includes
 # the fault-injection harness in test/test_robustness.ml), then smoke-test
 # the CLI's diagnostic path on a deliberately broken kernel (must exit 1,
-# not crash), the serve loop on a batch with one malformed request, and
-# the cycle-attribution trace on two bundled kernels in both modes.
-check: build test smoke serve-smoke trace-smoke
+# not crash), the serve loop on a batch with one malformed request, the
+# cycle-attribution trace on two bundled kernels in both modes, and the
+# seeded chaos storm against a live socket server.
+check: build test smoke serve-smoke trace-smoke chaos
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -77,6 +78,21 @@ trace-smoke:
 	     printf '%s\n' "$$out"; exit 1 ;; \
 	esac; \
 	echo "trace-smoke: conservation-validated traces on 2 kernels OK"
+
+# Chaos harness (DESIGN.md §12): >= 500 seeded trials of malformed
+# frames, mid-request disconnects, deadline storms, overload bursts and
+# injected worker panics against a live socket server. The hard timeout
+# is part of the contract — a hang is a failure, not a slow pass.
+# Replay a failure with CHAOS_SEED=<seed from the log> make chaos.
+chaos:
+	@dune build test/test_chaos.exe; \
+	timeout 120 dune exec --no-build test/test_chaos.exe; \
+	status=$$?; \
+	if [ $$status -eq 124 ]; then \
+	  echo "chaos: TIMED OUT after 120s — the server wedged"; exit 1; \
+	elif [ $$status -ne 0 ]; then \
+	  echo "chaos: failed with exit $$status"; exit $$status; \
+	fi
 
 bench:
 	dune exec bench/main.exe

@@ -861,6 +861,178 @@ let run_serve_load ?(requests = 100) ?(out_file = "BENCH_serve.json") () =
     (if identical then "yes (byte-identical)" else "NO - CACHE BUG");
   Printf.printf "serve == one-shot CLI  : %s\n"
     (if matches_cli then "yes (byte-identical cycles)" else "NO - DIVERGENCE");
+  (* --- overload scenario: offered load >= 2x admission capacity over a
+     real socket server; excess is shed immediately with E-OVERLOAD, and
+     every accepted response carries the same result bytes as the
+     sequential client above --- *)
+  let module Server = Flexcl_server.Server in
+  let max_inflight = 2 in
+  let n_threads = 8 and bursts_per_thread = 6 and burst = 4 in
+  Printf.printf
+    "--- overload: %d clients x bursts of %d vs max_inflight=%d ---\n"
+    n_threads burst max_inflight;
+  let srv = Server.create ~num_domains:2 ~max_inflight () in
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flexcl_bench_%d.sock" (Unix.getpid ()))
+  in
+  let srv_thread =
+    Thread.create (fun () -> Server.serve_unix_socket srv sock_path) ()
+  in
+  let connect () =
+    let rec go n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+      | () -> Some fd
+      | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if n = 0 then None
+          else begin
+            Thread.delay 0.05;
+            go (n - 1)
+          end
+    in
+    go 100
+  in
+  let send_all fd s =
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        match Unix.write fd b off (Bytes.length b - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    try
+      go 0;
+      true
+    with Unix.Unix_error _ -> false
+  in
+  let read_line_bounded fd buf =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match String.index_opt !buf '\n' with
+      | Some i ->
+          let l = String.sub !buf 0 i in
+          buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+          Some l
+      | None ->
+          let left = deadline -. Unix.gettimeofday () in
+          if left <= 0.0 then None
+          else
+            let readable =
+              try
+                let r, _, _ =
+                  Unix.select [ fd ] [] [] (Float.min left 0.5)
+                in
+                r <> []
+              with Unix.Unix_error (Unix.EINTR, _, _) -> false
+            in
+            if not readable then go ()
+            else
+              let n =
+                try Unix.read fd chunk 0 (Bytes.length chunk)
+                with Unix.Unix_error _ -> 0
+              in
+              if n = 0 then None
+              else begin
+                buf := !buf ^ Bytes.sub_string chunk 0 n;
+                go ()
+              end
+    in
+    go ()
+  in
+  let expected_result = result_of cold_resp in
+  let ov_mutex = Mutex.create () in
+  let accepted_lat = ref [] in
+  let shed = ref 0 and lost = ref 0 and mismatched = ref 0 in
+  let t0_overload = Unix.gettimeofday () in
+  let client_threads =
+    List.init n_threads (fun ti ->
+        Thread.create
+          (fun () ->
+            for b = 1 to bursts_per_thread do
+              match connect () with
+              | None ->
+                  Mutex.lock ov_mutex;
+                  lost := !lost + burst;
+                  Mutex.unlock ov_mutex
+              | Some fd ->
+                  let payload =
+                    String.concat ""
+                      (List.init burst (fun i ->
+                           line ((10000 * ti) + (100 * b) + i) ^ "\n"))
+                  in
+                  let t_send = Unix.gettimeofday () in
+                  if send_all fd payload then begin
+                    let buf = ref "" in
+                    for _ = 1 to burst do
+                      match read_line_bounded fd buf with
+                      | None ->
+                          Mutex.lock ov_mutex;
+                          incr lost;
+                          Mutex.unlock ov_mutex
+                      | Some resp -> (
+                          let lat_us =
+                            (Unix.gettimeofday () -. t_send) *. 1e6
+                          in
+                          match Json.of_string resp with
+                          | Error _ ->
+                              Mutex.lock ov_mutex;
+                              incr lost;
+                              Mutex.unlock ov_mutex
+                          | Ok v ->
+                              let ok =
+                                Option.bind (Json.member "ok" v) Json.to_bool
+                              in
+                              Mutex.lock ov_mutex;
+                              (if ok = Some true then begin
+                                 accepted_lat := lat_us :: !accepted_lat;
+                                 if result_of resp <> expected_result then
+                                   incr mismatched
+                               end
+                               else incr shed);
+                              Mutex.unlock ov_mutex)
+                    done
+                  end
+                  else begin
+                    Mutex.lock ov_mutex;
+                    lost := !lost + burst;
+                    Mutex.unlock ov_mutex
+                  end;
+                  (try Unix.close fd with Unix.Unix_error _ -> ())
+            done)
+          ())
+  in
+  List.iter Thread.join client_threads;
+  let overload_wall = Unix.gettimeofday () -. t0_overload in
+  (* graceful drain, so the bench process exits cleanly *)
+  (match connect () with
+  | Some fd ->
+      ignore (send_all fd "{\"id\":0,\"kind\":\"shutdown\"}\n");
+      ignore (read_line_bounded fd (ref ""));
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> Server.request_shutdown srv);
+  Thread.join srv_thread;
+  let offered = n_threads * bursts_per_thread * burst in
+  let accepted_lat = !accepted_lat in
+  let n_accepted = List.length accepted_lat in
+  let shed_rate = float_of_int !shed /. float_of_int (max 1 offered) in
+  let goodput =
+    float_of_int n_accepted /. Float.max overload_wall 1e-9
+  in
+  let p99_accepted =
+    if accepted_lat = [] then 0.0 else Stats.percentile 99.0 accepted_lat
+  in
+  let overload_identical = !mismatched = 0 && n_accepted > 0 in
+  Printf.printf "offered / accepted     : %10d / %d (%d shed, %d lost)\n"
+    offered n_accepted !shed !lost;
+  Printf.printf "shed rate              : %10.1f%%\n" (shed_rate *. 100.0);
+  Printf.printf "accepted p99 latency   : %10.1f us\n" p99_accepted;
+  Printf.printf "goodput                : %10.0f req/s\n" goodput;
+  Printf.printf "accepted == sequential : %s\n"
+    (if overload_identical then "yes (byte-identical)"
+     else "NO - DIVERGENCE UNDER LOAD");
   let json =
     Json.Obj
       [
@@ -876,6 +1048,21 @@ let run_serve_load ?(requests = 100) ?(out_file = "BENCH_serve.json") () =
         ("predict_cache_hit_rate", Json.Num hit_rate);
         ("cold_equals_cached", Json.Bool identical);
         ("serve_equals_cli", Json.Bool matches_cli);
+        ( "overload",
+          Json.Obj
+            [
+              ("max_inflight", Json.int max_inflight);
+              ("offered_requests", Json.int offered);
+              ( "offered_concurrency",
+                Json.int (n_threads * burst) );
+              ("accepted", Json.int n_accepted);
+              ("shed", Json.int !shed);
+              ("lost", Json.int !lost);
+              ("shed_rate", Json.Num shed_rate);
+              ("accepted_p99_us", Json.Num p99_accepted);
+              ("goodput_rps", Json.Num goodput);
+              ("accepted_identical", Json.Bool overload_identical);
+            ] );
       ]
   in
   Out_channel.with_open_text out_file (fun oc ->

@@ -6,6 +6,8 @@
      flexcl explore   (--kernel FILE | --workload NAME) [--top N]
      flexcl workloads [--suite rodinia|polybench]
      flexcl serve     [--jobs N] [--cache N] [--socket PATH]
+                      [--max-inflight N] [--max-line-bytes N]
+                      [--drain-timeout-ms MS]
 
    For a kernel file, pointer parameters become deterministic random
    buffers of --buffer-size elements; integer scalars default to the
@@ -503,9 +505,39 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Serve a Unix-domain socket at $(docv) instead of \
-             stdin/stdout (connections are served one at a time).")
+             stdin/stdout; each accepted connection gets its own \
+             thread against one shared worker pool.")
   in
-  let run jobs cache socket =
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Server.default_max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission high-water mark: requests in compute at once; \
+             beyond it new work is shed with E-OVERLOAD and a \
+             retry_after_ms hint.")
+  in
+  let max_line_bytes =
+    Arg.(
+      value
+      & opt int Server.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Frame bound: a request line longer than $(docv) is \
+             discarded and answered with E-FRAME.")
+  in
+  let drain_timeout_ms =
+    Arg.(
+      value
+      & opt int Server.default_drain_timeout_ms
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "On shutdown (SIGTERM, SIGINT or a shutdown request), how \
+             long open connections get to wind down before being \
+             severed.")
+  in
+  let run jobs cache socket max_inflight max_line_bytes drain_timeout_ms =
     match jobs with
     | Some n when n < 0 ->
         prerr_endline "flexcl: --jobs must be >= 0";
@@ -513,21 +545,36 @@ let serve_cmd =
     | _ when cache < 1 ->
         prerr_endline "flexcl: --cache must be >= 1";
         exit_usage_error
+    | _ when max_inflight < 1 ->
+        prerr_endline "flexcl: --max-inflight must be >= 1";
+        exit_usage_error
+    | _ when max_line_bytes < 64 ->
+        prerr_endline "flexcl: --max-line-bytes must be >= 64";
+        exit_usage_error
+    | _ when drain_timeout_ms < 0 ->
+        prerr_endline "flexcl: --drain-timeout-ms must be >= 0";
+        exit_usage_error
     | _ ->
         guarded (fun () ->
             let server =
-              Server.create ?num_domains:jobs ~cache_capacity:cache ()
+              Server.create ?num_domains:jobs ~cache_capacity:cache
+                ~max_inflight ~max_line_bytes ~drain_timeout_ms ()
             in
-            match socket with
-            | Some path ->
-                Server.serve_unix_socket server path;
-                0
-            | None ->
-                Server.serve_fd server Unix.stdin stdout;
-                (* final metrics dump, stderr so it never interleaves
-                   with the NDJSON response stream *)
-                prerr_endline (Json.to_string (Server.stats_json server));
-                0)
+            (* SIGTERM/SIGINT start a graceful drain: in-flight requests
+               finish, new ones answer E-SHUTDOWN, then the loops return
+               and the final stats land on stderr *)
+            let graceful =
+              Sys.Signal_handle (fun _ -> Server.request_shutdown server)
+            in
+            (try Sys.set_signal Sys.sigterm graceful with _ -> ());
+            (try Sys.set_signal Sys.sigint graceful with _ -> ());
+            (match socket with
+            | Some path -> Server.serve_unix_socket server path
+            | None -> Server.serve_fd server Unix.stdin stdout);
+            (* final metrics dump, stderr so it never interleaves with
+               the NDJSON response stream *)
+            prerr_endline (Json.to_string (Server.stats_json server));
+            0)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -535,7 +582,9 @@ let serve_cmd =
          "Run the long-lived analysis service (newline-delimited JSON \
           requests on stdin, one response per line on stdout; see the \
           README for the protocol).")
-    Term.(const run $ jobs $ cache $ socket)
+    Term.(
+      const run $ jobs $ cache $ socket $ max_inflight $ max_line_bytes
+      $ drain_timeout_ms)
 
 (* ------------------------------------------------------------------ *)
 (* workloads *)

@@ -43,14 +43,20 @@ let ok_response ~id ~kind ?cached result =
     @ cached
     @ [ ("result", result) ])
 
-let error_response ~id ~kind diags =
+let error_response ?retry_after_ms ~id ~kind diags =
+  let retry =
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", Json.int ms) ]
+    | None -> []
+  in
   Json.Obj
-    [
-      ("id", id);
-      ("ok", Json.Bool false);
-      ("kind", kind);
-      ("errors", Json.Arr (List.map diag_to_json diags));
-    ]
+    ([
+       ("id", id);
+       ("ok", Json.Bool false);
+       ("kind", kind);
+       ("errors", Json.Arr (List.map diag_to_json diags));
+     ]
+    @ retry)
 
 (* ------------------------------------------------------------------ *)
 (* Field extraction *)

@@ -2,13 +2,15 @@
 
     One request per line in, one response per line out, in request
     order. A request is a JSON object with a ["kind"] field —
-    ["parse"], ["analyze"], ["predict"], ["explore"] or ["stats"] — an
-    optional ["id"] echoed verbatim into the response, and
-    kind-specific fields (see README "The serve protocol"). A response
-    is [{"id":…,"ok":true,"kind":…,"cached":…,"result":{…}}] or
+    ["parse"], ["analyze"], ["predict"], ["explore"], ["stats"] or
+    ["shutdown"] — an optional ["id"] echoed verbatim into the
+    response, and kind-specific fields (see README "The serve
+    protocol"). A response is
+    [{"id":…,"ok":true,"kind":…,"cached":…,"result":{…}}] or
     [{"id":…,"ok":false,"kind":…,"errors":[…]}] where each error is a
-    structured {!Flexcl_util.Diag.t} rendered to JSON. The server never
-    answers anything else, whatever the input. *)
+    structured {!Flexcl_util.Diag.t} rendered to JSON; a load-shed
+    response additionally carries a top-level ["retry_after_ms"] hint.
+    The server never answers anything else, whatever the input. *)
 
 module Json = Flexcl_util.Json
 module Diag = Flexcl_util.Diag
@@ -31,9 +33,10 @@ val ok_response :
   id:Json.t -> kind:string -> ?cached:bool -> Json.t -> Json.t
 
 val error_response :
-  id:Json.t -> kind:Json.t -> Diag.t list -> Json.t
+  ?retry_after_ms:int -> id:Json.t -> kind:Json.t -> Diag.t list -> Json.t
 (** [kind] is JSON (not a string) so a response to an undecodable
-    request can carry [null]. *)
+    request can carry [null]. [retry_after_ms] is attached to shed
+    ([E-OVERLOAD]) responses as a client backoff hint. *)
 
 (** {2 Field extraction} — total, defaulting accessors used by the
     dispatcher; a wrong type is a [Usage_error] diagnostic naming the

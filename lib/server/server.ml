@@ -16,15 +16,29 @@ module W = Flexcl_workloads.Workload
 open Flexcl_opencl
 
 let default_cache_capacity = 256
+let default_max_inflight = 128
+let default_max_line_bytes = 1 lsl 20
+let default_drain_timeout_ms = 5_000
 
 (* The interpreter profiles tens of millions of steps per second on
    commodity cores; 20k steps/ms is a deliberate underestimate so a
    deadline translated into fuel expires early rather than late. *)
 let steps_per_ms = 20_000
 
+(* Raised (past every handler guard) by the chaos-only "panic" kind so
+   the supervision path — worker domain death, Diag-bearing failure for
+   the in-flight request, bounded respawn — can be exercised on demand. *)
+exception Injected_fault
+
 type t = {
   num_domains : int;
   metrics : Metrics.t;
+  started_at : float;
+  max_inflight : int;
+  max_line_bytes : int;
+  drain_timeout_ms : int;
+  restart_budget : int;
+  chaos : bool;
   parse_cache : (string, (Ast.kernel, Diag.t list) result) Cache.t;
   analysis_cache : (string, Analysis.t) Cache.t;
   predict_cache : (string, Json.t) Cache.t;
@@ -35,9 +49,20 @@ type t = {
   sf_mutex : Mutex.t;
   sf_cond : Condition.t;
   sf_inflight : (string, unit) Hashtbl.t;
+  (* admission control: requests admitted to compute but not yet
+     answered, bounded by [max_inflight]; past the mark new work is shed
+     with E-OVERLOAD instead of queueing unboundedly. *)
+  adm_mutex : Mutex.t;
+  mutable inflight : int;
+  mutable ema_us : float;  (* smoothed request latency, for retry hints *)
+  shutting_down : bool Atomic.t;
 }
 
-let create ?num_domains ?(cache_capacity = default_cache_capacity) () =
+let create ?num_domains ?(cache_capacity = default_cache_capacity)
+    ?(max_inflight = default_max_inflight)
+    ?(max_line_bytes = default_max_line_bytes)
+    ?(drain_timeout_ms = default_drain_timeout_ms)
+    ?(restart_budget = Pool.default_restart_budget) ?(chaos = false) () =
   let num_domains =
     match num_domains with
     | None -> Pool.default_num_domains ()
@@ -47,18 +72,73 @@ let create ?num_domains ?(cache_capacity = default_cache_capacity) () =
   in
   if cache_capacity < 1 then
     invalid_arg "Server.create: cache_capacity must be >= 1";
+  if max_inflight < 1 then
+    invalid_arg "Server.create: max_inflight must be >= 1";
+  if max_line_bytes < 64 then
+    invalid_arg "Server.create: max_line_bytes must be >= 64";
+  if drain_timeout_ms < 0 then
+    invalid_arg "Server.create: drain_timeout_ms must be >= 0";
+  if restart_budget < 0 then
+    invalid_arg "Server.create: restart_budget must be >= 0";
+  let metrics = Metrics.create () in
+  (* overload/fault counters exist from the start, so `stats` shows an
+     explicit 0 rather than omitting the key until the first incident *)
+  List.iter
+    (fun k -> Metrics.incr metrics ~by:0 k)
+    [ "shed"; "deadline_expired"; "worker_restarts"; "requests.crashed" ];
   {
     num_domains;
-    metrics = Metrics.create ();
+    metrics;
+    started_at = Unix.gettimeofday ();
+    max_inflight;
+    max_line_bytes;
+    drain_timeout_ms;
+    restart_budget;
+    chaos;
     parse_cache = Cache.create ~capacity:cache_capacity ();
     analysis_cache = Cache.create ~capacity:cache_capacity ();
     predict_cache = Cache.create ~capacity:cache_capacity ();
     sf_mutex = Mutex.create ();
     sf_cond = Condition.create ();
     sf_inflight = Hashtbl.create 16;
+    adm_mutex = Mutex.create ();
+    inflight = 0;
+    ema_us = 0.0;
+    shutting_down = Atomic.make false;
   }
 
 let num_domains t = t.num_domains
+let request_shutdown t = Atomic.set t.shutting_down true
+let draining t = Atomic.get t.shutting_down
+
+let inflight t =
+  Mutex.lock t.adm_mutex;
+  let n = t.inflight in
+  Mutex.unlock t.adm_mutex;
+  n
+
+(* admitted → true plus the post-admission depth; shed → false plus the
+   depth that triggered the shed (both feed the retry hint) *)
+let try_admit t =
+  Mutex.lock t.adm_mutex;
+  let ok = t.inflight < t.max_inflight in
+  if ok then t.inflight <- t.inflight + 1;
+  let depth = t.inflight in
+  Mutex.unlock t.adm_mutex;
+  (ok, depth)
+
+let release t n =
+  Mutex.lock t.adm_mutex;
+  t.inflight <- t.inflight - n;
+  Mutex.unlock t.adm_mutex
+
+(* How long a shed client should back off: the work already in flight,
+   spread over the executors, at the smoothed per-request latency. *)
+let retry_after_ms t ~depth =
+  let per_req_ms = Float.max 1.0 (t.ema_us /. 1000.0) in
+  let width = float_of_int (t.num_domains + 1) in
+  let est = per_req_ms *. float_of_int depth /. width in
+  max 1 (int_of_float (Float.min 60_000.0 (Float.ceil est)))
 
 (* Run [f] as the sole flight for [key]: racing callers block until the
    owner lands, then take their own turn (and find the cache warm).
@@ -441,8 +521,14 @@ let cache_stats_json c =
     ]
 
 let stats_json t =
+  Metrics.set_gauge t.metrics "uptime_ms"
+    ((Unix.gettimeofday () -. t.started_at) *. 1000.0);
+  Metrics.set_gauge t.metrics "inflight" (float_of_int (inflight t));
   let counters =
     List.map (fun (k, v) -> (k, Json.int v)) (Metrics.counters t.metrics)
+  in
+  let gauges =
+    List.map (fun (k, v) -> (k, Json.Num v)) (Metrics.gauges t.metrics)
   in
   let summaries =
     List.map
@@ -462,6 +548,7 @@ let stats_json t =
   Json.Obj
     [
       ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
       ("latency_us", Json.Obj summaries);
       ( "cache",
         Json.Obj
@@ -475,7 +562,7 @@ let stats_json t =
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
 
-let known_kinds = [ "parse"; "analyze"; "predict"; "explore"; "stats" ]
+let known_kinds = [ "parse"; "analyze"; "predict"; "explore"; "stats"; "shutdown" ]
 
 let dispatch t (req : P.request) =
   match req.P.kind with
@@ -484,16 +571,41 @@ let dispatch t (req : P.request) =
   | "predict" -> handle_predict t req.P.body
   | "explore" -> handle_explore t req.P.body
   | "stats" -> Ok (None, stats_json t)
+  | "shutdown" ->
+      request_shutdown t;
+      Ok (None, Json.Obj [ ("draining", Json.Bool true) ])
   | other ->
       Error
         (usage1 "unknown request kind %S (parse | analyze | predict | explore \
-                 | stats)"
+                 | stats | shutdown)"
            other)
 
-let now_us () = Unix.gettimeofday () *. 1e6
+let now_s () = Unix.gettimeofday ()
 
-let handle_value t v =
-  let t0 = now_us () in
+(* The wall-clock budget: [deadline_ms] counted from the request's
+   arrival, as an absolute expiry instant. Type errors are left to
+   {!fuel_of}, which reports them with the kind-specific handler. *)
+let wall_deadline body ~arrival =
+  match Json.member "deadline_ms" body with
+  | Some v -> (
+      match Json.to_float v with
+      | Some ms when ms > 0.0 && Float.is_finite ms ->
+          Some (arrival +. (ms /. 1000.0))
+      | _ -> None)
+  | None -> None
+
+let deadline_response t ~id ~kind ~metric_kind ~stage =
+  Metrics.incr t.metrics "deadline_expired";
+  Metrics.incr t.metrics (Printf.sprintf "requests.%s.error" metric_kind);
+  P.error_response ~id ~kind:(Json.Str kind)
+    [
+      Diag.error Diag.Deadline_expired
+        "request \"deadline_ms\" budget exhausted before %s" stage;
+    ]
+
+let handle_value ?arrival t v =
+  let t0 = now_s () in
+  let arrival = Option.value arrival ~default:t0 in
   match P.request_of_value v with
   | Error d ->
       Metrics.incr t.metrics "requests.malformed";
@@ -503,164 +615,494 @@ let handle_value t v =
       let kind = Option.value (Json.member "kind" v) ~default:Json.Null in
       P.error_response ~id ~kind [ d ]
   | Ok req ->
-      let outcome =
-        (* the last line of defense: a handler bug must surface as an
-           E-INTERNAL response, never as a dead server *)
-        try dispatch t req
-        with exn -> Error [ Analysis.diag_of_exn exn ]
-      in
+      (* chaos-only: raise past every guard below, so the worker domain
+         running this request genuinely dies (and supervision answers) *)
+      if t.chaos && req.P.kind = "panic" then raise Injected_fault;
       let metric_kind =
         if List.mem req.P.kind known_kinds then req.P.kind else "unknown"
       in
-      let resp =
-        match outcome with
-        | Ok (cached, result) ->
-            Metrics.incr t.metrics
-              (Printf.sprintf "requests.%s.ok" metric_kind);
-            P.ok_response ~id:req.P.id ~kind:req.P.kind ?cached result
-        | Error diags ->
-            Metrics.incr t.metrics
-              (Printf.sprintf "requests.%s.error" metric_kind);
-            P.error_response ~id:req.P.id ~kind:(Json.Str req.P.kind) diags
+      let expired =
+        match wall_deadline req.P.body ~arrival with
+        | Some d -> now_s () > d
+        | None -> false
       in
-      Metrics.observe t.metrics metric_kind (now_us () -. t0);
+      let resp =
+        if expired then
+          deadline_response t ~id:req.P.id ~kind:req.P.kind ~metric_kind
+            ~stage:"compute started"
+        else begin
+          let outcome =
+            (* the last line of defense: a handler bug must surface as an
+               E-INTERNAL response, never as a dead server *)
+            try dispatch t req
+            with exn -> Error [ Analysis.diag_of_exn exn ]
+          in
+          match outcome with
+          | Ok (cached, result) ->
+              Metrics.incr t.metrics
+                (Printf.sprintf "requests.%s.ok" metric_kind);
+              P.ok_response ~id:req.P.id ~kind:req.P.kind ?cached result
+          | Error diags ->
+              Metrics.incr t.metrics
+                (Printf.sprintf "requests.%s.error" metric_kind);
+              P.error_response ~id:req.P.id ~kind:(Json.Str req.P.kind) diags
+        end
+      in
+      let lat_us = (now_s () -. t0) *. 1e6 in
+      Metrics.observe t.metrics metric_kind lat_us;
+      Mutex.lock t.adm_mutex;
+      t.ema_us <-
+        (if t.ema_us = 0.0 then lat_us
+         else (0.9 *. t.ema_us) +. (0.1 *. lat_us));
+      Mutex.unlock t.adm_mutex;
       resp
 
-let handle_line t line =
-  match Json.of_string line with
-  | Ok v -> Json.to_string (handle_value t v)
-  | Error msg ->
-      Metrics.incr t.metrics "requests.malformed";
-      Json.to_string
-        (P.error_response ~id:Json.Null ~kind:Json.Null
-           [ P.usage "malformed JSON: %s" msg ])
+(* ------------------------------------------------------------------ *)
+(* Admission: every line becomes either an immediate response (malformed,
+   shed, expired, draining) or admitted work for the compute stage. *)
+
+type plan =
+  | Immediate of Json.t
+  | Work of Json.t * bool  (* parsed request, holds-an-admission-slot *)
+
+(* stats/shutdown answer from state the server already holds; shedding
+   them under load would blind the operator exactly when load matters *)
+let admission_exempt = [ "stats"; "shutdown" ]
+
+let id_kind_of_value v =
+  ( Option.value (Json.member "id" v) ~default:Json.Null,
+    Option.value (Json.member "kind" v) ~default:Json.Null )
+
+let shutdown_plan t line =
+  Metrics.incr t.metrics "rejected_shutdown";
+  let id, kind =
+    match Json.of_string line with
+    | Ok v -> id_kind_of_value v
+    | Error _ -> (Json.Null, Json.Null)
+  in
+  Immediate
+    (P.error_response ~id ~kind
+       [
+         Diag.error Diag.Shutting_down
+           "server is draining; no new work is accepted";
+       ])
+
+let plan_line t ~arrival line =
+  if draining t then shutdown_plan t line
+  else
+    match Json.of_string line with
+    | Error msg ->
+        Metrics.incr t.metrics "requests.malformed";
+        Immediate
+          (P.error_response ~id:Json.Null ~kind:Json.Null
+             [ P.usage "malformed JSON: %s" msg ])
+    | Ok v -> (
+        match P.request_of_value v with
+        | Error _ ->
+            (* handle_value reproduces the decode error response *)
+            Work (v, false)
+        | Ok req ->
+            if List.mem req.P.kind admission_exempt then Work (v, false)
+            else
+              let metric_kind =
+                if List.mem req.P.kind known_kinds then req.P.kind
+                else "unknown"
+              in
+              let expired =
+                match wall_deadline req.P.body ~arrival with
+                | Some d -> now_s () > d
+                | None -> false
+              in
+              if expired then
+                Immediate
+                  (deadline_response t ~id:req.P.id ~kind:req.P.kind
+                     ~metric_kind ~stage:"admission")
+              else
+                let ok, depth = try_admit t in
+                if ok then Work (v, true)
+                else begin
+                  Metrics.incr t.metrics "shed";
+                  Immediate
+                    (P.error_response
+                       ~retry_after_ms:(retry_after_ms t ~depth)
+                       ~id:req.P.id ~kind:(Json.Str req.P.kind)
+                       [
+                         Diag.error Diag.Overloaded
+                           "server at max_inflight=%d; request shed"
+                           t.max_inflight;
+                       ])
+                end)
+
+let handle_line ?arrival t line =
+  let arrival = Option.value arrival ~default:(now_s ()) in
+  match plan_line t ~arrival line with
+  | Immediate resp -> Json.to_string resp
+  | Work (v, admitted) ->
+      Fun.protect
+        ~finally:(fun () -> if admitted then release t 1)
+        (fun () -> Json.to_string (handle_value ~arrival t v))
 
 (* ------------------------------------------------------------------ *)
 (* The NDJSON loop *)
 
 module Reader = struct
+  (* Incremental, length-bounded line framing. A line longer than
+     [max_line] is discarded up to its terminating newline and reported
+     as [Oversized] (the stream then resyncs); an unterminated tail at
+     EOF is [Truncated]. Both earn an E-FRAME response upstream. *)
+  type event =
+    | Line of string
+    | Oversized of int  (* bytes discarded from the overlong line *)
+    | Truncated of int  (* bytes of unterminated tail at EOF *)
+    | Eof
+
   type t = {
     fd : Unix.file_descr;
+    max_line : int;
     mutable buf : string;
     mutable pos : int;
     mutable eof : bool;
+    mutable discarding : int;  (* > 0: inside an overlong line *)
   }
 
   let chunk = 65536
 
-  let create fd = { fd; buf = ""; pos = 0; eof = false }
+  let create ?(max_line = max_int) fd =
+    { fd; max_line; buf = ""; pos = 0; eof = false; discarding = 0 }
 
-  let rec read_retry fd b =
-    try Unix.read fd b 0 chunk
-    with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b
-
-  (* blocking; false once the fd is exhausted *)
+  (* blocking read; EINTR retries, any other error ends the stream *)
   let refill t =
     let b = Bytes.create chunk in
-    let n = read_retry t.fd b in
-    if n = 0 then begin
-      t.eof <- true;
-      false
-    end
+    let rec read_retry () =
+      try Unix.read t.fd b 0 chunk with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> read_retry ()
+      | Unix.Unix_error (_, _, _) -> 0
+    in
+    let n = read_retry () in
+    if n = 0 then t.eof <- true
     else begin
       let keep = String.sub t.buf t.pos (String.length t.buf - t.pos) in
       t.buf <- keep ^ Bytes.sub_string b 0 n;
-      t.pos <- 0;
-      true
+      t.pos <- 0
     end
 
-  let take_buffered_line t =
-    match String.index_from_opt t.buf t.pos '\n' with
-    | Some i ->
-        let line = String.sub t.buf t.pos (i - t.pos) in
-        t.pos <- i + 1;
-        Some line
-    | None -> None
-
-  let rec read_line t =
-    match take_buffered_line t with
-    | Some l -> Some l
-    | None ->
-        if t.eof then
-          (* a final line without the trailing newline still counts *)
-          if t.pos < String.length t.buf then begin
-            let rest =
-              String.sub t.buf t.pos (String.length t.buf - t.pos)
-            in
-            t.pos <- String.length t.buf;
-            Some rest
+  (* next event derivable from the buffer alone; [None] needs more input *)
+  let extract t =
+    let len = String.length t.buf in
+    if t.discarding > 0 then
+      match String.index_from_opt t.buf t.pos '\n' with
+      | Some i ->
+          let dropped = t.discarding + (i - t.pos) in
+          t.pos <- i + 1;
+          t.discarding <- 0;
+          Some (Oversized dropped)
+      | None ->
+          t.discarding <- t.discarding + (len - t.pos);
+          t.buf <- "";
+          t.pos <- 0;
+          if t.eof then begin
+            let dropped = t.discarding in
+            t.discarding <- 0;
+            Some (Oversized dropped)
           end
           else None
-        else begin
-          ignore (refill t);
-          read_line t
-        end
-
-  (* a line only if one is already available without blocking *)
-  let rec poll_line t =
-    match take_buffered_line t with
-    | Some l -> Some l
-    | None ->
-        if t.eof then None
-        else
-          let readable, _, _ = Unix.select [ t.fd ] [] [] 0.0 in
-          if readable = [] then None
-          else if refill t then poll_line t
+    else
+      match String.index_from_opt t.buf t.pos '\n' with
+      | Some i ->
+          let n = i - t.pos in
+          if n > t.max_line then begin
+            t.pos <- i + 1;
+            Some (Oversized n)
+          end
+          else begin
+            let line = String.sub t.buf t.pos n in
+            t.pos <- i + 1;
+            Some (Line line)
+          end
+      | None ->
+          let avail = len - t.pos in
+          if avail > t.max_line then begin
+            t.discarding <- avail;
+            t.buf <- "";
+            t.pos <- 0;
+            None
+          end
+          else if t.eof then
+            if avail > 0 then begin
+              t.pos <- len;
+              Some (Truncated avail)
+            end
+            else Some Eof
           else None
+
+  let readable t timeout =
+    try
+      let r, _, _ = Unix.select [ t.fd ] [] [] timeout in
+      r <> []
+    with
+    | Unix.Unix_error (Unix.EINTR, _, _) -> false
+    | Unix.Unix_error (_, _, _) ->
+        (* fd force-closed under us during drain: treat as end of stream *)
+        t.eof <- true;
+        true
+
+  (* [block = true] waits for input, polling [stop] roughly every 200ms;
+     [None] means [stop] fired (blocking) or nothing is buffered
+     (non-blocking). At EOF the result is always [Some Eof]-terminated. *)
+  let rec next ?(stop = fun () -> false) ~block t =
+    match extract t with
+    | Some ev -> Some ev
+    | None ->
+        if t.eof then next ~stop ~block t (* extract yields Some at eof *)
+        else if block then
+          if stop () then None
+          else begin
+            if readable t 0.2 then refill t;
+            next ~stop ~block t
+          end
+        else if readable t 0.0 then begin
+          refill t;
+          next ~stop ~block t
+        end
+        else None
 end
 
 let blank line = String.trim line = ""
 
-let serve_fd t ?max_batch fd out =
-  let max_batch =
-    match max_batch with
-    | Some n -> max 1 n
-    | None -> max 1 (4 * (t.num_domains + 1))
-  in
-  Pool.with_pool ~num_domains:t.num_domains (fun pool ->
-      let rdr = Reader.create fd in
-      let rec loop () =
-        match Reader.read_line rdr with
-        | None -> ()
-        | Some first when blank first -> loop ()
-        | Some first ->
-            let rec gather acc n =
-              if n >= max_batch then List.rev acc
-              else
-                match Reader.poll_line rdr with
-                | Some l when blank l -> gather acc n
-                | Some l -> gather (l :: acc) (n + 1)
-                | None -> List.rev acc
-            in
-            let lines = gather [ first ] 1 in
-            let responses =
-              match lines with
-              | [ line ] -> [ handle_line t line ]
-              | lines ->
-                  Pool.run pool
-                    (List.map (fun line () -> handle_line t line) lines)
-            in
-            List.iter
-              (fun r ->
-                output_string out r;
-                output_char out '\n')
-              responses;
-            flush out;
-            loop ()
-      in
-      loop ())
+let frame_response t msg =
+  Metrics.incr t.metrics "requests.frame_error";
+  P.error_response ~id:Json.Null ~kind:Json.Null
+    [ Diag.error Diag.Frame_error "%s" msg ]
 
-let serve_unix_socket t path =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
-  let rec accept_loop () =
-    let client, _ = Unix.accept sock in
-    let out = Unix.out_channel_of_descr client in
-    (try serve_fd t client out with _ -> ());
-    (* closing the channel closes the shared socket fd *)
-    (try close_out out with _ -> ());
-    accept_loop ()
+(* A framing event becomes at most one planned response; blank lines
+   vanish. During drain, frame errors still answer E-FRAME (the payload
+   never existed, so E-SHUTDOWN would misreport it as a valid request). *)
+let plan_event t ~arrival ev =
+  match ev with
+  | Reader.Line line -> if blank line then None else Some (plan_line t ~arrival line)
+  | Reader.Oversized n ->
+      Some
+        (Immediate
+           (frame_response t
+              (Printf.sprintf
+                 "frame exceeds max_line_bytes=%d (%d bytes discarded)"
+                 t.max_line_bytes n)))
+  | Reader.Truncated n ->
+      Some
+        (Immediate
+           (frame_response t
+              (Printf.sprintf "stream ended mid-line (%d bytes unterminated)"
+                 n)))
+  | Reader.Eof -> None
+
+(* One connection's request/response loop, shared by stdin serving and
+   socket connection threads. Admitted work runs on the shared
+   supervised [pool]; a worker panic answers E-INTERNAL for exactly the
+   request that crashed it. Returns when the stream ends, the peer stops
+   accepting responses, or the server drains. *)
+let serve_loop t pool rdr out ~max_batch =
+  let stop () = draining t in
+  let write_all resps =
+    try
+      List.iter
+        (fun r ->
+          output_string out r;
+          output_char out '\n')
+        resps;
+      flush out;
+      true
+    with Sys_error _ -> false
   in
-  accept_loop ()
+  let crash_response v exn =
+    Metrics.incr t.metrics "requests.crashed";
+    let id, kind = id_kind_of_value v in
+    Json.to_string
+      (P.error_response ~id ~kind
+         [
+           Diag.error Diag.Internal_error
+             "request handler crashed: %s (worker respawned; request \
+              answered, not retried)"
+             (Printexc.to_string exn);
+         ])
+  in
+  (* execute one planned batch, preserving input order in the output *)
+  let run_batch ~arrival planned =
+    let works =
+      List.filter_map (function Work (v, _) -> Some v | _ -> None) planned
+    in
+    let results =
+      Pool.run_results pool
+        (List.map (fun v () -> Json.to_string (handle_value ~arrival t v))
+           works)
+    in
+    let admitted =
+      List.length (List.filter (function Work (_, true) -> true | _ -> false)
+                     planned)
+    in
+    if admitted > 0 then release t admitted;
+    let rec merge planned results =
+      match (planned, results) with
+      | [], _ -> []
+      | Immediate resp :: rest, results ->
+          Json.to_string resp :: merge rest results
+      | Work (v, _) :: rest, r :: results ->
+          (match r with Ok s -> s | Error exn -> crash_response v exn)
+          :: merge rest results
+      | Work _ :: _, [] -> assert false (* one result per work slot *)
+    in
+    merge planned results
+  in
+  let rec loop () =
+    match Reader.next ~stop ~block:true rdr with
+    | None ->
+        (* drain: requests already buffered are answered E-SHUTDOWN (via
+           [plan_line], which sheds everything once draining), then the
+           connection closes *)
+        let rec flush_buffered acc =
+          match Reader.next ~block:false rdr with
+          | None | Some Reader.Eof -> List.rev acc
+          | Some ev -> (
+              match plan_event t ~arrival:(now_s ()) ev with
+              | None -> flush_buffered acc
+              | Some p -> flush_buffered (p :: acc))
+        in
+        ignore (write_all (run_batch ~arrival:(now_s ()) (flush_buffered [])))
+    | Some Reader.Eof -> ()
+    | Some first -> (
+        let arrival = now_s () in
+        let rec gather acc n =
+          if n >= max_batch then List.rev acc
+          else
+            match Reader.next ~block:false rdr with
+            | None | Some Reader.Eof -> List.rev acc
+            | Some ev -> (
+                match plan_event t ~arrival ev with
+                | None -> gather acc n
+                | Some p -> gather (p :: acc) (n + 1))
+        in
+        let planned =
+          match plan_event t ~arrival first with
+          | None -> gather [] 0
+          | Some p -> gather [ p ] 1
+        in
+        if planned = [] then loop ()
+        else if write_all (run_batch ~arrival planned) then loop ()
+        else () (* peer gone: stop reading, admitted work already done *))
+  in
+  loop ()
+
+let default_max_batch t = max 1 (4 * (t.num_domains + 1))
+
+let ignore_sigpipe () =
+  (* a peer that disconnects mid-response must cost an EPIPE write error
+     on one connection, never the process *)
+  if Sys.unix then
+    try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> ()
+
+let serve_fd t ?max_batch fd out =
+  ignore_sigpipe ();
+  let max_batch =
+    match max_batch with Some n -> max 1 n | None -> default_max_batch t
+  in
+  Pool.with_pool ~num_domains:t.num_domains
+    ~restart_budget:t.restart_budget
+    ~on_restart:(fun _ -> Metrics.incr t.metrics "worker_restarts")
+    (fun pool ->
+      serve_loop t pool (Reader.create ~max_line:t.max_line_bytes fd) out
+        ~max_batch)
+
+(* ------------------------------------------------------------------ *)
+(* Socket serving: concurrent accept, one reader thread per connection,
+   one shared supervised pool, graceful drain. *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_thread : Thread.t option;
+  mutable c_done : bool;
+}
+
+let serve_unix_socket ?(backlog = 64) t path =
+  ignore_sigpipe ();
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (match Unix.bind sock (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e);
+  Unix.listen sock backlog;
+  (* the pool spawns only after the socket is live: a bind failure must
+     fail fast, with no domains to tear down *)
+  let pool =
+    Pool.create ~num_domains:t.num_domains ~restart_budget:t.restart_budget
+      ~on_restart:(fun _ -> Metrics.incr t.metrics "worker_restarts")
+      ()
+  in
+  let max_batch = default_max_batch t in
+  let conn_mutex = Mutex.create () in
+  let conns = ref [] in
+  let spawn_conn client =
+    Metrics.incr t.metrics "connections";
+    let c = { c_fd = client; c_thread = None; c_done = false } in
+    Mutex.lock conn_mutex;
+    conns := c :: !conns;
+    Mutex.unlock conn_mutex;
+    let th =
+      Thread.create
+        (fun () ->
+          let out = Unix.out_channel_of_descr client in
+          (try
+             serve_loop t pool
+               (Reader.create ~max_line:t.max_line_bytes client)
+               out ~max_batch
+           with _ -> ());
+          (* closing the channel closes the connection fd *)
+          (try close_out out with _ -> ());
+          c.c_done <- true)
+        ()
+    in
+    c.c_thread <- Some th
+  in
+  let accept_readable timeout =
+    try
+      let r, _, _ = Unix.select [ sock ] [] [] timeout in
+      r <> []
+    with Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  while not (draining t) do
+    if accept_readable 0.2 then
+      match Unix.accept sock with
+      | client, _ -> spawn_conn client
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) ->
+          (* transient accept failure (EMFILE and kin): back off, retry *)
+          Thread.delay 0.05
+  done;
+  (* graceful drain: no new connections, in-flight requests finish,
+     idle/buffered requests answer E-SHUTDOWN, then force-close *)
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let snapshot () =
+    Mutex.lock conn_mutex;
+    let cs = !conns in
+    Mutex.unlock conn_mutex;
+    cs
+  in
+  let deadline = now_s () +. (float_of_int t.drain_timeout_ms /. 1000.0) in
+  let all_done () = List.for_all (fun c -> c.c_done) (snapshot ()) in
+  while (not (all_done ())) && now_s () < deadline do
+    Thread.delay 0.01
+  done;
+  (* stragglers: sever the transport so their blocked reads/writes fail
+     and the connection loops unwind; computes in flight still finish *)
+  List.iter
+    (fun c ->
+      if not c.c_done then
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+    (snapshot ());
+  List.iter
+    (fun c -> match c.c_thread with Some th -> Thread.join th | None -> ())
+    (snapshot ());
+  Pool.shutdown pool

@@ -14,6 +14,16 @@
     exhaustion, internal bugs) becomes an error response carrying
     structured {!Flexcl_util.Diag.t} values.
 
+    {b Failure semantics} (the full contract is DESIGN.md §12): every
+    complete request line receives exactly one response. Frames that
+    exceed [max_line_bytes] or end mid-line answer [E-FRAME]; a request
+    whose wall-clock ["deadline_ms"] budget expires before compute
+    answers [E-DEADLINE]; work past the [max_inflight] high-water mark
+    is shed immediately with [E-OVERLOAD] plus a ["retry_after_ms"]
+    hint; once draining, new requests answer [E-SHUTDOWN]. A request
+    that crashes its worker domain answers [E-INTERNAL] while the pool
+    respawns the worker within its restart budget.
+
     Within one request, analysis and exploration run sequentially
     ([num_domains = 0] is passed to the DSE engine): concurrency lives
     at the request level, which keeps the pool from nesting. *)
@@ -25,39 +35,92 @@ type t
 val default_cache_capacity : int
 (** 256 entries per artifact cache. *)
 
+val default_max_inflight : int
+(** 128 requests admitted to compute at once. *)
+
+val default_max_line_bytes : int
+(** 1 MiB per request line. *)
+
+val default_drain_timeout_ms : int
+(** 5000 ms for connections to wind down after shutdown. *)
+
 val steps_per_ms : int
 (** Conservative interpreter throughput used to map a request's
     ["deadline_ms"] onto a profiling fuel budget
     ([max_steps = deadline_ms × steps_per_ms], floored at 1000). *)
 
-val create : ?num_domains:int -> ?cache_capacity:int -> unit -> t
+exception Injected_fault
+(** Raised by the ["panic"] request kind when the server was created
+    with [~chaos:true] — deliberately past every handler guard, so the
+    worker domain executing the request dies and the supervision path
+    (Diag-bearing failure response, bounded respawn) is exercised. *)
+
+val create :
+  ?num_domains:int ->
+  ?cache_capacity:int ->
+  ?max_inflight:int ->
+  ?max_line_bytes:int ->
+  ?drain_timeout_ms:int ->
+  ?restart_budget:int ->
+  ?chaos:bool ->
+  unit ->
+  t
 (** [num_domains] sizes the request pool ([0] = handle requests on the
     serving domain; default {!Flexcl_util.Pool.default_num_domains}).
-    Raises [Invalid_argument] on negative arguments. *)
+    [max_inflight] is the admission high-water mark, [max_line_bytes]
+    the framing bound (≥ 64), [drain_timeout_ms] how long
+    {!serve_unix_socket} waits for connections after shutdown before
+    severing them, [restart_budget] the worker-respawn allowance
+    (default {!Flexcl_util.Pool.default_restart_budget}), and [chaos]
+    enables the fault-injection ["panic"] kind (tests only). Raises
+    [Invalid_argument] on out-of-range arguments. *)
 
 val num_domains : t -> int
 
-val handle_value : t -> Json.t -> Json.t
-(** Decode-dispatch-respond for one already-parsed request. Total. *)
+val request_shutdown : t -> unit
+(** Begin draining: serve loops stop accepting new work (rejecting it
+    with [E-SHUTDOWN]), finish what was admitted, and return. Also
+    triggered by the ["shutdown"] request kind and, in the CLI, by
+    SIGTERM/SIGINT. Idempotent. *)
 
-val handle_line : t -> string -> string
-(** One NDJSON request line to one response line (no trailing newline).
+val draining : t -> bool
+
+val inflight : t -> int
+(** Requests currently admitted to compute and not yet answered. *)
+
+val handle_value : ?arrival:float -> t -> Json.t -> Json.t
+(** Decode-dispatch-respond for one already-parsed request. Total —
+    except that with [~chaos:true] a ["panic"] request raises
+    {!Injected_fault}. [arrival] (default now,
+    [Unix.gettimeofday]-clock) anchors the wall-clock ["deadline_ms"]
+    check performed before compute starts. *)
+
+val handle_line : ?arrival:float -> t -> string -> string
+(** One NDJSON request line to one response line (no trailing newline),
+    through the full admission path: drain rejection, deadline check,
+    admission (released before returning), then {!handle_value}.
     Total: malformed JSON gets an [E-USAGE] error response. *)
 
 val stats_json : t -> Json.t
-(** The [stats] result object: request counters, per-kind latency
-    summaries (µs), per-cache hit/miss/eviction counts and hit rates. *)
+(** The [stats] result object: request counters (including [shed],
+    [deadline_expired], [worker_restarts] and [requests.crashed]),
+    gauges ([uptime_ms], [inflight]), per-kind latency summaries (µs),
+    per-cache hit/miss/eviction counts and hit rates. *)
 
 val serve_fd : t -> ?max_batch:int -> Unix.file_descr -> out_channel -> unit
-(** Serve until EOF on [fd]. Blank lines are skipped. [max_batch]
-    bounds how many buffered requests are drained into one concurrent
-    batch (default [4 × (num_domains + 1)]). Responses are flushed
-    after every batch. *)
+(** Serve until EOF on [fd] or shutdown. Blank lines are skipped.
+    [max_batch] bounds how many buffered requests are drained into one
+    concurrent batch (default [4 × (num_domains + 1)]). Responses are
+    flushed after every batch. *)
 
-val serve_unix_socket : t -> string -> unit
+val serve_unix_socket : ?backlog:int -> t -> string -> unit
 (** Bind a Unix-domain socket at the path (replacing any stale socket
-    file) and serve accepted connections one at a time, each to EOF.
-    Never returns normally. *)
+    file, with [SO_REUSEADDR] set) and serve every accepted connection
+    on its own thread against one shared supervised pool. Returns after
+    {!request_shutdown}: the listener closes, the socket file is
+    unlinked, in-flight requests finish, buffered requests answer
+    [E-SHUTDOWN], and connections still open after [drain_timeout_ms]
+    are severed. A bind failure raises before any worker is spawned. *)
 
 val launch_for_kernel :
   Flexcl_opencl.Ast.kernel ->

@@ -15,6 +15,10 @@ type code =
   | Profile_budget_exceeded
   | Model_error
   | Empty_design_space
+  | Frame_error
+  | Deadline_expired
+  | Overloaded
+  | Shutting_down
   | Internal_error
 
 type span = { line : int; col : int }
@@ -42,6 +46,10 @@ let code_name = function
   | Profile_budget_exceeded -> "E-FUEL"
   | Model_error -> "E-MODEL"
   | Empty_design_space -> "E-SPACE"
+  | Frame_error -> "E-FRAME"
+  | Deadline_expired -> "E-DEADLINE"
+  | Overloaded -> "E-OVERLOAD"
+  | Shutting_down -> "E-SHUTDOWN"
   | Internal_error -> "E-INTERNAL"
 
 let severity_name = function

@@ -29,6 +29,10 @@ type code =
   | Profile_budget_exceeded  (** interpreter fuel exhausted (likely hang). *)
   | Model_error              (** analytical model failure. *)
   | Empty_design_space       (** no feasible design point. *)
+  | Frame_error              (** oversized or truncated wire frame. *)
+  | Deadline_expired         (** request's wall-clock budget ran out. *)
+  | Overloaded               (** shed at admission: too many in flight. *)
+  | Shutting_down            (** rejected because the server is draining. *)
   | Internal_error           (** invariant violation — a bug, not an input. *)
 
 type span = { line : int; col : int }

@@ -11,6 +11,7 @@ type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
 }
 
 let create () =
@@ -18,6 +19,7 @@ let create () =
     mutex = Mutex.create ();
     counters = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -90,10 +92,18 @@ let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let counter t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0)
+
+let set_gauge t key v = locked t (fun () -> Hashtbl.replace t.gauges key v)
+
 let counters t = locked t (fun () -> sorted_bindings t.counters ( ! ))
 let summaries t = locked t (fun () -> sorted_bindings t.histograms summarize)
+let gauges t = locked t (fun () -> sorted_bindings t.gauges Fun.id)
 
 let reset t =
   locked t (fun () ->
       Hashtbl.reset t.counters;
-      Hashtbl.reset t.histograms)
+      Hashtbl.reset t.histograms;
+      Hashtbl.reset t.gauges)

@@ -32,10 +32,20 @@ type summary = {
   p99 : float;      (** bucket upper bounds — conservative quantiles. *)
 }
 
+val counter : t -> string -> int
+(** Read one counter (0 if never bumped). *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a point-in-time value (e.g. [uptime_ms], queue depth); unlike a
+    counter it is overwritten, not accumulated. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by key. *)
 
 val summaries : t -> (string * summary) list
 (** All histograms, sorted by key. *)
+
+val gauges : t -> (string * float) list
+(** All gauges, sorted by key. *)
 
 val reset : t -> unit

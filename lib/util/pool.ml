@@ -1,15 +1,31 @@
+(* Queue elements pair the work with a crash continuation so that a task
+   whose exception escapes the worker still completes its batch
+   bookkeeping before the domain dies: batches are total even under
+   worker panics. *)
+type task = { work : unit -> unit; on_crash : exn -> unit }
+
 type t = {
   n : int;
   mutex : Mutex.t;
   work : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
+  restart_budget : int;
+  on_restart : (exn -> unit) option;
+  mutable restarts : int;
   mutable live : bool;
   mutable domains : unit Domain.t list;
 }
 
 let default_num_domains () = max 0 (Domain.recommended_domain_count () - 1)
+let default_restart_budget = 64
 
-let worker t () =
+(* A worker pulls tasks until shutdown. A task exception is let escape
+   (after running [on_crash]) so the domain genuinely dies — and the
+   handler around the loop is the supervisor: it spawns a replacement
+   domain, bounded by the restart budget. With the budget spent the pool
+   degrades to fewer workers (possibly zero); {!run}/{!run_results} stay
+   total because the submitting domain always helps drain the queue. *)
+let rec worker t () =
   let rec loop () =
     Mutex.lock t.mutex;
     let rec next () =
@@ -29,25 +45,53 @@ let worker t () =
     in
     match next () with
     | Some task ->
-        task ();
+        (match task.work () with
+        | () -> ()
+        | exception exn ->
+            (* complete the in-flight task as a failure first, so the
+               batch that owns it can never hang on a dead worker *)
+            (try task.on_crash exn with _ -> ());
+            raise exn);
         loop ()
     | None -> ()
   in
-  loop ()
+  try loop () with
+  | exn ->
+      Mutex.lock t.mutex;
+      let respawn = t.live && t.restarts < t.restart_budget in
+      if respawn then begin
+        t.restarts <- t.restarts + 1;
+        (* terminated domains release their runtime slot on exit, so the
+           replacement never races the dying domain for it; every handle
+           stays in [domains] and is joined at shutdown *)
+        let d = Domain.spawn (worker t) in
+        t.domains <- d :: t.domains
+      end;
+      Mutex.unlock t.mutex;
+      if respawn then
+        match t.on_restart with
+        | Some f -> ( try f exn with _ -> ())
+        | None -> ()
 
-let create ?num_domains () =
+let create ?num_domains ?(restart_budget = default_restart_budget)
+    ?on_restart () =
   let n =
     match num_domains with
     | None -> default_num_domains ()
     | Some n when n >= 0 -> n
     | Some n -> invalid_arg (Printf.sprintf "Pool.create: num_domains %d < 0" n)
   in
+  if restart_budget < 0 then
+    invalid_arg "Pool.create: restart_budget must be >= 0";
   let t =
     {
       n;
       mutex = Mutex.create ();
       work = Condition.create ();
       queue = Queue.create ();
+      restart_budget;
+      on_restart;
+      restarts = 0;
       live = true;
       domains = [];
     }
@@ -56,58 +100,87 @@ let create ?num_domains () =
   t
 
 let num_domains t = t.n
+let restarts t = t.restarts
+
+let enqueue t tasks =
+  Mutex.lock t.mutex;
+  List.iter (fun task -> Queue.add task t.queue) tasks;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex
+
+(* The submitter steals work too: with zero (live) workers this loop
+   runs the whole batch sequentially, in submission order. Unlike a
+   worker, the submitter must survive a panicking task — its thread owns
+   a connection or a sweep — so it routes the exception through
+   [on_crash] instead of dying. *)
+let help t =
+  let rec go () =
+    Mutex.lock t.mutex;
+    let task = Queue.take_opt t.queue in
+    Mutex.unlock t.mutex;
+    match task with
+    | Some task ->
+        (try task.work () with
+        | exn -> ( try task.on_crash exn with _ -> ()));
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* Shared batch skeleton: run [n] task records built by [make_task],
+   wait until every slot has reported completion exactly once. *)
+let batch t n make_task =
+  let batch_mutex = Mutex.create () in
+  let batch_done = Condition.create () in
+  let remaining = ref n in
+  let complete () =
+    Mutex.lock batch_mutex;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock batch_mutex
+  in
+  enqueue t (List.init n (fun i -> make_task i ~complete ~batch_mutex));
+  help t;
+  Mutex.lock batch_mutex;
+  while !remaining > 0 do
+    Condition.wait batch_done batch_mutex
+  done;
+  Mutex.unlock batch_mutex
 
 (* Tasks never raise: [run] wraps each thunk so failures are recorded in
-   the batch state instead of killing a worker. *)
+   the batch state instead of killing a worker — the cheap path for
+   sweeps, where a failing design point is data, not a panic. *)
 let run t thunks =
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   if n = 0 then []
   else begin
     let results = Array.make n None in
-    let batch_mutex = Mutex.create () in
-    let batch_done = Condition.create () in
-    let remaining = ref n in
     let failure = ref None (* (index, exn, backtrace) of the earliest failure *) in
-    let task i () =
-      (match thunks.(i) () with
-      | v -> results.(i) <- Some v
-      | exception exn ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock batch_mutex;
-          (match !failure with
-          | Some (j, _, _) when j < i -> ()
-          | _ -> failure := Some (i, exn, bt));
-          Mutex.unlock batch_mutex);
-      Mutex.lock batch_mutex;
-      decr remaining;
-      if !remaining = 0 then Condition.broadcast batch_done;
-      Mutex.unlock batch_mutex
+    let make_task i ~complete ~batch_mutex =
+      let record_failure exn bt =
+        Mutex.lock batch_mutex;
+        (match !failure with
+        | Some (j, _, _) when j < i -> ()
+        | _ -> failure := Some (i, exn, bt));
+        Mutex.unlock batch_mutex
+      in
+      {
+        work =
+          (fun () ->
+            (match thunks.(i) () with
+            | v -> results.(i) <- Some v
+            | exception exn ->
+                record_failure exn (Printexc.get_raw_backtrace ()));
+            complete ());
+        (* only reachable if the bookkeeping above itself raised *)
+        on_crash =
+          (fun exn ->
+            record_failure exn (Printexc.get_raw_backtrace ());
+            complete ());
+      }
     in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (task i) t.queue
-    done;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
-    (* the submitter steals work too: with zero workers this loop runs the
-       whole batch sequentially, in submission order *)
-    let rec help () =
-      Mutex.lock t.mutex;
-      let task = Queue.take_opt t.queue in
-      Mutex.unlock t.mutex;
-      match task with
-      | Some task ->
-          task ();
-          help ()
-      | None -> ()
-    in
-    help ();
-    Mutex.lock batch_mutex;
-    while !remaining > 0 do
-      Condition.wait batch_done batch_mutex
-    done;
-    Mutex.unlock batch_mutex;
+    batch t n make_task;
     match !failure with
     | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
     | None ->
@@ -119,15 +192,46 @@ let run t thunks =
              results)
   end
 
+(* Supervised variant: a thunk exception escapes into the worker (which
+   dies and is respawned within the restart budget) and surfaces as an
+   [Error] slot instead of poisoning the whole batch. *)
+let run_results t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let make_task i ~complete ~batch_mutex:_ =
+      {
+        work =
+          (fun () ->
+            let v = thunks.(i) () in
+            results.(i) <- Some (Ok v);
+            complete ());
+        on_crash =
+          (fun exn ->
+            results.(i) <- Some (Error exn);
+            complete ());
+      }
+    in
+    batch t n make_task;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* work or on_crash filled every slot *))
+         results)
+  end
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.live <- false;
   Condition.broadcast t.work;
-  Mutex.unlock t.mutex;
   let ds = t.domains in
   t.domains <- [];
+  Mutex.unlock t.mutex;
   List.iter Domain.join ds
 
-let with_pool ?num_domains f =
-  let t = create ?num_domains () in
+let with_pool ?num_domains ?restart_budget ?on_restart f =
+  let t = create ?num_domains ?restart_budget ?on_restart () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,16 +1,26 @@
-(** Work-stealing domain pool.
+(** Work-stealing domain pool with worker supervision.
 
     A pool owns [num_domains] worker domains that pull tasks from a shared
     queue (self-scheduling: whichever worker is free steals the next
-    task). {!run} additionally makes the {e submitting} domain participate
-    — it drains tasks alongside the workers instead of blocking — so a
-    pool with [num_domains = 0] degrades to a plain sequential loop on the
-    caller's domain, with no spawning and tasks executed in submission
-    order. That sequential fallback is what the differential tests pin the
-    parallel engine against.
+    task). {!run} and {!run_results} additionally make the {e submitting}
+    domain participate — it drains tasks alongside the workers instead of
+    blocking — so a pool with [num_domains = 0] degrades to a plain
+    sequential loop on the caller's domain, with no spawning and tasks
+    executed in submission order. That sequential fallback is what the
+    differential tests pin the parallel engine against.
+
+    {b Supervision.} A task submitted through {!run_results} that raises
+    kills its worker domain — exactly what an escaped exception does in
+    production. The pool converts the in-flight task into an [Error]
+    result (the batch never hangs on a dead worker), then respawns a
+    replacement domain, bounded by [restart_budget]; past the budget the
+    pool degrades to fewer workers, and batches stay total because the
+    submitter always helps drain the queue. [on_restart] observes each
+    respawn (the serve layer counts them as [worker_restarts]).
 
     Tasks must not themselves call {!run} on the same pool (no nesting),
-    and anything they share must be domain-safe. *)
+    and anything they share must be domain-safe. Distinct batches may run
+    concurrently on one pool from different submitting threads. *)
 
 type t
 
@@ -18,22 +28,47 @@ val default_num_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1] (the submitter counts as one
     executor), never negative. *)
 
-val create : ?num_domains:int -> unit -> t
+val default_restart_budget : int
+(** 64 respawns over the pool's lifetime. *)
+
+val create :
+  ?num_domains:int ->
+  ?restart_budget:int ->
+  ?on_restart:(exn -> unit) ->
+  unit ->
+  t
 (** Spawn the workers. [num_domains] defaults to
-    {!default_num_domains}[ ()]; [0] spawns nothing. Raises
-    [Invalid_argument] if negative. *)
+    {!default_num_domains}[ ()]; [0] spawns nothing. [on_restart] runs
+    (on the dying domain) after each supervised respawn with the
+    exception that killed the worker. Raises [Invalid_argument] on
+    negative arguments. *)
 
 val num_domains : t -> int
+
+val restarts : t -> int
+(** Worker domains respawned so far (never exceeds the budget). *)
 
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run t thunks] executes every thunk (workers + the calling domain) and
     returns their results in submission order. If any thunk raises, the
     batch still runs to completion, then the exception of the
-    lowest-indexed failing thunk is re-raised with its backtrace. *)
+    lowest-indexed failing thunk is re-raised with its backtrace. Thunk
+    exceptions are contained — they never kill a worker. *)
+
+val run_results : t -> (unit -> 'a) list -> ('a, exn) result list
+(** Supervised batch: results in submission order, a raising thunk
+    becomes [Error exn] in its slot (and costs a worker respawn when the
+    thunk ran on a worker domain rather than the submitter). Never
+    raises, never hangs. *)
 
 val shutdown : t -> unit
 (** Stop accepting work and join the workers. Idempotent. Pending tasks
-    from an in-flight {!run} are completed by the submitter. *)
+    from an in-flight batch are completed by the submitter. *)
 
-val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?num_domains:int ->
+  ?restart_budget:int ->
+  ?on_restart:(exn -> unit) ->
+  (t -> 'a) ->
+  'a
 (** [create], apply, then [shutdown] (also on exception). *)

@@ -1,0 +1,546 @@
+(* Chaos harness for the serve subsystem (ISSUE 6e; run via `make chaos`
+   under a hard `timeout`, outside the tier-1 suite).
+
+   Seeded trials mix malformed frames, oversized lines, mid-request
+   disconnects, deadline storms, overload bursts and injected worker
+   panics, against both the in-process entry points and a real
+   Unix-domain socket server with worker domains. Invariants:
+
+   - the server never hangs (every client read is timeout-bounded, and
+     the whole binary runs under `timeout`);
+   - the server never crashes (later phases keep talking to the same
+     process; the binary itself exiting 0 is the proof);
+   - every complete request line gets exactly one well-formed response:
+     ok:true, or ok:false with a structured E-* code — a documented
+     refusal (E-FRAME / E-DEADLINE / E-OVERLOAD / E-SHUTDOWN /
+     E-INTERNAL), per DESIGN.md §12. *)
+
+module Json = Flexcl_util.Json
+module Prng = Flexcl_util.Prng
+module Pool = Flexcl_util.Pool
+module Server = Flexcl_server.Server
+
+let trials = ref 0
+let failures = ref 0
+let bump = ref (fun n -> trials := !trials + n)
+let trial ?(n = 1) () = !bump n
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      prerr_endline ("CHAOS FAIL: " ^ s))
+    fmt
+
+(* thread-safe counters once the socket phases start *)
+let counter_mutex = Mutex.create ()
+
+let () =
+  bump :=
+    fun n ->
+      Mutex.lock counter_mutex;
+      trials := !trials + n;
+      Mutex.unlock counter_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Response discipline *)
+
+let response_code line =
+  (* Some code for a refusal, None for ok:true; fails the run on
+     anything that is not a well-formed response *)
+  match Json.of_string line with
+  | Error e ->
+      fail "unparsable response %S (%s)" line e;
+      Some "unparsable"
+  | Ok v -> (
+      match Option.bind (Json.member "ok" v) Json.to_bool with
+      | Some true -> None
+      | Some false -> (
+          match Json.member "errors" v with
+          | Some (Json.Arr (e :: _)) -> (
+              match Option.bind (Json.member "code" e) Json.to_str with
+              | Some c when String.length c > 2 && String.sub c 0 2 = "E-" ->
+                  Some c
+              | _ ->
+                  fail "refusal without E-* code: %s" line;
+                  Some "missing-code")
+          | _ ->
+              fail "ok:false without errors: %s" line;
+              Some "missing-errors")
+      | None ->
+          fail "response without \"ok\": %s" line;
+          Some "missing-ok")
+
+let expect_ok line =
+  match response_code line with
+  | None -> ()
+  | Some c -> fail "expected ok:true, got %s: %s" c line
+
+let expect_code want line =
+  match response_code line with
+  | Some c when c = want -> ()
+  | Some c -> fail "expected %s, got %s: %s" want c line
+  | None -> fail "expected %s, got ok:true: %s" want line
+
+let expect_any line = ignore (response_code line)
+
+(* ------------------------------------------------------------------ *)
+(* Request material *)
+
+let valid_requests =
+  [|
+    {|{"id":1,"kind":"predict","workload":"nn/nn","device":"v7"}|};
+    {|{"id":2,"kind":"parse","workload":"hotspot/hotspot"}|};
+    {|{"id":3,"kind":"analyze","workload":"nn/nn","pe":2}|};
+    {|{"id":4,"kind":"stats"}|};
+    {|{"id":5,"kind":"predict","workload":"hotspot/hotspot","pe":4}|};
+  |]
+
+let panic_request = {|{"id":66,"kind":"panic"}|}
+
+let deadline_request =
+  {|{"id":9,"kind":"predict","workload":"nn/nn","pe":2,"cu":2,"deadline_ms":0.01}|}
+
+(* printable garbage, newline-free so it stays one frame *)
+let garbage rng =
+  String.init
+    (1 + Prng.int rng 60)
+    (fun _ ->
+      match Char.chr (32 + Prng.int rng 95) with '\n' -> '?' | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: in-process storm against handle_line (sequential server) *)
+
+let phase_inprocess rng =
+  let srv = Server.create ~num_domains:0 ~cache_capacity:32 () in
+  for _ = 1 to 256 do
+    trial ();
+    match Prng.int rng 4 with
+    | 0 -> expect_ok (Server.handle_line srv (Prng.choose rng valid_requests))
+    | 1 -> expect_code "E-USAGE" (Server.handle_line srv (garbage rng))
+    | 2 ->
+        (* deadline storm: arrival firmly in the past *)
+        let past = Unix.gettimeofday () -. (1.0 +. Prng.float rng 10.0) in
+        expect_code "E-DEADLINE"
+          (Server.handle_line ~arrival:past srv
+             {|{"id":7,"kind":"analyze","workload":"nn/nn","deadline_ms":250}|})
+    | _ ->
+        expect_code "E-USAGE"
+          (Server.handle_line srv {|{"id":8,"kind":"warp"}|})
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: framing storm through serve_fd on a bounded reader *)
+
+let serve_raw srv raw =
+  let r, w = Unix.pipe () in
+  let wc = Unix.out_channel_of_descr w in
+  output_string wc raw;
+  close_out wc;
+  let tmp = Filename.temp_file "flexcl_chaos" ".ndjson" in
+  let out = open_out tmp in
+  Server.serve_fd srv r out;
+  close_out out;
+  Unix.close r;
+  let ic = open_in tmp in
+  let got = ref [] in
+  (try
+     while true do
+       got := input_line ic :: !got
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  List.rev !got
+
+type piece = {
+  bytes : string;
+  expect : [ `Ok | `Code of string | `One_of of string list | `Nothing ];
+}
+
+let frame_piece rng ~max_line =
+  match Prng.int rng 6 with
+  | 0 | 1 -> { bytes = Prng.choose rng valid_requests ^ "\n"; expect = `Ok }
+  | 2 -> { bytes = garbage rng ^ "\n"; expect = `Code "E-USAGE" }
+  | 3 -> { bytes = "\n"; expect = `Nothing }
+  | 4 ->
+      (* oversized: blows the frame bound by a seeded margin *)
+      let pad = String.make (max_line + 1 + Prng.int rng 200) 'x' in
+      {
+        bytes = {|{"id":1,"kind":"predict","pad":"|} ^ pad ^ "\"}\n";
+        expect = `Code "E-FRAME";
+      }
+  | _ ->
+      {
+        bytes = deadline_request ^ "\n";
+        (* tiny budget: expired, out of fuel, or served from a warm
+           cache before the clock ticks — all documented outcomes *)
+        expect = `One_of [ "E-DEADLINE"; "E-FUEL"; "OK" ];
+      }
+
+let check_piece piece line =
+  match piece.expect with
+  | `Ok -> expect_ok line
+  | `Code c -> expect_code c line
+  | `One_of alts -> (
+      match response_code line with
+      | None when List.mem "OK" alts -> ()
+      | Some c when List.mem c alts -> ()
+      | None -> fail "expected one of %s, got ok" (String.concat "/" alts)
+      | Some c ->
+          fail "expected one of %s, got %s" (String.concat "/" alts) c)
+  | `Nothing -> fail "blank line produced a response: %s" line
+
+let phase_frames rng =
+  let max_line = 256 in
+  let srv =
+    Server.create ~num_domains:0 ~max_line_bytes:max_line ~cache_capacity:32
+      ()
+  in
+  for _ = 1 to 64 do
+    let pieces =
+      List.init (3 + Prng.int rng 5) (fun _ -> frame_piece rng ~max_line)
+    in
+    (* half the streams die mid-line: the tail earns one E-FRAME *)
+    let truncated = Prng.bool rng in
+    let raw =
+      String.concat "" (List.map (fun p -> p.bytes) pieces)
+      ^ if truncated then {|{"id":9,"kind":"sta|} else ""
+    in
+    let expecting =
+      List.filter (fun p -> p.expect <> `Nothing) pieces
+      @
+      if truncated then [ { bytes = ""; expect = `Code "E-FRAME" } ] else []
+    in
+    trial ~n:(List.length expecting) ();
+    let got = serve_raw srv raw in
+    if List.length got <> List.length expecting then
+      fail "stream of %d frames answered %d responses"
+        (List.length expecting) (List.length got)
+    else List.iter2 check_piece expecting got
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: pool supervision, deterministically.
+
+   Two tasks rendezvous (so they occupy both executors of a 1-worker
+   pool — one IS the worker) and then both raise: exactly one panic
+   lands on the worker domain, which must die, be respawned within the
+   budget, and still leave both batch slots filled with [Error]. *)
+
+exception Boom
+
+let phase_pool_supervision () =
+  trial ();
+  (* atomic, and polled: the respawn happens on the dying domain after
+     the batch has already completed, so it races a naive read *)
+  let restarts = Atomic.make 0 in
+  Pool.with_pool ~num_domains:1 ~restart_budget:4
+    ~on_restart:(fun _ -> Atomic.incr restarts)
+    (fun pool ->
+      let m = Mutex.create () in
+      let cv = Condition.create () in
+      let here = ref 0 in
+      let rendezvous () =
+        Mutex.lock m;
+        incr here;
+        if !here >= 2 then Condition.broadcast cv
+        else
+          while !here < 2 do
+            Condition.wait cv m
+          done;
+        Mutex.unlock m
+      in
+      let boom () =
+        rendezvous ();
+        raise Boom
+      in
+      (match Pool.run_results pool [ boom; boom ] with
+      | [ Error Boom; Error Boom ] -> ()
+      | _ -> fail "supervised batch did not report both panics");
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get restarts < 1 && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      if Atomic.get restarts <> 1 then
+        fail "expected exactly one worker respawn, saw %d"
+          (Atomic.get restarts);
+      (* the respawned worker still executes work *)
+      match Pool.run_results pool [ (fun () -> 17) ] with
+      | [ Ok 17 ] -> ()
+      | _ -> fail "pool dead after respawn")
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: socket storm — concurrent clients, overload bursts, worker
+   panics, mid-request disconnects, all against one chaos server. *)
+
+let sock_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "flexcl_chaos_%d.sock" (Unix.getpid ()))
+
+let connect_retry () =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+    | () -> Some fd
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n = 0 then None
+        else begin
+          Thread.delay 0.05;
+          go (n - 1)
+        end
+  in
+  go 100
+
+(* bounded line reader: a missing response within 10s is a hang *)
+let read_line_bounded fd buf =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt !buf '\n' with
+    | Some i ->
+        let line = String.sub !buf 0 i in
+        buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+        Some line
+    | None ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then None
+        else
+          let readable =
+            try
+              let r, _, _ = Unix.select [ fd ] [] [] (Float.min left 0.5) in
+              r <> []
+            with Unix.Unix_error (Unix.EINTR, _, _) -> false
+          in
+          if not readable then go ()
+          else
+            let n =
+              try Unix.read fd chunk 0 (Bytes.length chunk)
+              with Unix.Unix_error _ -> 0
+            in
+            if n = 0 then None
+            else begin
+              buf := !buf ^ Bytes.sub_string chunk 0 n;
+              go ()
+            end
+  in
+  go ()
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  try
+    go 0;
+    true
+  with Unix.Unix_error _ -> false
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* one connection-worth of seeded chaos; returns trials performed *)
+let socket_connection rng =
+  match connect_retry () with
+  | None ->
+      fail "could not connect to chaos server";
+      0
+  | Some fd -> (
+      let finish_reading sent =
+        let buf = ref "" in
+        let missing = ref 0 in
+        for _ = 1 to sent do
+          match read_line_bounded fd buf with
+          | Some line -> expect_any line
+          | None -> incr missing
+        done;
+        if !missing > 0 then
+          fail "%d of %d responses never arrived" !missing sent;
+        close_quiet fd;
+        sent
+      in
+      match Prng.int rng 6 with
+      | 0 ->
+          (* plain request/response conversation *)
+          let n = 1 + Prng.int rng 3 in
+          let lines =
+            List.init n (fun _ -> Prng.choose rng valid_requests ^ "\n")
+          in
+          if send_all fd (String.concat "" lines) then finish_reading n
+          else begin
+            close_quiet fd;
+            n
+          end
+      | 1 ->
+          (* overload burst: more simultaneous work than admission slots *)
+          let n = 6 + Prng.int rng 6 in
+          let lines =
+            List.init n (fun _ -> Prng.choose rng valid_requests ^ "\n")
+          in
+          if send_all fd (String.concat "" lines) then finish_reading n
+          else begin
+            close_quiet fd;
+            n
+          end
+      | 2 ->
+          (* worker panic mixed into real traffic *)
+          let lines =
+            [
+              Prng.choose rng valid_requests ^ "\n";
+              panic_request ^ "\n";
+              Prng.choose rng valid_requests ^ "\n";
+            ]
+          in
+          if send_all fd (String.concat "" lines) then finish_reading 3
+          else begin
+            close_quiet fd;
+            3
+          end
+      | 3 ->
+          (* frame chaos on the wire *)
+          let lines =
+            [
+              garbage rng ^ "\n";
+              String.make 700 'z' ^ "\n";
+              deadline_request ^ "\n";
+            ]
+          in
+          if send_all fd (String.concat "" lines) then finish_reading 3
+          else begin
+            close_quiet fd;
+            3
+          end
+      | 4 ->
+          (* mid-request disconnect: half a frame, then vanish *)
+          ignore (send_all fd {|{"id":1,"kind":"predict","workl|});
+          close_quiet fd;
+          1
+      | _ ->
+          (* fire-and-forget: full requests, never reads, disconnects *)
+          let n = 1 + Prng.int rng 3 in
+          let lines =
+            List.init n (fun _ -> Prng.choose rng valid_requests ^ "\n")
+          in
+          ignore (send_all fd (String.concat "" lines));
+          close_quiet fd;
+          n)
+
+let phase_socket seed srv =
+  let n_threads = 6 and conns_per_thread = 24 in
+  let threads =
+    List.init n_threads (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Prng.create (seed + (1000 * (i + 1))) in
+            for _ = 1 to conns_per_thread do
+              trial ~n:(socket_connection rng) ()
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  (* the server survived: a fresh connection still answers *)
+  match connect_retry () with
+  | None -> fail "server unreachable after the storm"
+  | Some fd ->
+      if send_all fd "{\"id\":1,\"kind\":\"stats\"}\n" then begin
+        (match read_line_bounded fd (ref "") with
+        | Some line -> expect_ok line
+        | None -> fail "no stats response after the storm");
+        trial ()
+      end;
+      close_quiet fd;
+      (* supervision stayed within budget *)
+      (match Json.of_string (Json.to_string (Server.stats_json srv)) with
+      | Ok v -> (
+          match
+            Option.bind
+              (Option.bind (Json.member "counters" v)
+                 (Json.member "worker_restarts"))
+              Json.to_int
+          with
+          | Some r when r > Pool.default_restart_budget ->
+              fail "worker_restarts %d exceeded the budget" r
+          | _ -> ())
+      | Error _ -> fail "stats_json did not round-trip")
+
+(* ------------------------------------------------------------------ *)
+(* Phase 5: graceful shutdown under load *)
+
+let phase_shutdown srv_thread =
+  let hammers =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Prng.create (0xD0 + i) in
+            let rec go n =
+              if n > 0 then
+                match connect_retry () with
+                | None -> () (* listener already gone: acceptable *)
+                | Some fd ->
+                    let req = Prng.choose rng valid_requests ^ "\n" in
+                    if send_all fd req then begin
+                      (match read_line_bounded fd (ref "") with
+                      | Some line ->
+                          (* ok, a shed, or E-SHUTDOWN — all documented *)
+                          expect_any line;
+                          trial ()
+                      | None -> () (* connection severed by drain *));
+                      close_quiet fd;
+                      go (n - 1)
+                    end
+                    else begin
+                      close_quiet fd;
+                      go (n - 1)
+                    end
+            in
+            go 20)
+          ())
+  in
+  Thread.delay 0.05;
+  (match connect_retry () with
+  | None -> fail "could not connect to request shutdown"
+  | Some fd ->
+      trial ();
+      if send_all fd "{\"id\":1,\"kind\":\"shutdown\"}\n" then (
+        match read_line_bounded fd (ref "") with
+        | Some line -> expect_ok line
+        | None -> fail "shutdown request got no acknowledgement");
+      close_quiet fd);
+  List.iter Thread.join hammers;
+  (* the accept loop must return: a hang here trips the outer timeout *)
+  Thread.join srv_thread;
+  if Sys.file_exists sock_path then
+    fail "socket file not unlinked after drain"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let seed =
+    match Sys.getenv_opt "CHAOS_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 0xC4A05)
+    | None -> 0xC4A05
+  in
+  Printf.printf "chaos: seed %#x\n%!" seed;
+  phase_inprocess (Prng.create seed);
+  phase_frames (Prng.create (seed + 1));
+  phase_pool_supervision ();
+  (* the long-lived chaos server: worker domains, tight admission, small
+     frames, panic endpoint armed *)
+  let srv =
+    Server.create ~num_domains:2 ~max_inflight:2 ~max_line_bytes:512
+      ~cache_capacity:32 ~drain_timeout_ms:2000 ~chaos:true ()
+  in
+  let srv_thread =
+    Thread.create (fun () -> Server.serve_unix_socket srv sock_path) ()
+  in
+  phase_socket (seed + 2) srv;
+  phase_shutdown srv_thread;
+  Printf.printf "chaos: %d trials, %d failures\n%!" !trials !failures;
+  if !trials < 500 then begin
+    prerr_endline "CHAOS FAIL: fewer than 500 trials ran";
+    exit 1
+  end;
+  exit (if !failures = 0 then 0 else 1)

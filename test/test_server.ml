@@ -266,7 +266,7 @@ let protocol_goldens : (string * string * string) list =
     );
     ( "unknown kind",
       {|{"id":6,"kind":"frobnicate"}|},
-      {|{"id":6,"ok":false,"kind":"frobnicate","errors":[{"code":"E-USAGE","severity":"error","message":"unknown request kind \"frobnicate\" (parse | analyze | predict | explore | stats)"}]}|}
+      {|{"id":6,"ok":false,"kind":"frobnicate","errors":[{"code":"E-USAGE","severity":"error","message":"unknown request kind \"frobnicate\" (parse | analyze | predict | explore | stats | shutdown)"}]}|}
     );
     ( "missing source",
       {|{"id":7,"kind":"predict"}|},
@@ -562,6 +562,241 @@ let test_serve_fd_batch () =
     (List.combine expected got)
 
 (* ------------------------------------------------------------------ *)
+(* Failure semantics: framing, deadlines, admission, drain. Each test
+   pins one taxon of DESIGN.md §12 deterministically; the probabilistic
+   mix lives in the chaos harness (test_chaos.ml, `make chaos`). *)
+
+(* run one raw byte stream through serve_fd, collect response lines *)
+let serve_raw ?max_batch srv raw =
+  let r, w = Unix.pipe () in
+  let wc = Unix.out_channel_of_descr w in
+  output_string wc raw;
+  close_out wc;
+  let tmp = Filename.temp_file "flexcl_serve" ".ndjson" in
+  let out = open_out tmp in
+  Server.serve_fd srv ?max_batch r out;
+  close_out out;
+  Unix.close r;
+  let ic = open_in tmp in
+  let got = ref [] in
+  (try
+     while true do
+       got := input_line ic :: !got
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove tmp;
+  List.rev !got
+
+let first_code line =
+  match Json.of_string line with
+  | Error e -> Alcotest.failf "unparsable response %S (%s)" line e
+  | Ok v -> (
+      match Json.member "errors" v with
+      | Some (Json.Arr (e :: _)) -> (
+          match Option.bind (Json.member "code" e) Json.to_str with
+          | Some c -> c
+          | None -> Alcotest.failf "error without code: %s" line)
+      | _ -> Alcotest.failf "response has no errors array: %s" line)
+
+let response_ok line =
+  match Json.of_string line with
+  | Ok v -> Option.bind (Json.member "ok" v) Json.to_bool = Some true
+  | Error _ -> false
+
+let test_frame_errors () =
+  let srv = Server.create ~num_domains:0 ~max_line_bytes:128 () in
+  let oversized =
+    {|{"id":1,"kind":"predict","pad":"|} ^ String.make 300 'x' ^ {|"}|}
+  in
+  let raw =
+    String.concat ""
+      [
+        oversized ^ "\n";
+        {|{"id":2,"kind":"stats"}|} ^ "\n";
+        {|{"id":3,"kind":"sta|} (* stream dies mid-line *);
+      ]
+  in
+  let got = serve_raw srv raw in
+  check Alcotest.int "three frames, three responses" 3 (List.length got);
+  (match got with
+  | [ a; b; c ] ->
+      check Alcotest.string "oversized line answers E-FRAME" "E-FRAME"
+        (first_code a);
+      check Alcotest.bool "stream resyncs after the oversized line" true
+        (response_ok b);
+      check Alcotest.string "EOF mid-line answers E-FRAME" "E-FRAME"
+        (first_code c)
+  | _ -> assert false);
+  let s = Server.stats_json srv in
+  check Alcotest.int "frame errors counted" 2
+    (jint s [ "counters"; "requests.frame_error" ])
+
+let test_deadline_expired () =
+  let srv = Server.create ~num_domains:0 () in
+  let req =
+    {|{"id":1,"kind":"predict","workload":"nn/nn","deadline_ms":100}|}
+  in
+  let past = Unix.gettimeofday () -. 10.0 in
+  (* admission-stage check (handle_line plans before computing) *)
+  let resp = Server.handle_line ~arrival:past srv req in
+  check Alcotest.string "expired budget answers E-DEADLINE" "E-DEADLINE"
+    (first_code resp);
+  (* compute-stage check (handle_value re-checks at dispatch) *)
+  let resp2 =
+    match Json.of_string req with
+    | Ok v -> Json.to_string (Server.handle_value ~arrival:past srv v)
+    | Error _ -> assert false
+  in
+  check Alcotest.string "compute-stage check also fires" "E-DEADLINE"
+    (first_code resp2);
+  let s = Server.stats_json srv in
+  check Alcotest.int "deadline_expired counted" 2
+    (jint s [ "counters"; "deadline_expired" ]);
+  (* an ample budget sails through *)
+  let ok = Server.handle_line srv req in
+  check Alcotest.bool "unexpired deadline serves normally" true
+    (response_ok ok)
+
+let test_overload_shed () =
+  (* one admission slot, three compute requests in one batch: admission
+     happens when the batch is planned, release when it completes, so
+     exactly the requests past the high-water mark shed *)
+  let srv = Server.create ~num_domains:0 ~max_inflight:1 () in
+  let req = {|{"id":1,"kind":"predict","workload":"nn/nn"}|} in
+  let raw = String.concat "" [ req; "\n"; req; "\n"; req; "\n" ] in
+  let got = serve_raw ~max_batch:8 srv raw in
+  check Alcotest.int "three requests, three responses" 3 (List.length got);
+  (match got with
+  | [ a; b; c ] ->
+      check Alcotest.bool "first request admitted" true (response_ok a);
+      check Alcotest.string "second sheds E-OVERLOAD" "E-OVERLOAD"
+        (first_code b);
+      check Alcotest.string "third sheds E-OVERLOAD" "E-OVERLOAD"
+        (first_code c);
+      (* the shed carries a positive retry hint *)
+      (match Json.of_string b with
+      | Ok v -> (
+          match
+            Option.bind (Json.member "retry_after_ms" v) Json.to_int
+          with
+          | Some ms ->
+              check Alcotest.bool "retry_after_ms > 0" true (ms > 0)
+          | None -> Alcotest.fail "shed response lacks retry_after_ms")
+      | Error _ -> assert false)
+  | _ -> assert false);
+  let s = Server.stats_json srv in
+  check Alcotest.int "sheds counted" 2 (jint s [ "counters"; "shed" ]);
+  (* slots released: a lone request is admitted again *)
+  check Alcotest.bool "inflight released after the batch" true
+    (response_ok (Server.handle_line srv req))
+
+let test_shutdown_drain () =
+  let srv = Server.create ~num_domains:0 () in
+  let resp = Server.handle_line srv {|{"id":1,"kind":"shutdown"}|} in
+  check Alcotest.bool "shutdown acknowledged" true (response_ok resp);
+  check Alcotest.bool "server marked draining" true (Server.draining srv);
+  let rejected =
+    Server.handle_line srv {|{"id":2,"kind":"predict","workload":"nn/nn"}|}
+  in
+  check Alcotest.string "new work answers E-SHUTDOWN" "E-SHUTDOWN"
+    (first_code rejected)
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight under a miss storm: N clients racing the same cold
+   fingerprint compute it exactly once; everyone else finds it warm. *)
+
+let storm_barrier n =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let arrived = ref 0 in
+  fun () ->
+    Mutex.lock m;
+    incr arrived;
+    if !arrived >= n then Condition.broadcast cv
+    else
+      while !arrived < n do
+        Condition.wait cv m
+      done;
+    Mutex.unlock m
+
+let test_single_flight_storm () =
+  let c = Client.create ~num_domains:0 () in
+  let n = 8 in
+  let wait_all = storm_barrier n in
+  let results = Array.make n "" in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            wait_all ();
+            results.(i) <- Client.request_line c predict_req)
+          ())
+  in
+  List.iter Thread.join threads;
+  let cold = ref 0 in
+  Array.iter
+    (fun r ->
+      check Alcotest.bool "storm response ok" true (response_ok r);
+      match Json.of_string r with
+      | Ok v -> (
+          match Option.bind (Json.member "cached" v) Json.to_bool with
+          | Some false -> incr cold
+          | Some true -> ()
+          | None -> Alcotest.fail "predict response lacks \"cached\"")
+      | Error _ -> assert false)
+    results;
+  check Alcotest.int "exactly one racer computed" 1 !cold;
+  let s = Client.stats c in
+  check Alcotest.int "one predict-cache miss" 1
+    (jint s [ "cache"; "predict"; "misses" ]);
+  check Alcotest.int "everyone else hit" (n - 1)
+    (jint s [ "cache"; "predict"; "hits" ])
+
+(* Eviction racing an in-flight computation: the producer's slot can be
+   recycled under it (capacity 1) without corrupting the cache — its
+   value still lands, LRU size stays bounded. *)
+let test_cache_eviction_during_flight () =
+  let c = Cache.create ~capacity:1 () in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let state = ref `Init in
+  let set s =
+    Mutex.lock m;
+    state := s;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let wait_for s =
+    Mutex.lock m;
+    while !state <> s do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m
+  in
+  let producer =
+    Thread.create
+      (fun () ->
+        ignore
+          (Cache.find_or_add c "hot" (fun () ->
+               set `Producing;
+               wait_for `Churned;
+               42)))
+      ()
+  in
+  wait_for `Producing;
+  (* churn the single slot while "hot" is still being produced *)
+  Cache.add c "cold1" 1;
+  Cache.add c "cold2" 2;
+  set `Churned;
+  Thread.join producer;
+  let s = Cache.stats c in
+  check Alcotest.int "size bounded by capacity" 1 s.Cache.size;
+  check
+    Alcotest.(option int)
+    "in-flight value landed intact" (Some 42) (Cache.find c "hot")
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -589,4 +824,16 @@ let suite =
       test_cache_hit_rate;
     Alcotest.test_case "serve_fd: concurrent batch keeps order" `Quick
       test_serve_fd_batch;
+    Alcotest.test_case "framing: oversized and truncated lines" `Quick
+      test_frame_errors;
+    Alcotest.test_case "deadline: wall-clock budget enforced" `Quick
+      test_deadline_expired;
+    Alcotest.test_case "admission: overload sheds with retry hint" `Quick
+      test_overload_shed;
+    Alcotest.test_case "drain: shutdown rejects new work" `Quick
+      test_shutdown_drain;
+    Alcotest.test_case "single-flight: miss storm computes once" `Quick
+      test_single_flight_storm;
+    Alcotest.test_case "cache: eviction during in-flight produce" `Quick
+      test_cache_eviction_during_flight;
   ]
