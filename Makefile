@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace promote clean
+.PHONY: all build test check smoke serve-smoke trace-smoke suite-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
 
 all: build
 
@@ -12,9 +12,10 @@ test:
 # the fault-injection harness in test/test_robustness.ml), then smoke-test
 # the CLI's diagnostic path on a deliberately broken kernel (must exit 1,
 # not crash), the serve loop on a batch with one malformed request, the
-# cycle-attribution trace on two bundled kernels in both modes, and the
+# cycle-attribution trace on two bundled kernels in both modes, the
+# benchmark-suite smoke matrix against its committed baseline, and the
 # seeded chaos storm against a live socket server.
-check: build test smoke serve-smoke trace-smoke chaos
+check: build test smoke serve-smoke trace-smoke suite-smoke chaos
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -79,6 +80,16 @@ trace-smoke:
 	esac; \
 	echo "trace-smoke: conservation-validated traces on 2 kernels OK"
 
+# Benchmark-suite smoke gate (DESIGN.md §13): run the fast subset of the
+# (workload x device) matrix and diff it against the committed baseline.
+# Accuracy vs simrtl is deterministic and gated tightly; warm latency is
+# calibration-normalized and gated outside the measured noise band only.
+# Exit 1 here means a real regression — see the REGRESSION lines.
+suite-smoke:
+	@dune exec --no-build bin/flexcl_cli.exe -- suite --smoke -q \
+	  -o _build/BENCH_suite.smoke.json \
+	  --compare test/goldens/BENCH_suite.baseline.json
+
 # Chaos harness (DESIGN.md §12): >= 500 seeded trials of malformed
 # frames, mid-request disconnects, deadline storms, overload bursts and
 # injected worker panics against a live socket server. The hard timeout
@@ -122,6 +133,20 @@ bench-serve:
 # BENCH_trace.json.
 bench-trace:
 	dune exec bench/main.exe -- trace-overhead
+
+# Full benchmark-suite matrix: every Rodinia and PolyBench workload on
+# every device, all three estimate engines cross-checked bitwise against
+# each other and for accuracy against the simrtl ground truth, written
+# to BENCH_suite.json (normalized, schema-versioned).
+bench-suite:
+	dune exec bin/flexcl_cli.exe -- suite -o BENCH_suite.json
+
+# Refresh the committed suite baseline from the current model — run
+# deliberately when accuracy or the hot path legitimately moves, then
+# review the diff like any golden (`git diff test/goldens/`).
+promote-suite:
+	dune exec bin/flexcl_cli.exe -- suite --smoke -q \
+	  -o test/goldens/BENCH_suite.baseline.json
 
 clean:
 	dune clean

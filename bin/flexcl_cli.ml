@@ -5,6 +5,9 @@
      flexcl simulate  (--kernel FILE | --workload NAME) [launch/design flags]
      flexcl explore   (--kernel FILE | --workload NAME) [--top N]
      flexcl workloads [--suite rodinia|polybench]
+     flexcl suite     [--list] [--smoke] [--filter SUBSTR] [--out FILE]
+                      [--compare BASELINE] [--repeat N] [--warmup N]
+                      [--seed N] [--quiet]
      flexcl serve     [--jobs N] [--cache N] [--socket PATH]
                       [--max-inflight N] [--max-line-bytes N]
                       [--drain-timeout-ms MS]
@@ -597,24 +600,253 @@ let workloads_cmd =
       & info [ "suite" ] ~docv:"NAME" ~doc:"Filter: rodinia or polybench.")
   in
   let run suite =
-    let t = Table.create ~headers:[ "name"; "suite"; "work-items"; "wg" ] in
-    List.iter
-      (fun w ->
-        if suite = None || suite = Some w.W.suite then
-          Table.add_row t
-            [
-              W.name w;
-              w.W.suite;
-              string_of_int (L.n_work_items w.W.launch);
-              string_of_int (L.wg_size w.W.launch);
-            ])
-      all_workloads;
-    print_string (Table.render t);
-    0
+    (* an unknown suite name silently printing an empty table would hide
+       typos from scripts; it is CLI misuse, diagnosed and exited 2 *)
+    let known = List.sort_uniq compare (List.map (fun w -> w.W.suite) all_workloads) in
+    match suite with
+    | Some s when not (List.mem s known) ->
+        print_diags
+          [
+            Diag.error Diag.Cli_error "unknown suite %S (%s)" s
+              (String.concat " | " known);
+          ];
+        exit_usage_error
+    | _ ->
+        let t = Table.create ~headers:[ "name"; "suite"; "work-items"; "wg" ] in
+        List.iter
+          (fun w ->
+            if suite = None || suite = Some w.W.suite then
+              Table.add_row t
+                [
+                  W.name w;
+                  w.W.suite;
+                  string_of_int (L.n_work_items w.W.launch);
+                  string_of_int (L.wg_size w.W.launch);
+                ])
+          all_workloads;
+        print_string (Table.render t);
+        0
   in
   Cmd.v
     (Cmd.info "workloads" ~doc:"List the built-in Rodinia/PolyBench kernels.")
     Term.(const run $ suite)
+
+(* ------------------------------------------------------------------ *)
+(* suite *)
+
+module Suite_def = Flexcl_suite.Sdef
+module Suite_runner = Flexcl_suite.Runner
+module Suite_report = Flexcl_suite.Report
+module Suite_gate = Flexcl_suite.Gate
+
+let suite_cmd =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the entry matrix without running it.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the fast smoke subset (the one gating 'make check') \
+             instead of the full matrix.")
+  in
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:
+            "Keep only entries whose id (suite/benchmark/kernel\\@device) \
+             contains $(docv).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_suite.json"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Where to write the normalized report.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASELINE"
+          ~doc:
+            "After running, gate this run against the baseline report at \
+             $(docv); regressions beyond the noise band exit 1.")
+  in
+  let repeat_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repeat" ] ~docv:"N" ~doc:"Timed samples per entry.")
+  in
+  let warmup_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "warmup" ] ~docv:"N" ~doc:"Discarded warmup samples per entry.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Simulator and bootstrap-resampling seed.")
+  in
+  let quiet_flag =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress per-entry progress lines.")
+  in
+  let print_summary (r : Suite_report.t) =
+    let t =
+      Table.create
+        ~headers:[ "suite"; "entries"; "mean err%"; "max err%" ]
+    in
+    List.iter
+      (fun (s : Suite_report.suite_summary) ->
+        Table.add_row t
+          [
+            s.Suite_report.suite_name;
+            string_of_int s.Suite_report.entries;
+            Printf.sprintf "%.2f" s.Suite_report.mean_err_pct;
+            Printf.sprintf "%.2f" s.Suite_report.max_err_pct;
+          ])
+      r.Suite_report.summaries;
+    print_string (Table.render t);
+    Printf.printf "analysis cache hit rate : %.0f%%\n"
+      (100.0 *. Suite_report.hit_rate r.Suite_report.analysis_cache);
+    Printf.printf "engines bitwise identical: %s\n"
+      (if
+         List.for_all
+           (fun (e : Suite_report.entry) -> e.Suite_report.engines_identical)
+           r.Suite_report.rows
+       then "yes (all entries)"
+       else "NO")
+  in
+  let run list smoke filter out compare repeat warmup seed quiet =
+    guarded (fun () ->
+        let entries =
+          if smoke then Suite_def.smoke () else Suite_def.full ()
+        in
+        let entries, zero_match =
+          match filter with
+          | None -> (entries, false)
+          | Some pat ->
+              let kept = Suite_def.filter pat entries in
+              (kept, kept = [])
+        in
+        if zero_match then begin
+          print_diags
+            [
+              Diag.error Diag.Cli_error
+                "--filter %S matches no suite entry (try 'flexcl suite \
+                 --list')"
+                (Option.get filter);
+            ];
+          exit_usage_error
+        end
+        else if list then begin
+          let t =
+            Table.create ~headers:[ "entry"; "work-items"; "wg" ]
+          in
+          List.iter
+            (fun (e : Suite_def.entry) ->
+              Table.add_row t
+                [
+                  Suite_def.id e;
+                  string_of_int
+                    (L.n_work_items e.Suite_def.workload.W.launch);
+                  string_of_int (L.wg_size e.Suite_def.workload.W.launch);
+                ])
+            entries;
+          print_string (Table.render t);
+          Printf.printf "%d entries\n" (List.length entries);
+          0
+        end
+        else begin
+          (* load the baseline BEFORE the (expensive) run, so a missing
+             or corrupt baseline fails fast *)
+          let baseline =
+            match compare with
+            | None -> Ok None
+            | Some path -> (
+                match In_channel.with_open_bin path In_channel.input_all with
+                | exception Sys_error msg ->
+                    Error [ Diag.make Diag.Io_error msg ]
+                | s -> (
+                    match Suite_report.of_string s with
+                    | Ok b -> Ok (Some b)
+                    | Error e ->
+                        Error
+                          [
+                            Diag.error ~file:path Diag.Parse_error
+                              "invalid baseline report: %s" e;
+                          ]))
+          in
+          match baseline with
+          | Error diags ->
+              print_diags diags;
+              exit_input_error
+          | Ok baseline -> (
+              let opts =
+                let base =
+                  if smoke then Suite_runner.smoke_opts
+                  else Suite_runner.default_opts
+                in
+                {
+                  base with
+                  Suite_runner.repeat =
+                    Option.value repeat ~default:base.Suite_runner.repeat;
+                  warmup =
+                    Option.value warmup ~default:base.Suite_runner.warmup;
+                  seed = Option.value seed ~default:base.Suite_runner.seed;
+                }
+              in
+              let progress =
+                if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s
+              in
+              let report = Suite_runner.run ~progress opts entries in
+              Out_channel.with_open_text out (fun oc ->
+                  output_string oc (Suite_report.to_string report);
+                  output_char oc '\n');
+              print_summary report;
+              Printf.printf "wrote %s\n" out;
+              match baseline with
+              | None -> 0
+              | Some baseline ->
+                  let offenses =
+                    Suite_gate.gate ~baseline ~current:report ()
+                  in
+                  if offenses = [] then begin
+                    Printf.printf
+                      "gate: PASS (no regression beyond the noise band)\n";
+                    0
+                  end
+                  else begin
+                    prerr_endline (Suite_gate.render offenses);
+                    Printf.eprintf "gate: FAIL (%d regression%s)\n"
+                      (List.length offenses)
+                      (if List.length offenses = 1 then "" else "s");
+                    exit_input_error
+                  end)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Run the declarative benchmark-suite matrix (every workload x \
+          device through the estimate engines and the simrtl ground \
+          truth) with warmup, repetition and bootstrap confidence \
+          intervals; write a normalized BENCH_suite.json; optionally \
+          gate against a committed baseline.")
+    Term.(
+      const run $ list_flag $ smoke_flag $ filter_arg $ out_arg $ compare_arg
+      $ repeat_arg $ warmup_arg $ seed_arg $ quiet_flag)
 
 let () =
   let info =
@@ -626,7 +858,7 @@ let () =
       (Cmd.group info
          [
            analyze_cmd; explain_cmd; simulate_cmd; explore_cmd; workloads_cmd;
-           serve_cmd;
+           suite_cmd; serve_cmd;
          ])
   in
   (* cmdliner signals its own parse errors (unknown flag, bad value)

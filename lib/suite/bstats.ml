@@ -1,0 +1,69 @@
+(* Statistics for the benchmark-suite harness: mean, stddev and a
+   percentile-bootstrap confidence interval on the mean, all pure OCaml
+   and bit-for-bit deterministic (the resampling flows from an explicit
+   Flexcl_util.Prng seed). *)
+
+module Prng = Flexcl_util.Prng
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int n)
+
+(* linear-interpolation percentile on a sorted array, p in [0,100] *)
+let percentile_sorted p sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Bstats.percentile_sorted: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+type ci = { lo : float; hi : float }
+
+let default_replicates = 200
+
+let bootstrap_ci_mean ?(replicates = default_replicates) ?(confidence = 0.95)
+    ~seed xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bstats.bootstrap_ci_mean: empty sample";
+  if replicates < 1 then invalid_arg "Bstats.bootstrap_ci_mean: replicates < 1";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Bstats.bootstrap_ci_mean: confidence outside (0,1)";
+  if n = 1 then { lo = xs.(0); hi = xs.(0) }
+  else begin
+    let rng = Prng.create seed in
+    let means =
+      Array.init replicates (fun _ ->
+          let acc = ref 0.0 in
+          for _ = 1 to n do
+            acc := !acc +. xs.(Prng.int rng n)
+          done;
+          !acc /. float_of_int n)
+    in
+    Array.sort compare means;
+    let tail = (1.0 -. confidence) /. 2.0 *. 100.0 in
+    {
+      lo = percentile_sorted tail means;
+      hi = percentile_sorted (100.0 -. tail) means;
+    }
+  end
+
+let ci_width { lo; hi } = hi -. lo
+
+(* relative half-width of a CI around a mean: the per-measurement noise
+   figure the regression gate turns into a tolerance band *)
+let rel_half_width ~mean:m ci =
+  if Float.abs m <= 0.0 then 0.0 else ci_width ci /. 2.0 /. Float.abs m

@@ -1,0 +1,40 @@
+(** Statistics for the benchmark-suite harness.
+
+    Everything here is pure OCaml and deterministic: the bootstrap
+    resampling is driven by an explicit {!Flexcl_util.Prng} seed, so a
+    suite run reproduces its confidence intervals bit-for-bit. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; [0.] on arrays shorter than 2
+    (matching {!Flexcl_util.Stats.stddev} on lists). *)
+
+val percentile_sorted : float -> float array -> float
+(** [percentile_sorted p sorted] with [p] clamped to [\[0,100\]], linear
+    interpolation over an already-sorted array. Raises
+    [Invalid_argument] on the empty array. *)
+
+type ci = { lo : float; hi : float }
+(** A two-sided confidence interval. *)
+
+val default_replicates : int
+(** Bootstrap resampling count used when [?replicates] is omitted. *)
+
+val bootstrap_ci_mean :
+  ?replicates:int -> ?confidence:float -> seed:int -> float array -> ci
+(** [bootstrap_ci_mean ~seed xs] is the percentile-bootstrap confidence
+    interval (default 95%) on the mean of [xs]: [replicates] resamples
+    of size [|xs|] drawn with replacement from [xs], interval at the
+    [(1±confidence)/2] percentiles of the resampled means. Same [seed],
+    same data — same interval, bitwise. A singleton sample collapses to
+    [{lo = x; hi = x}]. Raises [Invalid_argument] on an empty sample, a
+    non-positive replicate count, or a confidence outside (0,1). *)
+
+val ci_width : ci -> float
+(** [hi - lo]. *)
+
+val rel_half_width : mean:float -> ci -> float
+(** [(hi - lo) / 2 / |mean|]; [0.] when the mean is 0 — the relative
+    noise figure the regression gate widens its tolerance band by. *)

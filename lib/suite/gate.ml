@@ -1,0 +1,185 @@
+(* Regression gate: diff a fresh suite report against a committed
+   baseline and fail when accuracy worsens, engines diverge, coverage
+   shrinks, or warm latency regresses beyond the measured noise band.
+
+   Accuracy is deterministic (seeded simulator, pure model), so its gate
+   is a tight absolute tolerance. Latency is noisy and machine-relative,
+   so its gate (a) normalizes both sides by each report's calibration
+   figure, cancelling machine speed, and (b) widens the tolerance by the
+   bootstrap confidence intervals both reports measured — a regression
+   only fires when the normalized mean moves beyond what the recorded
+   noise explains, with a floor so routine jitter never gates. *)
+
+type reason = Accuracy | Suite_accuracy | Latency | Identity | Missing
+
+let reason_name = function
+  | Accuracy -> "accuracy"
+  | Suite_accuracy -> "suite-accuracy"
+  | Latency -> "latency"
+  | Identity -> "engine-identity"
+  | Missing -> "missing-entry"
+
+type offense = {
+  id : string;       (* entry id or suite name *)
+  reason : reason;
+  baseline : float;
+  current : float;
+  limit : float;     (* the gate the current value crossed *)
+  detail : string;
+}
+
+type thresholds = {
+  accuracy_tol_pct : float;
+      (* per-entry absolute error-percentage-point headroom *)
+  suite_tol_pct : float;
+      (* per-suite mean-error headroom *)
+  latency_floor : float;
+      (* minimum relative latency band, e.g. 1.5 = +150% *)
+  noise_mult : float;
+      (* how many combined CI half-widths the band also allows *)
+}
+
+let default_thresholds =
+  {
+    accuracy_tol_pct = 0.5;
+    suite_tol_pct = 0.25;
+    latency_floor = 1.5;
+    noise_mult = 3.0;
+  }
+
+let rel_hw (t : Report.timing) =
+  Bstats.rel_half_width ~mean:t.Report.mean_us
+    { Bstats.lo = t.Report.ci_lo_us; hi = t.Report.ci_hi_us }
+
+let check_entry th ~(base : Report.entry) ~(cur : Report.entry)
+    ~base_calib ~cur_calib =
+  let id = Report.entry_id cur in
+  let offenses = ref [] in
+  let push o = offenses := o :: !offenses in
+  if not cur.Report.engines_identical then
+    push
+      {
+        id;
+        reason = Identity;
+        baseline = 1.0;
+        current = 0.0;
+        limit = 1.0;
+        detail = "sequential/parallel/specialized engines disagree bitwise";
+      };
+  let acc_limit = base.Report.err_pct +. th.accuracy_tol_pct in
+  if cur.Report.err_pct > acc_limit then
+    push
+      {
+        id;
+        reason = Accuracy;
+        baseline = base.Report.err_pct;
+        current = cur.Report.err_pct;
+        limit = acc_limit;
+        detail =
+          Printf.sprintf
+            "model error vs simrtl rose %.2f%% -> %.2f%% (limit %.2f%%)"
+            base.Report.err_pct cur.Report.err_pct acc_limit;
+      };
+  (* normalized latency: machine speed cancels through calibration *)
+  let norm calib (t : Report.timing) =
+    if calib <= 0.0 then t.Report.mean_us else t.Report.mean_us /. calib
+  in
+  let nb = norm base_calib base.Report.warm in
+  let nc = norm cur_calib cur.Report.warm in
+  let band =
+    Float.max th.latency_floor
+      (th.noise_mult
+      *. (rel_hw base.Report.warm +. rel_hw cur.Report.warm))
+  in
+  let lat_limit = nb *. (1.0 +. band) in
+  if nb > 0.0 && nc > lat_limit then
+    push
+      {
+        id;
+        reason = Latency;
+        baseline = nb;
+        current = nc;
+        limit = lat_limit;
+        detail =
+          Printf.sprintf
+            "normalized warm latency rose %.4f -> %.4f (band +%.0f%%, \
+             %.2f us -> %.2f us raw)"
+            nb nc (band *. 100.0) base.Report.warm.Report.mean_us
+            cur.Report.warm.Report.mean_us;
+      };
+  List.rev !offenses
+
+let gate ?(thresholds = default_thresholds) ~(baseline : Report.t)
+    ~(current : Report.t) () =
+  let baseline = Report.normalize baseline in
+  let current = Report.normalize current in
+  let cur_by_id =
+    List.map (fun e -> (Report.entry_id e, e)) current.Report.rows
+  in
+  let entry_offenses =
+    List.concat_map
+      (fun (base : Report.entry) ->
+        let id = Report.entry_id base in
+        match List.assoc_opt id cur_by_id with
+        | Some cur ->
+            check_entry thresholds ~base ~cur
+              ~base_calib:baseline.Report.calibration_us
+              ~cur_calib:current.Report.calibration_us
+        | None ->
+            (* coverage shrank — but only comparable runs gate on it:
+               a smoke run diffed against a full baseline legitimately
+               covers a subset *)
+            if baseline.Report.smoke = current.Report.smoke then
+              [
+                {
+                  id;
+                  reason = Missing;
+                  baseline = 1.0;
+                  current = 0.0;
+                  limit = 1.0;
+                  detail = "entry present in baseline but absent from this run";
+                };
+              ]
+            else [])
+      baseline.Report.rows
+  in
+  (* per-suite mean error, over the suites both reports cover *)
+  let suite_offenses =
+    List.filter_map
+      (fun (b : Report.suite_summary) ->
+        match
+          List.find_opt
+            (fun (c : Report.suite_summary) ->
+              c.Report.suite_name = b.Report.suite_name)
+            current.Report.summaries
+        with
+        | None -> None
+        | Some c ->
+            let limit =
+              b.Report.mean_err_pct +. thresholds.suite_tol_pct
+            in
+            if c.Report.mean_err_pct > limit then
+              Some
+                {
+                  id = b.Report.suite_name;
+                  reason = Suite_accuracy;
+                  baseline = b.Report.mean_err_pct;
+                  current = c.Report.mean_err_pct;
+                  limit;
+                  detail =
+                    Printf.sprintf
+                      "suite mean error rose %.2f%% -> %.2f%% (limit %.2f%%)"
+                      b.Report.mean_err_pct c.Report.mean_err_pct limit;
+                }
+            else None)
+      baseline.Report.summaries
+  in
+  entry_offenses @ suite_offenses
+
+let render offenses =
+  String.concat "\n"
+    (List.map
+       (fun o ->
+         Printf.sprintf "REGRESSION [%s] %s: %s" (reason_name o.reason) o.id
+           o.detail)
+       offenses)

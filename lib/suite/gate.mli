@@ -1,0 +1,55 @@
+(** Regression gate: diff a fresh suite report against a committed
+    baseline with noise-aware thresholds.
+
+    Accuracy (deterministic: seeded simulator, pure model) gates on a
+    tight absolute tolerance; warm latency (noisy, machine-relative)
+    gates on calibration-normalized means with a band widened by the
+    bootstrap confidence intervals both reports recorded, floored so
+    routine jitter never fires. An empty offense list means the gate
+    passes; gating a report against itself always passes (pinned by
+    [test/test_suite.ml]). *)
+
+type reason = Accuracy | Suite_accuracy | Latency | Identity | Missing
+
+val reason_name : reason -> string
+
+type offense = {
+  id : string;        (** offending entry id, or suite name. *)
+  reason : reason;
+  baseline : float;
+  current : float;
+  limit : float;      (** the gate value the current number crossed. *)
+  detail : string;    (** human-readable one-liner. *)
+}
+
+type thresholds = {
+  accuracy_tol_pct : float;
+      (** per-entry headroom in error percentage points (default 0.5). *)
+  suite_tol_pct : float;
+      (** per-suite mean-error headroom (default 0.25). *)
+  latency_floor : float;
+      (** minimum relative latency band (default 1.5 = +150%): warm
+          per-point latencies are sub-microsecond, so run-to-run jitter
+          on shared hardware is routinely 2x; the regressions this gate
+          exists for (losing a staged-specialization or cache win) are
+          orders of magnitude. *)
+  noise_mult : float;
+      (** CI half-widths the band also allows (default 3). *)
+}
+
+val default_thresholds : thresholds
+
+val gate :
+  ?thresholds:thresholds ->
+  baseline:Report.t ->
+  current:Report.t ->
+  unit ->
+  offense list
+(** All regressions of [current] vs [baseline]: per-entry accuracy,
+    per-suite mean accuracy, engine-identity violations, normalized
+    warm-latency regressions beyond the noise band, and — when both
+    reports cover the same matrix kind ([smoke] flags equal) — baseline
+    entries missing from the current run. *)
+
+val render : offense list -> string
+(** One ["REGRESSION [kind] id: detail"] line per offense. *)

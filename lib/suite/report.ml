@@ -1,0 +1,272 @@
+(* Normalized, schema-versioned suite report (`BENCH_suite.json`).
+
+   The report is the unit the regression gate diffs, so its JSON form is
+   canonical: entries sorted by id, feature keys sorted, fixed field
+   order, and the deterministic Flexcl_util.Json printer — two runs that
+   measured the same numbers serialize byte-identically, and
+   [of_json |> to_json] is the identity on bytes. *)
+
+module Json = Flexcl_util.Json
+
+let schema_version = 1
+let kind = "flexcl-suite-report"
+
+type timing = {
+  mean_us : float;
+  stddev_us : float;
+  ci_lo_us : float;
+  ci_hi_us : float;
+  samples : int;
+}
+
+type entry = {
+  suite : string;
+  workload : string;
+  device : string;
+  config : string;
+  est_cycles : float;    (* sequential-engine model estimate *)
+  sim_cycles : float;    (* simrtl ground truth *)
+  err_pct : float;       (* |est - sim| / sim * 100 *)
+  engines_identical : bool;
+      (* sequential / parallel / specialized engines bitwise equal *)
+  warm : timing;         (* warm per-point estimate latency *)
+  features : (string * float) list;
+      (* architecture-independent workload features, key-sorted *)
+}
+
+type suite_summary = {
+  suite_name : string;
+  entries : int;
+  mean_err_pct : float;
+  max_err_pct : float;
+}
+
+type cache_stats = { hits : int; misses : int }
+
+type t = {
+  smoke : bool;
+  seed : int;
+  repeat : int;
+  warmup : int;
+  inner : int;
+  calibration_us : float;
+      (* wall time of a fixed reference computation on the measuring
+         machine; the gate compares latencies normalized by it *)
+  analysis_cache : cache_stats;
+  rows : entry list;
+  summaries : suite_summary list;
+}
+
+let entry_id (e : entry) =
+  Printf.sprintf "%s/%s@%s" e.suite e.workload e.device
+
+let hit_rate (c : cache_stats) =
+  let total = c.hits + c.misses in
+  if total = 0 then 0.0 else float_of_int c.hits /. float_of_int total
+
+let normalize (r : t) =
+  {
+    r with
+    rows =
+      List.sort (fun a b -> compare (entry_id a) (entry_id b)) r.rows
+      |> List.map (fun e ->
+             { e with features = List.sort compare e.features });
+    summaries =
+      List.sort (fun a b -> compare a.suite_name b.suite_name) r.summaries;
+  }
+
+let summarize rows =
+  let suites =
+    List.sort_uniq compare (List.map (fun e -> e.suite) rows)
+  in
+  List.map
+    (fun s ->
+      let errs =
+        List.filter_map
+          (fun e -> if e.suite = s then Some e.err_pct else None)
+          rows
+      in
+      {
+        suite_name = s;
+        entries = List.length errs;
+        mean_err_pct = Bstats.mean (Array.of_list errs);
+        max_err_pct = List.fold_left Float.max 0.0 errs;
+      })
+    suites
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let timing_to_json (t : timing) =
+  Json.Obj
+    [
+      ("mean_us", Json.Num t.mean_us);
+      ("stddev_us", Json.Num t.stddev_us);
+      ("ci_lo_us", Json.Num t.ci_lo_us);
+      ("ci_hi_us", Json.Num t.ci_hi_us);
+      ("samples", Json.int t.samples);
+    ]
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    [
+      ("suite", Json.Str e.suite);
+      ("workload", Json.Str e.workload);
+      ("device", Json.Str e.device);
+      ("config", Json.Str e.config);
+      ("est_cycles", Json.Num e.est_cycles);
+      ("sim_cycles", Json.Num e.sim_cycles);
+      ("err_pct", Json.Num e.err_pct);
+      ("engines_identical", Json.Bool e.engines_identical);
+      ("warm", timing_to_json e.warm);
+      ( "features",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) e.features) );
+    ]
+
+let summary_to_json (s : suite_summary) =
+  Json.Obj
+    [
+      ("suite", Json.Str s.suite_name);
+      ("entries", Json.int s.entries);
+      ("mean_err_pct", Json.Num s.mean_err_pct);
+      ("max_err_pct", Json.Num s.max_err_pct);
+    ]
+
+let to_json (r : t) =
+  let r = normalize r in
+  Json.Obj
+    [
+      ("kind", Json.Str kind);
+      ("schema_version", Json.int schema_version);
+      ("smoke", Json.Bool r.smoke);
+      ("seed", Json.int r.seed);
+      ("repeat", Json.int r.repeat);
+      ("warmup", Json.int r.warmup);
+      ("inner", Json.int r.inner);
+      ("calibration_us", Json.Num r.calibration_us);
+      ( "analysis_cache",
+        Json.Obj
+          [
+            ("hits", Json.int r.analysis_cache.hits);
+            ("misses", Json.int r.analysis_cache.misses);
+            ("hit_rate", Json.Num (hit_rate r.analysis_cache));
+          ] );
+      ("entries", Json.Arr (List.map entry_to_json r.rows));
+      ("suites", Json.Arr (List.map summary_to_json r.summaries));
+    ]
+
+let to_string r = Json.to_string (to_json r)
+
+(* total decoders: every failure names the missing/ill-typed field *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let timing_of_json j =
+  let* mean_us = field "mean_us" Json.to_float j in
+  let* stddev_us = field "stddev_us" Json.to_float j in
+  let* ci_lo_us = field "ci_lo_us" Json.to_float j in
+  let* ci_hi_us = field "ci_hi_us" Json.to_float j in
+  let* samples = field "samples" Json.to_int j in
+  Ok { mean_us; stddev_us; ci_lo_us; ci_hi_us; samples }
+
+let features_of_json j =
+  match j with
+  | Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Json.to_float v with
+          | Some f -> Ok ((k, f) :: acc)
+          | None -> Error (Printf.sprintf "feature %S is not a number" k))
+        (Ok []) kvs
+      |> Result.map List.rev
+  | _ -> Error "features is not an object"
+
+let entry_of_json j =
+  let* suite = field "suite" Json.to_str j in
+  let* workload = field "workload" Json.to_str j in
+  let* device = field "device" Json.to_str j in
+  let* config = field "config" Json.to_str j in
+  let* est_cycles = field "est_cycles" Json.to_float j in
+  let* sim_cycles = field "sim_cycles" Json.to_float j in
+  let* err_pct = field "err_pct" Json.to_float j in
+  let* engines_identical = field "engines_identical" Json.to_bool j in
+  let* warm = field "warm" (fun x -> Some x) j in
+  let* warm = timing_of_json warm in
+  let* features = field "features" (fun x -> Some x) j in
+  let* features = features_of_json features in
+  Ok
+    {
+      suite;
+      workload;
+      device;
+      config;
+      est_cycles;
+      sim_cycles;
+      err_pct;
+      engines_identical;
+      warm;
+      features;
+    }
+
+let summary_of_json j =
+  let* suite_name = field "suite" Json.to_str j in
+  let* entries = field "entries" Json.to_int j in
+  let* mean_err_pct = field "mean_err_pct" Json.to_float j in
+  let* max_err_pct = field "max_err_pct" Json.to_float j in
+  Ok { suite_name; entries; mean_err_pct; max_err_pct }
+
+let list_of rows conv =
+  List.fold_left
+    (fun acc j ->
+      let* acc = acc in
+      let* v = conv j in
+      Ok (v :: acc))
+    (Ok []) rows
+  |> Result.map List.rev
+
+let of_json j =
+  let* k = field "kind" Json.to_str j in
+  if k <> kind then Error (Printf.sprintf "not a suite report (kind %S)" k)
+  else
+    let* version = field "schema_version" Json.to_int j in
+    if version <> schema_version then
+      Error
+        (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+           version schema_version)
+    else
+      let* smoke = field "smoke" Json.to_bool j in
+      let* seed = field "seed" Json.to_int j in
+      let* repeat = field "repeat" Json.to_int j in
+      let* warmup = field "warmup" Json.to_int j in
+      let* inner = field "inner" Json.to_int j in
+      let* calibration_us = field "calibration_us" Json.to_float j in
+      let* cache = field "analysis_cache" (fun x -> Some x) j in
+      let* hits = field "hits" Json.to_int cache in
+      let* misses = field "misses" Json.to_int cache in
+      let* entries = field "entries" Json.to_list j in
+      let* rows = list_of entries entry_of_json in
+      let* summaries = field "suites" Json.to_list j in
+      let* summaries = list_of summaries summary_of_json in
+      Ok
+        (normalize
+           {
+             smoke;
+             seed;
+             repeat;
+             warmup;
+             inner;
+             calibration_us;
+             analysis_cache = { hits; misses };
+             rows;
+             summaries;
+           })
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j

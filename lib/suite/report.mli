@@ -1,0 +1,82 @@
+(** The normalized, schema-versioned suite report ([BENCH_suite.json]).
+
+    This is the artifact the regression gate diffs, so serialization is
+    canonical: entries sorted by {!entry_id}, feature keys sorted, fixed
+    field order, and the deterministic {!Flexcl_util.Json} printer. Two
+    runs that measured the same numbers produce the same bytes, and
+    [of_string |> to_string] is the identity on bytes (pinned by
+    [test/test_suite.ml]). *)
+
+val schema_version : int
+val kind : string
+
+type timing = {
+  mean_us : float;
+  stddev_us : float;
+  ci_lo_us : float;   (** bootstrap 95% CI on the mean, lower bound. *)
+  ci_hi_us : float;
+  samples : int;
+}
+
+type entry = {
+  suite : string;      (** ["rodinia"] or ["polybench"]. *)
+  workload : string;   (** ["benchmark/kernel"]. *)
+  device : string;     (** ["xc7vx690t"] or ["xcku060"]. *)
+  config : string;     (** the evaluated design point, [Config.to_string]. *)
+  est_cycles : float;  (** analytical estimate (sequential engine). *)
+  sim_cycles : float;  (** simrtl (System-Run simulator) ground truth. *)
+  err_pct : float;     (** [100 |est - sim| / sim]. *)
+  engines_identical : bool;
+      (** sequential, parallel and specialized engines agreed bitwise. *)
+  warm : timing;       (** warm per-point estimate latency. *)
+  features : (string * float) list;
+      (** architecture-independent workload features (Johnston et al.):
+          op mix, trip counts, barrier density, per-pattern memory
+          transaction counts — recorded so the same harness later feeds
+          the learned-residual predictor (the ROADMAP's learned-residual item). *)
+}
+
+type suite_summary = {
+  suite_name : string;
+  entries : int;
+  mean_err_pct : float;
+  max_err_pct : float;
+}
+
+type cache_stats = { hits : int; misses : int }
+
+type t = {
+  smoke : bool;
+  seed : int;
+  repeat : int;
+  warmup : int;
+  inner : int;
+  calibration_us : float;
+      (** wall time of a fixed reference computation on the measuring
+          machine; the gate compares latencies normalized by it so a
+          committed baseline survives a machine change. *)
+  analysis_cache : cache_stats;
+  rows : entry list;
+  summaries : suite_summary list;
+}
+
+val entry_id : entry -> string
+(** Stable identity the gate matches entries on:
+    ["suite/benchmark/kernel\@device"]. *)
+
+val hit_rate : cache_stats -> float
+
+val normalize : t -> t
+(** Canonical order (entries by id, features and summaries sorted). *)
+
+val summarize : entry list -> suite_summary list
+(** Per-suite mean/max error over a row list. *)
+
+val to_json : t -> Flexcl_util.Json.t
+val to_string : t -> string
+
+val of_json : Flexcl_util.Json.t -> (t, string) result
+(** Total decoder; the error names the offending field. Rejects foreign
+    [kind]s and unknown [schema_version]s rather than guessing. *)
+
+val of_string : string -> (t, string) result

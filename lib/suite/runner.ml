@@ -1,0 +1,238 @@
+(* Suite runner: measures every entry of a declarative matrix and
+   assembles the normalized report.
+
+   Per entry the runner
+   - resolves (and memoizes) the workload analysis, counting cache
+     hits so the report can pin the shared-analysis payoff;
+   - picks the first candidate design point feasible on the device;
+   - evaluates the analytical estimate through all three engines —
+     sequential [Model.estimate], the parallel sweep engine
+     ([Parsweep.eval_batch] over worker domains) and the staged
+     [Model.specialize] path — and records whether the three agreed
+     bitwise;
+   - runs the simrtl ground truth ([Sysrun.run], seeded) and the
+     resulting accuracy error;
+   - times the warm specialized path with warmup, repetition and a
+     bootstrap confidence interval (deterministic resampling seed per
+     entry);
+   - extracts the architecture-independent workload features. *)
+
+module W = Flexcl_workloads.Workload
+module Analysis = Flexcl_core.Analysis
+module Model = Flexcl_core.Model
+module Config = Flexcl_core.Config
+module Explore = Flexcl_dse.Explore
+module Parsweep = Flexcl_dse.Parsweep
+module Sysrun = Flexcl_simrtl.Sysrun
+module Launch = Flexcl_ir.Launch
+module Cdfg = Flexcl_ir.Cdfg
+module Opcode = Flexcl_ir.Opcode
+module Dram = Flexcl_dram.Dram
+module Prng = Flexcl_util.Prng
+
+type opts = {
+  repeat : int;   (* timed samples per entry *)
+  warmup : int;   (* discarded samples per entry *)
+  inner : int;    (* model evaluations per sample *)
+  seed : int;     (* simulator + bootstrap determinism *)
+  smoke : bool;   (* recorded in the report *)
+  domains : int;  (* worker domains for the parallel engine *)
+}
+
+let default_opts =
+  { repeat = 12; warmup = 3; inner = 64; seed = 42; smoke = false; domains = 2 }
+
+let smoke_opts = { default_opts with repeat = 8; warmup = 2; smoke = true }
+
+(* ------------------------------------------------------------------ *)
+(* Calibration: a fixed reference computation timed on the measuring
+   machine. The gate compares latencies normalized by this figure, so a
+   committed baseline survives a move to faster or slower hardware. *)
+
+let calibration_loop () =
+  let acc = ref 0.0 in
+  for i = 1 to 200_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  !acc
+
+let calibrate () =
+  (* best of 3: calibration must reflect machine speed, not a scheduler
+     hiccup during one run *)
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (calibration_loop ()));
+    (Unix.gettimeofday () -. t0) *. 1e6
+  in
+  ignore (once ());
+  Float.min (once ()) (Float.min (once ()) (once ()))
+
+(* ------------------------------------------------------------------ *)
+(* Feature extraction (Johnston et al.): architecture-independent
+   workload descriptors recorded per entry so this harness later feeds
+   the learned-residual predictor (the ROADMAP's learned-residual item). *)
+
+let features (a : Analysis.t) dev =
+  let trip li = int_of_float (Float.round (Analysis.trip a li)) in
+  let op_counts = Cdfg.weighted_op_counts ~trip a.Analysis.cdfg.Cdfg.body in
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 op_counts in
+  let count pred =
+    List.fold_left
+      (fun acc (op, c) -> if pred op then acc +. c else acc)
+      0.0 op_counts
+  in
+  let pattern_counts = Model.mean_pattern_counts a dev in
+  let mem_txns =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
+  in
+  [
+    ("work_items", float_of_int (Launch.n_work_items a.Analysis.launch));
+    ("wg_size", float_of_int (Launch.wg_size a.Analysis.launch));
+    ("loops", float_of_int a.Analysis.cdfg.Cdfg.n_loops);
+    ("uses_barrier", if a.Analysis.cdfg.Cdfg.uses_barrier then 1.0 else 0.0);
+    ("ops_per_wi", total);
+    ("mem_ops_per_wi", count Opcode.is_mem);
+    ("global_ops_per_wi", count Opcode.is_global_access);
+    ("local_ops_per_wi", count Opcode.is_local_access);
+    ("mem_txns_per_wi", mem_txns);
+  ]
+  @ List.map
+      (fun (p, c) -> ("txns_" ^ Dram.pattern_name p, c))
+      pattern_counts
+
+(* ------------------------------------------------------------------ *)
+
+type analysis_memo = {
+  table : (string, Analysis.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let memo_create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let analysis_of memo (w : W.t) =
+  match Hashtbl.find_opt memo.table (W.name w) with
+  | Some a ->
+      memo.hits <- memo.hits + 1;
+      a
+  | None ->
+      memo.misses <- memo.misses + 1;
+      let a = Analysis.analyze (W.parse w) w.W.launch in
+      Hashtbl.replace memo.table (W.name w) a;
+      a
+
+let bits = Int64.bits_of_float
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
+  let a = analysis_of memo e.Sdef.workload in
+  let wg_size = Launch.wg_size a.Analysis.launch in
+  match
+    List.find_opt
+      (fun cfg -> Model.feasible e.Sdef.device a cfg)
+      (Sdef.candidate_configs ~wg_size)
+  with
+  | None -> None (* no candidate fits the device; entry is skipped *)
+  | Some cfg ->
+      let dev = e.Sdef.device in
+      (* estimate mode, three engines *)
+      let seq = Model.cycles dev a cfg in
+      let spec = Model.specialized_cycles (Explore.specialized_for dev a) cfg in
+      let par =
+        match
+          Parsweep.eval_batch ~num_domains:opts.domains a [ cfg ]
+            (Explore.model_oracle dev)
+        with
+        | [ { Parsweep.cycles; _ } ] -> cycles
+        | _ -> nan
+      in
+      let engines_identical = bits seq = bits spec && bits seq = bits par in
+      (* simrtl mode: ground truth *)
+      let sim = (Sysrun.run ~seed:opts.seed dev a cfg).Sysrun.cycles in
+      let err_pct =
+        if sim <= 0.0 then 0.0
+        else 100.0 *. Float.abs (seq -. sim) /. sim
+      in
+      (* warm latency of the specialized path (the sweep/serve hot
+         path). One sample = best of 3 bursts of [inner] evaluations:
+         the min discards bursts inflated by preemption or a major GC,
+         which would otherwise dominate sub-microsecond timings *)
+      let sm = Explore.specialized_for dev a in
+      let burst () =
+        let (), dt =
+          time_of (fun () ->
+              for _ = 1 to opts.inner do
+                ignore (Sys.opaque_identity (Model.specialized_cycles sm cfg))
+              done)
+        in
+        dt /. float_of_int opts.inner *. 1e6
+      in
+      let sample () =
+        Float.min (burst ()) (Float.min (burst ()) (burst ()))
+      in
+      for _ = 1 to opts.warmup do
+        ignore (sample ())
+      done;
+      let samples = Array.init opts.repeat (fun _ -> sample ()) in
+      let boot_seed = Prng.hash_mix opts.seed entry_index in
+      let ci = Bstats.bootstrap_ci_mean ~seed:boot_seed samples in
+      let warm =
+        {
+          Report.mean_us = Bstats.mean samples;
+          stddev_us = Bstats.stddev samples;
+          ci_lo_us = ci.Bstats.lo;
+          ci_hi_us = ci.Bstats.hi;
+          samples = opts.repeat;
+        }
+      in
+      Some
+        {
+          Report.suite = e.Sdef.suite;
+          workload = W.name e.Sdef.workload;
+          device = e.Sdef.device_name;
+          config = Config.to_string cfg;
+          est_cycles = seq;
+          sim_cycles = sim;
+          err_pct;
+          engines_identical;
+          warm;
+          features = features a dev;
+        }
+
+let run ?(progress = fun (_ : string) -> ()) opts entries =
+  let memo = memo_create () in
+  let calibration_us = calibrate () in
+  let rows =
+    entries
+    |> List.mapi (fun i e ->
+           let row = measure_entry ~opts ~memo ~entry_index:i e in
+           (match row with
+           | Some r ->
+               progress
+                 (Printf.sprintf "%-44s err %5.1f%%  warm %.2f us%s"
+                    (Sdef.id e) r.Report.err_pct r.Report.warm.Report.mean_us
+                    (if r.Report.engines_identical then ""
+                     else "  ENGINES DIVERGE"))
+           | None ->
+               progress
+                 (Printf.sprintf "%-44s skipped (no feasible design point)"
+                    (Sdef.id e)));
+           row)
+    |> List.filter_map Fun.id
+  in
+  Report.normalize
+    {
+      Report.smoke = opts.smoke;
+      seed = opts.seed;
+      repeat = opts.repeat;
+      warmup = opts.warmup;
+      inner = opts.inner;
+      calibration_us;
+      analysis_cache = { Report.hits = memo.hits; misses = memo.misses };
+      rows;
+      summaries = Report.summarize rows;
+    }

@@ -1,0 +1,37 @@
+(** Suite runner: measures a declarative entry matrix into a normalized
+    {!Report.t}.
+
+    Per entry: the analytical estimate is evaluated through all three
+    engines — sequential [Model.estimate], the parallel sweep engine's
+    [eval_batch] over worker domains, and the staged [Model.specialize]
+    path — with bitwise identity recorded; the simrtl simulator supplies
+    ground truth (seeded, so accuracy numbers are deterministic); warm
+    per-point latency is measured with warmup, repetition and a
+    deterministic bootstrap confidence interval; and the
+    architecture-independent workload features are extracted. *)
+
+type opts = {
+  repeat : int;   (** timed samples per entry. *)
+  warmup : int;   (** discarded warmup samples per entry. *)
+  inner : int;    (** model evaluations averaged into one sample. *)
+  seed : int;     (** simulator + bootstrap determinism. *)
+  smoke : bool;   (** recorded in the report; gates match on it. *)
+  domains : int;  (** worker domains for the parallel engine. *)
+}
+
+val default_opts : opts
+val smoke_opts : opts
+
+val calibrate : unit -> float
+(** Microseconds for a fixed reference computation on this machine
+    (best of 3); latencies are compared normalized by it. *)
+
+val features :
+  Flexcl_core.Analysis.t -> Flexcl_device.Device.t -> (string * float) list
+(** The architecture-independent feature vector recorded per entry. *)
+
+val run :
+  ?progress:(string -> unit) -> opts -> Sdef.entry list -> Report.t
+(** Measure every entry (entries with no feasible candidate design
+    point are skipped and reported through [progress]) and assemble the
+    normalized report. *)

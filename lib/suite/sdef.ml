@@ -1,0 +1,78 @@
+(* Declarative benchmark-suite definitions.
+
+   A suite run is a matrix of entries — (workload × device) — and for
+   every entry the runner evaluates both modes (analytical estimate and
+   simrtl ground truth) through all three estimate engines (sequential,
+   parallel, specialized). The matrix is data, not code: the CLI lists
+   it, filters it by substring, and the smoke subset is just a smaller
+   literal matrix, in the style of the Phoronix suite definitions. *)
+
+module W = Flexcl_workloads.Workload
+module Device = Flexcl_device.Device
+module Config = Flexcl_core.Config
+
+type entry = {
+  suite : string;
+  workload : W.t;
+  device_name : string;
+  device : Device.t;
+}
+
+let devices = [ ("xc7vx690t", Device.virtex7); ("xcku060", Device.ku060) ]
+
+let id (e : entry) =
+  Printf.sprintf "%s/%s@%s" e.suite (W.name e.workload) e.device_name
+
+let entries_of ~devices workloads =
+  List.concat_map
+    (fun (w : W.t) ->
+      List.map
+        (fun (device_name, device) ->
+          { suite = w.W.suite; workload = w; device_name; device })
+        devices)
+    workloads
+
+let full () =
+  entries_of ~devices
+    (Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all)
+
+(* The smoke subset behind `make check`: one compute-bound and one
+   memory-heavy kernel per suite on the primary device, plus one entry
+   on the second device so the device axis stays covered. Small enough
+   to run in seconds, wide enough that an accuracy or warm-latency
+   regression in either suite or on either device trips the gate. *)
+let smoke_workload_names =
+  [ "hotspot/hotspot"; "backprop/layer"; "gemm/gemm"; "mvt/mvt" ]
+
+let smoke () =
+  let all = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all in
+  let named n = List.find (fun w -> W.name w = n) all in
+  let primary = [ List.hd devices ] in
+  let secondary = [ List.nth devices 1 ] in
+  entries_of ~devices:primary (List.map named smoke_workload_names)
+  @ entries_of ~devices:secondary [ named "hotspot/hotspot" ]
+
+let filter pattern entries =
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec at i =
+      i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1))
+    in
+    nl = 0 || at 0
+  in
+  List.filter (fun e -> contains (id e) pattern) entries
+
+(* Candidate design points for an entry, most-optimized first; the
+   runner picks the first one feasible on the entry's device so every
+   workload lands on a comparable, resource-valid point. *)
+let candidate_configs ~wg_size =
+  List.map
+    (fun (n_pe, n_cu, wi_pipeline) ->
+      {
+        Config.wg_size;
+        n_pe;
+        n_cu;
+        wi_pipeline;
+        comm_mode = Config.Pipeline_mode;
+      })
+    [ (2, 2, true); (2, 1, true); (1, 1, true); (1, 1, false) ]

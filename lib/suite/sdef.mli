@@ -1,0 +1,40 @@
+(** Declarative benchmark-suite definitions (Phoronix-style): the matrix
+    of (workload × device) entries a suite run measures. The estimate
+    mode runs through all three engines (sequential, parallel,
+    specialized) and the simrtl mode supplies ground truth — per entry,
+    inside the runner — so the full evaluation matrix of the paper is
+    one [entry list]. *)
+
+module W = Flexcl_workloads.Workload
+module Device = Flexcl_device.Device
+module Config = Flexcl_core.Config
+
+type entry = {
+  suite : string;       (** ["rodinia"] or ["polybench"]. *)
+  workload : W.t;
+  device_name : string; (** ["xc7vx690t"] or ["xcku060"]. *)
+  device : Device.t;
+}
+
+val devices : (string * Device.t) list
+(** The device axis of the matrix, in report order. *)
+
+val id : entry -> string
+(** ["suite/benchmark/kernel\@device"] — matches {!Report.entry_id}. *)
+
+val full : unit -> entry list
+(** Every Rodinia and PolyBench workload on every device (the paper's
+    full evaluation matrix; [make bench-suite]). *)
+
+val smoke : unit -> entry list
+(** The fast subset gating [make check]: both suites and both devices
+    represented, seconds not minutes. *)
+
+val smoke_workload_names : string list
+
+val filter : string -> entry list -> entry list
+(** Entries whose {!id} contains the pattern as a substring. *)
+
+val candidate_configs : wg_size:int -> Config.t list
+(** Design-point candidates for an entry, most-optimized first; the
+    runner evaluates the first one feasible on the entry's device. *)

@@ -3,6 +3,7 @@ type severity = Error | Warning | Note
 type code =
   | Io_error
   | Usage_error
+  | Cli_error
   | Lex_error
   | Parse_error
   | Sema_error
@@ -34,6 +35,7 @@ type t = {
 let code_name = function
   | Io_error -> "E-IO"
   | Usage_error -> "E-USAGE"
+  | Cli_error -> "E-CLI"
   | Lex_error -> "E-LEX"
   | Parse_error -> "E-PARSE"
   | Sema_error -> "E-SEMA"

@@ -17,6 +17,10 @@ type severity = Error | Warning | Note
 type code =
   | Io_error                 (** file could not be read. *)
   | Usage_error              (** bad command-line / API usage. *)
+  | Cli_error                (** command-line misuse that deserves a
+                                 structured diagnostic (unknown suite
+                                 name, zero-match filter, ...) rather
+                                 than silent acceptance. *)
   | Lex_error                (** malformed token. *)
   | Parse_error              (** syntax error. *)
   | Sema_error               (** type / semantic error. *)

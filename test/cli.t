@@ -66,3 +66,65 @@ barrier-mode root on Eq.10 and Table-1 pattern leaves:
   5
   $ grep -E 'TOTAL' trace.txt
   TOTAL         : 408395 cycles = 2041.97 us
+
+The benchmark-suite harness: a declarative (workload x device) matrix
+with statistical regression gates. --list prints the matrix without
+running it:
+
+  $ flexcl suite --list --smoke
+  +-----------------------------------+------------+----+
+  | entry                             | work-items | wg |
+  +===================================+============+====+
+  | rodinia/hotspot/hotspot@xc7vx690t |       1024 | 64 |
+  | rodinia/backprop/layer@xc7vx690t  |       1024 | 64 |
+  | polybench/gemm/gemm@xc7vx690t     |       1024 | 64 |
+  | polybench/mvt/mvt@xc7vx690t       |        256 | 64 |
+  | rodinia/hotspot/hotspot@xcku060   |       1024 | 64 |
+  +-----------------------------------+------------+----+
+  5 entries
+
+A filter matching nothing is a usage error, not an empty table:
+
+  $ flexcl suite --list --filter nosuchentry
+  error[E-CLI] --filter "nosuchentry" matches no suite entry (try 'flexcl suite --list')
+  [2]
+
+So is an unknown suite name on the workloads table:
+
+  $ flexcl workloads --suite bogus
+  error[E-CLI] unknown suite "bogus" (polybench | rodinia)
+  [2]
+
+A smoke run self-compares cleanly (exit 0) — accuracy is deterministic
+and warm latency sits inside the calibration-normalized noise band:
+
+  $ flexcl suite --smoke -o base.json -q > /dev/null 2>&1
+  $ flexcl suite --smoke -o fresh.json --compare base.json -q > run.txt 2>&1
+  $ grep -o 'gate: PASS' run.txt
+  gate: PASS
+
+A seeded accuracy regression fails the gate (exit 1) and names the
+offending entries — a baseline claiming zero model error makes the real
+errors regressions:
+
+  $ sed 's/"err_pct":[0-9.e+-]*/"err_pct":0/g' base.json > perfect.json
+  $ flexcl suite --smoke -o /dev/null --compare perfect.json -q > gate.txt 2>&1
+  [1]
+  $ grep 'REGRESSION \[accuracy\]' gate.txt
+  REGRESSION [accuracy] rodinia/backprop/layer@xc7vx690t: model error vs simrtl rose 0.00% -> 8.84% (limit 0.50%)
+  REGRESSION [accuracy] rodinia/hotspot/hotspot@xc7vx690t: model error vs simrtl rose 0.00% -> 3.96% (limit 0.50%)
+  REGRESSION [accuracy] rodinia/hotspot/hotspot@xcku060: model error vs simrtl rose 0.00% -> 5.38% (limit 0.50%)
+  $ grep -o 'gate: FAIL' gate.txt
+  gate: FAIL
+
+A missing or corrupt baseline is an input error (exit 1):
+
+  $ flexcl suite --smoke -o /dev/null --compare missing.json -q
+  error[E-IO] missing.json: No such file or directory
+  [1]
+
+  $ echo '{"kind":"other"}' > corrupt.json
+  $ flexcl suite --smoke -o /dev/null --compare corrupt.json -q 2>&1 | grep -o 'error\[E-PARSE\]'
+  error[E-PARSE]
+  $ flexcl suite --smoke -o /dev/null --compare corrupt.json -q > /dev/null 2>&1
+  [1]
