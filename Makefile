@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke suite-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
+.PHONY: all build test check smoke serve-smoke trace-smoke pipeline-smoke suite-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
 
 all: build
 
@@ -15,7 +15,7 @@ test:
 # cycle-attribution trace on two bundled kernels in both modes, the
 # benchmark-suite smoke matrix against its committed baseline, and the
 # seeded chaos storm against a live socket server.
-check: build test smoke serve-smoke trace-smoke suite-smoke chaos
+check: build test smoke serve-smoke trace-smoke pipeline-smoke suite-smoke chaos
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -79,6 +79,37 @@ trace-smoke:
 	     printf '%s\n' "$$out"; exit 1 ;; \
 	esac; \
 	echo "trace-smoke: conservation-validated traces on 2 kernels OK"
+
+# Pipeline-graph smoke (DESIGN.md §14): a conservation-checked explain
+# on every bundled kernel graph (`pipeline explain` exits 3 on any
+# violation, so running it is the assertion), a co-sim cross-check on
+# the stream pipeline, and the deadlock guard — an unbalanced --rounds
+# override must exit 3 with a diagnostic, never hang.
+pipeline-smoke:
+	@for g in stream/produce-filter-consume stencil/blur-sharpen; do \
+	  dune exec --no-build bin/flexcl_cli.exe -- pipeline explain \
+	    --graph $$g --json > /dev/null || { \
+	    echo "pipeline-smoke: explain --json failed on $$g"; exit 1; }; \
+	done; \
+	out=$$(dune exec --no-build bin/flexcl_cli.exe -- pipeline cosim \
+	  --graph stream/produce-filter-consume --seed 7); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "pipeline-smoke: cosim exited $$status"; exit 1; \
+	fi; \
+	case "$$out" in \
+	  *'co-sim'*'error'*) ;; \
+	  *) echo "pipeline-smoke: cosim output lacks the comparison"; \
+	     printf '%s\n' "$$out"; exit 1 ;; \
+	esac; \
+	dune exec --no-build bin/flexcl_cli.exe -- pipeline cosim \
+	  --graph stream/produce-filter-consume --rounds produce=32 \
+	  > /dev/null 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 3 ]; then \
+	  echo "pipeline-smoke: expected exit 3 on a deadlocking override, got $$status"; exit 1; \
+	fi; \
+	echo "pipeline-smoke: 2 graphs explained + co-sim cross-check + deadlock guard OK"
 
 # Benchmark-suite smoke gate (DESIGN.md §13): run the fast subset of the
 # (workload x device) matrix and diff it against the committed baseline.

@@ -5,6 +5,8 @@
      flexcl simulate  (--kernel FILE | --workload NAME) [launch/design flags]
      flexcl explore   (--kernel FILE | --workload NAME) [--top N]
      flexcl workloads [--suite rodinia|polybench]
+     flexcl pipeline  list | analyze | explain | explore | cosim
+                      [--graph NAME] [--depth N] [...]
      flexcl suite     [--list] [--smoke] [--filter SUBSTR] [--out FILE]
                       [--compare BASELINE] [--repeat N] [--warmup N]
                       [--seed N] [--quiet]
@@ -232,7 +234,7 @@ module Trace = Flexcl_util.Trace
 (* A trace is only printed after it passes its own conservation check and
    a byte-level JSON round-trip; a violation is a model bug, not an input
    problem, so it exits 3. *)
-let validated_trace (b : Model.breakdown) (tr : Trace.t) =
+let validated_trace_against ~cycles (tr : Trace.t) =
   let fail fmt =
     Printf.ksprintf
       (fun msg ->
@@ -244,17 +246,20 @@ let validated_trace (b : Model.breakdown) (tr : Trace.t) =
   | Error e -> fail "trace conservation violated: %s" e
   | Ok () ->
       if
-        Float.abs (tr.Trace.cycles -. b.Model.cycles)
-        > 1e-9 *. Float.max 1.0 (Float.abs b.Model.cycles)
+        Float.abs (tr.Trace.cycles -. cycles)
+        > 1e-9 *. Float.max 1.0 (Float.abs cycles)
       then
         fail "trace root %.17g disagrees with the prediction %.17g"
-          tr.Trace.cycles b.Model.cycles
+          tr.Trace.cycles cycles
       else
         let s = Json.to_string (Trace.to_json tr) in
         match Result.bind (Json.of_string s) (fun j -> Trace.of_json j) with
         | Error e -> fail "trace does not survive a JSON round-trip: %s" e
         | Ok tr' when tr' <> tr -> fail "trace JSON round-trip is lossy"
         | Ok _ -> Ok s
+
+let validated_trace (b : Model.breakdown) tr =
+  validated_trace_against ~cycles:b.Model.cycles tr
 
 let analyze_cmd =
   let trace_flag =
@@ -632,6 +637,368 @@ let workloads_cmd =
     Term.(const run $ suite)
 
 (* ------------------------------------------------------------------ *)
+(* pipeline *)
+
+module Graph = Flexcl_graph.Graph
+module Gdef = Flexcl_graph.Gdef
+module GCosim = Flexcl_graph.Cosim
+module Pipelines = Flexcl_workloads.Pipelines
+
+let pipeline_names () =
+  String.concat " | "
+    (List.map (fun (p : Pipelines.t) -> p.Pipelines.name) Pipelines.all)
+
+(* Mirrors [with_kernel]: a missing --graph is CLI misuse (exit 2), an
+   unknown graph or one that fails validation is an input problem with
+   diagnostics (exit 1). *)
+let with_graph graph f =
+  guarded (fun () ->
+      match graph with
+      | None ->
+          prerr_endline
+            "flexcl: --graph NAME is required (see 'flexcl pipeline list')";
+          exit_usage_error
+      | Some gname -> (
+          match Pipelines.find gname with
+          | None ->
+              print_diags
+                [
+                  Diag.error Diag.Io_error "unknown pipeline graph %S (%s)"
+                    gname (pipeline_names ());
+                ];
+              exit_input_error
+          | Some p -> (
+              match Graph.analyze (Pipelines.graph p) with
+              | Error diags ->
+                  print_diags diags;
+                  exit_input_error
+              | Ok g -> f gname g)))
+
+let graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph"; "g" ] ~docv:"NAME"
+        ~doc:
+          "Built-in pipeline graph, e.g. stream/produce-filter-consume \
+           (see 'flexcl pipeline list').")
+
+let gdepth_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "depth" ] ~docv:"N"
+        ~doc:
+          "Uniform FIFO depth override for every channel (0 keeps the \
+           graph's declared depths).")
+
+(* A non-positive override is not rejected here: it flows into the joint
+   point and comes back as the model's own Config_invalid diagnostic, so
+   the CLI and the serve kind report the identical message. *)
+let joint_with_depth g depth =
+  let j0 = Graph.default_joint g in
+  if depth = 0 then j0
+  else
+    {
+      j0 with
+      Graph.depths = List.map (fun (c, _) -> (c, depth)) j0.Graph.depths;
+    }
+
+let print_gbreakdown dev gname j (gb : Graph.gbreakdown) =
+  Printf.printf "graph       : %s on %s\n" gname dev.Device.name;
+  Printf.printf "joint point : %s\n" (Graph.joint_to_string j);
+  List.iter
+    (fun (s, (b : Model.breakdown)) ->
+      Printf.printf "  stage %-10s %8.0f cycles  (%s)\n" s b.Model.cycles
+        (Model.bottleneck b))
+    gb.Graph.per_stage;
+  Printf.printf "L_steady    : %.0f cycles (stage %s)\n" gb.Graph.steady
+    gb.Graph.bottleneck_stage;
+  Printf.printf "L_fill      : %.0f cycles (path %s)\n" gb.Graph.fill
+    (String.concat " -> " gb.Graph.critical_path);
+  Printf.printf "L_stall     : %.0f cycles\n" gb.Graph.stall;
+  List.iter
+    (fun (c, s) ->
+      if s > 0.0 then Printf.printf "  channel %-8s %8.0f cycles\n" c s)
+    gb.Graph.per_edge_stall;
+  Printf.printf "TOTAL       : %.0f cycles = %.2f us\n" gb.Graph.cycles
+    (gb.Graph.seconds *. 1e6);
+  Printf.printf "bottleneck  : %s\n" (Graph.bottleneck gb)
+
+let pipeline_list_cmd =
+  let run () =
+    guarded (fun () ->
+        let t =
+          Table.create
+            ~headers:[ "name"; "stages"; "channels"; "work-items"; "depth" ]
+        in
+        List.iter
+          (fun (p : Pipelines.t) ->
+            let g = Pipelines.graph p in
+            Table.add_row t
+              [
+                p.Pipelines.name;
+                string_of_int (List.length g.Gdef.stages);
+                string_of_int (List.length g.Gdef.channels);
+                string_of_int
+                  (List.fold_left
+                     (fun acc (_, _, l) -> acc + L.n_work_items l)
+                     0 p.Pipelines.stages);
+                string_of_int p.Pipelines.default_depth;
+              ])
+          Pipelines.all;
+        print_string (Table.render t);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the bundled multi-kernel pipeline graphs.")
+    Term.(const run $ const ())
+
+let pipeline_analyze_cmd =
+  let run dev graph depth =
+    with_graph graph (fun gname g ->
+        let j = joint_with_depth g depth in
+        match Graph.estimate_result dev g j with
+        | Error d ->
+            print_diags [ d ];
+            exit_input_error
+        | Ok gb ->
+            print_gbreakdown dev gname j gb;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Estimate a kernel graph analytically: per-stage cycles plus the \
+          steady/fill/stall decomposition (Eq. G1).")
+    Term.(const run $ device_arg $ graph_arg $ gdepth_arg)
+
+let pipeline_explain_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the trace as JSON instead of a tree.")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Truncate the printed tree below depth $(docv) (text mode only).")
+  in
+  let run dev graph depth json max_depth =
+    with_graph graph (fun gname g ->
+        let j = joint_with_depth g depth in
+        match Graph.estimate_result dev g j with
+        | Error d ->
+            print_diags [ d ];
+            exit_input_error
+        | Ok gb -> (
+            let _, tr = Graph.explain dev g j in
+            match validated_trace_against ~cycles:gb.Graph.cycles tr with
+            | Error code -> code
+            | Ok trace_json ->
+                if json then (
+                  print_endline
+                    (Json.to_string
+                       (Json.Obj
+                          [
+                            ("graph", Json.Str gname);
+                            ("device", Json.Str dev.Device.name);
+                            ("joint", Json.Str (Graph.joint_to_string j));
+                            ("cycles", Json.Num gb.Graph.cycles);
+                            ( "trace",
+                              match Json.of_string trace_json with
+                              | Ok v -> v
+                              | Error _ -> assert false );
+                          ]));
+                  0)
+                else begin
+                  Printf.printf "graph       : %s on %s\n" gname
+                    dev.Device.name;
+                  Printf.printf "joint point : %s\n"
+                    (Graph.joint_to_string j);
+                  Printf.printf "prediction  : %.0f cycles = %.2f us\n\n"
+                    gb.Graph.cycles (gb.Graph.seconds *. 1e6);
+                  print_endline (Trace.render ?max_depth tr);
+                  0
+                end))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every predicted graph cycle to a model term: the \
+          conservation-checked tree from L_graph down through \
+          steady/fill/stall (Eq. G1-G4) into the bottleneck stage's \
+          single-kernel schedule.")
+    Term.(
+      const run $ device_arg $ graph_arg $ gdepth_arg $ json_flag $ max_depth)
+
+let pipeline_explore_cmd =
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Show the N best joint points.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the staged sweep (0 = sequential; \
+             default: cores - 1). Results are identical at any N.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the ranking as JSON instead of a table.")
+  in
+  let run dev graph top jobs json =
+    match jobs with
+    | Some n when n < 0 ->
+        prerr_endline "flexcl: --jobs must be >= 0";
+        exit_usage_error
+    | _ ->
+        with_graph graph (fun gname g ->
+            let space = Graph.default_jspace in
+            let ranked = Graph.explore ?num_domains:jobs dev g space in
+            if ranked = [] then begin
+              print_diags
+                [
+                  Diag.error Diag.Config_invalid
+                    "no feasible joint design point for %S on %s" gname
+                    dev.Device.name;
+                ];
+              exit_input_error
+            end
+            else begin
+              let prog =
+                match Graph.best ?num_domains:jobs dev g space with
+                | Some (_, prog) -> prog
+                | None -> assert false (* ranked <> [] *)
+              in
+              if json then (
+                let take n xs =
+                  List.filteri (fun i _ -> i < n) xs
+                in
+                print_endline
+                  (Json.to_string
+                     (Json.Obj
+                        [
+                          ("graph", Json.Str gname);
+                          ("device", Json.Str dev.Device.name);
+                          ("points", Json.Num (float_of_int (List.length ranked)));
+                          ("pruned", Json.Num (float_of_int prog.Graph.jpruned));
+                          ( "top",
+                            Json.Arr
+                              (List.map
+                                 (fun (e : Graph.jevaluated) ->
+                                   Json.Obj
+                                     [
+                                       ( "joint",
+                                         Json.Str
+                                           (Graph.joint_to_string
+                                              e.Graph.joint) );
+                                       ("cycles", Json.Num e.Graph.jcycles);
+                                     ])
+                                 (take top ranked)) );
+                        ]));
+                0)
+              else begin
+                Printf.printf "%s: %d joint design points\n\n" gname
+                  (List.length ranked);
+                let t =
+                  Table.create
+                    ~headers:[ "rank"; "joint point"; "cycles"; "us" ]
+                in
+                List.iteri
+                  (fun i (e : Graph.jevaluated) ->
+                    if i < top then
+                      Table.add_row t
+                        [
+                          string_of_int (i + 1);
+                          Graph.joint_to_string e.Graph.joint;
+                          Printf.sprintf "%.0f" e.Graph.jcycles;
+                          Printf.sprintf "%.2f"
+                            (Device.cycles_to_seconds dev e.Graph.jcycles
+                            *. 1e6);
+                        ])
+                  ranked;
+                print_string (Table.render t);
+                Printf.printf
+                  "\nbound-pruned search: %d/%d points evaluated (%d pruned)\n"
+                  prog.Graph.jevaluated prog.Graph.jtotal prog.Graph.jpruned;
+                0
+              end
+            end)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore the joint design space (per-stage DSP share x \
+          per-channel FIFO depth) through the staged per-stage oracles.")
+    Term.(const run $ device_arg $ graph_arg $ top $ jobs $ json_flag)
+
+let pipeline_cosim_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Per-stage simulator seed.")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "rounds" ] ~docv:"STAGE=N"
+          ~doc:
+            "Reschedule $(i,STAGE) for $(i,N) work-group rounds at its \
+             measured service time (a sizing sensitivity knob; an \
+             unbalanced override can deadlock the DES, reported as an \
+             internal error).")
+  in
+  let run dev graph depth seed rounds =
+    with_graph graph (fun gname g ->
+        let j = joint_with_depth g depth in
+        match Graph.estimate_result dev g j with
+        | Error d ->
+            print_diags [ d ];
+            exit_input_error
+        | Ok gb ->
+            let r = GCosim.run ?seed ~rounds_override:rounds dev g j in
+            Printf.printf "graph     : %s on %s\n" gname dev.Device.name;
+            Printf.printf "joint     : %s\n" (Graph.joint_to_string j);
+            Printf.printf "model     : %.0f cycles\n" gb.Graph.cycles;
+            Printf.printf "co-sim    : %.0f cycles (%d work-group rounds)\n"
+              r.GCosim.cycles r.GCosim.rounds;
+            if r.GCosim.cycles = 0.0 then
+              Printf.printf "error     : n/a (co-sim reported 0 cycles)\n"
+            else
+              Printf.printf "error     : %.1f%%\n"
+                (100.0
+                *. Float.abs (gb.Graph.cycles -. r.GCosim.cycles)
+                /. r.GCosim.cycles);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:
+         "Run the work-group-granular co-simulation over bounded channels \
+          and compare it to the analytical graph estimate.")
+    Term.(const run $ device_arg $ graph_arg $ gdepth_arg $ seed $ rounds)
+
+let pipeline_cmd =
+  Cmd.group
+    (Cmd.info "pipeline"
+       ~doc:
+         "Model multi-kernel pipe-connected pipelines: analyze, explain, \
+          co-simulate and jointly explore the bundled kernel graphs.")
+    [
+      pipeline_list_cmd; pipeline_analyze_cmd; pipeline_explain_cmd;
+      pipeline_explore_cmd; pipeline_cosim_cmd;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* suite *)
 
 module Suite_def = Flexcl_suite.Sdef
@@ -759,9 +1126,8 @@ let suite_cmd =
               Table.add_row t
                 [
                   Suite_def.id e;
-                  string_of_int
-                    (L.n_work_items e.Suite_def.workload.W.launch);
-                  string_of_int (L.wg_size e.Suite_def.workload.W.launch);
+                  string_of_int (Suite_def.work_items e);
+                  string_of_int (Suite_def.wg e);
                 ])
             entries;
           print_string (Table.render t);
@@ -858,7 +1224,7 @@ let () =
       (Cmd.group info
          [
            analyze_cmd; explain_cmd; simulate_cmd; explore_cmd; workloads_cmd;
-           suite_cmd; serve_cmd;
+           pipeline_cmd; suite_cmd; serve_cmd;
          ])
   in
   (* cmdliner signals its own parse errors (unknown flag, bad value)

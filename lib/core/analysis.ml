@@ -63,6 +63,7 @@ let starts_with prefix s =
 let classify_message msg =
   if starts_with "Launch." msg || starts_with "Analysis." msg then
     Diag.Launch_invalid
+  else if starts_with "Pipeline." msg then Diag.Config_invalid
   else if starts_with "Lower." msg then Diag.Lower_error
   else if
     starts_with "Sms" msg || starts_with "Listsched" msg
@@ -80,6 +81,8 @@ let diag_of_exn = function
   | Parser.Error (msg, line, col) ->
       Diag.error ~span:{ Diag.line; col } Diag.Parse_error "%s" msg
   | Sema.Error msg -> Diag.error Diag.Sema_error "%s" msg
+  | Sema.Error_at (msg, line, col) ->
+      Diag.error ~span:{ Diag.line; col } Diag.Sema_error "%s" msg
   | Interp.Runtime_error msg -> Diag.error Diag.Profile_error "profiling failed: %s" msg
   | Interp.Profile_budget_exceeded budget ->
       Diag.error Diag.Profile_budget_exceeded
@@ -114,6 +117,8 @@ let of_source_result ?max_work_groups ?max_steps ?file src launch =
   | Error diags -> Error (tag diags)
   | Ok kernel ->
       Result.map_error tag (analyze_result ?max_work_groups ?max_steps kernel launch)
+
+let pipe_accesses t = t.profile.Interp.pipe_counts
 
 let trip t (info : Cdfg.loop_info) =
   match info.Cdfg.static_trip with

@@ -59,6 +59,11 @@ val diag_of_exn : exn -> Flexcl_util.Diag.t
     [Failure] payloads are classified by their ["Module.fn:"] prefix,
     anything unrecognized becomes [Internal_error]. *)
 
+val pipe_accesses : t -> (string * (float * float)) list
+(** Profiled pipe traffic: per [pipe] parameter, mean (reads, writes)
+    per work-item. The graph layer derives producer/consumer burst
+    rates — and channel-depth stall terms — from these counts. *)
+
 val trip : t -> Cdfg.loop_info -> float
 (** Trip count of a loop: static when known, otherwise the profiled
     average; 0 when the loop never executes. *)

@@ -77,6 +77,9 @@ let variants_virtex7 (op : Opcode.t) =
   | Opcode.Select -> [| 1 |]
   | Opcode.Barrier_op -> [| 2 |]
   | Opcode.Live_in -> [| 0 |]
+  (* on-chip FIFO access: comparable to local memory, not DRAM *)
+  | Opcode.Pipe_read_op -> [| 2 |]
+  | Opcode.Pipe_write_op -> [| 1 |]
 
 let variants_ku060 (op : Opcode.t) =
   match op with
@@ -112,7 +115,7 @@ let dsp_cost _t (op : Opcode.t) =
   | Opcode.Load _ | Opcode.Store _ | Opcode.Int_alu | Opcode.Int_div
   | Opcode.Float_div | Opcode.Float_cmp | Opcode.Float_sqrt | Opcode.Convert
   | Opcode.Wi_query | Opcode.Const_op | Opcode.Select | Opcode.Barrier_op
-  | Opcode.Live_in ->
+  | Opcode.Live_in | Opcode.Pipe_read_op | Opcode.Pipe_write_op ->
       0
 
 let validate t =

@@ -1,0 +1,38 @@
+(** Co-simulated ground truth for kernel graphs.
+
+    Each stage runs through the cycle-level system simulator
+    ({!Flexcl_simrtl.Sysrun}, seeded) for its per-work-group service
+    time; stages are then composed by a deterministic discrete-event
+    simulation at work-group granularity over bounded channels — a
+    consumer round starts only when its inbound channels hold enough
+    packets, a producer round only when the channel depth leaves room
+    (backpressure), so small FIFOs serialize the pipeline just as the
+    analytical stall term predicts. *)
+
+module Device = Flexcl_device.Device
+module Sysrun = Flexcl_simrtl.Sysrun
+
+type result = {
+  cycles : float;   (** completion time of the last work-group. *)
+  seconds : float;
+  per_stage : (string * Sysrun.result) list;
+      (** the per-stage simulator runs (topological order). *)
+  rounds : int;     (** work-group completions simulated by the DES. *)
+}
+
+val run :
+  ?seed:int ->
+  ?rounds_override:(string * int) list ->
+  Device.t ->
+  Graph.analyzed ->
+  Graph.joint ->
+  result
+(** [rounds_override] reschedules a stage for a different number of
+    work-group rounds at its measured service time — a sizing
+    sensitivity knob (what if the producer covered 4x the data?).
+    Raises [Failure] with a ["Pipeline."]-prefixed message on a graph
+    whose packet rates or channel sizing deadlock the work-group-
+    granular DES (e.g. a consumer that needs more packets than its
+    producers ever emit — the usual outcome of an unbalanced override),
+    and [Invalid_argument] on an unknown stage name or a round count
+    below 1. *)

@@ -1,0 +1,354 @@
+(* Kernel-graph definitions: a multi-kernel pipeline as data.
+
+   A graph is a list of stages (one kernel each, with its own launch)
+   plus a list of channels wiring one stage's [pipe] parameter to
+   another's. Validation is total: every structural fault — an endpoint
+   that names no stage or no pipe, a pipe left unwired, a direction
+   violation, a packet-type mismatch across a channel, a cycle in the
+   stage graph — becomes a structured diagnostic with a stable code, so
+   batch sweeps over many graphs report errors instead of escaping
+   exceptions. *)
+
+module Ast = Flexcl_opencl.Ast
+module Parser = Flexcl_opencl.Parser
+module Sema = Flexcl_opencl.Sema
+module Types = Flexcl_opencl.Types
+module Launch = Flexcl_ir.Launch
+module Diag = Flexcl_util.Diag
+module Ugraph = Flexcl_util.Graph
+
+type stage = {
+  s_name : string;
+  s_source : string;
+  s_launch : Launch.t;
+}
+
+type endpoint = { e_stage : string; e_param : string }
+
+type channel = {
+  c_name : string;
+  producer : endpoint;
+  consumer : endpoint;
+  depth : int;
+}
+
+type t = {
+  g_name : string;
+  stages : stage list;
+  channels : channel list;
+}
+
+type resolved_stage = {
+  r_stage : stage;
+  r_kernel : Ast.kernel;
+  r_info : Sema.info;
+}
+
+type resolved = {
+  graph : t;
+  rstages : resolved_stage list;  (* topological order *)
+  order : string list;
+}
+
+let stage_names g = List.map (fun s -> s.s_name) g.stages
+
+let find_stage g name = List.find_opt (fun s -> s.s_name = name) g.stages
+
+let find_channel g name = List.find_opt (fun c -> c.c_name = name) g.channels
+
+let in_edges g stage = List.filter (fun c -> c.consumer.e_stage = stage) g.channels
+let out_edges g stage = List.filter (fun c -> c.producer.e_stage = stage) g.channels
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let err code fmt = Printf.ksprintf (fun m -> Diag.make code m) fmt
+
+let dup_names what names =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun n ->
+      if Hashtbl.mem seen n then
+        Some (err Diag.Config_invalid "duplicate %s name %S" what n)
+      else (
+        Hashtbl.replace seen n ();
+        None))
+    names
+
+(* Per-stage frontend: parse + sema, errors tagged with the stage name. *)
+let resolve_stage (s : stage) =
+  match Parser.parse_kernel_result s.s_source with
+  | Error diags -> Error (List.map (Diag.with_file s.s_name) diags)
+  | Ok kernel -> (
+      match Sema.analyze kernel with
+      | info -> Ok { r_stage = s; r_kernel = kernel; r_info = info }
+      | exception Sema.Error msg ->
+          Error [ Diag.error ~file:s.s_name Diag.Sema_error "%s" msg ]
+      | exception Sema.Error_at (msg, line, col) ->
+          Error
+            [
+              Diag.error ~file:s.s_name ~span:{ Diag.line; col }
+                Diag.Sema_error "%s" msg;
+            ])
+
+(* Channel endpoints against the stages' inferred pipe endpoints. *)
+let check_channel (rs : (string * resolved_stage) list) (c : channel) =
+  let endpoint_errs role (e : endpoint) ~want_writes =
+    match List.assoc_opt e.e_stage rs with
+    | None ->
+        [
+          err Diag.Pipe_unbound "channel %S %s references unknown stage %S"
+            c.c_name role e.e_stage;
+        ]
+    | Some r -> (
+        match List.assoc_opt e.e_param r.r_info.Sema.pipes with
+        | None ->
+            [
+              err Diag.Pipe_unbound
+                "channel %S %s: stage %S has no pipe parameter %S" c.c_name
+                role e.e_stage e.e_param;
+            ]
+        | Some pe ->
+            let dir_ok =
+              if want_writes then pe.Sema.pe_writes && not pe.Sema.pe_reads
+              else pe.Sema.pe_reads && not pe.Sema.pe_writes
+            in
+            if dir_ok then []
+            else
+              [
+                err Diag.Pipe_unbound
+                  "channel %S %s: pipe %s.%s must be %s-only (kernel %s it)"
+                  c.c_name role e.e_stage e.e_param
+                  (if want_writes then "write" else "read")
+                  (match (pe.Sema.pe_reads, pe.Sema.pe_writes) with
+                  | true, true -> "both reads and writes"
+                  | true, false -> "only reads"
+                  | false, true -> "only writes"
+                  | false, false -> "never accesses");
+              ])
+  in
+  let depth_errs =
+    if c.depth >= 1 then []
+    else
+      [
+        err Diag.Config_invalid "channel %S: depth must be >= 1, got %d"
+          c.c_name c.depth;
+      ]
+  in
+  let self_errs =
+    if c.producer.e_stage = c.consumer.e_stage then
+      [
+        err Diag.Pipe_cycle "channel %S connects stage %S to itself" c.c_name
+          c.producer.e_stage;
+      ]
+    else []
+  in
+  let packet_errs =
+    match
+      ( List.assoc_opt c.producer.e_stage rs,
+        List.assoc_opt c.consumer.e_stage rs )
+    with
+    | Some rp, Some rc -> (
+        match
+          ( List.assoc_opt c.producer.e_param rp.r_info.Sema.pipes,
+            List.assoc_opt c.consumer.e_param rc.r_info.Sema.pipes )
+        with
+        | Some pp, Some pc when pp.Sema.pe_packet <> pc.Sema.pe_packet ->
+            [
+              err Diag.Pipe_mismatch
+                "channel %S: producer %s.%s carries %s (%d bits) but \
+                 consumer %s.%s expects %s (%d bits)"
+                c.c_name c.producer.e_stage c.producer.e_param
+                (Types.scalar_name pp.Sema.pe_packet)
+                (Types.scalar_bits pp.Sema.pe_packet)
+                c.consumer.e_stage c.consumer.e_param
+                (Types.scalar_name pc.Sema.pe_packet)
+                (Types.scalar_bits pc.Sema.pe_packet);
+            ]
+        | _ -> [])
+    | _ -> []
+  in
+  depth_errs @ self_errs
+  @ endpoint_errs "producer" c.producer ~want_writes:true
+  @ endpoint_errs "consumer" c.consumer ~want_writes:false
+  @ packet_errs
+
+(* Every pipe parameter of every stage must be wired by exactly one
+   channel endpoint of the matching direction. *)
+let check_coverage g (rs : (string * resolved_stage) list) =
+  List.concat_map
+    (fun (stage_name, r) ->
+      List.concat_map
+        (fun (param, (pe : Sema.pipe_endpoint)) ->
+          let matches =
+            List.filter
+              (fun c ->
+                (c.producer.e_stage = stage_name && c.producer.e_param = param)
+                || (c.consumer.e_stage = stage_name
+                   && c.consumer.e_param = param))
+              g.channels
+          in
+          match matches with
+          | [] ->
+              [
+                err Diag.Pipe_unbound
+                  "pipe %s.%s (%s, %s) is not wired to any channel" stage_name
+                  param
+                  (Types.scalar_name pe.Sema.pe_packet)
+                  (match (pe.Sema.pe_reads, pe.Sema.pe_writes) with
+                  | true, _ -> "read endpoint"
+                  | _, true -> "write endpoint"
+                  | _ -> "unused");
+              ]
+          | [ _ ] -> []
+          | many ->
+              [
+                err Diag.Pipe_unbound
+                  "pipe %s.%s is wired by %d channels (%s); endpoints bind \
+                   exactly once"
+                  stage_name param (List.length many)
+                  (String.concat ", "
+                     (List.map (fun c -> c.c_name) many));
+              ])
+        r.r_info.Sema.pipes)
+    rs
+
+let topo_order g =
+  let names = stage_names g in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i n -> Hashtbl.replace index n i) names;
+  let n = List.length names in
+  let ug = Ugraph.create n in
+  List.iter
+    (fun c ->
+      match
+        ( Hashtbl.find_opt index c.producer.e_stage,
+          Hashtbl.find_opt index c.consumer.e_stage )
+      with
+      | Some u, Some v when u <> v -> Ugraph.add_edge ug u v
+      | _ -> ())
+    g.channels;
+  match Ugraph.topo_sort ug with
+  | Some order -> Ok (List.map (fun i -> List.nth names i) order)
+  | None ->
+      let cyclic =
+        List.filter_map
+          (fun scc ->
+            match scc with
+            | _ :: _ :: _ ->
+                Some
+                  (String.concat " -> "
+                     (List.map (fun i -> List.nth names i) scc))
+            | _ -> None)
+          (Ugraph.sccs ug)
+      in
+      Error
+        [
+          err Diag.Pipe_cycle "kernel graph is cyclic: %s"
+            (String.concat "; " cyclic);
+        ]
+
+let validate_structure g (rs : (string * resolved_stage) list) =
+  let errs =
+    (if g.stages = [] then
+       [ err Diag.Config_invalid "graph %S has no stages" g.g_name ]
+     else [])
+    @ dup_names "stage" (stage_names g)
+    @ dup_names "channel" (List.map (fun c -> c.c_name) g.channels)
+    @ List.concat_map (check_channel rs) g.channels
+    @ check_coverage g rs
+  in
+  match errs with
+  | [] -> Result.map (fun order -> order) (topo_order g)
+  | _ -> Error errs
+
+let resolve (g : t) : (resolved, Diag.t list) result =
+  let resolved, errors =
+    List.fold_left
+      (fun (ok, errs) s ->
+        match resolve_stage s with
+        | Ok r -> ((s.s_name, r) :: ok, errs)
+        | Error ds -> (ok, errs @ ds))
+      ([], []) g.stages
+  in
+  let rs = List.rev resolved in
+  if errors <> [] then Error errors
+  else
+    match validate_structure g rs with
+    | Error ds -> Error ds
+    | Ok order ->
+        let rstages =
+          List.map (fun name -> List.assoc name rs) order
+        in
+        Ok { graph = g; rstages; order }
+
+(* ------------------------------------------------------------------ *)
+(* Auto-wiring: one source with several kernels, channels inferred by
+   matching pipe parameter names (the writer of pipe [p] feeds every...
+   exactly one reader of pipe [p]). *)
+
+let of_program ~name ~depth (kernels : (string * string * Launch.t) list)
+    : (t, Diag.t list) result =
+  let stages =
+    List.map (fun (s_name, s_source, s_launch) -> { s_name; s_source; s_launch })
+      kernels
+  in
+  (* Need sema info to classify endpoint directions. *)
+  let infos, errors =
+    List.fold_left
+      (fun (ok, errs) s ->
+        match resolve_stage s with
+        | Ok r -> ((s.s_name, r.r_info) :: ok, errs)
+        | Error ds -> (ok, errs @ ds))
+      ([], []) stages
+  in
+  if errors <> [] then Error errors
+  else
+    let infos = List.rev infos in
+    let writers, readers =
+      List.fold_left
+        (fun (ws, rds) (stage, info) ->
+          List.fold_left
+            (fun (ws, rds) (param, (pe : Sema.pipe_endpoint)) ->
+              let ep = { e_stage = stage; e_param = param } in
+              if pe.Sema.pe_writes then ((param, ep) :: ws, rds)
+              else if pe.Sema.pe_reads then (ws, (param, ep) :: rds)
+              else (ws, rds))
+            (ws, rds) info.Sema.pipes)
+        ([], []) infos
+    in
+    let writers = List.rev writers and readers = List.rev readers in
+    let channels, errs =
+      List.fold_left
+        (fun (chans, errs) (pname, producer) ->
+          match List.filter (fun (n, _) -> n = pname) readers with
+          | [ (_, consumer) ] ->
+              ({ c_name = pname; producer; consumer; depth } :: chans, errs)
+          | [] ->
+              ( chans,
+                err Diag.Pipe_unbound
+                  "pipe %S is written by %s but no kernel reads it" pname
+                  producer.e_stage
+                :: errs )
+          | many ->
+              ( chans,
+                err Diag.Pipe_unbound
+                  "pipe %S has %d readers; auto-wiring needs exactly one"
+                  pname (List.length many)
+                :: errs ))
+        ([], []) writers
+    in
+    let orphan_reads =
+      List.filter_map
+        (fun (pname, reader) ->
+          if List.exists (fun (n, _) -> n = pname) writers then None
+          else
+            Some
+              (err Diag.Pipe_unbound
+                 "pipe %S is read by %s but no kernel writes it" pname
+                 reader.e_stage))
+        readers
+    in
+    match errs @ orphan_reads with
+    | [] -> Ok { g_name = name; stages; channels = List.rev channels }
+    | ds -> Error ds

@@ -1,0 +1,83 @@
+(** Kernel-graph definitions: a multi-kernel pipeline as data
+    (DESIGN.md §14).
+
+    A graph names its stages — one kernel with its own launch each — and
+    wires channels between [pipe] parameters: the producer endpoint must
+    be write-only in its kernel, the consumer read-only, packet types
+    must agree across the channel, every pipe parameter must be wired by
+    exactly one endpoint, and the stage graph must be acyclic.
+    {!resolve} checks all of it totally, reporting structured
+    diagnostics ([Pipe_unbound] / [Pipe_cycle] / [Pipe_mismatch] /
+    [Config_invalid]) instead of raising. *)
+
+module Ast = Flexcl_opencl.Ast
+module Sema = Flexcl_opencl.Sema
+module Launch = Flexcl_ir.Launch
+module Diag = Flexcl_util.Diag
+
+type stage = {
+  s_name : string;    (** unique within the graph. *)
+  s_source : string;  (** single-kernel OpenCL source. *)
+  s_launch : Launch.t;
+}
+
+type endpoint = {
+  e_stage : string;  (** stage name. *)
+  e_param : string;  (** [pipe] parameter name within that stage. *)
+}
+
+type channel = {
+  c_name : string;      (** unique within the graph. *)
+  producer : endpoint;  (** write-only endpoint. *)
+  consumer : endpoint;  (** read-only endpoint. *)
+  depth : int;          (** FIFO capacity in packets, >= 1. *)
+}
+
+type t = {
+  g_name : string;
+  stages : stage list;
+  channels : channel list;
+}
+
+type resolved_stage = {
+  r_stage : stage;
+  r_kernel : Ast.kernel;
+  r_info : Sema.info;
+}
+
+type resolved = {
+  graph : t;
+  rstages : resolved_stage list;  (** in topological order. *)
+  order : string list;  (** stage names, topologically sorted. *)
+}
+
+val stage_names : t -> string list
+
+val find_stage : t -> string -> stage option
+
+val find_channel : t -> string -> channel option
+
+val in_edges : t -> string -> channel list
+(** Channels consumed by a stage. *)
+
+val out_edges : t -> string -> channel list
+(** Channels produced by a stage. *)
+
+val resolve : t -> (resolved, Diag.t list) result
+(** Parse and type-check every stage (frontend diagnostics are tagged
+    with the stage name as their file), then validate the wiring:
+    endpoint existence and direction ([Diag.Pipe_unbound]), packet-type
+    agreement ([Diag.Pipe_mismatch]), acyclicity ([Diag.Pipe_cycle]),
+    single wiring per pipe, positive depths and unique names
+    ([Diag.Config_invalid]). Never raises on malformed input. *)
+
+val of_program :
+  name:string ->
+  depth:int ->
+  (string * string * Launch.t) list ->
+  (t, Diag.t list) result
+(** Auto-wire a graph from [(stage_name, source, launch)] triples:
+    a channel is created for every pipe parameter name written by one
+    kernel and read by exactly one other (all channels get [depth]).
+    A written-but-never-read or read-but-never-written pipe, or a pipe
+    with several readers, is a [Pipe_unbound] diagnostic. *)

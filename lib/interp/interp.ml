@@ -26,6 +26,8 @@ type profile = {
   wi_traces : access list array;
   n_work_items_profiled : int;
   buffers : (string * value array) list;
+  pipe_counts : (string * (float * float)) list;
+      (* pipe name -> (reads, writes) per profiled work-item *)
 }
 
 let trip_of p loop_id =
@@ -114,6 +116,8 @@ type exec_ctx = {
   trip_sum : (int, int) Hashtbl.t;    (* loop id -> total iterations *)
   trip_entries : (int, int) Hashtbl.t;
   trip_max : (int, int) Hashtbl.t;
+  pipe_reads : (string, int) Hashtbl.t;   (* pipe name -> packets read *)
+  pipe_writes : (string, int) Hashtbl.t;  (* pipe name -> packets written *)
   mutable cur_loop_trip : int;        (* scratch *)
   max_steps : int;                    (* fuel budget for the whole profile *)
   mutable fuel : int;                 (* steps remaining *)
@@ -294,6 +298,26 @@ and eval_binop ctx wi op a b =
 and eval_call ctx wi f args =
   match Builtins.find f with
   | None -> err "call to unknown function %s" f
+  | Some Builtins.Pipe_read -> (
+      (* pipes carry no launch data; reads yield a deterministic ramp
+         (the i-th packet read from a pipe is i), mirroring Launch.Ramp *)
+      match args with
+      | [ Ast.Var p ] -> (
+          let n = Option.value (Hashtbl.find_opt ctx.pipe_reads p) ~default:0 in
+          Hashtbl.replace ctx.pipe_reads p (n + 1);
+          match var_type ctx p with
+          | Types.Pipe s when Types.is_integer s -> I (Int64.of_int n)
+          | Types.Pipe _ -> F (float_of_int n)
+          | t -> err "read_pipe: %s has type %s, not pipe" p (Types.to_string t))
+      | _ -> err "read_pipe: argument must name a pipe parameter")
+  | Some Builtins.Pipe_write -> (
+      match args with
+      | [ Ast.Var p; payload ] ->
+          ignore (eval ctx wi payload);
+          let n = Option.value (Hashtbl.find_opt ctx.pipe_writes p) ~default:0 in
+          Hashtbl.replace ctx.pipe_writes p (n + 1);
+          I 1L (* success status *)
+      | _ -> err "write_pipe: first argument must name a pipe parameter")
   | Some b -> (
       let vs = List.map (eval ctx wi) args in
       match (b, vs) with
@@ -351,7 +375,7 @@ and eval_call ctx wi f args =
               F (a +. ((b -. a) *. c)))
       | Builtins.Abs, [ v ] -> I (Int64.abs (to_int v))
       | (Builtins.Wi _ | Builtins.Math1 _ | Builtins.Math2 _ | Builtins.Math3 _
-        | Builtins.Abs), _ ->
+        | Builtins.Abs | Builtins.Pipe_read | Builtins.Pipe_write), _ ->
           err "%s: wrong number of arguments" f)
 
 (* ------------------------------------------------------------------ *)
@@ -526,10 +550,13 @@ let bind_args ctx wi =
           | Some buf -> Hashtbl.replace wi.env name (Arr buf)
           | None -> err "buffer %s not materialized" name)
       | None -> (
-          (* __local params are allocated per work-group *)
-          match Types.addr_space_of p.Ast.p_type with
-          | Some Types.Local -> ()
-          | _ -> err "missing argument %s" name))
+          match p.Ast.p_type with
+          | Types.Pipe _ -> () (* pipes are channels, not launch arguments *)
+          | _ -> (
+              (* __local params are allocated per work-group *)
+              match Types.addr_space_of p.Ast.p_type with
+              | Some Types.Local -> ()
+              | _ -> err "missing argument %s" name)))
     ctx.kernel.Ast.k_params
 
 let run_gen ~max_work_groups ~max_steps (k : Ast.kernel) (info : Sema.info)
@@ -559,6 +586,8 @@ let run_gen ~max_work_groups ~max_steps (k : Ast.kernel) (info : Sema.info)
       trip_sum = Hashtbl.create 16;
       trip_entries = Hashtbl.create 16;
       trip_max = Hashtbl.create 16;
+      pipe_reads = Hashtbl.create 4;
+      pipe_writes = Hashtbl.create 4;
       cur_loop_trip = 0;
       max_steps;
       fuel = max_steps;
@@ -626,12 +655,24 @@ let run_gen ~max_work_groups ~max_steps (k : Ast.kernel) (info : Sema.info)
   let max_trips =
     Hashtbl.fold (fun id m acc -> (id, m) :: acc) ctx.trip_max [] |> List.sort compare
   in
+  let n_profiled = List.length selected * Launch.wg_size launch in
+  let pipe_counts =
+    let per_wi tbl name =
+      float_of_int (Option.value (Hashtbl.find_opt tbl name) ~default:0)
+      /. float_of_int (max 1 n_profiled)
+    in
+    List.map
+      (fun (name, _) ->
+        (name, (per_wi ctx.pipe_reads name, per_wi ctx.pipe_writes name)))
+      info.Sema.pipes
+  in
   {
     avg_trips;
     max_trips;
     wi_traces = Array.of_list (List.rev !traces);
-    n_work_items_profiled = List.length selected * Launch.wg_size launch;
+    n_work_items_profiled = n_profiled;
     buffers = Hashtbl.fold (fun name buf acc -> (name, buf) :: acc) globals [];
+    pipe_counts;
   }
 
 let run ?(max_work_groups = 2) ?(max_steps = default_max_steps) k info launch =

@@ -50,6 +50,9 @@ type profile = {
   n_work_items_profiled : int;
   buffers : (string * value array) list;
       (** final buffer contents (global arguments only). *)
+  pipe_counts : (string * (float * float)) list;
+      (** per [pipe] parameter, (reads, writes) per profiled work-item.
+          Reads yield a deterministic ramp (the i-th packet read is i). *)
 }
 
 val trip_of : profile -> int -> float

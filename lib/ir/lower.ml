@@ -184,7 +184,7 @@ let record_def ctx v e =
 let is_float_type = function
   | Types.Scalar s -> Types.is_float s
   | Types.Vector (s, _) -> Types.is_float s
-  | Types.Void | Types.Ptr _ | Types.Array _ -> false
+  | Types.Void | Types.Ptr _ | Types.Array _ | Types.Pipe _ -> false
 
 let type_of ctx e = Sema.type_of ctx.info e
 

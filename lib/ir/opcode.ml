@@ -21,6 +21,8 @@ type t =
   | Select
   | Barrier_op
   | Live_in
+  | Pipe_read_op
+  | Pipe_write_op
 
 let equal (a : t) (b : t) = a = b
 
@@ -45,6 +47,8 @@ let to_string = function
   | Select -> "select"
   | Barrier_op -> "barrier"
   | Live_in -> "live_in"
+  | Pipe_read_op -> "pipe.read"
+  | Pipe_write_op -> "pipe.write"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -70,6 +74,8 @@ let all =
     Select;
     Barrier_op;
     Live_in;
+    Pipe_read_op;
+    Pipe_write_op;
   ]
 
 let is_mem = function Load _ | Store _ -> true | _ -> false
@@ -112,3 +118,5 @@ let of_builtin (b : Builtins.t) =
   | Builtins.Math3 (Builtins.Mad | Builtins.Fma) -> Float_mul
   | Builtins.Math3 (Builtins.Clamp | Builtins.Mix) -> Select
   | Builtins.Abs -> Int_alu
+  | Builtins.Pipe_read -> Pipe_read_op
+  | Builtins.Pipe_write -> Pipe_write_op

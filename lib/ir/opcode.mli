@@ -27,6 +27,8 @@ type t =
   | Select     (** ternary / mux *)
   | Barrier_op (** work-group barrier *)
   | Live_in    (** block input wire (zero latency, zero resources) *)
+  | Pipe_read_op  (** blocking read from an on-chip FIFO channel *)
+  | Pipe_write_op (** blocking write to an on-chip FIFO channel *)
 
 val equal : t -> t -> bool
 

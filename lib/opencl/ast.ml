@@ -61,11 +61,17 @@ type kernel_attrs = {
 
 let default_kernel_attrs = { reqd_work_group_size = None; work_item_pipeline = false }
 
+(* Source position of a barrier/pipe call, recorded by the parser in
+   token order so sema can attach spans to diagnostics about them (the
+   AST itself carries no positions). *)
+type mark = { m_callee : string; m_line : int; m_col : int }
+
 type kernel = {
   k_name : string;
   k_params : param list;
   k_attrs : kernel_attrs;
   k_body : stmt list;
+  k_marks : mark list;
 }
 
 type program = kernel list

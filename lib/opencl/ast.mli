@@ -79,11 +79,17 @@ type kernel_attrs = {
 
 val default_kernel_attrs : kernel_attrs
 
+(** Source position of one [barrier]/[mem_fence]/[read_pipe]/[write_pipe]
+    call, recorded by the parser in token order. Sema pairs these with
+    the corresponding AST occurrences to attach spans to diagnostics. *)
+type mark = { m_callee : string; m_line : int; m_col : int }
+
 type kernel = {
   k_name : string;
   k_params : param list;
   k_attrs : kernel_attrs;
   k_body : stmt list;
+  k_marks : mark list;
 }
 
 type program = kernel list

@@ -32,6 +32,8 @@ type t =
   | Math2 of math2
   | Math3 of math3
   | Abs
+  | Pipe_read   (** [read_pipe(p)] — blocking read, yields one packet. *)
+  | Pipe_write  (** [write_pipe(p, v)] — blocking write, yields status int. *)
 
 let all =
   [
@@ -73,6 +75,8 @@ let all =
     ("clamp", Math3 Clamp);
     ("mix", Math3 Mix);
     ("abs", Abs);
+    ("read_pipe", Pipe_read);
+    ("write_pipe", Pipe_write);
   ]
 
 let find n = List.assoc_opt n all
@@ -84,13 +88,14 @@ let name t =
   | None -> assert false
 
 let arity = function
-  | Wi _ | Math1 _ | Abs -> 1
-  | Math2 _ -> 2
+  | Wi _ | Math1 _ | Abs | Pipe_read -> 1
+  | Math2 _ | Pipe_write -> 2
   | Math3 _ -> 3
 
 let scalar_of = function
   | Types.Scalar s -> Some s
-  | Types.Void | Types.Vector _ | Types.Ptr _ | Types.Array _ -> None
+  | Types.Void | Types.Vector _ | Types.Ptr _ | Types.Array _ | Types.Pipe _ ->
+      None
 
 let result_type t args =
   let expect_arity () =
@@ -128,5 +133,15 @@ let result_type t args =
       match scalar_of a with
       | Some s when Types.is_integer s -> Ok a
       | Some _ | None -> Error "abs: argument must be an integer scalar")
-  | (Wi _ | Math1 _ | Math2 _ | Math3 _ | Abs), _ ->
+  | Pipe_read, [ a ] -> (
+      match a with
+      | Types.Pipe s -> Ok (Types.Scalar s)
+      | _ -> Error "read_pipe: argument must be a pipe parameter")
+  | Pipe_write, [ a; b ] -> (
+      (* the payload converts implicitly, like any scalar assignment *)
+      match (a, scalar_of b) with
+      | Types.Pipe _, Some _ -> Ok (Types.Scalar Types.Int)
+      | Types.Pipe _, None -> Error "write_pipe: payload must be scalar"
+      | _, _ -> Error "write_pipe: first argument must be a pipe parameter")
+  | (Wi _ | Math1 _ | Math2 _ | Math3 _ | Abs | Pipe_read | Pipe_write), _ ->
       Error (name t ^ ": arity mismatch")

@@ -36,6 +36,8 @@ type t =
   | Math2 of math2
   | Math3 of math3
   | Abs  (** integer absolute value *)
+  | Pipe_read   (** [read_pipe(p)]: blocking read of one packet. *)
+  | Pipe_write  (** [write_pipe(p, v)]: blocking write, yields status. *)
 
 val find : string -> t option
 (** Look up a builtin by its OpenCL name. *)

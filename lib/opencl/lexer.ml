@@ -30,6 +30,7 @@ let keywords =
     ("break", Token.Kw_break);
     ("continue", Token.Kw_continue);
     ("__attribute__", Token.Kw_attribute);
+    ("pipe", Token.Kw_pipe);
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

@@ -5,10 +5,16 @@ module Diag = Flexcl_util.Diag
 type state = {
   mutable toks : Token.located list;
   mutable errors : Diag.t list;  (* reversed; only filled when [recover] *)
+  mutable marks : Ast.mark list; (* reversed; barrier/pipe call positions *)
   recover : bool;
 }
 
-let fresh ?(recover = false) toks = { toks; errors = []; recover }
+let fresh ?(recover = false) toks = { toks; errors = []; marks = []; recover }
+
+(* Callees whose source positions sema needs for spanned diagnostics. *)
+let marked_callee = function
+  | "barrier" | "mem_fence" | "read_pipe" | "write_pipe" -> true
+  | _ -> false
 
 let here st =
   match st.toks with
@@ -242,6 +248,7 @@ and parse_primary st =
       eat st Token.Rparen;
       e
   | Token.Ident name ->
+      let line, col = here st in
       advance st;
       if peek st = Token.Lparen then begin
         advance st;
@@ -254,6 +261,9 @@ and parse_primary st =
           done
         end;
         eat st Token.Rparen;
+        if marked_callee name then
+          st.marks <-
+            { Ast.m_callee = name; m_line = line; m_col = col } :: st.marks;
         Ast.Call (name, List.rev !args)
       end
       else Ast.Var name
@@ -532,6 +542,20 @@ let parse_attribute st attrs =
   | _ -> attrs
 
 let parse_param st =
+  if peek st = Token.Kw_pipe then begin
+    (* pipe <scalar-type> <name> — OpenCL 2.0 program-scope pipes reduced
+       to kernel parameters; direction is inferred by sema from usage *)
+    advance st;
+    let base = base_type st in
+    let packet =
+      match base with
+      | Types.Scalar s -> s
+      | t -> fail st (Printf.sprintf "pipe packets must be scalar, got %s" (Types.to_string t))
+    in
+    let name = eat_ident st in
+    { Ast.p_type = Types.Pipe packet; p_name = name; p_const = false }
+  end
+  else
   let space =
     match addr_space_of_token (peek st) with
     | Some sp ->
@@ -553,6 +577,7 @@ let parse_param st =
 
 let parse_kernel_def st ~attrs =
   eat st Token.Kw_kernel;
+  st.marks <- [];
   let attrs = ref attrs in
   while peek st = Token.Kw_attribute do
     attrs := parse_attribute st !attrs
@@ -577,7 +602,8 @@ let parse_kernel_def st ~attrs =
     attrs := parse_attribute st !attrs
   done;
   let body = parse_block st in
-  { Ast.k_name = name; k_params = List.rev !params; k_attrs = !attrs; k_body = body }
+  { Ast.k_name = name; k_params = List.rev !params; k_attrs = !attrs;
+    k_body = body; k_marks = List.rev st.marks }
 
 let parse_program_toks st =
   let kernels = ref [] in

@@ -1,15 +1,35 @@
 exception Error of string
 
+exception Error_at of string * int * int
+(** Like {!Error} but with a source position (line, col) recovered from
+    the parser's call marks, so the diagnostic can carry a caret. *)
+
+type pipe_endpoint = {
+  pe_packet : Types.scalar;
+  pe_reads : bool;
+  pe_writes : bool;
+}
+
 type info = {
   var_types : (string, Types.t) Hashtbl.t;
   global_arrays : (string * Types.t) list;
   local_arrays : (string * Types.t) list;
+  pipes : (string * pipe_endpoint) list;
+      (** every [pipe] parameter, with the directions this kernel uses *)
   uses_barrier : bool;
   n_loops : int;
   max_loop_depth : int;
 }
 
 let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let err_at (mark : Ast.mark option) fmt =
+  Printf.ksprintf
+    (fun s ->
+      match mark with
+      | Some m -> raise (Error_at (s, m.Ast.m_line, m.Ast.m_col))
+      | None -> raise (Error s))
+    fmt
 
 let special_constants =
   [
@@ -110,6 +130,138 @@ let check_assignable info lv =
   | Ast.Lindex (v, idxs) ->
       ignore (type_of info (Ast.Index (Ast.Var v, idxs)))
 
+(* ------------------------------------------------------------------ *)
+(* Pipe discipline and divergence.
+
+   Runs after type checking, walking statements in the parser's token
+   order so each barrier/pipe call is matched with the span the parser
+   recorded for it ([Ast.k_marks]).
+
+   Rules (an HLS-subset contract, see DESIGN.md section 14):
+   - [read_pipe]/[write_pipe] must form a whole statement
+     (x = read_pipe(p); / T x = read_pipe(p); / write_pipe(p, e);) —
+     pipe side effects buried in larger expressions have no defined
+     ordering across work-items;
+   - barriers and pipe accesses must not sit in diverged control flow
+     (lexically inside an [if] branch): work-items disagree on whether
+     the operation executes, which deadlocks the synthesized hardware. *)
+
+let is_pipe_builtin f =
+  match Builtins.find f with
+  | Some (Builtins.Pipe_read | Builtins.Pipe_write) -> true
+  | Some _ | None -> false
+
+let structural_check (k : Ast.kernel) =
+  let marks = ref k.Ast.k_marks in
+  (* first remaining mark for one of [callees]; resilient to the rare
+     desync from desugared compound assignments (worst case the
+     diagnostic loses its caret, never its message) *)
+  let next_mark callees =
+    let rec take acc = function
+      | [] -> (None, List.rev acc)
+      | (m : Ast.mark) :: rest when List.mem m.Ast.m_callee callees ->
+          (Some m, List.rev_append acc rest)
+      | m :: rest -> take (m :: acc) rest
+    in
+    let found, rest = take [] !marks in
+    marks := rest;
+    found
+  in
+  let endpoints : (string, pipe_endpoint) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (p : Ast.param) ->
+      match p.Ast.p_type with
+      | Types.Pipe s ->
+          Hashtbl.replace endpoints p.Ast.p_name
+            { pe_packet = s; pe_reads = false; pe_writes = false }
+      | _ -> ())
+    k.Ast.k_params;
+  let note_use f args mark =
+    match args with
+    | Ast.Var p :: _ -> (
+        match Hashtbl.find_opt endpoints p with
+        | Some e ->
+            let e =
+              if f = "read_pipe" then { e with pe_reads = true }
+              else { e with pe_writes = true }
+            in
+            Hashtbl.replace endpoints p e
+        | None -> err_at mark "%s: %s is not a pipe parameter" f p)
+    | _ -> err_at mark "%s: first argument must name a pipe parameter" f
+  in
+  (* expression walk in parser recording order: a call's arguments were
+     parsed (and marked) before the call itself was recorded *)
+  let rec walk_expr ~div ~top (e : Ast.expr) =
+    match e with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> ()
+    | Ast.Unop (_, a) | Ast.Cast (_, a) -> walk_expr ~div ~top:false a
+    | Ast.Binop (_, a, b) ->
+        walk_expr ~div ~top:false a;
+        walk_expr ~div ~top:false b
+    | Ast.Ternary (c, a, b) ->
+        walk_expr ~div ~top:false c;
+        walk_expr ~div ~top:false a;
+        walk_expr ~div ~top:false b
+    | Ast.Index (base, idxs) ->
+        walk_expr ~div ~top:false base;
+        List.iter (walk_expr ~div ~top:false) idxs
+    | Ast.Call (f, args) ->
+        List.iter (walk_expr ~div ~top:false) args;
+        if is_pipe_builtin f then begin
+          let mark = next_mark [ f ] in
+          note_use f args mark;
+          if not top then
+            err_at mark
+              "%s must form a whole statement (x = %s(p); or %s(p, v);), \
+               not part of a larger expression" f f f;
+          if div then
+            err_at mark
+              "%s in diverged control flow: work-items disagree on whether \
+               this executes (hoist it out of the if)" f
+        end
+  in
+  let rec walk_stmts ~div stmts = List.iter (walk_stmt ~div) stmts
+  and walk_stmt ~div (s : Ast.stmt) =
+    match s with
+    | Ast.Decl (_, _, init) -> Option.iter (walk_expr ~div ~top:true) init
+    | Ast.Local_decl _ | Ast.Break | Ast.Continue -> ()
+    | Ast.Assign (lv, e) ->
+        (match lv with
+        | Ast.Lvar _ -> ()
+        | Ast.Lindex (_, idxs) -> List.iter (walk_expr ~div ~top:false) idxs);
+        walk_expr ~div ~top:true e
+    | Ast.If (c, t, e) ->
+        walk_expr ~div ~top:false c;
+        walk_stmts ~div:true t;
+        walk_stmts ~div:true e
+    | Ast.For ({ Ast.init; cond; step }, body, _) ->
+        Option.iter (walk_stmt ~div) init;
+        Option.iter (walk_expr ~div ~top:false) cond;
+        Option.iter (walk_stmt ~div) step;
+        walk_stmts ~div body
+    | Ast.While (c, body, _) ->
+        walk_expr ~div ~top:false c;
+        walk_stmts ~div body
+    | Ast.Barrier ->
+        let mark = next_mark [ "barrier"; "mem_fence" ] in
+        if div then
+          err_at mark
+            "barrier in diverged control flow: work-items disagree on \
+             whether this executes (hoist it out of the if)"
+    | Ast.Return e -> Option.iter (walk_expr ~div ~top:false) e
+    | Ast.Expr_stmt e -> walk_expr ~div ~top:true e
+  in
+  walk_stmts ~div:false k.Ast.k_body;
+  List.filter_map
+    (fun (p : Ast.param) ->
+      match p.Ast.p_type with
+      | Types.Pipe _ -> (
+          match Hashtbl.find_opt endpoints p.Ast.p_name with
+          | Some e -> Some (p.Ast.p_name, e)
+          | None -> None)
+      | _ -> None)
+    k.Ast.k_params
+
 let declare info name ty =
   match Hashtbl.find_opt info.var_types name with
   | Some existing when not (Types.equal existing ty) ->
@@ -123,6 +275,7 @@ let analyze (k : Ast.kernel) : info =
       var_types = Hashtbl.create 32;
       global_arrays = [];
       local_arrays = [];
+      pipes = [];
       uses_barrier = false;
       n_loops = 0;
       max_loop_depth = 0;
@@ -183,10 +336,12 @@ let analyze (k : Ast.kernel) : info =
     | Ast.Expr_stmt e -> ignore (type_of info e)
   in
   check_stmts 0 k.Ast.k_body;
+  let pipes = structural_check k in
   {
     info with
     global_arrays = List.rev !globals;
     local_arrays = List.rev !locals;
+    pipes;
     uses_barrier = !uses_barrier;
     n_loops = !n_loops;
     max_loop_depth = !max_depth;

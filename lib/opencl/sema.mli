@@ -4,6 +4,17 @@
 
 exception Error of string
 
+exception Error_at of string * int * int
+(** Like {!Error} with the source (line, col) of the offending call,
+    recovered from the parser's marks, so diagnostics carry a caret. *)
+
+(** How one kernel uses one [pipe] parameter. *)
+type pipe_endpoint = {
+  pe_packet : Types.scalar;  (** packet type of the channel. *)
+  pe_reads : bool;           (** the kernel calls [read_pipe] on it. *)
+  pe_writes : bool;          (** the kernel calls [write_pipe] on it. *)
+}
+
 type info = {
   var_types : (string, Types.t) Hashtbl.t;
       (** every parameter and declared variable, including loop indices. *)
@@ -11,6 +22,8 @@ type info = {
       (** [__global]/[__constant] pointer parameters, in declaration order. *)
   local_arrays : (string * Types.t) list;
       (** [__local] arrays (declared in the body or passed as params). *)
+  pipes : (string * pipe_endpoint) list;
+      (** [pipe] parameters in declaration order with inferred directions. *)
   uses_barrier : bool;
   n_loops : int;  (** loops in the body, counting nesting levels once each. *)
   max_loop_depth : int;
@@ -20,8 +33,11 @@ val analyze : Ast.kernel -> info
 (** Type-check the kernel and collect {!info}. Raises {!Error} with a
     human-readable message on the first semantic fault (unknown variable,
     unknown function, arity mismatch, indexing a scalar, assigning to a
-    [const] parameter, void-valued expression use, barrier inside a
-    divergent branch is accepted but flagged in no way). *)
+    [const] parameter, void-valued expression use). Raises {!Error_at}
+    (with a span) when a barrier or pipe access sits in diverged control
+    flow — lexically inside an [if] branch — or when a
+    [read_pipe]/[write_pipe] is buried inside a larger expression rather
+    than forming a whole statement. *)
 
 val type_of : info -> Ast.expr -> Types.t
 (** Type of an expression under the kernel's environment. Raises {!Error}

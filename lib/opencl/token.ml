@@ -20,6 +20,7 @@ type t =
   | Kw_break
   | Kw_continue
   | Kw_attribute
+  | Kw_pipe
   (* punctuation *)
   | Lparen
   | Rparen
@@ -89,6 +90,7 @@ let to_string = function
   | Kw_break -> "break"
   | Kw_continue -> "continue"
   | Kw_attribute -> "__attribute__"
+  | Kw_pipe -> "pipe"
   | Lparen -> "("
   | Rparen -> ")"
   | Lbrace -> "{"

@@ -19,6 +19,9 @@ type t =
   | Vector of scalar * int
   | Ptr of addr_space * t
   | Array of t * int
+  | Pipe of scalar
+      (** OpenCL 2.0 pipe of scalar packets; direction is inferred in sema
+          from [read_pipe]/[write_pipe] usage. *)
 
 let scalar_bits = function
   | Bool | Char | Uchar -> 8
@@ -32,6 +35,7 @@ let rec bits = function
   | Vector (s, w) -> scalar_bits s * w
   | Ptr _ -> 64
   | Array (t, n) -> bits t * n
+  | Pipe s -> scalar_bits s
 
 let is_integer = function
   | Bool | Char | Uchar | Short | Ushort | Int | Uint | Long | Ulong -> true
@@ -47,12 +51,13 @@ let elem = function
   | Ptr (_, t) -> t
   | Array (t, _) -> t
   | Vector (s, _) -> Scalar s
+  | Pipe s -> Scalar s
   | (Void | Scalar _) as t -> t
 
 let rec addr_space_of = function
   | Ptr (sp, _) -> Some sp
   | Array (t, _) -> addr_space_of t
-  | Void | Scalar _ | Vector _ -> None
+  | Void | Scalar _ | Vector _ | Pipe _ -> None
 
 let scalar_name = function
   | Bool -> "bool"
@@ -113,6 +118,7 @@ let rec to_string = function
   | Vector (s, w) -> scalar_name s ^ string_of_int w
   | Ptr (sp, t) -> space_prefix sp ^ to_string t ^ "*"
   | Array (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Pipe s -> "pipe " ^ scalar_name s
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
@@ -123,7 +129,8 @@ let rec equal a b =
   | Vector (x, w), Vector (y, v) -> x = y && w = v
   | Ptr (s, x), Ptr (r, y) -> s = r && equal x y
   | Array (x, n), Array (y, m) -> n = m && equal x y
-  | (Void | Scalar _ | Vector _ | Ptr _ | Array _), _ -> false
+  | Pipe x, Pipe y -> x = y
+  | (Void | Scalar _ | Vector _ | Ptr _ | Array _ | Pipe _), _ -> false
 
 let rank = function
   | Bool -> 0

@@ -25,6 +25,9 @@ type t =
   | Vector of scalar * int  (** e.g. [float4] = [Vector (Float, 4)]. *)
   | Ptr of addr_space * t   (** pointer, e.g. [__global float*]. *)
   | Array of t * int        (** fixed-size array, e.g. [__local float buf[256]]. *)
+  | Pipe of scalar
+      (** on-chip FIFO channel of scalar packets, e.g. [pipe float p];
+          direction is inferred in sema from [read_pipe]/[write_pipe]. *)
 
 val scalar_bits : scalar -> int
 (** Storage width in bits (bool counts as 8). *)
@@ -38,7 +41,8 @@ val is_float : scalar -> bool
 val is_signed : scalar -> bool
 
 val elem : t -> t
-(** Element type of a pointer, array or vector; identity on scalars. *)
+(** Element type of a pointer, array, vector or pipe; identity on
+    scalars. *)
 
 val addr_space_of : t -> addr_space option
 (** Address space if [t] is a pointer (or array-of) into one. *)

@@ -13,6 +13,8 @@ module Space = Flexcl_dse.Space
 module Explore = Flexcl_dse.Explore
 module Heuristic = Flexcl_dse.Heuristic
 module W = Flexcl_workloads.Workload
+module Pipelines = Flexcl_workloads.Pipelines
+module Graph = Flexcl_graph.Graph
 open Flexcl_opencl
 
 let default_cache_capacity = 256
@@ -42,6 +44,9 @@ type t = {
   parse_cache : (string, (Ast.kernel, Diag.t list) result) Cache.t;
   analysis_cache : (string, Analysis.t) Cache.t;
   predict_cache : (string, Json.t) Cache.t;
+  (* analyzed kernel graphs for the pipeline kind: stage profiling is
+     the expensive part and depends only on the graph name *)
+  graph_cache : (string, (Graph.analyzed, Diag.t list) result) Cache.t;
   (* single-flight registry: keys with a computation in progress.
      Duplicate requests racing on one key would otherwise all miss the
      cache and burn a core each on identical work — the exact pattern
@@ -98,6 +103,7 @@ let create ?num_domains ?(cache_capacity = default_cache_capacity)
     parse_cache = Cache.create ~capacity:cache_capacity ();
     analysis_cache = Cache.create ~capacity:cache_capacity ();
     predict_cache = Cache.create ~capacity:cache_capacity ();
+    graph_cache = Cache.create ~capacity:cache_capacity ();
     sf_mutex = Mutex.create ();
     sf_cond = Condition.create ();
     sf_inflight = Hashtbl.create 16;
@@ -171,23 +177,26 @@ let usage1 fmt = Printf.ksprintf (fun s -> [ P.usage "%s" s ]) fmt
 let launch_for_kernel (kernel : Ast.kernel) ~global ~wg ~buffer_size ~ints
     ~floats =
   let args =
-    List.mapi
-      (fun i (p : Ast.param) ->
-        let name = p.Ast.p_name in
-        match p.Ast.p_type with
-        | Types.Ptr _ ->
-            ( name,
-              L.Buffer { length = buffer_size; init = L.Random_floats (i + 1) }
-            )
-        | Types.Scalar s when Types.is_float s ->
-            let v = Option.value (List.assoc_opt name floats) ~default:1.0 in
-            (name, L.Scalar (L.Float v))
-        | _ ->
-            let v =
-              Option.value (List.assoc_opt name ints) ~default:buffer_size
-            in
-            (name, L.Scalar (L.Int (Int64.of_int v))))
-      kernel.Ast.k_params
+    List.concat
+      (List.mapi
+         (fun i (p : Ast.param) ->
+           let name = p.Ast.p_name in
+           match p.Ast.p_type with
+           | Types.Pipe _ -> [] (* channels take no launch argument *)
+           | Types.Ptr _ ->
+               [ ( name,
+                   L.Buffer
+                     { length = buffer_size; init = L.Random_floats (i + 1) } )
+               ]
+           | Types.Scalar s when Types.is_float s ->
+               let v = Option.value (List.assoc_opt name floats) ~default:1.0 in
+               [ (name, L.Scalar (L.Float v)) ]
+           | _ ->
+               let v =
+                 Option.value (List.assoc_opt name ints) ~default:buffer_size
+               in
+               [ (name, L.Scalar (L.Int (Int64.of_int v))) ])
+         kernel.Ast.k_params)
   in
   L.make_result ~global:(L.dim3 global) ~local:(L.dim3 wg) ~args
 
@@ -502,6 +511,101 @@ let handle_explore t body =
           ] )
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline: estimate a bundled multi-kernel graph at its default joint
+   design point (optionally with a uniform FIFO-depth override), with
+   the same content-addressed caching discipline as predict — the
+   analyzed graph (per-stage profiling, the expensive part) and the
+   finished response are both cached, and concurrent misses on one key
+   collapse to a single computation. *)
+
+let handle_pipeline t body =
+  let* gname =
+    let* g = one (P.field_str body "graph") in
+    match g with
+    | Some g -> Ok g
+    | None ->
+        Error
+          (usage1 "field \"graph\" is required (%s)"
+             (String.concat " | "
+                (List.map
+                   (fun (p : Pipelines.t) -> p.Pipelines.name)
+                   Pipelines.all)))
+  in
+  let* p =
+    match Pipelines.find gname with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (usage1 "unknown pipeline %S (%s)" gname
+             (String.concat " | "
+                (List.map
+                   (fun (p : Pipelines.t) -> p.Pipelines.name)
+                   Pipelines.all)))
+  in
+  let* dev = device_of body in
+  let* depth = one (P.field_int body "depth" ~default:0) in
+  let* want_trace = one (P.field_bool body "trace" ~default:false) in
+  if depth < 0 then Error (usage1 "field \"depth\" must be positive")
+  else
+    let key =
+      Printf.sprintf "pipeline#%s#%s#%d%s" gname dev.Device.name depth
+        (if want_trace then "#trace" else "")
+    in
+    with_single_flight t ("pipeline#" ^ key) (fun () ->
+        match Cache.find t.predict_cache key with
+        | Some result -> Ok (Some true, result)
+        | None -> (
+            let _, ga =
+              Cache.find_or_add t.graph_cache gname (fun () ->
+                  Graph.analyze (Pipelines.graph p))
+            in
+            let* g = ga in
+            let j0 = Graph.default_joint g in
+            let j =
+              if depth = 0 then j0
+              else
+                {
+                  j0 with
+                  Graph.depths =
+                    List.map (fun (c, _) -> (c, depth)) j0.Graph.depths;
+                }
+            in
+            match Graph.estimate_result dev g j with
+            | Error d -> Error [ d ]
+            | Ok gb ->
+                let result =
+                  Json.Obj
+                    ([
+                       ("graph", Json.Str gname);
+                       ("device", Json.Str dev.Device.name);
+                       ("joint", Json.Str (Graph.joint_to_string j));
+                       ( "stages",
+                         Json.Arr
+                           (List.map
+                              (fun (s, (b : Model.breakdown)) ->
+                                Json.Obj
+                                  [
+                                    ("stage", Json.Str s);
+                                    ("cycles", Json.Num b.Model.cycles);
+                                  ])
+                              gb.Graph.per_stage) );
+                       ("steady", Json.Num gb.Graph.steady);
+                       ("fill", Json.Num gb.Graph.fill);
+                       ("stall", Json.Num gb.Graph.stall);
+                       ("cycles", Json.Num gb.Graph.cycles);
+                       ("us", Json.Num (gb.Graph.seconds *. 1e6));
+                       ("bottleneck", Json.Str (Graph.bottleneck gb));
+                     ]
+                    @
+                    if not want_trace then []
+                    else
+                      let _, tr = Graph.explain dev g j in
+                      [ ("trace", Flexcl_util.Trace.to_json tr) ])
+                in
+                Cache.add t.predict_cache key result;
+                Ok (Some false, result)))
+
+(* ------------------------------------------------------------------ *)
 (* Stats *)
 
 let cache_stats_json c =
@@ -562,7 +666,8 @@ let stats_json t =
 (* ------------------------------------------------------------------ *)
 (* Dispatch *)
 
-let known_kinds = [ "parse"; "analyze"; "predict"; "explore"; "stats"; "shutdown" ]
+let known_kinds =
+  [ "parse"; "analyze"; "predict"; "explore"; "pipeline"; "stats"; "shutdown" ]
 
 let dispatch t (req : P.request) =
   match req.P.kind with
@@ -570,6 +675,7 @@ let dispatch t (req : P.request) =
   | "analyze" -> handle_analyze t req.P.body
   | "predict" -> handle_predict t req.P.body
   | "explore" -> handle_explore t req.P.body
+  | "pipeline" -> handle_pipeline t req.P.body
   | "stats" -> Ok (None, stats_json t)
   | "shutdown" ->
       request_shutdown t;
@@ -577,7 +683,7 @@ let dispatch t (req : P.request) =
   | other ->
       Error
         (usage1 "unknown request kind %S (parse | analyze | predict | explore \
-                 | stats | shutdown)"
+                 | pipeline | stats | shutdown)"
            other)
 
 let now_s () = Unix.gettimeofday ()

@@ -18,6 +18,10 @@
    - extracts the architecture-independent workload features. *)
 
 module W = Flexcl_workloads.Workload
+module Pipelines = Flexcl_workloads.Pipelines
+module Graph = Flexcl_graph.Graph
+module Cosim = Flexcl_graph.Cosim
+module Trace = Flexcl_util.Trace
 module Analysis = Flexcl_core.Analysis
 module Model = Flexcl_core.Model
 module Config = Flexcl_core.Config
@@ -104,11 +108,13 @@ let features (a : Analysis.t) dev =
 
 type analysis_memo = {
   table : (string, Analysis.t) Hashtbl.t;
+  gtable : (string, Graph.analyzed) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let memo_create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+let memo_create () =
+  { table = Hashtbl.create 64; gtable = Hashtbl.create 8; hits = 0; misses = 0 }
 
 let analysis_of memo (w : W.t) =
   match Hashtbl.find_opt memo.table (W.name w) with
@@ -121,6 +127,25 @@ let analysis_of memo (w : W.t) =
       Hashtbl.replace memo.table (W.name w) a;
       a
 
+let graph_of memo (p : Pipelines.t) =
+  match Hashtbl.find_opt memo.gtable p.Pipelines.name with
+  | Some t ->
+      memo.hits <- memo.hits + 1;
+      t
+  | None ->
+      memo.misses <- memo.misses + 1;
+      let t =
+        match Graph.analyze (Pipelines.graph p) with
+        | Ok t -> t
+        | Error ds ->
+            failwith
+              (Printf.sprintf "Pipeline.suite: %s does not analyze: %s"
+                 p.Pipelines.name
+                 (Flexcl_util.Diag.render_all ds))
+      in
+      Hashtbl.replace memo.gtable p.Pipelines.name t;
+      t
+
 let bits = Int64.bits_of_float
 
 let time_of f =
@@ -128,8 +153,37 @@ let time_of f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
-  let a = analysis_of memo e.Sdef.workload in
+(* Warm latency of an entry's hot path. One sample = best of 3 bursts
+   of [inner] evaluations: the min discards bursts inflated by
+   preemption or a major GC, which would otherwise dominate
+   sub-microsecond timings. *)
+let warm_timing ~opts ~entry_index eval =
+  let burst () =
+    let (), dt =
+      time_of (fun () ->
+          for _ = 1 to opts.inner do
+            ignore (Sys.opaque_identity (eval ()))
+          done)
+    in
+    dt /. float_of_int opts.inner *. 1e6
+  in
+  let sample () = Float.min (burst ()) (Float.min (burst ()) (burst ())) in
+  for _ = 1 to opts.warmup do
+    ignore (sample ())
+  done;
+  let samples = Array.init opts.repeat (fun _ -> sample ()) in
+  let boot_seed = Prng.hash_mix opts.seed entry_index in
+  let ci = Bstats.bootstrap_ci_mean ~seed:boot_seed samples in
+  {
+    Report.mean_us = Bstats.mean samples;
+    stddev_us = Bstats.stddev samples;
+    ci_lo_us = ci.Bstats.lo;
+    ci_hi_us = ci.Bstats.hi;
+    samples = opts.repeat;
+  }
+
+let measure_single ~opts ~memo ~entry_index (e : Sdef.entry) (w : W.t) =
+  let a = analysis_of memo w in
   let wg_size = Launch.wg_size a.Analysis.launch in
   match
     List.find_opt
@@ -157,42 +211,16 @@ let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
         if sim <= 0.0 then 0.0
         else 100.0 *. Float.abs (seq -. sim) /. sim
       in
-      (* warm latency of the specialized path (the sweep/serve hot
-         path). One sample = best of 3 bursts of [inner] evaluations:
-         the min discards bursts inflated by preemption or a major GC,
-         which would otherwise dominate sub-microsecond timings *)
+      (* warm latency of the specialized path (the sweep/serve hot path) *)
       let sm = Explore.specialized_for dev a in
-      let burst () =
-        let (), dt =
-          time_of (fun () ->
-              for _ = 1 to opts.inner do
-                ignore (Sys.opaque_identity (Model.specialized_cycles sm cfg))
-              done)
-        in
-        dt /. float_of_int opts.inner *. 1e6
-      in
-      let sample () =
-        Float.min (burst ()) (Float.min (burst ()) (burst ()))
-      in
-      for _ = 1 to opts.warmup do
-        ignore (sample ())
-      done;
-      let samples = Array.init opts.repeat (fun _ -> sample ()) in
-      let boot_seed = Prng.hash_mix opts.seed entry_index in
-      let ci = Bstats.bootstrap_ci_mean ~seed:boot_seed samples in
       let warm =
-        {
-          Report.mean_us = Bstats.mean samples;
-          stddev_us = Bstats.stddev samples;
-          ci_lo_us = ci.Bstats.lo;
-          ci_hi_us = ci.Bstats.hi;
-          samples = opts.repeat;
-        }
+        warm_timing ~opts ~entry_index (fun () ->
+            Model.specialized_cycles sm cfg)
       in
       Some
         {
           Report.suite = e.Sdef.suite;
-          workload = W.name e.Sdef.workload;
+          workload = W.name w;
           device = e.Sdef.device_name;
           config = Config.to_string cfg;
           est_cycles = seq;
@@ -202,6 +230,72 @@ let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
           warm;
           features = features a dev;
         }
+
+(* A pipeline entry measures the kernel-graph model: the analytical
+   estimate (with its conservation-checked explain trace standing in
+   for the engine-identity column — estimate, explain root and trace
+   recomposition must agree bitwise) against the work-group-granular
+   co-simulation, and the warm latency of a full graph evaluation (the
+   joint-DSE hot path). *)
+let measure_pipeline ~opts ~memo ~entry_index (e : Sdef.entry)
+    (p : Pipelines.t) =
+  let t = graph_of memo p in
+  let dev = e.Sdef.device in
+  (* first feasible candidate per stage, same ladder as single entries *)
+  let cfgs =
+    List.map
+      (fun (s, a) ->
+        let wg_size = Launch.wg_size a.Analysis.launch in
+        Option.map
+          (fun c -> (s, c))
+          (List.find_opt
+             (fun cfg -> Model.feasible dev a cfg)
+             (Sdef.candidate_configs ~wg_size)))
+      t.Graph.stage_analyses
+  in
+  if List.exists Option.is_none cfgs then None
+  else
+    let stage_configs = List.filter_map Fun.id cfgs in
+    let j = { (Graph.default_joint t) with Graph.stage_configs } in
+    let gb, tr = Graph.explain dev t j in
+    let seq = gb.Graph.cycles in
+    let engines_identical =
+      bits seq = bits (Graph.cycles dev t j)
+      && bits seq = bits tr.Trace.cycles
+      && Result.is_ok (Trace.check tr)
+    in
+    (* cosim mode: ground truth *)
+    let sim = (Cosim.run ~seed:opts.seed dev t j).Cosim.cycles in
+    let err_pct =
+      if sim <= 0.0 then 0.0 else 100.0 *. Float.abs (seq -. sim) /. sim
+    in
+    let warm = warm_timing ~opts ~entry_index (fun () -> Graph.cycles dev t j) in
+    let ba = Graph.stage_analysis t gb.Graph.bottleneck_stage in
+    Some
+      {
+        Report.suite = e.Sdef.suite;
+        workload = Sdef.workload_name e;
+        device = e.Sdef.device_name;
+        config = Graph.joint_to_string j;
+        est_cycles = seq;
+        sim_cycles = sim;
+        err_pct;
+        engines_identical;
+        warm;
+        features =
+          ("stages", float_of_int (List.length t.Graph.stage_analyses))
+          :: ( "channels",
+               float_of_int
+                 (List.length
+                    t.Graph.resolved.Flexcl_graph.Gdef.graph
+                      .Flexcl_graph.Gdef.channels) )
+          :: features ba dev;
+      }
+
+let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
+  match e.Sdef.payload with
+  | Sdef.Single w -> measure_single ~opts ~memo ~entry_index e w
+  | Sdef.Pipeline p -> measure_pipeline ~opts ~memo ~entry_index e p
 
 let run ?(progress = fun (_ : string) -> ()) opts entries =
   let memo = memo_create () in

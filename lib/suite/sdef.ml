@@ -5,42 +5,81 @@
    simrtl ground truth) through all three estimate engines (sequential,
    parallel, specialized). The matrix is data, not code: the CLI lists
    it, filters it by substring, and the smoke subset is just a smaller
-   literal matrix, in the style of the Phoronix suite definitions. *)
+   literal matrix, in the style of the Phoronix suite definitions.
+
+   Single-kernel workloads and multi-kernel pipeline graphs share the
+   matrix: a [Pipeline] entry measures the graph model against the
+   co-simulated ground truth instead of the single-kernel pair. *)
 
 module W = Flexcl_workloads.Workload
+module P = Flexcl_workloads.Pipelines
 module Device = Flexcl_device.Device
 module Config = Flexcl_core.Config
+module Launch = Flexcl_ir.Launch
+
+type payload = Single of W.t | Pipeline of P.t
 
 type entry = {
   suite : string;
-  workload : W.t;
+  payload : payload;
   device_name : string;
   device : Device.t;
 }
 
 let devices = [ ("xc7vx690t", Device.virtex7); ("xcku060", Device.ku060) ]
 
+let workload_name (e : entry) =
+  match e.payload with Single w -> W.name w | Pipeline p -> p.P.name
+
 let id (e : entry) =
-  Printf.sprintf "%s/%s@%s" e.suite (W.name e.workload) e.device_name
+  Printf.sprintf "%s/%s@%s" e.suite (workload_name e) e.device_name
+
+let work_items (e : entry) =
+  match e.payload with
+  | Single w -> Launch.n_work_items w.W.launch
+  | Pipeline p ->
+      List.fold_left
+        (fun acc (_, _, l) -> acc + Launch.n_work_items l)
+        0 p.P.stages
+
+let wg (e : entry) =
+  match e.payload with
+  | Single w -> Launch.wg_size w.W.launch
+  | Pipeline p -> (
+      match p.P.stages with
+      | (_, _, l) :: _ -> Launch.wg_size l
+      | [] -> 0)
 
 let entries_of ~devices workloads =
   List.concat_map
     (fun (w : W.t) ->
       List.map
         (fun (device_name, device) ->
-          { suite = w.W.suite; workload = w; device_name; device })
+          { suite = w.W.suite; payload = Single w; device_name; device })
         devices)
     workloads
+
+let pipeline_entries_of ~devices pipelines =
+  List.concat_map
+    (fun (p : P.t) ->
+      List.map
+        (fun (device_name, device) ->
+          { suite = "pipeline"; payload = Pipeline p; device_name; device })
+        devices)
+    pipelines
 
 let full () =
   entries_of ~devices
     (Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all)
+  @ pipeline_entries_of ~devices P.all
 
 (* The smoke subset behind `make check`: one compute-bound and one
    memory-heavy kernel per suite on the primary device, plus one entry
-   on the second device so the device axis stays covered. Small enough
-   to run in seconds, wide enough that an accuracy or warm-latency
-   regression in either suite or on either device trips the gate. *)
+   on the second device so the device axis stays covered, plus one
+   pipeline graph so a graph-model or co-simulation regression trips
+   the same gate. Small enough to run in seconds, wide enough that an
+   accuracy or warm-latency regression in any suite or on either
+   device trips the gate. *)
 let smoke_workload_names =
   [ "hotspot/hotspot"; "backprop/layer"; "gemm/gemm"; "mvt/mvt" ]
 
@@ -51,6 +90,7 @@ let smoke () =
   let secondary = [ List.nth devices 1 ] in
   entries_of ~devices:primary (List.map named smoke_workload_names)
   @ entries_of ~devices:secondary [ named "hotspot/hotspot" ]
+  @ pipeline_entries_of ~devices:primary [ P.produce_filter_consume ]
 
 let filter pattern entries =
   let contains haystack needle =
@@ -64,7 +104,8 @@ let filter pattern entries =
 
 (* Candidate design points for an entry, most-optimized first; the
    runner picks the first one feasible on the entry's device so every
-   workload lands on a comparable, resource-valid point. *)
+   workload lands on a comparable, resource-valid point. Pipeline
+   entries apply the same ladder stage by stage. *)
 let candidate_configs ~wg_size =
   List.map
     (fun (n_pe, n_cu, wi_pipeline) ->

@@ -3,15 +3,22 @@
     mode runs through all three engines (sequential, parallel,
     specialized) and the simrtl mode supplies ground truth — per entry,
     inside the runner — so the full evaluation matrix of the paper is
-    one [entry list]. *)
+    one [entry list]. Multi-kernel pipeline graphs ride the same matrix
+    as [Pipeline] entries, measured by the graph model against the
+    co-simulated ground truth. *)
 
 module W = Flexcl_workloads.Workload
+module P = Flexcl_workloads.Pipelines
 module Device = Flexcl_device.Device
 module Config = Flexcl_core.Config
 
+type payload =
+  | Single of W.t      (** one kernel, one launch. *)
+  | Pipeline of P.t    (** a kernel graph connected by [pipe] channels. *)
+
 type entry = {
-  suite : string;       (** ["rodinia"] or ["polybench"]. *)
-  workload : W.t;
+  suite : string;       (** ["rodinia"], ["polybench"] or ["pipeline"]. *)
+  payload : payload;
   device_name : string; (** ["xc7vx690t"] or ["xcku060"]. *)
   device : Device.t;
 }
@@ -19,16 +26,26 @@ type entry = {
 val devices : (string * Device.t) list
 (** The device axis of the matrix, in report order. *)
 
+val workload_name : entry -> string
+(** ["benchmark/kernel"] or ["benchmark/graph"]. *)
+
 val id : entry -> string
 (** ["suite/benchmark/kernel\@device"] — matches {!Report.entry_id}. *)
 
+val work_items : entry -> int
+(** Launch work-items (summed over stages for a pipeline entry). *)
+
+val wg : entry -> int
+(** Work-group size (first stage's for a pipeline entry). *)
+
 val full : unit -> entry list
-(** Every Rodinia and PolyBench workload on every device (the paper's
-    full evaluation matrix; [make bench-suite]). *)
+(** Every Rodinia and PolyBench workload plus every pipeline graph on
+    every device (the paper's full evaluation matrix;
+    [make bench-suite]). *)
 
 val smoke : unit -> entry list
-(** The fast subset gating [make check]: both suites and both devices
-    represented, seconds not minutes. *)
+(** The fast subset gating [make check]: both suites, both devices and
+    one pipeline graph represented, seconds not minutes. *)
 
 val smoke_workload_names : string list
 
@@ -37,4 +54,5 @@ val filter : string -> entry list -> entry list
 
 val candidate_configs : wg_size:int -> Config.t list
 (** Design-point candidates for an entry, most-optimized first; the
-    runner evaluates the first one feasible on the entry's device. *)
+    runner evaluates the first one feasible on the entry's device
+    (stage by stage for a pipeline entry). *)

@@ -15,6 +15,9 @@ type code =
   | Profile_error
   | Profile_budget_exceeded
   | Model_error
+  | Pipe_unbound
+  | Pipe_cycle
+  | Pipe_mismatch
   | Empty_design_space
   | Frame_error
   | Deadline_expired
@@ -47,6 +50,9 @@ let code_name = function
   | Profile_error -> "E-PROFILE"
   | Profile_budget_exceeded -> "E-FUEL"
   | Model_error -> "E-MODEL"
+  | Pipe_unbound -> "E-PIPE-UNBOUND"
+  | Pipe_cycle -> "E-PIPE-CYCLE"
+  | Pipe_mismatch -> "E-PIPE-TYPE"
   | Empty_design_space -> "E-SPACE"
   | Frame_error -> "E-FRAME"
   | Deadline_expired -> "E-DEADLINE"

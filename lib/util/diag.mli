@@ -32,6 +32,10 @@ type code =
   | Profile_error            (** dynamic profiling fault (OOB, div0, ...). *)
   | Profile_budget_exceeded  (** interpreter fuel exhausted (likely hang). *)
   | Model_error              (** analytical model failure. *)
+  | Pipe_unbound             (** pipe endpoint not wired to a channel (or
+                                 a channel endpoint names no pipe). *)
+  | Pipe_cycle               (** kernel graph has a channel cycle. *)
+  | Pipe_mismatch            (** producer/consumer packet types differ. *)
   | Empty_design_space       (** no feasible design point. *)
   | Frame_error              (** oversized or truncated wire frame. *)
   | Deadline_expired         (** request's wall-clock budget ran out. *)

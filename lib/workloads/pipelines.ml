@@ -1,0 +1,143 @@
+(* Multi-kernel pipeline workloads: kernel graphs connected by [pipe]
+   channels, in the style of the streaming OpenCL designs vendors map
+   onto on-chip FIFOs. Stage kernels share the single-kernel subset
+   (same loops, memory patterns) plus the pipe builtins; channels are
+   auto-wired by pipe parameter name (the writer of pipe [p] feeds the
+   one reader of [p]). Problem sizes keep per-stage profiling fast. *)
+
+module L = Flexcl_ir.Launch
+module Gdef = Flexcl_graph.Gdef
+
+let fbuf length seed = L.Buffer { length; init = L.Random_floats seed }
+let zbuf length = L.Buffer { length; init = L.Zeros }
+let int_ n = L.Scalar (L.Int (Int64.of_int n))
+
+let launch1d ?(wg = 64) n args =
+  L.make ~global:(L.dim3 n) ~local:(L.dim3 wg) ~args
+
+type t = {
+  benchmark : string;  (* e.g. ["stream"]. *)
+  name : string;       (* e.g. ["stream/produce-filter-consume"]. *)
+  stages : (string * string * L.t) list;
+  default_depth : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* stream/produce-filter-consume: a three-stage streaming chain. The
+   producer scales a global buffer into the channel, the filter applies
+   a small iterative kernel per packet (compute-weighted middle stage),
+   the consumer commits packets back to DRAM. *)
+
+let stream_producer =
+  {|
+__kernel void produce(__global const float* src, pipe float ab, int n) {
+  int gid = get_global_id(0);
+  float v = src[gid] * 2.0f + 1.0f;
+  write_pipe(ab, v);
+}
+|}
+
+let stream_filter =
+  {|
+__kernel void filter(pipe float ab, pipe float bc) {
+  float v = read_pipe(ab);
+  float acc = v;
+  for (int k = 0; k < 8; k++) {
+    acc = acc * 0.5f + v;
+  }
+  write_pipe(bc, acc);
+}
+|}
+
+let stream_consumer =
+  {|
+__kernel void consume(pipe float bc, __global float* dst) {
+  int gid = get_global_id(0);
+  float v = read_pipe(bc);
+  dst[gid] = v;
+}
+|}
+
+let stream_n = 512
+
+let produce_filter_consume =
+  {
+    benchmark = "stream";
+    name = "stream/produce-filter-consume";
+    stages =
+      [
+        ( "produce",
+          stream_producer,
+          launch1d stream_n
+            [ ("src", fbuf stream_n 21); ("n", int_ stream_n) ] );
+        ("filter", stream_filter, launch1d stream_n []);
+        ( "consume",
+          stream_consumer,
+          launch1d stream_n [ ("dst", zbuf stream_n) ] );
+      ];
+    default_depth = 16;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* stencil/blur-sharpen: a two-stage stencil. The first stage streams a
+   3-point blur of a global buffer into the channel; the second reads
+   the smoothed stream and sharpens against the original input. *)
+
+let stencil_blur =
+  {|
+__kernel void blur(__global const float* a, pipe float smooth, int n) {
+  int gid = get_global_id(0);
+  int im = gid > 0 ? gid - 1 : 0;
+  int ip = gid < n - 1 ? gid + 1 : n - 1;
+  float v = (a[im] + a[gid] + a[ip]) * 0.3333333f;
+  write_pipe(smooth, v);
+}
+|}
+
+let stencil_sharpen =
+  {|
+__kernel void sharpen(pipe float smooth, __global const float* a,
+                      __global float* out, float amount) {
+  int gid = get_global_id(0);
+  float s = read_pipe(smooth);
+  out[gid] = a[gid] + amount * (a[gid] - s);
+}
+|}
+
+let stencil_n = 512
+
+let blur_sharpen =
+  {
+    benchmark = "stencil";
+    name = "stencil/blur-sharpen";
+    stages =
+      [
+        ( "blur",
+          stencil_blur,
+          launch1d stencil_n [ ("a", fbuf stencil_n 31); ("n", int_ stencil_n) ]
+        );
+        ( "sharpen",
+          stencil_sharpen,
+          launch1d stencil_n
+            [
+              ("a", fbuf stencil_n 31);
+              ("out", zbuf stencil_n);
+              ("amount", L.Scalar (L.Float 0.5));
+            ] );
+      ];
+    default_depth = 8;
+  }
+
+let all = [ produce_filter_consume; blur_sharpen ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let graph (p : t) =
+  match Gdef.of_program ~name:p.name ~depth:p.default_depth p.stages with
+  | Ok g -> g
+  | Error ds ->
+      invalid_arg
+        (Printf.sprintf "Pipelines.graph: workload %S does not wire: %s"
+           p.name
+           (String.concat "; "
+              (List.map (fun (d : Flexcl_util.Diag.t) -> d.Flexcl_util.Diag.message) ds)))

@@ -1,0 +1,30 @@
+(** Multi-kernel pipeline workloads: kernel graphs connected by [pipe]
+    channels. Each stage is a single kernel in the FlexCL OpenCL subset
+    with its own launch; channels are auto-wired by pipe parameter name
+    ({!Flexcl_graph.Gdef.of_program}). *)
+
+type t = {
+  benchmark : string;  (** e.g. ["stream"]. *)
+  name : string;       (** ["benchmark/graph"], e.g.
+                           ["stream/produce-filter-consume"]. *)
+  stages : (string * string * Flexcl_ir.Launch.t) list;
+      (** [(stage name, single-kernel source, launch)]. *)
+  default_depth : int;  (** FIFO depth every channel starts with. *)
+}
+
+val produce_filter_consume : t
+(** Three-stage streaming chain: scale from DRAM -> iterative per-packet
+    filter -> commit to DRAM. *)
+
+val blur_sharpen : t
+(** Two-stage stencil: 3-point blur streamed into an unsharp-mask
+    second pass. *)
+
+val all : t list
+
+val find : string -> t option
+(** Look up by {!field:name}. *)
+
+val graph : t -> Flexcl_graph.Gdef.t
+(** The wired kernel graph (raises on malformed bundled workloads —
+    covered by tests). *)

@@ -72,16 +72,17 @@ with statistical regression gates. --list prints the matrix without
 running it:
 
   $ flexcl suite --list --smoke
-  +-----------------------------------+------------+----+
-  | entry                             | work-items | wg |
-  +===================================+============+====+
-  | rodinia/hotspot/hotspot@xc7vx690t |       1024 | 64 |
-  | rodinia/backprop/layer@xc7vx690t  |       1024 | 64 |
-  | polybench/gemm/gemm@xc7vx690t     |       1024 | 64 |
-  | polybench/mvt/mvt@xc7vx690t       |        256 | 64 |
-  | rodinia/hotspot/hotspot@xcku060   |       1024 | 64 |
-  +-----------------------------------+------------+----+
-  5 entries
+  +--------------------------------------------------+------------+----+
+  | entry                                            | work-items | wg |
+  +==================================================+============+====+
+  | rodinia/hotspot/hotspot@xc7vx690t                |       1024 | 64 |
+  | rodinia/backprop/layer@xc7vx690t                 |       1024 | 64 |
+  | polybench/gemm/gemm@xc7vx690t                    |       1024 | 64 |
+  | polybench/mvt/mvt@xc7vx690t                      |        256 | 64 |
+  | rodinia/hotspot/hotspot@xcku060                  |       1024 | 64 |
+  | pipeline/stream/produce-filter-consume@xc7vx690t |       1536 | 64 |
+  +--------------------------------------------------+------------+----+
+  6 entries
 
 A filter matching nothing is a usage error, not an empty table:
 
@@ -111,6 +112,7 @@ errors regressions:
   $ flexcl suite --smoke -o /dev/null --compare perfect.json -q > gate.txt 2>&1
   [1]
   $ grep 'REGRESSION \[accuracy\]' gate.txt
+  REGRESSION [accuracy] pipeline/stream/produce-filter-consume@xc7vx690t: model error vs simrtl rose 0.00% -> 18.32% (limit 0.50%)
   REGRESSION [accuracy] rodinia/backprop/layer@xc7vx690t: model error vs simrtl rose 0.00% -> 8.84% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xc7vx690t: model error vs simrtl rose 0.00% -> 3.96% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xcku060: model error vs simrtl rose 0.00% -> 5.38% (limit 0.50%)
@@ -128,3 +130,88 @@ A missing or corrupt baseline is an input error (exit 1):
   error[E-PARSE]
   $ flexcl suite --smoke -o /dev/null --compare corrupt.json -q > /dev/null 2>&1
   [1]
+
+The multi-kernel pipeline surface: kernel graphs over pipe channels
+(DESIGN.md §14), with the same exit-code contract.
+
+Exit 0 — list, analyze, explain, co-sim and joint exploration:
+
+  $ flexcl pipeline list
+  +-------------------------------+--------+----------+------------+-------+
+  | name                          | stages | channels | work-items | depth |
+  +===============================+========+==========+============+=======+
+  | stream/produce-filter-consume |      3 |        2 |       1536 |    16 |
+  | stencil/blur-sharpen          |      2 |        1 |       1024 |     8 |
+  +-------------------------------+--------+----------+------------+-------+
+
+  $ flexcl pipeline analyze --graph stream/produce-filter-consume | grep -E 'L_steady|L_fill|L_stall|TOTAL|bottleneck'
+  L_steady    : 54784 cycles (stage filter)
+  L_fill      : 7872 cycles (path produce -> filter -> consume)
+  L_stall     : 0 cycles
+  TOTAL       : 62656 cycles = 313.28 us
+  bottleneck  : stage filter: compute depth
+
+  $ flexcl pipeline explain --graph stencil/blur-sharpen --max-depth 2
+  graph       : stencil/blur-sharpen on xc7vx690t
+  joint point : blur[wg64 pe1 cu1 nopipe pipeline]; sharpen[wg64 pe1 cu1 nopipe pipeline]; smooth:d8
+  prediction  : 14400 cycles = 72.00 us
+  
+         14400  pipeline stencil/blur-sharpen [Eq.G1]  (stages=2)
+         12800  ├─ steady state [Eq.G2]
+         12800  │  ├─ stage blur [Eq.G2]
+             0  │  └─ stage sharpen [Eq.G2]  (cycles=12288)
+          1600  ├─ fill/drain [Eq.G3]
+          1600  │  └─ fill blur [Eq.G3]  (l_cu=1600)
+             0  └─ channel stalls [Eq.G4]
+             0     └─ channel smooth [Eq.G4]  (depth=8, skew=0)
+
+  $ flexcl pipeline cosim --graph stream/produce-filter-consume --seed 7 | grep -E 'model|co-sim'
+  model     : 62656 cycles
+  co-sim    : 63349 cycles (24 work-group rounds)
+
+  $ flexcl pipeline explore --graph stencil/blur-sharpen --top 1 | grep -E 'joint design points|bound-pruned'
+  stencil/blur-sharpen: 108 joint design points
+  bound-pruned search: 48/108 points evaluated (60 pruned)
+
+pipeline explain --json carries the graph, the joint point, the
+predicted cycles and the conservation-checked trace with the graph
+equation labels:
+
+  $ flexcl pipeline explain --graph stencil/blur-sharpen --json > pexplain.json
+  $ grep -o '"graph":"[^"]*"' pexplain.json
+  "graph":"stencil/blur-sharpen"
+  $ grep -o '"joint":"[^"]*"' pexplain.json
+  "joint":"blur[wg64 pe1 cu1 nopipe pipeline]; sharpen[wg64 pe1 cu1 nopipe pipeline]; smooth:d8"
+  $ grep -o '"trace":{"name":"[^"]*"' pexplain.json
+  "trace":{"name":"pipeline stencil/blur-sharpen"
+  $ grep -o '"eq":"Eq.G[0-9]"' pexplain.json | sort -u
+  "eq":"Eq.G1"
+  "eq":"Eq.G2"
+  "eq":"Eq.G3"
+  "eq":"Eq.G4"
+
+  $ flexcl pipeline explore --graph stencil/blur-sharpen --top 1 --json | grep -o '"cycles":[0-9]*'
+  "cycles":428
+
+Exit 1 — an unknown graph or an invalid depth are input errors:
+
+  $ flexcl pipeline analyze --graph nope/nope
+  error[E-IO] unknown pipeline graph "nope/nope" (stream/produce-filter-consume | stencil/blur-sharpen)
+  [1]
+
+  $ flexcl pipeline analyze --graph stencil/blur-sharpen --depth=-3
+  error[E-CONFIG] Pipeline.estimate: channel "smooth" depth -3 < 1
+  [1]
+
+Exit 2 — a missing --graph is usage:
+
+  $ flexcl pipeline analyze
+  flexcl: --graph NAME is required (see 'flexcl pipeline list')
+  [2]
+
+Exit 3 — an unbalanced --rounds override deadlocks the work-group DES,
+which is reported as an internal diagnostic, never a hang:
+
+  $ flexcl pipeline cosim --graph stream/produce-filter-consume --rounds produce=32
+  error[E-CONFIG] Pipeline.cosim: deadlock in graph "stream/produce-filter-consume" (no stage can run)
+  [3]

@@ -1,0 +1,481 @@
+(* The kernel-graph layer: pipe frontend wiring, Gdef validation
+   diagnostics (unbound / cycle / type-mismatch as typed codes), the
+   graph estimate's degeneration to the single-kernel model on
+   one-stage graphs (bitwise), explain-trace conservation on every
+   pipeline workload x seeded feasible joint points, co-simulated
+   ground truth vs the analytical estimate, and ranking identity of
+   the staged joint DSE against the unstaged reference sweep. *)
+
+module Gdef = Flexcl_graph.Gdef
+module Graph = Flexcl_graph.Graph
+module Cosim = Flexcl_graph.Cosim
+module Pipelines = Flexcl_workloads.Pipelines
+module Model = Flexcl_core.Model
+module Analysis = Flexcl_core.Analysis
+module Config = Flexcl_core.Config
+module Trace = Flexcl_util.Trace
+module Diag = Flexcl_util.Diag
+module Launch = Flexcl_ir.Launch
+module Prng = Flexcl_util.Prng
+
+let device = Thelpers.virtex7
+let bits = Int64.bits_of_float
+
+let analyzed_of p =
+  match Graph.analyze (Pipelines.graph p) with
+  | Ok t -> t
+  | Error ds ->
+      Alcotest.failf "workload %s did not analyze: %s" p.Pipelines.name
+        (Diag.render_all ds)
+
+(* ------------------------------------------------------------------ *)
+(* Gdef validation diagnostics *)
+
+let stage name source launch = { Gdef.s_name = name; s_source = source; s_launch = launch }
+
+let launch1 ?(n = 128) args =
+  Launch.make ~global:(Launch.dim3 n) ~local:(Launch.dim3 32) ~args
+
+let writer_src =
+  {|
+__kernel void w(pipe float ch, __global const float* a) {
+  int gid = get_global_id(0);
+  write_pipe(ch, a[gid]);
+}
+|}
+
+let reader_src =
+  {|
+__kernel void r(pipe float ch, __global float* out) {
+  int gid = get_global_id(0);
+  float v = read_pipe(ch);
+  out[gid] = v;
+}
+|}
+
+let int_reader_src =
+  {|
+__kernel void r(pipe int ch, __global float* out) {
+  int gid = get_global_id(0);
+  int v = read_pipe(ch);
+  out[gid] = (float)v;
+}
+|}
+
+let wbuf = [ ("a", Launch.Buffer { length = 128; init = Launch.Random_floats 5 }) ]
+let rbuf = [ ("out", Launch.Buffer { length = 128; init = Launch.Zeros }) ]
+
+let chan ?(depth = 8) name (ps, pp) (cs, cp) =
+  {
+    Gdef.c_name = name;
+    producer = { Gdef.e_stage = ps; e_param = pp };
+    consumer = { Gdef.e_stage = cs; e_param = cp };
+    depth;
+  }
+
+let two_stage ?(channels = [ chan "ch" ("w", "ch") ("r", "ch") ]) ?(reader = reader_src) () =
+  {
+    Gdef.g_name = "t";
+    stages = [ stage "w" writer_src (launch1 wbuf); stage "r" reader (launch1 rbuf) ];
+    channels;
+  }
+
+let codes_of = function
+  | Ok _ -> []
+  | Error ds -> List.map (fun (d : Diag.t) -> d.Diag.code) ds
+
+let test_resolve_ok () =
+  match Gdef.resolve (two_stage ()) with
+  | Ok r ->
+      Alcotest.(check (list string)) "topo order" [ "w"; "r" ] r.Gdef.order
+  | Error ds -> Alcotest.failf "resolve failed: %s" (Diag.render_all ds)
+
+let test_unbound_endpoint () =
+  let g = two_stage ~channels:[ chan "ch" ("w", "ch") ("r", "nope") ] () in
+  Alcotest.(check bool) "unbound code" true
+    (List.mem Diag.Pipe_unbound (codes_of (Gdef.resolve g)))
+
+let test_unwired_pipe () =
+  let g = two_stage ~channels:[] () in
+  Alcotest.(check bool) "unwired pipes diagnosed" true
+    (List.mem Diag.Pipe_unbound (codes_of (Gdef.resolve g)))
+
+let test_direction_violation () =
+  (* wire the channel backwards: the reader as producer *)
+  let g = two_stage ~channels:[ chan "ch" ("r", "ch") ("w", "ch") ] () in
+  Alcotest.(check bool) "direction violation" true
+    (List.mem Diag.Pipe_unbound (codes_of (Gdef.resolve g)))
+
+let test_packet_mismatch () =
+  let g = two_stage ~reader:int_reader_src () in
+  Alcotest.(check bool) "type mismatch code" true
+    (List.mem Diag.Pipe_mismatch (codes_of (Gdef.resolve g)))
+
+let test_cycle_diagnosed () =
+  let a_src =
+    {|
+__kernel void a(pipe float ab, pipe float ca) {
+  float v = read_pipe(ca);
+  write_pipe(ab, v);
+}
+|}
+  and b_src =
+    {|
+__kernel void b(pipe float ab, pipe float bc) {
+  float v = read_pipe(ab);
+  write_pipe(bc, v);
+}
+|}
+  and c_src =
+    {|
+__kernel void c(pipe float bc, pipe float ca) {
+  float v = read_pipe(bc);
+  write_pipe(ca, v);
+}
+|}
+  in
+  let g =
+    {
+      Gdef.g_name = "cycle";
+      stages =
+        [
+          stage "a" a_src (launch1 []);
+          stage "b" b_src (launch1 []);
+          stage "c" c_src (launch1 []);
+        ];
+      channels =
+        [
+          chan "ab" ("a", "ab") ("b", "ab");
+          chan "bc" ("b", "bc") ("c", "bc");
+          chan "ca" ("c", "ca") ("a", "ca");
+        ];
+    }
+  in
+  Alcotest.(check bool) "cycle code" true
+    (List.mem Diag.Pipe_cycle (codes_of (Gdef.resolve g)))
+
+let test_bad_depth () =
+  let g = two_stage ~channels:[ chan ~depth:0 "ch" ("w", "ch") ("r", "ch") ] () in
+  Alcotest.(check bool) "zero depth rejected" true
+    (List.mem Diag.Config_invalid (codes_of (Gdef.resolve g)))
+
+let test_autowire () =
+  match
+    Gdef.of_program ~name:"auto" ~depth:4
+      [ ("w", writer_src, launch1 wbuf); ("r", reader_src, launch1 rbuf) ]
+  with
+  | Ok g ->
+      Alcotest.(check int) "one channel" 1 (List.length g.Gdef.channels);
+      let c = List.hd g.Gdef.channels in
+      Alcotest.(check string) "producer" "w" c.Gdef.producer.Gdef.e_stage;
+      Alcotest.(check string) "consumer" "r" c.Gdef.consumer.Gdef.e_stage
+  | Error ds -> Alcotest.failf "auto-wire failed: %s" (Diag.render_all ds)
+
+let test_autowire_orphan () =
+  match
+    Gdef.of_program ~name:"orphan" ~depth:4 [ ("w", writer_src, launch1 wbuf) ]
+  with
+  | Ok _ -> Alcotest.fail "write-only pipe must not wire"
+  | Error ds ->
+      Alcotest.(check bool) "unbound" true
+        (List.exists (fun (d : Diag.t) -> d.Diag.code = Diag.Pipe_unbound) ds)
+
+(* ------------------------------------------------------------------ *)
+(* Graph-of-one degenerates to the single-kernel model, bitwise *)
+
+let test_single_stage_bitwise () =
+  let src = Thelpers.sample_kernel_src in
+  let g =
+    {
+      Gdef.g_name = "solo";
+      stages = [ stage "solo" src Thelpers.sample_launch ];
+      channels = [];
+    }
+  in
+  let t =
+    match Graph.analyze g with
+    | Ok t -> t
+    | Error ds -> Alcotest.failf "analyze: %s" (Diag.render_all ds)
+  in
+  let a = Graph.stage_analysis t "solo" in
+  let cfg =
+    {
+      Config.default with
+      Config.wg_size = Launch.wg_size Thelpers.sample_launch;
+    }
+  in
+  let j = { Graph.stage_configs = [ ("solo", cfg) ]; depths = [] } in
+  let gb = Graph.estimate device t j in
+  let mb = Model.estimate device a cfg in
+  Alcotest.(check bool) "cycles bitwise equal" true
+    (bits gb.Graph.cycles = bits mb.Model.cycles);
+  Alcotest.(check (float 0.0)) "no fill" 0.0 gb.Graph.fill;
+  Alcotest.(check (float 0.0)) "no stall" 0.0 gb.Graph.stall;
+  (* and the trace root recomposes the same value *)
+  let _, tr = Graph.explain device t j in
+  Alcotest.(check bool) "trace root bitwise" true
+    (bits tr.Trace.cycles = bits gb.Graph.cycles);
+  Alcotest.(check bool) "conservation" true (Result.is_ok (Trace.check tr))
+
+(* ------------------------------------------------------------------ *)
+(* Seeded feasible joint points on the bundled pipeline workloads *)
+
+let seeded_joints t seed count =
+  let stages = List.map fst t.Graph.stage_analyses in
+  let channels = t.Graph.resolved.Gdef.graph.Gdef.channels in
+  List.init count (fun i ->
+      let h k = Prng.hash_mix seed (Prng.hash_mix i k) in
+      let stage_configs =
+        List.mapi
+          (fun si s ->
+            let a = Graph.stage_analysis t s in
+            let pick xs salt = List.nth xs (abs (h (salt + si)) mod List.length xs) in
+            ( s,
+              {
+                Config.wg_size = Launch.wg_size a.Analysis.launch;
+                n_pe = pick [ 1; 2; 4 ] 11;
+                n_cu = pick [ 1; 2 ] 23;
+                wi_pipeline = pick [ true; false ] 37;
+                comm_mode = Config.Pipeline_mode;
+              } ))
+          stages
+      in
+      let depths =
+        List.mapi
+          (fun ci (c : Gdef.channel) ->
+            (c.Gdef.c_name, List.nth [ 1; 2; 8; 32 ] (abs (h (41 + ci)) mod 4)))
+          channels
+      in
+      { Graph.stage_configs; depths })
+
+let feasible_joints t seed count =
+  List.filter (Graph.feasible device t) (seeded_joints t seed count)
+
+let test_explain_conservation () =
+  List.iter
+    (fun p ->
+      let t = analyzed_of p in
+      let joints = Graph.default_joint t :: feasible_joints t 7 12 in
+      Alcotest.(check bool)
+        (p.Pipelines.name ^ " has feasible joints")
+        true (joints <> []);
+      List.iter
+        (fun j ->
+          let gb, tr = Graph.explain device t j in
+          (match Trace.check tr with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: %s" p.Pipelines.name msg);
+          Alcotest.(check bool) "root carries cycles bitwise" true
+            (bits tr.Trace.cycles = bits gb.Graph.cycles);
+          Alcotest.(check bool) "estimate = explain bitwise" true
+            (bits (Graph.estimate device t j).Graph.cycles
+            = bits gb.Graph.cycles);
+          (* terms recompose: cycles = steady + fill + stall as summed
+             by the same fold the checker uses *)
+          Alcotest.(check bool) "terms recompose" true
+            (bits gb.Graph.cycles
+            = bits (0.0 +. gb.Graph.steady +. gb.Graph.fill +. gb.Graph.stall)))
+        joints)
+    Pipelines.all
+
+let test_depth_monotone_stall () =
+  (* shrinking every channel to depth 1 cannot reduce the stall term *)
+  List.iter
+    (fun p ->
+      let t = analyzed_of p in
+      let j = Graph.default_joint t in
+      let shallow =
+        { j with Graph.depths = List.map (fun (c, _) -> (c, 1)) j.Graph.depths }
+      in
+      let b0 = Graph.estimate device t j in
+      let b1 = Graph.estimate device t shallow in
+      Alcotest.(check bool) "stall grows when FIFOs shrink" true
+        (b1.Graph.stall >= b0.Graph.stall))
+    Pipelines.all
+
+let test_cosim_accuracy () =
+  List.iter
+    (fun p ->
+      let t = analyzed_of p in
+      let j = Graph.default_joint t in
+      let est = Graph.estimate device t j in
+      let sim = Cosim.run ~seed:42 device t j in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cosim ran" p.Pipelines.name)
+        true (sim.Cosim.cycles > 0.0);
+      Alcotest.(check bool) "per-stage runs recorded" true
+        (List.length sim.Cosim.per_stage
+        = List.length t.Graph.stage_analyses);
+      let err = 100.0 *. Float.abs (est.Graph.cycles -. sim.Cosim.cycles) /. sim.Cosim.cycles in
+      (* the analytical estimate must stay in the same regime as the
+         co-simulated ground truth (the single-kernel model's own
+         accuracy band is ~10-20%; the graph composition adds fill and
+         stall approximations on top) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: est %.0f vs cosim %.0f (%.1f%% err) within 60%%"
+           p.Pipelines.name est.Graph.cycles sim.Cosim.cycles err)
+        true (err < 60.0))
+    Pipelines.all
+
+let test_cosim_deterministic () =
+  let t = analyzed_of Pipelines.produce_filter_consume in
+  let j = Graph.default_joint t in
+  let a = Cosim.run ~seed:7 device t j and b = Cosim.run ~seed:7 device t j in
+  Alcotest.(check bool) "same seed, same cycles" true
+    (bits a.Cosim.cycles = bits b.Cosim.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Joint DSE: staged sweep ranks identically to the unstaged reference *)
+
+let small_jspace =
+  {
+    Graph.pe_counts = [ 1; 2 ];
+    cu_counts = [ 1; 2 ];
+    pipeline_choices = [ true ];
+    comm_modes = [ Config.Pipeline_mode ];
+    depth_choices = [ 1; 16 ];
+  }
+
+let test_joint_dse_ranking_identity () =
+  List.iter
+    (fun p ->
+      let t = analyzed_of p in
+      let staged = Graph.explore ~num_domains:2 device t small_jspace in
+      let reference = Graph.explore_reference device t small_jspace in
+      Alcotest.(check int)
+        (p.Pipelines.name ^ ": same point count")
+        (List.length reference) (List.length staged);
+      List.iter2
+        (fun (s : Graph.jevaluated) (r : Graph.jevaluated) ->
+          Alcotest.(check int) "same joint" 0
+            (Graph.compare_joint s.Graph.joint r.Graph.joint);
+          Alcotest.(check bool) "bitwise cycles" true
+            (bits s.Graph.jcycles = bits r.Graph.jcycles))
+        staged reference)
+    Pipelines.all
+
+let test_best_matches_explore () =
+  let t = analyzed_of Pipelines.blur_sharpen in
+  match
+    (Graph.best ~num_domains:0 device t small_jspace,
+     Graph.explore device t small_jspace)
+  with
+  | Some (b, stats), hd :: _ ->
+      Alcotest.(check int) "same winner" 0
+        (Graph.compare_joint b.Graph.joint hd.Graph.joint);
+      Alcotest.(check bool) "bitwise winner cycles" true
+        (bits b.Graph.jcycles = bits hd.Graph.jcycles);
+      Alcotest.(check bool) "accounting adds up" true
+        (stats.Graph.jevaluated + stats.Graph.jpruned = stats.Graph.jtotal)
+  | None, _ -> Alcotest.fail "best found nothing"
+  | _, [] -> Alcotest.fail "explore found nothing"
+
+let test_lower_bound_sound () =
+  List.iter
+    (fun p ->
+      let t = analyzed_of p in
+      List.iter
+        (fun j ->
+          let lb = Graph.lower_bound device t j in
+          let c = Graph.cycles device t j in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: bound %.0f <= cycles %.0f" p.Pipelines.name lb c)
+            true
+            (lb <= c +. (1e-9 *. Float.max c 1.0)))
+        (Graph.default_joint t :: feasible_joints t 13 8))
+    Pipelines.all
+
+(* ------------------------------------------------------------------ *)
+(* Random DAGs: resolve is total (validates or diagnoses, never raises) *)
+
+let qcheck_random_graphs =
+  let gen =
+    QCheck.make
+      ~print:(fun (n_stages, wiring, depth) ->
+        Printf.sprintf "stages=%d wiring=%d depth=%d" n_stages wiring depth)
+      QCheck.Gen.(triple (int_range 1 4) (int_range 0 1000) (int_range (-1) 9))
+  in
+  QCheck.Test.make ~name:"random graphs resolve or diagnose" ~count:120 gen
+    (fun (n_stages, wiring, depth) ->
+      (* a seeded generator of plausible-and-broken graphs: each stage
+         reads pipe [p(i-1)] (except maybe the first) and writes pipe
+         [p i]; wiring bits decide which channels exist and whether an
+         endpoint is misnamed, so many instances are deliberately
+         invalid *)
+      let h i k = Prng.hash_mix wiring (Prng.hash_mix i k) in
+      let src i =
+        let reads = i > 0 in
+        let writes = i < n_stages - 1 || h i 1 mod 3 = 0 in
+        Printf.sprintf
+          {|
+__kernel void s%d(%s__global float* buf) {
+  int gid = get_global_id(0);
+  %s
+  %s
+  buf[gid] = buf[gid] + 1.0f;
+}
+|}
+          i
+          ((if reads then Printf.sprintf "pipe float p%d, " (i - 1) else "")
+          ^ if writes then Printf.sprintf "pipe float p%d, " i else "")
+          (if reads then Printf.sprintf "float v%d = read_pipe(p%d);" i (i - 1)
+           else "")
+          (if writes then Printf.sprintf "write_pipe(p%d, 1.5f);" i else "")
+      in
+      let stages =
+        List.init n_stages (fun i ->
+            stage
+              (Printf.sprintf "s%d" i)
+              (src i)
+              (launch1
+                 [
+                   ( "buf",
+                     Launch.Buffer { length = 128; init = Launch.Random_floats (i + 1) } );
+                 ]))
+      in
+      let channels =
+        List.concat
+          (List.init (max 0 (n_stages - 1)) (fun i ->
+               if h i 2 mod 4 = 0 then [] (* drop a channel: unbound *)
+               else
+                 [
+                   chan ~depth
+                     (Printf.sprintf "p%d" i)
+                     (Printf.sprintf "s%d" i, Printf.sprintf "p%d" i)
+                     ( Printf.sprintf "s%d" (i + 1),
+                       Printf.sprintf "p%d"
+                         (if h i 3 mod 5 = 0 then 9 (* misname *) else i) );
+                 ]))
+      in
+      let g = { Gdef.g_name = "rand"; stages; channels } in
+      match Gdef.resolve g with
+      | Ok r -> List.length r.Gdef.order = n_stages
+      | Error ds -> ds <> [] && List.for_all Diag.is_error ds)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "two-stage graph resolves" `Quick test_resolve_ok;
+    Alcotest.test_case "unbound endpoint diagnosed" `Quick test_unbound_endpoint;
+    Alcotest.test_case "unwired pipe diagnosed" `Quick test_unwired_pipe;
+    Alcotest.test_case "direction violation diagnosed" `Quick test_direction_violation;
+    Alcotest.test_case "packet mismatch diagnosed" `Quick test_packet_mismatch;
+    Alcotest.test_case "channel cycle diagnosed" `Quick test_cycle_diagnosed;
+    Alcotest.test_case "non-positive depth rejected" `Quick test_bad_depth;
+    Alcotest.test_case "auto-wiring by pipe name" `Quick test_autowire;
+    Alcotest.test_case "auto-wiring flags orphans" `Quick test_autowire_orphan;
+    Alcotest.test_case "graph of one = Model.estimate (bitwise)" `Quick
+      test_single_stage_bitwise;
+    Alcotest.test_case "explain conservation on workloads x joints" `Quick
+      test_explain_conservation;
+    Alcotest.test_case "stall monotone in shrinking depth" `Quick
+      test_depth_monotone_stall;
+    Alcotest.test_case "cosim vs analytical accuracy" `Slow test_cosim_accuracy;
+    Alcotest.test_case "cosim deterministic" `Slow test_cosim_deterministic;
+    Alcotest.test_case "joint DSE ranking identity" `Slow
+      test_joint_dse_ranking_identity;
+    Alcotest.test_case "best matches explore head" `Slow test_best_matches_explore;
+    Alcotest.test_case "graph lower bound sound" `Quick test_lower_bound_sound;
+    QCheck_alcotest.to_alcotest qcheck_random_graphs;
+  ]

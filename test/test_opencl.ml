@@ -394,6 +394,117 @@ let test_const_eval () =
   check Alcotest.bool "ternary" true (Sema.const_eval (Parser.parse_expr "1 ? 7 : 9") = Some 7L)
 
 (* ------------------------------------------------------------------ *)
+(* Pipes and structural discipline: directions are inferred, and uses
+   that the hardware mapping cannot honor — pipe traffic or barriers
+   under divergent control flow, pipe accesses buried inside larger
+   expressions — are rejected with a spanned [Error_at], not accepted
+   silently. *)
+
+let expect_error_at label src =
+  match analyze src with
+  | _ -> Alcotest.failf "%s: accepted invalid kernel" label
+  | exception Sema.Error_at (msg, line, col) ->
+      check Alcotest.bool (label ^ ": span is positive") true (line > 0 && col >= 0);
+      msg
+
+let test_sema_pipe_endpoints () =
+  let info =
+    analyze
+      {|__kernel void f(pipe float inp, pipe float outp, __global float* a) {
+          float v = read_pipe(inp);
+          write_pipe(outp, v * 2.0f);
+        }|}
+  in
+  check Alcotest.int "two pipes" 2 (List.length info.Sema.pipes);
+  let ep name = List.assoc name info.Sema.pipes in
+  check Alcotest.bool "inp reads" true (ep "inp").Sema.pe_reads;
+  check Alcotest.bool "inp does not write" false (ep "inp").Sema.pe_writes;
+  check Alcotest.bool "outp writes" true (ep "outp").Sema.pe_writes;
+  check Alcotest.bool "outp does not read" false (ep "outp").Sema.pe_reads;
+  check Alcotest.bool "packet type" true ((ep "inp").Sema.pe_packet = Types.Float)
+
+let test_sema_barrier_diverged () =
+  let msg =
+    expect_error_at "barrier under if"
+      {|__kernel void f(__global float* a, int n) {
+          int gid = get_global_id(0);
+          if (gid < n) {
+            barrier(CLK_LOCAL_MEM_FENCE);
+          }
+        }|}
+  in
+  check Alcotest.bool "message names divergence" true
+    (Thelpers.contains msg "diverged")
+
+let test_sema_pipe_read_diverged () =
+  let msg =
+    expect_error_at "read_pipe under if"
+      {|__kernel void f(pipe float p, __global float* a, int n) {
+          int gid = get_global_id(0);
+          float v = 0.0f;
+          if (gid < n) {
+            v = read_pipe(p);
+          }
+          a[gid] = v;
+        }|}
+  in
+  check Alcotest.bool "message names divergence" true
+    (Thelpers.contains msg "diverged")
+
+let test_sema_pipe_write_diverged () =
+  let msg =
+    expect_error_at "write_pipe under else"
+      {|__kernel void f(pipe float p, int n) {
+          int gid = get_global_id(0);
+          if (gid < n) {
+            int x = gid;
+          } else {
+            write_pipe(p, 1.0f);
+          }
+        }|}
+  in
+  check Alcotest.bool "message names divergence" true
+    (Thelpers.contains msg "diverged")
+
+let test_sema_pipe_buried_expression () =
+  let msg =
+    expect_error_at "read_pipe inside larger expression"
+      {|__kernel void f(pipe float p, __global float* a) {
+          int gid = get_global_id(0);
+          a[gid] = read_pipe(p) + 1.0f;
+        }|}
+  in
+  check Alcotest.bool "message demands whole statement" true
+    (Thelpers.contains msg "whole statement")
+
+let test_sema_pipe_top_level_ok () =
+  (* the same accesses at top level are fine — the divergence rule must
+     not overreach (loops are uniform here, only [if] diverges) *)
+  let info =
+    analyze
+      {|__kernel void f(pipe float p, pipe float q) {
+          float v = read_pipe(p);
+          float acc = 0.0f;
+          for (int i = 0; i < 4; i++) {
+            acc = acc + v;
+          }
+          write_pipe(q, acc);
+        }|}
+  in
+  check Alcotest.int "pipes collected" 2 (List.length info.Sema.pipes)
+
+let test_parse_pipe_param_only () =
+  (* [pipe] is a parameter qualifier, not a local declaration type *)
+  (match
+     Parser.parse_program {|__kernel void f(int n) { pipe float p; }|}
+   with
+  | exception Parser.Error (_, _, _) -> ()
+  | exception Lexer.Error (_, _, _) -> ()
+  | _ -> Alcotest.fail "pipe local declaration must not parse");
+  let k = parse1 {|__kernel void f(pipe float p) { write_pipe(p, 1.0f); }|} in
+  check Alcotest.int "one param" 1 (List.length k.Ast.k_params)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck: lexer totality on printable strings, parser on generated exprs *)
 
 let gen_expr =
@@ -484,6 +595,19 @@ let suite =
       test_sema_redeclare_conflicting;
     Alcotest.test_case "sema: type_of" `Quick test_sema_type_of;
     Alcotest.test_case "sema: const_eval" `Quick test_const_eval;
+    Alcotest.test_case "sema: pipe endpoint directions" `Quick test_sema_pipe_endpoints;
+    Alcotest.test_case "sema: barrier in diverged flow" `Quick
+      test_sema_barrier_diverged;
+    Alcotest.test_case "sema: pipe read in diverged flow" `Quick
+      test_sema_pipe_read_diverged;
+    Alcotest.test_case "sema: pipe write in diverged flow" `Quick
+      test_sema_pipe_write_diverged;
+    Alcotest.test_case "sema: pipe access buried in expression" `Quick
+      test_sema_pipe_buried_expression;
+    Alcotest.test_case "sema: pipes at top level accepted" `Quick
+      test_sema_pipe_top_level_ok;
+    Alcotest.test_case "parser: pipe is parameter-only" `Quick
+      test_parse_pipe_param_only;
     QCheck_alcotest.to_alcotest prop_parser_roundtrip_structure;
     QCheck_alcotest.to_alcotest prop_lexer_never_loops;
   ]

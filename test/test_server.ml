@@ -264,9 +264,17 @@ let protocol_goldens : (string * string * string) list =
       {|{"id":5,"kind":"explore","workload":"nn/nn","device":"v7","top":3}|},
       {|{"id":5,"ok":true,"kind":"explore","result":{"kernel":"nn/nn","device":"xc7vx690t","feasible":192,"points":[{"config":"wg256 pe4 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg256 pe8 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg128 pe4 cu1 pipe pipeline","cycles":4784,"us":23.92}],"greedy":{"config":"wg256 pe8 cu4 pipe pipeline","cycles":7789,"us":38.945}}}|}
     );
+    ( "pipeline",
+      {|{"id":8,"kind":"pipeline","graph":"stencil/blur-sharpen"}|},
+      {|{"id":8,"ok":true,"kind":"pipeline","cached":false,"result":{"graph":"stencil/blur-sharpen","device":"xc7vx690t","joint":"blur[wg64 pe1 cu1 nopipe pipeline]; sharpen[wg64 pe1 cu1 nopipe pipeline]; smooth:d8","stages":[{"stage":"blur","cycles":12800},{"stage":"sharpen","cycles":12288}],"steady":12800,"fill":1600,"stall":0,"cycles":14400,"us":72,"bottleneck":"stage blur: compute depth"}}|}
+    );
+    ( "pipeline missing graph",
+      {|{"id":9,"kind":"pipeline"}|},
+      {|{"id":9,"ok":false,"kind":"pipeline","errors":[{"code":"E-USAGE","severity":"error","message":"field \"graph\" is required (stream/produce-filter-consume | stencil/blur-sharpen)"}]}|}
+    );
     ( "unknown kind",
       {|{"id":6,"kind":"frobnicate"}|},
-      {|{"id":6,"ok":false,"kind":"frobnicate","errors":[{"code":"E-USAGE","severity":"error","message":"unknown request kind \"frobnicate\" (parse | analyze | predict | explore | stats | shutdown)"}]}|}
+      {|{"id":6,"ok":false,"kind":"frobnicate","errors":[{"code":"E-USAGE","severity":"error","message":"unknown request kind \"frobnicate\" (parse | analyze | predict | explore | pipeline | stats | shutdown)"}]}|}
     );
     ( "missing source",
       {|{"id":7,"kind":"predict"}|},

@@ -404,9 +404,7 @@ let test_runner_smoke () =
   let entries =
     List.filter
       (fun (e : Sdef.entry) ->
-        List.mem
-          (Flexcl_workloads.Workload.name e.Sdef.workload)
-          [ "hotspot/hotspot"; "gemm/gemm" ])
+        List.mem (Sdef.workload_name e) [ "hotspot/hotspot"; "gemm/gemm" ])
       entries
   in
   check Alcotest.int "two entries selected" 2 (List.length entries);
@@ -454,11 +452,15 @@ let test_smoke_subset_is_declared () =
   let devs =
     List.sort_uniq compare (List.map (fun e -> e.Sdef.device_name) entries)
   in
-  check (Alcotest.list Alcotest.string) "suites" [ "polybench"; "rodinia" ] suites;
+  check (Alcotest.list Alcotest.string) "suites"
+    [ "pipeline"; "polybench"; "rodinia" ]
+    suites;
   check Alcotest.int "both devices" 2 (List.length devs);
-  (* full matrix = every workload x every device *)
+  (* full matrix = (every workload + every pipeline graph) x every device *)
   let full = Sdef.full () in
-  check Alcotest.int "full matrix size" (60 * 2) (List.length full)
+  let n_pipelines = List.length Flexcl_workloads.Pipelines.all in
+  check Alcotest.int "full matrix size" ((60 + n_pipelines) * 2)
+    (List.length full)
 
 let suite =
   [
