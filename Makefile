@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke pipeline-smoke suite-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
+.PHONY: all build test check smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
 
 all: build
 
@@ -15,7 +15,7 @@ test:
 # cycle-attribution trace on two bundled kernels in both modes, the
 # benchmark-suite smoke matrix against its committed baseline, and the
 # seeded chaos storm against a live socket server.
-check: build test smoke serve-smoke trace-smoke pipeline-smoke suite-smoke chaos
+check: build test smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke chaos
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -120,6 +120,40 @@ suite-smoke:
 	@dune exec --no-build bin/flexcl_cli.exe -- suite --smoke -q \
 	  -o _build/BENCH_suite.smoke.json \
 	  --compare test/goldens/BENCH_suite.baseline.json
+
+# Multi-channel HBM smoke (DESIGN.md §15): a placed analyze on the
+# 32-channel xcu280 must beat-or-match shape expectations, a placed
+# explain on the dual-DDR4 board self-validates conservation across the
+# channel-roofline node (exit 3 on any violation), and a placement that
+# names a nonexistent buffer must die with a spanned usage diagnostic
+# (exit 2), never a crash.
+hbm-smoke:
+	@out=$$(dune exec --no-build bin/flexcl_cli.exe -- analyze \
+	  -w bfs/bfs_1 --device xcu280 --pe 2 --cu 2 --pipeline \
+	  --placement cost=1 --placement edges=2); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "hbm-smoke: placed analyze exited $$status"; exit 1; \
+	fi; \
+	case "$$out" in \
+	  *'on xcu280'*'TOTAL'*) ;; \
+	  *) echo "hbm-smoke: placed analyze output lacks the device header"; \
+	     printf '%s\n' "$$out"; exit 1 ;; \
+	esac; \
+	dune exec --no-build bin/flexcl_cli.exe -- explain \
+	  -w mvt/mvt --device xcku060-2ddr --pe 1 --cu 2 --pipeline \
+	  --placement x1=1 --json > /dev/null; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "hbm-smoke: placed explain exited $$status"; exit 1; \
+	fi; \
+	dune exec --no-build bin/flexcl_cli.exe -- analyze \
+	  -w bfs/bfs_1 --device xcu280 --placement zzz=0 > /dev/null 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 2 ]; then \
+	  echo "hbm-smoke: expected exit 2 on an unknown placement buffer, got $$status"; exit 1; \
+	fi; \
+	echo "hbm-smoke: placed analyze + conservation-validated explain + placement guard OK"
 
 # Chaos harness (DESIGN.md §12): >= 500 seeded trials of malformed
 # frames, mid-request disconnects, deadline storms, overload bursts and

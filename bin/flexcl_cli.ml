@@ -65,15 +65,22 @@ let all_workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.al
 
 let device_arg =
   let parse = function
-    | "virtex7" | "v7" -> Ok Device.virtex7
-    | "ku060" -> Ok Device.ku060
-    | s -> Error (`Msg (Printf.sprintf "unknown device %S (virtex7 | ku060)" s))
+    | "virtex7" | "v7" | "xc7vx690t" -> Ok Device.virtex7
+    | "ku060" | "xcku060" -> Ok Device.ku060
+    | "ku060-2ddr" | "xcku060-2ddr" -> Ok Device.ku060_2ddr
+    | "u280" | "xcu280" -> Ok Device.u280
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown device %S (virtex7 | ku060 | ku060-2ddr | xcu280)" s))
   in
   let print ppf (d : Device.t) = Format.pp_print_string ppf d.Device.name in
   Arg.(
     value
     & opt (conv (parse, print)) Device.virtex7
-    & info [ "device" ] ~docv:"NAME" ~doc:"Target FPGA: virtex7 or ku060.")
+    & info [ "device" ] ~docv:"NAME"
+        ~doc:"Target FPGA: virtex7, ku060, ku060-2ddr or xcu280.")
 
 let kernel_file =
   Arg.(
@@ -134,6 +141,15 @@ let float_args =
     & opt_all (pair ~sep:'=' string float) []
     & info [ "float-arg" ] ~docv:"NAME=V" ~doc:"Pin a float scalar argument.")
 
+let placement_args =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "placement" ] ~docv:"BUF=CHAN"
+        ~doc:
+          "Bind buffer $(b,BUF) to DRAM channel $(b,CHAN) (repeatable; only \
+           meaningful on multi-channel devices such as xcu280).")
+
 (* ------------------------------------------------------------------ *)
 (* Kernel / launch resolution *)
 
@@ -188,7 +204,28 @@ let resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats =
               ],
               None ))
 
-let with_kernel file workload global wg buffer_size ints floats f =
+(* A bad --placement is caller misuse, like a bad flag value: a
+   [Usage_error] diagnostic and exit 2, checked against the concrete
+   device (channel range) and the resolved launch (buffer names). *)
+let placed_launch ~dev ~placement launch =
+  if placement = [] then Ok launch
+  else
+    match
+      Flexcl_dram.Dram.placement_error dev.Device.dram placement
+        ~buffers:(L.buffer_names launch)
+    with
+    | Some msg -> Error [ Diag.error Diag.Usage_error "--placement: %s" msg ]
+    | None -> (
+        match L.with_placement_result launch placement with
+        | Ok l -> Ok l
+        | Error problems ->
+            Error
+              (List.map
+                 (fun p -> Diag.error Diag.Usage_error "--placement: %s" p)
+                 problems))
+
+let with_kernel ~dev ~placement file workload global wg buffer_size ints floats
+    f =
   guarded (fun () ->
       match resolve ~file ~workload ~global ~wg ~buffer_size ~ints ~floats with
       | `Usage msg ->
@@ -198,11 +235,16 @@ let with_kernel file workload global wg buffer_size ints floats f =
           print_diags ?source diags;
           exit_input_error
       | `Ok (name, source, kernel, launch) -> (
-          match Analysis.analyze_result kernel launch with
+          match placed_launch ~dev ~placement launch with
           | Error diags ->
-              print_diags ~source (List.map (Diag.with_file name) diags);
-              exit_input_error
-          | Ok a -> f name a))
+              print_diags diags;
+              exit_usage_error
+          | Ok launch -> (
+              match Analysis.analyze_result kernel launch with
+              | Error diags ->
+                  print_diags ~source (List.map (Diag.with_file name) diags);
+                  exit_input_error
+              | Ok a -> f name a)))
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
@@ -269,8 +311,9 @@ let analyze_cmd =
           ~doc:"Also print the cycle-attribution trace (see 'flexcl explain').")
   in
   let run dev file workload global wg pe cu pipe mode buffer_size ints floats
-      trace =
-    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+      placement trace =
+    with_kernel ~dev ~placement file workload global wg buffer_size ints floats
+      (fun name a ->
         let cfg =
           { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
             wi_pipeline = pipe; comm_mode = mode }
@@ -306,7 +349,7 @@ let analyze_cmd =
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
       $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
-      $ float_args $ trace_flag)
+      $ float_args $ placement_args $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* explain *)
@@ -325,8 +368,9 @@ let explain_cmd =
           ~doc:"Truncate the printed tree below depth $(docv) (text mode only).")
   in
   let run dev file workload global wg pe cu pipe mode buffer_size ints floats
-      json max_depth =
-    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+      placement json max_depth =
+    with_kernel ~dev ~placement file workload global wg buffer_size ints floats
+      (fun name a ->
         let cfg =
           { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
             wi_pipeline = pipe; comm_mode = mode }
@@ -374,14 +418,16 @@ let explain_cmd =
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
       $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
-      $ float_args $ json_flag $ max_depth)
+      $ float_args $ placement_args $ json_flag $ max_depth)
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
 
 let simulate_cmd =
-  let run dev file workload global wg pe cu pipe mode buffer_size ints floats =
-    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats
+      placement =
+    with_kernel ~dev ~placement file workload global wg buffer_size ints floats
+      (fun name a ->
         let cfg =
           { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe; n_cu = cu;
             wi_pipeline = pipe; comm_mode = mode }
@@ -412,7 +458,7 @@ let simulate_cmd =
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
       $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
-      $ float_args)
+      $ float_args $ placement_args)
 
 (* ------------------------------------------------------------------ *)
 (* explore *)
@@ -430,13 +476,15 @@ let explore_cmd =
             "Worker domains for the parallel sweep engine (0 = sequential; \
              default: cores - 1). Results are identical at any N.")
   in
-  let run dev file workload global wg buffer_size ints floats top jobs =
+  let run dev file workload global wg buffer_size ints floats placement top jobs
+      =
     match jobs with
     | Some n when n < 0 ->
         prerr_endline "flexcl: --jobs must be >= 0";
         exit_usage_error
     | _ ->
-    with_kernel file workload global wg buffer_size ints floats (fun name a ->
+    with_kernel ~dev ~placement file workload global wg buffer_size ints floats
+      (fun name a ->
         let space =
           Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)
         in
@@ -484,7 +532,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Exhaustively explore the optimization design space.")
     Term.(
       const run $ device_arg $ kernel_file $ workload_name $ global_size
-      $ wg_size $ buffer_size $ int_args $ float_args $ top $ jobs)
+      $ wg_size $ buffer_size $ int_args $ float_args $ placement_args $ top
+      $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* serve *)

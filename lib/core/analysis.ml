@@ -30,7 +30,7 @@ let buffer_layout (kernel : Ast.kernel) (launch : Launch.t) =
         | Some (Launch.Scalar _) | None -> None)
       kernel.Ast.k_params
   in
-  Dram.layout sized
+  Dram.layout ~placement:launch.Launch.placement sized
 
 let analyze ?(max_work_groups = 3) ?max_steps (kernel : Ast.kernel)
     (launch : Launch.t) =
@@ -50,6 +50,13 @@ let analyze ?(max_work_groups = 3) ?max_steps (kernel : Ast.kernel)
 
 let of_source ?max_work_groups ?max_steps src launch =
   analyze ?max_work_groups ?max_steps (Parser.parse_kernel src) launch
+
+(* Placement relocates buffers in the DRAM address space and nothing
+   else: sema, the CDFG, the interpreter profile and the recurrences are
+   all placement-independent, so re-placing costs one [Dram.layout]. *)
+let with_placement t placement =
+  let launch = Launch.with_placement t.launch placement in
+  { t with launch; layout = buffer_layout t.kernel launch }
 
 (* ------------------------------------------------------------------ *)
 (* Total pipeline: every deep-layer exception becomes a diagnostic. *)
@@ -153,8 +160,10 @@ let with_wg_size t wg_size =
            wg_size)
   | (lx, ly, lz) :: _ ->
       let launch =
-        Launch.make ~global:g
-          ~local:{ Launch.x = lx; y = ly; z = lz }
-          ~args:t.launch.Launch.args
+        Launch.with_placement
+          (Launch.make ~global:g
+             ~local:{ Launch.x = lx; y = ly; z = lz }
+             ~args:t.launch.Launch.args)
+          t.launch.Launch.placement
       in
       analyze t.kernel launch

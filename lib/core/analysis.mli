@@ -72,3 +72,11 @@ val with_wg_size : t -> int -> t
 (** Re-analyze with a different work-group size (keeps total NDRange and
     arguments). The new size must divide the total 1-D work-item count;
     multi-dimensional launches redistribute the local size along x. *)
+
+val with_placement : t -> (string * int) list -> t
+(** The same analysis with a different buffer→channel placement. Cheap
+    and exact: placement relocates buffers in the DRAM address space and
+    nothing else, so only [layout] (and the launch) changes — sema, the
+    CDFG, the profile and the recurrences are shared. The placement is
+    not validated here; see {!Flexcl_ir.Launch.with_placement_result}
+    and {!Flexcl_dram.Dram.placement_error}. *)

@@ -640,6 +640,84 @@ let mem_latency_wi (dev : Device.t) pattern_counts =
     0.0 pattern_counts
 
 (* ------------------------------------------------------------------ *)
+(* Multi-channel bandwidth roofline (DESIGN.md §15).
+
+   On devices with [n_channels > 1] the single shared-bus floor is
+   replaced by a per-channel one: buffer placement splits the
+   transaction stream across channels, each channel serves its share at
+   a delivered rate bounded by its data bus (one transaction per
+   [t_bus]) and by its bounded outstanding-transaction queue (Little's
+   law: at most [queue_depth] in flight, each resident for the average
+   pattern latency), and the memory-bound path of the kernel is the
+   {e slowest channel}. 1-channel devices never reach this code, so
+   their estimates stay bitwise identical to the single-bus model. *)
+
+let chan_counts_cache :
+    ( string * int * string * bool * bool,
+      Analysis.t * (Dram.pattern * float) list array )
+    Memo.t =
+  Memo.create ()
+
+let compute_mean_pattern_counts_by_channel ~options (analysis : Analysis.t)
+    (dev : Device.t) =
+  let n = Array.length analysis.Analysis.profile.Interp.wi_traces in
+  let n_chans = max 1 dev.Device.dram.Dram.n_channels in
+  if n = 0 then
+    Array.init n_chans (fun _ ->
+        List.map (fun p -> (p, 0.0)) Dram.all_patterns)
+  else begin
+    let all_txns = List.concat (chunk_streams ~options analysis dev) in
+    let warmup = if options.warm_classification then all_txns else [] in
+    Array.map
+      (List.map (fun (p, c) -> (p, float_of_int c /. float_of_int n)))
+      (Dram.pattern_counts_by_channel ~warmup dev.Device.dram all_txns)
+  end
+
+let mean_pattern_counts_by_channel ?(options = default_options)
+    (analysis : Analysis.t) (dev : Device.t) =
+  let key =
+    ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.wg_size analysis.Analysis.launch,
+      dev.Device.name,
+      options.cross_wi_coalescing,
+      options.warm_classification )
+  in
+  snd
+    (Memo.find_or_add chan_counts_cache key
+       ~valid:(fun (a, _) -> a == analysis)
+       (fun () ->
+         (analysis, compute_mean_pattern_counts_by_channel ~options analysis dev)))
+
+(* Demanded service cycles of one channel: it must move [txns_c × N_wi]
+   coalesced transactions, each occupying the channel for at least
+   [t_bus] cycles (data bus) and — with a bounded queue of depth Q — for
+   at least [L̄_c / Q] cycles (Q outstanding slots, each resident for the
+   channel's average pattern latency). *)
+let channel_demand_cycles (dev : Device.t) counts_c ~n_wi_f =
+  let txns_c = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 counts_c in
+  if txns_c <= 0.0 then 0.0
+  else begin
+    let t_bus_f = float_of_int dev.Device.dram.Dram.t_bus in
+    let qd = dev.Device.dram.Dram.queue_depth in
+    let per_txn =
+      if qd > 0 then
+        let l_mem_c = mem_latency_wi dev counts_c in
+        Float.max t_bus_f (l_mem_c /. txns_c /. float_of_int qd)
+      else t_bus_f
+    in
+    txns_c *. n_wi_f *. per_txn
+  end
+
+let channel_demands ?(options = default_options) (analysis : Analysis.t)
+    (dev : Device.t) ~n_wi_f =
+  Array.map
+    (fun counts_c -> channel_demand_cycles dev counts_c ~n_wi_f)
+    (mean_pattern_counts_by_channel ~options analysis dev)
+
+let channel_roofline ?options (analysis : Analysis.t) (dev : Device.t) ~n_wi_f =
+  Array.fold_left Float.max 0.0 (channel_demands ?options analysis dev ~n_wi_f)
+
+(* ------------------------------------------------------------------ *)
 (* DSP / BRAM footprints *)
 
 let dsp_footprint_of env =
@@ -761,10 +839,20 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
   in
   let n_wi_f = float_of_int n_wi_kernel in
   let t_bus_f = float_of_int dev.Device.dram.Dram.t_bus in
-  (* aggregate DRAM bandwidth floor: the shared data bus serves one
-     coalesced transaction per t_bus regardless of how many CUs issue
-     them, so CU replication cannot push a memory stream past it *)
-  let bus_total = txns_per_wi *. n_wi_f *. t_bus_f in
+  let n_chans = dev.Device.dram.Dram.n_channels in
+  let chan_demands =
+    if n_chans > 1 then channel_demands ~options analysis dev ~n_wi_f else [||]
+  in
+  (* aggregate DRAM bandwidth floor: on a 1-channel device the shared
+     data bus serves one coalesced transaction per t_bus regardless of
+     how many CUs issue them, so CU replication cannot push a memory
+     stream past it; on a multi-channel device the floor is the slowest
+     channel's demanded service cycles (per-channel roofline over the
+     buffer placement) *)
+  let bus_total =
+    if n_chans > 1 then Array.fold_left Float.max 0.0 chan_demands
+    else txns_per_wi *. n_wi_f *. t_bus_f
+  in
   let depth_f = float_of_int depth_pe in
   let kname = analysis.Analysis.cdfg.Cdfg.kernel_name in
   (* trace scaffolding, only evaluated when a trace is wanted *)
@@ -795,6 +883,46 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
             (Trace.leaf ~eq:"Table-1" (Dram.pattern_name p) (f c l)
                ~notes:[ ("count_per_wi", c); ("avg_latency", l) ]))
       pattern_counts
+  in
+  (* Multi-channel roofline trace: the binding (slowest) channel carries
+     the whole roofline term; every other demanded channel appears as a
+     0-cycle leaf annotated with its demand and utilization, so the node
+     recomposes exactly while still attributing per-channel pressure. *)
+  let channel_roofline_node ~eq name ~extra_notes =
+    let win = ref 0 in
+    Array.iteri (fun i d -> if d > chan_demands.(!win) then win := i) chan_demands;
+    let top = chan_demands.(!win) in
+    let leaves =
+      Array.to_list
+        (Array.mapi
+           (fun i d ->
+             if d <= 0.0 then None
+             else
+               let util = if top > 0.0 then d /. top else 0.0 in
+               Some
+                 (Trace.leaf ~eq:"Eq.R1"
+                    (Printf.sprintf "channel %d%s" i
+                       (if i = !win then " (binding)" else ""))
+                    (if i = !win then top else 0.0)
+                    ~notes:[ ("demand_cycles", d); ("utilization", util) ]))
+           chan_demands)
+      |> List.filter_map Fun.id
+    in
+    Trace.node_at ~eq name top leaves
+      ~notes:
+        (("n_channels", float_of_int n_chans)
+        :: ("queue_depth", float_of_int dev.Device.dram.Dram.queue_depth)
+        :: extra_notes)
+  in
+  (* the roofline lost the max: record it as a 0-cycle sibling so the
+     memory-bound path stays visible without disturbing conservation *)
+  let channel_loser_leaf () =
+    Trace.leaf ~eq:"Eq.R1" "channel roofline (not binding)" 0.0
+      ~notes:
+        [
+          ("roofline_cycles", bus_total);
+          ("n_channels", float_of_int n_chans);
+        ]
   in
   let depth_trace () =
     let ctr = ref 0 in
@@ -838,12 +966,17 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
           else
             let mem_node =
               if options.bus_roofline && bus_total > mem_total then
-                Trace.node_at ~eq:"Eq.9" "memory (DRAM bus roofline)" bus_total
-                  (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
-                  ~notes:
-                    (("latency_model_cycles", mem_total)
-                    :: ("t_bus", t_bus_f)
-                    :: mem_notes ())
+                if n_chans > 1 then
+                  channel_roofline_node ~eq:"Eq.9" "memory (channel roofline)"
+                    ~extra_notes:
+                      (("latency_model_cycles", mem_total) :: mem_notes ())
+                else
+                  Trace.node_at ~eq:"Eq.9" "memory (DRAM bus roofline)" bus_total
+                    (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
+                    ~notes:
+                      (("latency_model_cycles", mem_total)
+                      :: ("t_bus", t_bus_f)
+                      :: mem_notes ())
               else
                 match span_opt with
                 | Some span ->
@@ -898,10 +1031,17 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
                       [ ("n_cu", float_of_int cfg.Config.n_cu); ("dl", dl) ];
                 ]
             in
+            let children =
+              if
+                n_chans > 1 && options.bus_roofline
+                && not (bus_total > mem_total)
+              then [ mem_node; channel_loser_leaf (); comp_node ]
+              else [ mem_node; comp_node ]
+            in
             Some
               (Trace.node ~eq:"Eq.10"
                  (Printf.sprintf "kernel %s (barrier mode)" kname)
-                 [ mem_node; comp_node ])
+                 children)
         in
         (cycles, trace)
     | Config.Pipeline_mode ->
@@ -970,14 +1110,21 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
                       ~notes:[ ("round_cycles", fill +. depth_f) ]
             in
             if options.bus_roofline && bus_bound > eq11 then
+              let transfers_node =
+                if n_chans > 1 then
+                  channel_roofline_node ~eq:"Eq.9" "channel roofline transfers"
+                    ~extra_notes:(("pipeline_cycles", eq11) :: mem_notes ())
+                else
+                  Trace.node_at ~eq:"Eq.9" "DRAM bus transfers" bus_total
+                    (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
+                    ~notes:(("pipeline_cycles", eq11) :: mem_notes ())
+              in
               Some
                 (Trace.node ~eq:"Eq.12"
                    (Printf.sprintf "kernel %s (pipeline mode, bus roofline)"
                       kname)
                    [
-                     Trace.node_at ~eq:"Eq.9" "DRAM bus transfers" bus_total
-                       (pattern_leaves (fun c _ -> c *. n_wi_f *. t_bus_f))
-                       ~notes:(("pipeline_cycles", eq11) :: mem_notes ());
+                     transfers_node;
                      Trace.leaf "per-round drain + dispatch (rounds × (D + ΔL))"
                        (rounds *. (depth_f +. dl))
                        ~notes:
@@ -992,10 +1139,15 @@ let compute ~options ~want_trace (dev : Device.t) (analysis : Analysis.t)
                   notes = ("rounds", rounds) :: t.Trace.notes;
                 }
               in
+              let children =
+                if n_chans > 1 && options.bus_roofline then
+                  [ rounds_node; channel_loser_leaf () ]
+                else [ rounds_node ]
+              in
               Some
                 (Trace.node ~eq:"Eq.11-12"
                    (Printf.sprintf "kernel %s (pipeline mode)" kname)
-                   [ rounds_node ]
+                   children
                    ~notes:
                      (if options.bus_roofline then
                         [ ("bus_roofline_cycles", bus_bound) ]
@@ -1169,7 +1321,16 @@ let lower_bound (dev : Device.t) (analysis : Analysis.t) (cfg : Config.t) =
   let dl = float_of_int dev.Device.wg_dispatch_overhead in
   let rounds_lb = fceil (float_of_int n_wg /. float_of_int cfg.Config.n_cu) in
   let bus_total =
-    txns_per_wi *. float_of_int n_wi *. float_of_int dev.Device.dram.Dram.t_bus
+    let raw =
+      txns_per_wi *. float_of_int n_wi *. float_of_int dev.Device.dram.Dram.t_bus
+    in
+    (* multi-channel: a placement-independent floor — at least one
+       channel carries ≥ 1/n_channels of the transaction stream, and the
+       per-channel roofline charges at least t_bus per transaction — so
+       the bound stays sound for every buffer→channel placement the DSE
+       may try (and below the roofline the estimate actually uses) *)
+    let n_chans = dev.Device.dram.Dram.n_channels in
+    if n_chans > 1 then raw /. float_of_int n_chans else raw
   in
   match cfg.Config.comm_mode with
   | Config.Barrier_mode ->
@@ -1258,6 +1419,7 @@ let specialize ?(options = default_options) (dev : Device.t)
   let n_wi = Launch.n_work_items analysis.Analysis.launch in
   let n_wi_f = float_of_int n_wi in
   let t_bus_f = float_of_int dev.Device.dram.Dram.t_bus in
+  let n_chans = dev.Device.dram.Dram.n_channels in
   let lb_pattern_counts = mean_pattern_counts analysis dev in
   let lb_txns_per_wi =
     List.fold_left (fun acc (_, c) -> acc +. c) 0.0 lb_pattern_counts
@@ -1274,12 +1436,23 @@ let specialize ?(options = default_options) (dev : Device.t)
     sp_n_wi = n_wi;
     sp_pattern_counts = pattern_counts;
     sp_l_mem_wi = l_mem_wi;
-    sp_bus_total = txns_per_wi *. n_wi_f *. t_bus_f;
+    sp_bus_total =
+      (* same expression as [compute]'s [bus_total], association order
+         and all, so the staged tail stays bitwise equal *)
+      (if n_chans > 1 then
+         Array.fold_left Float.max 0.0 (channel_demands ~options analysis dev ~n_wi_f)
+       else txns_per_wi *. n_wi_f *. t_bus_f);
     sp_crit_path = kernel_crit_path dev analysis;
     sp_lb_l_mem_wi = mem_latency_wi dev lb_pattern_counts;
     sp_lb_bus_total =
-      lb_txns_per_wi *. float_of_int n_wi
-      *. float_of_int dev.Device.dram.Dram.t_bus;
+      (let raw =
+         lb_txns_per_wi *. float_of_int n_wi
+         *. float_of_int dev.Device.dram.Dram.t_bus
+       in
+       (* placement-independent floor: at least one channel carries
+          ≥ 1/n_channels of the stream — sound for every placement,
+          which keeps cross-placement pruning sound *)
+       if n_chans > 1 then raw /. float_of_int n_chans else raw);
     sp_stages = Memo.create ~size:8 ();
   }
 

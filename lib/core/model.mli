@@ -186,5 +186,23 @@ val mean_pattern_counts :
   ?options:options -> Analysis.t -> Device.t -> (Dram.pattern * float) list
 (** Mean per-work-item coalesced transaction counts per pattern. *)
 
+val mean_pattern_counts_by_channel :
+  ?options:options -> Analysis.t -> Device.t -> (Dram.pattern * float) list array
+(** Per-channel mean per-work-item pattern counts (index = channel);
+    their elementwise sum equals {!mean_pattern_counts}. Cached like
+    {!mean_pattern_counts}. *)
+
+val channel_demands :
+  ?options:options -> Analysis.t -> Device.t -> n_wi_f:float -> float array
+(** Per-channel demanded service cycles of the whole NDRange (DESIGN.md
+    §15, Eq. R1): transactions bound to the channel × max(t_bus, mean
+    pattern latency / queue_depth). Empty demand = 0. *)
+
+val channel_roofline :
+  ?options:options -> Analysis.t -> Device.t -> n_wi_f:float -> float
+(** The memory-bound path: max over {!channel_demands} (the slowest
+    channel binds). On [n_channels > 1] devices this replaces the
+    single shared-bus floor inside {!estimate}. *)
+
 val pattern_latencies : Device.t -> (Dram.pattern * float) list
 (** Micro-benchmark pattern latency table of a device (cached). *)

@@ -47,6 +47,29 @@ let ku060 =
       };
   }
 
+let ku060_2ddr =
+  {
+    ku060 with
+    name = "xcku060-2ddr";
+    (* the same KU060 card populated with its second DDR4 SODIMM: two
+       independent channels, each the ku060 bank machine, with a bounded
+       outstanding-transaction queue per channel *)
+    dram = { ku060.dram with Dram.n_channels = 2; queue_depth = 16 };
+  }
+
+let u280 =
+  {
+    name = "xcu280";
+    clock_mhz = 300;
+    dsp_total = 9024;
+    bram_blocks = 4032;
+    max_cu = 32;
+    local_banks = 4;
+    ports_per_bank = 2;
+    wg_dispatch_overhead = 24;
+    dram = Dram.hbm2_config;
+  }
+
 (* Implementation variants per op class. The synthesis tool picks among
    several hardware realizations (LUT vs DSP, different pipeline depths);
    the table average is what micro-benchmarks observe. UltraScale DSPs
@@ -93,7 +116,11 @@ let variants_ku060 (op : Opcode.t) =
   | other -> variants_virtex7 other
 
 let op_variants t op =
-  if t.name = "xcku060" then variants_ku060 op else variants_virtex7 op
+  match t.name with
+  (* both KU060 flavours and the UltraScale+ U280 retire float ops on
+     the faster UltraScale DSP variants *)
+  | "xcku060" | "xcku060-2ddr" | "xcu280" -> variants_ku060 op
+  | _ -> variants_virtex7 op
 
 let op_latency t op =
   let v = op_variants t op in
@@ -130,6 +157,10 @@ let validate t =
     add "ports_per_bank = %d is not positive" t.ports_per_bank;
   if t.wg_dispatch_overhead < 0 then
     add "wg_dispatch_overhead = %d is negative" t.wg_dispatch_overhead;
+  if t.dram.Dram.n_channels <= 0 then
+    add "dram.n_channels = %d is not positive" t.dram.Dram.n_channels;
+  if t.dram.Dram.queue_depth < 0 then
+    add "dram.queue_depth = %d is negative" t.dram.Dram.queue_depth;
   List.rev !problems
 
 let local_read_ports t = t.local_banks * t.ports_per_bank

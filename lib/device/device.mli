@@ -27,6 +27,15 @@ val virtex7 : t
 val ku060 : t
 (** NAS-120A: Xilinx Kintex UltraScale KU060 (robustness platform). *)
 
+val ku060_2ddr : t
+(** The KU060 card with its second DDR4 SODIMM populated: two
+    independent channels with bounded per-channel transaction queues
+    ([name = "xcku060-2ddr"]). *)
+
+val u280 : t
+(** Alveo U280: UltraScale+ with 32-pseudo-channel HBM2
+    ([name = "xcu280"], {!Flexcl_dram.Dram.hbm2_config}). *)
+
 val op_latency : t -> Flexcl_ir.Opcode.t -> int
 (** Average latency in cycles (the value micro-benchmark profiling
     reports); always the rounded mean of {!op_variants}. *)

@@ -20,6 +20,7 @@ let pattern_name p =
   Printf.sprintf "%sA%s.%s" k pr (if p.row_hit then "hit" else "miss")
 
 type config = {
+  n_channels : int;
   n_banks : int;
   row_bytes : int;
   interleave_bytes : int;
@@ -32,10 +33,12 @@ type config = {
   t_rtw : int;
   refresh_interval : int;
   t_rfc : int;
+  queue_depth : int;
 }
 
 let ddr3_config =
   {
+    n_channels = 1;
     n_banks = 8;
     row_bytes = 1024;
     interleave_bytes = 64;
@@ -48,22 +51,101 @@ let ddr3_config =
     t_rtw = 1;
     refresh_interval = 1560;
     t_rfc = 32;
+    queue_depth = 0;
   }
+
+let hbm2_config =
+  (* Alveo U280-class HBM2: 32 pseudo-channels, each a narrower (256-bit
+     AXI port) bank machine with small row buffers and a bounded
+     outstanding-transaction queue per channel.  Timings stay in kernel
+     clock cycles like [ddr3_config]. *)
+  {
+    n_channels = 32;
+    n_banks = 16;
+    row_bytes = 1024;
+    interleave_bytes = 64;
+    access_unit_bits = 256;
+    t_cas = 3;
+    t_rcd = 3;
+    t_rp = 3;
+    t_bus = 1;
+    t_wtr = 2;
+    t_rtw = 1;
+    refresh_interval = 1560;
+    t_rfc = 26;
+    queue_depth = 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Channel addressing *)
+
+(* Each channel owns a disjoint 2^40-byte address region; buffer placement
+   picks the region, and [chan_of]/[bank_of]/[row_of] decode within it.
+   Every address a 1-channel device ever sees is far below 2^40, so the
+   decode is bitwise identical to the pre-channel model there. *)
+let chan_shift = 40
+let chan_region = 1 lsl chan_shift
+
+let chan_of cfg addr =
+  if cfg.n_channels <= 1 then 0
+  else min (addr lsr chan_shift) (cfg.n_channels - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Layout *)
 
 type layout = (string * int) list (* name -> base address *)
 
-let layout buffers =
-  let row_align = 1024 in
-  let rec place addr = function
-    | [] -> []
-    | (name, bytes) :: rest ->
-        let aligned = (addr + row_align - 1) / row_align * row_align in
-        (name, aligned) :: place (aligned + bytes) rest
+type placement = (string * int) list (* buffer name -> channel *)
+
+let placement_error cfg placement ~buffers =
+  let rec check = function
+    | [] -> None
+    | (name, chan) :: rest ->
+        if not (List.mem name buffers) then
+          Some
+            (Printf.sprintf
+               "unknown buffer %S in placement (kernel buffers: %s)" name
+               (match buffers with
+               | [] -> "none"
+               | _ -> String.concat ", " buffers))
+        else if chan < 0 || chan >= cfg.n_channels then
+          Some
+            (Printf.sprintf
+               "buffer %S placed on channel %d, but device has %d channel%s \
+                (valid: 0..%d)"
+               name chan cfg.n_channels
+               (if cfg.n_channels = 1 then "" else "s")
+               (cfg.n_channels - 1))
+        else check rest
   in
-  place 0 buffers
+  check placement
+
+let layout ?(placement = []) buffers =
+  let row_align = 1024 in
+  let chan_of_name name =
+    match List.assoc_opt name placement with
+    | Some c ->
+        if c < 0 then
+          invalid_arg
+            (Printf.sprintf "Dram.layout: buffer %S placed on negative channel %d"
+               name c)
+        else c
+    | None -> 0
+  in
+  let chans =
+    List.sort_uniq compare (List.map (fun (n, _) -> chan_of_name n) buffers)
+  in
+  List.concat_map
+    (fun chan ->
+      let mine = List.filter (fun (n, _) -> chan_of_name n = chan) buffers in
+      let rec place addr = function
+        | [] -> []
+        | (name, bytes) :: rest ->
+            let aligned = (addr + row_align - 1) / row_align * row_align in
+            (name, aligned) :: place (aligned + bytes) rest
+      in
+      place (chan * chan_region) mine)
+    chans
 
 let base l name =
   match List.assoc_opt name l with
@@ -138,9 +220,13 @@ let coalesce_workgroup cfg l (traces : Flexcl_interp.Interp.access list array) =
     coalesce cfg l !out
   end
 
-let bank_of cfg addr = addr / cfg.interleave_bytes mod cfg.n_banks
+let chan_offset addr = addr land (chan_region - 1)
 
-let row_of cfg addr = addr / (cfg.interleave_bytes * cfg.n_banks) / (cfg.row_bytes / cfg.interleave_bytes)
+let bank_of cfg addr = chan_offset addr / cfg.interleave_bytes mod cfg.n_banks
+
+let row_of cfg addr =
+  chan_offset addr / (cfg.interleave_bytes * cfg.n_banks)
+  / (cfg.row_bytes / cfg.interleave_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* Pattern classification *)
@@ -150,21 +236,44 @@ type bank_state = { mutable open_row : int; mutable last : kind }
 let fresh_banks cfg =
   Array.init cfg.n_banks (fun _ -> { open_row = -1; last = Read })
 
-let pattern_counts ?(warmup = []) cfg txns =
-  let banks = fresh_banks cfg in
+(* Bank state is tracked per channel: the first access to each channel's
+   bank is a miss-after-read, independently of activity on other
+   channels, and warmup replay primes every channel's banks the same
+   way.  With one channel this degenerates to the original single bank
+   array. *)
+let pattern_counts_by_channel ?(warmup = []) cfg txns =
+  let n_chans = max 1 cfg.n_channels in
+  let banks = Array.init n_chans (fun _ -> fresh_banks cfg) in
   let step count t =
-    let b = banks.(bank_of cfg t.addr) in
+    let c = chan_of cfg t.addr in
+    let b = banks.(c).(bank_of cfg t.addr) in
     let row = row_of cfg t.addr in
     let p = { kind = t.t_kind; prev = b.last; row_hit = b.open_row = row } in
-    count p;
+    count c p;
     b.open_row <- row;
     b.last <- t.t_kind
   in
-  List.iter (step (fun _ -> ())) warmup;
-  let counts = Hashtbl.create 8 in
-  List.iter (fun p -> Hashtbl.replace counts p 0) all_patterns;
-  List.iter (step (fun p -> Hashtbl.replace counts p (Hashtbl.find counts p + 1))) txns;
-  List.map (fun p -> (p, Hashtbl.find counts p)) all_patterns
+  List.iter (step (fun _ _ -> ())) warmup;
+  let counts = Array.init n_chans (fun _ -> Hashtbl.create 8) in
+  Array.iter
+    (fun h -> List.iter (fun p -> Hashtbl.replace h p 0) all_patterns)
+    counts;
+  List.iter
+    (step (fun c p ->
+         Hashtbl.replace counts.(c) p (Hashtbl.find counts.(c) p + 1)))
+    txns;
+  Array.map
+    (fun h -> List.map (fun p -> (p, Hashtbl.find h p)) all_patterns)
+    counts
+
+let pattern_counts ?warmup cfg txns =
+  (* elementwise sum over channels, so per-channel counts always sum to
+     the single-stream counts by construction *)
+  let per_chan = pattern_counts_by_channel ?warmup cfg txns in
+  List.mapi
+    (fun i p ->
+      (p, Array.fold_left (fun acc l -> acc + snd (List.nth l i)) 0 per_chan))
+    all_patterns
 
 (* ------------------------------------------------------------------ *)
 (* Timing *)
@@ -185,35 +294,64 @@ let pattern_latency cfg p =
 module Sim = struct
   type bank = { mutable row : int; mutable busy_until : int; mutable last_kind : kind }
 
+  (* one independent controller per channel: its own banks, its own data
+     bus, its own refresh clock, and (when [queue_depth > 0]) a bounded
+     set of outstanding-transaction slots — a transaction arriving while
+     every slot is in flight queues until the earliest one retires *)
+  type chan = {
+    banks : bank array;
+    mutable bus_free : int;  (* per-channel data bus: one transfer at a time *)
+    mutable next_refresh : int;
+    slots : int array;       (* completion cycles; [||] = unbounded queue *)
+  }
+
   type t = {
     cfg : config;
-    banks : bank array;
-    mutable bus_free : int;  (* shared data bus: one transfer at a time *)
-    mutable next_refresh : int;
+    chans : chan array;
     mutable reads : int;
     mutable writes : int;
   }
 
   let create cfg =
+    let mk_chan () =
+      {
+        banks =
+          Array.init cfg.n_banks (fun _ ->
+              { row = -1; busy_until = 0; last_kind = Read });
+        bus_free = 0;
+        next_refresh = cfg.refresh_interval;
+        slots = Array.make (max 0 cfg.queue_depth) 0;
+      }
+    in
     {
       cfg;
-      banks = Array.init cfg.n_banks (fun _ -> { row = -1; busy_until = 0; last_kind = Read });
-      bus_free = 0;
-      next_refresh = cfg.refresh_interval;
+      chans = Array.init (max 1 cfg.n_channels) (fun _ -> mk_chan ());
       reads = 0;
       writes = 0;
     }
 
   let access t ~now txn =
     let cfg = t.cfg in
-    let b = t.banks.(bank_of cfg txn.addr) in
+    let c = t.chans.(chan_of cfg txn.addr) in
+    (* admission: wait for a free outstanding-transaction slot *)
+    let slot, now =
+      if Array.length c.slots = 0 then (-1, now)
+      else begin
+        let mi = ref 0 in
+        for i = 1 to Array.length c.slots - 1 do
+          if c.slots.(i) < c.slots.(!mi) then mi := i
+        done;
+        (!mi, max now c.slots.(!mi))
+      end
+    in
+    let b = c.banks.(bank_of cfg txn.addr) in
     let row = row_of cfg txn.addr in
-    (* refresh stalls the whole device *)
+    (* refresh stalls the whole channel *)
     let start = max now b.busy_until in
     let start =
-      if start >= t.next_refresh then begin
-        let after = t.next_refresh + cfg.t_rfc in
-        t.next_refresh <- t.next_refresh + cfg.refresh_interval;
+      if start >= c.next_refresh then begin
+        let after = c.next_refresh + cfg.t_rfc in
+        c.next_refresh <- c.next_refresh + cfg.refresh_interval;
         max start after
       end
       else start
@@ -223,17 +361,18 @@ module Sim = struct
       (if p.row_hit then 0 else cfg.t_rp + cfg.t_rcd) + cfg.t_cas + turnaround cfg p
     in
     (* row activation overlaps across banks; the data transfer serializes
-       on the shared bus *)
+       on the channel's bus *)
     let bus_cycles =
       let unit_bytes = cfg.access_unit_bits / 8 in
       max 1 ((txn.bytes + unit_bytes - 1) / unit_bytes) * cfg.t_bus
     in
-    let transfer_start = max (start + prep) t.bus_free in
+    let transfer_start = max (start + prep) c.bus_free in
     let finish = transfer_start + bus_cycles in
-    t.bus_free <- finish;
+    c.bus_free <- finish;
     b.busy_until <- finish;
     b.row <- row;
     b.last_kind <- txn.t_kind;
+    if slot >= 0 then c.slots.(slot) <- finish;
     (match txn.t_kind with
     | Read -> t.reads <- t.reads + 1
     | Write -> t.writes <- t.writes + 1);

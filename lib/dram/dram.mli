@@ -29,7 +29,8 @@ val pattern_name : pattern -> string
     {e read} access after a {e write}. *)
 
 type config = {
-  n_banks : int;
+  n_channels : int;          (** independent channels (1 = classic DDR). *)
+  n_banks : int;             (** banks per channel. *)
   row_bytes : int;           (** row-buffer size per bank. *)
   interleave_bytes : int;    (** interleaving granularity across banks. *)
   access_unit_bits : int;    (** coalesced transaction width (512 in SDAccel). *)
@@ -41,20 +42,49 @@ type config = {
   t_rtw : int;               (** read-to-write turnaround. *)
   refresh_interval : int;    (** cycles between refreshes ({!Sim} only). *)
   t_rfc : int;               (** refresh duration ({!Sim} only). *)
+  queue_depth : int;         (** outstanding-transaction slots per channel
+                                 ({!Sim} and the model's roofline);
+                                 0 = unbounded. *)
 }
 
 val ddr3_config : config
-(** The evaluation board's DDR3: 8 banks, 1 KB row buffer, 512-bit
-    access unit, timing in 200 MHz kernel-clock cycles. *)
+(** The evaluation board's DDR3: one channel, 8 banks, 1 KB row buffer,
+    512-bit access unit, timing in 200 MHz kernel-clock cycles. *)
+
+val hbm2_config : config
+(** Alveo U280-class HBM2: 32 pseudo-channels, 16 banks each, 256-bit
+    access unit and a bounded (8-deep) outstanding-transaction queue per
+    channel. *)
+
+(** {2 Channel addressing} *)
+
+val chan_region : int
+(** Each channel owns a disjoint [2{^40}]-byte address region; a
+    buffer's base address encodes its channel. Addresses below
+    {!chan_region} (everything a 1-channel device ever issues) decode
+    exactly as in the single-controller model. *)
+
+val chan_of : config -> int -> int
+(** Channel that services an address (always 0 on 1-channel configs). *)
 
 (** {2 Address layout} *)
 
 type layout
 (** Assignment of row-aligned base addresses to named buffers. *)
 
-val layout : (string * int) list -> layout
+type placement = (string * int) list
+(** Buffer-name → channel binding; buffers not named ride on channel 0. *)
+
+val placement_error : config -> placement -> buffers:string list -> string option
+(** [Some msg] when the placement names a buffer the kernel does not
+    have or a channel the device does not have; [None] when valid. *)
+
+val layout : ?placement:placement -> (string * int) list -> layout
 (** [layout [(name, bytes); ...]] places buffers consecutively in
-    declaration order, each aligned up to a row boundary. *)
+    declaration order, each aligned up to a row boundary, within their
+    channel's address region ({!chan_region}); with no [placement]
+    every buffer lands on channel 0, reproducing the single-controller
+    layout byte for byte. *)
 
 val base : layout -> string -> int
 (** Base address of a buffer; raises [Invalid_argument] naming the
@@ -90,12 +120,21 @@ val bank_of : config -> int -> int
 val row_of : config -> int -> int
 
 val pattern_counts : ?warmup:txn list -> config -> txn list -> (pattern * int) list
-(** Classify a transaction stream: per-bank open-row and last-kind state,
-    first access to a bank counts as a miss after read. All 8 patterns
-    appear in the result (possibly with count 0), in Table-1 order.
-    [warmup] transactions update the bank state without being counted —
-    FlexCL replays the profiled stream once before measuring so that
-    resident buffers show their steady-state row-hit behaviour. *)
+(** Classify a transaction stream: per-channel per-bank open-row and
+    last-kind state, first access to each channel's bank counts as a
+    miss after read. All 8 patterns appear in the result (possibly with
+    count 0), in Table-1 order. [warmup] transactions update the bank
+    state without being counted — FlexCL replays the profiled stream
+    once before measuring so that resident buffers show their
+    steady-state row-hit behaviour. Always the elementwise sum of
+    {!pattern_counts_by_channel}. *)
+
+val pattern_counts_by_channel :
+  ?warmup:txn list -> config -> txn list -> (pattern * int) list array
+(** Per-channel pattern counts (index = channel), same classification
+    and warmup semantics as {!pattern_counts}; each channel's bank state
+    is independent, so the first access to a bank of {e each} channel is
+    a miss after read. *)
 
 val pattern_latency : config -> pattern -> int
 (** Closed-form service cycles of one isolated transaction of the given

@@ -84,6 +84,75 @@ let best_result ?num_domains dev base space oracle =
   | exception (Out_of_memory as e) -> raise e
   | exception exn -> Error (Analysis.diag_of_exn exn)
 
+(* ------------------------------------------------------------------ *)
+(* Buffer→channel placement co-optimization (DESIGN.md §15).
+
+   On a multi-channel device the memory roofline depends on which
+   channel each buffer is bound to. The full placement space is
+   [n_channels ^ n_buffers]; the candidate set below covers its
+   structurally distinct corners — every spreading granularity plus
+   every single-buffer isolation — in O(n_buffers) sweeps. Pruning
+   inside each sweep stays sound because the model's memory lower bound
+   is placement-independent (the 1/N_chan floor of the stream holds for
+   every placement), so one bound serves all candidates. *)
+
+type placed = { placement : (string * int) list; best_point : evaluated }
+
+let placement_candidates (a : Analysis.t) ~n_channels =
+  if n_channels <= 1 then [ [] ]
+  else
+    let buffers = Flexcl_ir.Launch.buffer_names a.Analysis.launch in
+    let n = List.length buffers in
+    (* group size g: buffers i, i+1, .., i+g-1 share channel (i/g) mod N;
+       g = 1 is round robin, g >= n degenerates to all-on-0 *)
+    let spread g = List.mapi (fun i b -> (b, i / g mod n_channels)) buffers in
+    let rec spreads g acc =
+      if g >= max 1 n then List.rev acc else spreads (2 * g) (spread g :: acc)
+    in
+    (* isolate buffer j on channel 1, everything else on channel 0 *)
+    let isolate j = List.mapi (fun i b -> (b, if i = j then 1 else 0)) buffers in
+    let nonzero p = List.exists (fun (_, c) -> c <> 0) p in
+    let dedup ps =
+      List.rev
+        (List.fold_left
+           (fun acc p -> if List.mem p acc then acc else p :: acc)
+           [] ps)
+    in
+    [] :: dedup (List.filter nonzero (spreads 1 [] @ List.init n isolate))
+
+let rank_placed =
+  List.sort (fun a b ->
+      match
+        compare
+          (a.best_point.cycles, a.best_point.config)
+          (b.best_point.cycles, b.best_point.config)
+      with
+      | 0 -> compare a.placement b.placement
+      | n -> n)
+
+let explore_placements_with ~oracle ~bound ?num_domains dev (base : Analysis.t)
+    space =
+  let n_channels = dev.Flexcl_device.Device.dram.Flexcl_dram.Dram.n_channels in
+  List.filter_map
+    (fun placement ->
+      let a =
+        if placement = [] then base else Analysis.with_placement base placement
+      in
+      match Parsweep.best ?num_domains ?bound dev a space oracle with
+      | Some e, _ -> Some { placement; best_point = e }
+      | None, _ -> None)
+    (placement_candidates base ~n_channels)
+  |> rank_placed
+
+let explore_placements ?num_domains dev base space =
+  explore_placements_with ?num_domains dev base space
+    ~oracle:(specialized_model_oracle dev)
+    ~bound:(Some (specialized_bound dev))
+
+let explore_placements_reference ?num_domains dev base space =
+  explore_placements_with ?num_domains dev base space ~oracle:(model_oracle dev)
+    ~bound:None
+
 let quality_vs_optimal ~picked ~truth ~all =
   match all with
   | [] -> invalid_arg "Explore.quality_vs_optimal: empty space"

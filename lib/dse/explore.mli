@@ -72,6 +72,42 @@ val best_result :
     sweep (see {!all_failed_diag}) or any sweep exception becomes a
     structured diagnostic instead of raising. *)
 
+(** {2 Buffer→channel placement co-optimization (DESIGN.md §15)}
+
+    On a multi-channel device ({!Flexcl_dram.Dram.config.n_channels}
+    [> 1]) the memory roofline depends on which channel each buffer is
+    bound to. These sweeps co-optimize the placement with the design
+    point: each candidate placement gets a full (pruned) sweep over the
+    space, and the candidates are ranked by their best point. *)
+
+type placed = { placement : (string * int) list; best_point : evaluated }
+
+val placement_candidates :
+  Analysis.t -> n_channels:int -> (string * int) list list
+(** The deterministic candidate set: the empty placement (all buffers on
+    channel 0), every power-of-two spreading granularity (group size 1 =
+    round robin), and every single-buffer isolation — [O(n_buffers)]
+    structurally distinct candidates out of the
+    [n_channels ^ n_buffers] full space. [[ [] ]] when
+    [n_channels <= 1]. *)
+
+val explore_placements :
+  ?num_domains:int ->
+  Model.Device.t -> Analysis.t -> Space.t -> placed list
+(** Candidates ranked by their best design point (ties by config, then
+    placement), each found by a {!Parsweep.best} sweep through the
+    staged oracle with {!specialized_bound} pruning — sound across
+    placements because the memory lower bound is placement-independent
+    (the 1/N_chan stream floor holds for every placement). A candidate
+    with no rankable point is dropped. *)
+
+val explore_placements_reference :
+  ?num_domains:int ->
+  Model.Device.t -> Analysis.t -> Space.t -> placed list
+(** The unstaged, unpruned reference ({!model_oracle} per point): the
+    differential tests pin that {!explore_placements} ranks identically,
+    bitwise. *)
+
 val quality_vs_optimal :
   picked:Config.t ->
   truth:(Config.t -> float) ->

@@ -578,3 +578,135 @@ let best ?(num_domains = 0) dev t sp =
   Option.map
     (fun (j, c) -> ({ joint = j; jcycles = c }, stats))
     incumbent
+
+(* ------------------------------------------------------------------ *)
+(* Buffer→channel placement co-optimization (DESIGN.md §15).
+
+   A stage's placement affects only that stage's own memory roofline:
+   L_CU (the fill term) is the compute path and the stall term is round
+   geometry, both placement-independent, and the steady term is the max
+   over stage cycles — monotone in each of them. The joint optimum over
+   placements therefore resolves per (stage, config) independently: for
+   every stage candidate keep the placement minimizing that stage's
+   cycles, and sweep the joint space over the resolved tables. *)
+
+type pevaluated = {
+  pjoint : joint;
+  placements : (string * (string * int) list) list;  (* per stage *)
+  pcycles : float;
+}
+
+(* [breakdown_on] is called on the *placed* analysis, so the staged and
+   reference variants differ only in how a breakdown is produced —
+   tie-breaks (first placement in candidate order wins a cycle tie) are
+   shared, which is what makes the two rankings bitwise comparable. *)
+let placed_tables_with ~breakdown_on dev t sp =
+  let n_channels =
+    dev.Device.dram.Flexcl_dram.Dram.n_channels
+  in
+  List.map
+    (fun (s, a) ->
+      let candidates =
+        List.filter (fun cfg -> Model.feasible dev a cfg) (stage_candidates t sp s)
+      in
+      let table : (Config.t, (string * int) list * Model.breakdown) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun p ->
+          let ap = if p = [] then a else Analysis.with_placement a p in
+          List.iter
+            (fun cfg ->
+              let b = breakdown_on ap cfg in
+              match Hashtbl.find_opt table cfg with
+              | Some (_, (bb : Model.breakdown))
+                when bb.Model.cycles <= b.Model.cycles ->
+                  ()
+              | _ -> Hashtbl.replace table cfg (p, b))
+            candidates)
+        (Explore.placement_candidates a ~n_channels);
+      (s, table))
+    t.stage_analyses
+
+let explore_placed_with ~breakdown_on dev t sp =
+  let tables = placed_tables_with ~breakdown_on dev t sp in
+  let breakdown_of s (_ : Analysis.t) cfg =
+    snd (Hashtbl.find (List.assoc s tables) cfg)
+  in
+  let placements_of j =
+    List.map
+      (fun (s, cfg) -> (s, fst (Hashtbl.find (List.assoc s tables) cfg)))
+      j.stage_configs
+  in
+  joint_points dev t sp
+  |> List.map (fun j ->
+         {
+           pjoint = j;
+           placements = placements_of j;
+           pcycles =
+             (fst (compute ~breakdown_of ~want_trace:false dev t j)).cycles;
+         })
+  |> List.sort (fun a b ->
+         match Float.compare a.pcycles b.pcycles with
+         | 0 -> compare_joint a.pjoint b.pjoint
+         | n -> n)
+
+let explore_placed dev t sp =
+  explore_placed_with dev t sp ~breakdown_on:(fun ap cfg ->
+      Model.specialized_estimate (Explore.specialized_for dev ap) cfg)
+
+let explore_placed_reference dev t sp =
+  explore_placed_with dev t sp ~breakdown_on:(fun ap cfg ->
+      Model.estimate dev ap cfg)
+
+(* Best placed joint point under bound pruning. The single-kernel lower
+   bound is placement-independent (critical path and total transaction
+   counts do not move with buffers; the memory floor is the 1/N_chan
+   stream floor, valid for every placement), so the bound staged on the
+   *base* analyses is a true bound for every placement-resolved point. *)
+let best_placed dev t sp =
+  let tables =
+    placed_tables_with dev t sp ~breakdown_on:(fun ap cfg ->
+        Model.specialized_estimate (Explore.specialized_for dev ap) cfg)
+  in
+  let breakdown_of s (_ : Analysis.t) cfg =
+    snd (Hashtbl.find (List.assoc s tables) cfg)
+  in
+  let bound j =
+    List.fold_left
+      (fun acc (s, a) ->
+        Float.max acc
+          (Model.specialized_lower_bound
+             (Explore.specialized_for dev a)
+             (config_of j s)))
+      0.0 t.stage_analyses
+  in
+  let points = joint_points dev t sp in
+  let incumbent, stats =
+    List.fold_left
+      (fun (inc, stats) j ->
+        let prune =
+          match inc with
+          | Some (_, c) -> bound j > c +. (1e-9 *. Float.max c 1.0)
+          | None -> false
+        in
+        if prune then (inc, { stats with jpruned = stats.jpruned + 1 })
+        else
+          let c = (fst (compute ~breakdown_of ~want_trace:false dev t j)).cycles in
+          let stats = { stats with jevaluated = stats.jevaluated + 1 } in
+          match inc with
+          | Some (jb, cb) when cb < c || (cb = c && compare_joint jb j <= 0) ->
+              (inc, stats)
+          | _ -> (Some (j, c), stats))
+      (None, { jtotal = List.length points; jevaluated = 0; jpruned = 0 })
+      points
+  in
+  Option.map
+    (fun (j, c) ->
+      let placements =
+        List.map
+          (fun (s, cfg) -> (s, fst (Hashtbl.find (List.assoc s tables) cfg)))
+          j.stage_configs
+      in
+      ({ pjoint = j; placements; pcycles = c }, stats))
+    incumbent

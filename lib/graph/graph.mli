@@ -175,3 +175,41 @@ val best :
     skipped without evaluating the tail. Agrees with
     [List.hd (explore ...)]; [None] when no stage has a feasible
     candidate. *)
+
+(** {2 Placement-aware joint DSE (DESIGN.md §15)}
+
+    On a multi-channel device each stage's buffer→channel placement is a
+    further joint knob. A stage's placement affects only that stage's
+    own memory roofline — the fill term (Eq. 5's [L_CU]) and the stall
+    term are placement-independent and the steady term is monotone in
+    each stage's cycles — so the joint optimum resolves placement per
+    (stage, config) independently: for every stage candidate the
+    placement (from {!Flexcl_dse.Explore.placement_candidates})
+    minimizing that stage's cycles is kept, and the joint sweep runs
+    over the resolved tables. *)
+
+type pevaluated = {
+  pjoint : joint;
+  placements : (string * (string * int) list) list;
+      (** chosen buffer→channel placement per stage, topological order. *)
+  pcycles : float;
+}
+
+val explore_placed : Device.t -> analyzed -> jspace -> pevaluated list
+(** Every joint point with its per-stage placements resolved, ranked
+    fastest-first (ties by {!compare_joint}), through the staged
+    per-stage models. On a 1-channel device the only candidate placement
+    is empty and the ranking degenerates to {!explore}'s. *)
+
+val explore_placed_reference : Device.t -> analyzed -> jspace -> pevaluated list
+(** The unstaged reference (direct {!Model.estimate} on each placed
+    analysis): same ranking as {!explore_placed}, bitwise — the
+    differential tests pin this. *)
+
+val best_placed :
+  Device.t -> analyzed -> jspace -> (pevaluated * jprogress) option
+(** The fastest placement-resolved joint point under bound pruning. The
+    single-kernel lower bound is placement-independent (the memory floor
+    is the 1/N_chan stream floor, valid for every placement), so the
+    bound staged on the base analyses soundly prunes placement-resolved
+    points. Agrees with [List.hd (explore_placed ...)]. *)

@@ -17,7 +17,13 @@ type arg =
   | Scalar of scalar_value
   | Buffer of { length : int; init : buffer_init }
 
-type t = { global : dim3; local : dim3; args : (string * arg) list }
+type t = {
+  global : dim3;
+  local : dim3;
+  args : (string * arg) list;
+  placement : (string * int) list;
+      (* buffer name -> DRAM channel; [] = every buffer on channel 0 *)
+}
 
 (* Generous sanity bounds: far above anything the paper's sweeps use,
    low enough that a corrupted launch cannot drive the profiler into
@@ -25,7 +31,7 @@ type t = { global : dim3; local : dim3; args : (string * arg) list }
 let max_work_items = 1 lsl 30
 let max_buffer_length = 1 lsl 28
 
-let validate_parts ~global ~local ~args =
+let validate_parts ~placement ~global ~local ~args =
   let problems = ref [] in
   let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let check g l name =
@@ -58,13 +64,26 @@ let validate_parts ~global ~local ~args =
           if Float.is_nan f then add "scalar %s is NaN" name
       | Scalar (Int _) -> ())
     args;
+  let placed = Hashtbl.create 4 in
+  List.iter
+    (fun (name, chan) ->
+      if Hashtbl.mem placed name then add "buffer %s placed twice" name;
+      Hashtbl.replace placed name ();
+      if chan < 0 then add "buffer %s placed on negative channel %d" name chan;
+      match List.assoc_opt name args with
+      | Some (Buffer _) -> ()
+      | Some (Scalar _) -> add "placement names scalar argument %s" name
+      | None -> add "placement names unknown argument %s" name)
+    placement;
   List.rev !problems
 
-let validate t = validate_parts ~global:t.global ~local:t.local ~args:t.args
+let validate t =
+  validate_parts ~placement:t.placement ~global:t.global ~local:t.local
+    ~args:t.args
 
 let make_result ~global ~local ~args =
-  match validate_parts ~global ~local ~args with
-  | [] -> Ok { global; local; args }
+  match validate_parts ~placement:[] ~global ~local ~args with
+  | [] -> Ok { global; local; args; placement = [] }
   | problems -> Error problems
 
 let make ~global ~local ~args =
@@ -134,4 +153,33 @@ let hash_arg h (name, arg) =
 
 let fingerprint t =
   let h = hash_dim3 Hash.init t.global in
-  Hash.to_hex (List.fold_left hash_arg h t.args)
+  let h = List.fold_left hash_arg h t.args in
+  (* an empty placement folds nothing, so pre-placement fingerprints are
+     unchanged (serve cache keys, DSE memo keys) *)
+  let h =
+    List.fold_left
+      (fun h (name, chan) ->
+        Hash.add_int (Hash.add_string (Hash.add_char h 'p') name) chan)
+      h t.placement
+  in
+  Hash.to_hex h
+
+(* ------------------------------------------------------------------ *)
+(* Placement helpers *)
+
+let buffer_names t =
+  List.filter_map
+    (fun (name, arg) -> match arg with Buffer _ -> Some name | Scalar _ -> None)
+    t.args
+
+let with_placement t placement = { t with placement }
+
+let with_placement_result t placement =
+  let t = { t with placement } in
+  match validate t with
+  | [] -> Ok t
+  | problems -> Error problems
+
+let round_robin_placement t ~n_channels =
+  if n_channels <= 1 then []
+  else List.mapi (fun i name -> (name, i mod n_channels)) (buffer_names t)

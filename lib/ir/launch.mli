@@ -29,12 +29,16 @@ type t = {
   global : dim3;  (** total work-items per dimension (NDRange). *)
   local : dim3;   (** work-items per work-group per dimension. *)
   args : (string * arg) list;  (** by parameter name. *)
+  placement : (string * int) list;
+      (** buffer name → DRAM channel binding; [[]] places every buffer
+          on channel 0 (the only channel of classic DDR devices). *)
 }
 
 val make :
   global:dim3 -> local:dim3 -> args:(string * arg) list -> t
 (** Validates that each local dimension divides the global one and is
-    positive; raises [Invalid_argument] otherwise. *)
+    positive; raises [Invalid_argument] otherwise. The placement starts
+    empty; see {!with_placement_result}. *)
 
 val make_result :
   global:dim3 -> local:dim3 -> args:(string * arg) list ->
@@ -64,10 +68,30 @@ val local_ids : t -> dim3 list
 (** All local ids within one work-group, row-major. *)
 
 val fingerprint : t -> string
-(** Stable content hash (hex, via {!Flexcl_util.Hash}) of the NDRange
-    and the full argument recipe — everything that determines analysis
-    results {e except} the local size, which is deliberately excluded so
-    the DSE engine can key its per-work-group-size re-analysis memo on
-    [(fingerprint, wg_size)]. Callers for whom the local size matters
-    (e.g. the serve cache) pair the fingerprint with the design point's
-    [wg_size]. *)
+(** Stable content hash (hex, via {!Flexcl_util.Hash}) of the NDRange,
+    the full argument recipe and the buffer→channel placement —
+    everything that determines analysis results {e except} the local
+    size, which is deliberately excluded so the DSE engine can key its
+    per-work-group-size re-analysis memo on [(fingerprint, wg_size)].
+    An empty placement hashes to the pre-placement fingerprint. Callers
+    for whom the local size matters (e.g. the serve cache) pair the
+    fingerprint with the design point's [wg_size]. *)
+
+val buffer_names : t -> string list
+(** Names of the buffer-typed arguments, in declaration order. *)
+
+val with_placement : t -> (string * int) list -> t
+(** Same launch with a different buffer→channel placement (not
+    re-validated; pair with {!validate} or
+    {!Flexcl_dram.Dram.placement_error} as appropriate). *)
+
+val with_placement_result : t -> (string * int) list -> (t, string list) result
+(** {!with_placement} + {!validate}: [Error problems] when the placement
+    names unknown or scalar arguments, repeats a buffer, or uses a
+    negative channel. Whether a placed channel exists on the target
+    device is checked where the device is known
+    ({!Flexcl_dram.Dram.placement_error}). *)
+
+val round_robin_placement : t -> n_channels:int -> (string * int) list
+(** Buffer [i] → channel [i mod n_channels]; [[]] when [n_channels <= 1].
+    The default placement heuristic for multi-channel devices. *)

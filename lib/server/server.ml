@@ -208,10 +208,14 @@ let all_workloads = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.al
 let device_of body =
   let* name = one (P.field_str body "device") in
   match name with
-  | None | Some "virtex7" | Some "v7" -> Ok Device.virtex7
-  | Some "ku060" -> Ok Device.ku060
+  | None | Some "virtex7" | Some "v7" | Some "xc7vx690t" -> Ok Device.virtex7
+  | Some "ku060" | Some "xcku060" -> Ok Device.ku060
+  | Some "ku060-2ddr" | Some "xcku060-2ddr" -> Ok Device.ku060_2ddr
+  | Some "u280" | Some "xcu280" -> Ok Device.u280
   | Some other ->
-      Error (usage1 "unknown device %S (virtex7 | ku060)" other)
+      Error
+        (usage1 "unknown device %S (virtex7 | ku060 | ku060-2ddr | xcu280)"
+           other)
 
 let fuel_of body =
   let* steps = one (P.field_int body "max_steps" ~default:0) in
@@ -311,6 +315,31 @@ let resolve t body =
               let src_hash = Hash.to_hex (Hash.string w.W.source) in
               let* kernel = parse_cached t ~src:w.W.source ~src_hash in
               Ok { name; src_hash; kernel; launch = w.W.launch }))
+
+(* Buffer→channel placement: the "placement" request field is an object
+   of channel indices by buffer name. It is validated against both the
+   launch (buffer names) and the device (channel range), then folded
+   into the launch so it reaches the fingerprint, the analysis cache key
+   and the memory layout. *)
+let resolve_placed t body ~dev =
+  let* r = resolve t body in
+  let* placement = one (P.field_int_assoc body "placement") in
+  match placement with
+  | [] -> Ok r
+  | placement -> (
+      match
+        Flexcl_dram.Dram.placement_error dev.Device.dram placement
+          ~buffers:(L.buffer_names r.launch)
+      with
+      | Some msg -> Error (usage1 "%s" msg)
+      | None -> (
+          match L.with_placement_result r.launch placement with
+          | Ok launch -> Ok { r with launch }
+          | Error problems ->
+              Error
+                (List.map
+                   (fun p -> Diag.error Diag.Launch_invalid "%s" p)
+                   problems)))
 
 let analysis_cached t r ~max_steps =
   let key =
@@ -421,7 +450,8 @@ let estimate_for ?(want_trace = false) t body ~resolved:r =
           | exception exn -> Error [ Analysis.diag_of_exn exn ])
 
 let handle_analyze t body =
-  let* r = resolve t body in
+  let* dev0 = device_of body in
+  let* r = resolve_placed t body ~dev:dev0 in
   let* dev, cfg, b, _ = estimate_for t body ~resolved:r in
   Ok (None, breakdown_json dev r.name cfg b)
 
@@ -430,8 +460,8 @@ let predict_key ~resolved:r ~dev ~cfg =
     dev.Device.name (Config.to_string cfg)
 
 let handle_predict t body =
-  let* r = resolve t body in
   let* dev = device_of body in
+  let* r = resolve_placed t body ~dev in
   let* cfg = config_of body ~wg:(L.wg_size r.launch) in
   let* want_trace = one (P.field_bool body "trace" ~default:false) in
   if want_trace then Metrics.incr t.metrics "predict.trace";
@@ -467,7 +497,7 @@ let handle_explore t body =
   let* fuel = fuel_of body in
   let* dev = device_of body in
   let* top = one (P.field_int body "top" ~default:10) in
-  let* r = resolve t body in
+  let* r = resolve_placed t body ~dev in
   let* a = analysis_cached t r ~max_steps:fuel in
   let space =
     Space.default ~total_work_items:(L.n_work_items a.Analysis.launch)

@@ -182,8 +182,21 @@ let warm_timing ~opts ~entry_index eval =
     samples = opts.repeat;
   }
 
+(* Multi-channel entries run with the default placement heuristic
+   (round robin), so both the model's channel roofline and the
+   channel-accurate simulator see spread traffic; 1-channel devices
+   keep the empty placement (bitwise-identical to the pre-channel
+   suite). [Analysis.with_placement] is cheap, so the memoized base
+   analysis stays shared across devices. *)
+let placed_for (dev : Flexcl_device.Device.t) (a : Analysis.t) =
+  let n_channels = dev.Flexcl_device.Device.dram.Dram.n_channels in
+  if n_channels <= 1 then a
+  else
+    Analysis.with_placement a
+      (Launch.round_robin_placement a.Analysis.launch ~n_channels)
+
 let measure_single ~opts ~memo ~entry_index (e : Sdef.entry) (w : W.t) =
-  let a = analysis_of memo w in
+  let a = placed_for e.Sdef.device (analysis_of memo w) in
   let wg_size = Launch.wg_size a.Analysis.launch in
   match
     List.find_opt
@@ -241,6 +254,15 @@ let measure_pipeline ~opts ~memo ~entry_index (e : Sdef.entry)
     (p : Pipelines.t) =
   let t = graph_of memo p in
   let dev = e.Sdef.device in
+  let t =
+    {
+      t with
+      Graph.stage_analyses =
+        List.map
+          (fun (s, a) -> (s, placed_for dev a))
+          t.Graph.stage_analyses;
+    }
+  in
   (* first feasible candidate per stage, same ladder as single entries *)
   let cfgs =
     List.map

@@ -26,7 +26,13 @@ type entry = {
   device : Device.t;
 }
 
-let devices = [ ("xc7vx690t", Device.virtex7); ("xcku060", Device.ku060) ]
+let devices =
+  [
+    ("xc7vx690t", Device.virtex7);
+    ("xcku060", Device.ku060);
+    ("xcku060-2ddr", Device.ku060_2ddr);
+    ("xcu280", Device.u280);
+  ]
 
 let workload_name (e : entry) =
   match e.payload with Single w -> W.name w | Pipeline p -> p.P.name
@@ -75,21 +81,28 @@ let full () =
 
 (* The smoke subset behind `make check`: one compute-bound and one
    memory-heavy kernel per suite on the primary device, plus one entry
-   on the second device so the device axis stays covered, plus one
-   pipeline graph so a graph-model or co-simulation regression trips
-   the same gate. Small enough to run in seconds, wide enough that an
-   accuracy or warm-latency regression in any suite or on either
-   device trips the gate. *)
+   on the second device so the device axis stays covered, plus the two
+   memory-bound kernels on the 32-channel HBM device (round-robin
+   placed by the runner) so a channel-roofline or channel-simulator
+   regression trips the gate, plus one pipeline graph so a graph-model
+   or co-simulation regression trips it too. Small enough to run in
+   seconds, wide enough that an accuracy or warm-latency regression in
+   any suite, device or memory regime trips the gate. *)
 let smoke_workload_names =
   [ "hotspot/hotspot"; "backprop/layer"; "gemm/gemm"; "mvt/mvt" ]
+
+(* memory-bound kernels whose model-vs-simrtl error the HBM gate pins *)
+let smoke_hbm_workload_names = [ "bfs/bfs_1"; "mvt/mvt" ]
 
 let smoke () =
   let all = Flexcl_workloads.Rodinia.all @ Flexcl_workloads.Polybench.all in
   let named n = List.find (fun w -> W.name w = n) all in
   let primary = [ List.hd devices ] in
   let secondary = [ List.nth devices 1 ] in
+  let hbm = [ List.nth devices 3 ] in
   entries_of ~devices:primary (List.map named smoke_workload_names)
   @ entries_of ~devices:secondary [ named "hotspot/hotspot" ]
+  @ entries_of ~devices:hbm (List.map named smoke_hbm_workload_names)
   @ pipeline_entries_of ~devices:primary [ P.produce_filter_consume ]
 
 let filter pattern entries =

@@ -67,6 +67,48 @@ barrier-mode root on Eq.10 and Table-1 pattern leaves:
   $ grep -E 'TOTAL' trace.txt
   TOTAL         : 408395 cycles = 2041.97 us
 
+Multi-channel devices and buffer→channel placement (DESIGN.md §15):
+--device selects among the shipped devices and --placement (repeatable)
+binds buffers to HBM channels; spreading bfs's hot buffers over
+channels lowers the memory-bound estimate:
+
+  $ flexcl analyze -w bfs/bfs_1 --device xcu280 --pe 2 --cu 2 --pipeline | grep -E '^kernel|TOTAL'
+  kernel        : bfs/bfs_1 on xcu280
+  TOTAL         : 21744 cycles = 72.48 us
+
+  $ flexcl analyze -w bfs/bfs_1 --device xcu280 --placement cost=1 --placement edges=2 --pe 2 --cu 2 --pipeline | grep TOTAL
+  TOTAL         : 15112 cycles = 50.37 us
+
+explain --json carries the device, and the conservation-checked trace
+records the channel-roofline term win or lose:
+
+  $ flexcl explain -w mvt/mvt --device xcku060-2ddr --placement y1=1 --placement x1=1 --pe 1 --cu 2 --pipeline --json > hbm.json
+  $ grep -o '"device":"[^"]*"' hbm.json | head -1
+  "device":"xcku060-2ddr"
+  $ grep -o 'channel roofline[^"\\]*' hbm.json | sort -u
+  channel roofline (not binding)
+
+A placement naming an unknown buffer or an out-of-range channel is a
+usage error (exit 2) with a structured diagnostic, as is an unknown
+device:
+
+  $ flexcl analyze -w bfs/bfs_1 --device xcu280 --placement nodes=0
+  error[E-USAGE] --placement: unknown buffer "nodes" in placement (kernel buffers: node_start, node_len, edges, mask, updating, visited, cost)
+  [2]
+
+  $ flexcl analyze -w bfs/bfs_1 --device xcu280 --placement cost=99 2>&1 | grep -o 'channel 99, but device has 32 channels (valid: 0..31)'
+  channel 99, but device has 32 channels (valid: 0..31)
+  $ flexcl analyze -w bfs/bfs_1 --device xcu280 --placement cost=99 > /dev/null 2>&1
+  [2]
+
+  $ flexcl analyze -w bfs/bfs_1 --device hal9000 > /dev/null 2>&1
+  [2]
+
+The DSE engine sweeps multi-channel devices like any other:
+
+  $ flexcl explore -w bfs/bfs_1 --device xcu280 --top 1 | grep 'feasible design points'
+  bfs/bfs_1: 192 feasible design points
+
 The benchmark-suite harness: a declarative (workload x device) matrix
 with statistical regression gates. --list prints the matrix without
 running it:
@@ -80,9 +122,11 @@ running it:
   | polybench/gemm/gemm@xc7vx690t                    |       1024 | 64 |
   | polybench/mvt/mvt@xc7vx690t                      |        256 | 64 |
   | rodinia/hotspot/hotspot@xcku060                  |       1024 | 64 |
+  | rodinia/bfs/bfs_1@xcu280                         |       1024 | 64 |
+  | polybench/mvt/mvt@xcu280                         |        256 | 64 |
   | pipeline/stream/produce-filter-consume@xc7vx690t |       1536 | 64 |
   +--------------------------------------------------+------------+----+
-  6 entries
+  8 entries
 
 A filter matching nothing is a usage error, not an empty table:
 
@@ -113,6 +157,7 @@ errors regressions:
   [1]
   $ grep 'REGRESSION \[accuracy\]' gate.txt
   REGRESSION [accuracy] pipeline/stream/produce-filter-consume@xc7vx690t: model error vs simrtl rose 0.00% -> 18.32% (limit 0.50%)
+  REGRESSION [accuracy] polybench/mvt/mvt@xcu280: model error vs simrtl rose 0.00% -> 0.72% (limit 0.50%)
   REGRESSION [accuracy] rodinia/backprop/layer@xc7vx690t: model error vs simrtl rose 0.00% -> 8.84% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xc7vx690t: model error vs simrtl rose 0.00% -> 3.96% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xcku060: model error vs simrtl rose 0.00% -> 5.38% (limit 0.50%)

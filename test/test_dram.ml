@@ -338,6 +338,156 @@ let prop_coalesce_conserves_bytes =
       List.fold_left (fun a (t : Dram.txn) -> a + t.Dram.bytes) 0 txns
       = 4 * List.length (dedupe idxs))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-channel addressing, placement and classification (DESIGN.md §15) *)
+
+let cfg2 = { cfg with Dram.n_channels = 2 }
+
+let test_chan_decode () =
+  check Alcotest.int "1-channel always 0" 0 (Dram.chan_of cfg (Dram.chan_region * 3));
+  check Alcotest.int "low addresses on channel 0" 0 (Dram.chan_of cfg2 4096);
+  check Alcotest.int "region 1 on channel 1" 1 (Dram.chan_of cfg2 Dram.chan_region);
+  (* out-of-range regions clamp instead of wrapping silently *)
+  check Alcotest.int "clamped" 1 (Dram.chan_of cfg2 (Dram.chan_region * 7));
+  (* bank/row decoding ignores the channel bits: a channel-1 address
+     decodes to the same bank and row as its channel-0 twin *)
+  check Alcotest.int "bank is channel-local" (Dram.bank_of cfg2 192)
+    (Dram.bank_of cfg2 (Dram.chan_region + 192));
+  check Alcotest.int "row is channel-local" (Dram.row_of cfg2 (1024 * 8))
+    (Dram.row_of cfg2 (Dram.chan_region + (1024 * 8)))
+
+let test_placement_layout () =
+  let l = Dram.layout ~placement:[ ("b", 1) ] [ ("a", 4096); ("b", 4096) ] in
+  check Alcotest.int "a stays on channel 0" 0 (Dram.base l "a");
+  check Alcotest.int "b at the start of region 1" Dram.chan_region
+    (Dram.base l "b");
+  (* the all-zeros placement reproduces the unplaced layout byte for byte *)
+  let explicit = Dram.layout ~placement:[ ("a", 0); ("b", 0) ] [ ("a", 100); ("b", 100) ] in
+  let plain = Dram.layout [ ("a", 100); ("b", 100) ] in
+  List.iter
+    (fun n -> check Alcotest.int (n ^ " identical") (Dram.base plain n) (Dram.base explicit n))
+    [ "a"; "b" ]
+
+let test_placement_error_messages () =
+  let buffers = [ "a"; "b" ] in
+  (match Dram.placement_error cfg2 [ ("zzz", 0) ] ~buffers with
+  | Some msg ->
+      check Alcotest.bool "names the unknown buffer" true
+        (Thelpers.contains msg "zzz" && Thelpers.contains msg "a, b")
+  | None -> Alcotest.fail "unknown buffer accepted");
+  (match Dram.placement_error cfg2 [ ("a", 5) ] ~buffers with
+  | Some msg ->
+      check Alcotest.bool "names the channel range" true
+        (Thelpers.contains msg "channel 5" && Thelpers.contains msg "0..1")
+  | None -> Alcotest.fail "out-of-range channel accepted");
+  (match Dram.placement_error cfg [ ("a", 1) ] ~buffers with
+  | Some _ -> ()
+  | None -> Alcotest.fail "channel 1 accepted on a 1-channel device");
+  check Alcotest.bool "valid placement passes" true
+    (Dram.placement_error cfg2 [ ("a", 0); ("b", 1) ] ~buffers = None)
+
+let ctxn chan addr kind =
+  { Dram.addr = (chan * Dram.chan_region) + addr; t_kind = kind; bytes = 64 }
+
+let test_per_channel_first_access_miss () =
+  (* each channel's banks start cold: the first access to a bank of
+     every channel is a miss after read, even at the same bank offset *)
+  let stream = [ ctxn 0 0 Dram.Read; ctxn 1 0 Dram.Read ] in
+  let by_chan = Dram.pattern_counts_by_channel cfg2 stream in
+  check Alcotest.int "two channels" 2 (Array.length by_chan);
+  let miss counts =
+    List.assoc { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = false } counts
+  in
+  check Alcotest.int "channel 0 cold miss" 1 (miss by_chan.(0));
+  check Alcotest.int "channel 1 cold miss" 1 (miss by_chan.(1));
+  (* on one channel the same two accesses would be miss + row hit *)
+  let one = Dram.pattern_counts cfg2 [ ctxn 0 0 Dram.Read; ctxn 0 0 Dram.Read ] in
+  check Alcotest.int "same-channel pair hits" 1
+    (List.assoc { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = true } one)
+
+let test_warmup_replay_per_channel () =
+  (* regression: warmup must warm each channel's banks independently — a
+     warmup touching only channel 0 leaves channel 1 cold *)
+  let warmup = [ ctxn 0 0 Dram.Read ] in
+  let stream = [ ctxn 0 0 Dram.Read; ctxn 1 0 Dram.Read ] in
+  let by_chan = Dram.pattern_counts_by_channel ~warmup cfg2 stream in
+  let hit counts =
+    List.assoc { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = true } counts
+  and miss counts =
+    List.assoc { Dram.kind = Dram.Read; prev = Dram.Read; row_hit = false } counts
+  in
+  check Alcotest.int "warmed channel hits" 1 (hit by_chan.(0));
+  check Alcotest.int "unwarmed channel still misses" 1 (miss by_chan.(1));
+  (* warming both channels turns both accesses into hits *)
+  let warm2 = Dram.pattern_counts_by_channel ~warmup:stream cfg2 stream in
+  check Alcotest.int "both warm" 2 (hit warm2.(0) + hit warm2.(1))
+
+let test_single_channel_counts_degenerate () =
+  (* on a 1-channel config the by-channel view is a single stream equal
+     to the aggregate *)
+  let stream = List.init 40 (fun i -> txn (i * 64) (if i mod 3 = 0 then Dram.Write else Dram.Read)) in
+  let by_chan = Dram.pattern_counts_by_channel cfg stream in
+  check Alcotest.int "one channel" 1 (Array.length by_chan);
+  check Alcotest.bool "identical to the aggregate" true
+    (by_chan.(0) = Dram.pattern_counts cfg stream)
+
+let test_sim_channels_independent () =
+  (* the same bank-0 row-miss pair is serialized on one channel but
+     overlaps when split across channels *)
+  let run stream =
+    let sim = Dram.Sim.create cfg2 in
+    List.fold_left (fun latest t -> max latest (Dram.Sim.access sim ~now:0 t)) 0 stream
+  in
+  let same_chan = run [ ctxn 0 0 Dram.Read; ctxn 0 (1024 * 8) Dram.Read ] in
+  let split = run [ ctxn 0 0 Dram.Read; ctxn 1 (1024 * 8) Dram.Read ] in
+  check Alcotest.bool
+    (Printf.sprintf "split %d < serialized %d" split same_chan)
+    true (split < same_chan)
+
+(* qcheck: per-channel counts always sum (pattern by pattern) to the
+   aggregate classification, warm or cold *)
+let prop_counts_by_channel_sum =
+  let cfg4 = { cfg with Dram.n_channels = 4 } in
+  QCheck.Test.make ~name:"per-channel pattern counts sum to the aggregate"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 30) (triple (int_range 0 3) (int_range 0 200) bool))
+        (list_of_size Gen.(int_range 0 10) (triple (int_range 0 3) (int_range 0 200) bool)))
+    (fun (raw, raw_warmup) ->
+      let stream_of = List.map (fun (chan, slot, w) ->
+          ctxn chan (slot * 64) (if w then Dram.Write else Dram.Read))
+      in
+      let stream = stream_of raw and warmup = stream_of raw_warmup in
+      let total = Dram.pattern_counts ~warmup cfg4 stream in
+      let by_chan = Dram.pattern_counts_by_channel ~warmup cfg4 stream in
+      Array.length by_chan = 4
+      && List.for_all
+           (fun p ->
+             List.assoc p total
+             = Array.fold_left (fun acc c -> acc + List.assoc p c) 0 by_chan)
+           Dram.all_patterns)
+
+(* qcheck: widening the per-channel outstanding-transaction queue never
+   delays any transaction's completion *)
+let prop_sim_queue_monotone =
+  QCheck.Test.make ~name:"sim completion monotone in queue depth" ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 1 40)
+           (triple (int_range 0 1) (int_range 0 300) bool)))
+    (fun (depth, raw) ->
+      let finishes qd =
+        let sim = Dram.Sim.create { cfg2 with Dram.queue_depth = qd } in
+        List.map
+          (fun (chan, slot, w) ->
+            Dram.Sim.access sim ~now:0
+              (ctxn chan (slot * 64) (if w then Dram.Write else Dram.Read)))
+          raw
+      in
+      List.for_all2 (fun deep shallow -> deep <= shallow)
+        (finishes (depth + 1)) (finishes depth))
+
 let suite =
   [
     Alcotest.test_case "dram: layout alignment" `Quick test_layout_alignment;
@@ -380,6 +530,19 @@ let suite =
     Alcotest.test_case "sim: bus throughput" `Quick test_sim_bus_throughput;
     Alcotest.test_case "sim: access counters" `Quick test_sim_counts;
     Alcotest.test_case "sim: refresh stalls" `Quick test_sim_refresh_stalls;
+    Alcotest.test_case "chan: address decode" `Quick test_chan_decode;
+    Alcotest.test_case "chan: placement layout" `Quick test_placement_layout;
+    Alcotest.test_case "chan: placement diagnostics" `Quick
+      test_placement_error_messages;
+    Alcotest.test_case "chan: first access misses per channel" `Quick
+      test_per_channel_first_access_miss;
+    Alcotest.test_case "chan: warmup replays per channel" `Quick
+      test_warmup_replay_per_channel;
+    Alcotest.test_case "chan: 1-channel counts degenerate" `Quick
+      test_single_channel_counts_degenerate;
+    Alcotest.test_case "sim: channels overlap" `Quick test_sim_channels_independent;
     QCheck_alcotest.to_alcotest prop_sim_monotone;
     QCheck_alcotest.to_alcotest prop_coalesce_conserves_bytes;
+    QCheck_alcotest.to_alcotest prop_counts_by_channel_sum;
+    QCheck_alcotest.to_alcotest prop_sim_queue_monotone;
   ]

@@ -370,6 +370,79 @@ let test_best_matches_explore () =
   | None, _ -> Alcotest.fail "best found nothing"
   | _, [] -> Alcotest.fail "explore found nothing"
 
+(* Placement-aware joint DSE (DESIGN.md §15): the staged placed sweep
+   ranks identically to the unstaged reference, bitwise, and degenerates
+   to the plain joint sweep on a 1-channel device. *)
+
+let placed_devices = [ Thelpers.virtex7; Flexcl_device.Device.u280 ]
+
+let test_placed_dse_ranking_identity () =
+  List.iter
+    (fun dev ->
+      let t = analyzed_of Pipelines.blur_sharpen in
+      let staged = Graph.explore_placed dev t small_jspace in
+      let reference = Graph.explore_placed_reference dev t small_jspace in
+      let dname = dev.Flexcl_device.Device.name in
+      Alcotest.(check int)
+        (dname ^ ": same point count")
+        (List.length reference) (List.length staged);
+      List.iter2
+        (fun (s : Graph.pevaluated) (r : Graph.pevaluated) ->
+          Alcotest.(check int) "same joint" 0
+            (Graph.compare_joint s.Graph.pjoint r.Graph.pjoint);
+          Alcotest.(check bool) "same placements" true
+            (s.Graph.placements = r.Graph.placements);
+          Alcotest.(check bool) "bitwise cycles" true
+            (bits s.Graph.pcycles = bits r.Graph.pcycles))
+        staged reference;
+      (* on a 1-channel device every resolved placement is empty and the
+         ranking is the plain joint sweep's *)
+      if dev.Flexcl_device.Device.dram.Flexcl_dram.Dram.n_channels = 1 then
+        List.iter2
+          (fun (s : Graph.pevaluated) (p : Graph.jevaluated) ->
+            Alcotest.(check bool) "all placements empty" true
+              (List.for_all (fun (_, pl) -> pl = []) s.Graph.placements);
+            Alcotest.(check bool) "degenerates to explore" true
+              (bits s.Graph.pcycles = bits p.Graph.jcycles
+              && Graph.compare_joint s.Graph.pjoint p.Graph.joint = 0))
+          staged
+          (Graph.explore dev t small_jspace))
+    placed_devices
+
+let test_best_placed_matches_explore_placed () =
+  List.iter
+    (fun dev ->
+      let t = analyzed_of Pipelines.blur_sharpen in
+      match
+        (Graph.best_placed dev t small_jspace,
+         Graph.explore_placed dev t small_jspace)
+      with
+      | Some (b, stats), hd :: _ ->
+          Alcotest.(check int) "same winner" 0
+            (Graph.compare_joint b.Graph.pjoint hd.Graph.pjoint);
+          Alcotest.(check bool) "same placements" true
+            (b.Graph.placements = hd.Graph.placements);
+          Alcotest.(check bool) "bitwise winner cycles" true
+            (bits b.Graph.pcycles = bits hd.Graph.pcycles);
+          Alcotest.(check bool) "accounting adds up" true
+            (stats.Graph.jevaluated + stats.Graph.jpruned = stats.Graph.jtotal)
+      | None, _ -> Alcotest.fail "best_placed found nothing"
+      | _, [] -> Alcotest.fail "explore_placed found nothing")
+    placed_devices
+
+let test_placed_dse_never_worse_than_unplaced () =
+  (* co-optimizing placement can only improve the best point *)
+  let dev = Flexcl_device.Device.u280 in
+  let t = analyzed_of Pipelines.blur_sharpen in
+  match (Graph.explore_placed dev t small_jspace, Graph.explore dev t small_jspace) with
+  | ph :: _, jh :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "placed %.0f <= unplaced %.0f" ph.Graph.pcycles
+           jh.Graph.jcycles)
+        true
+        (ph.Graph.pcycles <= jh.Graph.jcycles +. 1e-9)
+  | _ -> Alcotest.fail "empty sweep"
+
 let test_lower_bound_sound () =
   List.iter
     (fun p ->
@@ -476,6 +549,12 @@ let suite =
     Alcotest.test_case "joint DSE ranking identity" `Slow
       test_joint_dse_ranking_identity;
     Alcotest.test_case "best matches explore head" `Slow test_best_matches_explore;
+    Alcotest.test_case "placed DSE ranking identity" `Slow
+      test_placed_dse_ranking_identity;
+    Alcotest.test_case "best_placed matches explore_placed head" `Slow
+      test_best_placed_matches_explore_placed;
+    Alcotest.test_case "placement co-optimization never worse" `Slow
+      test_placed_dse_never_worse_than_unplaced;
     Alcotest.test_case "graph lower bound sound" `Quick test_lower_bound_sound;
     QCheck_alcotest.to_alcotest qcheck_random_graphs;
   ]

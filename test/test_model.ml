@@ -433,4 +433,234 @@ let ablation_suite =
       test_vectorization_acts_as_pe;
   ]
 
-let suite = suite @ ablation_suite
+(* ------------------------------------------------------------------ *)
+(* Multi-channel devices, the bandwidth roofline and buffer placement
+   (DESIGN.md §15) *)
+
+module Workload = Flexcl_workloads.Workload
+module Dram = Flexcl_dram.Dram
+
+let bits = Int64.bits_of_float
+let multi_channel_devices = [ Device.ku060_2ddr; Device.u280 ]
+
+let analysis_of name =
+  let w = Gen.find_workload name in
+  Analysis.of_source w.Workload.source w.Workload.launch
+
+let round_robin (d : Device.t) (a : Analysis.t) =
+  Analysis.with_placement a
+    (Launch.round_robin_placement a.Analysis.launch
+       ~n_channels:d.Device.dram.Dram.n_channels)
+
+let test_hbm_devices_shape () =
+  check Alcotest.int "u280 has 32 HBM2 channels" 32
+    Device.u280.Device.dram.Dram.n_channels;
+  check Alcotest.int "ku060-2ddr has 2 channels" 2
+    Device.ku060_2ddr.Device.dram.Dram.n_channels;
+  check Alcotest.int "virtex7 stays single-channel" 1
+    dev.Device.dram.Dram.n_channels
+
+let test_channel_counts_sum_to_aggregate () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun name ->
+          let a = round_robin d (analysis_of name) in
+          let total = Model.mean_pattern_counts a d in
+          let by_chan = Model.mean_pattern_counts_by_channel a d in
+          check Alcotest.int
+            (name ^ ": one entry per channel")
+            d.Device.dram.Dram.n_channels (Array.length by_chan);
+          List.iter
+            (fun (p, c) ->
+              let summed =
+                Array.fold_left
+                  (fun acc counts -> acc +. List.assoc p counts)
+                  0.0 by_chan
+              in
+              check
+                (Alcotest.float 1e-9)
+                (name ^ ": " ^ Dram.pattern_name p ^ " conserved")
+                c summed)
+            total)
+        [ "bfs/bfs_1"; "mvt/mvt" ])
+    multi_channel_devices
+
+let test_channel_roofline_is_slowest_channel () =
+  List.iter
+    (fun d ->
+      let a = round_robin d (analysis_of "bfs/bfs_1") in
+      let n_wi_f = float_of_int (Launch.n_work_items a.Analysis.launch) in
+      let demands = Model.channel_demands a d ~n_wi_f in
+      let roof = Model.channel_roofline a d ~n_wi_f in
+      check Alcotest.bool "roofline = max demand" true
+        (bits roof = bits (Array.fold_left Float.max 0.0 demands));
+      (* spreading traffic over channels only lowers the binding demand:
+         the placed roofline never exceeds the all-on-channel-0 one *)
+      let roof0 =
+        Model.channel_roofline (analysis_of "bfs/bfs_1") d ~n_wi_f
+      in
+      check Alcotest.bool "round robin no worse than unplaced" true
+        (roof <= roof0 +. 1e-9))
+    multi_channel_devices
+
+let test_lower_bound_sound_under_placement () =
+  (* the 1/N_chan stream floor must stay below the estimate for every
+     placement, the property the placement-aware DSE pruning rests on *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun name ->
+          let a0 = analysis_of name in
+          let candidates =
+            Explore.placement_candidates a0
+              ~n_channels:d.Device.dram.Dram.n_channels
+          in
+          List.iter
+            (fun placement ->
+              let a =
+                if placement = [] then a0
+                else Analysis.with_placement a0 placement
+              in
+              let c =
+                cfg
+                  ~wg:(Launch.wg_size a.Analysis.launch)
+                  ~pe:2 ~cu:2 ~pipe:true ~mode:Config.Pipeline_mode ()
+              in
+              if Model.feasible d a c then
+                let lb = Model.lower_bound d a c in
+                let est = Model.cycles d a c in
+                check Alcotest.bool
+                  (Printf.sprintf "%s: bound %.0f <= est %.0f" name lb est)
+                  true
+                  (lb <= est +. (1e-9 *. Float.max est 1.0)))
+            candidates)
+        [ "bfs/bfs_1"; "mvt/mvt"; "gemm/gemm" ])
+    multi_channel_devices
+
+let test_zero_placement_is_identity () =
+  (* binding every buffer to channel 0 (or placing on a 1-channel
+     device) reproduces the unplaced estimate bitwise *)
+  List.iter
+    (fun d ->
+      let a0 = analysis_of "bfs/bfs_1" in
+      let zeros =
+        List.map (fun b -> (b, 0)) (Launch.buffer_names a0.Analysis.launch)
+      in
+      let a = Analysis.with_placement a0 zeros in
+      let c =
+        cfg
+          ~wg:(Launch.wg_size a0.Analysis.launch)
+          ~pe:2 ~cu:2 ~pipe:true ~mode:Config.Pipeline_mode ()
+      in
+      check Alcotest.bool
+        (d.Device.name ^ ": all-zeros placement is the identity")
+        true
+        (bits (Model.cycles d a0 c) = bits (Model.cycles d a c)))
+    (dev :: multi_channel_devices)
+
+let test_placed_strict_improvement () =
+  (* acceptance: against the placed channel-accurate simulator, the
+     channel-aware (placed) model strictly beats the channel-oblivious
+     one for bfs and mvt on every multi-channel device. The design
+     points are where each workload's memory behaviour is
+     channel-sensitive: bfs (scattered reads over several buffers)
+     improves at the suite's pe2/cu2 point; mvt (one dominant streamed
+     matrix) needs concurrent CUs per memory channel, pe1/cu2. *)
+  List.iter
+    (fun (name, pe, cu) ->
+      List.iter
+        (fun d ->
+          let a0 = analysis_of name in
+          let ap = round_robin d a0 in
+          let c =
+            cfg
+              ~wg:(Launch.wg_size a0.Analysis.launch)
+              ~pe ~cu ~pipe:true ~mode:Config.Pipeline_mode ()
+          in
+          let sim = (Sysrun.run ~seed:42 d ap c).Sysrun.cycles in
+          let placed_err =
+            Stats.abs_pct_error ~actual:sim ~predicted:(Model.cycles d ap c)
+          in
+          let oblivious_err =
+            Stats.abs_pct_error ~actual:sim ~predicted:(Model.cycles d a0 c)
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s@%s: placed %.2f%% < oblivious %.2f%%" name
+               d.Device.name placed_err oblivious_err)
+            true
+            (placed_err < oblivious_err))
+        multi_channel_devices)
+    [ ("bfs/bfs_1", 2, 2); ("mvt/mvt", 1, 2) ]
+
+let test_explore_placements_differential () =
+  (* the staged, pruned placement sweep ranks identically to the
+     unstaged, unpruned reference — bitwise *)
+  List.iter
+    (fun d ->
+      let a = analysis_of "bfs/bfs_1" in
+      let n_wi = Launch.n_work_items a.Analysis.launch in
+      let space =
+        { (Space.default ~total_work_items:n_wi) with
+          Space.pe_counts = [ 1; 2 ];
+          cu_counts = [ 1; 2 ];
+        }
+      in
+      let staged = Explore.explore_placements ~num_domains:0 d a space in
+      let reference =
+        Explore.explore_placements_reference ~num_domains:0 d a space
+      in
+      check Alcotest.int
+        (d.Device.name ^ ": same candidate count")
+        (List.length reference) (List.length staged);
+      List.iter2
+        (fun (s : Explore.placed) (r : Explore.placed) ->
+          check Alcotest.bool "same placement" true
+            (s.Explore.placement = r.Explore.placement);
+          check Alcotest.bool "same config" true
+            (s.Explore.best_point.Explore.config
+            = r.Explore.best_point.Explore.config);
+          check Alcotest.bool "bitwise cycles" true
+            (bits s.Explore.best_point.Explore.cycles
+            = bits r.Explore.best_point.Explore.cycles))
+        staged reference)
+    (dev :: multi_channel_devices)
+
+let test_placement_candidates_shape () =
+  let a = Lazy.force analysis in
+  check Alcotest.bool "1-channel space is the empty placement" true
+    (Explore.placement_candidates a ~n_channels:1 = [ [] ]);
+  let cands = Explore.placement_candidates a ~n_channels:4 in
+  check Alcotest.bool "empty placement first" true (List.hd cands = []);
+  let buffers = Launch.buffer_names a.Analysis.launch in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (b, chan) ->
+          check Alcotest.bool "names a kernel buffer" true (List.mem b buffers);
+          check Alcotest.bool "channel in range" true (chan >= 0 && chan < 4))
+        p)
+    cands;
+  check Alcotest.bool "no duplicate candidates" true
+    (List.length (List.sort_uniq compare cands) = List.length cands)
+
+let hbm_suite =
+  [
+    Alcotest.test_case "hbm: device shapes" `Quick test_hbm_devices_shape;
+    Alcotest.test_case "hbm: per-channel counts conserve" `Quick
+      test_channel_counts_sum_to_aggregate;
+    Alcotest.test_case "hbm: roofline is the slowest channel" `Quick
+      test_channel_roofline_is_slowest_channel;
+    Alcotest.test_case "hbm: lower bound sound under placement" `Quick
+      test_lower_bound_sound_under_placement;
+    Alcotest.test_case "hbm: zero placement identity (bitwise)" `Quick
+      test_zero_placement_is_identity;
+    Alcotest.test_case "hbm: placed model beats oblivious (bfs, mvt)" `Slow
+      test_placed_strict_improvement;
+    Alcotest.test_case "hbm: placement sweep differential (bitwise)" `Slow
+      test_explore_placements_differential;
+    Alcotest.test_case "hbm: placement candidate shape" `Quick
+      test_placement_candidates_shape;
+  ]
+
+let suite = suite @ ablation_suite @ hbm_suite

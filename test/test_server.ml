@@ -264,6 +264,18 @@ let protocol_goldens : (string * string * string) list =
       {|{"id":5,"kind":"explore","workload":"nn/nn","device":"v7","top":3}|},
       {|{"id":5,"ok":true,"kind":"explore","result":{"kernel":"nn/nn","device":"xc7vx690t","feasible":192,"points":[{"config":"wg256 pe4 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg256 pe8 cu1 pipe pipeline","cycles":4504,"us":22.52},{"config":"wg128 pe4 cu1 pipe pipeline","cycles":4784,"us":23.92}],"greedy":{"config":"wg256 pe8 cu4 pipe pipeline","cycles":7789,"us":38.945}}}|}
     );
+    ( "predict with buffer placement on the HBM device",
+      {|{"id":12,"kind":"predict","workload":"bfs/bfs_1","device":"xcu280","pe":2,"cu":2,"pipeline":true,"placement":{"edges":1,"cost":2}}|},
+      {|{"id":12,"ok":true,"kind":"predict","cached":false,"result":{"kernel":"bfs/bfs_1","device":"xcu280","config":"wg64 pe2 cu2 pipe pipeline","cycles":15112,"us":50.373333333333335,"bottleneck":"global memory"}}|}
+    );
+    ( "placement naming an unknown buffer",
+      {|{"id":13,"kind":"predict","workload":"bfs/bfs_1","device":"xcu280","placement":{"zzz":0}}|},
+      {|{"id":13,"ok":false,"kind":"predict","errors":[{"code":"E-USAGE","severity":"error","message":"unknown buffer \"zzz\" in placement (kernel buffers: node_start, node_len, edges, mask, updating, visited, cost)"}]}|}
+    );
+    ( "placement outside the device's channels",
+      {|{"id":14,"kind":"predict","workload":"bfs/bfs_1","device":"v7","placement":{"edges":1}}|},
+      {|{"id":14,"ok":false,"kind":"predict","errors":[{"code":"E-USAGE","severity":"error","message":"buffer \"edges\" placed on channel 1, but device has 1 channel (valid: 0..0)"}]}|}
+    );
     ( "pipeline",
       {|{"id":8,"kind":"pipeline","graph":"stencil/blur-sharpen"}|},
       {|{"id":8,"ok":true,"kind":"pipeline","cached":false,"result":{"graph":"stencil/blur-sharpen","device":"xc7vx690t","joint":"blur[wg64 pe1 cu1 nopipe pipeline]; sharpen[wg64 pe1 cu1 nopipe pipeline]; smooth:d8","stages":[{"stage":"blur","cycles":12800},{"stage":"sharpen","cycles":12288}],"steady":12800,"fill":1600,"stall":0,"cycles":14400,"us":72,"bottleneck":"stage blur: compute depth"}}|}

@@ -446,7 +446,8 @@ let test_runner_smoke () =
         (List.length (Gate.gate ~baseline:r ~current:r' ()))
 
 let test_smoke_subset_is_declared () =
-  (* the smoke matrix covers both suites and both devices *)
+  (* the smoke matrix covers both suites, the primary + secondary
+     devices and the HBM device (memory-bound gate entries) *)
   let entries = Sdef.smoke () in
   let suites = List.sort_uniq compare (List.map (fun e -> e.Sdef.suite) entries) in
   let devs =
@@ -455,11 +456,15 @@ let test_smoke_subset_is_declared () =
   check (Alcotest.list Alcotest.string) "suites"
     [ "pipeline"; "polybench"; "rodinia" ]
     suites;
-  check Alcotest.int "both devices" 2 (List.length devs);
+  check (Alcotest.list Alcotest.string) "devices"
+    [ "xc7vx690t"; "xcku060"; "xcu280" ]
+    devs;
   (* full matrix = (every workload + every pipeline graph) x every device *)
   let full = Sdef.full () in
+  let n_devices = List.length Sdef.devices in
+  check Alcotest.int "4 registered devices" 4 n_devices;
   let n_pipelines = List.length Flexcl_workloads.Pipelines.all in
-  check Alcotest.int "full matrix size" ((60 + n_pipelines) * 2)
+  check Alcotest.int "full matrix size" ((60 + n_pipelines) * n_devices)
     (List.length full)
 
 let suite =

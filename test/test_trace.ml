@@ -170,7 +170,7 @@ let test_explain_has_schedule_detail () =
 (* the single-switch ablations live in the shared test/gen.ml *)
 let ablations = Gen.ablations
 
-let check_one ~label ~options analysis cfg =
+let check_one ?(device = device) ~label ~options analysis cfg =
   let b, tr = Model.explain ~options device analysis cfg in
   if Float.abs (tr.Trace.cycles -. b.Model.cycles)
      > 1e-9 *. Float.max 1.0 (Float.abs b.Model.cycles)
@@ -253,6 +253,80 @@ let test_conservation_deep () =
   Alcotest.(check bool) "deep targets found" true (List.length workloads > 0);
   List.iter (conservation_on_workload ~samples:200 ~ablate_every:10) workloads
 
+(* Conservation over the channel-roofline node (DESIGN.md §15): on
+   multi-channel devices the explain trace either embeds the winning
+   "memory (channel roofline)" subtree (whose per-channel children sum to
+   the roofline) or records the losing roofline as a 0-cycle leaf; either
+   way [Trace.check] must hold for every workload × device × placement. *)
+let test_conservation_hbm_placements () =
+  let devices = [ Flexcl_device.Device.ku060_2ddr; Flexcl_device.Device.u280 ] in
+  let workloads = [ "bfs/bfs_1"; "mvt/mvt"; "gemm/gemm"; "hotspot/hotspot" ] in
+  List.iter
+    (fun device ->
+      let n_channels =
+        device.Flexcl_device.Device.dram.Flexcl_dram.Dram.n_channels
+      in
+      List.iter
+        (fun name ->
+          let w = Gen.find_workload name in
+          let a0 = Analysis.of_source w.Workload.source w.Workload.launch in
+          let buffers = Launch.buffer_names a0.Analysis.launch in
+          let rng =
+            Prng.create (Hashtbl.hash (name, device.Flexcl_device.Device.name))
+          in
+          let seeded_placement () =
+            List.filter_map
+              (fun b ->
+                if Prng.int rng 2 = 0 then None
+                else Some (b, Prng.int rng n_channels))
+              buffers
+          in
+          let placements =
+            [ []; Launch.round_robin_placement a0.Analysis.launch ~n_channels ]
+            @ List.init 3 (fun _ -> seeded_placement ())
+          in
+          let n_wi = Launch.n_work_items w.Workload.launch in
+          let space = Space.default ~total_work_items:n_wi in
+          let feasible = Space.feasible_points device a0 space in
+          if feasible = [] then Alcotest.failf "%s: empty feasible space" name;
+          let pts = Array.of_list feasible in
+          List.iteri
+            (fun pi placement ->
+              let a =
+                if placement = [] then a0
+                else Analysis.with_placement a0 placement
+              in
+              for i = 0 to 5 do
+                let cfg = Prng.choose rng pts in
+                let cfg =
+                  {
+                    cfg with
+                    Config.comm_mode =
+                      (if i mod 2 = 0 then Config.Barrier_mode
+                       else Config.Pipeline_mode);
+                  }
+                in
+                let a =
+                  if cfg.Config.wg_size = Launch.wg_size a.Analysis.launch then a
+                  else Analysis.with_wg_size a cfg.Config.wg_size
+                in
+                let label =
+                  Printf.sprintf "%s@%s placement %d sample %d (%s)" name
+                    device.Flexcl_device.Device.name pi i (Config.to_string cfg)
+                in
+                check_one ~device ~label ~options:Model.default_options a cfg;
+                (* the roofline term is visible in the trace, win or lose *)
+                let _, tr = Model.explain device a cfg in
+                Alcotest.(check bool)
+                  (label ^ ": roofline node present") true
+                  (Trace.find tr "memory (channel roofline)" <> None
+                  || Trace.find tr "channel roofline transfers" <> None
+                  || Trace.find tr "channel roofline (not binding)" <> None)
+              done)
+            placements)
+        workloads)
+    devices
+
 let suite =
   [
     Alcotest.test_case "node sums children" `Quick test_node_sums;
@@ -270,4 +344,6 @@ let suite =
     Alcotest.test_case "conservation across all workloads" `Slow
       test_conservation_all_workloads;
     Alcotest.test_case "conservation deep sampling" `Slow test_conservation_deep;
+    Alcotest.test_case "conservation on HBM devices x placements" `Slow
+      test_conservation_hbm_placements;
   ]
