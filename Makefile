@@ -1,4 +1,4 @@
-.PHONY: all build test check smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite clean
+.PHONY: all build test check smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke learn-smoke chaos bench bench-dse bench-dse-spec bench-serve bench-trace bench-suite promote promote-suite promote-model clean
 
 all: build
 
@@ -15,7 +15,7 @@ test:
 # cycle-attribution trace on two bundled kernels in both modes, the
 # benchmark-suite smoke matrix against its committed baseline, and the
 # seeded chaos storm against a live socket server.
-check: build test smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke chaos
+check: build test smoke serve-smoke trace-smoke pipeline-smoke suite-smoke hbm-smoke learn-smoke chaos
 
 smoke:
 	@tmp=$$(mktemp --suffix=.cl); \
@@ -119,7 +119,26 @@ pipeline-smoke:
 suite-smoke:
 	@dune exec --no-build bin/flexcl_cli.exe -- suite --smoke -q \
 	  -o _build/BENCH_suite.smoke.json \
+	  --model test/goldens/model.golden.json \
 	  --compare test/goldens/BENCH_suite.baseline.json
+
+# Learned-residual calibration gate (DESIGN.md §16): refit the committed
+# full-matrix fixture and require (a) byte-identical model output — the
+# whole fit path is deterministic, any drift is a bug — and (b) the
+# leave-one-kernel-out gate: held-out calibrated error must strictly
+# beat the raw analytical model in the mean.
+learn-smoke:
+	@dune exec --no-build bin/flexcl_cli.exe -- fit \
+	  --from test/goldens/BENCH_suite.full.json \
+	  -o _build/model.smoke.json; \
+	if ! cmp -s _build/model.smoke.json test/goldens/model.golden.json; then \
+	  echo "learn-smoke: refit model differs from test/goldens/model.golden.json"; \
+	  echo "learn-smoke: if the fixture legitimately moved, run 'make promote-model'"; \
+	  exit 1; \
+	fi; \
+	dune exec --no-build bin/flexcl_cli.exe -- crossval \
+	  --from test/goldens/BENCH_suite.full.json --gate > /dev/null; \
+	echo "learn-smoke: deterministic refit + LOKO gate OK"
 
 # Multi-channel HBM smoke (DESIGN.md §15): a placed analyze on the
 # 32-channel xcu280 must beat-or-match shape expectations, a placed
@@ -211,7 +230,17 @@ bench-suite:
 # review the diff like any golden (`git diff test/goldens/`).
 promote-suite:
 	dune exec bin/flexcl_cli.exe -- suite --smoke -q \
+	  --model test/goldens/model.golden.json \
 	  -o test/goldens/BENCH_suite.baseline.json
+
+# Refresh the committed full-matrix fixture and the model fitted from it
+# — the expensive, deliberate counterpart of promote-suite (the full
+# (workload x device) matrix runs for several minutes). Review the diff
+# alongside the Table-2 error columns in DESIGN.md §16.
+promote-model:
+	dune exec bin/flexcl_cli.exe -- suite -q --repeat 2 --warmup 1 \
+	  -o test/goldens/BENCH_suite.full.json \
+	  --fit test/goldens/model.golden.json
 
 clean:
 	dune clean

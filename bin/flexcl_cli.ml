@@ -7,12 +7,16 @@
      flexcl workloads [--suite rodinia|polybench]
      flexcl pipeline  list | analyze | explain | explore | cosim
                       [--graph NAME] [--depth N] [...]
+     flexcl predict   (--kernel FILE | --workload NAME) [launch/design flags]
+                      [--calibrated MODEL]
      flexcl suite     [--list] [--smoke] [--filter SUBSTR] [--out FILE]
                       [--compare BASELINE] [--repeat N] [--warmup N]
-                      [--seed N] [--quiet]
+                      [--seed N] [--quiet] [--model MODEL] [--fit FILE]
+     flexcl fit       --from REPORT [--out MODEL] [--lambda F] [--alpha F]
+     flexcl crossval  --from REPORT [--gate] [--lambda F] [--alpha F]
      flexcl serve     [--jobs N] [--cache N] [--socket PATH]
                       [--max-inflight N] [--max-line-bytes N]
-                      [--drain-timeout-ms MS]
+                      [--drain-timeout-ms MS] [--model MODEL]
 
    For a kernel file, pointer parameters become deterministic random
    buffers of --buffer-size elements; integer scalars default to the
@@ -33,6 +37,7 @@ module Table = Flexcl_util.Table
 module Diag = Flexcl_util.Diag
 module Json = Flexcl_util.Json
 module Server = Flexcl_server.Server
+module Learn = Flexcl_learn.Learn
 open Flexcl_opencl
 
 (* Exit codes (documented in README "Error handling"): 0 success,
@@ -536,6 +541,249 @@ let explore_cmd =
       $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* Learned-residual calibration: shared loaders.
+
+   A bad --calibrated / --model file is caller misuse (exit 2, like any
+   bad flag value): the model is a flag-supplied artifact, not the input
+   under analysis. A bad --from report, by contrast, is the input (exit
+   1). *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      (* Sys_error already leads with the path; the Diag carries it *)
+      let prefix = path ^ ": " in
+      let n = String.length prefix in
+      Error
+        (if String.length msg >= n && String.sub msg 0 n = prefix then
+           String.sub msg n (String.length msg - n)
+         else msg)
+  | s -> Ok s
+
+let load_model path =
+  match read_file path with
+  | Error msg ->
+      Error
+        [
+          Diag.make ~file:path Diag.Usage_error
+            (Printf.sprintf "cannot read model: %s" msg);
+        ]
+  | Ok s -> (
+      match Learn.model_of_string s with
+      | Ok m -> Ok m
+      | Error d -> Error [ Diag.with_file path d ])
+
+let load_suite_report path =
+  match read_file path with
+  | Error msg -> Error [ Diag.make ~file:path Diag.Io_error msg ]
+  | Ok s -> (
+      match Flexcl_suite.Report.of_string s with
+      | Ok r -> Ok r
+      | Error e ->
+          Error
+            [
+              Diag.error ~file:path Diag.Parse_error "invalid suite report: %s"
+                e;
+            ])
+
+let calibrated_model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calibrated" ] ~docv:"MODEL"
+        ~doc:
+          "Also report the calibrated estimate and its empirical \
+           prediction interval using the learned-residual model at \
+           $(docv) (written by 'flexcl fit' or 'flexcl suite --fit').")
+
+(* ------------------------------------------------------------------ *)
+(* predict *)
+
+let predict_cmd =
+  let run dev file workload global wg pe cu pipe mode buffer_size ints floats
+      placement calibrated =
+    (* the model loads before the (possibly expensive) analysis, so a
+       missing or corrupt --calibrated file fails fast as usage *)
+    let model =
+      match calibrated with
+      | None -> Ok None
+      | Some path -> Result.map Option.some (load_model path)
+    in
+    match model with
+    | Error diags ->
+        print_diags diags;
+        exit_usage_error
+    | Ok model ->
+        with_kernel ~dev ~placement file workload global wg buffer_size ints
+          floats (fun name a ->
+            let cfg =
+              { Config.wg_size = L.wg_size a.Analysis.launch; n_pe = pe;
+                n_cu = cu; wi_pipeline = pipe; comm_mode = mode }
+            in
+            if not (Model.feasible dev a cfg) then begin
+              print_diags
+                [
+                  Diag.error Diag.Config_invalid
+                    "design point %s exceeds %s resources"
+                    (Config.to_string cfg) dev.Device.name;
+                ];
+              exit_input_error
+            end
+            else
+              match Model.estimate_result dev a cfg with
+              | Error d ->
+                  print_diags [ d ];
+                  exit_input_error
+              | Ok b ->
+                  Printf.printf "kernel       : %s on %s\n" name
+                    dev.Device.name;
+                  Printf.printf "design point : %s\n" (Config.to_string cfg);
+                  Printf.printf "prediction   : %.0f cycles = %.2f us\n"
+                    b.Model.cycles (b.Model.seconds *. 1e6);
+                  (match model with
+                  | None -> ()
+                  | Some m ->
+                      let c =
+                        Learn.calibrate m ~device:dev ~est:b.Model.cycles
+                          (Learn.features a dev)
+                      in
+                      Printf.printf
+                        "calibrated   : %.0f cycles  [%.0f, %.0f] (%.0f%% \
+                         empirical interval)\n"
+                        c.Learn.cycles c.Learn.lo c.Learn.hi
+                        (100.0 *. m.Learn.nominal_coverage));
+                  0)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Predict a kernel's cycle count; with --calibrated MODEL, also \
+          apply the learned residual correction and report its empirical \
+          prediction interval.")
+    Term.(
+      const run $ device_arg $ kernel_file $ workload_name $ global_size
+      $ wg_size $ n_pe $ n_cu $ pipeline $ comm_mode $ buffer_size $ int_args
+      $ float_args $ placement_args $ calibrated_model_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fit / crossval *)
+
+let from_report_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "from" ] ~docv:"REPORT"
+        ~doc:
+          "The BENCH_suite.json report (from 'flexcl suite') supplying \
+           training samples: per-entry features, analytical estimate and \
+           simrtl ground truth.")
+
+let lambda_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "lambda" ] ~docv:"F"
+        ~doc:
+          "Pin the ridge strength instead of selecting it by \
+           leave-one-kernel-out grid search.")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "alpha" ] ~docv:"F"
+        ~doc:
+          "Pin the prediction shrinkage in (0, 1] instead of selecting \
+           it by leave-one-kernel-out grid search.")
+
+let fit_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "model.json"
+      & info [ "out"; "o" ] ~docv:"MODEL"
+          ~doc:"Where to write the model artifact.")
+  in
+  let run from out lambda alpha =
+    guarded (fun () ->
+        match load_suite_report from with
+        | Error diags ->
+            print_diags diags;
+            exit_input_error
+        | Ok r -> (
+            let samples =
+              Flexcl_suite.Runner.samples_of_report r
+            in
+            match Learn.fit ?lambda ?alpha samples with
+            | Error d ->
+                print_diags [ d ];
+                exit_input_error
+            | Ok m ->
+                Out_channel.with_open_bin out (fun oc ->
+                    output_string oc (Learn.model_to_string m));
+                Printf.printf
+                  "fit: %d samples over %d kernels (lambda %g, alpha %g)\n"
+                  m.Learn.n_train
+                  (List.length m.Learn.kernels)
+                  m.Learn.lambda m.Learn.alpha;
+                Printf.printf "wrote %s\n" out;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:
+         "Fit the learned-residual ridge model on a suite report and \
+          write the byte-deterministic model artifact (hyperparameters \
+          selected by leave-one-kernel-out cross-validation unless \
+          pinned).")
+    Term.(const run $ from_report_arg $ out_arg $ lambda_arg $ alpha_arg)
+
+let crossval_cmd =
+  let gate_flag =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Exit 1 unless the per-kernel-held-out calibrated mean error \
+             strictly beats the raw analytical mean (the acceptance claim \
+             of the calibration subsystem).")
+  in
+  let run from gate lambda alpha =
+    guarded (fun () ->
+        match load_suite_report from with
+        | Error diags ->
+            print_diags diags;
+            exit_input_error
+        | Ok r -> (
+            match
+              Learn.crossval ?lambda ?alpha
+                (Flexcl_suite.Runner.samples_of_report r)
+            with
+            | Error d ->
+                print_diags [ d ];
+                exit_input_error
+            | Ok cv ->
+                print_string (Learn.cv_to_string cv);
+                if not gate then 0
+                else if cv.Learn.mean_cal_mape < cv.Learn.mean_raw_mape then
+                  0
+                else begin
+                  Printf.eprintf
+                    "crossval gate: FAIL (held-out calibrated mean %.3f%% \
+                     does not beat raw %.3f%%)\n"
+                    cv.Learn.mean_cal_mape cv.Learn.mean_raw_mape;
+                  exit_input_error
+                end))
+  in
+  Cmd.v
+    (Cmd.info "crossval"
+       ~doc:
+         "Leave-one-kernel-out cross-validation of the learned-residual \
+          model over a suite report: per-held-out-kernel MAPE, the \
+          empirical prediction interval and its achieved coverage, as \
+          canonical JSON on stdout (byte-deterministic).")
+    Term.(const run $ from_report_arg $ gate_flag $ lambda_arg $ alpha_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve *)
 
 let serve_cmd =
@@ -594,7 +842,18 @@ let serve_cmd =
              long open connections get to wind down before being \
              severed.")
   in
-  let run jobs cache socket max_inflight max_line_bytes drain_timeout_ms =
+  let model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Load the learned-residual model at $(docv) at startup so \
+             requests may ask for \"calibrated\":true; without it such \
+             requests answer E-NOMODEL.")
+  in
+  let run jobs cache socket max_inflight max_line_bytes drain_timeout_ms
+      model_path =
     match jobs with
     | Some n when n < 0 ->
         prerr_endline "flexcl: --jobs must be >= 0";
@@ -611,11 +870,21 @@ let serve_cmd =
     | _ when drain_timeout_ms < 0 ->
         prerr_endline "flexcl: --drain-timeout-ms must be >= 0";
         exit_usage_error
-    | _ ->
+    | _ -> (
+        let model =
+          match model_path with
+          | None -> Ok None
+          | Some path -> Result.map Option.some (load_model path)
+        in
+        match model with
+        | Error diags ->
+            print_diags diags;
+            exit_usage_error
+        | Ok model ->
         guarded (fun () ->
             let server =
               Server.create ?num_domains:jobs ~cache_capacity:cache
-                ~max_inflight ~max_line_bytes ~drain_timeout_ms ()
+                ~max_inflight ~max_line_bytes ~drain_timeout_ms ?model ()
             in
             (* SIGTERM/SIGINT start a graceful drain: in-flight requests
                finish, new ones answer E-SHUTDOWN, then the loops return
@@ -631,7 +900,7 @@ let serve_cmd =
             (* final metrics dump, stderr so it never interleaves with
                the NDJSON response stream *)
             prerr_endline (Json.to_string (Server.stats_json server));
-            0)
+            0))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -641,7 +910,7 @@ let serve_cmd =
           README for the protocol).")
     Term.(
       const run $ jobs $ cache $ socket $ max_inflight $ max_line_bytes
-      $ drain_timeout_ms)
+      $ drain_timeout_ms $ model_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workloads *)
@@ -1118,6 +1387,25 @@ let suite_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress per-entry progress lines.")
   in
+  let suite_model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Annotate every entry with the calibrated-error column \
+             computed through the learned-residual model at $(docv); the \
+             gate then compares (and requires) those columns.")
+  in
+  let fit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fit" ] ~docv:"MODEL"
+          ~doc:
+            "After the run, fit the learned-residual model on this run's \
+             rows and write the byte-deterministic artifact to $(docv).")
+  in
   let print_summary (r : Suite_report.t) =
     let t =
       Table.create
@@ -1134,6 +1422,22 @@ let suite_cmd =
           ])
       r.Suite_report.summaries;
     print_string (Table.render t);
+    (let cal_rows =
+       List.filter
+         (fun (e : Suite_report.entry) ->
+           Option.is_some e.Suite_report.cal_err_pct)
+         r.Suite_report.rows
+     in
+     if cal_rows <> [] then
+       let mean f =
+         List.fold_left (fun acc e -> acc +. f e) 0.0 cal_rows
+         /. float_of_int (List.length cal_rows)
+       in
+       Printf.printf "calibrated mean err%%    : %.2f (raw %.2f, %d rows)\n"
+         (mean (fun (e : Suite_report.entry) ->
+              Option.value e.Suite_report.cal_err_pct ~default:0.0))
+         (mean (fun (e : Suite_report.entry) -> e.Suite_report.err_pct))
+         (List.length cal_rows));
     Printf.printf "analysis cache hit rate : %.0f%%\n"
       (100.0 *. Suite_report.hit_rate r.Suite_report.analysis_cache);
     Printf.printf "engines bitwise identical: %s\n"
@@ -1144,7 +1448,8 @@ let suite_cmd =
        then "yes (all entries)"
        else "NO")
   in
-  let run list smoke filter out compare repeat warmup seed quiet =
+  let run list smoke filter out compare repeat warmup seed quiet model_path
+      fit_path =
     guarded (fun () ->
         let entries =
           if smoke then Suite_def.smoke () else Suite_def.full ()
@@ -1184,8 +1489,17 @@ let suite_cmd =
           0
         end
         else begin
-          (* load the baseline BEFORE the (expensive) run, so a missing
-             or corrupt baseline fails fast *)
+          (* load the model and baseline BEFORE the (expensive) run, so
+             a missing or corrupt file fails fast *)
+          match
+            match model_path with
+            | None -> Ok None
+            | Some path -> Result.map Option.some (load_model path)
+          with
+          | Error diags ->
+              print_diags diags;
+              exit_usage_error
+          | Ok model ->
           let baseline =
             match compare with
             | None -> Ok None
@@ -1225,12 +1539,30 @@ let suite_cmd =
               let progress =
                 if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s
               in
-              let report = Suite_runner.run ~progress opts entries in
+              let report = Suite_runner.run ?model ~progress opts entries in
               Out_channel.with_open_text out (fun oc ->
                   output_string oc (Suite_report.to_string report);
                   output_char oc '\n');
               print_summary report;
               Printf.printf "wrote %s\n" out;
+              let fit_failed =
+                match fit_path with
+                | None -> false
+                | Some path -> (
+                    match
+                      Learn.fit (Suite_runner.samples_of_report report)
+                    with
+                    | Error d ->
+                        print_diags [ d ];
+                        true
+                    | Ok m ->
+                        Out_channel.with_open_bin path (fun oc ->
+                            output_string oc (Learn.model_to_string m));
+                        Printf.printf "wrote %s\n" path;
+                        false)
+              in
+              if fit_failed then exit_input_error
+              else
               match baseline with
               | None -> 0
               | Some baseline ->
@@ -1261,7 +1593,8 @@ let suite_cmd =
           gate against a committed baseline.")
     Term.(
       const run $ list_flag $ smoke_flag $ filter_arg $ out_arg $ compare_arg
-      $ repeat_arg $ warmup_arg $ seed_arg $ quiet_flag)
+      $ repeat_arg $ warmup_arg $ seed_arg $ quiet_flag $ suite_model_arg
+      $ fit_arg)
 
 let () =
   let info =
@@ -1272,8 +1605,9 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [
-           analyze_cmd; explain_cmd; simulate_cmd; explore_cmd; workloads_cmd;
-           pipeline_cmd; suite_cmd; serve_cmd;
+           analyze_cmd; explain_cmd; simulate_cmd; predict_cmd; explore_cmd;
+           workloads_cmd; pipeline_cmd; suite_cmd; serve_cmd; fit_cmd;
+           crossval_cmd;
          ])
   in
   (* cmdliner signals its own parse errors (unknown flag, bad value)

@@ -1,0 +1,677 @@
+(* Learned residual calibration (DESIGN.md §16).
+
+   Everything here is closed-form and RNG-free: ridge on the normal
+   equations via Cholesky, hyperparameters picked on a fixed grid by
+   leave-one-kernel-out MAPE, interval bounds from empirical quantiles
+   of the held-out errors. Samples are canonically sorted before any
+   accumulation so the fit is bitwise permutation-invariant over
+   training rows (float addition is not associative). *)
+
+module Device = Flexcl_device.Device
+module Analysis = Flexcl_core.Analysis
+module Config = Flexcl_core.Config
+module Model = Flexcl_core.Model
+module Launch = Flexcl_ir.Launch
+module Cdfg = Flexcl_ir.Cdfg
+module Opcode = Flexcl_ir.Opcode
+module Dram = Flexcl_dram.Dram
+module Diag = Flexcl_util.Diag
+module Json = Flexcl_util.Json
+
+let schema_version = 1
+let kind = "flexcl-learn-model"
+
+(* ------------------------------------------------------------------ *)
+(* Features *)
+
+(* The recorded, architecture-independent vector (moved here from the
+   suite runner; the device is consulted only for coalescing). *)
+let features (a : Analysis.t) dev =
+  let trip li = int_of_float (Float.round (Analysis.trip a li)) in
+  let op_counts = Cdfg.weighted_op_counts ~trip a.Analysis.cdfg.Cdfg.body in
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 op_counts in
+  let count pred =
+    List.fold_left
+      (fun acc (op, c) -> if pred op then acc +. c else acc)
+      0.0 op_counts
+  in
+  let pattern_counts = Model.mean_pattern_counts a dev in
+  let mem_txns =
+    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
+  in
+  [
+    ("work_items", float_of_int (Launch.n_work_items a.Analysis.launch));
+    ("wg_size", float_of_int (Launch.wg_size a.Analysis.launch));
+    ("loops", float_of_int a.Analysis.cdfg.Cdfg.n_loops);
+    ("uses_barrier", if a.Analysis.cdfg.Cdfg.uses_barrier then 1.0 else 0.0);
+    ("ops_per_wi", total);
+    ("mem_ops_per_wi", count Opcode.is_mem);
+    ("global_ops_per_wi", count Opcode.is_global_access);
+    ("local_ops_per_wi", count Opcode.is_local_access);
+    ("mem_txns_per_wi", mem_txns);
+  ]
+  @ List.map
+      (fun (p, c) -> ("txns_" ^ Dram.pattern_name p, c))
+      pattern_counts
+
+let log1p x = Stdlib.log1p (Float.max x 0.0)
+
+(* Derived regression inputs. Logs tame the orders-of-magnitude spread
+   of the raw counts; per-op ratios describe the kernel's memory
+   intensity independent of its size; the multichannel interactions
+   give the ridge a way to attribute the HBM/dual-DDR roofline
+   residual to the specific Table-1 pattern that causes it without
+   touching single-channel predictions. *)
+let expand ~device feats =
+  let get k = match List.assoc_opt k feats with Some v -> v | None -> 0.0 in
+  let ops = get "ops_per_wi" in
+  let per_op v = if ops > 0.0 then v /. ops else 0.0 in
+  let n_channels = device.Device.dram.Dram.n_channels in
+  let multi = if n_channels > 1 then 1.0 else 0.0 in
+  let logs = List.map (fun (k, v) -> ("log_" ^ k, log1p v)) feats in
+  let pattern_feats =
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > 5 && String.sub k 0 5 = "txns_" then
+          Some (String.sub k 5 (String.length k - 5), v)
+        else None)
+      feats
+  in
+  let derived =
+    [
+      ("uses_barrier", get "uses_barrier");
+      ("mem_frac", per_op (get "mem_ops_per_wi"));
+      ("glob_frac", per_op (get "global_ops_per_wi"));
+      ("txn_per_op", per_op (get "mem_txns_per_wi"));
+      ("dev_log_clock", log (float_of_int device.Device.clock_mhz));
+      ("dev_log_dsp", log (float_of_int device.Device.dsp_total));
+      ("dev_log_bram", log (float_of_int device.Device.bram_blocks));
+      ("dev_log_max_cu", log (float_of_int device.Device.max_cu));
+      ("dev_log_channels", log1p (float_of_int n_channels));
+      ("dev_multi", multi);
+      ("x_multi_log_txns", multi *. log1p (get "mem_txns_per_wi"));
+      ("x_multi_txn_per_op", multi *. per_op (get "mem_txns_per_wi"));
+      ("x_multi_mem_frac", multi *. per_op (get "mem_ops_per_wi"));
+      ("x_multi_log_wi", multi *. log1p (get "work_items"));
+    ]
+    @ List.concat_map
+        (fun (p, v) ->
+          [
+            ("frac_" ^ p, per_op v);
+            ("x_multi_frac_" ^ p, multi *. per_op v);
+            ("x_multi_log_" ^ p, multi *. log1p v);
+          ])
+        pattern_feats
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (logs @ derived)
+
+(* ------------------------------------------------------------------ *)
+(* Samples *)
+
+type sample = {
+  workload : string;
+  device : Device.t;
+  est_cycles : float;
+  sim_cycles : float;
+  features : (string * float) list;
+}
+
+let residual s = log (s.sim_cycles /. s.est_cycles)
+
+let usable s =
+  s.est_cycles > 0.0 && s.sim_cycles > 0.0
+  && Float.is_finite s.est_cycles
+  && Float.is_finite s.sim_cycles
+
+(* Canonical sample order: the permutation-invariance pin. Feature
+   lists are sorted per sample first so equal samples compare equal
+   regardless of recording order. *)
+let canonicalize samples =
+  samples |> List.filter usable
+  |> List.map (fun s ->
+         {
+           s with
+           features = List.sort (fun (a, _) (b, _) -> compare a b) s.features;
+         })
+  |> List.sort (fun a b ->
+         compare
+           ( a.workload,
+             a.device.Device.name,
+             a.est_cycles,
+             a.sim_cycles,
+             a.features )
+           ( b.workload,
+             b.device.Device.name,
+             b.est_cycles,
+             b.sim_cycles,
+             b.features ))
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra *)
+
+let cholesky a =
+  let n = Array.length a in
+  let l = Array.make_matrix n n 0.0 in
+  let exception Not_spd in
+  try
+    for i = 0 to n - 1 do
+      for j = 0 to i do
+        let s = ref a.(i).(j) in
+        for k = 0 to j - 1 do
+          s := !s -. (l.(i).(k) *. l.(j).(k))
+        done;
+        if i = j then
+          if !s > 0.0 then l.(i).(i) <- sqrt !s else raise Not_spd
+        else l.(i).(j) <- !s /. l.(j).(j)
+      done
+    done;
+    Ok l
+  with Not_spd -> Error "matrix is not positive definite"
+
+let solve_spd a b =
+  match cholesky a with
+  | Error _ as e -> e
+  | Ok l ->
+      let n = Array.length b in
+      let y = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let s = ref b.(i) in
+        for k = 0 to i - 1 do
+          s := !s -. (l.(i).(k) *. y.(k))
+        done;
+        y.(i) <- !s /. l.(i).(i)
+      done;
+      let x = Array.make n 0.0 in
+      for i = n - 1 downto 0 do
+        let s = ref y.(i) in
+        for k = i + 1 to n - 1 do
+          s := !s -. (l.(k).(i) *. x.(k))
+        done;
+        x.(i) <- !s /. l.(i).(i)
+      done;
+      Ok x
+
+type standardizer = { mu : float array; sigma : float array }
+
+let standardizer_of rows =
+  let n = Array.length rows in
+  let p = if n = 0 then 0 else Array.length rows.(0) in
+  let nf = float_of_int (max n 1) in
+  let mu =
+    Array.init p (fun j ->
+        Array.fold_left (fun acc r -> acc +. r.(j)) 0.0 rows /. nf)
+  in
+  let sigma =
+    Array.init p (fun j ->
+        let v =
+          Array.fold_left
+            (fun acc r ->
+              let d = r.(j) -. mu.(j) in
+              acc +. (d *. d))
+            0.0 rows
+          /. nf
+        in
+        let s = sqrt v in
+        if s > 0.0 then s else 1.0)
+  in
+  { mu; sigma }
+
+let standardize s x = Array.mapi (fun j v -> (v -. s.mu.(j)) /. s.sigma.(j)) x
+let unstandardize s z = Array.mapi (fun j v -> (v *. s.sigma.(j)) +. s.mu.(j)) z
+
+(* ------------------------------------------------------------------ *)
+(* Model and cross-validation types *)
+
+type model = {
+  feature_names : string array;
+  mu : float array;
+  sigma : float array;
+  weights : float array;
+  intercept : float;
+  lambda : float;
+  alpha : float;
+  q_lo : float;
+  q_hi : float;
+  nominal_coverage : float;
+  n_train : int;
+  kernels : string list;
+}
+
+type fold_report = {
+  kernel : string;
+  rows : int;
+  raw_mape : float;
+  cal_mape : float;
+}
+
+type cv = {
+  cv_lambda : float;
+  cv_alpha : float;
+  cv_coverage : float;
+  achieved_coverage : float;
+  cv_q_lo : float;
+  cv_q_hi : float;
+  n : int;
+  n_kernels : int;
+  mean_raw_mape : float;
+  mean_cal_mape : float;
+  folds : fold_report list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The fitting core: unscaled ridge over a fixed feature basis *)
+
+type core = {
+  c_std : standardizer;
+  c_w : float array;
+  c_ybar : float;
+}
+
+let feature_row names s =
+  let expanded = expand ~device:s.device s.features in
+  Array.map
+    (fun n ->
+      match List.assoc_opt n expanded with Some v -> v | None -> 0.0)
+    names
+
+let union_names samples =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (k, _) -> Hashtbl.replace tbl k ())
+        (expand ~device:s.device s.features))
+    samples;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+  |> List.sort compare |> Array.of_list
+
+(* Ridge on standardized features: (Z'Z/n + λI) w = Z'(y - ȳ)/n. *)
+let fit_core names ~lambda samples =
+  let x =
+    Array.of_list (List.map (fun s -> feature_row names s) samples)
+  in
+  let y = Array.of_list (List.map residual samples) in
+  let n = Array.length x in
+  let p = Array.length names in
+  let nf = float_of_int (max n 1) in
+  let std = standardizer_of x in
+  let z = Array.map (standardize std) x in
+  let ybar = Array.fold_left ( +. ) 0.0 y /. nf in
+  let a =
+    Array.init p (fun i ->
+        Array.init p (fun j ->
+            let s = ref 0.0 in
+            for r = 0 to n - 1 do
+              s := !s +. (z.(r).(i) *. z.(r).(j))
+            done;
+            (!s /. nf) +. if i = j then lambda else 0.0))
+  in
+  let b =
+    Array.init p (fun i ->
+        let s = ref 0.0 in
+        for r = 0 to n - 1 do
+          s := !s +. (z.(r).(i) *. (y.(r) -. ybar))
+        done;
+        !s /. nf)
+  in
+  match solve_spd a b with
+  | Error e -> Error e
+  | Ok w -> Ok { c_std = std; c_w = w; c_ybar = ybar }
+
+let core_predict core row =
+  let z = standardize core.c_std row in
+  let acc = ref core.c_ybar in
+  Array.iteri (fun j wj -> acc := !acc +. (wj *. z.(j))) core.c_w;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* LOKO cross-validation and hyperparameter selection *)
+
+let lambda_grid = [ 0.001; 0.003; 0.01; 0.03; 0.1; 0.3 ]
+let alpha_grid = [ 0.25; 0.5; 0.75; 1.0 ]
+let default_lambda = 0.3
+let default_alpha = 1.0
+let default_coverage = 0.9
+
+let distinct_kernels samples =
+  List.sort_uniq compare (List.map (fun s -> s.workload) samples)
+
+let loko_folds samples =
+  let samples = canonicalize samples in
+  List.map
+    (fun k ->
+      ( k,
+        List.filter (fun s -> s.workload <> k) samples,
+        List.filter (fun s -> s.workload = k) samples ))
+    (distinct_kernels samples)
+
+let cal_err ~alpha ~that s =
+  let cal = s.est_cycles *. exp (alpha *. that) in
+  100.0 *. Float.abs (cal -. s.sim_cycles) /. s.sim_cycles
+
+let raw_err s = 100.0 *. Float.abs (s.est_cycles -. s.sim_cycles) /. s.sim_cycles
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* Linear-interpolation percentile on a sorted array (the Bstats
+   convention, reimplemented locally: util must not depend on learn
+   nor learn on suite). *)
+let percentile_sorted v pct =
+  let n = Array.length v in
+  if n = 0 then 0.0
+  else
+    let pos = pct /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    v.(lo) +. ((v.(hi) -. v.(lo)) *. (pos -. float_of_int lo))
+
+(* Held-out predictions per λ: one fit per fold, shared by every α. *)
+let loko_predictions samples lambda =
+  let names = union_names samples in
+  List.concat_map
+    (fun (_, train, held) ->
+      match fit_core names ~lambda train with
+      | Error _ ->
+          (* unreachable for λ > 0 (A stays SPD); predict no correction *)
+          List.map (fun s -> (s, 0.0)) held
+      | Ok core ->
+          List.map (fun s -> (s, core_predict core (feature_row names s))) held)
+    (loko_folds samples)
+
+let select_hyper ?lambda ?alpha samples =
+  let lambdas = match lambda with Some l -> [ l ] | None -> lambda_grid in
+  let alphas = match alpha with Some a -> [ a ] | None -> alpha_grid in
+  let best = ref None in
+  List.iter
+    (fun lam ->
+      let preds = loko_predictions samples lam in
+      List.iter
+        (fun al ->
+          let m =
+            mean (List.map (fun (s, t) -> cal_err ~alpha:al ~that:t s) preds)
+          in
+          match !best with
+          | Some (bm, _, _, _) when bm <= m -> ()
+          | _ -> best := Some (m, lam, al, preds))
+        alphas)
+    lambdas;
+  match !best with
+  | Some (_, lam, al, preds) -> (lam, al, preds)
+  | None -> (default_lambda, default_alpha, [])
+
+let no_samples_diag () =
+  Diag.error Usage_error
+    "learn: no usable samples (need est_cycles > 0 and sim_cycles > 0)"
+
+let quantiles ~coverage errs =
+  let errs = List.sort compare errs |> Array.of_list in
+  let tail = (1.0 -. coverage) /. 2.0 *. 100.0 in
+  let q_lo = percentile_sorted errs tail in
+  let q_hi = percentile_sorted errs (100.0 -. tail) in
+  (errs, q_lo, q_hi)
+
+let crossval ?lambda ?alpha ?(coverage = default_coverage) samples =
+  let samples = canonicalize samples in
+  let kernels = distinct_kernels samples in
+  if samples = [] then Error (no_samples_diag ())
+  else if List.length kernels < 2 then
+    Error
+      (Diag.error Usage_error
+         "learn: cross-validation needs at least 2 distinct kernels, got %d"
+         (List.length kernels))
+  else
+    let lam, al, preds = select_hyper ?lambda ?alpha samples in
+    let errs, q_lo, q_hi =
+      quantiles ~coverage
+        (List.map (fun (s, t) -> residual s -. (al *. t)) preds)
+    in
+    let inside =
+      Array.fold_left
+        (fun acc e -> if q_lo <= e && e <= q_hi then acc + 1 else acc)
+        0 errs
+    in
+    let folds =
+      List.map
+        (fun k ->
+          let rows = List.filter (fun (s, _) -> s.workload = k) preds in
+          {
+            kernel = k;
+            rows = List.length rows;
+            raw_mape = mean (List.map (fun (s, _) -> raw_err s) rows);
+            cal_mape =
+              mean (List.map (fun (s, t) -> cal_err ~alpha:al ~that:t s) rows);
+          })
+        kernels
+    in
+    Ok
+      {
+        cv_lambda = lam;
+        cv_alpha = al;
+        cv_coverage = coverage;
+        achieved_coverage =
+          float_of_int inside /. float_of_int (max 1 (Array.length errs));
+        cv_q_lo = q_lo;
+        cv_q_hi = q_hi;
+        n = List.length samples;
+        n_kernels = List.length kernels;
+        mean_raw_mape = mean (List.map (fun (s, _) -> raw_err s) preds);
+        mean_cal_mape =
+          mean (List.map (fun (s, t) -> cal_err ~alpha:al ~that:t s) preds);
+        folds;
+      }
+
+let fit ?lambda ?alpha ?(coverage = default_coverage) samples =
+  let samples = canonicalize samples in
+  if samples = [] then Error (no_samples_diag ())
+  else
+    let kernels = distinct_kernels samples in
+    let multi_kernel = List.length kernels >= 2 in
+    let lam, al, preds =
+      if multi_kernel then select_hyper ?lambda ?alpha samples
+      else
+        ( Option.value lambda ~default:default_lambda,
+          Option.value alpha ~default:default_alpha,
+          [] )
+    in
+    let names = union_names samples in
+    match fit_core names ~lambda:lam samples with
+    | Error e -> Error (Diag.error Model_error "learn: fit failed: %s" e)
+    | Ok core ->
+        (* interval from held-out errors when LOKO ran, else training *)
+        let _, q_lo, q_hi =
+          quantiles ~coverage
+            (if preds <> [] then
+               List.map (fun (s, t) -> residual s -. (al *. t)) preds
+             else
+               List.map
+                 (fun s ->
+                   residual s
+                   -. (al *. core_predict core (feature_row names s)))
+                 samples)
+        in
+        Ok
+          {
+            feature_names = names;
+            mu = core.c_std.mu;
+            sigma = core.c_std.sigma;
+            weights = Array.map (fun w -> al *. w) core.c_w;
+            intercept = al *. core.c_ybar;
+            lambda = lam;
+            alpha = al;
+            q_lo;
+            q_hi;
+            nominal_coverage = coverage;
+            n_train = List.length samples;
+            kernels;
+          }
+
+(* ------------------------------------------------------------------ *)
+(* Prediction *)
+
+type calibrated = { raw : float; cycles : float; lo : float; hi : float }
+
+let predict_residual m ~device feats =
+  let expanded = expand ~device feats in
+  let acc = ref m.intercept in
+  Array.iteri
+    (fun j name ->
+      let v =
+        match List.assoc_opt name expanded with Some v -> v | None -> 0.0
+      in
+      acc := !acc +. (m.weights.(j) *. ((v -. m.mu.(j)) /. m.sigma.(j))))
+    m.feature_names;
+  !acc
+
+let calibrate m ~device ~est feats =
+  let that = predict_residual m ~device feats in
+  let cycles = est *. exp that in
+  let lo = est *. exp (that +. m.q_lo) in
+  let hi = est *. exp (that +. m.q_hi) in
+  { raw = est; cycles; lo = Float.min lo cycles; hi = Float.max hi cycles }
+
+let calibrated_estimate m dev a cfg =
+  match Model.estimate_result dev a cfg with
+  | Error d -> Error d
+  | Ok bd -> Ok (calibrate m ~device:dev ~est:bd.Model.cycles (features a dev))
+
+(* ------------------------------------------------------------------ *)
+(* The artifact codec *)
+
+let model_to_json m =
+  Json.Obj
+    [
+      ("kind", Json.Str kind);
+      ("schema_version", Json.int schema_version);
+      ("lambda", Json.Num m.lambda);
+      ("alpha", Json.Num m.alpha);
+      ("coverage", Json.Num m.nominal_coverage);
+      ("q_lo", Json.Num m.q_lo);
+      ("q_hi", Json.Num m.q_hi);
+      ("intercept", Json.Num m.intercept);
+      ("n_train", Json.int m.n_train);
+      ("kernels", Json.Arr (List.map (fun k -> Json.Str k) m.kernels));
+      ( "features",
+        Json.Arr
+          (Array.to_list
+             (Array.mapi
+                (fun j name ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("mu", Json.Num m.mu.(j));
+                      ("sigma", Json.Num m.sigma.(j));
+                      ("weight", Json.Num m.weights.(j));
+                    ])
+                m.feature_names)) );
+    ]
+
+let model_to_string m = Json.to_string (model_to_json m) ^ "\n"
+
+let decode_error fmt = Printf.ksprintf (fun s -> Diag.make Usage_error s) fmt
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (decode_error "model artifact: bad or missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let model_of_json j =
+  let* k = field "kind" Json.to_str j in
+  if k <> kind then
+    Error (decode_error "model artifact: foreign kind %S (want %S)" k kind)
+  else
+    let* v = field "schema_version" Json.to_int j in
+    if v <> schema_version then
+      Error
+        (decode_error "model artifact: unknown schema_version %d (want %d)" v
+           schema_version)
+    else
+      let* lambda = field "lambda" Json.to_float j in
+      let* alpha = field "alpha" Json.to_float j in
+      let* coverage = field "coverage" Json.to_float j in
+      let* q_lo = field "q_lo" Json.to_float j in
+      let* q_hi = field "q_hi" Json.to_float j in
+      let* intercept = field "intercept" Json.to_float j in
+      let* n_train = field "n_train" Json.to_int j in
+      let* kernel_js = field "kernels" Json.to_list j in
+      let* kernels =
+        List.fold_right
+          (fun kj acc ->
+            let* acc = acc in
+            match Json.to_str kj with
+            | Some s -> Ok (s :: acc)
+            | None -> Error (decode_error "model artifact: non-string kernel"))
+          kernel_js (Ok [])
+      in
+      let* feat_js = field "features" Json.to_list j in
+      let* feats =
+        List.fold_right
+          (fun fj acc ->
+            let* acc = acc in
+            let* name = field "name" Json.to_str fj in
+            let* mu = field "mu" Json.to_float fj in
+            let* sigma = field "sigma" Json.to_float fj in
+            let* weight = field "weight" Json.to_float fj in
+            Ok ((name, mu, sigma, weight) :: acc))
+          feat_js (Ok [])
+      in
+      if List.for_all (fun (_, _, s, _) -> s > 0.0) feats then
+        Ok
+          {
+            feature_names =
+              Array.of_list (List.map (fun (n, _, _, _) -> n) feats);
+            mu = Array.of_list (List.map (fun (_, m, _, _) -> m) feats);
+            sigma = Array.of_list (List.map (fun (_, _, s, _) -> s) feats);
+            weights = Array.of_list (List.map (fun (_, _, _, w) -> w) feats);
+            intercept;
+            lambda;
+            alpha;
+            q_lo;
+            q_hi;
+            nominal_coverage = coverage;
+            n_train;
+            kernels;
+          }
+      else Error (decode_error "model artifact: non-positive feature sigma")
+
+let model_of_string s =
+  match Json.of_string (String.trim s) with
+  | Error e -> Error (decode_error "model artifact: %s" e)
+  | Ok j -> model_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Crossval report codec (write-only: consumed by humans and cram) *)
+
+let cv_to_json c =
+  Json.Obj
+    [
+      ("kind", Json.Str "flexcl-learn-crossval");
+      ("schema_version", Json.int schema_version);
+      ("lambda", Json.Num c.cv_lambda);
+      ("alpha", Json.Num c.cv_alpha);
+      ("coverage", Json.Num c.cv_coverage);
+      ("achieved_coverage", Json.Num c.achieved_coverage);
+      ("q_lo", Json.Num c.cv_q_lo);
+      ("q_hi", Json.Num c.cv_q_hi);
+      ("entries", Json.int c.n);
+      ("kernels", Json.int c.n_kernels);
+      ("mean_raw_mape", Json.Num c.mean_raw_mape);
+      ("mean_cal_mape", Json.Num c.mean_cal_mape);
+      ( "folds",
+        Json.Arr
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str f.kernel);
+                   ("rows", Json.int f.rows);
+                   ("raw_mape", Json.Num f.raw_mape);
+                   ("cal_mape", Json.Num f.cal_mape);
+                 ])
+             c.folds) );
+    ]
+
+let cv_to_string c = Json.to_string (cv_to_json c) ^ "\n"

@@ -2,8 +2,8 @@ module Json = Flexcl_util.Json
 
 type t = { server : Server.t }
 
-let create ?num_domains ?cache_capacity () =
-  { server = Server.create ?num_domains ?cache_capacity () }
+let create ?num_domains ?cache_capacity ?model () =
+  { server = Server.create ?num_domains ?cache_capacity ?model () }
 
 let server t = t.server
 let request t v = Server.handle_value t.server v

@@ -10,11 +10,17 @@ module Json = Flexcl_util.Json
 
 type t
 
-val create : ?num_domains:int -> ?cache_capacity:int -> unit -> t
+val create :
+  ?num_domains:int ->
+  ?cache_capacity:int ->
+  ?model:Flexcl_learn.Learn.model ->
+  unit ->
+  t
 (** A fresh server (own caches and metrics). Requests through the
     client run on the calling domain; [num_domains] only shapes the
     default batch bound if the underlying server is later used with
-    {!Server.serve_fd}. *)
+    {!Server.serve_fd}. [model] serves ["calibrated":true] predictions,
+    exactly as [flexcl serve --model] would. *)
 
 val server : t -> Server.t
 

@@ -15,6 +15,7 @@ module Heuristic = Flexcl_dse.Heuristic
 module W = Flexcl_workloads.Workload
 module Pipelines = Flexcl_workloads.Pipelines
 module Graph = Flexcl_graph.Graph
+module Learn = Flexcl_learn.Learn
 open Flexcl_opencl
 
 let default_cache_capacity = 256
@@ -41,6 +42,9 @@ type t = {
   drain_timeout_ms : int;
   restart_budget : int;
   chaos : bool;
+  (* learned-residual model loaded at startup (--model); calibrated
+     predictions are refused with E-NOMODEL when absent *)
+  model : Learn.model option;
   parse_cache : (string, (Ast.kernel, Diag.t list) result) Cache.t;
   analysis_cache : (string, Analysis.t) Cache.t;
   predict_cache : (string, Json.t) Cache.t;
@@ -67,7 +71,8 @@ let create ?num_domains ?(cache_capacity = default_cache_capacity)
     ?(max_inflight = default_max_inflight)
     ?(max_line_bytes = default_max_line_bytes)
     ?(drain_timeout_ms = default_drain_timeout_ms)
-    ?(restart_budget = Pool.default_restart_budget) ?(chaos = false) () =
+    ?(restart_budget = Pool.default_restart_budget) ?(chaos = false) ?model ()
+    =
   let num_domains =
     match num_domains with
     | None -> Pool.default_num_domains ()
@@ -100,6 +105,7 @@ let create ?num_domains ?(cache_capacity = default_cache_capacity)
     drain_timeout_ms;
     restart_budget;
     chaos;
+    model;
     parse_cache = Cache.create ~capacity:cache_capacity ();
     analysis_cache = Cache.create ~capacity:cache_capacity ();
     predict_cache = Cache.create ~capacity:cache_capacity ();
@@ -464,17 +470,55 @@ let handle_predict t body =
   let* r = resolve_placed t body ~dev in
   let* cfg = config_of body ~wg:(L.wg_size r.launch) in
   let* want_trace = one (P.field_bool body "trace" ~default:false) in
+  let* want_cal = one (P.field_bool body "calibrated" ~default:false) in
+  let* model =
+    match (want_cal, t.model) with
+    | false, _ -> Ok None
+    | true, Some m -> Ok (Some m)
+    | true, None ->
+        Error
+          [
+            Diag.error Diag.No_model
+              "\"calibrated\":true but no learned-residual model is loaded \
+               (start the server with --model FILE)";
+          ]
+  in
   if want_trace then Metrics.incr t.metrics "predict.trace";
-  (* traced and untraced predictions are distinct cached artifacts: a
-     plain predict must never pay for (or return) a trace *)
+  if want_cal then Metrics.incr t.metrics "predict.calibrated";
+  (* traced / calibrated predictions are distinct cached artifacts: a
+     plain predict must never pay for (or return) either decoration *)
   let key =
-    predict_key ~resolved:r ~dev ~cfg ^ if want_trace then "#trace" else ""
+    predict_key ~resolved:r ~dev ~cfg
+    ^ (if want_trace then "#trace" else "")
+    ^ if want_cal then "#cal" else ""
   in
   with_single_flight t ("predict#" ^ key) (fun () ->
       match Cache.find t.predict_cache key with
       | Some result -> Ok (Some true, result)
       | None ->
           let* _, _, b, tr = estimate_for ~want_trace t body ~resolved:r in
+          let* cal_fields =
+            match model with
+            | None -> Ok []
+            | Some m ->
+                (* the analysis is already warm from estimate_for *)
+                let* fuel = fuel_of body in
+                let* a = analysis_cached t r ~max_steps:fuel in
+                let c =
+                  Learn.calibrate m ~device:dev ~est:b.Model.cycles
+                    (Learn.features a dev)
+                in
+                Ok
+                  [
+                    ("cycles_calibrated", Json.Num c.Learn.cycles);
+                    ( "ci",
+                      Json.Obj
+                        [
+                          ("lo", Json.Num c.Learn.lo);
+                          ("hi", Json.Num c.Learn.hi);
+                        ] );
+                  ]
+          in
           let result =
             Json.Obj
               ([
@@ -485,6 +529,7 @@ let handle_predict t body =
                  ("us", Json.Num (b.Model.seconds *. 1e6));
                  ("bottleneck", Json.Str (Model.bottleneck b));
                ]
+              @ cal_fields
               @
               match tr with
               | Some tr -> [ ("trace", Flexcl_util.Trace.to_json tr) ]

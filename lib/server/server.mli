@@ -63,6 +63,7 @@ val create :
   ?drain_timeout_ms:int ->
   ?restart_budget:int ->
   ?chaos:bool ->
+  ?model:Flexcl_learn.Learn.model ->
   unit ->
   t
 (** [num_domains] sizes the request pool ([0] = handle requests on the
@@ -72,8 +73,12 @@ val create :
     {!serve_unix_socket} waits for connections after shutdown before
     severing them, [restart_budget] the worker-respawn allowance
     (default {!Flexcl_util.Pool.default_restart_budget}), and [chaos]
-    enables the fault-injection ["panic"] kind (tests only). Raises
-    [Invalid_argument] on out-of-range arguments. *)
+    enables the fault-injection ["panic"] kind (tests only). [model] is
+    the learned-residual model serving ["calibrated":true] predictions
+    (the CLI loads it from [--model FILE]); without it such requests
+    answer [E-NOMODEL]. Calibrated and raw predictions are distinct
+    cached artifacts, so warm hits stay byte-identical either way.
+    Raises [Invalid_argument] on out-of-range arguments. *)
 
 val num_domains : t -> int
 

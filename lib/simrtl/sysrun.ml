@@ -66,11 +66,12 @@ let realized_block_latencies (dev : Device.t) (analysis : Analysis.t)
 (* The board executes every work-group; FlexCL's model profiles only a
    couple. The simulator therefore re-profiles with a deeper sample, so
    data-dependent kernels diverge from the model the way real runs do. *)
-let deep_profile_cache : (string * int, Analysis.t) Hashtbl.t = Hashtbl.create 64
+let deep_profile_cache : (string * string * int, Analysis.t) Hashtbl.t =
+  Hashtbl.create 64
 
 (* full-NDRange traces are large; keep only the handful of entries a
    design-space sweep of one kernel needs *)
-let deep_cache_order : (string * int) Queue.t = Queue.create ()
+let deep_cache_order : (string * string * int) Queue.t = Queue.create ()
 let deep_cache_limit = 6
 
 (* The sweep engine may drive the simulator oracle from several domains:
@@ -82,7 +83,11 @@ let deep_cache_mutex = Mutex.create ()
 
 let deep_analysis (analysis : Analysis.t) =
   let key =
+    (* the fingerprint covers the NDRange, argument recipe and buffer
+       placement — without it, the same kernel re-profiled for a device
+       with a different channel placement would hit a stale entry *)
     ( analysis.Analysis.cdfg.Cdfg.kernel_name,
+      Launch.fingerprint analysis.Analysis.launch,
       Launch.wg_size analysis.Analysis.launch )
   in
   Mutex.lock deep_cache_mutex;

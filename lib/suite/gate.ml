@@ -10,7 +10,14 @@
    only fires when the normalized mean moves beyond what the recorded
    noise explains, with a floor so routine jitter never gates. *)
 
-type reason = Accuracy | Suite_accuracy | Latency | Identity | Missing
+type reason =
+  | Accuracy
+  | Suite_accuracy
+  | Latency
+  | Identity
+  | Missing
+  | Calibration
+  | Calibration_schema
 
 let reason_name = function
   | Accuracy -> "accuracy"
@@ -18,6 +25,8 @@ let reason_name = function
   | Latency -> "latency"
   | Identity -> "engine-identity"
   | Missing -> "missing-entry"
+  | Calibration -> "calibration"
+  | Calibration_schema -> "calibration-schema"
 
 type offense = {
   id : string;       (* entry id or suite name *)
@@ -51,11 +60,64 @@ let rel_hw (t : Report.timing) =
   Bstats.rel_half_width ~mean:t.Report.mean_us
     { Bstats.lo = t.Report.ci_lo_us; hi = t.Report.ci_hi_us }
 
-let check_entry th ~(base : Report.entry) ~(cur : Report.entry)
+let check_entry th ~comparable ~(base : Report.entry) ~(cur : Report.entry)
     ~base_calib ~cur_calib =
   let id = Report.entry_id cur in
   let offenses = ref [] in
   let push o = offenses := o :: !offenses in
+  (* calibrated-error column: only same-schema numbers are comparable;
+     a model-schema bump across the diff always gates (coverage-shrink
+     semantics — refresh the baseline deliberately, never silently) *)
+  (match (base.Report.cal_err_pct, cur.Report.cal_err_pct) with
+  | Some bc, Some cc ->
+      let bs = Option.value base.Report.learn_schema ~default:(-1) in
+      let cs = Option.value cur.Report.learn_schema ~default:(-1) in
+      if bs <> cs then
+        push
+          {
+            id;
+            reason = Calibration_schema;
+            baseline = float_of_int bs;
+            current = float_of_int cs;
+            limit = float_of_int bs;
+            detail =
+              Printf.sprintf
+                "calibrated columns use learn schema %d vs baseline %d; \
+                 refresh the baseline instead of comparing across schemas"
+                cs bs;
+          }
+      else
+        let cal_limit = bc +. th.accuracy_tol_pct in
+        if cc > cal_limit then
+          push
+            {
+              id;
+              reason = Calibration;
+              baseline = bc;
+              current = cc;
+              limit = cal_limit;
+              detail =
+                Printf.sprintf
+                  "calibrated error vs simrtl rose %.2f%% -> %.2f%% \
+                   (limit %.2f%%)"
+                  bc cc cal_limit;
+            }
+  | Some bc, None ->
+      (* the baseline carried a calibrated column and this run dropped
+         it — coverage shrank; only comparable runs gate on it *)
+      if comparable then
+        push
+          {
+            id;
+            reason = Calibration_schema;
+            baseline = bc;
+            current = 0.0;
+            limit = bc;
+            detail =
+              "calibrated column present in baseline but absent from this \
+               run (was the suite run without --model?)";
+          }
+  | None, _ -> ());
   if not cur.Report.engines_identical then
     push
       {
@@ -116,13 +178,14 @@ let gate ?(thresholds = default_thresholds) ~(baseline : Report.t)
   let cur_by_id =
     List.map (fun e -> (Report.entry_id e, e)) current.Report.rows
   in
+  let comparable = baseline.Report.smoke = current.Report.smoke in
   let entry_offenses =
     List.concat_map
       (fun (base : Report.entry) ->
         let id = Report.entry_id base in
         match List.assoc_opt id cur_by_id with
         | Some cur ->
-            check_entry thresholds ~base ~cur
+            check_entry thresholds ~comparable ~base ~cur
               ~base_calib:baseline.Report.calibration_us
               ~cur_calib:current.Report.calibration_us
         | None ->
@@ -174,7 +237,43 @@ let gate ?(thresholds = default_thresholds) ~(baseline : Report.t)
             else None)
       baseline.Report.summaries
   in
-  entry_offenses @ suite_offenses
+  (* the point of calibration: over this run's calibrated rows, the
+     calibrated mean error must strictly beat the raw analytical mean.
+     A model that stops paying for itself gates immediately. *)
+  let calibration_offenses =
+    let cal_rows =
+      List.filter
+        (fun (e : Report.entry) -> Option.is_some e.Report.cal_err_pct)
+        current.Report.rows
+    in
+    if cal_rows = [] then []
+    else
+      let mean f =
+        List.fold_left (fun acc e -> acc +. f e) 0.0 cal_rows
+        /. float_of_int (List.length cal_rows)
+      in
+      let raw = mean (fun e -> e.Report.err_pct) in
+      let cal =
+        mean (fun e -> Option.value e.Report.cal_err_pct ~default:0.0)
+      in
+      if cal < raw then []
+      else
+        [
+          {
+            id = "suite";
+            reason = Calibration;
+            baseline = raw;
+            current = cal;
+            limit = raw;
+            detail =
+              Printf.sprintf
+                "calibrated mean error %.2f%% does not beat the raw \
+                 analytical mean %.2f%% over the %d calibrated rows"
+                cal raw (List.length cal_rows);
+          };
+        ]
+  in
+  entry_offenses @ suite_offenses @ calibration_offenses
 
 let render offenses =
   String.concat "\n"

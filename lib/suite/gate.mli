@@ -9,7 +9,20 @@
     passes; gating a report against itself always passes (pinned by
     [test/test_suite.ml]). *)
 
-type reason = Accuracy | Suite_accuracy | Latency | Identity | Missing
+type reason =
+  | Accuracy
+  | Suite_accuracy
+  | Latency
+  | Identity
+  | Missing
+  | Calibration
+      (** a calibrated-error column regressed past the tolerance, or the
+          run-wide calibrated mean stopped beating the raw mean. *)
+  | Calibration_schema
+      (** calibrated columns are not comparable: the learn-model schema
+          version changed across the diff, or a column the baseline
+          carried disappeared (coverage shrink — always gates between
+          comparable runs). *)
 
 val reason_name : reason -> string
 
@@ -49,7 +62,12 @@ val gate :
     per-suite mean accuracy, engine-identity violations, normalized
     warm-latency regressions beyond the noise band, and — when both
     reports cover the same matrix kind ([smoke] flags equal) — baseline
-    entries missing from the current run. *)
+    entries missing from the current run. Calibrated columns gate the
+    same way as raw accuracy (same tolerance), but only within one
+    learn-model schema version; a schema mismatch or a dropped column
+    between comparable runs always gates. When the current run carries
+    any calibrated rows, their calibrated mean error must additionally
+    beat their raw analytical mean strictly. *)
 
 val render : offense list -> string
 (** One ["REGRESSION [kind] id: detail"] line per offense. *)

@@ -27,6 +27,10 @@ type entry = {
   est_cycles : float;    (* sequential-engine model estimate *)
   sim_cycles : float;    (* simrtl ground truth *)
   err_pct : float;       (* |est - sim| / sim * 100 *)
+  cal_err_pct : float option;
+      (* |calibrated - sim| / sim * 100, when a learn model was given *)
+  learn_schema : int option;
+      (* Learn.schema_version of the model that produced cal_err_pct *)
   engines_identical : bool;
       (* sequential / parallel / specialized engines bitwise equal *)
   warm : timing;         (* warm per-point estimate latency *)
@@ -109,19 +113,29 @@ let timing_to_json (t : timing) =
 
 let entry_to_json (e : entry) =
   Json.Obj
-    [
-      ("suite", Json.Str e.suite);
-      ("workload", Json.Str e.workload);
-      ("device", Json.Str e.device);
-      ("config", Json.Str e.config);
-      ("est_cycles", Json.Num e.est_cycles);
-      ("sim_cycles", Json.Num e.sim_cycles);
-      ("err_pct", Json.Num e.err_pct);
+    ([
+       ("suite", Json.Str e.suite);
+       ("workload", Json.Str e.workload);
+       ("device", Json.Str e.device);
+       ("config", Json.Str e.config);
+       ("est_cycles", Json.Num e.est_cycles);
+       ("sim_cycles", Json.Num e.sim_cycles);
+       ("err_pct", Json.Num e.err_pct);
+     ]
+    (* calibrated columns appear only when a learn model was supplied,
+       so pre-calibration reports keep their exact bytes *)
+    @ (match e.cal_err_pct with
+      | Some c -> [ ("cal_err_pct", Json.Num c) ]
+      | None -> [])
+    @ (match e.learn_schema with
+      | Some v -> [ ("learn_schema", Json.int v) ]
+      | None -> [])
+    @ [
       ("engines_identical", Json.Bool e.engines_identical);
       ("warm", timing_to_json e.warm);
       ( "features",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) e.features) );
-    ]
+    ])
 
 let summary_to_json (s : suite_summary) =
   Json.Obj
@@ -166,6 +180,14 @@ let field name conv j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
 
+let opt_field name conv j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok (Some v)
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
 let timing_of_json j =
   let* mean_us = field "mean_us" Json.to_float j in
   let* stddev_us = field "stddev_us" Json.to_float j in
@@ -195,6 +217,10 @@ let entry_of_json j =
   let* est_cycles = field "est_cycles" Json.to_float j in
   let* sim_cycles = field "sim_cycles" Json.to_float j in
   let* err_pct = field "err_pct" Json.to_float j in
+  (* optional calibrated columns: absent in pre-calibration reports and
+     in runs without a model, but ill-typed values still fail loudly *)
+  let* cal_err_pct = opt_field "cal_err_pct" Json.to_float j in
+  let* learn_schema = opt_field "learn_schema" Json.to_int j in
   let* engines_identical = field "engines_identical" Json.to_bool j in
   let* warm = field "warm" (fun x -> Some x) j in
   let* warm = timing_of_json warm in
@@ -209,6 +235,8 @@ let entry_of_json j =
       est_cycles;
       sim_cycles;
       err_pct;
+      cal_err_pct;
+      learn_schema;
       engines_identical;
       warm;
       features;

@@ -26,6 +26,14 @@ type entry = {
   est_cycles : float;  (** analytical estimate (sequential engine). *)
   sim_cycles : float;  (** simrtl (System-Run simulator) ground truth. *)
   err_pct : float;     (** [100 |est - sim| / sim]. *)
+  cal_err_pct : float option;
+      (** [100 |calibrated - sim| / sim] when the run was given a
+          learned-residual model ([suite --model]); absent otherwise so
+          pre-calibration reports keep their exact bytes. *)
+  learn_schema : int option;
+      (** [Flexcl_learn.Learn.schema_version] of the model that produced
+          [cal_err_pct]; the gate refuses to compare calibrated columns
+          across schema versions. *)
   engines_identical : bool;
       (** sequential, parallel and specialized engines agreed bitwise. *)
   warm : timing;       (** warm per-point estimate latency. *)

@@ -29,10 +29,9 @@ module Explore = Flexcl_dse.Explore
 module Parsweep = Flexcl_dse.Parsweep
 module Sysrun = Flexcl_simrtl.Sysrun
 module Launch = Flexcl_ir.Launch
-module Cdfg = Flexcl_ir.Cdfg
-module Opcode = Flexcl_ir.Opcode
 module Dram = Flexcl_dram.Dram
 module Prng = Flexcl_util.Prng
+module Learn = Flexcl_learn.Learn
 
 type opts = {
   repeat : int;   (* timed samples per entry *)
@@ -72,37 +71,11 @@ let calibrate () =
   Float.min (once ()) (Float.min (once ()) (once ()))
 
 (* ------------------------------------------------------------------ *)
-(* Feature extraction (Johnston et al.): architecture-independent
-   workload descriptors recorded per entry so this harness later feeds
-   the learned-residual predictor (the ROADMAP's learned-residual item). *)
+(* Feature extraction (Johnston et al.): the architecture-independent
+   workload descriptors recorded per entry live in Flexcl_learn so the
+   learned-residual predictor and the runner can never drift apart. *)
 
-let features (a : Analysis.t) dev =
-  let trip li = int_of_float (Float.round (Analysis.trip a li)) in
-  let op_counts = Cdfg.weighted_op_counts ~trip a.Analysis.cdfg.Cdfg.body in
-  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 op_counts in
-  let count pred =
-    List.fold_left
-      (fun acc (op, c) -> if pred op then acc +. c else acc)
-      0.0 op_counts
-  in
-  let pattern_counts = Model.mean_pattern_counts a dev in
-  let mem_txns =
-    List.fold_left (fun acc (_, c) -> acc +. c) 0.0 pattern_counts
-  in
-  [
-    ("work_items", float_of_int (Launch.n_work_items a.Analysis.launch));
-    ("wg_size", float_of_int (Launch.wg_size a.Analysis.launch));
-    ("loops", float_of_int a.Analysis.cdfg.Cdfg.n_loops);
-    ("uses_barrier", if a.Analysis.cdfg.Cdfg.uses_barrier then 1.0 else 0.0);
-    ("ops_per_wi", total);
-    ("mem_ops_per_wi", count Opcode.is_mem);
-    ("global_ops_per_wi", count Opcode.is_global_access);
-    ("local_ops_per_wi", count Opcode.is_local_access);
-    ("mem_txns_per_wi", mem_txns);
-  ]
-  @ List.map
-      (fun (p, c) -> ("txns_" ^ Dram.pattern_name p, c))
-      pattern_counts
+let features = Learn.features
 
 (* ------------------------------------------------------------------ *)
 
@@ -239,6 +212,8 @@ let measure_single ~opts ~memo ~entry_index (e : Sdef.entry) (w : W.t) =
           est_cycles = seq;
           sim_cycles = sim;
           err_pct;
+          cal_err_pct = None;
+          learn_schema = None;
           engines_identical;
           warm;
           features = features a dev;
@@ -302,6 +277,8 @@ let measure_pipeline ~opts ~memo ~entry_index (e : Sdef.entry)
         est_cycles = seq;
         sim_cycles = sim;
         err_pct;
+        cal_err_pct = None;
+        learn_schema = None;
         engines_identical;
         warm;
         features =
@@ -319,7 +296,52 @@ let measure_entry ~opts ~memo ~entry_index (e : Sdef.entry) =
   | Sdef.Single w -> measure_single ~opts ~memo ~entry_index e w
   | Sdef.Pipeline p -> measure_pipeline ~opts ~memo ~entry_index e p
 
-let run ?(progress = fun (_ : string) -> ()) opts entries =
+(* ------------------------------------------------------------------ *)
+(* Learned-residual bridge: report rows carry the device only by name,
+   so both directions (annotating a run with calibrated columns, and
+   turning a report back into training samples) resolve it through the
+   suite's device registry. Rows naming an unknown device are left
+   untouched / skipped rather than failing the whole report. *)
+
+let device_of_name name = List.assoc_opt name Sdef.devices
+
+let calibrate_row (m : Learn.model) (e : Report.entry) =
+  match device_of_name e.Report.device with
+  | None -> e
+  | Some device ->
+      let c =
+        Learn.calibrate m ~device ~est:e.Report.est_cycles e.Report.features
+      in
+      let cal_err_pct =
+        if e.Report.sim_cycles <= 0.0 then 0.0
+        else
+          100.0
+          *. Float.abs (c.Learn.cycles -. e.Report.sim_cycles)
+          /. e.Report.sim_cycles
+      in
+      {
+        e with
+        Report.cal_err_pct = Some cal_err_pct;
+        learn_schema = Some Learn.schema_version;
+      }
+
+let samples_of_report (r : Report.t) =
+  List.filter_map
+    (fun (e : Report.entry) ->
+      match device_of_name e.Report.device with
+      | None -> None
+      | Some device ->
+          Some
+            {
+              Learn.workload = e.Report.workload;
+              device;
+              est_cycles = e.Report.est_cycles;
+              sim_cycles = e.Report.sim_cycles;
+              features = e.Report.features;
+            })
+    r.Report.rows
+
+let run ?model ?(progress = fun (_ : string) -> ()) opts entries =
   let memo = memo_create () in
   let calibration_us = calibrate () in
   let rows =
@@ -339,6 +361,11 @@ let run ?(progress = fun (_ : string) -> ()) opts entries =
                     (Sdef.id e)));
            row)
     |> List.filter_map Fun.id
+  in
+  let rows =
+    match model with
+    | None -> rows
+    | Some m -> List.map (calibrate_row m) rows
   in
   Report.normalize
     {

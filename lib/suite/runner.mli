@@ -28,10 +28,28 @@ val calibrate : unit -> float
 
 val features :
   Flexcl_core.Analysis.t -> Flexcl_device.Device.t -> (string * float) list
-(** The architecture-independent feature vector recorded per entry. *)
+(** The architecture-independent feature vector recorded per entry
+    (alias of [Flexcl_learn.Learn.features], so the runner and the
+    learned-residual predictor can never drift apart). *)
+
+val calibrate_row :
+  Flexcl_learn.Learn.model -> Report.entry -> Report.entry
+(** Annotate one report row with [cal_err_pct] (and the model's
+    [learn_schema] stamp) from the learned-residual prediction; rows
+    naming a device unknown to {!Sdef.devices} are returned untouched. *)
+
+val samples_of_report : Report.t -> Flexcl_learn.Learn.sample list
+(** Turn a report's rows back into training samples for
+    [Flexcl_learn.Learn.fit]/[crossval]; rows naming an unknown device
+    are skipped. *)
 
 val run :
-  ?progress:(string -> unit) -> opts -> Sdef.entry list -> Report.t
+  ?model:Flexcl_learn.Learn.model ->
+  ?progress:(string -> unit) ->
+  opts ->
+  Sdef.entry list ->
+  Report.t
 (** Measure every entry (entries with no feasible candidate design
     point are skipped and reported through [progress]) and assemble the
-    normalized report. *)
+    normalized report. When [model] is given, every row additionally
+    carries the calibrated-error column ({!calibrate_row}). *)

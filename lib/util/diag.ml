@@ -23,6 +23,7 @@ type code =
   | Deadline_expired
   | Overloaded
   | Shutting_down
+  | No_model
   | Internal_error
 
 type span = { line : int; col : int }
@@ -58,6 +59,7 @@ let code_name = function
   | Deadline_expired -> "E-DEADLINE"
   | Overloaded -> "E-OVERLOAD"
   | Shutting_down -> "E-SHUTDOWN"
+  | No_model -> "E-NOMODEL"
   | Internal_error -> "E-INTERNAL"
 
 let severity_name = function

@@ -41,6 +41,8 @@ type code =
   | Deadline_expired         (** request's wall-clock budget ran out. *)
   | Overloaded               (** shed at admission: too many in flight. *)
   | Shutting_down            (** rejected because the server is draining. *)
+  | No_model                 (** calibrated prediction requested but no
+                                 learned-residual model is loaded. *)
   | Internal_error           (** invariant violation — a bug, not an input. *)
 
 type span = { line : int; col : int }

@@ -157,7 +157,6 @@ errors regressions:
   [1]
   $ grep 'REGRESSION \[accuracy\]' gate.txt
   REGRESSION [accuracy] pipeline/stream/produce-filter-consume@xc7vx690t: model error vs simrtl rose 0.00% -> 18.32% (limit 0.50%)
-  REGRESSION [accuracy] polybench/mvt/mvt@xcu280: model error vs simrtl rose 0.00% -> 0.72% (limit 0.50%)
   REGRESSION [accuracy] rodinia/backprop/layer@xc7vx690t: model error vs simrtl rose 0.00% -> 8.84% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xc7vx690t: model error vs simrtl rose 0.00% -> 3.96% (limit 0.50%)
   REGRESSION [accuracy] rodinia/hotspot/hotspot@xcku060: model error vs simrtl rose 0.00% -> 5.38% (limit 0.50%)
@@ -175,6 +174,84 @@ A missing or corrupt baseline is an input error (exit 1):
   error[E-PARSE]
   $ flexcl suite --smoke -o /dev/null --compare corrupt.json -q > /dev/null 2>&1
   [1]
+
+Learned-residual calibration (DESIGN.md §16): `fit` trains a ridge
+model on a suite report's (estimate, simrtl) pairs, `crossval` reports
+leave-one-kernel-out errors, and `predict --calibrated` serves the
+corrected point estimate with its empirical interval. Artifacts are
+byte-deterministic: refitting the committed full-matrix fixture must
+reproduce the committed model exactly.
+
+  $ flexcl fit --from goldens/BENCH_suite.full.json -o m1.json
+  fit: 248 samples over 62 kernels (lambda 0.3, alpha 0.25)
+  wrote m1.json
+  $ flexcl fit --from goldens/BENCH_suite.full.json -o m2.json > /dev/null
+  $ cmp m1.json m2.json
+  $ cmp m1.json goldens/model.golden.json
+
+crossval --gate passes on the full matrix (held-out calibration beats
+the raw analytical model) and emits the canonical report:
+
+  $ flexcl crossval --from goldens/BENCH_suite.full.json --gate > cv.json
+  $ grep -o '"kernels":62' cv.json
+  "kernels":62
+  $ grep -o '"mean_raw_mape":6.19[0-9]*' cv.json
+  "mean_raw_mape":6.1970684149808895
+  $ grep -o '"mean_cal_mape":5.76[0-9]*' cv.json
+  "mean_cal_mape":5.768117090872065
+
+but fails (exit 1) on a corpus too small to generalize from, naming
+both means:
+
+  $ flexcl crossval --from base.json --gate > /dev/null
+  crossval gate: FAIL (held-out calibrated mean 13.433% does not beat raw 4.693%)
+  [1]
+
+predict --calibrated appends the corrected estimate and its 90%
+empirical interval to the uncalibrated prediction:
+
+  $ flexcl predict -w hotspot/hotspot --pe 2 --cu 2 --pipeline --calibrated goldens/model.golden.json
+  kernel       : hotspot/hotspot on xc7vx690t
+  design point : wg64 pe2 cu2 pipe pipeline
+  prediction   : 2544 cycles = 12.72 us
+  calibrated   : 2557 cycles  [2314, 3096] (90% empirical interval)
+
+A suite run with --model records calibrated-error columns, self-gates
+cleanly, and a rerun that silently drops the model is a gate failure
+(coverage shrank), not a pass:
+
+  $ flexcl suite --smoke -q -o calbase.json --model m1.json > calrun.txt 2>&1
+  $ grep -o 'calibrated mean err%' calrun.txt
+  calibrated mean err%
+  $ flexcl suite --smoke -q -o /dev/null --model m1.json --compare calbase.json 2>&1 | grep -o 'gate: PASS'
+  gate: PASS
+  $ flexcl suite --smoke -q -o /dev/null --compare calbase.json > dropped.txt 2>&1
+  [1]
+  $ grep -c 'REGRESSION \[calibration-schema\]' dropped.txt
+  8
+
+Exit 1 — an unreadable or corrupt report is an input error:
+
+  $ flexcl fit --from missing.json -o /dev/null
+  error[E-IO] missing.json: No such file or directory
+  [1]
+  $ flexcl crossval --from corrupt.json 2>&1 | grep -o 'error\[E-PARSE\]'
+  error[E-PARSE]
+  $ flexcl crossval --from corrupt.json > /dev/null 2>&1
+  [1]
+
+Exit 2 — a missing or corrupt model artifact is a usage error wherever
+a model is accepted:
+
+  $ flexcl predict -w hotspot/hotspot --calibrated nope.json
+  error[E-USAGE] nope.json: cannot read model: No such file or directory
+  [2]
+  $ echo '{"kind":"other"}' > bad-model.json
+  $ flexcl predict -w hotspot/hotspot --calibrated bad-model.json
+  error[E-USAGE] bad-model.json: model artifact: foreign kind "other" (want "flexcl-learn-model")
+  [2]
+  $ flexcl suite --smoke -q -o /dev/null --model bad-model.json > /dev/null 2>&1
+  [2]
 
 The multi-kernel pipeline surface: kernel graphs over pipe channels
 (DESIGN.md §14), with the same exit-code contract.

@@ -1,0 +1,425 @@
+(* Learned-residual calibration tests (DESIGN.md §16): qcheck properties
+   of the closed-form solver (Cholesky reconstruction, ridge shrinkage,
+   exact-linear recovery, standardizer inverse, permutation-invariant
+   fits), the LOKO cross-validation harness (full cover, no leakage,
+   interval coverage on synthetic noise, byte-determinism), the model
+   artifact (byte-identical round-trips, foreign kinds and schema
+   versions rejected with a Diag), and the headline acceptance claim:
+   on the committed full-matrix fixture, per-kernel-held-out calibrated
+   error strictly beats the raw analytical error in the mean. *)
+
+module Learn = Flexcl_learn.Learn
+module Report = Flexcl_suite.Report
+module Runner = Flexcl_suite.Runner
+module Prng = Flexcl_util.Prng
+module Diag = Flexcl_util.Diag
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Linear-algebra properties *)
+
+(* a random SPD matrix: A = M Mᵀ + I, entries of M in [-1, 1] *)
+let gen_spd =
+  let open QCheck.Gen in
+  let* n = int_range 1 6 in
+  let* cells = list_size (return (n * n)) (float_range (-1.0) 1.0) in
+  let m = Array.make_matrix n n 0.0 in
+  List.iteri (fun i v -> m.(i / n).(i mod n) <- v) cells;
+  let a = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref (if i = j then 1.0 else 0.0) in
+      for k = 0 to n - 1 do
+        s := !s +. (m.(i).(k) *. m.(j).(k))
+      done;
+      a.(i).(j) <- !s
+    done
+  done;
+  return a
+
+let print_mat a =
+  String.concat "; "
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat ","
+              (Array.to_list (Array.map (Printf.sprintf "%g") row)))
+          a))
+
+let prop_cholesky_reconstructs =
+  QCheck.Test.make ~name:"cholesky: L Lᵀ reconstructs A within 1e-9"
+    ~count:300
+    (QCheck.make ~print:print_mat gen_spd)
+    (fun a ->
+      let n = Array.length a in
+      match Learn.cholesky a with
+      | Error e -> QCheck.Test.fail_reportf "SPD matrix rejected: %s" e
+      | Ok l ->
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let s = ref 0.0 in
+              for k = 0 to n - 1 do
+                s := !s +. (l.(i).(k) *. l.(j).(k))
+              done;
+              if Float.abs (!s -. a.(i).(j)) > 1e-9 then ok := false
+            done
+          done;
+          !ok)
+
+let prop_solve_spd_solves =
+  QCheck.Test.make ~name:"solve_spd: A x = b residual within 1e-8" ~count:300
+    (QCheck.make
+       ~print:(fun (a, _) -> print_mat a)
+       QCheck.Gen.(
+         let* a = gen_spd in
+         let* b =
+           list_size (return (Array.length a)) (float_range (-10.0) 10.0)
+         in
+         return (a, Array.of_list b)))
+    (fun (a, b) ->
+      let n = Array.length a in
+      match Learn.solve_spd a b with
+      | Error e -> QCheck.Test.fail_reportf "solve failed: %s" e
+      | Ok x ->
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let s = ref 0.0 in
+            for k = 0 to n - 1 do
+              s := !s +. (a.(i).(k) *. x.(k))
+            done;
+            if Float.abs (!s -. b.(i)) > 1e-8 then ok := false
+          done;
+          !ok)
+
+let test_cholesky_rejects_indefinite () =
+  (match Learn.cholesky [| [| 0.0 |] |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a singular matrix");
+  match Learn.cholesky [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an indefinite matrix"
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic samples *)
+
+let feature_names =
+  [ "work_items"; "ops_per_wi"; "loads_per_wi"; "barriers"; "loop_depth" ]
+
+(* [n] samples over [kernels] distinct workloads with a seeded feature
+   vector and a caller-chosen log-residual; deterministic in [seed]. *)
+let synth_samples ?(kernels = 8) ?(device = Thelpers.virtex7) ~n ~seed resid =
+  let g = Prng.create seed in
+  List.init n (fun i ->
+      let features =
+        List.map (fun name -> (name, 1.0 +. Prng.float g 1000.0)) feature_names
+      in
+      let est = 1000.0 +. Prng.float g 100000.0 in
+      let r = resid i features in
+      {
+        Learn.workload = Printf.sprintf "synth/k%d" (i mod kernels);
+        device;
+        est_cycles = est;
+        sim_cycles = est *. Float.exp r;
+        features;
+      })
+
+let fit_exn ?lambda ?alpha samples =
+  match Learn.fit ?lambda ?alpha samples with
+  | Ok m -> m
+  | Error d -> Alcotest.failf "fit failed: %s" (Diag.render d)
+
+(* ------------------------------------------------------------------ *)
+(* Fit properties *)
+
+let test_ridge_shrinks_to_zero () =
+  (* λ → ∞ drives every standardized weight to zero: the model predicts
+     a constant (the α-scaled mean residual) everywhere *)
+  let samples =
+    synth_samples ~n:40 ~seed:7 (fun i _ -> 0.3 +. (0.01 *. float_of_int i))
+  in
+  let m = fit_exn ~lambda:1e12 ~alpha:1.0 samples in
+  Array.iter
+    (fun w ->
+      check Alcotest.bool "weight shrunk to zero" true (Float.abs w < 1e-6))
+    m.Learn.weights;
+  let mean_r =
+    List.fold_left (fun acc s -> acc +. Learn.residual s) 0.0 samples
+    /. float_of_int (List.length samples)
+  in
+  check (Alcotest.float 1e-6) "intercept is the mean residual" mean_r
+    m.Learn.intercept
+
+let test_exact_linear_recovery () =
+  (* when the residual is exactly linear in the expanded features, a
+     tiny-λ unshrunk fit reproduces it on the training rows *)
+  let lin features =
+    let x = Learn.expand ~device:Thelpers.virtex7 features in
+    List.fold_left
+      (fun acc (name, v) ->
+        match name with
+        | "log1p_ops_per_wi" -> acc +. (0.2 *. v)
+        | "log1p_work_items" -> acc -. (0.05 *. v)
+        | _ -> acc)
+      0.1 x
+  in
+  let samples = synth_samples ~n:48 ~seed:11 (fun _ f -> lin f) in
+  let m = fit_exn ~lambda:1e-9 ~alpha:1.0 samples in
+  List.iter
+    (fun (s : Learn.sample) ->
+      let p =
+        Learn.predict_residual m ~device:s.Learn.device s.Learn.features
+      in
+      check (Alcotest.float 1e-4) "recovers the linear residual"
+        (Learn.residual s) p)
+    samples
+
+let prop_standardize_roundtrip =
+  QCheck.Test.make ~name:"unstandardize ∘ standardize is the identity"
+    ~count:300
+    QCheck.(
+      make
+        ~print:(fun (rows, x) ->
+          Printf.sprintf "%d rows, x0 %g" (List.length rows)
+            (match x with [] -> 0.0 | v :: _ -> v))
+        Gen.(
+          let* d = int_range 1 6 in
+          let* rows =
+            list_size (int_range 2 10)
+              (list_size (return d) (float_range (-1e4) 1e4))
+          in
+          let* x = list_size (return d) (float_range (-1e4) 1e4) in
+          return (rows, x)))
+    (fun (rows, x) ->
+      let s =
+        Learn.standardizer_of
+          (Array.of_list (List.map Array.of_list rows))
+      in
+      let x = Array.of_list x in
+      let back = Learn.unstandardize s (Learn.standardize s x) in
+      Array.for_all2
+        (fun a b -> Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a))
+        x back)
+
+let test_fit_permutation_invariant () =
+  let samples =
+    synth_samples ~n:30 ~seed:23 (fun i _ ->
+        0.2 *. Float.sin (float_of_int i))
+  in
+  let bytes l = Learn.model_to_string (fit_exn l) in
+  let reference = bytes samples in
+  check Alcotest.string "reversed order, same bytes" reference
+    (bytes (List.rev samples));
+  let rotated = List.tl samples @ [ List.hd samples ] in
+  check Alcotest.string "rotated order, same bytes" reference (bytes rotated);
+  let arr = Array.of_list samples in
+  Prng.shuffle (Prng.create 5) arr;
+  check Alcotest.string "shuffled order, same bytes" reference
+    (bytes (Array.to_list arr))
+
+let test_fit_rejects_unusable () =
+  (match Learn.fit [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fit accepted zero samples");
+  let bad =
+    List.map
+      (fun (s : Learn.sample) -> { s with Learn.sim_cycles = 0.0 })
+      (synth_samples ~n:4 ~seed:3 (fun _ _ -> 0.0))
+  in
+  match Learn.fit bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fit accepted all-unusable samples"
+
+(* ------------------------------------------------------------------ *)
+(* LOKO cross-validation harness *)
+
+let test_loko_covers_every_kernel_once () =
+  let samples =
+    synth_samples ~kernels:7 ~n:35 ~seed:13 (fun i _ -> 0.01 *. float_of_int i)
+  in
+  let folds = Learn.loko_folds samples in
+  check Alcotest.int "one fold per distinct workload" 7 (List.length folds);
+  let held = List.concat_map (fun (_, _, h) -> h) folds in
+  check Alcotest.int "every sample held out exactly once"
+    (List.length samples) (List.length held);
+  List.iter
+    (fun (kernel, train, held_out) ->
+      check Alcotest.bool "held-out rows all belong to the fold kernel" true
+        (List.for_all
+           (fun (s : Learn.sample) -> s.Learn.workload = kernel)
+           held_out);
+      (* no leakage: the fold kernel never appears in its train split *)
+      check Alcotest.bool "no leakage into the train split" true
+        (List.for_all
+           (fun (s : Learn.sample) -> s.Learn.workload <> kernel)
+           train);
+      check Alcotest.int "train + held-out partition the samples"
+        (List.length samples)
+        (List.length train + List.length held_out))
+    folds
+
+let crossval_exn ?lambda ?alpha samples =
+  match Learn.crossval ?lambda ?alpha samples with
+  | Ok cv -> cv
+  | Error d -> Alcotest.failf "crossval failed: %s" (Diag.render d)
+
+let test_interval_coverage_on_synthetic_noise () =
+  (* homoscedastic seeded noise: the empirical 5/95 interval must cover
+     at least (nominal − discreteness slack) of the held-out errors *)
+  let g = Prng.create 97 in
+  let samples =
+    synth_samples ~kernels:10 ~n:200 ~seed:31 (fun _ _ ->
+        Prng.gaussian g ~mu:0.1 ~sigma:0.2)
+  in
+  let cv = crossval_exn samples in
+  check Alcotest.int "every usable row scored" 200 cv.Learn.n;
+  check Alcotest.bool "quantiles ordered" true
+    (cv.Learn.cv_q_lo <= cv.Learn.cv_q_hi);
+  check Alcotest.bool
+    (Printf.sprintf "achieved coverage %.3f ≥ nominal − 0.02"
+       cv.Learn.achieved_coverage)
+    true
+    (cv.Learn.achieved_coverage >= cv.Learn.cv_coverage -. 0.02)
+
+let test_crossval_byte_deterministic () =
+  let samples =
+    synth_samples ~kernels:6 ~n:48 ~seed:41 (fun i _ ->
+        0.1 *. Float.cos (float_of_int i))
+  in
+  let bytes l = Learn.cv_to_string (crossval_exn l) in
+  let reference = bytes samples in
+  check Alcotest.string "repeat run, same bytes" reference (bytes samples);
+  check Alcotest.string "permuted samples, same bytes" reference
+    (bytes (List.rev samples))
+
+let test_crossval_needs_two_kernels () =
+  match Learn.crossval (synth_samples ~kernels:1 ~n:6 ~seed:2 (fun _ _ -> 0.1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "crossval accepted a single-kernel corpus"
+
+(* ------------------------------------------------------------------ *)
+(* Model artifact *)
+
+let test_model_roundtrip_bytes () =
+  let m = fit_exn (synth_samples ~n:24 ~seed:19 (fun i _ -> 0.02 *. float_of_int i)) in
+  let s = Learn.model_to_string m in
+  check Alcotest.bool "artifact ends in one newline" true
+    (String.length s > 0 && s.[String.length s - 1] = '\n');
+  match Learn.model_of_string s with
+  | Error d -> Alcotest.failf "decode failed: %s" (Diag.render d)
+  | Ok m' ->
+      check Alcotest.string "byte-identical round-trip" s
+        (Learn.model_to_string m')
+
+let test_model_rejects_foreign () =
+  let reject what s =
+    match Learn.model_of_string s with
+    | Error d ->
+        check Alcotest.bool
+          (what ^ " rejection carries a code")
+          true
+          (String.length (Diag.render d) > 0)
+    | Ok _ -> Alcotest.failf "accepted %s" what
+  in
+  reject "garbage" "not json";
+  reject "a foreign kind" {|{"kind":"flexcl-suite-report","schema_version":1}|};
+  let m = fit_exn (synth_samples ~n:12 ~seed:29 (fun _ _ -> 0.1)) in
+  let bumped =
+    let s = Learn.model_to_string m in
+    let sub = "\"schema_version\":1" and by = "\"schema_version\":999" in
+    let n = String.length s and m = String.length sub in
+    let rec find i =
+      if i + m > n then s
+      else if String.sub s i m = sub then
+        String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+      else find (i + 1)
+    in
+    find 0
+  in
+  reject "an unknown schema version" bumped
+
+(* ------------------------------------------------------------------ *)
+(* The committed fixtures: fit determinism and the acceptance claim *)
+
+let golden_path name =
+  let candidates =
+    [
+      Filename.concat "goldens" name;
+      Filename.concat (Filename.concat "test" "goldens") name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let full_fixture_samples () =
+  match Report.of_string (read_file (golden_path "BENCH_suite.full.json")) with
+  | Error e -> Alcotest.failf "full fixture unreadable: %s" e
+  | Ok r -> Runner.samples_of_report r
+
+let test_model_golden_roundtrip () =
+  let s = read_file (golden_path "model.golden.json") in
+  match Learn.model_of_string s with
+  | Error d -> Alcotest.failf "golden model unreadable: %s" (Diag.render d)
+  | Ok m ->
+      check Alcotest.string "committed model round-trips byte-identically" s
+        (Learn.model_to_string m);
+      check Alcotest.bool "trained on the full matrix" true
+        (m.Learn.n_train > 100 && List.length m.Learn.kernels > 30)
+
+let test_fit_matches_committed_model () =
+  (* `make promote-model` discipline: re-fitting the committed fixture
+     must reproduce the committed model artifact byte for byte *)
+  let m = fit_exn (full_fixture_samples ()) in
+  check Alcotest.string "fit of the fixture = committed bytes"
+    (read_file (golden_path "model.golden.json"))
+    (Learn.model_to_string m)
+
+let test_acceptance_loko_beats_raw () =
+  (* the PR's headline acceptance criterion, pinned: on the full matrix,
+     per-kernel-held-out calibrated error strictly improves the mean *)
+  let cv = crossval_exn (full_fixture_samples ()) in
+  check Alcotest.bool
+    (Printf.sprintf "LOKO calibrated MAPE %.3f%% < raw %.3f%%"
+       cv.Learn.mean_cal_mape cv.Learn.mean_raw_mape)
+    true
+    (cv.Learn.mean_cal_mape < cv.Learn.mean_raw_mape);
+  check Alcotest.bool "covers every suite kernel" true (cv.Learn.n_kernels >= 50)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_cholesky_reconstructs;
+    QCheck_alcotest.to_alcotest prop_solve_spd_solves;
+    Alcotest.test_case "cholesky rejects non-SPD input" `Quick
+      test_cholesky_rejects_indefinite;
+    Alcotest.test_case "ridge shrinks weights to zero as λ → ∞" `Quick
+      test_ridge_shrinks_to_zero;
+    Alcotest.test_case "exact-linear residuals are recovered" `Quick
+      test_exact_linear_recovery;
+    QCheck_alcotest.to_alcotest prop_standardize_roundtrip;
+    Alcotest.test_case "fit is permutation-invariant on bytes" `Quick
+      test_fit_permutation_invariant;
+    Alcotest.test_case "fit rejects unusable corpora" `Quick
+      test_fit_rejects_unusable;
+    Alcotest.test_case "LOKO folds cover every kernel exactly once" `Quick
+      test_loko_covers_every_kernel_once;
+    Alcotest.test_case "interval coverage on synthetic noise" `Quick
+      test_interval_coverage_on_synthetic_noise;
+    Alcotest.test_case "crossval is byte-deterministic" `Quick
+      test_crossval_byte_deterministic;
+    Alcotest.test_case "crossval needs two kernels" `Quick
+      test_crossval_needs_two_kernels;
+    Alcotest.test_case "model artifact round-trips byte-identically" `Quick
+      test_model_roundtrip_bytes;
+    Alcotest.test_case "foreign kinds and versions are rejected" `Quick
+      test_model_rejects_foreign;
+    Alcotest.test_case "committed model golden round-trips" `Quick
+      test_model_golden_roundtrip;
+    Alcotest.test_case "fit reproduces the committed model bytes" `Slow
+      test_fit_matches_committed_model;
+    Alcotest.test_case "acceptance: LOKO calibrated beats raw" `Slow
+      test_acceptance_loko_beats_raw;
+  ]

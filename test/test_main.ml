@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "flexcl"
-    [ ("util", Test_util.suite); ("opencl", Test_opencl.suite); ("ir", Test_ir.suite); ("sched", Test_sched.suite); ("interp", Test_interp.suite); ("dram", Test_dram.suite); ("model", Test_model.suite); ("trace", Test_trace.suite); ("graph", Test_graph.suite); ("workloads", Test_workloads.suite); ("robustness", Test_robustness.suite); ("parsweep", Test_parsweep.suite); ("specialize", Test_specialize.suite); ("goldens", Test_goldens.suite); ("server", Test_server.suite); ("suite", Test_suite.suite) ]
+    [ ("util", Test_util.suite); ("opencl", Test_opencl.suite); ("ir", Test_ir.suite); ("sched", Test_sched.suite); ("interp", Test_interp.suite); ("dram", Test_dram.suite); ("model", Test_model.suite); ("trace", Test_trace.suite); ("graph", Test_graph.suite); ("workloads", Test_workloads.suite); ("robustness", Test_robustness.suite); ("parsweep", Test_parsweep.suite); ("specialize", Test_specialize.suite); ("goldens", Test_goldens.suite); ("server", Test_server.suite); ("suite", Test_suite.suite); ("learn", Test_learn.suite) ]

@@ -437,6 +437,100 @@ let test_predict_trace_source_kernel () =
             tr.Trace.cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Calibrated predictions ("calibrated":true, DESIGN.md §16): response
+   shape pinned against the committed model golden, calibrated and raw
+   predictions as distinct cache entries with byte-identical warm hits,
+   and E-NOMODEL when no model is loaded. *)
+
+module Learn = Flexcl_learn.Learn
+
+let golden_model_path =
+  let candidates =
+    [
+      Filename.concat "goldens" "model.golden.json";
+      Filename.concat (Filename.concat "test" "goldens") "model.golden.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let load_golden_model () =
+  let s = In_channel.with_open_bin golden_model_path In_channel.input_all in
+  match Learn.model_of_string s with
+  | Ok m -> m
+  | Error d ->
+      Alcotest.failf "committed model unreadable: %s" (Flexcl_util.Diag.render d)
+
+let calibrated_req =
+  {|{"id":30,"kind":"predict","workload":"hotspot/hotspot","pe":2,"cu":2,"pipeline":true,"calibrated":true}|}
+
+let test_calibrated_response_shape () =
+  let c = Client.create ~num_domains:0 ~model:(load_golden_model ()) () in
+  (* exact bytes against the committed model golden: the raw fields stay
+     untouched (cycles matches the uncalibrated predict golden), with
+     cycles_calibrated and the empirical interval appended after the
+     bottleneck; regenerate with `make promote-model` when the fixture
+     legitimately moves *)
+  let cold = Client.request_line c calibrated_req in
+  check Alcotest.string "calibrated cold golden"
+    {|{"id":30,"ok":true,"kind":"predict","cached":false,"result":{"kernel":"hotspot/hotspot","device":"xc7vx690t","config":"wg64 pe2 cu2 pipe pipeline","cycles":2544,"us":12.72,"bottleneck":"global memory","cycles_calibrated":2556.812398033061,"ci":{"lo":2314.0853484436593,"hi":3095.831838234368}}}|}
+    cold;
+  match Json.of_string cold with
+  | Error e -> Alcotest.failf "response not JSON: %s" e
+  | Ok v ->
+      let f path =
+        match Json.to_float (jpath v path) with
+        | Some x -> x
+        | None -> Alcotest.failf "field %s not a number" (String.concat "." path)
+      in
+      let cal = f [ "result"; "cycles_calibrated" ] in
+      check Alcotest.bool "interval brackets the calibrated point" true
+        (f [ "result"; "ci"; "lo" ] <= cal && cal <= f [ "result"; "ci"; "hi" ])
+
+let test_calibrated_cache_distinct () =
+  let c = Client.create ~num_domains:0 ~model:(load_golden_model ()) () in
+  (* a raw predict warms the raw entry only: the first calibrated
+     request still misses, and vice versa *)
+  let raw1 = Client.request_line c predict_req in
+  let cal1 = Client.request_line c calibrated_req in
+  let cal2 = Client.request_line c calibrated_req in
+  let raw2 = Client.request_line c predict_req in
+  let cached line =
+    match Json.of_string line with
+    | Ok v -> Option.get (Json.to_bool (jpath v [ "cached" ]))
+    | Error e -> Alcotest.failf "bad response: %s" e
+  in
+  check Alcotest.bool "raw cold" false (cached raw1);
+  check Alcotest.bool "calibrated misses the raw entry" false (cached cal1);
+  check Alcotest.bool "calibrated warm" true (cached cal2);
+  check Alcotest.bool "raw warm" true (cached raw2);
+  (* the warm hit differs from the cold response only in "cached" *)
+  let flip line =
+    let sub = {|"cached":false|} and by = {|"cached":true|} in
+    let n = String.length line and m = String.length sub in
+    let rec find i =
+      if i + m > n then line
+      else if String.sub line i m = sub then
+        String.sub line 0 i ^ by ^ String.sub line (i + m) (n - i - m)
+      else find (i + 1)
+    in
+    find 0
+  in
+  check Alcotest.string "warm body = cold body" (flip cal1) cal2;
+  check Alcotest.string "warm calibrated hit is byte-identical" cal2
+    (Client.request_line c calibrated_req);
+  let s = Client.stats c in
+  check Alcotest.int "predict.calibrated counter" 3
+    (jint s [ "counters"; "predict.calibrated" ])
+
+let test_calibrated_without_model () =
+  let c = Client.create ~num_domains:0 () in
+  check Alcotest.string "E-NOMODEL without --model"
+    {|{"id":30,"ok":false,"kind":"predict","errors":[{"code":"E-NOMODEL","severity":"error","message":"\"calibrated\":true but no learned-residual model is loaded (start the server with --model FILE)"}]}|}
+    (Client.request_line c calibrated_req)
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz: garbage bytes and mutated request lines must always come back
    as one well-formed error-or-ok response — never an exception. *)
 
@@ -473,7 +567,7 @@ let test_fuzz_requests () =
   let base =
     Array.of_list
       (List.map (fun (_, req, _) -> req) protocol_goldens
-      @ [ traced_predict_req ])
+      @ [ traced_predict_req; calibrated_req ])
   in
   let ok = ref 0 and err = ref 0 in
   let escaped = ref [] in
@@ -838,6 +932,12 @@ let suite =
       `Quick test_predict_trace;
     Alcotest.test_case "protocol: trace on an inline-source predict" `Quick
       test_predict_trace_source_kernel;
+    Alcotest.test_case "calibrated: response shape golden" `Quick
+      test_calibrated_response_shape;
+    Alcotest.test_case "calibrated: distinct cache entries, identical warm hits"
+      `Quick test_calibrated_cache_distinct;
+    Alcotest.test_case "calibrated: E-NOMODEL without a model" `Quick
+      test_calibrated_without_model;
     Alcotest.test_case "fuzz: mutated and garbage requests" `Quick
       test_fuzz_requests;
     Alcotest.test_case "cache: 100 predicts hit >= 99%" `Quick

@@ -129,7 +129,7 @@ let timing ?(mean = 1.0) ?(noise = 0.05) () =
   }
 
 let entry ?(suite = "rodinia") ?(workload = "hotspot/hotspot")
-    ?(device = "xc7vx690t") ?(err = 4.0) ?(warm = timing ())
+    ?(device = "xc7vx690t") ?(err = 4.0) ?cal ?schema ?(warm = timing ())
     ?(identical = true) () =
   {
     Report.suite;
@@ -139,6 +139,12 @@ let entry ?(suite = "rodinia") ?(workload = "hotspot/hotspot")
     est_cycles = 2544.0;
     sim_cycles = 2447.0;
     err_pct = err;
+    cal_err_pct = cal;
+    learn_schema =
+      (match (cal, schema) with
+      | None, None -> None
+      | _, Some _ -> schema
+      | Some _, None -> Some Flexcl_learn.Learn.schema_version);
     engines_identical = identical;
     warm;
     features = [ ("ops_per_wi", 100.0); ("work_items", 1024.0) ];
@@ -356,6 +362,109 @@ let test_gate_missing_entry () =
           (fun (o : Gate.offense) -> o.Gate.reason = Gate.Missing)
           (Gate.gate ~baseline:full_base ~current:shrunk ())))
 
+(* calibrated-column gating: per-entry regressions, schema-mismatch and
+   dropped-column coverage semantics, and the report-wide rule that the
+   calibrated mean must strictly beat the raw analytical mean *)
+
+let calibrated_fixture () =
+  report
+    [
+      entry ~err:4.0 ~cal:2.0 ();
+      entry ~workload:"backprop/layer" ~err:8.8 ~cal:5.0
+        ~warm:(timing ~mean:0.4 ()) ();
+      entry ~suite:"polybench" ~workload:"gemm/gemm" ~err:0.1 ~cal:0.2
+        ~warm:(timing ~mean:0.5 ()) ();
+    ]
+
+let test_gate_calibration_identity () =
+  let r = calibrated_fixture () in
+  check Alcotest.int "calibrated self-compare is clean" 0
+    (List.length (Gate.gate ~baseline:r ~current:r ()))
+
+let test_gate_calibration_regression () =
+  let base = calibrated_fixture () in
+  (* +5 calibrated points on one entry, raw column untouched *)
+  let bad =
+    resummarize
+      (with_entry base "hotspot/hotspot" (fun e ->
+           { e with Report.cal_err_pct = Some 7.0 }))
+  in
+  let offenses = Gate.gate ~baseline:base ~current:bad () in
+  check Alcotest.bool "calibration offense names the entry" true
+    (List.exists
+       (fun (o : Gate.offense) ->
+         o.Gate.reason = Gate.Calibration
+         && o.Gate.id = "rodinia/hotspot/hotspot@xc7vx690t")
+       offenses);
+  (* inside the tolerance band: quiet *)
+  let ok =
+    resummarize
+      (with_entry base "hotspot/hotspot" (fun e ->
+           { e with Report.cal_err_pct = Some 2.3 }))
+  in
+  check Alcotest.int "0.3 calibrated points pass" 0
+    (List.length (Gate.gate ~baseline:base ~current:ok ()))
+
+let test_gate_calibration_schema_mismatch () =
+  let base = calibrated_fixture () in
+  let bumped =
+    resummarize
+      (with_entry base "gemm/gemm" (fun e ->
+           { e with Report.learn_schema = Some 999 }))
+  in
+  let fires r =
+    List.exists
+      (fun (o : Gate.offense) -> o.Gate.reason = Gate.Calibration_schema)
+      r
+  in
+  check Alcotest.bool "schema bump gates" true
+    (fires (Gate.gate ~baseline:base ~current:bumped ()));
+  (* schema mismatches gate even across smoke/full comparisons *)
+  let full_base = resummarize { base with Report.smoke = false } in
+  check Alcotest.bool "schema bump gates cross-kind too" true
+    (fires (Gate.gate ~baseline:full_base ~current:bumped ()))
+
+let test_gate_calibration_dropped_column () =
+  let base = calibrated_fixture () in
+  let dropped =
+    resummarize
+      (with_entry base "hotspot/hotspot" (fun e ->
+           { e with Report.cal_err_pct = None; learn_schema = None }))
+  in
+  check Alcotest.bool "dropped calibrated column gates on same-kind runs"
+    true
+    (List.exists
+       (fun (o : Gate.offense) ->
+         o.Gate.reason = Gate.Calibration_schema
+         && o.Gate.id = "rodinia/hotspot/hotspot@xc7vx690t")
+       (Gate.gate ~baseline:base ~current:dropped ()));
+  (* a smoke run against a full calibrated baseline may drop columns *)
+  let full_base = resummarize { base with Report.smoke = false } in
+  check Alcotest.bool "cross-kind drop does not gate" true
+    (not
+       (List.exists
+          (fun (o : Gate.offense) -> o.Gate.reason = Gate.Calibration_schema)
+          (Gate.gate ~baseline:full_base ~current:dropped ())))
+
+let test_gate_calibration_must_beat_raw () =
+  let base = calibrated_fixture () in
+  (* calibrated means must strictly beat raw: push every calibrated
+     column above its raw column while keeping each within the per-entry
+     tolerance of a baseline built the same way *)
+  let worse (e : Report.entry) =
+    { e with Report.cal_err_pct = Some (e.Report.err_pct +. 0.1) }
+  in
+  let cur = resummarize { base with Report.rows = List.map worse base.Report.rows } in
+  let offenses = Gate.gate ~baseline:cur ~current:cur () in
+  check Alcotest.bool "calibrated >= raw mean fails report-wide" true
+    (List.exists
+       (fun (o : Gate.offense) ->
+         o.Gate.reason = Gate.Calibration && o.Gate.id = "suite")
+       offenses);
+  (* the healthy fixture (calibrated below raw in the mean) stays clean *)
+  check Alcotest.int "calibrated < raw mean passes" 0
+    (List.length (Gate.gate ~baseline:base ~current:base ()))
+
 let prop_gate_self_compare_clean =
   (* any well-formed fixture report gates cleanly against itself *)
   QCheck.Test.make ~name:"gate is empty on identical reports" ~count:100
@@ -501,6 +610,16 @@ let suite =
       test_gate_engine_divergence;
     Alcotest.test_case "gate fails on missing entries" `Quick
       test_gate_missing_entry;
+    Alcotest.test_case "gate clean on identical calibrated reports" `Quick
+      test_gate_calibration_identity;
+    Alcotest.test_case "gate fails on calibrated-error regression" `Quick
+      test_gate_calibration_regression;
+    Alcotest.test_case "gate fails on learn-schema mismatch" `Quick
+      test_gate_calibration_schema_mismatch;
+    Alcotest.test_case "gate fails on dropped calibrated column" `Quick
+      test_gate_calibration_dropped_column;
+    Alcotest.test_case "gate requires calibrated to beat raw" `Quick
+      test_gate_calibration_must_beat_raw;
     QCheck_alcotest.to_alcotest prop_gate_self_compare_clean;
     Alcotest.test_case "runner measures the smoke subset" `Quick
       test_runner_smoke;
